@@ -1,0 +1,508 @@
+//! MMKP selection solvers.
+
+use crate::AllocRequest;
+use harp_types::{HarpError, ResourceVector, Result};
+
+/// The available selection strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolverKind {
+    /// Lagrangian relaxation with subgradient updates, repair and upgrade
+    /// phases (Wildermann et al. style) — HARP's production solver.
+    Lagrangian,
+    /// Greedy incremental upgrades from the minimal selection
+    /// (Ykman-Couvreur style) — ablation baseline.
+    Greedy,
+    /// Exact branch-and-bound — exponential; for small instances and tests.
+    Exact,
+}
+
+/// Solves the selection problem: returns the chosen option index per
+/// request. Callers guarantee the instance is feasible at minimal demands.
+pub(crate) fn solve(
+    requests: &[AllocRequest],
+    capacity: &ResourceVector,
+    kind: SolverKind,
+) -> Result<Vec<usize>> {
+    match kind {
+        SolverKind::Lagrangian => lagrangian(requests, capacity),
+        SolverKind::Greedy => greedy(requests, capacity),
+        SolverKind::Exact => exact(requests, capacity),
+    }
+}
+
+fn total_demand(requests: &[AllocRequest], picks: &[usize], num_kinds: usize) -> ResourceVector {
+    let mut total = ResourceVector::zero(num_kinds);
+    for (r, &p) in requests.iter().zip(picks) {
+        total = total
+            .checked_add(&r.options[p].demand())
+            .expect("uniform shapes");
+    }
+    total
+}
+
+fn is_feasible(requests: &[AllocRequest], picks: &[usize], capacity: &ResourceVector) -> bool {
+    total_demand(requests, picks, capacity.num_kinds()).fits_within(capacity)
+}
+
+fn selection_cost(requests: &[AllocRequest], picks: &[usize]) -> f64 {
+    requests
+        .iter()
+        .zip(picks)
+        .map(|(r, &p)| r.options[p].cost)
+        .sum()
+}
+
+/// The index of each request's smallest-total-demand option (ties broken by
+/// cost) — the guaranteed-feasible fallback selection.
+fn minimal_picks(requests: &[AllocRequest]) -> Vec<usize> {
+    requests
+        .iter()
+        .map(|r| {
+            r.options
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    a.demand()
+                        .total()
+                        .cmp(&b.demand().total())
+                        .then(a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal))
+                })
+                .map(|(i, _)| i)
+                .expect("validated nonempty")
+        })
+        .collect()
+}
+
+/// Lagrangian relaxation: relax Eq. 1b with multipliers λ ≥ 0, solve the
+/// separable per-application subproblems, update λ by projected
+/// subgradient, then repair to feasibility and greedily use leftovers.
+fn lagrangian(requests: &[AllocRequest], capacity: &ResourceVector) -> Result<Vec<usize>> {
+    let num_kinds = capacity.num_kinds();
+    let mut lambda = vec![0.0f64; num_kinds];
+    let mut picks = minimal_picks(requests);
+    let mut best_feasible: Option<(f64, Vec<usize>)> = None;
+
+    // Normalize the subgradient step by the cost scale so convergence does
+    // not depend on the magnitude of ζ.
+    let cost_scale = requests
+        .iter()
+        .flat_map(|r| r.options.iter().map(|o| o.cost))
+        .filter(|c| c.is_finite() && *c > 0.0)
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+
+    const ITERS: usize = 60;
+    for it in 0..ITERS {
+        // Per-app argmin of ζ + λ·r.
+        for (i, r) in requests.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_v = f64::INFINITY;
+            for (j, o) in r.options.iter().enumerate() {
+                let d = o.demand();
+                let penalty: f64 = d
+                    .counts()
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &c)| lambda[k] * c as f64)
+                    .sum();
+                let v = if o.cost.is_finite() {
+                    o.cost + penalty
+                } else {
+                    // Infinite-cost options only win if nothing else exists.
+                    f64::MAX / 4.0 + penalty
+                };
+                if v < best_v {
+                    best_v = v;
+                    best = j;
+                }
+            }
+            picks[i] = best;
+        }
+        let demand = total_demand(requests, &picks, num_kinds);
+        if demand.fits_within(capacity) {
+            let cost = selection_cost(requests, &picks);
+            if best_feasible
+                .as_ref()
+                .map_or(true, |(c, _)| cost < *c)
+            {
+                best_feasible = Some((cost, picks.clone()));
+            }
+        }
+        // Projected subgradient step with diminishing step size.
+        let step = cost_scale / ((it + 1) as f64).sqrt()
+            / capacity.total().max(1) as f64;
+        for k in 0..num_kinds {
+            let g = demand.counts()[k] as f64 - capacity.counts()[k] as f64;
+            lambda[k] = (lambda[k] + step * g).max(0.0);
+        }
+    }
+
+    let mut picks = match best_feasible {
+        Some((_, p)) => p,
+        None => {
+            // Repair from the last relaxed selection.
+            repair(requests, picks, capacity)?
+        }
+    };
+    upgrade(requests, &mut picks, capacity);
+    // The subgradient iteration and the greedy climb explore different
+    // basins; keep whichever feasible selection is cheaper (this makes the
+    // production solver dominate the greedy baseline by construction).
+    if let Ok(greedy_picks) = greedy(requests, capacity) {
+        if selection_cost(requests, &greedy_picks) < selection_cost(requests, &picks) {
+            picks = greedy_picks;
+        }
+    }
+    Ok(picks)
+}
+
+/// Repair an infeasible selection: repeatedly apply the downgrade with the
+/// best (cost increase) / (overshoot reduction) ratio until feasible.
+fn repair(
+    requests: &[AllocRequest],
+    mut picks: Vec<usize>,
+    capacity: &ResourceVector,
+) -> Result<Vec<usize>> {
+    let num_kinds = capacity.num_kinds();
+    loop {
+        let demand = total_demand(requests, &picks, num_kinds);
+        let overshoot: i64 = demand
+            .counts()
+            .iter()
+            .zip(capacity.counts())
+            .map(|(&d, &c)| (d as i64 - c as i64).max(0))
+            .sum();
+        if overshoot == 0 {
+            return Ok(picks);
+        }
+        let mut best: Option<(f64, usize, usize)> = None; // (ratio, app, option)
+        for (i, r) in requests.iter().enumerate() {
+            let cur = &r.options[picks[i]];
+            for (j, o) in r.options.iter().enumerate() {
+                if j == picks[i] {
+                    continue;
+                }
+                // Overshoot reduction if we swap.
+                let mut reduction = 0i64;
+                for k in 0..num_kinds {
+                    let d = demand.counts()[k] as i64;
+                    let cap = capacity.counts()[k] as i64;
+                    let delta =
+                        o.demand().counts()[k] as i64 - cur.demand().counts()[k] as i64;
+                    let new_over = (d + delta - cap).max(0);
+                    let old_over = (d - cap).max(0);
+                    reduction += old_over - new_over;
+                }
+                if reduction <= 0 {
+                    continue;
+                }
+                let dcost = cost_or_large(o.cost) - cost_or_large(cur.cost);
+                let ratio = dcost / reduction as f64;
+                if best.map_or(true, |(b, _, _)| ratio < b) {
+                    best = Some((ratio, i, j));
+                }
+            }
+        }
+        match best {
+            Some((_, i, j)) => picks[i] = j,
+            None => {
+                // No single swap helps; fall back to the minimal selection,
+                // which the caller guarantees is feasible.
+                let min = minimal_picks(requests);
+                if is_feasible(requests, &min, capacity) {
+                    return Ok(min);
+                }
+                return Err(HarpError::InsufficientResources {
+                    detail: "repair failed on an infeasible instance".into(),
+                });
+            }
+        }
+    }
+}
+
+/// Greedy improvement: while feasible swaps with lower cost exist, apply the
+/// best one. Uses leftover capacity (the paper's RM hands unassigned cores
+/// to exploring applications; here they go to whoever benefits most).
+fn upgrade(requests: &[AllocRequest], picks: &mut [usize], capacity: &ResourceVector) {
+    loop {
+        let mut best: Option<(f64, usize, usize)> = None;
+        for (i, r) in requests.iter().enumerate() {
+            let cur_cost = cost_or_large(r.options[picks[i]].cost);
+            for (j, o) in r.options.iter().enumerate() {
+                if j == picks[i] {
+                    continue;
+                }
+                let gain = cur_cost - cost_or_large(o.cost);
+                if gain <= 1e-12 {
+                    continue;
+                }
+                let old = picks[i];
+                picks[i] = j;
+                let ok = is_feasible(requests, picks, capacity);
+                picks[i] = old;
+                if ok && best.map_or(true, |(g, _, _)| gain > g) {
+                    best = Some((gain, i, j));
+                }
+            }
+        }
+        match best {
+            Some((_, i, j)) => picks[i] = j,
+            None => return,
+        }
+    }
+}
+
+fn cost_or_large(c: f64) -> f64 {
+    if c.is_finite() {
+        c
+    } else {
+        f64::MAX / 4.0
+    }
+}
+
+/// Greedy heuristic: start from the minimal selection (repaired if the
+/// min-total choices overload a kind), then apply upgrades.
+fn greedy(requests: &[AllocRequest], capacity: &ResourceVector) -> Result<Vec<usize>> {
+    let mut picks = minimal_picks(requests);
+    if !is_feasible(requests, &picks, capacity) {
+        picks = repair(requests, picks, capacity)?;
+    }
+    upgrade(requests, &mut picks, capacity);
+    Ok(picks)
+}
+
+/// Exact branch-and-bound over the (small) selection space.
+fn exact(requests: &[AllocRequest], capacity: &ResourceVector) -> Result<Vec<usize>> {
+    let space: f64 = requests
+        .iter()
+        .map(|r| r.options.len() as f64)
+        .product();
+    if space > 5e7 {
+        return Err(HarpError::Numeric {
+            detail: format!("exact solver refuses {space:.0} combinations"),
+        });
+    }
+    let num_kinds = capacity.num_kinds();
+    let mut best_cost = f64::INFINITY;
+    let mut best: Option<Vec<usize>> = None;
+    let mut picks = vec![0usize; requests.len()];
+
+    // Per-app lower bound on remaining cost for pruning.
+    let min_costs: Vec<f64> = requests
+        .iter()
+        .map(|r| {
+            r.options
+                .iter()
+                .map(|o| cost_or_large(o.cost))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+    let suffix_min: Vec<f64> = {
+        let mut v = vec![0.0; requests.len() + 1];
+        for i in (0..requests.len()).rev() {
+            v[i] = v[i + 1] + min_costs[i];
+        }
+        v
+    };
+
+    fn dfs(
+        requests: &[AllocRequest],
+        capacity: &ResourceVector,
+        num_kinds: usize,
+        suffix_min: &[f64],
+        picks: &mut Vec<usize>,
+        depth: usize,
+        used: ResourceVector,
+        cost: f64,
+        best_cost: &mut f64,
+        best: &mut Option<Vec<usize>>,
+    ) {
+        if cost + suffix_min[depth] >= *best_cost {
+            return;
+        }
+        if depth == requests.len() {
+            *best_cost = cost;
+            *best = Some(picks.clone());
+            return;
+        }
+        for (j, o) in requests[depth].options.iter().enumerate() {
+            let next_used = match used.checked_add(&o.demand()) {
+                Ok(u) => u,
+                Err(_) => continue,
+            };
+            if !next_used.fits_within(capacity) {
+                continue;
+            }
+            picks[depth] = j;
+            dfs(
+                requests,
+                capacity,
+                num_kinds,
+                suffix_min,
+                picks,
+                depth + 1,
+                next_used,
+                cost + cost_or_large(o.cost),
+                best_cost,
+                best,
+            );
+        }
+    }
+
+    dfs(
+        requests,
+        capacity,
+        num_kinds,
+        &suffix_min,
+        &mut picks,
+        0,
+        ResourceVector::zero(num_kinds),
+        0.0,
+        &mut best_cost,
+        &mut best,
+    );
+    best.ok_or_else(|| HarpError::InsufficientResources {
+        detail: "exact solver found no feasible selection".into(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AllocOption;
+    use harp_types::{AppId, ErvShape, ExtResourceVector, OpId};
+
+    fn shape() -> ErvShape {
+        ErvShape::new(vec![1, 1])
+    }
+
+    fn opt(flat: &[u32], cost: f64) -> AllocOption {
+        AllocOption {
+            op: OpId(0),
+            cost,
+            erv: ExtResourceVector::from_flat(&shape(), flat).unwrap(),
+        }
+    }
+
+    fn req(app: u64, options: Vec<AllocOption>) -> AllocRequest {
+        let options = options
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut o)| {
+                o.op = OpId(i);
+                o
+            })
+            .collect();
+        AllocRequest {
+            app: AppId(app),
+            options,
+        }
+    }
+
+    #[test]
+    fn exact_finds_optimum() {
+        // capacity (2,2): optimum is app1 big (1), app2 little (2): cost 3.
+        let capacity = ResourceVector::new(vec![2, 2]);
+        let reqs = vec![
+            req(1, vec![opt(&[1, 0], 1.0), opt(&[0, 1], 5.0)]),
+            req(2, vec![opt(&[2, 0], 1.0), opt(&[0, 2], 2.0)]),
+        ];
+        let picks = exact(&reqs, &capacity).unwrap();
+        assert_eq!(selection_cost(&reqs, &picks), 3.0);
+        assert!(is_feasible(&reqs, &picks, &capacity));
+    }
+
+    #[test]
+    fn exact_prunes_infeasible_branches() {
+        let capacity = ResourceVector::new(vec![1, 0]);
+        let reqs = vec![
+            req(1, vec![opt(&[1, 0], 1.0), opt(&[0, 1], 0.1)]),
+        ];
+        // The cheap option needs a little core that doesn't exist.
+        let picks = exact(&reqs, &capacity).unwrap();
+        assert_eq!(picks, vec![0]);
+    }
+
+    #[test]
+    fn all_solvers_agree_on_obvious_instance() {
+        let capacity = ResourceVector::new(vec![4, 4]);
+        let reqs = vec![
+            req(1, vec![opt(&[2, 0], 1.0), opt(&[4, 0], 10.0)]),
+            req(2, vec![opt(&[0, 2], 1.0), opt(&[0, 4], 10.0)]),
+        ];
+        for kind in [SolverKind::Lagrangian, SolverKind::Greedy, SolverKind::Exact] {
+            let picks = solve(&reqs, &capacity, kind).unwrap();
+            assert_eq!(picks, vec![0, 0], "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn lagrangian_near_exact_on_random_instances() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+        let mut worst_gap: f64 = 1.0;
+        for _ in 0..30 {
+            let capacity = ResourceVector::new(vec![4, 8]);
+            let n_apps = rng.random_range(2..=4);
+            let reqs: Vec<AllocRequest> = (0..n_apps)
+                .map(|a| {
+                    let n_opts = rng.random_range(2..=5);
+                    let options = (0..n_opts)
+                        .map(|_| {
+                            let big = rng.random_range(0..=2u32);
+                            let little = rng.random_range(if big == 0 { 1 } else { 0 }..=3u32);
+                            opt(&[big, little], rng.random_range(1.0..20.0))
+                        })
+                        .collect();
+                    req(a as u64 + 1, options)
+                })
+                .collect();
+            // Only evaluate feasible instances (callers guarantee this).
+            let min = minimal_picks(&reqs);
+            if !is_feasible(&reqs, &min, &capacity) {
+                continue;
+            }
+            let e = exact(&reqs, &capacity).unwrap();
+            let l = lagrangian(&reqs, &capacity).unwrap();
+            assert!(is_feasible(&reqs, &l, &capacity));
+            let gap = selection_cost(&reqs, &l) / selection_cost(&reqs, &e).max(1e-9);
+            worst_gap = worst_gap.max(gap);
+        }
+        assert!(worst_gap < 1.5, "worst approximation gap {worst_gap}");
+    }
+
+    #[test]
+    fn greedy_upgrades_use_leftover_capacity() {
+        let capacity = ResourceVector::new(vec![4, 4]);
+        // Minimal pick is the small/expensive one; capacity allows upgrade.
+        let reqs = vec![req(
+            1,
+            vec![opt(&[1, 0], 10.0), opt(&[3, 2], 2.0)],
+        )];
+        let picks = greedy(&reqs, &capacity).unwrap();
+        assert_eq!(picks, vec![1]);
+    }
+
+    #[test]
+    fn repair_restores_feasibility() {
+        let capacity = ResourceVector::new(vec![2, 2]);
+        let reqs = vec![
+            req(1, vec![opt(&[2, 0], 1.0), opt(&[0, 1], 4.0)]),
+            req(2, vec![opt(&[2, 0], 1.0), opt(&[0, 1], 4.0)]),
+        ];
+        // Both at their favourite: infeasible (4 big > 2).
+        let picks = repair(&reqs, vec![0, 0], &capacity).unwrap();
+        assert!(is_feasible(&reqs, &picks, &capacity));
+    }
+
+    #[test]
+    fn exact_refuses_huge_instances() {
+        let capacity = ResourceVector::new(vec![100, 100]);
+        let opts: Vec<AllocOption> = (0..60).map(|i| opt(&[1, 0], i as f64)).collect();
+        let reqs: Vec<AllocRequest> = (0..10).map(|a| req(a, opts.clone())).collect();
+        assert!(matches!(
+            exact(&reqs, &capacity),
+            Err(HarpError::Numeric { .. })
+        ));
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests on the allocator's safety invariants: whatever the
+//! instance, a successful allocation never exceeds capacity, never grants
+//! the same core twice (outside co-allocation), and always honours the
+//! selected point's resource structure.
+
+use harp_alloc::{allocate, AllocOption, AllocRequest, SolverKind};
+use harp_types::{AppId, CoreKind, ExtResourceVector, OpId};
+use proptest::prelude::*;
+
+fn arb_requests() -> impl Strategy<Value = Vec<AllocRequest>> {
+    let hw = harp_platform::presets::raptor_lake();
+    let shape = hw.erv_shape();
+    proptest::collection::vec(
+        proptest::collection::vec((0u32..3, 0u32..5, 0u32..9, 0.1f64..100.0), 1..6),
+        1..6,
+    )
+    .prop_map(move |apps| {
+        apps.into_iter()
+            .enumerate()
+            .map(|(a, opts)| AllocRequest {
+                app: AppId(a as u64 + 1),
+                options: opts
+                    .into_iter()
+                    .enumerate()
+                    .map(|(o, (p1, p2, e, cost))| {
+                        // Guarantee nonzero demand.
+                        let e = if p1 + p2 == 0 { e.max(1) } else { e };
+                        AllocOption {
+                            op: OpId(o),
+                            cost,
+                            erv: ExtResourceVector::from_flat(&shape, &[p1, p2, e])
+                                .expect("fits shape"),
+                        }
+                    })
+                    .collect(),
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn allocations_are_safe(reqs in arb_requests(), solver_pick in 0usize..2) {
+        let hw = harp_platform::presets::raptor_lake();
+        let solver = [SolverKind::Lagrangian, SolverKind::Greedy][solver_pick];
+        let Ok(alloc) = allocate(&reqs, &hw, solver) else {
+            // Errors are allowed (e.g. an app whose every option exceeds the
+            // machine); panics are not.
+            return Ok(());
+        };
+        // Every request received a choice.
+        prop_assert_eq!(alloc.choices.len(), reqs.len());
+        // The chosen op belongs to the request and matches its vector.
+        for r in &reqs {
+            let c = &alloc.choices[&r.app];
+            let opt = r.options.iter().find(|o| o.op == c.op)
+                .expect("chosen op exists");
+            prop_assert_eq!(&opt.erv, &c.erv);
+            // Granted cores match the per-kind demand exactly.
+            for kind in 0..hw.num_kinds() {
+                let granted = c.cores.iter()
+                    .filter(|core| hw.kind_of_core(**core).unwrap() == CoreKind(kind))
+                    .count() as u32;
+                prop_assert_eq!(granted, c.erv.cores_of_kind(kind));
+            }
+            // Parallelism equals the granted hardware threads.
+            prop_assert_eq!(c.parallelism() as usize, c.hw_threads.len());
+        }
+        if !alloc.co_allocated {
+            // Disjoint cores and within capacity.
+            let mut all: Vec<_> = alloc.choices.values()
+                .flat_map(|c| c.cores.clone())
+                .collect();
+            let n = all.len();
+            all.sort();
+            all.dedup();
+            prop_assert_eq!(all.len(), n, "core granted twice");
+            let capacity = hw.capacity();
+            for kind in 0..hw.num_kinds() {
+                let used: u32 = alloc.choices.values()
+                    .map(|c| c.erv.cores_of_kind(kind))
+                    .sum();
+                prop_assert!(used <= capacity.counts()[kind]);
+            }
+        }
+    }
+
+    #[test]
+    fn lagrangian_never_worse_than_greedy(reqs in arb_requests()) {
+        // The production solver keeps the better of its subgradient
+        // solution and the greedy climb, so it dominates by construction.
+        let hw = harp_platform::presets::raptor_lake();
+        let (Ok(l), Ok(g)) = (
+            allocate(&reqs, &hw, SolverKind::Lagrangian),
+            allocate(&reqs, &hw, SolverKind::Greedy),
+        ) else { return Ok(()); };
+        if !l.co_allocated && !g.co_allocated {
+            prop_assert!(l.total_cost <= g.total_cost + 1e-6,
+                "lagrangian {} vs greedy {}", l.total_cost, g.total_cost);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! One benchmark per paper table and figure.
+//!
+//! Each group first prints the (reduced) reproduced table once — so
+//! `cargo bench` regenerates every result — and then times one
+//! representative unit of the experiment with Criterion. Run the
+//! `harp-bench` binaries (`fig6_intel` etc.) for the full-scale tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harp_bench::runner::{run_scenario, ManagerKind, RunOptions};
+use harp_bench::{dse, fig1, fig5, fig6, fig7, fig8, tables};
+use harp_types::ExtResourceVector;
+use harp_workload::{benchmark, scenarios, Platform, Scenario};
+use std::hint::black_box;
+use std::sync::Once;
+
+static PRINT: Once = Once::new();
+
+fn print_reduced_tables() {
+    PRINT.call_once(|| {
+        let outputs = [
+            fig1::run(600.0).expect("fig1"),
+            fig5::run(&fig5::Fig5Options::reduced()).expect("fig5"),
+            fig6::run(&fig6::Fig6Options::reduced()).expect("fig6"),
+            fig7::run(&fig7::Fig7Options::reduced()).expect("fig7"),
+            fig8::run(&fig8::Fig8Options::reduced()).expect("fig8"),
+            tables::governor_table(&tables::GovernorOptions::reduced()).expect("governor"),
+            tables::overhead_table(
+                &scenarios::intel_single()[..2],
+                &scenarios::intel_multi()[..1],
+                1,
+            )
+            .expect("overhead"),
+            tables::attribution_table(&scenarios::intel_multi()[..2]).expect("attribution"),
+        ];
+        for o in outputs {
+            println!("\n{o}");
+        }
+    });
+}
+
+fn bench_fig1_unit(c: &mut Criterion) {
+    print_reduced_tables();
+    let spec = benchmark(Platform::RaptorLake, "mg").unwrap();
+    let shape = Platform::RaptorLake.hardware().erv_shape();
+    let erv = ExtResourceVector::from_flat(&shape, &[0, 0, 8]).unwrap();
+    let mut g = c.benchmark_group("fig1_sweep");
+    g.sample_size(20);
+    g.bench_function("measure_one_configuration", |b| {
+        b.iter(|| {
+            dse::measure_config(Platform::RaptorLake, black_box(&spec), &erv, 600.0, 1).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig5_unit(c: &mut Criterion) {
+    print_reduced_tables();
+    let spec = benchmark(Platform::RaptorLake, "ft").unwrap();
+    let sweep = dse::sweep_app(Platform::RaptorLake, &spec, 600.0, 5).unwrap();
+    let mut g = c.benchmark_group("fig5_models");
+    g.sample_size(10);
+    g.bench_function("poly2_cell_one_app", |b| {
+        b.iter(|| {
+            // One (model, size, seed) evaluation over a pre-measured sweep.
+            let xs: Vec<Vec<f64>> = sweep.iter().take(20).map(|p| p.erv.features()).collect();
+            let ys: Vec<f64> = sweep.iter().take(20).map(|p| p.nfc.utility).collect();
+            let mut m = harp_model::PolynomialRegression::new(2);
+            harp_model::Regressor::fit(&mut m, &xs, &ys).unwrap();
+            sweep
+                .iter()
+                .map(|p| harp_model::Regressor::predict(&m, &p.erv.features()))
+                .sum::<f64>()
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig6_unit(c: &mut Criterion) {
+    print_reduced_tables();
+    let sc = Scenario::of(Platform::RaptorLake, &["mg"]);
+    let mut g = c.benchmark_group("fig6_intel");
+    g.sample_size(10);
+    g.bench_function("one_scenario_under_cfs", |b| {
+        b.iter(|| {
+            run_scenario(
+                Platform::RaptorLake,
+                black_box(&sc),
+                ManagerKind::Cfs,
+                &RunOptions::default(),
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig7_unit(c: &mut Criterion) {
+    print_reduced_tables();
+    let sc = Scenario::of(Platform::Odroid, &["mg"]);
+    let mut g = c.benchmark_group("fig7_odroid");
+    g.sample_size(10);
+    g.bench_function("one_scenario_under_eas", |b| {
+        b.iter(|| {
+            run_scenario(
+                Platform::Odroid,
+                black_box(&sc),
+                ManagerKind::Eas,
+                &RunOptions::default(),
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig8_unit(c: &mut Criterion) {
+    print_reduced_tables();
+    let mut g = c.benchmark_group("fig8_learning");
+    g.sample_size(10);
+    let opts = fig8::Fig8Options::reduced();
+    let (sc, multi) = &opts.scenarios[0];
+    g.bench_function("one_learning_study", |b| {
+        b.iter(|| fig8::study_scenario(black_box(sc), *multi, &opts).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_tables_unit(c: &mut Criterion) {
+    print_reduced_tables();
+    let mut g = c.benchmark_group("in_text_tables");
+    g.sample_size(10);
+    let multis = vec![scenarios::intel_multi()[0].clone()];
+    g.bench_function("attribution_one_scenario", |b| {
+        b.iter(|| tables::attribution_mape(black_box(&multis)).unwrap())
+    });
+    let singles = vec![Scenario::of(Platform::RaptorLake, &["primes"])];
+    let overhead_multis = vec![Scenario::of(Platform::RaptorLake, &["is", "primes"])];
+    g.bench_function("overhead_one_pair", |b| {
+        b.iter(|| tables::overhead(black_box(&singles), &overhead_multis, 1).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig1_unit,
+    bench_fig5_unit,
+    bench_fig6_unit,
+    bench_fig7_unit,
+    bench_fig8_unit,
+    bench_tables_unit
+);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Micro-benchmarks of HARP's hot paths: the MMKP allocator (runs on every
+//! application arrival/exit), the wire codec (every RM↔libharp message),
+//! the regression fit (every completed measurement campaign), and the
+//! machine simulator itself (the evaluation substrate).
+//!
+//! Resource management must be "swift and lightweight" (paper §2/§6.6);
+//! these benches quantify that for the reproduction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harp_alloc::{allocate, AllocOption, AllocRequest, SolverKind};
+use harp_model::{PolynomialRegression, Regressor};
+use harp_proto::{Activate, Message};
+use harp_sim::{AppSpec, LaunchOpts, NullManager, SimConfig, Simulation};
+use harp_types::{AppId, ExtResourceVector, OpId};
+use harp_workload::Platform;
+use std::hint::black_box;
+
+fn alloc_requests(n_apps: usize, n_opts: usize) -> Vec<AllocRequest> {
+    let hw = Platform::RaptorLake.hardware();
+    let shape = hw.erv_shape();
+    (0..n_apps)
+        .map(|a| AllocRequest {
+            app: AppId(a as u64 + 1),
+            options: (0..n_opts)
+                .map(|o| {
+                    let p2 = (o % 4) as u32;
+                    let e = ((o * 3) % 8 + 1) as u32;
+                    AllocOption {
+                        op: OpId(o),
+                        cost: 1.0 + ((a * 7 + o * 13) % 29) as f64,
+                        erv: ExtResourceVector::from_flat(&shape, &[0, p2, e])
+                            .expect("grid point"),
+                    }
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+fn bench_allocator(c: &mut Criterion) {
+    let hw = Platform::RaptorLake.hardware();
+    let reqs = alloc_requests(5, 12);
+    let mut group = c.benchmark_group("allocator");
+    group.bench_function("lagrangian_5apps_12opts", |b| {
+        b.iter(|| allocate(black_box(&reqs), &hw, SolverKind::Lagrangian).unwrap())
+    });
+    group.bench_function("greedy_5apps_12opts", |b| {
+        b.iter(|| allocate(black_box(&reqs), &hw, SolverKind::Greedy).unwrap())
+    });
+    let small = alloc_requests(3, 6);
+    group.bench_function("exact_3apps_6opts", |b| {
+        b.iter(|| allocate(black_box(&small), &hw, SolverKind::Exact).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let msg = Message::Activate(Activate {
+        app_id: 42,
+        erv_flat: vec![1, 2, 4],
+        core_ids: (0..24).collect(),
+        parallelism: 9,
+        hw_thread_ids: (0..32).collect(),
+    });
+    let bytes = msg.encode();
+    let mut group = c.benchmark_group("codec");
+    group.bench_function("encode_activate", |b| b.iter(|| black_box(&msg).encode()));
+    group.bench_function("decode_activate", |b| {
+        b.iter(|| Message::decode(black_box(&bytes)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_regression(c: &mut Criterion) {
+    let xs: Vec<Vec<f64>> = (0..25)
+        .map(|i| vec![(i % 3) as f64, (i % 5) as f64, (i % 7) as f64])
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| 3.0 + x[0] * 2.0 + x[1] * x[2])
+        .collect();
+    let mut group = c.benchmark_group("regression");
+    group.bench_function("poly2_fit_25pts", |b| {
+        b.iter(|| {
+            let mut m = PolynomialRegression::new(2);
+            m.fit(black_box(&xs), black_box(&ys)).unwrap();
+            m
+        })
+    });
+    let mut fitted = PolynomialRegression::new(2);
+    fitted.fit(&xs, &ys).unwrap();
+    group.bench_function("poly2_predict", |b| {
+        b.iter(|| fitted.predict(black_box(&[1.0, 2.0, 3.0])))
+    });
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(20);
+    group.bench_function("raptor_lake_single_app_run", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(Platform::RaptorLake.hardware(), SimConfig::default());
+            sim.add_arrival(
+                0,
+                AppSpec::builder("bench", 2)
+                    .total_work(5.0e10)
+                    .iterations(100)
+                    .build()
+                    .unwrap(),
+                LaunchOpts::all_hw_threads(),
+            );
+            sim.run(&mut NullManager).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_allocator,
+    bench_codec,
+    bench_regression,
+    bench_simulator
+);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Regenerates Figure 1: configuration sweeps of `ep.C` and `mg.C` with
+//! Pareto-optimal points. Pass `--reduced` for a quick run.
+fn main() {
+    let reduced = std::env::args().any(|a| a == "--reduced");
+    let horizon = if reduced { 120.0 } else { 600.0 };
+    match harp_bench::fig1::run(horizon) {
+        Ok(table) => print!("{table}"),
+        Err(e) => {
+            eprintln!("fig1_sweep: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerates Figure 5: the regression-model comparison.
+use harp_bench::fig5::{run, Fig5Options};
+fn main() {
+    let reduced = std::env::args().any(|a| a == "--reduced");
+    let opts = if reduced { Fig5Options::reduced() } else { Fig5Options::default() };
+    match run(&opts) {
+        Ok(table) => print!("{table}"),
+        Err(e) => {
+            eprintln!("fig5_models: {e}");
+            std::process::exit(1);
+        }
+    }
+}

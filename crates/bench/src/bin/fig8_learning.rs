@@ -1,0 +1,14 @@
+//! Regenerates Figure 8: behaviour during the learning phase plus
+//! time-to-stable statistics.
+use harp_bench::fig8::{run, Fig8Options};
+fn main() {
+    let reduced = std::env::args().any(|a| a == "--reduced");
+    let opts = if reduced { Fig8Options::reduced() } else { Fig8Options::default() };
+    match run(&opts) {
+        Ok(table) => print!("{table}"),
+        Err(e) => {
+            eprintln!("fig8_learning: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Regenerates the §5.1 energy-attribution validation.
+use harp_bench::tables::attribution_table;
+use harp_workload::scenarios;
+fn main() {
+    let reduced = std::env::args().any(|a| a == "--reduced");
+    let multis = if reduced {
+        scenarios::intel_multi()[..2].to_vec()
+    } else {
+        scenarios::intel_multi()
+    };
+    match attribution_table(&multis) {
+        Ok(table) => print!("{table}"),
+        Err(e) => {
+            eprintln!("tab_attribution: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Regenerates the §6.6 overhead study.
+use harp_bench::tables::overhead_table;
+use harp_workload::scenarios;
+fn main() {
+    let reduced = std::env::args().any(|a| a == "--reduced");
+    let (singles, multis) = if reduced {
+        (
+            scenarios::intel_single()[..3].to_vec(),
+            scenarios::intel_multi()[..2].to_vec(),
+        )
+    } else {
+        (scenarios::intel_single(), scenarios::intel_multi())
+    };
+    match overhead_table(&singles, &multis, if reduced { 1 } else { 3 }) {
+        Ok(table) => print!("{table}"),
+        Err(e) => {
+            eprintln!("tab_overhead: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Figure 1: performance and energy of `ep.C` and `mg.C` across
+//! configurations on the Raptor Lake machine, with the Pareto-optimal
+//! points (objectives: execution time, energy, P-cores, E-cores — all
+//! minimized).
+
+use crate::dse::{sweep_app, SweepPoint};
+use harp_types::pareto::pareto_front_indices;
+use harp_types::Result;
+use harp_workload::{benchmark, Platform};
+
+/// One row of the Fig. 1 dataset.
+#[derive(Debug, Clone)]
+pub struct Fig1Row {
+    /// The measured point.
+    pub point: SweepPoint,
+    /// Whether it is Pareto-optimal under the paper's four objectives.
+    pub pareto: bool,
+}
+
+/// The Fig. 1 dataset of one application.
+#[derive(Debug, Clone)]
+pub struct Fig1Data {
+    /// Application name.
+    pub app: String,
+    /// All measured configurations.
+    pub rows: Vec<Fig1Row>,
+}
+
+impl Fig1Data {
+    /// The Pareto-optimal rows.
+    pub fn front(&self) -> Vec<&Fig1Row> {
+        self.rows.iter().filter(|r| r.pareto).collect()
+    }
+}
+
+/// Sweeps one application and marks its Pareto front.
+///
+/// # Errors
+///
+/// Propagates simulation errors or an unknown benchmark name.
+pub fn sweep(app: &str, horizon_s: f64) -> Result<Fig1Data> {
+    let spec = benchmark(Platform::RaptorLake, app).ok_or_else(|| {
+        harp_types::HarpError::not_found(format!("benchmark '{app}' on Raptor Lake"))
+    })?;
+    let points = sweep_app(Platform::RaptorLake, &spec, horizon_s, 11)?;
+    // Paper objectives: time, energy, #P-cores, #E-cores (all minimized).
+    let objectives: Vec<Vec<f64>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.time_s,
+                p.energy_j,
+                p.erv.cores_of_kind(0) as f64,
+                p.erv.cores_of_kind(1) as f64,
+            ]
+        })
+        .collect();
+    let front: std::collections::HashSet<usize> =
+        pareto_front_indices(&objectives).into_iter().collect();
+    Ok(Fig1Data {
+        app: app.to_string(),
+        rows: points
+            .into_iter()
+            .enumerate()
+            .map(|(i, point)| Fig1Row {
+                point,
+                pareto: front.contains(&i),
+            })
+            .collect(),
+    })
+}
+
+/// Runs the full Fig. 1 experiment (`ep` and `mg`) and renders the paper's
+/// data as a text table.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run(horizon_s: f64) -> Result<String> {
+    let mut out = String::new();
+    out.push_str("Figure 1: configuration sweeps on Intel Raptor Lake i9-13900K\n");
+    out.push_str("(per configuration: execution time, energy; * = Pareto-optimal\n");
+    out.push_str(" under {time, energy, #P-cores, #E-cores} minimization)\n\n");
+    for app in ["ep", "mg"] {
+        let data = sweep(app, horizon_s)?;
+        out.push_str(&format!(
+            "--- {}.C ---  ({} configurations, {} Pareto-optimal)\n",
+            app,
+            data.rows.len(),
+            data.front().len()
+        ));
+        out.push_str("  ERV [P1,P2|E]     time[s]   energy[J]   util[G/s]  power[W]\n");
+        for r in &data.rows {
+            out.push_str(&format!(
+                "  {}{:<14} {:8.2}  {:9.1}   {:8.2}  {:7.2}\n",
+                if r.pareto { "*" } else { " " },
+                r.point.erv.to_string(),
+                r.point.time_s,
+                r.point.energy_j,
+                r.point.nfc.utility / 1e9,
+                r.point.nfc.power,
+            ));
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Checks the paper's qualitative claims on the sweep data; returns a list
+/// of violated claims (empty = all hold).
+pub fn check_claims(ep: &Fig1Data, mg: &Fig1Data) -> Vec<String> {
+    let mut violations = Vec::new();
+    // ep scales: the fastest configuration uses (nearly) the whole machine.
+    let ep_fastest = ep
+        .rows
+        .iter()
+        .min_by(|a, b| a.point.time_s.partial_cmp(&b.point.time_s).unwrap())
+        .unwrap();
+    if ep_fastest.point.erv.total_threads() < 24 {
+        violations.push(format!(
+            "ep's fastest config should use most of the machine, got {}",
+            ep_fastest.point.erv
+        ));
+    }
+    // mg flattens: its fastest config is at most ~35% faster than a
+    // mid-size one, despite using far more resources.
+    let mg_mid = mg
+        .rows
+        .iter()
+        .filter(|r| (6..=10).contains(&r.point.erv.total_threads()))
+        .min_by(|a, b| a.point.time_s.partial_cmp(&b.point.time_s).unwrap());
+    let mg_fastest = mg
+        .rows
+        .iter()
+        .min_by(|a, b| a.point.time_s.partial_cmp(&b.point.time_s).unwrap())
+        .unwrap();
+    if let Some(mid) = mg_mid {
+        if mid.point.time_s > 1.5 * mg_fastest.point.time_s {
+            violations.push(format!(
+                "mg should be bandwidth-saturated: mid-size {}s vs best {}s",
+                mid.point.time_s, mg_fastest.point.time_s
+            ));
+        }
+    }
+    // mg's minimum-energy configuration uses E-cores only.
+    let mg_cheapest = mg
+        .rows
+        .iter()
+        .min_by(|a, b| a.point.energy_j.partial_cmp(&b.point.energy_j).unwrap())
+        .unwrap();
+    if mg_cheapest.point.erv.cores_of_kind(0) > 0 {
+        violations.push(format!(
+            "mg's min-energy config should be E-core-only, got {}",
+            mg_cheapest.point.erv
+        ));
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_claims_hold_on_reduced_sweep() {
+        let ep = sweep("ep", 600.0).unwrap();
+        let mg = sweep("mg", 600.0).unwrap();
+        assert!(!ep.front().is_empty());
+        assert!(!mg.front().is_empty());
+        let violations = check_claims(&ep, &mg);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+}

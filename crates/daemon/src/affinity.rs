@@ -1,0 +1,97 @@
+//! Real CPU-affinity actuation (`sched_setaffinity`), the primitive the
+//! HARP RM uses to pin applications to their granted hardware threads.
+
+use harp_types::{HarpError, HwThreadId, Result};
+
+/// Pins the *calling thread* to the given hardware threads (logical CPUs).
+///
+/// # Errors
+///
+/// Returns [`HarpError::Other`] for an empty set and [`HarpError::Io`] if
+/// the kernel rejects the mask (e.g. offline CPUs).
+#[cfg(target_os = "linux")]
+pub fn pin_current_thread(threads: &[HwThreadId]) -> Result<()> {
+    if threads.is_empty() {
+        return Err(HarpError::other("cannot pin to an empty CPU set"));
+    }
+    // SAFETY: CPU_ZERO/CPU_SET initialize and populate a plain bitmask on
+    // a fully owned, zero-initialized cpu_set_t; sched_setaffinity reads it.
+    unsafe {
+        let mut set: libc::cpu_set_t = std::mem::zeroed();
+        libc::CPU_ZERO(&mut set);
+        for t in threads {
+            if t.0 >= libc::CPU_SETSIZE as usize {
+                return Err(HarpError::other(format!("cpu {} out of range", t.0)));
+            }
+            libc::CPU_SET(t.0, &mut set);
+        }
+        let rc = libc::sched_setaffinity(0, std::mem::size_of::<libc::cpu_set_t>(), &set);
+        if rc != 0 {
+            return Err(std::io::Error::last_os_error().into());
+        }
+    }
+    Ok(())
+}
+
+/// Returns the calling thread's current affinity set.
+///
+/// # Errors
+///
+/// Returns [`HarpError::Io`] if the kernel call fails.
+#[cfg(target_os = "linux")]
+pub fn current_affinity() -> Result<Vec<HwThreadId>> {
+    // SAFETY: sched_getaffinity writes into an owned cpu_set_t.
+    unsafe {
+        let mut set: libc::cpu_set_t = std::mem::zeroed();
+        let rc = libc::sched_getaffinity(0, std::mem::size_of::<libc::cpu_set_t>(), &mut set);
+        if rc != 0 {
+            return Err(std::io::Error::last_os_error().into());
+        }
+        Ok((0..libc::CPU_SETSIZE as usize)
+            .filter(|&i| libc::CPU_ISSET(i, &set))
+            .map(HwThreadId)
+            .collect())
+    }
+}
+
+/// Non-Linux stub: affinity is not supported.
+#[cfg(not(target_os = "linux"))]
+pub fn pin_current_thread(_threads: &[HwThreadId]) -> Result<()> {
+    Err(HarpError::other("affinity requires Linux"))
+}
+
+/// Non-Linux stub: affinity is not supported.
+#[cfg(not(target_os = "linux"))]
+pub fn current_affinity() -> Result<Vec<HwThreadId>> {
+    Err(HarpError::other("affinity requires Linux"))
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_and_read_back() {
+        let original = current_affinity().unwrap();
+        assert!(!original.is_empty());
+        // Pin to the first currently-allowed CPU only.
+        let target = original[0];
+        std::thread::spawn(move || {
+            pin_current_thread(&[target]).unwrap();
+            let now = current_affinity().unwrap();
+            assert_eq!(now, vec![target]);
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn empty_set_is_rejected() {
+        assert!(pin_current_thread(&[]).is_err());
+    }
+
+    #[test]
+    fn out_of_range_cpu_is_rejected() {
+        assert!(pin_current_thread(&[HwThreadId(100_000)]).is_err());
+    }
+}

@@ -1,0 +1,84 @@
+//! `harpd` — the HARP resource-manager daemon.
+//!
+//! ```text
+//! harpd --socket /tmp/harp.sock [--hw raptor-lake|odroid|<file.json>]
+//!       [--profile <name>=<description.json>]...
+//! ```
+//!
+//! Runs until interrupted. Applications connect through libharp with the
+//! Unix-socket transport (`harp_daemon::UnixTransport`).
+
+use harp_daemon::{DaemonConfig, HarpDaemon};
+use harp_platform::HardwareDescription;
+use libharp::description::AppDescription;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: harpd --socket <path> [--hw raptor-lake|odroid|<file.json>] \
+         [--profile <name>=<description.json>]..."
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut socket = None;
+    let mut hw = HardwareDescription::raptor_lake();
+    let mut profiles: Vec<(String, String)> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--socket" => match args.next() {
+                Some(p) => socket = Some(p),
+                None => return usage(),
+            },
+            "--hw" => match args.next().as_deref() {
+                Some("raptor-lake") => hw = HardwareDescription::raptor_lake(),
+                Some("odroid") => hw = HardwareDescription::odroid_xu3(),
+                Some(path) => match HardwareDescription::load(path) {
+                    Ok(h) => hw = h,
+                    Err(e) => {
+                        eprintln!("harpd: cannot load hardware description: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => return usage(),
+            },
+            "--profile" => match args.next() {
+                Some(spec) => match spec.split_once('=') {
+                    Some((name, path)) => profiles.push((name.to_string(), path.to_string())),
+                    None => return usage(),
+                },
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let Some(socket) = socket else {
+        return usage();
+    };
+
+    let daemon = match HarpDaemon::start(DaemonConfig::new(&socket, hw)) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("harpd: cannot start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for (name, path) in profiles {
+        match AppDescription::load(&path).and_then(|d| d.to_points()) {
+            Ok(points) => {
+                println!("harpd: loaded profile '{name}' from {path}");
+                daemon.load_profile(&name, points);
+            }
+            Err(e) => {
+                eprintln!("harpd: skipping profile '{name}': {e}");
+            }
+        }
+    }
+    println!("harpd: listening on {socket}");
+    // Serve until the process is killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,117 @@
+//! Client-side Unix-socket transport for libharp.
+
+use harp_proto::frame;
+use harp_proto::Message;
+use harp_types::{HarpError, Result};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::sync::mpsc;
+
+/// A [`libharp::Transport`] over a Unix domain socket.
+///
+/// A dedicated reader thread decodes incoming frames into a channel, so
+/// [`libharp::Transport::try_recv`] is non-blocking without ever tearing a
+/// partially-read frame.
+#[derive(Debug)]
+pub struct UnixTransport {
+    write: UnixStream,
+    rx: mpsc::Receiver<Message>,
+}
+
+impl UnixTransport {
+    /// Connects to a HARP daemon socket.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarpError::Io`] if the socket cannot be reached.
+    pub fn connect(path: impl AsRef<Path>) -> Result<Self> {
+        let stream = UnixStream::connect(path)?;
+        Self::from_stream(stream)
+    }
+
+    /// Wraps an already-connected stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarpError::Io`] if the stream cannot be cloned for the
+    /// reader thread.
+    pub fn from_stream(stream: UnixStream) -> Result<Self> {
+        let read = stream.try_clone()?;
+        let (tx, rx) = mpsc::channel();
+        std::thread::Builder::new()
+            .name("harp-client-reader".into())
+            .spawn(move || {
+                let mut read = read;
+                loop {
+                    match frame::read_frame(&mut read) {
+                        Ok(Some(msg)) => {
+                            if tx.send(msg).is_err() {
+                                return;
+                            }
+                        }
+                        Ok(None) | Err(_) => return,
+                    }
+                }
+            })
+            .expect("spawning reader thread");
+        Ok(UnixTransport { write: stream, rx })
+    }
+}
+
+impl libharp::Transport for UnixTransport {
+    fn send(&mut self, msg: &Message) -> Result<()> {
+        frame::write_frame(&mut self.write, msg)
+    }
+
+    fn recv(&mut self) -> Result<Message> {
+        self.rx
+            .recv()
+            .map_err(|_| HarpError::protocol("daemon connection closed"))
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Message>> {
+        match self.rx.try_recv() {
+            Ok(m) => Ok(Some(m)),
+            Err(mpsc::TryRecvError::Empty) => Ok(None),
+            Err(mpsc::TryRecvError::Disconnected) => {
+                Err(HarpError::protocol("daemon connection closed"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use libharp::Transport as _;
+
+    #[test]
+    fn socketpair_round_trip() {
+        let (a, b) = UnixStream::pair().unwrap();
+        let mut ta = UnixTransport::from_stream(a).unwrap();
+        let mut tb = UnixTransport::from_stream(b).unwrap();
+        ta.send(&Message::Exit { app_id: 5 }).unwrap();
+        assert_eq!(tb.recv().unwrap(), Message::Exit { app_id: 5 });
+        assert_eq!(tb.try_recv().unwrap(), None);
+        tb.send(&Message::Exit { app_id: 6 }).unwrap();
+        // Give the reader thread a moment.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        loop {
+            if let Some(m) = ta.try_recv().unwrap() {
+                assert_eq!(m, Message::Exit { app_id: 6 });
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "timed out");
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn closed_peer_is_an_error() {
+        let (a, b) = UnixStream::pair().unwrap();
+        let mut ta = UnixTransport::from_stream(a).unwrap();
+        drop(b);
+        // recv drains EOF -> error.
+        assert!(ta.recv().is_err());
+    }
+}

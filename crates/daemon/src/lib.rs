@@ -1,0 +1,42 @@
+//! The real middleware path: the HARP RM as a Unix-socket daemon.
+//!
+//! The evaluation harness drives the RM inside the machine simulator
+//! (`harp-sched`), but HARP is a *Linux-integrated* framework (paper §4.3:
+//! a central user-space resource manager alongside systemd-style services).
+//! This crate provides that deployment shape:
+//!
+//! * [`HarpDaemon`] — accepts libharp connections on a Unix domain socket,
+//!   speaks the `harp-proto` frame protocol, runs the shared [`harp_rm::RmCore`] and
+//!   pushes operating-point activations to all affected applications.
+//! * [`UnixTransport`] — the client-side [`libharp::Transport`] over a
+//!   `UnixStream` (a reader thread decodes frames into a channel, so
+//!   non-blocking polls never tear frames).
+//! * [`affinity`] — real `sched_setaffinity` actuation for worker threads.
+//!
+//! Online perf/RAPL monitoring is hardware-specific; the daemon therefore
+//! runs the RM in *offline* mode by default (allocation from description
+//! files), which is exactly how the paper operates on machines without
+//! usable counters (§6.4). The full online loop is exercised against the
+//! simulated machine in `harp-sched`.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use harp_daemon::{DaemonConfig, HarpDaemon};
+//! use harp_platform::HardwareDescription;
+//!
+//! let cfg = DaemonConfig::new("/tmp/harp.sock", HardwareDescription::raptor_lake());
+//! let daemon = HarpDaemon::start(cfg)?;
+//! // ... clients connect via libharp + UnixTransport ...
+//! daemon.shutdown();
+//! # Ok::<(), harp_types::HarpError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod affinity;
+mod client;
+mod server;
+
+pub use client::UnixTransport;
+pub use server::{DaemonConfig, DaemonHandle, HarpDaemon};

@@ -1,0 +1,347 @@
+//! The `harpd` server: RM core behind a Unix domain socket.
+
+use harp_platform::HardwareDescription;
+use harp_proto::frame;
+use harp_proto::{Activate, ErrorMsg, Message, RegisterAck};
+use harp_rm::{Directive, RmConfig, RmCore, RmOutput};
+use harp_types::{AppId, ErvShape, ExtResourceVector, NonFunctional, Result};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Path of the Unix socket to listen on.
+    pub socket_path: PathBuf,
+    /// The machine description (normally loaded from `/etc/harp`).
+    pub hw: HardwareDescription,
+    /// RM configuration. Defaults to *offline* mode — see the
+    /// [crate docs](crate) for why the daemon does not monitor counters.
+    pub rm: RmConfig,
+}
+
+impl DaemonConfig {
+    /// Creates a configuration with offline-mode RM defaults.
+    pub fn new(socket_path: impl AsRef<Path>, hw: HardwareDescription) -> Self {
+        let mut rm = RmConfig::default();
+        rm.offline = true;
+        DaemonConfig {
+            socket_path: socket_path.as_ref().to_path_buf(),
+            hw,
+            rm,
+        }
+    }
+}
+
+struct Shared {
+    rm: Mutex<RmCore>,
+    /// Write-sides of connected applications, for pushing activations.
+    streams: Mutex<HashMap<AppId, UnixStream>>,
+    shape: ErvShape,
+    next_id: AtomicU64,
+    stop: AtomicBool,
+}
+
+impl Shared {
+    /// Relays the RM output to every affected application.
+    fn route(&self, out: &RmOutput) {
+        let streams = self.streams.lock();
+        for d in &out.directives {
+            if let Some(stream) = streams.get(&d.app) {
+                let mut stream = stream;
+                let _ = frame::write_frame(&mut stream, &directive_to_activate(d));
+            }
+        }
+    }
+}
+
+fn directive_to_activate(d: &Directive) -> Message {
+    Message::Activate(Activate {
+        app_id: d.app.raw(),
+        erv_flat: d.erv.flat(),
+        core_ids: d.cores.iter().map(|c| c.0 as u32).collect(),
+        parallelism: d.parallelism,
+        hw_thread_ids: d.hw_threads.iter().map(|t| t.0 as u32).collect(),
+    })
+}
+
+/// The HARP daemon (see [crate docs](crate)).
+#[derive(Debug)]
+pub struct HarpDaemon;
+
+/// Handle of a running daemon; dropping it does *not* stop the daemon —
+/// call [`DaemonHandle::shutdown`].
+pub struct DaemonHandle {
+    shared: Arc<Shared>,
+    socket_path: PathBuf,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for DaemonHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DaemonHandle")
+            .field("socket", &self.socket_path)
+            .finish()
+    }
+}
+
+impl HarpDaemon {
+    /// Starts the daemon: binds the socket and spawns the accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`harp_types::HarpError::Io`] if the socket cannot be bound.
+    pub fn start(cfg: DaemonConfig) -> Result<DaemonHandle> {
+        let _ = std::fs::remove_file(&cfg.socket_path);
+        let listener = UnixListener::bind(&cfg.socket_path)?;
+        let shape = cfg.hw.erv_shape();
+        let shared = Arc::new(Shared {
+            rm: Mutex::new(RmCore::new(cfg.hw.clone(), cfg.rm.clone())),
+            streams: Mutex::new(HashMap::new()),
+            shape,
+            next_id: AtomicU64::new(1),
+            stop: AtomicBool::new(false),
+        });
+        let accept_shared = shared.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("harpd-accept".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if accept_shared.stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    match conn {
+                        Ok(stream) => {
+                            let shared = accept_shared.clone();
+                            let _ = std::thread::Builder::new()
+                                .name("harpd-conn".into())
+                                .spawn(move || handle_connection(shared, stream));
+                        }
+                        Err(_) => return,
+                    }
+                }
+            })
+            .expect("spawning accept thread");
+        Ok(DaemonHandle {
+            shared,
+            socket_path: cfg.socket_path,
+            accept_thread: Some(accept_thread),
+        })
+    }
+}
+
+impl DaemonHandle {
+    /// The socket path clients connect to.
+    pub fn socket_path(&self) -> &Path {
+        &self.socket_path
+    }
+
+    /// Preloads an operating-point profile into the RM (description files).
+    pub fn load_profile(
+        &self,
+        name: &str,
+        points: Vec<(ExtResourceVector, NonFunctional)>,
+    ) {
+        self.shared
+            .rm
+            .lock()
+            .load_profile(name, harp_rm::table_from_points(points));
+    }
+
+    /// Stops the daemon and removes the socket file.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a dummy connection.
+        let _ = UnixStream::connect(&self.socket_path);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let _ = std::fs::remove_file(&self.socket_path);
+    }
+}
+
+fn handle_connection(shared: Arc<Shared>, stream: UnixStream) {
+    let mut read = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut app: Option<AppId> = None;
+    loop {
+        let msg = match frame::read_frame(&mut read) {
+            Ok(Some(m)) => m,
+            Ok(None) | Err(_) => break,
+        };
+        match msg {
+            Message::Register(reg) => {
+                let id = AppId(shared.next_id.fetch_add(1, Ordering::SeqCst));
+                app = Some(id);
+                // Make the stream routable before the allocation round so
+                // this app receives its own activation.
+                if let Ok(clone) = stream.try_clone() {
+                    shared.streams.lock().insert(id, clone);
+                }
+                let result = shared
+                    .rm
+                    .lock()
+                    .register(id, &reg.app_name, reg.provides_utility);
+                let mut write = &stream;
+                match result {
+                    Ok(out) => {
+                        let _ = frame::write_frame(
+                            &mut write,
+                            &Message::RegisterAck(RegisterAck { app_id: id.raw() }),
+                        );
+                        shared.route(&out);
+                    }
+                    Err(e) => {
+                        let _ = frame::write_frame(
+                            &mut write,
+                            &Message::Error(ErrorMsg {
+                                code: 1,
+                                detail: e.to_string(),
+                            }),
+                        );
+                    }
+                }
+            }
+            Message::SubmitPoints(sp) => {
+                let Some(id) = app else { continue };
+                let mut points = Vec::new();
+                for p in &sp.points {
+                    if let Ok(erv) = ExtResourceVector::from_flat(&shared.shape, &p.erv_flat) {
+                        points.push((erv, NonFunctional::new(p.utility, p.power)));
+                    }
+                }
+                if let Ok(out) = shared.rm.lock().submit_points(id, points) {
+                    shared.route(&out);
+                }
+            }
+            Message::UtilityReport(_) => {
+                // Collected for future online monitoring; the daemon's RM
+                // runs offline (see crate docs).
+            }
+            Message::Exit { .. } => break,
+            _ => {}
+        }
+    }
+    if let Some(id) = app {
+        shared.streams.lock().remove(&id);
+        if let Ok(out) = shared.rm.lock().deregister(id) {
+            shared.route(&out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UnixTransport;
+    use harp_proto::AdaptivityType;
+    use libharp::{HarpSession, SessionConfig};
+
+    fn temp_socket(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("harp-test-{}-{tag}.sock", std::process::id()))
+    }
+
+    fn points(shape: &ErvShape) -> Vec<(ExtResourceVector, NonFunctional)> {
+        vec![
+            (
+                ExtResourceVector::from_flat(shape, &[0, 4, 0]).unwrap(),
+                NonFunctional::new(3.0e10, 40.0),
+            ),
+            (
+                ExtResourceVector::from_flat(shape, &[0, 0, 8]).unwrap(),
+                NonFunctional::new(2.5e10, 15.0),
+            ),
+        ]
+    }
+
+    #[test]
+    fn end_to_end_register_activate_exit() {
+        let hw = HardwareDescription::raptor_lake();
+        let shape = hw.erv_shape();
+        let socket = temp_socket("e2e");
+        let daemon = HarpDaemon::start(DaemonConfig::new(&socket, hw)).unwrap();
+
+        let transport = UnixTransport::connect(&socket).unwrap();
+        let cfg = SessionConfig::new("mg", AdaptivityType::Scalable)
+            .with_points(vec![2, 1], points(&shape));
+        let mut session = HarpSession::connect(transport, cfg).unwrap();
+        assert!(session.app_id() >= 1);
+
+        // Registration grants a provisional whole-machine envelope; the
+        // submitted points then trigger a re-allocation whose activation
+        // selects the efficient 8-E-core point. Wait for that final state.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            session.poll(|| 0.0).unwrap();
+            if let Some(act) = session.allocation().current() {
+                if act.parallelism == 8 {
+                    assert_eq!(act.hw_threads.len(), 8);
+                    break;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "8-thread activation never arrived (last: {:?})",
+                session.allocation().current()
+            );
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        session.exit().unwrap();
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn two_clients_get_disjoint_threads() {
+        let hw = HardwareDescription::raptor_lake();
+        let shape = hw.erv_shape();
+        let socket = temp_socket("two");
+        let daemon = HarpDaemon::start(DaemonConfig::new(&socket, hw)).unwrap();
+        daemon.load_profile("a", points(&shape));
+        daemon.load_profile("b", points(&shape));
+
+        let mut s1 = HarpSession::connect(
+            UnixTransport::connect(&socket).unwrap(),
+            SessionConfig::new("a", AdaptivityType::Scalable),
+        )
+        .unwrap();
+        let mut s2 = HarpSession::connect(
+            UnixTransport::connect(&socket).unwrap(),
+            SessionConfig::new("b", AdaptivityType::Scalable),
+        )
+        .unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            s1.poll(|| 0.0).unwrap();
+            s2.poll(|| 0.0).unwrap();
+            if let (Some(a1), Some(a2)) =
+                (s1.allocation().current(), s2.allocation().current())
+            {
+                let overlap = a1.hw_threads.iter().any(|t| a2.hw_threads.contains(t));
+                assert!(!overlap, "thread grants overlap: {a1:?} vs {a2:?}");
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "no activations");
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        s1.exit().unwrap();
+        s2.exit().unwrap();
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn shutdown_removes_socket() {
+        let socket = temp_socket("down");
+        let daemon =
+            HarpDaemon::start(DaemonConfig::new(&socket, HardwareDescription::odroid_xu3()))
+                .unwrap();
+        assert!(socket.exists());
+        daemon.shutdown();
+        assert!(!socket.exists());
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests on energy attribution: conservation (everything measured
+//! is distributed, nothing more), proportionality, and γ-weighting.
+
+use harp_energy::EnergyAttributor;
+use harp_platform::presets;
+use harp_types::AppId;
+use proptest::prelude::*;
+
+fn arb_interval() -> impl Strategy<Value = (f64, f64, Vec<(AppId, Vec<f64>)>)> {
+    (
+        0.01f64..1.0,
+        0.0f64..100.0,
+        proptest::collection::vec(
+            (proptest::collection::vec(0.0f64..2.0, 2..=2),),
+            1..5,
+        ),
+    )
+        .prop_map(|(dt, dynamic, apps)| {
+            let apps = apps
+                .into_iter()
+                .enumerate()
+                .map(|(i, (times,))| (AppId(i as u64 + 1), times))
+                .collect();
+            (dt, dynamic, apps)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn full_mode_distributes_everything((dt, extra, apps) in arb_interval()) {
+        let hw = presets::raptor_lake();
+        let mut att = EnergyAttributor::new(&hw);
+        let delta = att.idle_power() * dt + extra;
+        att.update(dt, delta, &apps);
+        let busy: f64 = apps.iter().flat_map(|(_, t)| t.iter()).sum();
+        let distributed: f64 = apps
+            .iter()
+            .map(|(a, _)| att.attributed_energy(*a))
+            .sum();
+        if busy > 0.0 {
+            prop_assert!((distributed - delta).abs() < 1e-9,
+                "distributed {distributed} of {delta}");
+        } else {
+            prop_assert_eq!(distributed, 0.0);
+        }
+    }
+
+    #[test]
+    fn dynamic_mode_never_exceeds_dynamic_energy((dt, extra, apps) in arb_interval()) {
+        let hw = presets::raptor_lake();
+        let mut att = EnergyAttributor::dynamic_only(&hw);
+        let delta = att.idle_power() * dt + extra;
+        att.update(dt, delta, &apps);
+        let distributed: f64 = apps
+            .iter()
+            .map(|(a, _)| att.attributed_energy(*a))
+            .sum();
+        prop_assert!(distributed <= extra + 1e-9);
+        prop_assert!(distributed >= 0.0);
+    }
+
+    #[test]
+    fn attribution_is_monotone_in_cpu_time(
+        (dt, extra, mut apps) in arb_interval(),
+        boost in 1.1f64..3.0
+    ) {
+        prop_assume!(apps.len() >= 2);
+        // Give app 1 strictly more CPU time on every kind than app 2.
+        let base = apps[1].1.clone();
+        apps[0].1 = base.iter().map(|t| t * boost + 0.01).collect();
+        let hw = presets::raptor_lake();
+        let mut att = EnergyAttributor::new(&hw);
+        att.update(dt, att.idle_power() * dt + extra, &apps);
+        prop_assert!(
+            att.attributed_energy(apps[0].0) >= att.attributed_energy(apps[1].0) - 1e-12
+        );
+    }
+
+    #[test]
+    fn gamma_weighting_charges_fast_cores_more(dt in 0.01f64..1.0, t in 0.01f64..2.0, e in 0.1f64..50.0) {
+        let hw = presets::raptor_lake();
+        let mut att = EnergyAttributor::new(&hw);
+        let apps = vec![
+            (AppId(1), vec![t, 0.0]), // P-cores only
+            (AppId(2), vec![0.0, t]), // E-cores only
+        ];
+        att.update(dt, e, &apps);
+        let gamma = att.coefficient(0);
+        let p = att.attributed_energy(AppId(1));
+        let q = att.attributed_energy(AppId(2));
+        prop_assert!((p / q - gamma).abs() < 1e-6, "ratio {} vs gamma {gamma}", p / q);
+    }
+}

@@ -1,0 +1,98 @@
+//! libharp — the application-side HARP library (paper §4.1).
+//!
+//! Each managed application runs one libharp instance that talks to the
+//! HARP RM over the `harp-proto` message protocol. libharp handles:
+//!
+//! * **Registration** (§4.1.1): connecting to the RM, announcing the
+//!   application's adaptivity type and whether it provides its own utility
+//!   metric, and submitting operating points from a description file.
+//! * **Operating-point activation**: receiving the RM's allocation
+//!   decisions and adapting the application — adjusting the parallelization
+//!   degree of the built-in [`MalleableRuntime`] (the OpenMP/TBB team-size
+//!   hook of §4.1.3) and invoking custom-adaptivity callbacks.
+//! * **Utility feedback** (§4.1.1 step 4): answering the RM's periodic
+//!   utility polls from an application-supplied metric.
+//!
+//! The transport is pluggable ([`Transport`]): tests and in-process demos
+//! use [`harp_proto::duplex`]; `harp-daemon` provides the Unix-socket
+//! transport of the real middleware path.
+//!
+//! # Example
+//!
+//! ```
+//! use harp_proto::{duplex, AdaptivityType, Message, RegisterAck};
+//! use libharp::{HarpSession, SessionConfig};
+//!
+//! let (app_side, rm_side) = duplex();
+//! // A minimal RM: ack the registration with id 7.
+//! std::thread::spawn(move || {
+//!     let msg = rm_side.recv().unwrap();
+//!     assert!(matches!(msg, Message::Register(_)));
+//!     rm_side
+//!         .send(&Message::RegisterAck(RegisterAck { app_id: 7 }))
+//!         .unwrap();
+//!     // Keep the endpoint alive until the app has finished its handshake.
+//!     let _ = rm_side.recv();
+//! });
+//! let session = HarpSession::connect(
+//!     app_side,
+//!     SessionConfig::new("demo", AdaptivityType::Scalable),
+//! )?;
+//! assert_eq!(session.app_id(), 7);
+//! # Ok::<(), harp_types::HarpError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod description;
+mod runtime;
+mod session;
+
+pub use runtime::MalleableRuntime;
+pub use session::{Activation, AllocationHandle, HarpSession, SessionConfig};
+
+use harp_proto::Message;
+use harp_types::Result;
+
+/// A bidirectional message transport to the RM.
+///
+/// Implemented for the in-process [`harp_proto::DuplexEndpoint`]; the
+/// daemon crate implements it over Unix sockets.
+pub trait Transport {
+    /// Sends one message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`harp_types::HarpError::Protocol`] or
+    /// [`harp_types::HarpError::Io`] on transport failure.
+    fn send(&mut self, msg: &Message) -> Result<()>;
+
+    /// Receives the next message, blocking until one arrives.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Transport::send`].
+    fn recv(&mut self) -> Result<Message>;
+
+    /// Receives a message if one is immediately available.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Transport::send`].
+    fn try_recv(&mut self) -> Result<Option<Message>>;
+}
+
+impl Transport for harp_proto::DuplexEndpoint {
+    fn send(&mut self, msg: &Message) -> Result<()> {
+        harp_proto::DuplexEndpoint::send(self, msg)
+    }
+
+    fn recv(&mut self) -> Result<Message> {
+        harp_proto::DuplexEndpoint::recv(self)
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Message>> {
+        harp_proto::DuplexEndpoint::try_recv(self)
+    }
+}

@@ -1,0 +1,159 @@
+//! The malleable fork-join runtime with the HARP team-size hook.
+//!
+//! This is the in-repo counterpart of the paper's OpenMP/TBB integration
+//! (§4.1.3): at *every parallel-region entry* the runtime consults the
+//! RM-controlled [`AllocationHandle`] and sizes the worker team to the
+//! current parallelization degree — turning a moldable application into a
+//! malleable one. (In the paper this is done by hooking `GOMP_parallel` and
+//! clamping `num_threads`; here the runtime is ours, so the hook is simply
+//! part of region entry.)
+
+use crate::session::AllocationHandle;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fork-join runtime whose parallelism follows the HARP allocation.
+///
+/// # Example
+///
+/// ```
+/// use libharp::{AllocationHandle, MalleableRuntime};
+///
+/// let handle = AllocationHandle::new();
+/// let rt = MalleableRuntime::new(handle, 4);
+/// let data: Vec<u64> = (0..1000).collect();
+/// let sum: u64 = rt.parallel_sum(&data, |&x| x);
+/// assert_eq!(sum, 999 * 1000 / 2);
+/// ```
+#[derive(Debug)]
+pub struct MalleableRuntime {
+    handle: AllocationHandle,
+    default_team: u32,
+    regions_entered: AtomicUsize,
+}
+
+impl MalleableRuntime {
+    /// Creates a runtime. `default_team` plays the role of
+    /// `OMP_NUM_THREADS`: the team size used before any RM activation
+    /// arrives.
+    pub fn new(handle: AllocationHandle, default_team: u32) -> Self {
+        MalleableRuntime {
+            handle,
+            default_team: default_team.max(1),
+            regions_entered: AtomicUsize::new(0),
+        }
+    }
+
+    /// The team size the *next* parallel region will use — the value of the
+    /// team-size hook right now.
+    pub fn current_team(&self) -> u32 {
+        self.handle.parallelism_or(self.default_team)
+    }
+
+    /// Number of parallel regions entered so far (a progress proxy usable
+    /// as an application-specific utility metric).
+    pub fn regions_entered(&self) -> usize {
+        self.regions_entered.load(Ordering::Relaxed)
+    }
+
+    /// Runs `body(worker_index, worker_count)` on a freshly sized team —
+    /// the equivalent of an OpenMP `parallel` region. Returns the
+    /// per-worker results in worker order.
+    pub fn parallel_region<R: Send>(&self, body: impl Fn(usize, usize) -> R + Sync) -> Vec<R> {
+        let team = self.current_team() as usize;
+        self.regions_entered.fetch_add(1, Ordering::Relaxed);
+        if team <= 1 {
+            return vec![body(0, 1)];
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..team)
+                .map(|rank| {
+                    let body = &body;
+                    scope.spawn(move || body(rank, team))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        })
+    }
+
+    /// Parallel map-reduce over a slice (an OpenMP `parallel for` with a
+    /// `reduction(+)` clause): each worker folds its contiguous chunk.
+    pub fn parallel_sum<T: Sync, V: Send + std::iter::Sum<V>>(
+        &self,
+        items: &[T],
+        f: impl Fn(&T) -> V + Sync,
+    ) -> V {
+        let results = self.parallel_region(|rank, team| {
+            let chunk = items.len().div_ceil(team);
+            let start = (rank * chunk).min(items.len());
+            let end = ((rank + 1) * chunk).min(items.len());
+            items[start..end].iter().map(&f).sum::<V>()
+        });
+        results.into_iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::Activation;
+
+    fn handle_with_parallelism(n: u32) -> AllocationHandle {
+        let h = AllocationHandle::new();
+        h.store(Activation {
+            erv_flat: vec![n],
+            hw_threads: Vec::new(),
+            parallelism: n,
+        });
+        h
+    }
+
+    #[test]
+    fn default_team_before_activation() {
+        let rt = MalleableRuntime::new(AllocationHandle::new(), 6);
+        assert_eq!(rt.current_team(), 6);
+    }
+
+    #[test]
+    fn team_follows_activation() {
+        let rt = MalleableRuntime::new(handle_with_parallelism(3), 8);
+        assert_eq!(rt.current_team(), 3);
+        let results = rt.parallel_region(|rank, team| (rank, team));
+        assert_eq!(results.len(), 3);
+        assert!(results.iter().all(|&(_, t)| t == 3));
+        assert_eq!(rt.regions_entered(), 1);
+    }
+
+    #[test]
+    fn parallel_sum_is_correct_for_any_team() {
+        let data: Vec<u64> = (0..10_001).collect();
+        let expect: u64 = data.iter().sum();
+        for team in [1u32, 2, 3, 7, 16] {
+            let rt = MalleableRuntime::new(handle_with_parallelism(team), 1);
+            let got: u64 = rt.parallel_sum(&data, |&x| x);
+            assert_eq!(got, expect, "team {team}");
+        }
+    }
+
+    #[test]
+    fn empty_input_sums_to_zero() {
+        let rt = MalleableRuntime::new(AllocationHandle::new(), 4);
+        let got: u64 = rt.parallel_sum(&[] as &[u64], |&x| x);
+        assert_eq!(got, 0);
+    }
+
+    #[test]
+    fn resize_between_regions() {
+        let h = AllocationHandle::new();
+        let rt = MalleableRuntime::new(h.clone(), 2);
+        assert_eq!(rt.parallel_region(|_, t| t)[0], 2);
+        h.store(Activation {
+            erv_flat: vec![],
+            hw_threads: Vec::new(),
+            parallelism: 5,
+        });
+        assert_eq!(rt.parallel_region(|_, t| t)[0], 5);
+    }
+}

@@ -1,0 +1,432 @@
+//! The RM session: registration handshake, activation handling, utility
+//! feedback.
+
+use crate::Transport;
+use harp_proto::{
+    Activate, AdaptivityType, Message, Register, SubmitPoints, UtilityReport, WirePoint,
+};
+use harp_types::{ExtResourceVector, HarpError, HwThreadId, NonFunctional, Result};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// An operating-point activation as delivered to the application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Activation {
+    /// The activated extended resource vector (flattened form as received).
+    pub erv_flat: Vec<u32>,
+    /// Concrete hardware threads granted.
+    pub hw_threads: Vec<HwThreadId>,
+    /// The parallelization degree the application should adopt.
+    pub parallelism: u32,
+}
+
+/// Shared view of the most recent activation — the link between the session
+/// and the [`MalleableRuntime`](crate::MalleableRuntime) (and any custom
+/// adaptivity code).
+#[derive(Debug, Clone, Default)]
+pub struct AllocationHandle {
+    inner: Arc<RwLock<Option<Activation>>>,
+}
+
+impl AllocationHandle {
+    /// Creates an empty handle (no allocation received yet).
+    pub fn new() -> Self {
+        AllocationHandle::default()
+    }
+
+    /// The current activation, if any.
+    pub fn current(&self) -> Option<Activation> {
+        self.inner.read().clone()
+    }
+
+    /// The current parallelization degree (defaults to `fallback` before
+    /// the first activation) — what the team-size hook reads at every
+    /// parallel-region entry.
+    pub fn parallelism_or(&self, fallback: u32) -> u32 {
+        self.inner
+            .read()
+            .as_ref()
+            .map(|a| a.parallelism.max(1))
+            .unwrap_or(fallback)
+    }
+
+    /// Stores an activation. Normally the session does this when an
+    /// `Activate` message arrives; it is public so custom frontends (and
+    /// tests) can drive a runtime directly.
+    pub fn store(&self, a: Activation) {
+        *self.inner.write() = Some(a);
+    }
+}
+
+/// Session configuration: what the application announces at registration.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Application name (profiles are keyed by it on the RM side).
+    pub name: String,
+    /// Adaptivity classification (§4.1.3).
+    pub adaptivity: AdaptivityType,
+    /// Whether the application will answer utility polls.
+    pub provides_utility: bool,
+    /// Operating points from the application description file, submitted
+    /// right after registration (§4.1.1 step 2).
+    pub points: Vec<(ExtResourceVector, NonFunctional)>,
+    /// Per-kind SMT widths describing the points' vector shape.
+    pub smt_widths: Vec<u32>,
+    /// Process id announced to the RM.
+    pub pid: u64,
+}
+
+impl SessionConfig {
+    /// Minimal configuration: a name and an adaptivity type.
+    pub fn new(name: impl Into<String>, adaptivity: AdaptivityType) -> Self {
+        SessionConfig {
+            name: name.into(),
+            adaptivity,
+            provides_utility: false,
+            points: Vec::new(),
+            smt_widths: Vec::new(),
+            pid: std::process::id() as u64,
+        }
+    }
+
+    /// Announces utility feedback support.
+    pub fn with_utility(mut self) -> Self {
+        self.provides_utility = true;
+        self
+    }
+
+    /// Attaches description-file operating points.
+    pub fn with_points(
+        mut self,
+        smt_widths: Vec<u32>,
+        points: Vec<(ExtResourceVector, NonFunctional)>,
+    ) -> Self {
+        self.smt_widths = smt_widths;
+        self.points = points;
+        self
+    }
+}
+
+type AllocationCallback = Box<dyn FnMut(&Activation) + Send>;
+
+/// An active session with the HARP RM.
+pub struct HarpSession<T: Transport> {
+    transport: T,
+    app_id: u64,
+    handle: AllocationHandle,
+    callbacks: Vec<AllocationCallback>,
+}
+
+impl<T: Transport> std::fmt::Debug for HarpSession<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HarpSession")
+            .field("app_id", &self.app_id)
+            .field("callbacks", &self.callbacks.len())
+            .finish()
+    }
+}
+
+impl<T: Transport> HarpSession<T> {
+    /// Performs the registration handshake (paper Fig. 3, steps 1–2):
+    /// sends the registration request, waits for the acknowledgement, and
+    /// submits any description-file operating points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarpError::Protocol`] if the RM answers with anything but
+    /// an acknowledgement, or transport errors.
+    pub fn connect(mut transport: T, cfg: SessionConfig) -> Result<Self> {
+        transport.send(&Message::Register(Register {
+            pid: cfg.pid,
+            app_name: cfg.name.clone(),
+            adaptivity: cfg.adaptivity,
+            provides_utility: cfg.provides_utility,
+        }))?;
+        let app_id = match transport.recv()? {
+            Message::RegisterAck(ack) => ack.app_id,
+            Message::Error(e) => {
+                return Err(HarpError::protocol(format!(
+                    "registration rejected: {} ({})",
+                    e.detail, e.code
+                )))
+            }
+            other => {
+                return Err(HarpError::protocol(format!(
+                    "unexpected registration reply: {other:?}"
+                )))
+            }
+        };
+        if !cfg.points.is_empty() {
+            let points = cfg
+                .points
+                .iter()
+                .map(|(erv, nfc)| WirePoint {
+                    erv_flat: erv.flat(),
+                    utility: nfc.utility,
+                    power: nfc.power,
+                })
+                .collect();
+            transport.send(&Message::SubmitPoints(SubmitPoints {
+                app_id,
+                smt_widths: cfg.smt_widths.clone(),
+                points,
+            }))?;
+        }
+        Ok(HarpSession {
+            transport,
+            app_id,
+            handle: AllocationHandle::new(),
+            callbacks: Vec::new(),
+        })
+    }
+
+    /// The RM-assigned session id.
+    pub fn app_id(&self) -> u64 {
+        self.app_id
+    }
+
+    /// A shared handle to the latest activation, for wiring into runtimes
+    /// and adaptivity knobs.
+    pub fn allocation(&self) -> AllocationHandle {
+        self.handle.clone()
+    }
+
+    /// Registers a custom-adaptivity callback invoked on every activation
+    /// (paper §4.1.4: "developers only need to register callbacks").
+    pub fn on_allocation(&mut self, cb: impl FnMut(&Activation) + Send + 'static) {
+        self.callbacks.push(Box::new(cb));
+    }
+
+    /// Processes all pending RM messages: applies activations (updating the
+    /// [`AllocationHandle`] and firing callbacks) and answers utility polls
+    /// with `utility()`. Returns the number of messages handled.
+    ///
+    /// Applications call this at convenient points (e.g. between parallel
+    /// regions); the daemon frontend calls it from a service thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn poll(&mut self, mut utility: impl FnMut() -> f64) -> Result<usize> {
+        let mut handled = 0;
+        while let Some(msg) = self.transport.try_recv()? {
+            self.handle_message(msg, &mut utility)?;
+            handled += 1;
+        }
+        Ok(handled)
+    }
+
+    /// Blocks until the next RM message arrives and handles it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn poll_blocking(&mut self, mut utility: impl FnMut() -> f64) -> Result<()> {
+        let msg = self.transport.recv()?;
+        self.handle_message(msg, &mut utility)
+    }
+
+    fn handle_message(&mut self, msg: Message, utility: &mut impl FnMut() -> f64) -> Result<()> {
+        match msg {
+            Message::Activate(Activate {
+                erv_flat,
+                core_ids: _,
+                parallelism,
+                hw_thread_ids,
+                ..
+            }) => {
+                let activation = Activation {
+                    erv_flat,
+                    hw_threads: hw_thread_ids
+                        .into_iter()
+                        .map(|t| HwThreadId(t as usize))
+                        .collect(),
+                    parallelism,
+                };
+                self.apply(activation);
+            }
+            Message::UtilityRequest(_) => {
+                let value = utility();
+                self.transport.send(&Message::UtilityReport(UtilityReport {
+                    app_id: self.app_id,
+                    utility: value,
+                }))?;
+            }
+            Message::Error(e) => {
+                return Err(HarpError::protocol(format!(
+                    "RM error {}: {}",
+                    e.code, e.detail
+                )));
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    fn apply(&mut self, mut activation: Activation) {
+        // Preserve any previously known thread grant if the new message
+        // omits it (coarse-grained activations).
+        if activation.hw_threads.is_empty() {
+            if let Some(prev) = self.handle.current() {
+                activation.hw_threads = prev.hw_threads;
+            }
+        }
+        for cb in &mut self.callbacks {
+            cb(&activation);
+        }
+        self.handle.store(activation);
+    }
+
+    /// Applies an activation delivered out of band (used by frontends that
+    /// decode messages themselves, e.g. the daemon service thread).
+    pub fn apply_activation(&mut self, erv_flat: Vec<u32>, hw_threads: Vec<HwThreadId>, parallelism: u32) {
+        self.apply(Activation {
+            erv_flat,
+            hw_threads,
+            parallelism,
+        });
+    }
+
+    /// Deregisters from the RM and consumes the session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures (the RM side may already be gone; the
+    /// caller can ignore the error on shutdown paths).
+    pub fn exit(mut self) -> Result<()> {
+        self.transport.send(&Message::Exit {
+            app_id: self.app_id,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harp_proto::{duplex, RegisterAck, UtilityRequest};
+
+    fn handshake() -> (HarpSession<harp_proto::DuplexEndpoint>, harp_proto::DuplexEndpoint) {
+        let (app_side, rm_side) = duplex();
+        let t = std::thread::spawn(move || {
+            let msg = rm_side.recv().unwrap();
+            let reg = match msg {
+                Message::Register(r) => r,
+                other => panic!("expected Register, got {other:?}"),
+            };
+            assert_eq!(reg.app_name, "test-app");
+            rm_side
+                .send(&Message::RegisterAck(RegisterAck { app_id: 11 }))
+                .unwrap();
+            rm_side
+        });
+        let session = HarpSession::connect(
+            app_side,
+            SessionConfig::new("test-app", AdaptivityType::Scalable).with_utility(),
+        )
+        .unwrap();
+        (session, t.join().unwrap())
+    }
+
+    #[test]
+    fn handshake_assigns_app_id() {
+        let (session, _rm) = handshake();
+        assert_eq!(session.app_id(), 11);
+        assert!(session.allocation().current().is_none());
+        assert_eq!(session.allocation().parallelism_or(32), 32);
+    }
+
+    #[test]
+    fn activation_updates_handle_and_fires_callbacks() {
+        let (mut session, rm) = handshake();
+        let seen = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let seen2 = seen.clone();
+        session.on_allocation(move |a| {
+            seen2.store(a.parallelism, std::sync::atomic::Ordering::SeqCst);
+        });
+        rm.send(&Message::Activate(Activate {
+            app_id: 11,
+            erv_flat: vec![0, 2, 4],
+            core_ids: vec![],
+            parallelism: 8,
+            hw_thread_ids: vec![0, 1, 16, 17, 18, 19, 20, 21],
+        }))
+        .unwrap();
+        let handled = session.poll(|| 0.0).unwrap();
+        assert_eq!(handled, 1);
+        assert_eq!(seen.load(std::sync::atomic::Ordering::SeqCst), 8);
+        assert_eq!(session.allocation().parallelism_or(32), 8);
+    }
+
+    #[test]
+    fn utility_polls_are_answered() {
+        let (mut session, rm) = handshake();
+        rm.send(&Message::UtilityRequest(UtilityRequest { app_id: 11 }))
+            .unwrap();
+        session.poll(|| 1234.5).unwrap();
+        match rm.recv().unwrap() {
+            Message::UtilityReport(r) => {
+                assert_eq!(r.app_id, 11);
+                assert_eq!(r.utility, 1234.5);
+            }
+            other => panic!("expected UtilityReport, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn description_points_are_submitted() {
+        use harp_types::ErvShape;
+        let (app_side, rm_side) = duplex();
+        let shape = ErvShape::new(vec![2, 1]);
+        let erv = ExtResourceVector::from_flat(&shape, &[0, 2, 0]).unwrap();
+        let t = std::thread::spawn(move || {
+            let _reg = rm_side.recv().unwrap();
+            rm_side
+                .send(&Message::RegisterAck(RegisterAck { app_id: 1 }))
+                .unwrap();
+            match rm_side.recv().unwrap() {
+                Message::SubmitPoints(sp) => {
+                    assert_eq!(sp.smt_widths, vec![2, 1]);
+                    assert_eq!(sp.points.len(), 1);
+                    assert_eq!(sp.points[0].erv_flat, vec![0, 2, 0]);
+                }
+                other => panic!("expected SubmitPoints, got {other:?}"),
+            }
+        });
+        let cfg = SessionConfig::new("with-points", AdaptivityType::Static).with_points(
+            vec![2, 1],
+            vec![(erv, NonFunctional::new(5.0, 2.0))],
+        );
+        let _session = HarpSession::connect(app_side, cfg).unwrap();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn rejected_registration_is_an_error() {
+        let (app_side, rm_side) = duplex();
+        std::thread::spawn(move || {
+            let _ = rm_side.recv();
+            rm_side
+                .send(&Message::Error(harp_proto::ErrorMsg {
+                    code: 1,
+                    detail: "nope".into(),
+                }))
+                .unwrap();
+        });
+        let r = HarpSession::connect(
+            app_side,
+            SessionConfig::new("x", AdaptivityType::Static),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn exit_sends_deregistration() {
+        let (session, rm) = handshake();
+        let id = session.app_id();
+        session.exit().unwrap();
+        match rm.recv().unwrap() {
+            Message::Exit { app_id } => assert_eq!(app_id, id),
+            other => panic!("expected Exit, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Polynomial feature expansion.
+
+/// Expands a feature vector `x` into the full polynomial basis of total
+/// degree ≤ `degree`: all monomials `∏ xᵢ^eᵢ` with `Σ eᵢ ≤ degree`,
+/// including the constant term.
+///
+/// The monomial ordering is deterministic (graded lexicographic by
+/// construction), so feature vectors produced for the same input
+/// dimensionality and degree are always compatible.
+///
+/// For HARP's extended resource vectors the input dimension is small (3 on
+/// Raptor Lake, 2 on the Odroid), so degree-2 expansion yields 10 and 6
+/// terms respectively — matching the paper's observation that ~20 training
+/// points suffice for a stable degree-2 fit (§5.2).
+///
+/// # Example
+///
+/// ```
+/// use harp_model::polynomial_features;
+/// // [x, y] at degree 2: 1, x, x², xy, y, y².
+/// let f = polynomial_features(&[2.0, 3.0], 2);
+/// assert_eq!(f.len(), 6);
+/// assert_eq!(f[0], 1.0); // constant
+/// assert!(f.contains(&4.0)); // x²
+/// assert!(f.contains(&6.0)); // xy
+/// assert!(f.contains(&9.0)); // y²
+/// ```
+pub fn polynomial_features(x: &[f64], degree: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(num_terms(x.len(), degree));
+    expand(x, degree, 0, 1.0, &mut out);
+    out
+}
+
+/// Number of monomials of total degree ≤ `degree` in `dims` variables:
+/// `C(dims + degree, degree)`.
+pub fn num_terms(dims: usize, degree: usize) -> usize {
+    // Compute the binomial coefficient iteratively (values stay tiny).
+    let mut n = 1usize;
+    for i in 0..degree {
+        n = n * (dims + i + 1) / (i + 1);
+    }
+    n
+}
+
+fn expand(x: &[f64], remaining_degree: usize, start: usize, acc: f64, out: &mut Vec<f64>) {
+    out.push(acc);
+    if remaining_degree == 0 {
+        return;
+    }
+    for i in start..x.len() {
+        expand(x, remaining_degree - 1, i, acc * x[i], out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn term_counts_match_binomial() {
+        assert_eq!(num_terms(3, 1), 4); // 1 + 3
+        assert_eq!(num_terms(3, 2), 10); // 1 + 3 + 6
+        assert_eq!(num_terms(3, 3), 20);
+        assert_eq!(num_terms(2, 2), 6);
+        assert_eq!(num_terms(1, 5), 6);
+        assert_eq!(num_terms(4, 0), 1);
+    }
+
+    #[test]
+    fn expansion_length_matches_num_terms() {
+        for dims in 1..=4 {
+            for degree in 0..=3 {
+                let x: Vec<f64> = (0..dims).map(|i| i as f64 + 0.5).collect();
+                assert_eq!(
+                    polynomial_features(&x, degree).len(),
+                    num_terms(dims, degree),
+                    "dims={dims} degree={degree}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degree_zero_is_constant_only() {
+        assert_eq!(polynomial_features(&[7.0, 8.0], 0), vec![1.0]);
+    }
+
+    #[test]
+    fn degree_one_is_affine_basis() {
+        assert_eq!(polynomial_features(&[2.0, 5.0], 1), vec![1.0, 2.0, 5.0]);
+    }
+
+    #[test]
+    fn degree_two_contains_all_quadratic_monomials() {
+        let f = polynomial_features(&[2.0, 3.0], 2);
+        // 1, x, x², xy, y, y²
+        assert_eq!(f, vec![1.0, 2.0, 4.0, 6.0, 3.0, 9.0]);
+    }
+
+    #[test]
+    fn ordering_is_stable_across_calls() {
+        let a = polynomial_features(&[1.0, 2.0, 3.0], 3);
+        let b = polynomial_features(&[1.0, 2.0, 3.0], 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_input_gives_constant() {
+        assert_eq!(polynomial_features(&[], 2), vec![1.0]);
+    }
+}

@@ -1,0 +1,93 @@
+//! Regression models and statistics for HARP's runtime exploration.
+//!
+//! The paper evaluates several regressors for approximating the utility and
+//! power of unmeasured operating points from the extended resource vector
+//! (§5.2, Fig. 5): polynomial regression of degrees 1–3, a neural network,
+//! and a support-vector machine. Based on that evaluation HARP uses
+//! second-degree polynomial regression at runtime. This crate provides all
+//! of them, so the comparison itself is reproducible:
+//!
+//! * [`PolynomialRegression`] — ridge-stabilized least squares over a full
+//!   polynomial basis (all monomials up to the requested degree).
+//! * [`MlpRegression`] — a small multi-layer perceptron trained with Adam.
+//! * [`SvrRegression`] — ε-insensitive support-vector regression with an RBF
+//!   kernel, trained by a simplified SMO.
+//! * [`NfcModel`] — the pair of regressors (utility, power) HARP maintains
+//!   per application.
+//! * [`Ema`] — the exponential moving average (smoothing factor 0.1) applied
+//!   to measured utility and power (§5.1).
+//! * [`metrics`] — MAPE and friends (the front metrics IGD / common-point
+//!   ratio live in [`harp_types::pareto`]).
+//!
+//! # Example
+//!
+//! ```
+//! use harp_model::{Regressor, PolynomialRegression};
+//!
+//! // y = 1 + 2 x₀ + 3 x₀ x₁ is exactly representable at degree 2.
+//! let xs: Vec<Vec<f64>> = (0..20)
+//!     .map(|i| vec![(i % 5) as f64, (i / 5) as f64])
+//!     .collect();
+//! let ys: Vec<f64> = xs.iter().map(|x| 1.0 + 2.0 * x[0] + 3.0 * x[0] * x[1]).collect();
+//! let mut model = PolynomialRegression::new(2);
+//! model.fit(&xs, &ys)?;
+//! let y = model.predict(&[2.0, 3.0]);
+//! assert!((y - 23.0).abs() < 1e-6);
+//! # Ok::<(), harp_types::HarpError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ema;
+mod features;
+pub mod linalg;
+pub mod metrics;
+mod mlp;
+mod nfc;
+mod poly;
+mod svr;
+
+pub use ema::Ema;
+pub use features::polynomial_features;
+pub use mlp::MlpRegression;
+pub use nfc::{ModelKind, NfcModel, NfcPrediction};
+pub use poly::PolynomialRegression;
+pub use svr::SvrRegression;
+
+use harp_types::Result;
+
+/// A scalar regression model mapping a feature vector to a real value.
+///
+/// All HARP models implement this trait; the exploration engine is generic
+/// over it. `fit` may be called repeatedly as more measurements arrive —
+/// models retrain from scratch on every call (training sets are tiny: tens
+/// of points).
+pub trait Regressor {
+    /// Trains the model on `(xs[i], ys[i])` pairs, replacing any previous
+    /// fit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`harp_types::HarpError::Numeric`] when the input is
+    /// degenerate (empty, mismatched lengths) or the solver fails.
+    fn fit(&mut self, xs: &[Vec<f64>], ys: &[f64]) -> Result<()>;
+
+    /// Predicts the target for one feature vector.
+    ///
+    /// Calling `predict` before a successful `fit` returns `0.0`.
+    fn predict(&self, x: &[f64]) -> f64;
+
+    /// Whether the model has been successfully fitted.
+    fn is_fitted(&self) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _take(_: &dyn Regressor) {}
+    }
+}

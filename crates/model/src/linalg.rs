@@ -1,0 +1,267 @@
+//! Minimal dense linear algebra: just enough to solve the regularized
+//! normal equations of polynomial regression.
+
+use harp_types::{HarpError, Result};
+
+/// A dense, row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A zero matrix of the given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be nonzero");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds a matrix from rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarpError::Numeric`] if `rows` is empty or ragged.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        if rows.is_empty() || rows[0].is_empty() {
+            return Err(HarpError::Numeric {
+                detail: "matrix needs at least one row and column".into(),
+            });
+        }
+        let cols = rows[0].len();
+        if rows.iter().any(|r| r.len() != cols) {
+            return Err(HarpError::Numeric {
+                detail: "ragged rows".into(),
+            });
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data: rows.iter().flatten().copied().collect(),
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// `Aᵀ · A` (Gram matrix), the left-hand side of the normal equations.
+    pub fn gram(&self) -> Matrix {
+        let mut g = Matrix::zeros(self.cols, self.cols);
+        for i in 0..self.cols {
+            for j in i..self.cols {
+                let mut s = 0.0;
+                for r in 0..self.rows {
+                    s += self.get(r, i) * self.get(r, j);
+                }
+                g.set(i, j, s);
+                g.set(j, i, s);
+            }
+        }
+        g
+    }
+
+    /// `Aᵀ · y`, the right-hand side of the normal equations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarpError::Numeric`] if `y.len() != rows`.
+    pub fn t_mul_vec(&self, y: &[f64]) -> Result<Vec<f64>> {
+        if y.len() != self.rows {
+            return Err(HarpError::Numeric {
+                detail: format!("vector length {} vs {} rows", y.len(), self.rows),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for (r, &yv) in y.iter().enumerate() {
+            for c in 0..self.cols {
+                out[c] += self.get(r, c) * yv;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Adds `lambda` to the diagonal (ridge regularization) in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn add_ridge(&mut self, lambda: f64) {
+        assert_eq!(self.rows, self.cols, "ridge needs a square matrix");
+        for i in 0..self.rows {
+            let v = self.get(i, i) + lambda;
+            self.set(i, i, v);
+        }
+    }
+}
+
+/// Solves `A x = b` for a symmetric positive-definite `A` via Cholesky
+/// decomposition.
+///
+/// # Errors
+///
+/// Returns [`HarpError::Numeric`] if `A` is not square, dimensions mismatch,
+/// or `A` is not (numerically) positive definite.
+pub fn cholesky_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(HarpError::Numeric {
+            detail: "cholesky needs a square matrix".into(),
+        });
+    }
+    if b.len() != n {
+        return Err(HarpError::Numeric {
+            detail: "right-hand side length mismatch".into(),
+        });
+    }
+    // Lower-triangular factor L with A = L·Lᵀ.
+    let mut l = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = a.get(i, j);
+            for k in 0..j {
+                s -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if s <= 0.0 || !s.is_finite() {
+                    return Err(HarpError::Numeric {
+                        detail: format!("matrix not positive definite (pivot {s} at {i})"),
+                    });
+                }
+                l[i * n + i] = s.sqrt();
+            } else {
+                l[i * n + j] = s / l[j * n + j];
+            }
+        }
+    }
+    // Forward substitution: L z = b.
+    let mut z = vec![0.0; n];
+    for i in 0..n {
+        let mut s = b[i];
+        for k in 0..i {
+            s -= l[i * n + k] * z[k];
+        }
+        z[i] = s / l[i * n + i];
+    }
+    // Back substitution: Lᵀ x = z.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = z[i];
+        for k in i + 1..n {
+            s -= l[k * n + i] * x[k];
+        }
+        x[i] = s / l[i * n + i];
+    }
+    Ok(x)
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_validates() {
+        assert!(Matrix::from_rows(&[]).is_err());
+        assert!(Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn gram_matrix_is_symmetric() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        let g = a.gram();
+        assert_eq!(g.rows(), 2);
+        assert_eq!(g.get(0, 0), 1.0 + 9.0 + 25.0);
+        assert_eq!(g.get(0, 1), g.get(1, 0));
+        assert_eq!(g.get(0, 1), 2.0 + 12.0 + 30.0);
+    }
+
+    #[test]
+    fn t_mul_vec_checks_lengths() {
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        assert_eq!(a.t_mul_vec(&[3.0, 4.0]).unwrap(), vec![3.0, 4.0]);
+        assert!(a.t_mul_vec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn cholesky_solves_spd_system() {
+        // A = [[4,2],[2,3]], b = [8, 7] -> x = [1.3..., 1.4...]
+        let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]).unwrap();
+        let x = cholesky_solve(&a, &[8.0, 7.0]).unwrap();
+        // Verify A·x = b.
+        assert!((4.0 * x[0] + 2.0 * x[1] - 8.0).abs() < 1e-10);
+        assert!((2.0 * x[0] + 3.0 * x[1] - 7.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        assert!(cholesky_solve(&a, &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn ridge_makes_singular_solvable() {
+        let mut a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]).unwrap();
+        assert!(cholesky_solve(&a, &[2.0, 2.0]).is_err());
+        a.add_ridge(1e-6);
+        assert!(cholesky_solve(&a, &[2.0, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn identity_solve_returns_rhs() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ])
+        .unwrap();
+        let x = cholesky_solve(&a, &[1.0, -2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, -2.0, 3.0]);
+    }
+}

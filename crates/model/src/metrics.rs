@@ -1,0 +1,165 @@
+//! Accuracy metrics for the model comparison (paper Fig. 5) and the
+//! energy-attribution validation (§5.1).
+
+use harp_types::{HarpError, Result};
+
+/// Mean Absolute Percentage Error in percent:
+/// `100/n · Σ |pred − actual| / |actual|`.
+///
+/// Pairs whose actual value is zero are skipped (their relative error is
+/// undefined); if every pair is skipped an error is returned.
+///
+/// # Errors
+///
+/// Returns [`HarpError::Numeric`] on length mismatch, empty input, or
+/// all-zero actuals.
+///
+/// # Example
+///
+/// ```
+/// use harp_model::metrics::mape;
+/// let m = mape(&[110.0, 90.0], &[100.0, 100.0])?;
+/// assert!((m - 10.0).abs() < 1e-12);
+/// # Ok::<(), harp_types::HarpError>(())
+/// ```
+pub fn mape(predicted: &[f64], actual: &[f64]) -> Result<f64> {
+    if predicted.len() != actual.len() || predicted.is_empty() {
+        return Err(HarpError::Numeric {
+            detail: format!(
+                "mape needs equal nonempty inputs ({} vs {})",
+                predicted.len(),
+                actual.len()
+            ),
+        });
+    }
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (&p, &a) in predicted.iter().zip(actual) {
+        if a != 0.0 {
+            sum += ((p - a) / a).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        return Err(HarpError::Numeric {
+            detail: "mape undefined: all actual values are zero".into(),
+        });
+    }
+    Ok(100.0 * sum / n as f64)
+}
+
+/// Root-mean-square error.
+///
+/// # Errors
+///
+/// Returns [`HarpError::Numeric`] on length mismatch or empty input.
+pub fn rmse(predicted: &[f64], actual: &[f64]) -> Result<f64> {
+    if predicted.len() != actual.len() || predicted.is_empty() {
+        return Err(HarpError::Numeric {
+            detail: "rmse needs equal nonempty inputs".into(),
+        });
+    }
+    let sum: f64 = predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a) * (p - a))
+        .sum();
+    Ok((sum / predicted.len() as f64).sqrt())
+}
+
+/// Arithmetic mean.
+///
+/// # Errors
+///
+/// Returns [`HarpError::Numeric`] on empty input.
+pub fn mean(values: &[f64]) -> Result<f64> {
+    if values.is_empty() {
+        return Err(HarpError::Numeric {
+            detail: "mean of empty input".into(),
+        });
+    }
+    Ok(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// Sample standard deviation (n−1 denominator; 0 for a single value).
+///
+/// # Errors
+///
+/// Returns [`HarpError::Numeric`] on empty input.
+pub fn std_dev(values: &[f64]) -> Result<f64> {
+    let m = mean(values)?;
+    if values.len() < 2 {
+        return Ok(0.0);
+    }
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64;
+    Ok(var.sqrt())
+}
+
+/// Geometric mean of strictly positive values — the aggregation the paper
+/// uses for improvement factors (Fig. 6/7).
+///
+/// # Errors
+///
+/// Returns [`HarpError::Numeric`] on empty input or a non-positive value.
+pub fn geometric_mean(values: &[f64]) -> Result<f64> {
+    if values.is_empty() {
+        return Err(HarpError::Numeric {
+            detail: "geometric mean of empty input".into(),
+        });
+    }
+    if values.iter().any(|&v| !(v > 0.0)) {
+        return Err(HarpError::Numeric {
+            detail: "geometric mean needs strictly positive values".into(),
+        });
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Ok((log_sum / values.len() as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mape_basic() {
+        assert_eq!(mape(&[100.0], &[100.0]).unwrap(), 0.0);
+        let m = mape(&[120.0, 80.0], &[100.0, 100.0]).unwrap();
+        assert!((m - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_skips_zero_actuals() {
+        let m = mape(&[5.0, 110.0], &[0.0, 100.0]).unwrap();
+        assert!((m - 10.0).abs() < 1e-12);
+        assert!(mape(&[1.0], &[0.0]).is_err());
+        assert!(mape(&[], &[]).is_err());
+        assert!(mape(&[1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn rmse_basic() {
+        let r = rmse(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(r, 0.0);
+        let r = rmse(&[0.0, 0.0], &[3.0, 4.0]).unwrap();
+        assert!((r - (12.5f64).sqrt()).abs() < 1e-12);
+        assert!(rmse(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[2.0, 4.0]).unwrap(), 3.0);
+        assert_eq!(std_dev(&[5.0]).unwrap(), 0.0);
+        let s = std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s - 2.138089935).abs() < 1e-6);
+        assert!(mean(&[]).is_err());
+    }
+
+    #[test]
+    fn geometric_mean_matches_paper_usage() {
+        // geomean(2, 0.5) = 1: improvements and regressions cancel.
+        assert!((geometric_mean(&[2.0, 0.5]).unwrap() - 1.0).abs() < 1e-12);
+        assert!((geometric_mean(&[1.34, 1.34]).unwrap() - 1.34).abs() < 1e-12);
+        assert!(geometric_mean(&[1.0, 0.0]).is_err());
+        assert!(geometric_mean(&[]).is_err());
+    }
+}

@@ -1,0 +1,352 @@
+//! A small multi-layer perceptron regressor — the "NN" contender of the
+//! paper's model comparison (§5.2, Fig. 5).
+
+use crate::Regressor;
+use harp_types::{HarpError, Result};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A fully-connected network with two tanh hidden layers and a linear
+/// output, trained with Adam on standardized inputs and targets.
+///
+/// The architecture is intentionally small (default 16×16 hidden units):
+/// runtime exploration produces at most a few dozen training points, and
+/// the paper's finding — that the NN needs more data than degree-2
+/// polynomial regression to match the Pareto front — emerges from exactly
+/// this regime.
+///
+/// Training is deterministic for a given seed.
+#[derive(Debug, Clone)]
+pub struct MlpRegression {
+    hidden: usize,
+    epochs: usize,
+    learning_rate: f64,
+    seed: u64,
+    state: Option<Fitted>,
+}
+
+#[derive(Debug, Clone)]
+struct Fitted {
+    // Layer weights: w1 [hidden × in], b1 [hidden], w2 [hidden × hidden],
+    // b2 [hidden], w3 [hidden], b3 scalar.
+    w1: Vec<f64>,
+    b1: Vec<f64>,
+    w2: Vec<f64>,
+    b2: Vec<f64>,
+    w3: Vec<f64>,
+    b3: f64,
+    in_dim: usize,
+    x_mean: Vec<f64>,
+    x_std: Vec<f64>,
+    y_mean: f64,
+    y_std: f64,
+}
+
+impl MlpRegression {
+    /// Creates an unfitted network with default hyper-parameters
+    /// (16 hidden units per layer, 1500 epochs, learning rate 0.01).
+    pub fn new(seed: u64) -> Self {
+        MlpRegression {
+            hidden: 16,
+            epochs: 1500,
+            learning_rate: 0.01,
+            seed,
+            state: None,
+        }
+    }
+
+    /// Overrides the number of hidden units per layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hidden` is zero.
+    pub fn with_hidden(mut self, hidden: usize) -> Self {
+        assert!(hidden > 0, "hidden layer needs at least one unit");
+        self.hidden = hidden;
+        self
+    }
+
+    /// Overrides the number of training epochs.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    fn forward(f: &Fitted, x_std: &[f64]) -> (Vec<f64>, Vec<f64>, f64) {
+        let h = f.b1.len();
+        let mut a1 = vec![0.0; h];
+        for i in 0..h {
+            let mut s = f.b1[i];
+            for (j, &xv) in x_std.iter().enumerate() {
+                s += f.w1[i * f.in_dim + j] * xv;
+            }
+            a1[i] = s.tanh();
+        }
+        let mut a2 = vec![0.0; h];
+        for i in 0..h {
+            let mut s = f.b2[i];
+            for (j, &a) in a1.iter().enumerate() {
+                s += f.w2[i * h + j] * a;
+            }
+            a2[i] = s.tanh();
+        }
+        let mut out = f.b3;
+        for (i, &a) in a2.iter().enumerate() {
+            out += f.w3[i] * a;
+        }
+        (a1, a2, out)
+    }
+}
+
+/// Adam optimizer state for one parameter vector.
+struct Adam {
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: f64,
+}
+
+impl Adam {
+    fn new(n: usize) -> Self {
+        Adam {
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+            t: 0.0,
+        }
+    }
+
+    fn step(&mut self, params: &mut [f64], grads: &[f64], lr: f64) {
+        const B1: f64 = 0.9;
+        const B2: f64 = 0.999;
+        const EPS: f64 = 1e-8;
+        self.t += 1.0;
+        for i in 0..params.len() {
+            self.m[i] = B1 * self.m[i] + (1.0 - B1) * grads[i];
+            self.v[i] = B2 * self.v[i] + (1.0 - B2) * grads[i] * grads[i];
+            let m_hat = self.m[i] / (1.0 - B1.powf(self.t));
+            let v_hat = self.v[i] / (1.0 - B2.powf(self.t));
+            params[i] -= lr * m_hat / (v_hat.sqrt() + EPS);
+        }
+    }
+}
+
+impl Regressor for MlpRegression {
+    fn fit(&mut self, xs: &[Vec<f64>], ys: &[f64]) -> Result<()> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return Err(HarpError::Numeric {
+                detail: format!("bad training set: {} xs vs {} ys", xs.len(), ys.len()),
+            });
+        }
+        let in_dim = xs[0].len();
+        if in_dim == 0 || xs.iter().any(|x| x.len() != in_dim) {
+            return Err(HarpError::Numeric {
+                detail: "empty or ragged feature vectors".into(),
+            });
+        }
+        let n = xs.len();
+        // Standardize inputs and targets.
+        let mut x_mean = vec![0.0; in_dim];
+        for x in xs {
+            for (d, &v) in x.iter().enumerate() {
+                x_mean[d] += v;
+            }
+        }
+        for m in &mut x_mean {
+            *m /= n as f64;
+        }
+        let mut x_std = vec![0.0; in_dim];
+        for x in xs {
+            for (d, &v) in x.iter().enumerate() {
+                x_std[d] += (v - x_mean[d]).powi(2);
+            }
+        }
+        for s in &mut x_std {
+            *s = (*s / n as f64).sqrt().max(1e-9);
+        }
+        let y_mean = ys.iter().sum::<f64>() / n as f64;
+        let y_std = (ys.iter().map(|y| (y - y_mean).powi(2)).sum::<f64>() / n as f64)
+            .sqrt()
+            .max(1e-9);
+        let xs_std: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|x| {
+                x.iter()
+                    .enumerate()
+                    .map(|(d, &v)| (v - x_mean[d]) / x_std[d])
+                    .collect()
+            })
+            .collect();
+        let ys_std: Vec<f64> = ys.iter().map(|y| (y - y_mean) / y_std).collect();
+
+        // Xavier-ish initialization.
+        let h = self.hidden;
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let init = |fan_in: usize, len: usize, rng: &mut ChaCha8Rng| -> Vec<f64> {
+            let scale = (1.0 / fan_in as f64).sqrt();
+            (0..len).map(|_| rng.random_range(-scale..scale)).collect()
+        };
+        let mut f = Fitted {
+            w1: init(in_dim, h * in_dim, &mut rng),
+            b1: vec![0.0; h],
+            w2: init(h, h * h, &mut rng),
+            b2: vec![0.0; h],
+            w3: init(h, h, &mut rng),
+            b3: 0.0,
+            in_dim,
+            x_mean,
+            x_std,
+            y_mean,
+            y_std,
+        };
+
+        let mut opt_w1 = Adam::new(f.w1.len());
+        let mut opt_b1 = Adam::new(h);
+        let mut opt_w2 = Adam::new(f.w2.len());
+        let mut opt_b2 = Adam::new(h);
+        let mut opt_w3 = Adam::new(h);
+        let mut opt_b3 = Adam::new(1);
+
+        for _ in 0..self.epochs {
+            // Full-batch gradients (the datasets are tiny).
+            let mut g_w1 = vec![0.0; f.w1.len()];
+            let mut g_b1 = vec![0.0; h];
+            let mut g_w2 = vec![0.0; f.w2.len()];
+            let mut g_b2 = vec![0.0; h];
+            let mut g_w3 = vec![0.0; h];
+            let mut g_b3 = 0.0;
+            for (x, &y) in xs_std.iter().zip(&ys_std) {
+                let (a1, a2, out) = Self::forward(&f, x);
+                let d_out = 2.0 * (out - y) / n as f64;
+                // Output layer.
+                for i in 0..h {
+                    g_w3[i] += d_out * a2[i];
+                }
+                g_b3 += d_out;
+                // Second hidden layer.
+                let mut d_a2 = vec![0.0; h];
+                for i in 0..h {
+                    d_a2[i] = d_out * f.w3[i] * (1.0 - a2[i] * a2[i]);
+                }
+                for i in 0..h {
+                    for j in 0..h {
+                        g_w2[i * h + j] += d_a2[i] * a1[j];
+                    }
+                    g_b2[i] += d_a2[i];
+                }
+                // First hidden layer.
+                let mut d_a1 = vec![0.0; h];
+                for j in 0..h {
+                    let mut s = 0.0;
+                    for i in 0..h {
+                        s += d_a2[i] * f.w2[i * h + j];
+                    }
+                    d_a1[j] = s * (1.0 - a1[j] * a1[j]);
+                }
+                for i in 0..h {
+                    for (j, &xv) in x.iter().enumerate() {
+                        g_w1[i * in_dim + j] += d_a1[i] * xv;
+                    }
+                    g_b1[i] += d_a1[i];
+                }
+            }
+            let lr = self.learning_rate;
+            opt_w1.step(&mut f.w1, &g_w1, lr);
+            opt_b1.step(&mut f.b1, &g_b1, lr);
+            opt_w2.step(&mut f.w2, &g_w2, lr);
+            opt_b2.step(&mut f.b2, &g_b2, lr);
+            opt_w3.step(&mut f.w3, &g_w3, lr);
+            let mut b3 = [f.b3];
+            opt_b3.step(&mut b3, &[g_b3], lr);
+            f.b3 = b3[0];
+        }
+        self.state = Some(f);
+        Ok(())
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        match &self.state {
+            Some(f) => {
+                if x.len() != f.in_dim {
+                    return 0.0;
+                }
+                let x_std: Vec<f64> = x
+                    .iter()
+                    .enumerate()
+                    .map(|(d, &v)| (v - f.x_mean[d]) / f.x_std[d])
+                    .collect();
+                let (_, _, out) = Self::forward(f, &x_std);
+                out * f.y_std + f.y_mean
+            }
+            None => 0.0,
+        }
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.state.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_linear_function() {
+        let xs: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 / 3.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 4.0 * x[0] - 2.0).collect();
+        let mut m = MlpRegression::new(1);
+        m.fit(&xs, &ys).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            let p = m.predict(x);
+            assert!((p - y).abs() < 1.0, "pred {p} vs {y} at {x:?}");
+        }
+    }
+
+    #[test]
+    fn learns_smooth_nonlinearity() {
+        let xs: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i % 8) as f64, (i / 8) as f64])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x[0] * x[1]).sqrt() + x[0]).collect();
+        let mut m = MlpRegression::new(7).with_epochs(2500);
+        m.fit(&xs, &ys).unwrap();
+        let mse: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| (m.predict(x) - y).powi(2))
+            .sum::<f64>()
+            / xs.len() as f64;
+        let var: f64 = {
+            let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+            ys.iter().map(|y| (y - mean).powi(2)).sum::<f64>() / ys.len() as f64
+        };
+        assert!(mse < 0.1 * var, "mse {mse} vs var {var}");
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * 2.0).collect();
+        let mut a = MlpRegression::new(3).with_epochs(200);
+        let mut b = MlpRegression::new(3).with_epochs(200);
+        a.fit(&xs, &ys).unwrap();
+        b.fit(&xs, &ys).unwrap();
+        assert_eq!(a.predict(&[5.0]), b.predict(&[5.0]));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let mut m = MlpRegression::new(0);
+        assert!(m.fit(&[], &[]).is_err());
+        assert!(m.fit(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0]).is_err());
+        assert!(m.fit(&[vec![]], &[1.0]).is_err());
+        assert!(!m.is_fitted());
+        assert_eq!(m.predict(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn wrong_dimension_after_fit_predicts_zero() {
+        let mut m = MlpRegression::new(0).with_epochs(50);
+        m.fit(&[vec![1.0], vec![2.0]], &[1.0, 2.0]).unwrap();
+        assert_eq!(m.predict(&[1.0, 2.0]), 0.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! The per-application model pair predicting non-functional characteristics
+//! (utility and power) from extended resource vectors.
+
+use crate::{MlpRegression, PolynomialRegression, Regressor, SvrRegression};
+use harp_types::{ExtResourceVector, NonFunctional, Result};
+use std::fmt;
+
+/// The regression-model families compared in the paper (§5.2, Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ModelKind {
+    /// Polynomial regression of the given degree (1–3 in the paper).
+    Poly(usize),
+    /// Small multi-layer perceptron.
+    Nn,
+    /// ε-support-vector regression with an RBF kernel.
+    Svm,
+}
+
+impl ModelKind {
+    /// The model HARP uses at runtime based on the paper's evaluation:
+    /// second-degree polynomial regression.
+    pub fn runtime_default() -> Self {
+        ModelKind::Poly(2)
+    }
+
+    /// All contenders of the Fig. 5 comparison, in presentation order.
+    pub fn all_contenders() -> Vec<ModelKind> {
+        vec![
+            ModelKind::Poly(1),
+            ModelKind::Poly(2),
+            ModelKind::Poly(3),
+            ModelKind::Nn,
+            ModelKind::Svm,
+        ]
+    }
+
+    fn instantiate(self, seed: u64) -> Box<dyn Regressor + Send> {
+        match self {
+            ModelKind::Poly(d) => Box::new(PolynomialRegression::new(d)),
+            ModelKind::Nn => Box::new(MlpRegression::new(seed)),
+            ModelKind::Svm => Box::new(SvrRegression::new()),
+        }
+    }
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelKind::Poly(d) => write!(f, "Poly{d}"),
+            ModelKind::Nn => f.write_str("NN"),
+            ModelKind::Svm => f.write_str("SVM"),
+        }
+    }
+}
+
+/// A utility/power prediction for one configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NfcPrediction {
+    /// Predicted utility (may be negative for an imprecise model — the
+    /// refinement-stage exploration heuristic specifically hunts for such
+    /// anomalies, paper §5.3).
+    pub utility: f64,
+    /// Predicted power in watts (same caveat).
+    pub power: f64,
+}
+
+impl NfcPrediction {
+    /// Clamps negative components to zero and converts to
+    /// [`NonFunctional`] for use in an operating-point table.
+    pub fn to_nfc(self) -> NonFunctional {
+        NonFunctional::new(self.utility.max(0.0), self.power.max(0.0))
+    }
+}
+
+/// The pair of regressors HARP maintains per application: one for utility,
+/// one for power, both over the flattened extended resource vector.
+pub struct NfcModel {
+    kind: ModelKind,
+    utility: Box<dyn Regressor + Send>,
+    power: Box<dyn Regressor + Send>,
+}
+
+impl NfcModel {
+    /// Creates an unfitted model pair of the given kind. `seed` makes
+    /// stochastic models (the NN) deterministic.
+    pub fn new(kind: ModelKind, seed: u64) -> Self {
+        NfcModel {
+            kind,
+            utility: kind.instantiate(seed),
+            power: kind.instantiate(seed.wrapping_add(1)),
+        }
+    }
+
+    /// The model family.
+    pub fn kind(&self) -> ModelKind {
+        self.kind
+    }
+
+    /// Trains both regressors on measured configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`harp_types::HarpError::Numeric`] on degenerate input.
+    pub fn fit(&mut self, samples: &[(ExtResourceVector, NonFunctional)]) -> Result<()> {
+        let xs: Vec<Vec<f64>> = samples.iter().map(|(e, _)| e.features()).collect();
+        let utils: Vec<f64> = samples.iter().map(|(_, n)| n.utility).collect();
+        let powers: Vec<f64> = samples.iter().map(|(_, n)| n.power).collect();
+        self.utility.fit(&xs, &utils)?;
+        self.power.fit(&xs, &powers)?;
+        Ok(())
+    }
+
+    /// Predicts utility and power for a configuration. Predictions are raw
+    /// model outputs (possibly negative).
+    pub fn predict(&self, erv: &ExtResourceVector) -> NfcPrediction {
+        let x = erv.features();
+        NfcPrediction {
+            utility: self.utility.predict(&x),
+            power: self.power.predict(&x),
+        }
+    }
+
+    /// Whether both regressors have been fitted.
+    pub fn is_fitted(&self) -> bool {
+        self.utility.is_fitted() && self.power.is_fitted()
+    }
+}
+
+impl fmt::Debug for NfcModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NfcModel")
+            .field("kind", &self.kind)
+            .field("fitted", &self.is_fitted())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harp_types::ErvShape;
+
+    fn sample_set() -> Vec<(ExtResourceVector, NonFunctional)> {
+        let shape = ErvShape::new(vec![2, 1]);
+        let mut out = Vec::new();
+        for p2 in 0..4u32 {
+            for e in 0..4u32 {
+                let erv = ExtResourceVector::from_flat(&shape, &[0, p2, e]).unwrap();
+                // Synthetic but smooth: utility grows sub-linearly, power linearly.
+                let u = 2.0 * (p2 as f64) + 1.0 * (e as f64) - 0.1 * (p2 * p2) as f64;
+                let p = 8.0 * p2 as f64 + 1.5 * e as f64 + 5.0;
+                out.push((erv, NonFunctional::new(u, p)));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn poly2_fits_quadratic_surface_exactly() {
+        let samples = sample_set();
+        let mut m = NfcModel::new(ModelKind::Poly(2), 0);
+        assert!(!m.is_fitted());
+        m.fit(&samples).unwrap();
+        assert!(m.is_fitted());
+        for (erv, nfc) in &samples {
+            let p = m.predict(erv);
+            assert!((p.utility - nfc.utility).abs() < 1e-4);
+            assert!((p.power - nfc.power).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn all_contenders_instantiate_and_fit() {
+        let samples = sample_set();
+        for kind in ModelKind::all_contenders() {
+            let mut m = NfcModel::new(kind, 42);
+            m.fit(&samples).unwrap();
+            assert!(m.is_fitted(), "{kind}");
+            let p = m.predict(&samples[5].0);
+            assert!(p.utility.is_finite() && p.power.is_finite(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn prediction_clamps_to_nfc() {
+        let p = NfcPrediction {
+            utility: -3.0,
+            power: 2.0,
+        };
+        let nfc = p.to_nfc();
+        assert_eq!(nfc.utility, 0.0);
+        assert_eq!(nfc.power, 2.0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ModelKind::Poly(2).to_string(), "Poly2");
+        assert_eq!(ModelKind::Nn.to_string(), "NN");
+        assert_eq!(ModelKind::Svm.to_string(), "SVM");
+        assert_eq!(ModelKind::runtime_default(), ModelKind::Poly(2));
+    }
+}

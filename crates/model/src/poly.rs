@@ -1,0 +1,192 @@
+//! Polynomial regression — the model HARP uses at runtime (degree 2,
+//! paper §5.2).
+
+use crate::features::polynomial_features;
+use crate::linalg::{cholesky_solve, dot, Matrix};
+use crate::Regressor;
+use harp_types::{HarpError, Result};
+
+/// Least-squares polynomial regression over the full monomial basis of a
+/// given degree, with a small ridge term for numerical stability on the
+/// tiny, collinear training sets produced by online exploration.
+///
+/// # Example
+///
+/// ```
+/// use harp_model::{PolynomialRegression, Regressor};
+/// let xs = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
+/// let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x[0] + 1.0).collect();
+/// let mut m = PolynomialRegression::new(1);
+/// m.fit(&xs, &ys)?;
+/// assert!((m.predict(&[10.0]) - 21.0).abs() < 1e-6);
+/// # Ok::<(), harp_types::HarpError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PolynomialRegression {
+    degree: usize,
+    ridge: f64,
+    coeffs: Option<Vec<f64>>,
+}
+
+impl PolynomialRegression {
+    /// Creates an unfitted model of the given polynomial degree with the
+    /// default ridge strength (`1e-8`, scaled by the Gram-matrix trace
+    /// during fitting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree` is zero (a constant model carries no information
+    /// about resource scaling).
+    pub fn new(degree: usize) -> Self {
+        assert!(degree >= 1, "polynomial degree must be >= 1");
+        PolynomialRegression {
+            degree,
+            ridge: 1e-8,
+            coeffs: None,
+        }
+    }
+
+    /// Sets a custom relative ridge strength.
+    pub fn with_ridge(mut self, ridge: f64) -> Self {
+        self.ridge = ridge;
+        self
+    }
+
+    /// The polynomial degree.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// The fitted coefficients (in [`polynomial_features`] order), if any.
+    pub fn coefficients(&self) -> Option<&[f64]> {
+        self.coeffs.as_deref()
+    }
+}
+
+impl Regressor for PolynomialRegression {
+    fn fit(&mut self, xs: &[Vec<f64>], ys: &[f64]) -> Result<()> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return Err(HarpError::Numeric {
+                detail: format!("bad training set: {} xs vs {} ys", xs.len(), ys.len()),
+            });
+        }
+        let rows: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|x| polynomial_features(x, self.degree))
+            .collect();
+        let design = Matrix::from_rows(&rows)?;
+        let mut gram = design.gram();
+        // Scale the ridge with the trace so regularization is unit-free.
+        let trace: f64 = (0..gram.rows()).map(|i| gram.get(i, i)).sum();
+        let lambda = self.ridge * (trace / gram.rows() as f64).max(1.0);
+        gram.add_ridge(lambda);
+        let rhs = design.t_mul_vec(ys)?;
+        let coeffs = cholesky_solve(&gram, &rhs)?;
+        self.coeffs = Some(coeffs);
+        Ok(())
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        match &self.coeffs {
+            Some(c) => {
+                let f = polynomial_features(x, self.degree);
+                if f.len() != c.len() {
+                    // Dimensionality changed between fit and predict; treat
+                    // as unfitted rather than panicking inside the RM.
+                    return 0.0;
+                }
+                dot(&f, c)
+            }
+            None => 0.0,
+        }
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.coeffs.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_quadratic() {
+        // y = 3 + x² - 2xy over a grid.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..6 {
+            for j in 0..6 {
+                let (x, y) = (i as f64, j as f64);
+                xs.push(vec![x, y]);
+                ys.push(3.0 + x * x - 2.0 * x * y);
+            }
+        }
+        let mut m = PolynomialRegression::new(2);
+        m.fit(&xs, &ys).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            assert!((m.predict(x) - y).abs() < 1e-3, "at {x:?}");
+        }
+        // Extrapolation stays accurate for an exactly-representable target.
+        assert!((m.predict(&[10.0, 10.0]) - (3.0 + 100.0 - 200.0)).abs() < 0.1);
+    }
+
+    #[test]
+    fn degree_one_underfits_quadratic() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * x[0]).collect();
+        let mut lin = PolynomialRegression::new(1);
+        let mut quad = PolynomialRegression::new(2);
+        lin.fit(&xs, &ys).unwrap();
+        quad.fit(&xs, &ys).unwrap();
+        let err = |m: &PolynomialRegression| -> f64 {
+            xs.iter()
+                .zip(&ys)
+                .map(|(x, y)| (m.predict(x) - y).abs())
+                .sum()
+        };
+        assert!(err(&quad) < 1e-4);
+        assert!(err(&lin) > 1.0);
+    }
+
+    #[test]
+    fn fit_rejects_empty_and_mismatched() {
+        let mut m = PolynomialRegression::new(2);
+        assert!(m.fit(&[], &[]).is_err());
+        assert!(m.fit(&[vec![1.0]], &[1.0, 2.0]).is_err());
+        assert!(!m.is_fitted());
+    }
+
+    #[test]
+    fn unfitted_predicts_zero() {
+        let m = PolynomialRegression::new(2);
+        assert_eq!(m.predict(&[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn underdetermined_fit_is_stabilized_by_ridge() {
+        // 2 points, degree 3 in 2 dims (10 coefficients): ridge keeps the
+        // normal equations solvable.
+        let xs = vec![vec![1.0, 2.0], vec![2.0, 1.0]];
+        let ys = vec![5.0, 7.0];
+        let mut m = PolynomialRegression::new(3);
+        m.fit(&xs, &ys).unwrap();
+        assert!(m.is_fitted());
+        // Interpolates the training data closely.
+        assert!((m.predict(&xs[0]) - 5.0).abs() < 0.1);
+        assert!((m.predict(&xs[1]) - 7.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn dimension_change_after_fit_is_graceful() {
+        let mut m = PolynomialRegression::new(1);
+        m.fit(&[vec![1.0], vec![2.0]], &[1.0, 2.0]).unwrap();
+        assert_eq!(m.predict(&[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "degree must be >= 1")]
+    fn zero_degree_panics() {
+        let _ = PolynomialRegression::new(0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests on the model crate: EMA bounds and convergence,
+//! polynomial-fit exactness on representable targets, and metric sanity.
+
+use harp_model::metrics::{geometric_mean, mape};
+use harp_model::{Ema, PolynomialRegression, Regressor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn ema_stays_within_sample_hull(
+        alpha in 0.01f64..1.0,
+        samples in proptest::collection::vec(-1.0e6f64..1.0e6, 1..100)
+    ) {
+        let mut ema = Ema::new(alpha);
+        for &s in &samples {
+            ema.update(s);
+        }
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let v = ema.value().unwrap();
+        prop_assert!(v >= min - 1e-6 && v <= max + 1e-6, "{v} outside [{min}, {max}]");
+    }
+
+    #[test]
+    fn ema_converges_to_constant(alpha in 0.05f64..1.0, target in -100.0f64..100.0) {
+        let mut ema = Ema::new(alpha);
+        for _ in 0..500 {
+            ema.update(target);
+        }
+        prop_assert!((ema.value().unwrap() - target).abs() < 1e-6);
+    }
+
+    #[test]
+    fn poly1_recovers_affine_functions(
+        a in -10.0f64..10.0,
+        b in -10.0f64..10.0,
+        c in -10.0f64..10.0
+    ) {
+        let xs: Vec<Vec<f64>> = (0..12)
+            .map(|i| vec![(i % 4) as f64, (i / 4) as f64])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| a + b * x[0] + c * x[1]).collect();
+        let mut m = PolynomialRegression::new(1);
+        m.fit(&xs, &ys).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            let err = (m.predict(x) - y).abs();
+            prop_assert!(err < 1e-3 * (1.0 + y.abs()), "err {err} at {x:?}");
+        }
+    }
+
+    #[test]
+    fn higher_degree_never_fits_train_worse(
+        coeffs in proptest::collection::vec(-3.0f64..3.0, 3..=3)
+    ) {
+        // Quadratic target in one variable.
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| coeffs[0] + coeffs[1] * x[0] + coeffs[2] * x[0] * x[0])
+            .collect();
+        let sse = |deg: usize| {
+            let mut m = PolynomialRegression::new(deg);
+            m.fit(&xs, &ys).unwrap();
+            xs.iter()
+                .zip(&ys)
+                .map(|(x, y)| (m.predict(x) - y).powi(2))
+                .sum::<f64>()
+        };
+        // Degree 2 fits a quadratic (near) exactly; degree 1 cannot beat it
+        // beyond numerical noise.
+        prop_assert!(sse(2) <= sse(1) + 1e-6);
+    }
+
+    #[test]
+    fn mape_is_scale_invariant(
+        pairs in proptest::collection::vec((0.1f64..1.0e6, 0.1f64..1.0e6), 1..30),
+        scale in 0.001f64..1000.0
+    ) {
+        let (pred, act): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+        let m1 = mape(&pred, &act).unwrap();
+        let scaled_pred: Vec<f64> = pred.iter().map(|p| p * scale).collect();
+        let scaled_act: Vec<f64> = act.iter().map(|a| a * scale).collect();
+        let m2 = mape(&scaled_pred, &scaled_act).unwrap();
+        prop_assert!((m1 - m2).abs() < 1e-6 * (1.0 + m1));
+    }
+
+    #[test]
+    fn geometric_mean_between_min_and_max(
+        values in proptest::collection::vec(0.01f64..100.0, 1..30)
+    ) {
+        let g = geometric_mean(&values).unwrap();
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(g >= min - 1e-9 && g <= max + 1e-9);
+    }
+}

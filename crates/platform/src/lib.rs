@@ -1,0 +1,37 @@
+//! Hardware descriptions for heterogeneous processors.
+//!
+//! The HARP RM deliberately contains no hard-coded hardware knowledge: the
+//! platform is supplied at runtime through a *hardware description file*
+//! (paper §4, item (1); §4.3 "configuration data … is stored in a directory
+//! such as /etc/harp"). This crate defines that description:
+//!
+//! * [`HardwareDescription`] — clusters of identical cores, their SMT widths,
+//!   frequency ranges, and the performance/power parameters that the machine
+//!   simulator (`harp-sim`) and the energy-attribution logic (`harp-energy`)
+//!   consume.
+//! * [`Governor`] — models of the Linux frequency-scaling governors used in
+//!   the paper's evaluation (`performance`, `powersave`, `schedutil`).
+//! * [`presets`] — calibrated descriptions of the paper's two evaluation
+//!   systems: the Intel Raptor Lake Core i9-13900K and the Odroid XU3-E
+//!   (Samsung Exynos 5422 big.LITTLE).
+//!
+//! # Example
+//!
+//! ```
+//! use harp_platform::HardwareDescription;
+//!
+//! let hw = HardwareDescription::raptor_lake();
+//! assert_eq!(hw.num_kinds(), 2);
+//! assert_eq!(hw.capacity().counts(), &[8, 16]);
+//! assert_eq!(hw.total_hw_threads(), 32);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod desc;
+mod governor;
+pub mod presets;
+
+pub use desc::{ClusterDesc, HardwareDescription, PerfParams, PowerParams};
+pub use governor::Governor;

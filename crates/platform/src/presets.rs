@@ -1,0 +1,201 @@
+//! Calibrated hardware descriptions of the paper's two evaluation systems.
+//!
+//! The absolute parameter values are *calibrated estimates*, not
+//! measurements: they reproduce the published relationships that drive
+//! HARP's decisions — single-thread performance ratios between core kinds,
+//! SMT scaling, and the large efficiency advantage of the small cores — on
+//! the frequency caps the paper uses (§6.1: 4.6 GHz P / 3.8 GHz E on the
+//! Intel system; 1.8 GHz big / 1.2 GHz LITTLE on the Odroid).
+
+use crate::desc::{ClusterDesc, HardwareDescription, PerfParams, PowerParams};
+
+/// Intel Raptor Lake Core i9-13900K: 8 P-cores with 2-way SMT (kind 0) and
+/// 16 E-cores (kind 1).
+///
+/// Calibration notes:
+/// * P-core single-thread rate ≈ 1.8× an E-core (typical Raptor Cove vs
+///   Gracemont at the capped frequencies).
+/// * A second P-core SMT sibling yields ≈ +30 % core throughput
+///   (`smt_rate_factor = 0.65`).
+/// * An active E-core draws roughly 5–6× less power than an active P-core,
+///   making E-cores ≈ 2.5–3× more efficient in work/J.
+pub fn raptor_lake() -> HardwareDescription {
+    HardwareDescription {
+        name: "Intel Raptor Lake Core i9-13900K".to_string(),
+        clusters: vec![
+            ClusterDesc {
+                kind_name: "P-core".to_string(),
+                cores: 8,
+                smt_width: 2,
+                min_freq_mhz: 800.0,
+                max_freq_mhz: 4600.0,
+                perf: PerfParams {
+                    ips_per_thread: 9.2e9,
+                    smt_rate_factor: 0.65,
+                },
+                power: PowerParams {
+                    core_idle_w: 0.70,
+                    core_active_w: 8.0,
+                    smt_active_extra: 0.22,
+                    cluster_static_w: 3.0,
+                },
+            },
+            ClusterDesc {
+                kind_name: "E-core".to_string(),
+                cores: 16,
+                smt_width: 1,
+                min_freq_mhz: 800.0,
+                max_freq_mhz: 3800.0,
+                perf: PerfParams {
+                    ips_per_thread: 5.1e9,
+                    smt_rate_factor: 1.0,
+                },
+                power: PowerParams {
+                    core_idle_w: 0.20,
+                    core_active_w: 2.0,
+                    smt_active_extra: 0.0,
+                    cluster_static_w: 2.5,
+                },
+            },
+        ],
+        package_static_w: 14.0,
+        // Aggregate DRAM bandwidth expressed as sustainable work-unit rate
+        // for fully memory-bound code: roughly the rate of 10 E-cores
+        // (DDR5 keeps class-C NPB codes scaling well past a handful of
+        // threads; only the most bandwidth-hungry kernels saturate).
+        mem_bandwidth: 50.0e9,
+    }
+}
+
+/// Odroid XU3-E (Samsung Exynos 5422): 4 Cortex-A15 *big* cores (kind 0) and
+/// 4 Cortex-A7 *LITTLE* cores (kind 1), no SMT.
+///
+/// Calibration notes:
+/// * A15 at 1.8 GHz ≈ 2.8× the throughput of an A7 at 1.2 GHz.
+/// * A15 cores draw ≈ 6× the power of A7 cores, making the LITTLE cluster
+///   ≈ 2× more efficient — the published big.LITTLE trade-off.
+pub fn odroid_xu3() -> HardwareDescription {
+    HardwareDescription {
+        name: "Odroid XU3-E (Exynos 5422)".to_string(),
+        clusters: vec![
+            ClusterDesc {
+                kind_name: "A15 (big)".to_string(),
+                cores: 4,
+                smt_width: 1,
+                min_freq_mhz: 200.0,
+                max_freq_mhz: 1800.0,
+                perf: PerfParams {
+                    ips_per_thread: 2.7e9,
+                    smt_rate_factor: 1.0,
+                },
+                power: PowerParams {
+                    core_idle_w: 0.08,
+                    core_active_w: 1.45,
+                    smt_active_extra: 0.0,
+                    cluster_static_w: 0.35,
+                },
+            },
+            ClusterDesc {
+                kind_name: "A7 (LITTLE)".to_string(),
+                cores: 4,
+                smt_width: 1,
+                min_freq_mhz: 200.0,
+                max_freq_mhz: 1200.0,
+                perf: PerfParams {
+                    ips_per_thread: 0.95e9,
+                    smt_rate_factor: 1.0,
+                },
+                power: PowerParams {
+                    core_idle_w: 0.02,
+                    core_active_w: 0.24,
+                    smt_active_extra: 0.0,
+                    cluster_static_w: 0.12,
+                },
+            },
+        ],
+        package_static_w: 0.9,
+        // LPDDR3 bandwidth: roughly the demand of 3 A15 cores of fully
+        // memory-bound code.
+        mem_bandwidth: 8.0e9,
+    }
+}
+
+/// A deliberately tiny two-kind machine for tests: 2 big SMT cores and
+/// 2 little cores. Small enough to enumerate every configuration by hand.
+pub fn tiny_test() -> HardwareDescription {
+    HardwareDescription {
+        name: "tiny-test".to_string(),
+        clusters: vec![
+            ClusterDesc {
+                kind_name: "big".to_string(),
+                cores: 2,
+                smt_width: 2,
+                min_freq_mhz: 1000.0,
+                max_freq_mhz: 2000.0,
+                perf: PerfParams {
+                    ips_per_thread: 2.0e9,
+                    smt_rate_factor: 0.6,
+                },
+                power: PowerParams {
+                    core_idle_w: 0.1,
+                    core_active_w: 2.0,
+                    smt_active_extra: 0.2,
+                    cluster_static_w: 0.2,
+                },
+            },
+            ClusterDesc {
+                kind_name: "little".to_string(),
+                cores: 2,
+                smt_width: 1,
+                min_freq_mhz: 1000.0,
+                max_freq_mhz: 1500.0,
+                perf: PerfParams {
+                    ips_per_thread: 1.0e9,
+                    smt_rate_factor: 1.0,
+                },
+                power: PowerParams {
+                    core_idle_w: 0.05,
+                    core_active_w: 0.5,
+                    smt_active_extra: 0.0,
+                    cluster_static_w: 0.1,
+                },
+            },
+        ],
+        package_static_w: 0.5,
+        mem_bandwidth: 4.0e9,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_validate() {
+        raptor_lake().validate().unwrap();
+        odroid_xu3().validate().unwrap();
+        tiny_test().validate().unwrap();
+    }
+
+    #[test]
+    fn odroid_big_little_ratios() {
+        let hw = odroid_xu3();
+        let big = &hw.clusters[0];
+        let little = &hw.clusters[1];
+        let perf_ratio = big.thread_rate(big.max_freq_mhz, 1) / little.thread_rate(little.max_freq_mhz, 1);
+        assert!(perf_ratio > 2.0 && perf_ratio < 4.0, "perf ratio {perf_ratio}");
+        let eff_big = big.thread_rate(big.max_freq_mhz, 1) / big.core_power(big.max_freq_mhz, 1);
+        let eff_little =
+            little.thread_rate(little.max_freq_mhz, 1) / little.core_power(little.max_freq_mhz, 1);
+        assert!(eff_little > 1.5 * eff_big);
+    }
+
+    #[test]
+    fn tiny_has_manageable_config_space() {
+        use harp_types::ExtResourceVector;
+        let hw = tiny_test();
+        let all = ExtResourceVector::enumerate(&hw.erv_shape(), &hw.capacity()).unwrap();
+        // big: histograms over 2 slots with sum<=2 -> 6; little: 3. Total 18.
+        assert_eq!(all.len(), 18);
+    }
+}

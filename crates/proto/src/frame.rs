@@ -1,0 +1,181 @@
+//! Length-prefixed framing for byte-stream transports (Unix sockets).
+//!
+//! Each frame is a little-endian `u32` length followed by the encoded
+//! [`crate::Message`]. The daemon (`harp-daemon`) wraps
+//! `UnixStream`s in [`Framed`]; tests exercise the same code over in-memory
+//! buffers.
+
+use crate::Message;
+use harp_types::{HarpError, Result};
+use std::io::{Read, Write};
+
+/// Maximum accepted frame size (16 MiB) — guards against corrupted length
+/// prefixes allocating unbounded memory.
+pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+
+/// Writes one framed message to `w`.
+///
+/// A `&mut W` can be passed for any `W: Write`.
+///
+/// # Errors
+///
+/// Returns [`HarpError::Io`] on write failure.
+pub fn write_frame<W: Write>(mut w: W, msg: &Message) -> Result<()> {
+    let body = msg.encode();
+    let len = u32::try_from(body.len()).map_err(|_| HarpError::protocol("frame too large"))?;
+    if len > MAX_FRAME_LEN {
+        return Err(HarpError::protocol("frame too large"));
+    }
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&body)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one framed message from `r`, blocking until a full frame arrives.
+///
+/// Returns `Ok(None)` on a clean end-of-stream at a frame boundary.
+///
+/// # Errors
+///
+/// Returns [`HarpError::Io`] on read failure, [`HarpError::Protocol`] on an
+/// oversized frame, a mid-frame end-of-stream, or a malformed body.
+pub fn read_frame<R: Read>(mut r: R) -> Result<Option<Message>> {
+    let mut len_buf = [0u8; 4];
+    // Distinguish clean EOF (zero bytes) from a truncated prefix.
+    match r.read(&mut len_buf[..1])? {
+        0 => return Ok(None),
+        1 => {}
+        _ => unreachable!("read of one byte cannot return more"),
+    }
+    r.read_exact(&mut len_buf[1..])
+        .map_err(|_| HarpError::protocol("truncated frame length"))?;
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME_LEN {
+        return Err(HarpError::protocol(format!("oversized frame: {len} bytes")));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)
+        .map_err(|_| HarpError::protocol("truncated frame body"))?;
+    Message::decode(&body).map(Some)
+}
+
+/// A framed transport over any `Read + Write` stream.
+///
+/// # Example
+///
+/// ```
+/// use harp_proto::frame::{write_frame, read_frame};
+/// use harp_proto::Message;
+///
+/// let mut buf = Vec::new();
+/// write_frame(&mut buf, &Message::Exit { app_id: 1 })?;
+/// write_frame(&mut buf, &Message::Exit { app_id: 2 })?;
+/// let mut cursor = std::io::Cursor::new(buf);
+/// assert_eq!(read_frame(&mut cursor)?, Some(Message::Exit { app_id: 1 }));
+/// assert_eq!(read_frame(&mut cursor)?, Some(Message::Exit { app_id: 2 }));
+/// assert_eq!(read_frame(&mut cursor)?, None);
+/// # Ok::<(), harp_types::HarpError>(())
+/// ```
+#[derive(Debug)]
+pub struct Framed<S> {
+    stream: S,
+}
+
+impl<S: Read + Write> Framed<S> {
+    /// Wraps a stream.
+    pub fn new(stream: S) -> Self {
+        Framed { stream }
+    }
+
+    /// Consumes the wrapper and returns the underlying stream.
+    pub fn into_inner(self) -> S {
+        self.stream
+    }
+
+    /// Sends one message.
+    ///
+    /// # Errors
+    ///
+    /// See [`write_frame`].
+    pub fn send(&mut self, msg: &Message) -> Result<()> {
+        write_frame(&mut self.stream, msg)
+    }
+
+    /// Receives the next message, or `None` at a clean end-of-stream.
+    ///
+    /// # Errors
+    ///
+    /// See [`read_frame`].
+    pub fn recv(&mut self) -> Result<Option<Message>> {
+        read_frame(&mut self.stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Register, AdaptivityType};
+    use std::io::Cursor;
+
+    #[test]
+    fn frame_round_trip_multiple_messages() {
+        let msgs = vec![
+            Message::Register(Register {
+                pid: 1,
+                app_name: "ep.C".into(),
+                adaptivity: AdaptivityType::Scalable,
+                provides_utility: false,
+            }),
+            Message::Exit { app_id: 1 },
+        ];
+        let mut buf = Vec::new();
+        for m in &msgs {
+            write_frame(&mut buf, m).unwrap();
+        }
+        let mut cursor = Cursor::new(buf);
+        for m in &msgs {
+            assert_eq!(read_frame(&mut cursor).unwrap().as_ref(), Some(m));
+        }
+        assert_eq!(read_frame(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn clean_eof_returns_none_truncation_is_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Message::Exit { app_id: 3 }).unwrap();
+        // Truncate mid-frame.
+        buf.truncate(buf.len() - 2);
+        let mut cursor = Cursor::new(buf);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn truncated_length_prefix_is_error() {
+        let mut cursor = Cursor::new(vec![5u8, 0]);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_without_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut cursor = Cursor::new(buf);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn framed_wrapper_works_over_cursor() {
+        let mut inner = Vec::new();
+        {
+            let mut framed = Framed::new(Cursor::new(&mut inner));
+            framed.send(&Message::Exit { app_id: 42 }).unwrap();
+        }
+        let mut framed = Framed::new(Cursor::new(inner));
+        assert_eq!(
+            framed.recv().unwrap(),
+            Some(Message::Exit { app_id: 42 })
+        );
+        assert_eq!(framed.recv().unwrap(), None);
+    }
+}

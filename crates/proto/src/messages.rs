@@ -1,0 +1,528 @@
+//! The HARP protocol message set (paper §4.1.1 and Fig. 3).
+//!
+//! The typical control flow between a managed application and the RM:
+//!
+//! 1. [`Register`] / [`RegisterAck`] — registration request with the
+//!    process id and the supported adaptivity type.
+//! 2. [`SubmitPoints`] — operating points from the application description
+//!    file, plus the utility-subscription flag carried by [`Register`].
+//! 3. [`Activate`] — operating-point activation: the RM communicates the
+//!    selected extended resource vector and the concrete core allocation.
+//! 4. [`UtilityRequest`] / [`UtilityReport`] — periodic utility feedback.
+//! 5. [`Message::Exit`] — deregistration.
+
+use crate::wire::{self, WireType};
+use harp_types::{HarpError, Result};
+
+/// Application adaptivity classification (paper §4.1.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AdaptivityType {
+    /// No runtime adaptation; threads are managed purely via affinity.
+    Static,
+    /// Data-parallel application whose parallelization degree libharp can
+    /// adjust at runtime (OpenMP/TBB-style, made *malleable*).
+    Scalable,
+    /// Application-specific adaptation via registered callbacks
+    /// (e.g. KPN region scaling, algorithm switching).
+    Custom,
+}
+
+impl AdaptivityType {
+    fn to_raw(self) -> u64 {
+        match self {
+            AdaptivityType::Static => 0,
+            AdaptivityType::Scalable => 1,
+            AdaptivityType::Custom => 2,
+        }
+    }
+
+    fn from_raw(raw: u64) -> Result<Self> {
+        match raw {
+            0 => Ok(AdaptivityType::Static),
+            1 => Ok(AdaptivityType::Scalable),
+            2 => Ok(AdaptivityType::Custom),
+            other => Err(HarpError::protocol(format!(
+                "unknown adaptivity type {other}"
+            ))),
+        }
+    }
+}
+
+/// Registration request (application → RM).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Register {
+    /// Process id of the registering application.
+    pub pid: u64,
+    /// Application name (used to look up stored operating-point profiles).
+    pub app_name: String,
+    /// Supported adaptivity type.
+    pub adaptivity: AdaptivityType,
+    /// Whether the application can provide its own utility metric
+    /// (otherwise the RM falls back to IPS from perf, paper §4.2.1).
+    pub provides_utility: bool,
+}
+
+/// Registration acknowledgement (RM → application).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegisterAck {
+    /// The session id assigned by the RM.
+    pub app_id: u64,
+}
+
+/// One operating point on the wire: the flattened extended resource vector
+/// plus utility and power. Fine-grained details never cross the interface
+/// (paper §4.1.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WirePoint {
+    /// Flattened extended resource vector (kind-major slot counts).
+    pub erv_flat: Vec<u32>,
+    /// Utility (IPS or application-specific).
+    pub utility: f64,
+    /// Attributed power in watts.
+    pub power: f64,
+}
+
+/// Operating points from an application description file
+/// (application → RM).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitPoints {
+    /// Session id.
+    pub app_id: u64,
+    /// Per-kind SMT widths describing the vector shape.
+    pub smt_widths: Vec<u32>,
+    /// The submitted points.
+    pub points: Vec<WirePoint>,
+}
+
+/// Operating-point activation (RM → application): the new allocation the
+/// application must adapt to (paper §4.1.1 step 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Activate {
+    /// Session id.
+    pub app_id: u64,
+    /// The selected extended resource vector (flattened).
+    pub erv_flat: Vec<u32>,
+    /// The concrete physical cores allocated (spatial isolation).
+    pub core_ids: Vec<u32>,
+    /// The parallelization degree derived from the vector — the value the
+    /// scalable-application hook clamps the team size to.
+    pub parallelism: u32,
+    /// The concrete hardware threads (SMT siblings) granted — what
+    /// `sched_setaffinity` masks are built from.
+    pub hw_thread_ids: Vec<u32>,
+}
+
+/// Utility poll (RM → application).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UtilityRequest {
+    /// Session id.
+    pub app_id: u64,
+}
+
+/// Utility feedback (application → RM, paper §4.1.1 step 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UtilityReport {
+    /// Session id.
+    pub app_id: u64,
+    /// Current application-specific utility (work per second).
+    pub utility: f64,
+}
+
+/// Protocol-level error notification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorMsg {
+    /// Numeric error code.
+    pub code: u32,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+/// Envelope over all protocol messages.
+///
+/// On the wire: field 1 (varint) holds the message-type discriminant,
+/// field 2 (length-delimited) the type-specific payload. Unknown fields in
+/// any payload are skipped.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)]
+pub enum Message {
+    Register(Register),
+    RegisterAck(RegisterAck),
+    SubmitPoints(SubmitPoints),
+    Activate(Activate),
+    UtilityRequest(UtilityRequest),
+    UtilityReport(UtilityReport),
+    Exit {
+        /// Session id of the exiting application.
+        app_id: u64,
+    },
+    Error(ErrorMsg),
+}
+
+impl Message {
+    fn discriminant(&self) -> u64 {
+        match self {
+            Message::Register(_) => 1,
+            Message::RegisterAck(_) => 2,
+            Message::SubmitPoints(_) => 3,
+            Message::Activate(_) => 4,
+            Message::UtilityRequest(_) => 5,
+            Message::UtilityReport(_) => 6,
+            Message::Exit { .. } => 7,
+            Message::Error(_) => 8,
+        }
+    }
+
+    /// Encodes the message to its wire representation.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        match self {
+            Message::Register(m) => {
+                wire::put_uint_field(&mut payload, 1, m.pid);
+                wire::put_str_field(&mut payload, 2, &m.app_name);
+                wire::put_uint_field(&mut payload, 3, m.adaptivity.to_raw());
+                wire::put_uint_field(&mut payload, 4, u64::from(m.provides_utility));
+            }
+            Message::RegisterAck(m) => {
+                wire::put_uint_field(&mut payload, 1, m.app_id);
+            }
+            Message::SubmitPoints(m) => {
+                wire::put_uint_field(&mut payload, 1, m.app_id);
+                wire::put_packed_u32_field(&mut payload, 2, &m.smt_widths);
+                for p in &m.points {
+                    let mut inner = Vec::new();
+                    wire::put_packed_u32_field(&mut inner, 1, &p.erv_flat);
+                    wire::put_f64_field(&mut inner, 2, p.utility);
+                    wire::put_f64_field(&mut inner, 3, p.power);
+                    wire::put_bytes_field(&mut payload, 3, &inner);
+                }
+            }
+            Message::Activate(m) => {
+                wire::put_uint_field(&mut payload, 1, m.app_id);
+                wire::put_packed_u32_field(&mut payload, 2, &m.erv_flat);
+                wire::put_packed_u32_field(&mut payload, 3, &m.core_ids);
+                wire::put_uint_field(&mut payload, 4, u64::from(m.parallelism));
+                wire::put_packed_u32_field(&mut payload, 5, &m.hw_thread_ids);
+            }
+            Message::UtilityRequest(m) => {
+                wire::put_uint_field(&mut payload, 1, m.app_id);
+            }
+            Message::UtilityReport(m) => {
+                wire::put_uint_field(&mut payload, 1, m.app_id);
+                wire::put_f64_field(&mut payload, 2, m.utility);
+            }
+            Message::Exit { app_id } => {
+                wire::put_uint_field(&mut payload, 1, *app_id);
+            }
+            Message::Error(m) => {
+                wire::put_uint_field(&mut payload, 1, u64::from(m.code));
+                wire::put_str_field(&mut payload, 2, &m.detail);
+            }
+        }
+        let mut out = Vec::with_capacity(payload.len() + 8);
+        wire::put_uint_field(&mut out, 1, self.discriminant());
+        wire::put_bytes_field(&mut out, 2, &payload);
+        out
+    }
+
+    /// Decodes a message from its wire representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarpError::Protocol`] for truncated or malformed input,
+    /// unknown discriminants, or missing required fields.
+    pub fn decode(mut bytes: &[u8]) -> Result<Message> {
+        let buf = &mut bytes;
+        let mut discriminant: Option<u64> = None;
+        let mut payload: Option<Vec<u8>> = None;
+        while buf.len() > 0 {
+            let (field, wiretype) = wire::get_key(buf)?;
+            match (field, wiretype) {
+                (1, WireType::Varint) => discriminant = Some(wire::get_varint(buf)?),
+                (2, WireType::LengthDelimited) => payload = Some(wire::get_bytes(buf)?),
+                (_, w) => wire::skip_field(buf, w)?,
+            }
+        }
+        let discriminant =
+            discriminant.ok_or_else(|| HarpError::protocol("missing message discriminant"))?;
+        let payload = payload.ok_or_else(|| HarpError::protocol("missing message payload"))?;
+        let mut p = payload.as_slice();
+        decode_payload(discriminant, &mut p)
+    }
+}
+
+fn decode_payload(discriminant: u64, buf: &mut &[u8]) -> Result<Message> {
+    match discriminant {
+        1 => {
+            let (mut pid, mut name, mut adapt, mut provides) =
+                (0u64, String::new(), 0u64, false);
+            for_each_field(buf, |field, wiretype, buf| {
+                match (field, wiretype) {
+                    (1, WireType::Varint) => pid = wire::get_varint(buf)?,
+                    (2, WireType::LengthDelimited) => name = wire::get_string(buf)?,
+                    (3, WireType::Varint) => adapt = wire::get_varint(buf)?,
+                    (4, WireType::Varint) => provides = wire::get_varint(buf)? != 0,
+                    (_, w) => wire::skip_field(buf, w)?,
+                }
+                Ok(())
+            })?;
+            Ok(Message::Register(Register {
+                pid,
+                app_name: name,
+                adaptivity: AdaptivityType::from_raw(adapt)?,
+                provides_utility: provides,
+            }))
+        }
+        2 => {
+            let mut app_id = 0u64;
+            for_each_field(buf, |field, wiretype, buf| {
+                match (field, wiretype) {
+                    (1, WireType::Varint) => app_id = wire::get_varint(buf)?,
+                    (_, w) => wire::skip_field(buf, w)?,
+                }
+                Ok(())
+            })?;
+            Ok(Message::RegisterAck(RegisterAck { app_id }))
+        }
+        3 => {
+            let mut app_id = 0u64;
+            let mut smt_widths = Vec::new();
+            let mut points = Vec::new();
+            for_each_field(buf, |field, wiretype, buf| {
+                match (field, wiretype) {
+                    (1, WireType::Varint) => app_id = wire::get_varint(buf)?,
+                    (2, WireType::LengthDelimited) => smt_widths = wire::get_packed_u32(buf)?,
+                    (3, WireType::LengthDelimited) => {
+                        let inner = wire::get_bytes(buf)?;
+                        points.push(decode_point(&mut inner.as_slice())?);
+                    }
+                    (_, w) => wire::skip_field(buf, w)?,
+                }
+                Ok(())
+            })?;
+            Ok(Message::SubmitPoints(SubmitPoints {
+                app_id,
+                smt_widths,
+                points,
+            }))
+        }
+        4 => {
+            let mut app_id = 0u64;
+            let mut erv_flat = Vec::new();
+            let mut core_ids = Vec::new();
+            let mut parallelism = 0u32;
+            let mut hw_thread_ids = Vec::new();
+            for_each_field(buf, |field, wiretype, buf| {
+                match (field, wiretype) {
+                    (1, WireType::Varint) => app_id = wire::get_varint(buf)?,
+                    (2, WireType::LengthDelimited) => erv_flat = wire::get_packed_u32(buf)?,
+                    (3, WireType::LengthDelimited) => core_ids = wire::get_packed_u32(buf)?,
+                    (4, WireType::Varint) => {
+                        parallelism = u32::try_from(wire::get_varint(buf)?)
+                            .map_err(|_| HarpError::protocol("parallelism too large"))?
+                    }
+                    (5, WireType::LengthDelimited) => hw_thread_ids = wire::get_packed_u32(buf)?,
+                    (_, w) => wire::skip_field(buf, w)?,
+                }
+                Ok(())
+            })?;
+            Ok(Message::Activate(Activate {
+                app_id,
+                erv_flat,
+                core_ids,
+                parallelism,
+                hw_thread_ids,
+            }))
+        }
+        5 => {
+            let mut app_id = 0u64;
+            for_each_field(buf, |field, wiretype, buf| {
+                match (field, wiretype) {
+                    (1, WireType::Varint) => app_id = wire::get_varint(buf)?,
+                    (_, w) => wire::skip_field(buf, w)?,
+                }
+                Ok(())
+            })?;
+            Ok(Message::UtilityRequest(UtilityRequest { app_id }))
+        }
+        6 => {
+            let mut app_id = 0u64;
+            let mut utility = 0.0;
+            for_each_field(buf, |field, wiretype, buf| {
+                match (field, wiretype) {
+                    (1, WireType::Varint) => app_id = wire::get_varint(buf)?,
+                    (2, WireType::Fixed64) => utility = wire::get_f64(buf)?,
+                    (_, w) => wire::skip_field(buf, w)?,
+                }
+                Ok(())
+            })?;
+            Ok(Message::UtilityReport(UtilityReport { app_id, utility }))
+        }
+        7 => {
+            let mut app_id = 0u64;
+            for_each_field(buf, |field, wiretype, buf| {
+                match (field, wiretype) {
+                    (1, WireType::Varint) => app_id = wire::get_varint(buf)?,
+                    (_, w) => wire::skip_field(buf, w)?,
+                }
+                Ok(())
+            })?;
+            Ok(Message::Exit { app_id })
+        }
+        8 => {
+            let mut code = 0u32;
+            let mut detail = String::new();
+            for_each_field(buf, |field, wiretype, buf| {
+                match (field, wiretype) {
+                    (1, WireType::Varint) => {
+                        code = u32::try_from(wire::get_varint(buf)?)
+                            .map_err(|_| HarpError::protocol("error code too large"))?
+                    }
+                    (2, WireType::LengthDelimited) => detail = wire::get_string(buf)?,
+                    (_, w) => wire::skip_field(buf, w)?,
+                }
+                Ok(())
+            })?;
+            Ok(Message::Error(ErrorMsg { code, detail }))
+        }
+        other => Err(HarpError::protocol(format!(
+            "unknown message discriminant {other}"
+        ))),
+    }
+}
+
+fn decode_point(buf: &mut &[u8]) -> Result<WirePoint> {
+    let mut erv_flat = Vec::new();
+    let mut utility = 0.0;
+    let mut power = 0.0;
+    for_each_field(buf, |field, wiretype, buf| {
+        match (field, wiretype) {
+            (1, WireType::LengthDelimited) => erv_flat = wire::get_packed_u32(buf)?,
+            (2, WireType::Fixed64) => utility = wire::get_f64(buf)?,
+            (3, WireType::Fixed64) => power = wire::get_f64(buf)?,
+            (_, w) => wire::skip_field(buf, w)?,
+        }
+        Ok(())
+    })?;
+    Ok(WirePoint {
+        erv_flat,
+        utility,
+        power,
+    })
+}
+
+fn for_each_field(
+    buf: &mut &[u8],
+    mut f: impl FnMut(u32, WireType, &mut &[u8]) -> Result<()>,
+) -> Result<()> {
+    while !buf.is_empty() {
+        let (field, wiretype) = wire::get_key(buf)?;
+        f(field, wiretype, buf)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(msg: Message) {
+        let bytes = msg.encode();
+        let back = Message::decode(&bytes).unwrap();
+        assert_eq!(msg, back);
+    }
+
+    #[test]
+    fn all_message_types_round_trip() {
+        round_trip(Message::Register(Register {
+            pid: 31337,
+            app_name: "binpack".into(),
+            adaptivity: AdaptivityType::Scalable,
+            provides_utility: true,
+        }));
+        round_trip(Message::RegisterAck(RegisterAck { app_id: 9 }));
+        round_trip(Message::SubmitPoints(SubmitPoints {
+            app_id: 9,
+            smt_widths: vec![2, 1],
+            points: vec![
+                WirePoint {
+                    erv_flat: vec![0, 8, 16],
+                    utility: 3.3e10,
+                    power: 110.5,
+                },
+                WirePoint {
+                    erv_flat: vec![1, 0, 0],
+                    utility: 9.0e9,
+                    power: 11.0,
+                },
+            ],
+        }));
+        round_trip(Message::Activate(Activate {
+            app_id: 9,
+            erv_flat: vec![1, 2, 4],
+            core_ids: vec![0, 1, 2, 8, 9, 10, 11],
+            parallelism: 9,
+            hw_thread_ids: vec![0, 1, 2, 3, 4, 16, 17, 18, 19],
+        }));
+        round_trip(Message::UtilityRequest(UtilityRequest { app_id: 9 }));
+        round_trip(Message::UtilityReport(UtilityReport {
+            app_id: 9,
+            utility: 1234.5,
+        }));
+        round_trip(Message::Exit { app_id: 9 });
+        round_trip(Message::Error(ErrorMsg {
+            code: 3,
+            detail: "no such session".into(),
+        }));
+    }
+
+    #[test]
+    fn empty_collections_round_trip() {
+        round_trip(Message::SubmitPoints(SubmitPoints {
+            app_id: 0,
+            smt_widths: vec![],
+            points: vec![],
+        }));
+        round_trip(Message::Activate(Activate {
+            app_id: 0,
+            erv_flat: vec![],
+            core_ids: vec![],
+            parallelism: 0,
+            hw_thread_ids: vec![],
+        }));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Message::decode(&[]).is_err());
+        assert!(Message::decode(&[0xff, 0xff, 0xff]).is_err());
+        // Valid envelope but unknown discriminant.
+        let mut out = Vec::new();
+        wire::put_uint_field(&mut out, 1, 99);
+        wire::put_bytes_field(&mut out, 2, &[]);
+        assert!(Message::decode(&out).is_err());
+    }
+
+    #[test]
+    fn decoder_skips_unknown_fields() {
+        // Encode a RegisterAck with an extra field 17 appended to its payload.
+        let mut payload = Vec::new();
+        wire::put_uint_field(&mut payload, 1, 5);
+        wire::put_str_field(&mut payload, 17, "future extension");
+        let mut out = Vec::new();
+        wire::put_uint_field(&mut out, 1, 2);
+        wire::put_bytes_field(&mut out, 2, &payload);
+        assert_eq!(
+            Message::decode(&out).unwrap(),
+            Message::RegisterAck(RegisterAck { app_id: 5 })
+        );
+    }
+
+    #[test]
+    fn adaptivity_type_raw_values_are_stable() {
+        // Wire compatibility: these values must never change.
+        assert_eq!(AdaptivityType::Static.to_raw(), 0);
+        assert_eq!(AdaptivityType::Scalable.to_raw(), 1);
+        assert_eq!(AdaptivityType::Custom.to_raw(), 2);
+        assert!(AdaptivityType::from_raw(3).is_err());
+    }
+}

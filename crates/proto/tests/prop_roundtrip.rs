@@ -1,0 +1,130 @@
+//! Property tests: every representable message survives an encode/decode
+//! round trip, both bare and framed, and the decoder never panics on
+//! arbitrary bytes.
+
+use harp_proto::{
+    frame, Activate, AdaptivityType, ErrorMsg, Message, Register, RegisterAck, SubmitPoints,
+    UtilityReport, UtilityRequest, WirePoint,
+};
+use proptest::prelude::*;
+
+fn arb_adaptivity() -> impl Strategy<Value = AdaptivityType> {
+    prop_oneof![
+        Just(AdaptivityType::Static),
+        Just(AdaptivityType::Scalable),
+        Just(AdaptivityType::Custom),
+    ]
+}
+
+fn arb_point() -> impl Strategy<Value = WirePoint> {
+    (
+        proptest::collection::vec(any::<u32>(), 0..6),
+        any::<f64>(),
+        any::<f64>(),
+    )
+        .prop_map(|(erv_flat, utility, power)| WirePoint {
+            erv_flat,
+            utility,
+            power,
+        })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (any::<u64>(), ".{0,40}", arb_adaptivity(), any::<bool>()).prop_map(
+            |(pid, app_name, adaptivity, provides_utility)| Message::Register(Register {
+                pid,
+                app_name,
+                adaptivity,
+                provides_utility,
+            })
+        ),
+        any::<u64>().prop_map(|app_id| Message::RegisterAck(RegisterAck { app_id })),
+        (
+            any::<u64>(),
+            proptest::collection::vec(any::<u32>(), 0..4),
+            proptest::collection::vec(arb_point(), 0..5),
+        )
+            .prop_map(|(app_id, smt_widths, points)| {
+                Message::SubmitPoints(SubmitPoints {
+                    app_id,
+                    smt_widths,
+                    points,
+                })
+            }),
+        (
+            any::<u64>(),
+            proptest::collection::vec(any::<u32>(), 0..6),
+            proptest::collection::vec(any::<u32>(), 0..32),
+            any::<u32>(),
+            proptest::collection::vec(any::<u32>(), 0..32),
+        )
+            .prop_map(|(app_id, erv_flat, core_ids, parallelism, hw_thread_ids)| {
+                Message::Activate(Activate {
+                    app_id,
+                    erv_flat,
+                    core_ids,
+                    parallelism,
+                    hw_thread_ids,
+                })
+            }),
+        any::<u64>().prop_map(|app_id| Message::UtilityRequest(UtilityRequest { app_id })),
+        (any::<u64>(), any::<f64>()).prop_map(|(app_id, utility)| {
+            Message::UtilityReport(UtilityReport { app_id, utility })
+        }),
+        any::<u64>().prop_map(|app_id| Message::Exit { app_id }),
+        (any::<u32>(), ".{0,60}").prop_map(|(code, detail)| Message::Error(ErrorMsg {
+            code,
+            detail,
+        })),
+    ]
+}
+
+/// NaN-aware message equality (NaN utilities round-trip bit-exactly but
+/// `PartialEq` would reject them).
+fn msg_eq(a: &Message, b: &Message) -> bool {
+    a.encode() == b.encode()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn encode_decode_round_trip(msg in arb_message()) {
+        let bytes = msg.encode();
+        let back = Message::decode(&bytes).expect("decode of own encoding");
+        prop_assert!(msg_eq(&msg, &back));
+    }
+
+    #[test]
+    fn framed_round_trip(msgs in proptest::collection::vec(arb_message(), 1..6)) {
+        let mut buf = Vec::new();
+        for m in &msgs {
+            frame::write_frame(&mut buf, m).expect("write frame");
+        }
+        let mut cursor = std::io::Cursor::new(buf);
+        for m in &msgs {
+            let got = frame::read_frame(&mut cursor)
+                .expect("read frame")
+                .expect("frame present");
+            prop_assert!(msg_eq(m, &got));
+        }
+        prop_assert_eq!(frame::read_frame(&mut cursor).expect("clean eof"), None);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Message::decode(&bytes); // may error, must not panic
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic(msg in arb_message(), cut in 0.0f64..1.0) {
+        let bytes = msg.encode();
+        if bytes.len() > 1 {
+            let keep = ((bytes.len() as f64) * cut) as usize;
+            if keep < bytes.len() {
+                let _ = Message::decode(&bytes[..keep]); // may error, must not panic
+            }
+        }
+    }
+}

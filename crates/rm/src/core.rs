@@ -1,0 +1,835 @@
+//! The transport-agnostic RM state machine.
+
+use harp_alloc::{allocate, hw_threads_for, AllocOption, AllocRequest, SolverKind};
+use harp_energy::EnergyAttributor;
+use harp_explore::{ExplorationConfig, Explorer, SampleOutcome, Stage};
+use harp_platform::HardwareDescription;
+use harp_types::{
+    energy_utility_cost, AppId, CoreId, ExtResourceVector, HarpError, HwThreadId,
+    NonFunctional, OperatingPointTable, ResourceVector, Result,
+};
+use std::collections::HashMap;
+
+/// RM configuration.
+#[derive(Debug, Clone)]
+pub struct RmConfig {
+    /// MMKP solver used for allocation rounds.
+    pub solver: SolverKind,
+    /// Online-exploration parameters.
+    pub exploration: ExplorationConfig,
+    /// Offline mode: applications run on their preloaded profiles and no
+    /// runtime exploration happens (the *HARP (Offline)* variant, and the
+    /// only mode on the Odroid, §6.4).
+    pub offline: bool,
+    /// Modelled CPU cost of one RM↔libharp message round trip, charged by
+    /// the frontend to the application (overhead study, §6.6).
+    pub message_cost_ns: u64,
+    /// Modelled CPU cost of one allocation solve.
+    pub solve_cost_ns: u64,
+}
+
+impl Default for RmConfig {
+    fn default() -> Self {
+        RmConfig {
+            solver: SolverKind::Lagrangian,
+            exploration: ExplorationConfig::default(),
+            offline: false,
+            message_cost_ns: 300_000,
+            solve_cost_ns: 2_000_000,
+        }
+    }
+}
+
+/// An operating-point activation the frontend must relay to an application
+/// (paper §4.1.1 step 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Directive {
+    /// Target application.
+    pub app: AppId,
+    /// The activated extended resource vector.
+    pub erv: ExtResourceVector,
+    /// Concrete granted cores.
+    pub cores: Vec<CoreId>,
+    /// Concrete granted hardware threads.
+    pub hw_threads: Vec<HwThreadId>,
+    /// The parallelization degree libharp should apply.
+    pub parallelism: u32,
+}
+
+/// The result of an RM entry point: activations to relay plus bookkeeping
+/// for overhead accounting.
+#[derive(Debug, Clone, Default)]
+pub struct RmOutput {
+    /// Activations to deliver.
+    pub directives: Vec<Directive>,
+    /// Number of allocation solves performed.
+    pub solves: u32,
+}
+
+impl RmOutput {
+    fn merge(&mut self, other: RmOutput) {
+        // Later directives supersede earlier ones for the same app.
+        for d in other.directives {
+            self.directives.retain(|x| x.app != d.app);
+            self.directives.push(d);
+        }
+        self.solves += other.solves;
+    }
+}
+
+/// One application observation of a measurement tick.
+#[derive(Debug, Clone)]
+pub struct AppObservation {
+    /// The application.
+    pub app: AppId,
+    /// Utility rate over the tick: IPS from perf sampling, or the
+    /// application-specific metric for apps that provide one (§4.2.1).
+    pub utility_rate: f64,
+    /// Cumulative per-kind CPU seconds (scheduler accounting).
+    pub cpu_time: Vec<f64>,
+}
+
+/// Observations of one measurement tick (50 ms cadence by default).
+#[derive(Debug, Clone)]
+pub struct TickObservations {
+    /// Interval length in seconds.
+    pub dt_s: f64,
+    /// Cumulative package energy counter in joules (RAPL-style).
+    pub package_energy_j: f64,
+    /// Per-application observations.
+    pub apps: Vec<AppObservation>,
+}
+
+struct Session {
+    name: String,
+    #[allow(dead_code)]
+    provides_utility: bool,
+    explorer: Explorer,
+    /// Disjoint core envelope this session may use until the next
+    /// allocation round (selected point + leftover share while exploring).
+    envelope: Vec<CoreId>,
+    /// The configuration the application currently runs.
+    active_erv: Option<ExtResourceVector>,
+    samples_since_realloc: u64,
+    co_allocated: bool,
+}
+
+/// The HARP RM state machine. See the [crate docs](crate) for the overall
+/// role; frontends call [`RmCore::register`], [`RmCore::deregister`] and
+/// [`RmCore::tick`] and relay the returned [`Directive`]s.
+pub struct RmCore {
+    hw: HardwareDescription,
+    cfg: RmConfig,
+    sessions: HashMap<AppId, Session>,
+    attributor: EnergyAttributor,
+    last_package_energy: f64,
+    last_cpu: HashMap<AppId, Vec<f64>>,
+    /// Operating-point profiles persisted across application runs, keyed by
+    /// application name (the `/etc/harp` profile store, §4.3).
+    profiles: HashMap<String, OperatingPointTable>,
+}
+
+impl std::fmt::Debug for RmCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RmCore")
+            .field("sessions", &self.sessions.len())
+            .field("profiles", &self.profiles.len())
+            .field("offline", &self.cfg.offline)
+            .finish()
+    }
+}
+
+impl RmCore {
+    /// Creates an RM for a machine.
+    pub fn new(hw: HardwareDescription, cfg: RmConfig) -> Self {
+        let attributor = EnergyAttributor::new(&hw);
+        RmCore {
+            hw,
+            cfg,
+            sessions: HashMap::new(),
+            attributor,
+            last_package_energy: 0.0,
+            last_cpu: HashMap::new(),
+            profiles: HashMap::new(),
+        }
+    }
+
+    /// The RM configuration.
+    pub fn config(&self) -> &RmConfig {
+        &self.cfg
+    }
+
+    /// Installs an operating-point profile for an application name (from a
+    /// description file or a previous run).
+    pub fn load_profile(&mut self, name: impl Into<String>, table: OperatingPointTable) {
+        self.profiles.insert(name.into(), table);
+    }
+
+    /// The stored profile of an application name, if any.
+    pub fn profile(&self, name: &str) -> Option<&OperatingPointTable> {
+        self.profiles.get(name)
+    }
+
+    /// The exploration stage of a managed application (always `Stable` in
+    /// offline mode).
+    pub fn stage_of(&self, app: AppId) -> Option<Stage> {
+        let s = self.sessions.get(&app)?;
+        Some(self.session_stage(s))
+    }
+
+    /// Whether every managed application has reached the stable stage.
+    pub fn all_stable(&self) -> bool {
+        self.sessions
+            .values()
+            .all(|s| self.session_stage(s) == Stage::Stable)
+    }
+
+    /// Ids of all managed applications.
+    pub fn managed_apps(&self) -> Vec<AppId> {
+        let mut v: Vec<AppId> = self.sessions.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    fn session_stage(&self, s: &Session) -> Stage {
+        if self.cfg.offline {
+            Stage::Stable
+        } else {
+            s.explorer.stage()
+        }
+    }
+
+    /// Registers an application (paper §4.1.1 steps 1–3). Returns the
+    /// activations of the triggered allocation round.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarpError::Other`] on duplicate registration.
+    pub fn register(&mut self, app: AppId, name: &str, provides_utility: bool) -> Result<RmOutput> {
+        if self.sessions.contains_key(&app) {
+            return Err(HarpError::other(format!("{app} already registered")));
+        }
+        let mut explorer = Explorer::new(
+            &self.hw.erv_shape(),
+            &self.hw.capacity(),
+            self.cfg.exploration.clone(),
+        )?;
+        if let Some(profile) = self.profiles.get(name) {
+            explorer.seed_measured(
+                profile
+                    .iter_measured()
+                    .map(|(_, p)| (p.erv.clone(), p.nfc)),
+            );
+        }
+        self.sessions.insert(
+            app,
+            Session {
+                name: name.to_string(),
+                provides_utility,
+                explorer,
+                envelope: Vec::new(),
+                active_erv: None,
+                samples_since_realloc: 0,
+                co_allocated: false,
+            },
+        );
+        self.reallocate()
+    }
+
+    /// The live operating-point table of a managed application.
+    pub fn session_table(&self, app: AppId) -> Option<&OperatingPointTable> {
+        self.sessions.get(&app).map(|s| s.explorer.table())
+    }
+
+    /// A snapshot of every known operating-point table: stored profiles
+    /// overlaid with the live tables of currently managed applications
+    /// (used by the learning-phase study, Fig. 8).
+    pub fn snapshot_profiles(&self) -> HashMap<String, OperatingPointTable> {
+        let mut out = self.profiles.clone();
+        for s in self.sessions.values() {
+            let table: OperatingPointTable = s
+                .explorer
+                .table()
+                .iter_measured()
+                .map(|(_, p)| harp_types::OperatingPoint::new(p.erv.clone(), p.nfc))
+                .collect();
+            out.insert(s.name.clone(), table);
+        }
+        out
+    }
+
+    /// Submits operating points for a registered application (paper §4.1.1
+    /// step 2: points parsed from the application description file). The
+    /// points are recorded as measured and an allocation round runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarpError::NotFound`] for unknown applications.
+    pub fn submit_points(
+        &mut self,
+        app: AppId,
+        points: Vec<(ExtResourceVector, NonFunctional)>,
+    ) -> Result<RmOutput> {
+        let session = self
+            .sessions
+            .get_mut(&app)
+            .ok_or_else(|| HarpError::not_found(format!("{app}")))?;
+        session.explorer.seed_measured(points);
+        self.reallocate()
+    }
+
+    /// Deregisters an application: its learned profile is persisted (the
+    /// self-improving store of §4.3) and resources are re-balanced.
+    pub fn deregister(&mut self, app: AppId) -> Result<RmOutput> {
+        if let Some(s) = self.sessions.remove(&app) {
+            self.profiles.insert(s.name, s.explorer.into_table());
+        }
+        self.attributor.remove(app);
+        self.last_cpu.remove(&app);
+        if self.sessions.is_empty() {
+            Ok(RmOutput::default())
+        } else {
+            self.reallocate()
+        }
+    }
+
+    /// Processes one measurement tick (paper §5.1/§5.3): energy
+    /// attribution, EMA-smoothed sampling, exploration progress, and —
+    /// when campaigns complete or the stable re-evaluation cycle elapses —
+    /// new allocation rounds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation errors (which indicate an inconsistent
+    /// machine description rather than a runtime condition).
+    pub fn tick(&mut self, obs: &TickObservations) -> Result<RmOutput> {
+        // Energy attribution from observable counters.
+        let energy_delta = (obs.package_energy_j - self.last_package_energy).max(0.0);
+        self.last_package_energy = obs.package_energy_j;
+        let mut cpu_deltas = Vec::with_capacity(obs.apps.len());
+        for a in &obs.apps {
+            let prev = self
+                .last_cpu
+                .get(&a.app)
+                .cloned()
+                .unwrap_or_else(|| vec![0.0; a.cpu_time.len()]);
+            let delta: Vec<f64> = a
+                .cpu_time
+                .iter()
+                .zip(prev.iter().chain(std::iter::repeat(&0.0)))
+                .map(|(now, before)| (now - before).max(0.0))
+                .collect();
+            self.last_cpu.insert(a.app, a.cpu_time.clone());
+            cpu_deltas.push((a.app, delta));
+        }
+        self.attributor.update(obs.dt_s, energy_delta, &cpu_deltas);
+
+        let mut out = RmOutput::default();
+        let mut want_realloc = false;
+        let mut retarget: Vec<AppId> = Vec::new();
+
+        for a in &obs.apps {
+            let power = self.attributor.last_power(a.app);
+            let Some(session) = self.sessions.get_mut(&a.app) else {
+                continue;
+            };
+            if session.co_allocated {
+                // Co-allocation distorts measurements; monitoring is
+                // suspended (paper §4.2.2).
+                continue;
+            }
+            if self.cfg.offline {
+                continue;
+            }
+            if session.explorer.current_target().is_some() {
+                match session.explorer.record_sample(a.utility_rate, power)? {
+                    SampleOutcome::Continue => {}
+                    SampleOutcome::TargetDone => {
+                        session.explorer.refresh_predictions();
+                        if session.explorer.stage() == Stage::Stable {
+                            want_realloc = true;
+                        } else {
+                            retarget.push(a.app);
+                        }
+                    }
+                }
+            } else if let Some(erv) = session.active_erv.clone() {
+                session.explorer.record_ambient(&erv, a.utility_rate, power);
+                session.samples_since_realloc += 1;
+                if session.samples_since_realloc
+                    >= self.cfg.exploration.stable_realloc_every
+                {
+                    session.samples_since_realloc = 0;
+                    want_realloc = true;
+                }
+            }
+        }
+
+        if want_realloc {
+            out.merge(self.reallocate()?);
+        } else {
+            for app in retarget {
+                if let Some(d) = self.next_target_directive(app) {
+                    out.merge(RmOutput {
+                        directives: vec![d],
+                        solves: 0,
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Chooses the next exploration target for `app` within its existing
+    /// envelope and produces the corresponding activation.
+    fn next_target_directive(&mut self, app: AppId) -> Option<Directive> {
+        let hw = self.hw.clone();
+        let session = self.sessions.get_mut(&app)?;
+        let envelope_rv = cores_to_rv(&session.envelope, &hw);
+        let erv = match session.explorer.begin_target(&envelope_rv) {
+            Some(t) => t,
+            None => {
+                // Candidate space within the envelope exhausted: run on the
+                // full envelope until the next allocation round.
+                full_envelope_erv(&session.envelope, &hw)
+            }
+        };
+        session.active_erv = Some(erv.clone());
+        Some(directive_for(app, &erv, &session.envelope, &hw))
+    }
+
+    /// Runs one allocation round (paper §4.2 + §5.3 integration): MMKP over
+    /// the Pareto-optimal operating points of every application, leftover
+    /// cores to exploring applications, exploration targets within the
+    /// envelopes.
+    fn reallocate(&mut self) -> Result<RmOutput> {
+        let hw = self.hw.clone();
+        let mut out = RmOutput {
+            directives: Vec::new(),
+            solves: 1,
+        };
+        let mut ids: Vec<AppId> = self.sessions.keys().copied().collect();
+        ids.sort();
+
+        // 1. Allocation requests from sessions with usable tables.
+        let mut requests = Vec::new();
+        for &app in &ids {
+            let s = &self.sessions[&app];
+            let table = s.explorer.table();
+            if table.max_utility() <= 0.0 {
+                continue;
+            }
+            let v_max = table.max_utility();
+            let options: Vec<AllocOption> = s
+                .explorer
+                .pareto_options()
+                .into_iter()
+                .filter(|(_, erv, _)| !erv.is_zero())
+                .map(|(op, erv, nfc)| AllocOption {
+                    op,
+                    cost: energy_utility_cost(nfc.utility, nfc.power, v_max),
+                    erv,
+                })
+                .collect();
+            if !options.is_empty() {
+                requests.push(AllocRequest { app, options });
+            }
+        }
+
+        let allocation = allocate(&requests, &hw, self.cfg.solver)?;
+        let co = allocation.co_allocated;
+
+        // 2. Used cores and leftovers.
+        let mut used: Vec<bool> = vec![false; hw.num_cores()];
+        if !co {
+            for c in allocation.choices.values() {
+                for core in &c.cores {
+                    used[core.0] = true;
+                }
+            }
+        }
+        let leftovers: Vec<CoreId> = (0..hw.num_cores())
+            .map(CoreId)
+            .filter(|c| !used[c.0] && !co)
+            .collect();
+
+        // 3. Exploring sessions share the leftovers evenly (round-robin per
+        //    kind keeps the shares heterogeneous).
+        let exploring: Vec<AppId> = ids
+            .iter()
+            .copied()
+            .filter(|app| {
+                let s = &self.sessions[app];
+                !self.cfg.offline && s.explorer.stage() != Stage::Stable
+            })
+            .collect();
+        let mut extra: HashMap<AppId, Vec<CoreId>> = HashMap::new();
+        if !exploring.is_empty() {
+            for (i, core) in leftovers.iter().enumerate() {
+                extra
+                    .entry(exploring[i % exploring.len()])
+                    .or_default()
+                    .push(*core);
+            }
+        }
+
+        // 4. Build envelopes and activations.
+        for &app in &ids {
+            let choice = allocation.choices.get(&app);
+            let mut envelope: Vec<CoreId> = choice.map(|c| c.cores.clone()).unwrap_or_default();
+            if let Some(more) = extra.get(&app) {
+                envelope.extend(more.iter().copied());
+            }
+            let session_co = if envelope.is_empty() {
+                // Nothing at all for this app (e.g. empty table and no
+                // leftovers): co-allocate it onto the whole machine.
+                envelope = (0..hw.num_cores()).map(CoreId).collect();
+                true
+            } else {
+                co
+            };
+            envelope.sort();
+            let is_exploring = exploring.contains(&app);
+            let session = self.sessions.get_mut(&app).expect("session exists");
+            session.envelope = envelope.clone();
+            session.co_allocated = session_co;
+            session.samples_since_realloc = 0;
+
+            let erv = if is_exploring && !session_co {
+                let envelope_rv = cores_to_rv(&envelope, &hw);
+                match session.explorer.begin_target(&envelope_rv) {
+                    Some(t) => t,
+                    None => full_envelope_erv(&envelope, &hw),
+                }
+            } else if let Some(c) = choice {
+                c.erv.clone()
+            } else {
+                full_envelope_erv(&envelope, &hw)
+            };
+            session.active_erv = Some(erv.clone());
+            out.directives.push(directive_for(app, &erv, &envelope, &hw));
+        }
+        Ok(out)
+    }
+}
+
+/// Per-kind core counts of a concrete core list.
+fn cores_to_rv(cores: &[CoreId], hw: &HardwareDescription) -> ResourceVector {
+    let mut counts = vec![0u32; hw.num_kinds()];
+    for &c in cores {
+        if let Ok(kind) = hw.kind_of_core(c) {
+            counts[kind.0] += 1;
+        }
+    }
+    ResourceVector::new(counts)
+}
+
+/// The full-SMT extended resource vector over a concrete core list.
+fn full_envelope_erv(cores: &[CoreId], hw: &HardwareDescription) -> ExtResourceVector {
+    let shape = hw.erv_shape();
+    let rv = cores_to_rv(cores, hw);
+    ExtResourceVector::full_smt(&shape, rv.counts()).expect("envelope matches shape")
+}
+
+/// Builds the activation for `erv` using cores from the session envelope.
+fn directive_for(
+    app: AppId,
+    erv: &ExtResourceVector,
+    envelope: &[CoreId],
+    hw: &HardwareDescription,
+) -> Directive {
+    // Pick the demanded number of cores of each kind from the envelope.
+    let mut cores = Vec::new();
+    for kind in 0..hw.num_kinds() {
+        let needed = erv.cores_of_kind(kind) as usize;
+        let of_kind = envelope
+            .iter()
+            .copied()
+            .filter(|c| hw.kind_of_core(*c).map(|k| k.0) == Ok(kind));
+        cores.extend(of_kind.take(needed));
+    }
+    cores.sort();
+    let hw_threads = hw_threads_for(erv, &cores, hw).unwrap_or_default();
+    Directive {
+        app,
+        erv: erv.clone(),
+        parallelism: erv.total_threads(),
+        cores,
+        hw_threads,
+    }
+}
+
+trait ExplorerExt {
+    fn into_table(self) -> OperatingPointTable;
+}
+
+impl ExplorerExt for Explorer {
+    fn into_table(self) -> OperatingPointTable {
+        // Persist only measured points; predictions are recomputed.
+        self.table()
+            .iter_measured()
+            .map(|(_, p)| harp_types::OperatingPoint::new(p.erv.clone(), p.nfc))
+            .collect()
+    }
+}
+
+// Re-exported for frontends that need to seed tables directly.
+#[doc(hidden)]
+pub fn table_from_points(
+    points: Vec<(ExtResourceVector, NonFunctional)>,
+) -> OperatingPointTable {
+    points
+        .into_iter()
+        .map(|(erv, nfc)| harp_types::OperatingPoint::new(erv, nfc))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harp_platform::presets;
+
+    fn rm() -> RmCore {
+        RmCore::new(presets::raptor_lake(), RmConfig::default())
+    }
+
+    #[test]
+    fn fresh_app_gets_whole_machine_envelope() {
+        let mut rm = rm();
+        let out = rm.register(AppId(1), "ep", false).unwrap();
+        assert_eq!(out.directives.len(), 1);
+        let d = &out.directives[0];
+        assert_eq!(d.app, AppId(1));
+        assert!(!d.cores.is_empty());
+        assert_eq!(rm.stage_of(AppId(1)), Some(Stage::Initial));
+    }
+
+    #[test]
+    fn duplicate_registration_is_rejected() {
+        let mut rm = rm();
+        rm.register(AppId(1), "ep", false).unwrap();
+        assert!(rm.register(AppId(1), "ep", false).is_err());
+    }
+
+    #[test]
+    fn two_exploring_apps_get_disjoint_envelopes() {
+        let mut rm = rm();
+        rm.register(AppId(1), "a", false).unwrap();
+        let out = rm.register(AppId(2), "b", false).unwrap();
+        assert_eq!(out.directives.len(), 2);
+        let d1 = out.directives.iter().find(|d| d.app == AppId(1)).unwrap();
+        let d2 = out.directives.iter().find(|d| d.app == AppId(2)).unwrap();
+        let overlap = d1.cores.iter().any(|c| d2.cores.contains(c));
+        assert!(!overlap, "exploration envelopes must not overlap");
+    }
+
+    #[test]
+    fn ticks_drive_campaigns_to_completion() {
+        let mut rm = rm();
+        rm.register(AppId(1), "app", false).unwrap();
+        let per_point = rm.config().exploration.measurements_per_point as usize;
+        // Drive enough ticks for several campaigns.
+        let mut directives_seen = 0;
+        for i in 0..(per_point * 3 + 1) {
+            let obs = TickObservations {
+                dt_s: 0.05,
+                package_energy_j: (i as f64 + 1.0) * 1.0,
+                apps: vec![AppObservation {
+                    app: AppId(1),
+                    utility_rate: 1.0e9,
+                    cpu_time: vec![0.05 * (i + 1) as f64, 0.0],
+                }],
+            };
+            let out = rm.tick(&obs).unwrap();
+            directives_seen += out.directives.len();
+        }
+        // At least two new targets were activated.
+        assert!(directives_seen >= 2, "saw {directives_seen} directives");
+        let table = rm.sessions[&AppId(1)].explorer.table();
+        assert!(table.measured_count() >= 3);
+    }
+
+    #[test]
+    fn profile_persists_across_runs() {
+        let mut rm = rm();
+        rm.register(AppId(1), "app", false).unwrap();
+        for i in 0..60 {
+            let obs = TickObservations {
+                dt_s: 0.05,
+                package_energy_j: (i as f64 + 1.0) * 1.5,
+                apps: vec![AppObservation {
+                    app: AppId(1),
+                    utility_rate: 2.0e9,
+                    cpu_time: vec![0.05 * (i + 1) as f64, 0.0],
+                }],
+            };
+            rm.tick(&obs).unwrap();
+        }
+        rm.deregister(AppId(1)).unwrap();
+        let profile_points = rm.profile("app").unwrap().measured_count();
+        assert!(profile_points >= 2);
+        // A new run of the same app resumes from the stored profile.
+        rm.register(AppId(7), "app", false).unwrap();
+        let resumed = rm.sessions[&AppId(7)].explorer.table().measured_count();
+        assert_eq!(resumed, profile_points);
+    }
+
+    #[test]
+    fn offline_mode_uses_profiles_without_exploring() {
+        let hw = presets::raptor_lake();
+        let shape = hw.erv_shape();
+        let mut cfg = RmConfig::default();
+        cfg.offline = true;
+        let mut rm = RmCore::new(hw, cfg);
+        let points = vec![
+            (
+                ExtResourceVector::from_flat(&shape, &[0, 4, 0]).unwrap(),
+                NonFunctional::new(10.0, 30.0),
+            ),
+            (
+                ExtResourceVector::from_flat(&shape, &[0, 0, 8]).unwrap(),
+                NonFunctional::new(8.0, 10.0),
+            ),
+        ];
+        rm.load_profile("mg", table_from_points(points));
+        let out = rm.register(AppId(1), "mg", false).unwrap();
+        assert_eq!(out.directives.len(), 1);
+        let d = &out.directives[0];
+        // The cheap E-core point wins on energy-utility cost:
+        // P: (30/(10/10))·(1/1)=30; E: (10/0.8)·(1/0.8)=15.6.
+        assert_eq!(d.erv.cores_of_kind(1), 8);
+        assert_eq!(rm.stage_of(AppId(1)), Some(Stage::Stable));
+        // Offline mode never starts campaigns.
+        let obs = TickObservations {
+            dt_s: 0.05,
+            package_energy_j: 1.0,
+            apps: vec![AppObservation {
+                app: AppId(1),
+                utility_rate: 8.0,
+                cpu_time: vec![0.0, 0.4],
+            }],
+        };
+        let out = rm.tick(&obs).unwrap();
+        assert!(out.directives.is_empty());
+    }
+
+    #[test]
+    fn deregistration_rebalances_remaining_apps() {
+        let mut rm = rm();
+        rm.register(AppId(1), "a", false).unwrap();
+        rm.register(AppId(2), "b", false).unwrap();
+        let out = rm.deregister(AppId(1)).unwrap();
+        // The survivor is re-activated with a larger envelope.
+        assert_eq!(out.directives.len(), 1);
+        assert_eq!(out.directives[0].app, AppId(2));
+        assert_eq!(rm.managed_apps(), vec![AppId(2)]);
+        // Removing the last app yields no directives.
+        let out = rm.deregister(AppId(2)).unwrap();
+        assert!(out.directives.is_empty());
+    }
+
+    #[test]
+    fn unknown_app_ticks_are_ignored() {
+        let mut rm = rm();
+        let obs = TickObservations {
+            dt_s: 0.05,
+            package_energy_j: 1.0,
+            apps: vec![AppObservation {
+                app: AppId(99),
+                utility_rate: 1.0,
+                cpu_time: vec![0.0, 0.0],
+            }],
+        };
+        let out = rm.tick(&obs).unwrap();
+        assert!(out.directives.is_empty());
+    }
+
+    #[test]
+    fn submit_points_triggers_profile_driven_allocation() {
+        let hw = presets::raptor_lake();
+        let shape = hw.erv_shape();
+        let mut cfg = RmConfig::default();
+        cfg.offline = true;
+        let mut rm = RmCore::new(hw, cfg);
+        rm.register(AppId(1), "late-points", false).unwrap();
+        let out = rm
+            .submit_points(
+                AppId(1),
+                vec![
+                    (
+                        ExtResourceVector::from_flat(&shape, &[0, 6, 0]).unwrap(),
+                        NonFunctional::new(5.0e10, 70.0),
+                    ),
+                    (
+                        ExtResourceVector::from_flat(&shape, &[0, 0, 12]).unwrap(),
+                        NonFunctional::new(4.5e10, 35.0),
+                    ),
+                ],
+            )
+            .unwrap();
+        let d = out.directives.iter().find(|d| d.app == AppId(1)).unwrap();
+        // One of the submitted points was activated (both happen to grant
+        // 12 hardware threads: 6 P-cores with SMT or 12 E-cores).
+        assert_eq!(d.parallelism, 12);
+        let is_p_point = d.erv.cores_of_kind(0) == 6 && d.erv.cores_of_kind(1) == 0;
+        let is_e_point = d.erv.cores_of_kind(0) == 0 && d.erv.cores_of_kind(1) == 12;
+        assert!(is_p_point || is_e_point, "unexpected activation {}", d.erv);
+        assert!(rm.submit_points(AppId(9), vec![]).is_err());
+    }
+
+    #[test]
+    fn many_apps_on_a_tiny_machine_co_allocate() {
+        let hw = presets::tiny_test(); // 4 cores total
+        let shape = hw.erv_shape();
+        let mut cfg = RmConfig::default();
+        cfg.offline = true;
+        let mut rm = RmCore::new(hw, cfg);
+        // Six apps each demanding at least 2 big cores: no disjoint fit.
+        for i in 1..=6u64 {
+            let name = format!("greedy{i}");
+            rm.load_profile(
+                &name,
+                table_from_points(vec![(
+                    ExtResourceVector::from_flat(&shape, &[0, 2, 0]).unwrap(),
+                    NonFunctional::new(10.0, 4.0),
+                )]),
+            );
+            let out = rm.register(AppId(i), &name, false).unwrap();
+            // Every registered app receives a (possibly overlapping) grant.
+            assert_eq!(out.directives.len() as u64, i);
+            for d in &out.directives {
+                assert!(!d.cores.is_empty(), "{} got nothing", d.app);
+            }
+        }
+        // Monitoring is suspended for co-allocated sessions: ticks yield
+        // no directives and must not panic.
+        let obs = TickObservations {
+            dt_s: 0.05,
+            package_energy_j: 1.0,
+            apps: (1..=6)
+                .map(|i| AppObservation {
+                    app: AppId(i),
+                    utility_rate: 1.0,
+                    cpu_time: vec![0.05, 0.0],
+                })
+                .collect(),
+        };
+        let out = rm.tick(&obs).unwrap();
+        assert!(out.directives.is_empty());
+    }
+
+    #[test]
+    fn directive_cores_match_erv_demand() {
+        let mut rm = rm();
+        let out = rm.register(AppId(1), "x", false).unwrap();
+        let d = &out.directives[0];
+        let hw = presets::raptor_lake();
+        let mut per_kind = vec![0u32; 2];
+        for c in &d.cores {
+            per_kind[hw.kind_of_core(*c).unwrap().0] += 1;
+        }
+        assert_eq!(per_kind[0], d.erv.cores_of_kind(0));
+        assert_eq!(per_kind[1], d.erv.cores_of_kind(1));
+        assert_eq!(d.hw_threads.len() as u32, d.parallelism);
+    }
+}

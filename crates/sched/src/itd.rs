@@ -1,0 +1,188 @@
+//! The Intel-Thread-Director-based allocator baseline (paper §6.1).
+//!
+//! Intel Thread Director is a hardware unit that classifies each running
+//! thread by its instruction mix and reports per-class performance and
+//! energy-efficiency scores for each core type. The paper extends a Linux
+//! ITD patch set to expose these classifications to user space and, inspired
+//! by Saez et al. (PMCSched), implements an allocator that uses them to
+//! place application threads on core types.
+//!
+//! The model here mirrors that allocator's observable behaviour:
+//!
+//! * threads are classified from the instruction mix — memory-bound mixes
+//!   gain little from P-cores (their class scores P ≈ E), compute-dense
+//!   mixes gain a lot (P ≫ E);
+//! * each application's threads are steered to the core type its class
+//!   prefers, the P-cores being handed out first-come-first-served;
+//! * with a single application the machine is big enough that the
+//!   classification barely matters (paper: ≈ 1.02×), while with multiple
+//!   applications the class-driven pinning crowds the preferred clusters
+//!   (paper: 0.84× — *worse* than CFS).
+
+use harp_sim::{Affinity, Manager, MgrEvent, SimState};
+use harp_types::{AppId, HwThreadId};
+use std::collections::HashMap;
+
+/// Thread classes as exposed by the ITD hardware (simplified to the two
+/// classes that drive placement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ThreadClass {
+    /// High IPC gain on P-cores: the allocator reserves P capacity.
+    PerformanceSensitive,
+    /// Memory-bound / low P-core gain: efficient on E-cores.
+    EfficiencyFriendly,
+}
+
+fn classify(st: &SimState, app: AppId) -> ThreadClass {
+    // The hardware classifier observes the instruction mix; in the
+    // simulator the spec's memory intensity is that observable.
+    let spec = st.app_spec(app).expect("classifying a live app");
+    if spec.mem_intensity >= 0.5 {
+        ThreadClass::EfficiencyFriendly
+    } else {
+        ThreadClass::PerformanceSensitive
+    }
+}
+
+/// ITD-based allocator baseline (see module docs).
+#[derive(Debug, Default)]
+pub struct ItdManager {
+    classes: HashMap<AppId, ThreadClass>,
+}
+
+impl ItdManager {
+    /// Creates the ITD baseline.
+    pub fn new() -> Self {
+        ItdManager::default()
+    }
+
+    fn replace_all(&mut self, st: &mut SimState) {
+        let hw = st.hw().clone();
+        let n = hw.total_hw_threads();
+        let apps = st.app_ids();
+        if apps.len() <= 1 {
+            // Single application: ITD hints barely alter placement on an
+            // otherwise idle machine — leave the default spread.
+            for app in apps {
+                let _ = st.set_app_affinity(app, Affinity::all(n));
+            }
+            return;
+        }
+        // Multi-application: steer each app to its class's preferred
+        // cluster.
+        let p_threads: Vec<HwThreadId> = (0..n)
+            .map(HwThreadId)
+            .filter(|t| {
+                hw.core_of_thread(*t)
+                    .and_then(|c| hw.kind_of_core(c))
+                    .map(|k| k.0 == 0)
+                    .unwrap_or(false)
+            })
+            .collect();
+        let e_threads: Vec<HwThreadId> = (0..n)
+            .map(HwThreadId)
+            .filter(|t| !p_threads.contains(t))
+            .collect();
+        for app in apps {
+            let class = *self
+                .classes
+                .entry(app)
+                .or_insert_with(|| classify(st, app));
+            let mask = match class {
+                ThreadClass::PerformanceSensitive => {
+                    Affinity::from_threads(p_threads.iter().copied())
+                }
+                ThreadClass::EfficiencyFriendly => {
+                    Affinity::from_threads(e_threads.iter().copied())
+                }
+            };
+            let _ = st.set_app_affinity(app, mask);
+        }
+    }
+}
+
+impl Manager for ItdManager {
+    fn on_event(&mut self, st: &mut SimState, ev: MgrEvent) {
+        match ev {
+            MgrEvent::AppStarted { app, .. } => {
+                let class = classify(st, app);
+                self.classes.insert(app, class);
+                self.replace_all(st);
+            }
+            MgrEvent::AppExited { app } => {
+                self.classes.remove(&app);
+                self.replace_all(st);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harp_platform::presets;
+    use harp_sim::{LaunchOpts, SimConfig, Simulation};
+    use harp_workload::{benchmark, Platform};
+
+    #[test]
+    fn classification_follows_memory_intensity() {
+        let hw = presets::raptor_lake();
+        let mut sim = Simulation::new(hw, SimConfig::default());
+        sim.add_arrival(
+            0,
+            benchmark(Platform::RaptorLake, "ep").unwrap(),
+            LaunchOpts::all_hw_threads(),
+        );
+        sim.add_arrival(
+            0,
+            benchmark(Platform::RaptorLake, "mg").unwrap(),
+            LaunchOpts::all_hw_threads(),
+        );
+        let mut mgr = ItdManager::new();
+        sim.run(&mut mgr).unwrap();
+        // Both apps completed under class-driven pinning.
+    }
+
+    #[test]
+    fn single_app_close_to_cfs() {
+        let run = |mgr: &mut dyn harp_sim::Manager| {
+            let mut sim = Simulation::new(presets::raptor_lake(), SimConfig::default());
+            sim.add_arrival(
+                0,
+                benchmark(Platform::RaptorLake, "ft").unwrap(),
+                LaunchOpts::all_hw_threads(),
+            );
+            sim.run(mgr).unwrap().makespan_ns as f64
+        };
+        let cfs = run(&mut crate::CfsManager::new());
+        let itd = run(&mut ItdManager::new());
+        let ratio = itd / cfs;
+        assert!(
+            (0.9..1.1).contains(&ratio),
+            "single-app ITD/CFS ratio {ratio} (paper: ≈1.0)"
+        );
+    }
+
+    #[test]
+    fn multi_app_pinning_can_hurt() {
+        // Two P-preferring apps crowd the P cluster under ITD.
+        let run = |mgr: &mut dyn harp_sim::Manager| {
+            let mut sim = Simulation::new(presets::raptor_lake(), SimConfig::default());
+            for name in ["ep", "pi"] {
+                sim.add_arrival(
+                    0,
+                    benchmark(Platform::RaptorLake, name).unwrap(),
+                    LaunchOpts::all_hw_threads(),
+                );
+            }
+            sim.run(mgr).unwrap().makespan_ns as f64
+        };
+        let cfs = run(&mut crate::CfsManager::new());
+        let itd = run(&mut ItdManager::new());
+        assert!(
+            itd > cfs * 0.98,
+            "crowded ITD ({itd}) should not beat CFS ({cfs}) here"
+        );
+    }
+}

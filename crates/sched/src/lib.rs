@@ -1,0 +1,80 @@
+//! Resource managers driving the simulated machine: the paper's baselines
+//! and the HARP RM adapter.
+//!
+//! * [`CfsManager`] — the Linux CFS baseline (§6.3): no affinity, default
+//!   thread counts, fair spreading and time-sharing. This is the *1.0×*
+//!   reference of Fig. 6.
+//! * [`EasManager`] — the Linux Energy-Aware Scheduler baseline on
+//!   big.LITTLE (§6.4): PELT-style utilization tracking; low-utilization
+//!   applications are steered to the LITTLE cluster, high-utilization ones
+//!   follow capacity. The *1.0×* reference of Fig. 7.
+//! * [`ItdManager`] — the Intel-Thread-Director-based allocator (§6.1,
+//!   after Saez et al.): hardware thread classification by instruction mix,
+//!   classes mapped to preferred core types.
+//! * [`HarpSimManager`] — drives the full HARP RM (`harp-rm`) inside the
+//!   simulator: registration on arrival, 50 ms measurement ticks,
+//!   operating-point activations applied through affinity and team size,
+//!   and RM communication costs charged to the applications.
+//!
+//! # Example
+//!
+//! ```
+//! use harp_platform::HardwareDescription;
+//! use harp_sched::{CfsManager, HarpSimManager, HarpManagerConfig};
+//! use harp_sim::{LaunchOpts, SimConfig, Simulation};
+//! use harp_workload::{benchmark, Platform};
+//!
+//! let hw = HardwareDescription::raptor_lake();
+//! let mut sim = Simulation::new(hw.clone(), SimConfig::default());
+//! let spec = benchmark(Platform::RaptorLake, "ep").unwrap();
+//! sim.add_arrival(0, spec, LaunchOpts::all_hw_threads());
+//! let report = sim.run(&mut CfsManager::new()).unwrap();
+//! assert_eq!(report.apps.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod eas;
+mod harp;
+mod itd;
+
+pub use eas::EasManager;
+pub use harp::{HarpManagerConfig, HarpSimManager};
+pub use itd::ItdManager;
+
+use harp_sim::{Manager, MgrEvent, SimState};
+
+/// The Linux CFS baseline: work-conserving fair scheduling with no
+/// heterogeneity awareness and no application adaptation — exactly the
+/// simulator's default placement, so this manager never intervenes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CfsManager;
+
+impl CfsManager {
+    /// Creates the baseline manager.
+    pub fn new() -> Self {
+        CfsManager
+    }
+}
+
+impl Manager for CfsManager {
+    fn on_event(&mut self, _st: &mut SimState, _ev: MgrEvent) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harp_sim::{AppSpec, LaunchOpts, SimConfig, Simulation};
+    use harp_workload::Platform;
+
+    #[test]
+    fn cfs_runs_workloads_unmodified() {
+        let hw = Platform::RaptorLake.hardware();
+        let spec = AppSpec::builder("x", 2).total_work(1.0e10).build().unwrap();
+        let mut sim = Simulation::new(hw, SimConfig::default());
+        sim.add_arrival(0, spec, LaunchOpts::all_hw_threads());
+        let r = sim.run(&mut CfsManager::new()).unwrap();
+        assert_eq!(r.apps.len(), 1);
+    }
+}

@@ -1,0 +1,135 @@
+//! Precomputed machine topology and energy accounting.
+
+use harp_platform::HardwareDescription;
+use harp_types::AppId;
+use std::collections::HashMap;
+
+/// Precomputed topology lookup tables over a [`HardwareDescription`].
+#[derive(Debug, Clone)]
+pub(crate) struct Topology {
+    pub hw: HardwareDescription,
+    /// Core kind index per physical core.
+    pub core_kind: Vec<usize>,
+    /// Physical core index per hardware thread.
+    pub thread_core: Vec<usize>,
+    /// Hardware-thread ids per physical core.
+    pub core_threads: Vec<Vec<usize>>,
+    /// Hardware threads per cluster (kind).
+    pub cluster_thread_count: Vec<usize>,
+    pub n_threads: usize,
+    pub n_cores: usize,
+}
+
+impl Topology {
+    pub fn new(hw: HardwareDescription) -> Self {
+        let n_cores = hw.num_cores();
+        let n_threads = hw.total_hw_threads();
+        let mut core_kind = Vec::with_capacity(n_cores);
+        let mut thread_core = Vec::with_capacity(n_threads);
+        let mut core_threads: Vec<Vec<usize>> = Vec::with_capacity(n_cores);
+        let mut cluster_thread_count = Vec::with_capacity(hw.num_kinds());
+        let mut core_idx = 0usize;
+        let mut thread_idx = 0usize;
+        for (k, c) in hw.clusters.iter().enumerate() {
+            cluster_thread_count.push(c.hw_threads() as usize);
+            for _ in 0..c.cores {
+                core_kind.push(k);
+                let mut threads = Vec::with_capacity(c.smt_width);
+                for _ in 0..c.smt_width {
+                    thread_core.push(core_idx);
+                    threads.push(thread_idx);
+                    thread_idx += 1;
+                }
+                core_threads.push(threads);
+                core_idx += 1;
+            }
+        }
+        Topology {
+            hw,
+            core_kind,
+            thread_core,
+            core_threads,
+            cluster_thread_count,
+            n_threads,
+            n_cores,
+        }
+    }
+
+    /// Kind index of the hardware thread.
+    pub fn kind_of_hwt(&self, hwt: usize) -> usize {
+        self.core_kind[self.thread_core[hwt]]
+    }
+}
+
+/// Cumulative energy counters (joules) and CPU-time accounting (seconds).
+///
+/// `cluster_energy`/`package_energy` model the observable RAPL-style
+/// counters; `app_energy` is the *ground-truth* per-application dynamic
+/// energy used to validate the attribution algorithm of `harp-energy`
+/// (paper §5.1); `app_cpu_time` is the per-kind CPU time the attribution
+/// algorithm consumes (the scheduler statistics EnergAt reads).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct EnergyAccount {
+    pub cluster_energy: Vec<f64>,
+    pub package_energy: f64,
+    pub app_energy: HashMap<AppId, f64>,
+    pub app_cpu_time: HashMap<AppId, Vec<f64>>,
+}
+
+impl EnergyAccount {
+    pub fn new(num_kinds: usize) -> Self {
+        EnergyAccount {
+            cluster_energy: vec![0.0; num_kinds],
+            package_energy: 0.0,
+            app_energy: HashMap::new(),
+            app_cpu_time: HashMap::new(),
+        }
+    }
+
+    pub fn add_app_energy(&mut self, app: AppId, joules: f64) {
+        *self.app_energy.entry(app).or_insert(0.0) += joules;
+    }
+
+    pub fn add_app_cpu_time(&mut self, app: AppId, kind: usize, num_kinds: usize, seconds: f64) {
+        let v = self
+            .app_cpu_time
+            .entry(app)
+            .or_insert_with(|| vec![0.0; num_kinds]);
+        v[kind] += seconds;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harp_platform::presets;
+
+    #[test]
+    fn raptor_lake_topology_tables() {
+        let t = Topology::new(presets::raptor_lake());
+        assert_eq!(t.n_cores, 24);
+        assert_eq!(t.n_threads, 32);
+        assert_eq!(t.core_kind[0], 0);
+        assert_eq!(t.core_kind[8], 1);
+        assert_eq!(t.thread_core[0], 0);
+        assert_eq!(t.thread_core[1], 0);
+        assert_eq!(t.thread_core[16], 8);
+        assert_eq!(t.core_threads[0], vec![0, 1]);
+        assert_eq!(t.core_threads[8], vec![16]);
+        assert_eq!(t.cluster_thread_count, vec![16, 16]);
+        assert_eq!(t.kind_of_hwt(0), 0);
+        assert_eq!(t.kind_of_hwt(31), 1);
+    }
+
+    #[test]
+    fn energy_account_accumulates() {
+        let mut e = EnergyAccount::new(2);
+        let app = AppId(1);
+        e.add_app_energy(app, 2.5);
+        e.add_app_energy(app, 1.5);
+        assert_eq!(e.app_energy[&app], 4.0);
+        e.add_app_cpu_time(app, 1, 2, 0.25);
+        e.add_app_cpu_time(app, 0, 2, 0.5);
+        assert_eq!(e.app_cpu_time[&app], vec![0.5, 0.25]);
+    }
+}

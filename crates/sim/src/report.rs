@@ -1,0 +1,111 @@
+//! Simulation result reports.
+
+use crate::SimTime;
+use harp_types::AppId;
+
+/// Completion record of one application instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppReport {
+    /// Session id the instance ran under.
+    pub app_id: AppId,
+    /// Application name.
+    pub name: String,
+    /// Restart generation (0 = first execution).
+    pub instance: u32,
+    /// Simulated start time.
+    pub start_ns: SimTime,
+    /// Simulated completion time.
+    pub end_ns: SimTime,
+    /// Ground-truth dynamic energy attributed to the instance (joules).
+    pub energy_true_j: f64,
+    /// Total work units the instance retired.
+    pub work_done: f64,
+}
+
+impl AppReport {
+    /// Execution time of the instance in seconds.
+    pub fn duration_s(&self) -> f64 {
+        (self.end_ns - self.start_ns) as f64 / 1e9
+    }
+}
+
+/// The outcome of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Time of the last application completion (the scenario *makespan*).
+    pub makespan_ns: SimTime,
+    /// Total package energy consumed until the makespan (joules) — what the
+    /// paper reports as scenario energy.
+    pub total_energy_j: f64,
+    /// Per-cluster energy (joules), index = core kind.
+    pub cluster_energy_j: Vec<f64>,
+    /// One record per completed application instance, in completion order.
+    pub apps: Vec<AppReport>,
+    /// Records of instances still running when the horizon cut the run
+    /// short (their `end_ns` is the horizon; `work_done` is partial).
+    pub partial: Vec<AppReport>,
+    /// Number of simulator events processed (diagnostics).
+    pub events: u64,
+}
+
+impl RunReport {
+    /// Makespan in seconds.
+    pub fn makespan_s(&self) -> f64 {
+        self.makespan_ns as f64 / 1e9
+    }
+
+    /// Completion records of a named application.
+    pub fn instances_of(&self, name: &str) -> Vec<&AppReport> {
+        self.apps.iter().filter(|a| a.name == name).collect()
+    }
+
+    /// Completed and partial records together (horizon-capped measurement
+    /// sweeps read progress from here).
+    pub fn all_records(&self) -> impl Iterator<Item = &AppReport> {
+        self.apps.iter().chain(self.partial.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_convert_to_seconds() {
+        let r = AppReport {
+            app_id: AppId(1),
+            name: "x".into(),
+            instance: 0,
+            start_ns: 500_000_000,
+            end_ns: 2_500_000_000,
+            energy_true_j: 1.0,
+            work_done: 10.0,
+        };
+        assert!((r.duration_s() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn instances_filter_by_name() {
+        let mk = |name: &str, inst| AppReport {
+            app_id: AppId(inst as u64),
+            name: name.into(),
+            instance: inst,
+            start_ns: 0,
+            end_ns: 1,
+            energy_true_j: 0.0,
+            work_done: 0.0,
+        };
+        let run = RunReport {
+            makespan_ns: 1_000_000_000,
+            total_energy_j: 5.0,
+            cluster_energy_j: vec![3.0, 2.0],
+            apps: vec![mk("a", 0), mk("b", 0), mk("a", 1)],
+            partial: vec![mk("d", 0)],
+            events: 3,
+        };
+        assert_eq!(run.instances_of("a").len(), 2);
+        assert_eq!(run.instances_of("c").len(), 0);
+        assert_eq!(run.all_records().count(), 4);
+        assert!((run.makespan_s() - 1.0).abs() < 1e-12);
+    }
+}

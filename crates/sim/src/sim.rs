@@ -1,0 +1,1551 @@
+//! The event-driven simulation engine.
+
+use crate::app::{AppInstance, ThreadState};
+use crate::machine::{EnergyAccount, Topology};
+use crate::report::{AppReport, RunReport};
+use crate::spec::AppSpec;
+use crate::{Affinity, SimThreadId, SimTime};
+use harp_platform::{Governor, HardwareDescription};
+use harp_types::{AppId, HarpError, HwThreadId, Result};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Global simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Seed for measurement noise (and any other stochastic behaviour).
+    pub seed: u64,
+    /// Frequency-scaling governor (paper §6.1/§6.3.3).
+    pub governor: Governor,
+    /// Relative noise applied to sampled perf counters (σ of a zero-mean
+    /// distribution; the paper smooths such noise with an EMA, §5.1).
+    pub sample_noise: f64,
+    /// Optional hard stop; the run ends at this simulated time even if
+    /// applications are still active.
+    pub horizon_ns: Option<SimTime>,
+    /// Upper bound on team sizes.
+    pub max_team: u32,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0xDEADBEEF,
+            governor: Governor::Schedutil,
+            sample_noise: 0.03,
+            horizon_ns: None,
+            max_team: 128,
+        }
+    }
+}
+
+/// Initial team-size policy of a launched application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TeamPolicy {
+    /// Spawn as many workers as the machine has hardware threads — the
+    /// OpenMP/TBB default an unmanaged run uses.
+    AllHwThreads,
+    /// A fixed initial team size.
+    Fixed(u32),
+}
+
+/// Restart behaviour after an instance completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestartPolicy {
+    /// Run once.
+    None,
+    /// Restart immediately after each completion until the given simulated
+    /// time (used by the learning-phase experiments, Fig. 8).
+    Until(SimTime),
+}
+
+/// Launch options of one application arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchOpts {
+    /// Initial team size.
+    pub team: TeamPolicy,
+    /// Restart behaviour.
+    pub restart: RestartPolicy,
+}
+
+impl LaunchOpts {
+    /// The unmanaged default: all hardware threads, run once.
+    pub fn all_hw_threads() -> Self {
+        LaunchOpts {
+            team: TeamPolicy::AllHwThreads,
+            restart: RestartPolicy::None,
+        }
+    }
+
+    /// Fixed initial team size, run once.
+    pub fn fixed_team(n: u32) -> Self {
+        LaunchOpts {
+            team: TeamPolicy::Fixed(n),
+            restart: RestartPolicy::None,
+        }
+    }
+
+    /// Adds a restart-until policy.
+    pub fn restart_until(mut self, t: SimTime) -> Self {
+        self.restart = RestartPolicy::Until(t);
+        self
+    }
+}
+
+/// Events delivered to the [`Manager`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MgrEvent {
+    /// An application instance registered/started.
+    AppStarted {
+        /// Session id.
+        app: AppId,
+        /// Application name.
+        name: String,
+    },
+    /// An application instance completed.
+    AppExited {
+        /// Session id.
+        app: AppId,
+    },
+    /// A timer set via [`SimState::set_timer`] fired.
+    Timer {
+        /// The id passed at `set_timer`.
+        id: u64,
+    },
+}
+
+/// A resource manager driving the simulated machine — the role played by
+/// CFS/EAS/ITD baselines and by the HARP RM.
+pub trait Manager {
+    /// Called for every manager-visible event. The manager may inspect and
+    /// actuate the machine through the [`SimState`] API.
+    fn on_event(&mut self, st: &mut SimState, ev: MgrEvent);
+}
+
+/// A manager that never intervenes: applications run wherever the default
+/// placement puts them (the CFS baseline without any hinting).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullManager;
+
+impl Manager for NullManager {
+    fn on_event(&mut self, _st: &mut SimState, _ev: MgrEvent) {}
+}
+
+#[derive(Debug, Clone)]
+struct ArrivalRec {
+    at: SimTime,
+    spec: AppSpec,
+    opts: LaunchOpts,
+    fired: bool,
+}
+
+#[derive(Debug, Clone, Default)]
+struct SampleState {
+    last_time: SimTime,
+    last_counted: f64,
+    last_done: f64,
+}
+
+/// The observable and actuatable state of the simulated machine — the
+/// interface managers program against.
+pub struct SimState {
+    topo: Topology,
+    config: SimConfig,
+    time: SimTime,
+    apps: HashMap<AppId, AppInstance>,
+    threads: Vec<ThreadState>,
+    /// Per hardware thread: runnable threads assigned (time-shared).
+    queues: Vec<Vec<SimThreadId>>,
+    /// Per cluster: current frequency (MHz).
+    freqs: Vec<f64>,
+    /// Per simulated thread: current progress rate (work units/s).
+    rates: Vec<f64>,
+    /// Per simulated thread: current counter rate (inflated work units/s).
+    counter_rates: Vec<f64>,
+    /// Per simulated thread: busy fraction (1.0 = computing continuously;
+    /// lower when synchronization contention blocks the thread, which
+    /// idles the core and saves power).
+    activity: Vec<f64>,
+    energy: EnergyAccount,
+    timers: BinaryHeap<Reverse<(SimTime, u64)>>,
+    arrivals: Vec<ArrivalRec>,
+    next_app_id: u64,
+    dirty: bool,
+    needs_chunks: Vec<AppId>,
+    rng: ChaCha8Rng,
+    samples: HashMap<AppId, SampleState>,
+    completed: Vec<AppReport>,
+    notifications: VecDeque<MgrEvent>,
+    events: u64,
+}
+
+impl std::fmt::Debug for SimState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimState")
+            .field("time", &self.time)
+            .field("apps", &self.apps.len())
+            .field("threads", &self.threads.len())
+            .field("events", &self.events)
+            .finish()
+    }
+}
+
+impl SimState {
+    fn new(hw: HardwareDescription, config: SimConfig) -> Self {
+        let topo = Topology::new(hw);
+        let n_threads = topo.n_threads;
+        let num_kinds = topo.hw.num_kinds();
+        let freqs = topo
+            .hw
+            .clusters
+            .iter()
+            .map(|c| config.governor.frequency(c, 0.0))
+            .collect();
+        let rng = ChaCha8Rng::seed_from_u64(config.seed);
+        SimState {
+            topo,
+            config,
+            time: 0,
+            apps: HashMap::new(),
+            threads: Vec::new(),
+            queues: vec![Vec::new(); n_threads],
+            freqs,
+            rates: Vec::new(),
+            counter_rates: Vec::new(),
+            activity: Vec::new(),
+            energy: EnergyAccount::new(num_kinds),
+            timers: BinaryHeap::new(),
+            arrivals: Vec::new(),
+            next_app_id: 1,
+            dirty: false,
+            needs_chunks: Vec::new(),
+            rng,
+            samples: HashMap::new(),
+            completed: Vec::new(),
+            notifications: VecDeque::new(),
+            events: 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Observables (the "kernel interfaces" managers read)
+    // ------------------------------------------------------------------
+
+    /// Current simulated time in nanoseconds.
+    pub fn now(&self) -> SimTime {
+        self.time
+    }
+
+    /// The machine's hardware description.
+    pub fn hw(&self) -> &HardwareDescription {
+        &self.topo.hw
+    }
+
+    /// Ids of all currently running applications.
+    pub fn app_ids(&self) -> Vec<AppId> {
+        let mut v: Vec<AppId> = self.apps.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Name of a running application.
+    pub fn app_name(&self, app: AppId) -> Option<&str> {
+        self.apps.get(&app).map(|a| a.name.as_str())
+    }
+
+    /// Behaviour spec of a running application. Managers that classify
+    /// threads by instruction mix (the ITD baseline) read the observable
+    /// mix characteristics from here.
+    pub fn app_spec(&self, app: AppId) -> Option<&AppSpec> {
+        self.apps.get(&app).map(|a| &a.spec)
+    }
+
+    /// Current team size (parallelization degree) of an application.
+    pub fn team_size(&self, app: AppId) -> Option<u32> {
+        self.apps.get(&app).map(|a| a.team_target)
+    }
+
+    /// Current application-wide affinity mask.
+    pub fn app_affinity(&self, app: AppId) -> Option<Affinity> {
+        self.apps.get(&app).map(|a| a.affinity)
+    }
+
+    /// Thread ids of an application (worker rank order).
+    pub fn threads_of_app(&self, app: AppId) -> Vec<SimThreadId> {
+        self.apps
+            .get(&app)
+            .map(|a| a.threads.clone())
+            .unwrap_or_default()
+    }
+
+    /// Samples the application's retired-instruction counter since the last
+    /// sample: returns `(work_units, elapsed_ns)` — an IPS measurement with
+    /// perf-style noise. Returns `None` for unknown apps or when no time
+    /// elapsed.
+    pub fn sample_app_work(&mut self, app: AppId) -> Option<(f64, SimTime)> {
+        let inst = self.apps.get(&app)?;
+        let counted = inst.counted_work;
+        let entry = self.samples.entry(app).or_insert(SampleState {
+            last_time: inst.start,
+            last_counted: 0.0,
+            last_done: 0.0,
+        });
+        let dt = self.time.checked_sub(entry.last_time)?;
+        if dt == 0 {
+            return None;
+        }
+        let dw = (counted - entry.last_counted).max(0.0);
+        entry.last_time = self.time;
+        entry.last_counted = counted;
+        let noise = self.config.sample_noise;
+        let factor = 1.0 + (self.rng.random::<f64>() * 2.0 - 1.0) * noise * 1.732;
+        Some((dw * factor.max(0.0), dt))
+    }
+
+    /// Samples the application's *own* utility metric (true progress) since
+    /// the last utility sample — what libharp reports for applications with
+    /// `provides_utility`. Less noisy than perf sampling.
+    pub fn sample_app_utility(&mut self, app: AppId) -> Option<(f64, SimTime)> {
+        let inst = self.apps.get(&app)?;
+        let done = inst.done_work;
+        let entry = self.samples.entry(app).or_insert(SampleState {
+            last_time: inst.start,
+            last_counted: 0.0,
+            last_done: 0.0,
+        });
+        let dt = self.time.checked_sub(entry.last_time)?;
+        if dt == 0 {
+            return None;
+        }
+        let dw = (done - entry.last_done).max(0.0);
+        entry.last_done = done;
+        entry.last_time = self.time;
+        entry.last_counted = inst.counted_work;
+        Some((dw, dt))
+    }
+
+    /// Cumulative energy (joules) of one cluster — the RAPL-style counter.
+    pub fn cluster_energy(&self, kind: usize) -> f64 {
+        self.energy.cluster_energy.get(kind).copied().unwrap_or(0.0)
+    }
+
+    /// Cumulative package energy (joules).
+    pub fn package_energy(&self) -> f64 {
+        self.energy.package_energy
+    }
+
+    /// Per-kind CPU seconds an application has consumed — the scheduler
+    /// accounting the EnergAt-style attribution reads (paper §5.1).
+    pub fn app_cpu_time(&self, app: AppId) -> Vec<f64> {
+        self.energy
+            .app_cpu_time
+            .get(&app)
+            .cloned()
+            .unwrap_or_else(|| vec![0.0; self.topo.hw.num_kinds()])
+    }
+
+    /// Ground-truth dynamic energy attributed to an application — used only
+    /// to *validate* attribution, never by managers.
+    pub fn true_app_energy(&self, app: AppId) -> f64 {
+        self.energy.app_energy.get(&app).copied().unwrap_or(0.0)
+    }
+
+    // ------------------------------------------------------------------
+    // Actuation (the "kernel interfaces" managers write)
+    // ------------------------------------------------------------------
+
+    /// Sets the application-wide affinity mask (all threads).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarpError::NotFound`] for unknown apps and
+    /// [`HarpError::Other`] for an empty mask.
+    pub fn set_app_affinity(&mut self, app: AppId, affinity: Affinity) -> Result<()> {
+        if affinity.is_empty() {
+            return Err(HarpError::other("affinity mask must not be empty"));
+        }
+        let inst = self
+            .apps
+            .get_mut(&app)
+            .ok_or_else(|| HarpError::not_found(format!("{app}")))?;
+        inst.affinity = affinity;
+        for &t in &inst.threads {
+            self.threads[t.0].affinity_override = None;
+        }
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Sets a per-thread affinity mask (thread-to-core pinning managers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarpError::NotFound`] for unknown threads and
+    /// [`HarpError::Other`] for an empty mask.
+    pub fn set_thread_affinity(&mut self, thread: SimThreadId, affinity: Affinity) -> Result<()> {
+        if affinity.is_empty() {
+            return Err(HarpError::other("affinity mask must not be empty"));
+        }
+        let t = self
+            .threads
+            .get_mut(thread.0)
+            .ok_or_else(|| HarpError::not_found(format!("{thread}")))?;
+        t.affinity_override = Some(affinity);
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Adjusts the application's parallelization degree; takes effect at the
+    /// next parallel-region entry (iteration boundary), exactly like the
+    /// libharp team-size hook.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarpError::NotFound`] for unknown apps.
+    pub fn set_team_size(&mut self, app: AppId, team: u32) -> Result<()> {
+        let max = self.config.max_team;
+        let inst = self
+            .apps
+            .get_mut(&app)
+            .ok_or_else(|| HarpError::not_found(format!("{app}")))?;
+        inst.team_target = team.clamp(1, max);
+        Ok(())
+    }
+
+    /// Schedules a manager timer at absolute simulated time `at`.
+    pub fn set_timer(&mut self, at: SimTime, id: u64) {
+        self.timers.push(Reverse((at.max(self.time), id)));
+    }
+
+    /// Charges management overhead to an application: the given CPU time is
+    /// converted to work units and prepended to the master thread's next
+    /// chunk — modelling libharp message handling on the application's
+    /// critical path (used for the §6.6 overhead study).
+    pub fn charge_overhead(&mut self, app: AppId, ns: SimTime) {
+        let base_rate = {
+            let c = &self.topo.hw.clusters[0];
+            c.perf.ips_per_thread
+        };
+        if let Some(inst) = self.apps.get_mut(&app) {
+            let eff = inst.spec.kind_efficiency[0].max(1e-9);
+            inst.pending_overhead += ns as f64 / 1e9 * base_rate * eff;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Engine internals
+    // ------------------------------------------------------------------
+
+    fn spawn_app(&mut self, spec: AppSpec, opts: LaunchOpts, instance: u32) -> AppId {
+        let id = AppId(self.next_app_id);
+        self.next_app_id += 1;
+        let team = match opts.team {
+            TeamPolicy::AllHwThreads => self.topo.n_threads as u32,
+            TeamPolicy::Fixed(n) => n.max(1),
+        }
+        .min(self.config.max_team);
+        let name = spec.name.clone();
+        let inst = AppInstance {
+            id,
+            name: name.clone(),
+            spec,
+            instance,
+            start: self.time,
+            team_target: team,
+            affinity: Affinity::all(self.topo.n_threads),
+            threads: Vec::new(),
+            phase_idx: 0,
+            iter_idx: 0,
+            active: Vec::new(),
+            done_work: 0.0,
+            counted_work: 0.0,
+            pending_overhead: 0.0,
+            alive: true,
+        };
+        self.apps.insert(id, inst);
+        self.samples.insert(
+            id,
+            SampleState {
+                last_time: self.time,
+                last_counted: 0.0,
+                last_done: 0.0,
+            },
+        );
+        self.start_iteration(id);
+        self.notifications.push_back(MgrEvent::AppStarted {
+            app: id,
+            name,
+        });
+        id
+    }
+
+    /// Activates the workers of the current iteration of the current phase.
+    fn start_iteration(&mut self, app: AppId) {
+        let (width, thread_count) = {
+            let inst = &self.apps[&app];
+            (
+                inst.phase_width().min(self.config.max_team) as usize,
+                inst.threads.len(),
+            )
+        };
+        // Spawn missing worker threads.
+        for _ in thread_count..width {
+            let tid = SimThreadId(self.threads.len());
+            self.threads.push(ThreadState {
+                app,
+                affinity_override: None,
+                chunk: None,
+                assigned_hwt: None,
+            });
+            self.apps.get_mut(&app).unwrap().threads.push(tid);
+        }
+        let inst = self.apps.get_mut(&app).unwrap();
+        inst.active = inst.threads[..width].to_vec();
+        if !self.needs_chunks.contains(&app) {
+            self.needs_chunks.push(app);
+        }
+        self.dirty = true;
+    }
+
+    /// Distributes the iteration work as chunks (called from `prepare`).
+    fn assign_equal_chunks(&mut self) {
+        let pending = std::mem::take(&mut self.needs_chunks);
+        for app in &pending {
+            let inst = match self.apps.get_mut(app) {
+                Some(i) => i,
+                None => continue,
+            };
+            let mut work = inst.iteration_work();
+            // Charge pending RM overhead on the master's critical path.
+            let overhead = std::mem::replace(&mut inst.pending_overhead, 0.0);
+            work += overhead;
+            let n = inst.active.len().max(1);
+            let chunk = work / n as f64;
+            let active = inst.active.clone();
+            for &t in &active {
+                self.threads[t.0].chunk = Some(chunk);
+            }
+        }
+        self.needs_chunks = pending; // keep for the dynamic re-split pass
+        self.dirty = true;
+    }
+
+    /// Re-splits freshly assigned chunks proportionally to observed rates
+    /// for applications with dynamic load balancing.
+    fn rebalance_dynamic_chunks(&mut self) {
+        let pending = std::mem::take(&mut self.needs_chunks);
+        for app in pending {
+            let inst = match self.apps.get(&app) {
+                Some(i) => i,
+                None => continue,
+            };
+            if !inst.spec.dynamic_balance || inst.active.len() <= 1 {
+                continue;
+            }
+            let active = inst.active.clone();
+            let total: f64 = active
+                .iter()
+                .filter_map(|t| self.threads[t.0].chunk)
+                .sum();
+            let rates: Vec<f64> = active
+                .iter()
+                .map(|t| self.rates.get(t.0).copied().unwrap_or(0.0).max(1e-9))
+                .collect();
+            let rate_sum: f64 = rates.iter().sum();
+            if rate_sum <= 0.0 {
+                continue;
+            }
+            for (t, r) in active.iter().zip(&rates) {
+                self.threads[t.0].chunk = Some(total * r / rate_sum);
+            }
+        }
+    }
+
+    /// Recomputes thread→hardware-thread placement (CFS-style: fill idle
+    /// hardware threads first, prefer cores without busy siblings, then
+    /// balance queue lengths).
+    fn rebalance(&mut self) {
+        for q in &mut self.queues {
+            q.clear();
+        }
+        // Round-robin across apps so co-running apps interleave fairly.
+        let mut per_app: Vec<Vec<SimThreadId>> = Vec::new();
+        let mut ids = self.app_ids();
+        ids.sort();
+        for app in ids {
+            let inst = &self.apps[&app];
+            let mut list: Vec<SimThreadId> = inst
+                .threads
+                .iter()
+                .copied()
+                .filter(|t| self.threads[t.0].runnable())
+                .collect();
+            list.sort();
+            if !list.is_empty() {
+                per_app.push(list);
+            }
+        }
+        let mut order = Vec::new();
+        let mut i = 0;
+        loop {
+            let mut any = false;
+            for list in &per_app {
+                if i < list.len() {
+                    order.push(list[i]);
+                    any = true;
+                }
+            }
+            if !any {
+                break;
+            }
+            i += 1;
+        }
+        for t in order {
+            let aff = self.threads[t.0]
+                .affinity_override
+                .unwrap_or(self.apps[&self.threads[t.0].app].affinity);
+            let mut best: Option<(usize, usize, usize)> = None; // (qlen, busy_sibs, hwt)
+            for hwt in 0..self.topo.n_threads {
+                if !aff.allows(HwThreadId(hwt)) {
+                    continue;
+                }
+                let qlen = self.queues[hwt].len();
+                let core = self.topo.thread_core[hwt];
+                let busy_sibs = self.topo.core_threads[core]
+                    .iter()
+                    .filter(|&&h| h != hwt && !self.queues[h].is_empty())
+                    .count();
+                let key = (qlen, busy_sibs, hwt);
+                if best.map_or(true, |b| key < b) {
+                    best = Some(key);
+                }
+            }
+            if let Some((_, _, hwt)) = best {
+                self.queues[hwt].push(t);
+                self.threads[t.0].assigned_hwt = Some(hwt);
+            } else {
+                self.threads[t.0].assigned_hwt = None;
+            }
+        }
+        self.dirty = false;
+    }
+
+    /// Recomputes cluster frequencies and all per-thread progress rates.
+    fn compute_rates(&mut self) {
+        let n = self.threads.len();
+        self.rates = vec![0.0; n];
+        self.counter_rates = vec![0.0; n];
+        self.activity = vec![0.0; n];
+        // Governor: instantaneous utilization per cluster.
+        let num_kinds = self.topo.hw.num_kinds();
+        let mut busy_per_kind = vec![0usize; num_kinds];
+        for hwt in 0..self.topo.n_threads {
+            if !self.queues[hwt].is_empty() {
+                busy_per_kind[self.topo.kind_of_hwt(hwt)] += 1;
+            }
+        }
+        for k in 0..num_kinds {
+            let util = busy_per_kind[k] as f64 / self.topo.cluster_thread_count[k].max(1) as f64;
+            self.freqs[k] = self
+                .config
+                .governor
+                .frequency(&self.topo.hw.clusters[k], util);
+        }
+        // Statically balanced teams spanning multiple core kinds pay the
+        // heterogeneous-barrier-imbalance penalty (paper §2.2), scaled by
+        // the actual rate spread between the kinds spanned — the A15/A7
+        // imbalance (≈2.8x) wastes far more barrier time than P/E (≈1.8x).
+        let mut span_factor: HashMap<AppId, f64> = HashMap::new();
+        for (id, inst) in &self.apps {
+            if inst.spec.dynamic_balance || inst.spec.hetero_penalty <= 0.0 {
+                continue;
+            }
+            let mut min_rate = f64::INFINITY;
+            let mut max_rate = 0.0f64;
+            let mut kinds_seen = [false; 16];
+            let mut distinct = 0usize;
+            for t in &inst.active {
+                if let Some(h) = self.threads[t.0].assigned_hwt {
+                    let k = self.topo.kind_of_hwt(h).min(15);
+                    if !kinds_seen[k] {
+                        kinds_seen[k] = true;
+                        distinct += 1;
+                        let rate = self.topo.hw.clusters[k].perf.ips_per_thread
+                            * inst.spec.kind_efficiency.get(k).copied().unwrap_or(1.0);
+                        min_rate = min_rate.min(rate);
+                        max_rate = max_rate.max(rate);
+                    }
+                }
+            }
+            if distinct > 1 && min_rate > 0.0 {
+                let spread = (max_rate / min_rate - 1.0).max(0.0);
+                span_factor.insert(
+                    *id,
+                    1.0 / (1.0 + inst.spec.hetero_penalty * spread),
+                );
+            }
+        }
+        // Per-thread raw rates.
+        let mut raw = vec![0.0f64; n];
+        for hwt in 0..self.topo.n_threads {
+            let m = self.queues[hwt].len();
+            if m == 0 {
+                continue;
+            }
+            let core = self.topo.thread_core[hwt];
+            let kind = self.topo.core_kind[core];
+            let cluster = &self.topo.hw.clusters[kind];
+            let busy_sibs = self.topo.core_threads[core]
+                .iter()
+                .filter(|&&h| !self.queues[h].is_empty())
+                .count() as u32;
+            let solo_rate = cluster.thread_rate(self.freqs[kind], 1);
+            for &t in &self.queues[hwt] {
+                let inst = &self.apps[&self.threads[t.0].app];
+                let mut r = cluster.thread_rate(self.freqs[kind], busy_sibs);
+                if busy_sibs > 1 {
+                    r = (r * inst.spec.smt_efficiency).min(solo_rate);
+                }
+                r *= inst.spec.kind_efficiency[kind];
+                // Synchronization/contention vs. active workers: contended
+                // threads block rather than spin, so the same factor is the
+                // thread's busy fraction for the power model.
+                let contention = inst.spec.contention.factor(inst.active.len() as u32);
+                r *= contention;
+                self.activity[t.0] = contention;
+                if let Some(f) = span_factor.get(&self.threads[t.0].app) {
+                    r *= f;
+                }
+                // Time sharing + lock-holder preemption.
+                if m > 1 {
+                    r /= m as f64;
+                    r /= 1.0 + inst.spec.preemption_penalty * (m - 1) as f64;
+                }
+                raw[t.0] = r;
+            }
+        }
+        // Shared memory bandwidth: proportional scaling of the memory-bound
+        // rate portion when aggregate demand exceeds capacity.
+        let mut demand = 0.0;
+        for (i, t) in self.threads.iter().enumerate() {
+            if raw[i] > 0.0 {
+                demand += raw[i] * self.apps[&t.app].spec.mem_intensity;
+            }
+        }
+        let bw = self.topo.hw.mem_bandwidth;
+        let scale = if demand > bw { bw / demand } else { 1.0 };
+        for (i, t) in self.threads.iter().enumerate() {
+            if raw[i] <= 0.0 {
+                continue;
+            }
+            let inst = &self.apps[&t.app];
+            let mi = inst.spec.mem_intensity;
+            let r = raw[i] * ((1.0 - mi) + mi * scale);
+            let kind = t
+                .assigned_hwt
+                .map(|h| self.topo.kind_of_hwt(h))
+                .unwrap_or(0);
+            self.rates[i] = r;
+            self.counter_rates[i] = r * inst.spec.ips_inflation[kind];
+        }
+    }
+
+    fn prepare(&mut self) {
+        if !self.needs_chunks.is_empty() {
+            self.assign_equal_chunks();
+        }
+        if self.dirty {
+            self.rebalance();
+        }
+        self.compute_rates();
+        if !self.needs_chunks.is_empty() {
+            self.rebalance_dynamic_chunks();
+        }
+    }
+
+    /// Time of the next event (chunk completion, timer, arrival), if any.
+    fn next_event_time(&self) -> Option<SimTime> {
+        let mut next: Option<SimTime> = None;
+        let mut consider = |t: SimTime| {
+            next = Some(next.map_or(t, |n| n.min(t)));
+        };
+        for (i, t) in self.threads.iter().enumerate() {
+            if let Some(chunk) = t.chunk {
+                let rate = self.rates[i];
+                if rate > 0.0 {
+                    let dt_ns = (chunk / rate * 1e9).ceil().max(1.0);
+                    if dt_ns.is_finite() {
+                        consider(self.time + dt_ns as SimTime);
+                    }
+                }
+            }
+        }
+        let have_apps = !self.apps.is_empty();
+        let have_arrivals = self.arrivals.iter().any(|a| !a.fired);
+        if let Some(&Reverse((t, _))) = self.timers.peek() {
+            // Timers only keep the simulation alive while work remains.
+            if have_apps || have_arrivals {
+                consider(t);
+            }
+        }
+        for a in &self.arrivals {
+            if !a.fired {
+                consider(a.at);
+            }
+        }
+        if let (Some(h), Some(n)) = (self.config.horizon_ns, next) {
+            if n > h && self.time < h {
+                return Some(h);
+            }
+        }
+        next
+    }
+
+    /// Integrates energy and progress up to time `t`.
+    fn advance_to(&mut self, t: SimTime) {
+        let dt_ns = t.saturating_sub(self.time);
+        if dt_ns > 0 {
+            let dt = dt_ns as f64 / 1e9;
+            // Progress and counters.
+            for (i, th) in self.threads.iter_mut().enumerate() {
+                if let Some(chunk) = th.chunk {
+                    let done = self.rates[i] * dt;
+                    th.chunk = Some((chunk - done).max(0.0));
+                    let inst = self.apps.get_mut(&th.app).expect("thread has live app");
+                    inst.done_work += done.min(chunk);
+                    inst.counted_work += self.counter_rates[i] * dt;
+                }
+            }
+            // Energy.
+            let num_kinds = self.topo.hw.num_kinds();
+            let mut package_power = self.topo.hw.package_static_w;
+            for k in 0..num_kinds {
+                package_power += self.topo.hw.clusters[k].power.cluster_static_w;
+            }
+            let mut cluster_power = vec![0.0f64; num_kinds];
+            for core in 0..self.topo.n_cores {
+                let kind = self.topo.core_kind[core];
+                let cluster = &self.topo.hw.clusters[kind];
+                let busy: Vec<usize> = self.topo.core_threads[core]
+                    .iter()
+                    .copied()
+                    .filter(|&h| !self.queues[h].is_empty())
+                    .collect();
+                let p = cluster.core_power(self.freqs[kind], busy.len() as u32);
+                // Contention-blocked threads idle the core part-time: scale
+                // the core's active power by its mean busy fraction.
+                let mean_activity = if busy.is_empty() {
+                    0.0
+                } else {
+                    busy.iter()
+                        .map(|&h| {
+                            let q = &self.queues[h];
+                            q.iter()
+                                .map(|t| self.activity.get(t.0).copied().unwrap_or(1.0))
+                                .sum::<f64>()
+                                / q.len().max(1) as f64
+                        })
+                        .sum::<f64>()
+                        / busy.len() as f64
+                };
+                let p = cluster.power.core_idle_w
+                    + (p - cluster.power.core_idle_w).max(0.0) * mean_activity;
+                cluster_power[kind] += p;
+                if !busy.is_empty() {
+                    // Ground-truth attribution of the core's active power.
+                    let active = (p - cluster.power.core_idle_w).max(0.0);
+                    let per_hwt = active / busy.len() as f64;
+                    for h in busy {
+                        let m = self.queues[h].len() as f64;
+                        let tids = self.queues[h].clone();
+                        for tid in tids {
+                            let app = self.threads[tid.0].app;
+                            self.energy.add_app_energy(app, per_hwt / m * dt);
+                            self.energy.add_app_cpu_time(app, kind, num_kinds, dt / m);
+                        }
+                    }
+                }
+            }
+            for k in 0..num_kinds {
+                self.energy.cluster_energy[k] +=
+                    (cluster_power[k] + self.topo.hw.clusters[k].power.cluster_static_w) * dt;
+                package_power += cluster_power[k];
+            }
+            self.energy.package_energy += package_power * dt;
+        }
+        self.time = t;
+    }
+
+    /// Handles everything due at the current time: worker completions,
+    /// barrier/phase/app transitions, timers, arrivals.
+    fn process_due(&mut self) {
+        self.events += 1;
+        // Worker completions: a chunk of less than one nanosecond of work
+        // remaining counts as done.
+        let mut finished_threads = Vec::new();
+        for (i, th) in self.threads.iter().enumerate() {
+            if let Some(chunk) = th.chunk {
+                let rate = self.rates.get(i).copied().unwrap_or(0.0);
+                if chunk <= 0.0 || (rate > 0.0 && chunk / rate < 1.5e-9) {
+                    finished_threads.push(SimThreadId(i));
+                }
+            }
+        }
+        for t in finished_threads {
+            let app = self.threads[t.0].app;
+            let leftover = self.threads[t.0].chunk.take().unwrap_or(0.0);
+            if let Some(inst) = self.apps.get_mut(&app) {
+                inst.done_work += leftover; // account the sub-ns residue
+            }
+            self.dirty = true;
+            self.maybe_finish_iteration(app);
+        }
+        // Timers.
+        while let Some(&Reverse((t, id))) = self.timers.peek() {
+            if t <= self.time {
+                self.timers.pop();
+                self.notifications.push_back(MgrEvent::Timer { id });
+            } else {
+                break;
+            }
+        }
+        // Arrivals.
+        let due: Vec<usize> = self
+            .arrivals
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| !a.fired && a.at <= self.time)
+            .map(|(i, _)| i)
+            .collect();
+        for i in due {
+            self.arrivals[i].fired = true;
+            let spec = self.arrivals[i].spec.clone();
+            let opts = self.arrivals[i].opts;
+            self.spawn_app(spec, opts, 0);
+        }
+    }
+
+    fn maybe_finish_iteration(&mut self, app: AppId) {
+        let done = {
+            let inst = match self.apps.get(&app) {
+                Some(i) => i,
+                None => return,
+            };
+            inst.active
+                .iter()
+                .all(|t| self.threads[t.0].chunk.is_none())
+        };
+        if !done {
+            return;
+        }
+        let (next_phase, app_done) = {
+            let inst = self.apps.get_mut(&app).unwrap();
+            inst.iter_idx += 1;
+            if inst.iter_idx >= inst.spec.phases[inst.phase_idx].iterations {
+                inst.iter_idx = 0;
+                inst.phase_idx += 1;
+                if inst.phase_idx >= inst.spec.phases.len() {
+                    inst.alive = false;
+                    (false, true)
+                } else {
+                    (true, false)
+                }
+            } else {
+                (true, false)
+            }
+        };
+        if app_done {
+            self.finish_app(app);
+        } else if next_phase {
+            self.start_iteration(app);
+        }
+    }
+
+    fn finish_app(&mut self, app: AppId) {
+        let inst = self.apps.remove(&app).expect("finishing a live app");
+        // Release the app's threads entirely.
+        for t in &inst.threads {
+            self.threads[t.0].chunk = None;
+        }
+        self.samples.remove(&app);
+        let report = AppReport {
+            app_id: app,
+            name: inst.name.clone(),
+            instance: inst.instance,
+            start_ns: inst.start,
+            end_ns: self.time,
+            energy_true_j: self.true_app_energy(app),
+            work_done: inst.done_work,
+        };
+        self.completed.push(report);
+        self.notifications.push_back(MgrEvent::AppExited { app });
+        self.dirty = true;
+        // Restart policy.
+        let restart = self
+            .arrivals
+            .iter()
+            .find(|a| a.spec.name == inst.name)
+            .map(|a| a.opts);
+        if let Some(opts) = restart {
+            if let RestartPolicy::Until(until) = opts.restart {
+                if self.time < until {
+                    self.spawn_app(inst.spec.clone(), opts, inst.instance + 1);
+                }
+            }
+        }
+    }
+
+    fn pop_notification(&mut self) -> Option<MgrEvent> {
+        self.notifications.pop_front()
+    }
+
+    fn report(&self) -> RunReport {
+        let makespan = self
+            .completed
+            .iter()
+            .map(|a| a.end_ns)
+            .max()
+            .unwrap_or(self.time);
+        let mut partial: Vec<AppReport> = self
+            .apps
+            .values()
+            .map(|inst| AppReport {
+                app_id: inst.id,
+                name: inst.name.clone(),
+                instance: inst.instance,
+                start_ns: inst.start,
+                end_ns: self.time,
+                energy_true_j: self.true_app_energy(inst.id),
+                work_done: inst.done_work,
+            })
+            .collect();
+        partial.sort_by_key(|a| a.app_id);
+        RunReport {
+            makespan_ns: makespan,
+            total_energy_j: self.energy.package_energy,
+            cluster_energy_j: self.energy.cluster_energy.clone(),
+            apps: self.completed.clone(),
+            partial,
+            events: self.events,
+        }
+    }
+}
+
+/// A configured simulation: machine + scenario + engine.
+#[derive(Debug)]
+pub struct Simulation {
+    st: SimState,
+}
+
+impl Simulation {
+    /// Creates a simulation of the given machine.
+    pub fn new(hw: HardwareDescription, config: SimConfig) -> Self {
+        Simulation {
+            st: SimState::new(hw, config),
+        }
+    }
+
+    /// Schedules an application arrival at simulated time `at`.
+    pub fn add_arrival(&mut self, at: SimTime, spec: AppSpec, opts: LaunchOpts) {
+        self.st.arrivals.push(ArrivalRec {
+            at,
+            spec,
+            opts,
+            fired: false,
+        });
+    }
+
+    /// Read-only access to the machine state (e.g. for assertions in tests
+    /// before running).
+    pub fn state(&self) -> &SimState {
+        &self.st
+    }
+
+    /// Runs the simulation to completion (all instances finished and no
+    /// pending arrivals, or the configured horizon reached).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarpError::Description`] if any scheduled application spec
+    /// fails validation.
+    pub fn run(&mut self, manager: &mut dyn Manager) -> Result<RunReport> {
+        for a in &self.st.arrivals {
+            a.spec.validate()?;
+            if a.spec.kind_efficiency.len() != self.st.topo.hw.num_kinds() {
+                return Err(HarpError::Description {
+                    detail: format!(
+                        "app '{}' has {} kind efficiencies but the machine has {} kinds",
+                        a.spec.name,
+                        a.spec.kind_efficiency.len(),
+                        self.st.topo.hw.num_kinds()
+                    ),
+                });
+            }
+        }
+        loop {
+            while let Some(ev) = self.st.pop_notification() {
+                manager.on_event(&mut self.st, ev);
+            }
+            self.st.prepare();
+            let next = match self.st.next_event_time() {
+                Some(t) => t,
+                None => break,
+            };
+            if let Some(h) = self.st.config.horizon_ns {
+                if next > h {
+                    self.st.advance_to(h);
+                    break;
+                }
+            }
+            self.st.advance_to(next);
+            self.st.process_due();
+        }
+        // Drain any final notifications (app exits at the very end).
+        while let Some(ev) = self.st.pop_notification() {
+            manager.on_event(&mut self.st, ev);
+        }
+        Ok(self.st.report())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harp_platform::presets;
+
+    fn spec(name: &str, work: f64) -> AppSpec {
+        AppSpec::builder(name, 2)
+            .total_work(work)
+            .iterations(20)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn single_app_completes_all_work() {
+        let hw = presets::tiny_test();
+        let mut sim = Simulation::new(hw, SimConfig::default());
+        sim.add_arrival(0, spec("a", 1.0e9), LaunchOpts::all_hw_threads());
+        let r = sim.run(&mut NullManager).unwrap();
+        assert_eq!(r.apps.len(), 1);
+        let a = &r.apps[0];
+        assert!(a.end_ns > 0);
+        assert!(
+            (a.work_done - 1.0e9).abs() / 1.0e9 < 1e-6,
+            "work done {} vs 1e9",
+            a.work_done
+        );
+        assert!(r.total_energy_j > 0.0);
+    }
+
+    #[test]
+    fn more_resources_run_faster() {
+        let hw = presets::raptor_lake();
+        let run = |team: u32| {
+            let mut sim = Simulation::new(hw.clone(), SimConfig::default());
+            sim.add_arrival(0, spec("a", 2.0e10), LaunchOpts::fixed_team(team));
+            sim.run(&mut NullManager).unwrap().makespan_ns
+        };
+        let t1 = run(1);
+        let t8 = run(8);
+        let t32 = run(32);
+        assert!(t8 < t1 / 4, "t1={t1} t8={t8}");
+        assert!(t32 < t8, "t8={t8} t32={t32}");
+    }
+
+    #[test]
+    fn serial_fraction_limits_speedup() {
+        let hw = presets::raptor_lake();
+        let amdahl = AppSpec::builder("amdahl", 2)
+            .total_work(1.0e10)
+            .serial_fraction(0.5)
+            .build()
+            .unwrap();
+        let run = |team: u32| {
+            let mut sim = Simulation::new(hw.clone(), SimConfig::default());
+            sim.add_arrival(0, amdahl.clone(), LaunchOpts::fixed_team(team));
+            sim.run(&mut NullManager).unwrap().makespan_ns as f64
+        };
+        let speedup = run(1) / run(32);
+        assert!(speedup < 2.2, "speedup {speedup} should be Amdahl-limited");
+        assert!(speedup > 1.2);
+    }
+
+    #[test]
+    fn memory_bound_app_does_not_scale() {
+        let hw = presets::raptor_lake();
+        let membound = AppSpec::builder("mem", 2)
+            .total_work(2.0e10)
+            .mem_intensity(0.95)
+            .build()
+            .unwrap();
+        let run = |team: u32| {
+            let mut sim = Simulation::new(hw.clone(), SimConfig::default());
+            sim.add_arrival(0, membound.clone(), LaunchOpts::fixed_team(team));
+            sim.run(&mut NullManager).unwrap()
+        };
+        let r8 = run(8);
+        let r32 = run(32);
+        // Performance saturates...
+        let ratio = r8.makespan_ns as f64 / r32.makespan_ns as f64;
+        assert!(ratio < 1.35, "membound speedup 8->32 was {ratio}");
+        // ...but energy keeps growing with more active cores.
+        assert!(r32.total_energy_j > r8.total_energy_j * 0.95);
+    }
+
+    #[test]
+    fn two_apps_share_and_both_finish() {
+        let hw = presets::tiny_test();
+        let mut sim = Simulation::new(hw, SimConfig::default());
+        sim.add_arrival(0, spec("a", 1.0e9), LaunchOpts::all_hw_threads());
+        sim.add_arrival(0, spec("b", 1.0e9), LaunchOpts::all_hw_threads());
+        let r = sim.run(&mut NullManager).unwrap();
+        assert_eq!(r.apps.len(), 2);
+        assert!(r.instances_of("a").len() == 1 && r.instances_of("b").len() == 1);
+    }
+
+    #[test]
+    fn oversubscription_hurts_time_and_partitioning_saves_energy() {
+        let hw = presets::raptor_lake();
+        // (1) A team twice as large as the machine is slower than a matched
+        // one: time-sharing + lock-holder preemption cost real throughput.
+        let run_team = |team: u32| {
+            let mut sim = Simulation::new(hw.clone(), SimConfig::default());
+            sim.add_arrival(0, spec("a", 2.0e10), LaunchOpts::fixed_team(team));
+            sim.run(&mut NullManager).unwrap().makespan_ns
+        };
+        let matched = run_team(32);
+        let oversized = run_team(64);
+        assert!(
+            oversized > matched,
+            "64 threads ({oversized}) should be slower than 32 ({matched})"
+        );
+
+        // (2) Spatially partitioning two co-running apps consumes less
+        // energy than letting both time-share the whole machine.
+        let mk = || {
+            let mut sim = Simulation::new(hw.clone(), SimConfig::default());
+            sim.add_arrival(0, spec("a", 2.0e10), LaunchOpts::all_hw_threads());
+            sim.add_arrival(0, spec("b", 2.0e10), LaunchOpts::all_hw_threads());
+            sim
+        };
+        let oversub = mk().run(&mut NullManager).unwrap();
+        struct Partition;
+        impl Manager for Partition {
+            fn on_event(&mut self, st: &mut SimState, ev: MgrEvent) {
+                if let MgrEvent::AppStarted { app, ref name } = ev {
+                    let (aff, team) = if name == "a" {
+                        (Affinity::from_threads((0..16).map(harp_types::HwThreadId)), 16)
+                    } else {
+                        (
+                            Affinity::from_threads((16..32).map(harp_types::HwThreadId)),
+                            16,
+                        )
+                    };
+                    st.set_app_affinity(app, aff).unwrap();
+                    st.set_team_size(app, team).unwrap();
+                }
+            }
+        }
+        let part = mk().run(&mut Partition).unwrap();
+        assert!(
+            part.total_energy_j < oversub.total_energy_j,
+            "partitioned {}J vs oversubscribed {}J",
+            part.total_energy_j,
+            oversub.total_energy_j
+        );
+        // Partitioning costs at most a modest makespan premium here.
+        assert!(part.makespan_ns < oversub.makespan_ns * 13 / 10);
+    }
+
+    #[test]
+    fn timer_events_fire_in_order() {
+        struct TimerMgr {
+            fired: Vec<u64>,
+        }
+        impl Manager for TimerMgr {
+            fn on_event(&mut self, st: &mut SimState, ev: MgrEvent) {
+                match ev {
+                    MgrEvent::AppStarted { .. } => {
+                        st.set_timer(st.now() + 1_000_000, 1);
+                        st.set_timer(st.now() + 2_000_000, 2);
+                    }
+                    MgrEvent::Timer { id } => self.fired.push(id),
+                    _ => {}
+                }
+            }
+        }
+        let hw = presets::tiny_test();
+        let mut sim = Simulation::new(hw, SimConfig::default());
+        sim.add_arrival(0, spec("a", 1.0e9), LaunchOpts::fixed_team(2));
+        let mut mgr = TimerMgr { fired: Vec::new() };
+        sim.run(&mut mgr).unwrap();
+        assert_eq!(mgr.fired, vec![1, 2]);
+    }
+
+    #[test]
+    fn perf_sampling_reports_progress() {
+        struct Sampler {
+            samples: Vec<f64>,
+        }
+        impl Manager for Sampler {
+            fn on_event(&mut self, st: &mut SimState, ev: MgrEvent) {
+                match ev {
+                    MgrEvent::AppStarted { .. } => st.set_timer(st.now() + 50_000_000, 7),
+                    MgrEvent::Timer { .. } => {
+                        for app in st.app_ids() {
+                            if let Some((dw, dns)) = st.sample_app_work(app) {
+                                self.samples.push(dw / (dns as f64 / 1e9));
+                            }
+                        }
+                        if !st.app_ids().is_empty() {
+                            st.set_timer(st.now() + 50_000_000, 7);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let hw = presets::raptor_lake();
+        let mut sim = Simulation::new(hw, SimConfig::default());
+        sim.add_arrival(0, spec("a", 3.0e10), LaunchOpts::fixed_team(8));
+        let mut mgr = Sampler {
+            samples: Vec::new(),
+        };
+        sim.run(&mut mgr).unwrap();
+        assert!(mgr.samples.len() > 3);
+        // IPS samples should be in a plausible range (noisy but positive).
+        for s in &mgr.samples {
+            assert!(*s > 0.0, "sample {s}");
+        }
+    }
+
+    #[test]
+    fn energy_counters_are_monotone_and_consistent() {
+        let hw = presets::raptor_lake();
+        let mut sim = Simulation::new(hw, SimConfig::default());
+        sim.add_arrival(0, spec("a", 1.0e10), LaunchOpts::fixed_team(8));
+        let r = sim.run(&mut NullManager).unwrap();
+        let cluster_sum: f64 = r.cluster_energy_j.iter().sum();
+        // Package = clusters + package-static portion.
+        assert!(r.total_energy_j > cluster_sum);
+        for &c in &r.cluster_energy_j {
+            assert!(c > 0.0);
+        }
+    }
+
+    #[test]
+    fn restart_until_re_executes() {
+        let hw = presets::tiny_test();
+        let mut sim = Simulation::new(
+            hw,
+            SimConfig {
+                horizon_ns: Some(20 * crate::SECOND),
+                ..SimConfig::default()
+            },
+        );
+        sim.add_arrival(
+            0,
+            spec("loop", 5.0e8),
+            LaunchOpts::fixed_team(2).restart_until(2 * crate::SECOND),
+        );
+        let r = sim.run(&mut NullManager).unwrap();
+        assert!(
+            r.instances_of("loop").len() >= 2,
+            "expected restarts, got {}",
+            r.instances_of("loop").len()
+        );
+    }
+
+    #[test]
+    fn affinity_restricts_execution() {
+        // Pin the app to one little core; it should take ~work/rate of that
+        // core, regardless of its team size.
+        let hw = presets::tiny_test();
+        struct Pin;
+        impl Manager for Pin {
+            fn on_event(&mut self, st: &mut SimState, ev: MgrEvent) {
+                if let MgrEvent::AppStarted { app, .. } = ev {
+                    st.set_app_affinity(
+                        app,
+                        Affinity::from_threads([harp_types::HwThreadId(4)]),
+                    )
+                    .unwrap();
+                }
+            }
+        }
+        let work = 1.0e9;
+        let mut sim = Simulation::new(hw.clone(), SimConfig::default());
+        sim.add_arrival(
+            0,
+            AppSpec::builder("pinned", 2)
+                .total_work(work)
+                .serial_fraction(0.0)
+                .build()
+                .unwrap(),
+            LaunchOpts::fixed_team(4),
+        );
+        let r = sim.run(&mut Pin).unwrap();
+        // hw thread 4 is a little core (2 big cores × 2 smt = threads 0..4).
+        let little_rate = hw.clusters[1].perf.ips_per_thread;
+        let expect_s = work / little_rate;
+        let got_s = r.makespan_s();
+        // Oversubscription penalties make it slower than the ideal, never faster.
+        assert!(got_s >= expect_s * 0.99, "{got_s} vs {expect_s}");
+        assert!(got_s < expect_s * 3.0, "{got_s} vs {expect_s}");
+    }
+
+    #[test]
+    fn team_resize_takes_effect() {
+        let hw = presets::raptor_lake();
+        struct Shrink;
+        impl Manager for Shrink {
+            fn on_event(&mut self, st: &mut SimState, ev: MgrEvent) {
+                if let MgrEvent::AppStarted { app, .. } = ev {
+                    st.set_team_size(app, 2).unwrap();
+                }
+            }
+        }
+        let mut sim = Simulation::new(hw.clone(), SimConfig::default());
+        sim.add_arrival(0, spec("a", 1.0e10), LaunchOpts::all_hw_threads());
+        let shrunk = sim.run(&mut Shrink).unwrap();
+        let mut sim = Simulation::new(hw, SimConfig::default());
+        sim.add_arrival(0, spec("a", 1.0e10), LaunchOpts::all_hw_threads());
+        let full = sim.run(&mut NullManager).unwrap();
+        assert!(shrunk.makespan_ns > full.makespan_ns);
+    }
+
+    #[test]
+    fn dynamic_balance_beats_static_split_on_mixed_cores() {
+        // 2 threads on one big + one little core: static equal split waits
+        // for the little straggler; dynamic split finishes sooner.
+        let hw = presets::tiny_test();
+        struct MixPin;
+        impl Manager for MixPin {
+            fn on_event(&mut self, st: &mut SimState, ev: MgrEvent) {
+                if let MgrEvent::AppStarted { app, .. } = ev {
+                    // hwt 0 = big core 0, hwt 4 = little core 0.
+                    st.set_app_affinity(
+                        app,
+                        Affinity::from_threads([
+                            harp_types::HwThreadId(0),
+                            harp_types::HwThreadId(4),
+                        ]),
+                    )
+                    .unwrap();
+                    st.set_team_size(app, 2).unwrap();
+                }
+            }
+        }
+        let run = |dynamic: bool| {
+            let s = AppSpec::builder("mix", 2)
+                .total_work(2.0e9)
+                .serial_fraction(0.0)
+                .iterations(50)
+                .dynamic_balance(dynamic)
+                .build()
+                .unwrap();
+            let mut sim = Simulation::new(presets::tiny_test(), SimConfig::default());
+            sim.add_arrival(0, s, LaunchOpts::fixed_team(2));
+            sim.run(&mut MixPin).unwrap().makespan_ns
+        };
+        let _ = hw;
+        let static_t = run(false);
+        let dynamic_t = run(true);
+        assert!(
+            dynamic_t < static_t,
+            "dynamic {dynamic_t} should beat static {static_t}"
+        );
+    }
+
+    #[test]
+    fn contention_makes_small_teams_win() {
+        let hw = presets::raptor_lake();
+        let convoy = AppSpec::builder("binpackish", 2)
+            .total_work(5.0e9)
+            .serial_fraction(0.0)
+            .contention(crate::ContentionModel {
+                linear: 0.05,
+                quadratic: 0.1,
+            })
+            .build()
+            .unwrap();
+        let run = |team: u32| {
+            let mut sim = Simulation::new(hw.clone(), SimConfig::default());
+            sim.add_arrival(0, convoy.clone(), LaunchOpts::fixed_team(team));
+            sim.run(&mut NullManager).unwrap().makespan_ns
+        };
+        let t32 = run(32);
+        let t4 = run(4);
+        assert!(
+            t4 * 3 < t32,
+            "4 threads ({t4}) should be >3x faster than 32 ({t32})"
+        );
+    }
+
+    #[test]
+    fn charge_overhead_slows_app_down() {
+        let hw = presets::tiny_test();
+        struct Overhead;
+        impl Manager for Overhead {
+            fn on_event(&mut self, st: &mut SimState, ev: MgrEvent) {
+                match ev {
+                    MgrEvent::AppStarted { app, .. } => {
+                        st.set_timer(st.now() + 10_000_000, app.0);
+                    }
+                    MgrEvent::Timer { id } => {
+                        let app = AppId(id);
+                        if st.app_ids().contains(&app) {
+                            st.charge_overhead(app, 3_000_000); // 3 ms per 10 ms
+                            st.set_timer(st.now() + 10_000_000, id);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let run = |with_overhead: bool| {
+            let mut sim = Simulation::new(presets::tiny_test(), SimConfig::default());
+            sim.add_arrival(0, spec("a", 2.0e9), LaunchOpts::fixed_team(4));
+            if with_overhead {
+                sim.run(&mut Overhead).unwrap().makespan_ns
+            } else {
+                sim.run(&mut NullManager).unwrap().makespan_ns
+            }
+        };
+        let _ = hw;
+        let plain = run(false);
+        let taxed = run(true);
+        assert!(taxed > plain, "taxed {taxed} vs plain {plain}");
+    }
+
+    #[test]
+    fn horizon_caps_run() {
+        let hw = presets::tiny_test();
+        let mut sim = Simulation::new(
+            hw,
+            SimConfig {
+                horizon_ns: Some(crate::MILLISECOND),
+                ..SimConfig::default()
+            },
+        );
+        sim.add_arrival(0, spec("slow", 1.0e12), LaunchOpts::fixed_team(2));
+        let r = sim.run(&mut NullManager).unwrap();
+        assert!(r.apps.is_empty());
+        assert_eq!(r.partial.len(), 1);
+        assert!(r.partial[0].work_done > 0.0);
+        assert!(r.makespan_ns <= 2 * crate::MILLISECOND);
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected_at_run() {
+        let hw = presets::tiny_test();
+        let mut bad = spec("bad", 1.0e9);
+        bad.kind_efficiency = vec![1.0]; // machine has 2 kinds
+        let mut sim = Simulation::new(hw, SimConfig::default());
+        sim.add_arrival(0, bad, LaunchOpts::fixed_team(1));
+        assert!(sim.run(&mut NullManager).is_err());
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests on simulator conservation laws: for any valid application
+//! spec and launch configuration, the machine retires exactly the specified
+//! work, energy is positive and monotone with time, and the ground-truth
+//! per-application energy never exceeds the package total.
+
+use harp_platform::presets;
+use harp_sim::{
+    AppSpec, ContentionModel, LaunchOpts, NullManager, SimConfig, Simulation,
+};
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = AppSpec> {
+    (
+        1.0e8f64..5.0e9,
+        0.0f64..0.2,
+        1u32..60,
+        0.0f64..0.9,
+        0.8f64..1.15,
+        0.0f64..0.05,
+        0.0f64..0.02,
+        any::<bool>(),
+        0.8f64..1.0,
+    )
+        .prop_map(
+            |(work, serial, iters, mi, smt, cont_l, cont_q, dynamic, kind_eff)| {
+                AppSpec::builder("prop", 2)
+                    .total_work(work)
+                    .serial_fraction(serial)
+                    .iterations(iters)
+                    .mem_intensity(mi)
+                    .smt_efficiency(smt)
+                    .contention(ContentionModel {
+                        linear: cont_l,
+                        quadratic: cont_q,
+                    })
+                    .dynamic_balance(dynamic)
+                    .kind_efficiency(vec![1.0, kind_eff])
+                    .build()
+                    .expect("generated spec is valid")
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn work_is_conserved(spec in arb_spec(), team in 1u32..40) {
+        let mut sim = Simulation::new(presets::tiny_test(), SimConfig::default());
+        let total = spec.total_work();
+        sim.add_arrival(0, spec, LaunchOpts::fixed_team(team));
+        let r = sim.run(&mut NullManager).unwrap();
+        prop_assert_eq!(r.apps.len(), 1);
+        let done = r.apps[0].work_done;
+        prop_assert!(
+            (done - total).abs() / total < 1e-6,
+            "retired {done} of {total} work units"
+        );
+    }
+
+    #[test]
+    fn energy_is_positive_and_attribution_bounded(spec in arb_spec(), team in 1u32..20) {
+        let mut sim = Simulation::new(presets::raptor_lake(), SimConfig::default());
+        sim.add_arrival(0, spec, LaunchOpts::fixed_team(team));
+        let r = sim.run(&mut NullManager).unwrap();
+        prop_assert!(r.total_energy_j > 0.0);
+        for &c in &r.cluster_energy_j {
+            prop_assert!(c >= 0.0);
+        }
+        // The package includes every cluster plus package-static power.
+        let cluster_sum: f64 = r.cluster_energy_j.iter().sum();
+        prop_assert!(r.total_energy_j >= cluster_sum - 1e-9);
+        // Ground-truth app energy (dynamic only) stays below the total.
+        prop_assert!(r.apps[0].energy_true_j <= r.total_energy_j + 1e-9);
+    }
+
+    #[test]
+    fn two_apps_both_finish_and_order_is_sane(
+        a in arb_spec(),
+        b in arb_spec(),
+        stagger_ms in 0u64..500
+    ) {
+        let mut sim = Simulation::new(presets::tiny_test(), SimConfig::default());
+        sim.add_arrival(0, a, LaunchOpts::all_hw_threads());
+        sim.add_arrival(stagger_ms * 1_000_000, b, LaunchOpts::all_hw_threads());
+        let r = sim.run(&mut NullManager).unwrap();
+        prop_assert_eq!(r.apps.len(), 2);
+        for app in &r.apps {
+            prop_assert!(app.end_ns > app.start_ns);
+            prop_assert!(app.end_ns <= r.makespan_ns);
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result(spec in arb_spec(), seed in any::<u64>()) {
+        let run = |seed| {
+            let mut sim = Simulation::new(
+                presets::tiny_test(),
+                SimConfig { seed, ..SimConfig::default() },
+            );
+            sim.add_arrival(0, spec.clone(), LaunchOpts::fixed_team(4));
+            sim.run(&mut NullManager).unwrap()
+        };
+        let r1 = run(seed);
+        let r2 = run(seed);
+        prop_assert_eq!(r1.makespan_ns, r2.makespan_ns);
+        prop_assert!((r1.total_energy_j - r2.total_energy_j).abs() < 1e-9);
+    }
+}

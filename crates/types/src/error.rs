@@ -1,0 +1,163 @@
+//! Error type shared across the HARP crate family.
+
+use std::fmt;
+
+/// Errors produced by HARP subsystems.
+///
+/// One meaningful, well-behaved error type (implements [`std::error::Error`],
+/// `Send`, `Sync`) keeps `Result` signatures uniform across the workspace
+/// while remaining extensible through the [`HarpError::Other`] variant.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum HarpError {
+    /// A core-kind index was outside the platform's kind range.
+    UnknownCoreKind {
+        /// The offending kind index.
+        kind: usize,
+        /// Number of kinds the platform defines.
+        num_kinds: usize,
+    },
+    /// A per-core hardware-thread count was outside `1..=smt_width`.
+    InvalidThreadCount {
+        /// The requested threads-per-core value.
+        threads: usize,
+        /// The SMT width of the core kind.
+        smt_width: usize,
+    },
+    /// Two extended resource vectors (or a vector and a platform) had
+    /// incompatible shapes.
+    ShapeMismatch {
+        /// Description of the two shapes involved.
+        detail: String,
+    },
+    /// A resource demand exceeded the platform capacity.
+    InsufficientResources {
+        /// Description of the demand and the capacity.
+        detail: String,
+    },
+    /// An operating point, application or core id was not found.
+    NotFound {
+        /// What was looked up.
+        what: String,
+    },
+    /// A message could not be encoded or decoded.
+    Protocol {
+        /// Codec-level description.
+        detail: String,
+    },
+    /// Parsing a description file failed.
+    Description {
+        /// Parser-level description.
+        detail: String,
+    },
+    /// A numeric routine failed to converge or received degenerate input.
+    Numeric {
+        /// Description of the numeric failure.
+        detail: String,
+    },
+    /// An I/O error (daemon transport, description files). Stored as a string
+    /// so the error stays `Clone + PartialEq`.
+    Io {
+        /// Stringified `std::io::Error`.
+        detail: String,
+    },
+    /// Any other error.
+    Other {
+        /// Free-form description.
+        detail: String,
+    },
+}
+
+impl HarpError {
+    /// Shorthand constructor for [`HarpError::Other`].
+    pub fn other(detail: impl Into<String>) -> Self {
+        HarpError::Other {
+            detail: detail.into(),
+        }
+    }
+
+    /// Shorthand constructor for [`HarpError::Protocol`].
+    pub fn protocol(detail: impl Into<String>) -> Self {
+        HarpError::Protocol {
+            detail: detail.into(),
+        }
+    }
+
+    /// Shorthand constructor for [`HarpError::NotFound`].
+    pub fn not_found(what: impl Into<String>) -> Self {
+        HarpError::NotFound { what: what.into() }
+    }
+}
+
+impl fmt::Display for HarpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarpError::UnknownCoreKind { kind, num_kinds } => {
+                write!(f, "unknown core kind {kind} (platform has {num_kinds} kinds)")
+            }
+            HarpError::InvalidThreadCount { threads, smt_width } => {
+                write!(
+                    f,
+                    "invalid threads-per-core {threads} (must be within 1..={smt_width})"
+                )
+            }
+            HarpError::ShapeMismatch { detail } => write!(f, "shape mismatch: {detail}"),
+            HarpError::InsufficientResources { detail } => {
+                write!(f, "insufficient resources: {detail}")
+            }
+            HarpError::NotFound { what } => write!(f, "not found: {what}"),
+            HarpError::Protocol { detail } => write!(f, "protocol error: {detail}"),
+            HarpError::Description { detail } => write!(f, "description error: {detail}"),
+            HarpError::Numeric { detail } => write!(f, "numeric error: {detail}"),
+            HarpError::Io { detail } => write!(f, "i/o error: {detail}"),
+            HarpError::Other { detail } => write!(f, "{detail}"),
+        }
+    }
+}
+
+impl std::error::Error for HarpError {}
+
+impl From<std::io::Error> for HarpError {
+    fn from(err: std::io::Error) -> Self {
+        HarpError::Io {
+            detail: err.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = HarpError::UnknownCoreKind {
+            kind: 3,
+            num_kinds: 2,
+        };
+        let s = e.to_string();
+        assert!(s.contains("unknown core kind 3"));
+        assert!(s.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn error_is_std_error_send_sync() {
+        fn assert_err<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<HarpError>();
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let e: HarpError = io.into();
+        assert!(matches!(e, HarpError::Io { .. }));
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn shorthand_constructors() {
+        assert!(matches!(HarpError::other("x"), HarpError::Other { .. }));
+        assert!(matches!(HarpError::protocol("x"), HarpError::Protocol { .. }));
+        assert!(matches!(HarpError::not_found("x"), HarpError::NotFound { .. }));
+    }
+}

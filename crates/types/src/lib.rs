@@ -1,0 +1,58 @@
+//! Core vocabulary shared by every HARP subsystem.
+//!
+//! This crate defines the data structures that link the HARP resource manager
+//! (RM) and the application-side library `libharp`, as described in the paper
+//! *"HARP: Energy-Aware and Adaptive Management of Heterogeneous Processors"*
+//! (Middleware '25):
+//!
+//! * [`CoreKind`]/[`CoreId`]/[`HwThreadId`] — identifiers for the heterogeneous
+//!   processor topology (core *kinds* such as P-cores and E-cores, physical
+//!   cores, and hardware threads).
+//! * [`ExtResourceVector`] — the paper's *extended resource vector*: how many
+//!   cores of each kind an application uses and with how many hardware threads
+//!   per core (§4.1.2).
+//! * [`OperatingPoint`] — an application configuration variant annotated with
+//!   non-functional characteristics (utility and power, §4.2.1) and its
+//!   energy-utility cost (Eq. 2).
+//! * [`pareto`] — multi-objective Pareto-front computation used by design-space
+//!   exploration and the model-evaluation experiments (Fig. 1, Fig. 5).
+//! * [`HarpError`] — the crate-family error type.
+//!
+//! # Example
+//!
+//! ```
+//! use harp_types::{ErvShape, ExtResourceVector, NonFunctional, OperatingPoint};
+//!
+//! // A platform with P-cores (2-way SMT) and E-cores (no SMT).
+//! let shape = ErvShape::new(vec![2, 1]);
+//! // The paper's example vector [1, 2, 4]ᵀ: one P-core using one hardware
+//! // thread, two P-cores using both, and four E-cores.
+//! let mut erv = ExtResourceVector::zero(&shape);
+//! erv.add_cores(0, 1, 1).unwrap();
+//! erv.add_cores(0, 2, 2).unwrap();
+//! erv.add_cores(1, 1, 4).unwrap();
+//! assert_eq!(erv.total_threads(), 9);
+//! assert_eq!(erv.cores_of_kind(0), 3);
+//!
+//! let op = OperatingPoint::new(erv, NonFunctional::new(2.0e9, 12.5));
+//! assert!(op.nfc.power > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod error;
+mod ids;
+mod ops;
+pub mod pareto;
+mod rvec;
+
+pub use cost::{energy_utility_cost, NormalizedCost};
+pub use error::HarpError;
+pub use ids::{AppId, CoreId, CoreKind, HwThreadId};
+pub use ops::{NonFunctional, OpId, OperatingPoint, OperatingPointTable};
+pub use rvec::{ErvShape, ExtResourceVector, ResourceVector};
+
+/// Convenient crate-wide result alias.
+pub type Result<T> = std::result::Result<T, HarpError>;

@@ -1,0 +1,242 @@
+//! Multi-objective Pareto-front computation and front-quality metrics.
+//!
+//! Design-space exploration in HARP identifies *Pareto-optimal* operating
+//! points (paper §3.2.1, Fig. 1 — four minimized objectives: execution time,
+//! energy, P-cores, E-cores). The runtime model evaluation (Fig. 5) compares
+//! predicted fronts against reference fronts using the Inverted Generational
+//! Distance (IGD) and the ratio of common points.
+//!
+//! All functions minimize every objective; negate a component to maximize it.
+
+/// Returns `true` iff `a` Pareto-dominates `b`: `a` is no worse in every
+/// objective and strictly better in at least one (all objectives minimized).
+///
+/// # Panics
+///
+/// Panics if the objective vectors have different lengths.
+///
+/// # Example
+///
+/// ```
+/// use harp_types::pareto::dominates;
+/// assert!(dominates(&[1.0, 2.0], &[1.0, 3.0]));
+/// assert!(!dominates(&[1.0, 3.0], &[3.0, 1.0]));
+/// ```
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    assert_eq!(a.len(), b.len(), "objective vectors must have equal length");
+    let mut strictly_better = false;
+    for (&x, &y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Computes the indices of the Pareto-optimal points among `points`
+/// (all objectives minimized). Duplicated points are all kept: a point is
+/// removed only if some other point *strictly* dominates it.
+///
+/// Runs in `O(n²·d)`, which is ample for the configuration-space sizes HARP
+/// deals with (hundreds of operating points).
+///
+/// # Example
+///
+/// ```
+/// use harp_types::pareto::pareto_front_indices;
+/// let pts = vec![vec![1.0, 4.0], vec![2.0, 2.0], vec![3.0, 3.0], vec![4.0, 1.0]];
+/// assert_eq!(pareto_front_indices(&pts), vec![0, 1, 3]);
+/// ```
+pub fn pareto_front_indices(points: &[Vec<f64>]) -> Vec<usize> {
+    let mut front = Vec::new();
+    'outer: for (i, p) in points.iter().enumerate() {
+        for (j, q) in points.iter().enumerate() {
+            if i != j && dominates(q, p) {
+                continue 'outer;
+            }
+        }
+        front.push(i);
+    }
+    front
+}
+
+/// Inverted Generational Distance (IGD) between a `reference` front and an
+/// `approx`imated front (paper Fig. 5, citing Coello & Reyes Sierra).
+///
+/// IGD is the mean, over reference points, of the Euclidean distance to the
+/// nearest approximated point. Lower is better; zero means the approximation
+/// covers the reference front exactly.
+///
+/// Returns `f64::INFINITY` if `approx` is empty and `0.0` if `reference` is
+/// empty (nothing to cover).
+///
+/// # Panics
+///
+/// Panics if points within either front have inconsistent dimensionality.
+pub fn igd(reference: &[Vec<f64>], approx: &[Vec<f64>]) -> f64 {
+    if reference.is_empty() {
+        return 0.0;
+    }
+    if approx.is_empty() {
+        return f64::INFINITY;
+    }
+    let sum: f64 = reference
+        .iter()
+        .map(|r| {
+            approx
+                .iter()
+                .map(|a| euclidean(r, a))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum();
+    sum / reference.len() as f64
+}
+
+/// Ratio of reference-front members also present in the approximated front
+/// (paper Fig. 5, "ratio of common operating points"). Membership is keyed
+/// by the associated configuration keys, not by objective values, because two
+/// configurations may measure identically.
+///
+/// Returns `1.0` for an empty reference front (vacuously covered).
+pub fn common_ratio<K: PartialEq>(reference: &[K], approx: &[K]) -> f64 {
+    if reference.is_empty() {
+        return 1.0;
+    }
+    let common = reference
+        .iter()
+        .filter(|r| approx.iter().any(|a| &a == r))
+        .count();
+    common as f64 / reference.len() as f64
+}
+
+fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "points must have equal dimensionality");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Normalizes each objective column of `points` to `[0, 1]` (min-max),
+/// returning the normalized copies. Columns with zero spread map to `0.0`.
+///
+/// Fronts should be normalized before computing [`igd`] so that objectives
+/// with large magnitudes (e.g. IPS ~ 1e9) do not drown out others (watts).
+pub fn normalize_columns(points: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let dims = points[0].len();
+    let mut mins = vec![f64::INFINITY; dims];
+    let mut maxs = vec![f64::NEG_INFINITY; dims];
+    for p in points {
+        for (d, &v) in p.iter().enumerate() {
+            mins[d] = mins[d].min(v);
+            maxs[d] = maxs[d].max(v);
+        }
+    }
+    points
+        .iter()
+        .map(|p| {
+            p.iter()
+                .enumerate()
+                .map(|(d, &v)| {
+                    let span = maxs[d] - mins[d];
+                    if span > 0.0 {
+                        (v - mins[d]) / span
+                    } else {
+                        0.0
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_basics() {
+        assert!(dominates(&[1.0, 1.0], &[2.0, 2.0]));
+        assert!(dominates(&[1.0, 2.0], &[2.0, 2.0]));
+        assert!(!dominates(&[2.0, 2.0], &[2.0, 2.0])); // equal: no strict improvement
+        assert!(!dominates(&[1.0, 3.0], &[2.0, 2.0])); // trade-off
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn dominance_length_mismatch_panics() {
+        dominates(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn front_of_trade_off_curve() {
+        let pts = vec![
+            vec![1.0, 10.0],
+            vec![2.0, 5.0],
+            vec![3.0, 6.0], // dominated by (2,5)
+            vec![4.0, 1.0],
+            vec![1.0, 10.0], // duplicate of the first: kept
+        ];
+        assert_eq!(pareto_front_indices(&pts), vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn front_of_empty_and_single() {
+        assert!(pareto_front_indices(&[]).is_empty());
+        assert_eq!(pareto_front_indices(&[vec![5.0, 5.0]]), vec![0]);
+    }
+
+    #[test]
+    fn four_objective_front_mirrors_fig1_objectives() {
+        // (time, energy, p_cores, e_cores): a small-but-slow config survives
+        // because it minimizes core counts.
+        let pts = vec![
+            vec![10.0, 5.0, 0.0, 1.0],
+            vec![2.0, 20.0, 8.0, 16.0],
+            vec![2.5, 22.0, 8.0, 16.0], // dominated by the previous
+        ];
+        assert_eq!(pareto_front_indices(&pts), vec![0, 1]);
+    }
+
+    #[test]
+    fn igd_zero_for_identical_fronts() {
+        let f = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        assert_eq!(igd(&f, &f), 0.0);
+    }
+
+    #[test]
+    fn igd_grows_with_distance() {
+        let reference = vec![vec![0.0, 0.0]];
+        let near = vec![vec![0.1, 0.0]];
+        let far = vec![vec![1.0, 0.0]];
+        assert!(igd(&reference, &near) < igd(&reference, &far));
+        assert!(igd(&reference, &[]).is_infinite());
+        assert_eq!(igd(&[], &near), 0.0);
+    }
+
+    #[test]
+    fn common_ratio_counts_matching_keys() {
+        let reference = vec!["a", "b", "c"];
+        let approx = vec!["b", "c", "d"];
+        assert!((common_ratio(&reference, &approx) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(common_ratio::<&str>(&[], &approx), 1.0);
+        assert_eq!(common_ratio(&reference, &[]), 0.0);
+    }
+
+    #[test]
+    fn normalize_columns_maps_to_unit_range() {
+        let pts = vec![vec![10.0, 100.0], vec![20.0, 100.0], vec![15.0, 100.0]];
+        let n = normalize_columns(&pts);
+        assert_eq!(n[0], vec![0.0, 0.0]);
+        assert_eq!(n[1], vec![1.0, 0.0]); // constant column -> 0.0
+        assert!((n[2][0] - 0.5).abs() < 1e-12);
+        assert!(normalize_columns(&[]).is_empty());
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests on the core vocabulary: extended-resource-vector algebra
+//! and the Pareto-front invariants.
+
+use harp_types::pareto::{dominates, pareto_front_indices};
+use harp_types::{ErvShape, ExtResourceVector, ResourceVector};
+use proptest::prelude::*;
+
+fn arb_shape() -> impl Strategy<Value = ErvShape> {
+    proptest::collection::vec(1usize..=3, 1..=3).prop_map(ErvShape::new)
+}
+
+fn arb_erv(shape: ErvShape) -> impl Strategy<Value = ExtResourceVector> {
+    let len = shape.flat_len();
+    proptest::collection::vec(0u32..6, len..=len)
+        .prop_map(move |flat| ExtResourceVector::from_flat(&shape, &flat).expect("len matches"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn flat_round_trip(shape in arb_shape(), seed in any::<u64>()) {
+        let len = shape.flat_len();
+        let flat: Vec<u32> = (0..len).map(|i| ((seed >> (i * 5)) & 0x7) as u32).collect();
+        let erv = ExtResourceVector::from_flat(&shape, &flat).unwrap();
+        prop_assert_eq!(erv.flat(), flat);
+        prop_assert_eq!(erv.shape(), shape);
+    }
+
+    #[test]
+    fn totals_are_consistent(shape in arb_shape().prop_flat_map(|s| arb_erv(s))) {
+        let erv = shape; // renamed binding: the generated vector
+        // Threads >= cores (every used core contributes >= 1 thread).
+        prop_assert!(erv.total_threads() >= erv.total_cores());
+        // The coarse vector's total equals the per-kind core sum.
+        prop_assert_eq!(erv.resource_vector().total(), erv.total_cores());
+        // Zero iff all components zero.
+        prop_assert_eq!(erv.is_zero(), erv.flat().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn distance_is_a_metric(
+        (a, b, c) in arb_shape().prop_flat_map(|s| {
+            (arb_erv(s.clone()), arb_erv(s.clone()), arb_erv(s))
+        })
+    ) {
+        let dab = a.distance(&b).unwrap();
+        let dba = b.distance(&a).unwrap();
+        prop_assert!((dab - dba).abs() < 1e-12, "symmetry");
+        prop_assert!(a.distance(&a).unwrap() == 0.0, "identity");
+        let dac = a.distance(&c).unwrap();
+        let dcb = c.distance(&b).unwrap();
+        prop_assert!(dab <= dac + dcb + 1e-9, "triangle inequality");
+    }
+
+    #[test]
+    fn dominance_is_a_partial_order(
+        (a, b) in arb_shape().prop_flat_map(|s| (arb_erv(s.clone()), arb_erv(s)))
+    ) {
+        // Reflexive and antisymmetric-up-to-equality.
+        prop_assert!(a.dominates(&a).unwrap());
+        if a.dominates(&b).unwrap() && b.dominates(&a).unwrap() {
+            prop_assert_eq!(a.flat(), b.flat());
+        }
+    }
+
+    #[test]
+    fn rv_arithmetic_round_trips(
+        (xs, ys) in (1usize..4).prop_flat_map(|n| (
+            proptest::collection::vec(0u32..1000, n..=n),
+            proptest::collection::vec(0u32..1000, n..=n),
+        ))
+    ) {
+        let a = ResourceVector::new(xs.clone());
+        let b = ResourceVector::new(ys.clone());
+        let sum = a.checked_add(&b).unwrap();
+        prop_assert_eq!(sum.checked_sub(&b).unwrap(), a.clone());
+        prop_assert!(a.fits_within(&sum));
+        prop_assert!(b.fits_within(&sum));
+    }
+
+    #[test]
+    fn pareto_front_is_minimal_and_complete(
+        points in (2usize..=3).prop_flat_map(|dims| proptest::collection::vec(
+            proptest::collection::vec(0.0f64..100.0, dims..=dims),
+            1..30,
+        ))
+    ) {
+        let front = pareto_front_indices(&points);
+        prop_assert!(!front.is_empty(), "a nonempty set has a nonempty front");
+        // No front member is strictly dominated by any point.
+        for &i in &front {
+            for (j, q) in points.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!dominates(q, &points[i]),
+                        "front member {i} dominated by {j}");
+                }
+            }
+        }
+        // Every non-member is dominated by someone.
+        for (i, p) in points.iter().enumerate() {
+            if !front.contains(&i) {
+                prop_assert!(
+                    points.iter().enumerate().any(|(j, q)| j != i && dominates(q, p)),
+                    "non-member {i} is not dominated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn enumerate_respects_capacity(
+        widths in proptest::collection::vec(1usize..=2, 1..=2),
+        caps in proptest::collection::vec(0u32..=3, 1..=2)
+    ) {
+        prop_assume!(widths.len() == caps.len());
+        let shape = ErvShape::new(widths);
+        let capacity = ResourceVector::new(caps);
+        let all = ExtResourceVector::enumerate(&shape, &capacity).unwrap();
+        for e in &all {
+            prop_assert!(e.resource_vector().fits_within(&capacity));
+        }
+        // Distinct.
+        let mut flats: Vec<Vec<u32>> = all.iter().map(|e| e.flat()).collect();
+        let n = flats.len();
+        flats.sort();
+        flats.dedup();
+        prop_assert_eq!(flats.len(), n);
+    }
+}

@@ -1,0 +1,99 @@
+//! Randomized workload generation for property-based tests and stress
+//! benchmarks.
+
+use crate::{suite, Platform, Scenario};
+use harp_sim::{AppSpec, ContentionModel};
+use rand::Rng;
+
+/// Draws a random synthetic application spec with parameters spanning the
+/// realistic ranges of the benchmark suite (compute- to memory-bound,
+/// SMT-friendly to SMT-averse, with or without contention and dynamic
+/// balancing).
+pub fn random_spec<R: Rng>(rng: &mut R, name: &str, num_kinds: usize) -> AppSpec {
+    let mem_intensity = rng.random_range(0.0..0.9);
+    let kind_eff: Vec<f64> = (0..num_kinds)
+        .map(|k| if k == 0 { 1.0 } else { rng.random_range(0.8..1.0) })
+        .collect();
+    let contention = if rng.random_bool(0.2) {
+        ContentionModel {
+            linear: rng.random_range(0.0..0.05),
+            quadratic: rng.random_range(0.0..0.05),
+        }
+    } else {
+        ContentionModel {
+            linear: rng.random_range(0.0..0.01),
+            quadratic: 0.0,
+        }
+    };
+    AppSpec::builder(name, num_kinds)
+        .total_work(rng.random_range(5.0e9..5.0e11))
+        .serial_fraction(rng.random_range(0.0..0.05))
+        .iterations(rng.random_range(20..300))
+        .mem_intensity(mem_intensity)
+        .smt_efficiency(rng.random_range(0.8..1.15))
+        .contention(contention)
+        .kind_efficiency(kind_eff)
+        .ips_inflation((0..num_kinds).map(|_| rng.random_range(1.0..1.3)).collect())
+        .dynamic_balance(rng.random_bool(0.4))
+        .build()
+        .expect("generated spec is valid by construction")
+}
+
+/// Draws a random scenario of `n_apps` applications: a mix of real suite
+/// benchmarks and synthetic specs.
+pub fn random_scenario<R: Rng>(rng: &mut R, platform: Platform, n_apps: usize) -> Scenario {
+    let pool = suite(platform);
+    let mut apps = Vec::with_capacity(n_apps);
+    let mut names = Vec::with_capacity(n_apps);
+    for i in 0..n_apps {
+        if rng.random_bool(0.6) {
+            let pick = pool[rng.random_range(0..pool.len())].clone();
+            names.push(pick.name.clone());
+            apps.push(pick);
+        } else {
+            let name = format!("synthetic{i}");
+            let spec = random_spec(rng, &name, platform.num_kinds());
+            names.push(name);
+            apps.push(spec);
+        }
+    }
+    Scenario {
+        name: names.join("+"),
+        apps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn random_specs_always_validate() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for i in 0..200 {
+            let s = random_spec(&mut rng, &format!("s{i}"), 2);
+            s.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn random_scenarios_have_requested_size() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for n in 1..=5 {
+            let sc = random_scenario(&mut rng, Platform::RaptorLake, n);
+            assert_eq!(sc.len(), n);
+            for a in &sc.apps {
+                a.validate().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = random_scenario(&mut ChaCha8Rng::seed_from_u64(7), Platform::Odroid, 3);
+        let b = random_scenario(&mut ChaCha8Rng::seed_from_u64(7), Platform::Odroid, 3);
+        assert_eq!(a.name, b.name);
+    }
+}

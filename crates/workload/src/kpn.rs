@@ -1,0 +1,181 @@
+//! Kahn-Process-Network applications for the Odroid (paper §6.2):
+//! `mandelbrot` (Mandelbrot-set rendering) and `lms` (Leighton–Micali
+//! hash-based signatures, RFC 8554).
+//!
+//! Each application exists in two variants, exactly as evaluated:
+//!
+//! * the **static** variant has a fixed process-network topology — the
+//!   parallel regions have a hard-wired width that HARP can only *place*,
+//!   not resize (modelled as fixed-width phases);
+//! * the **adaptive** variant uses implicit data-parallelism in KPNs
+//!   (Khasanov et al., PARMA-DITAM '18): region widths follow the team size
+//!   and work is distributed dynamically across heterogeneous cores — the
+//!   custom libharp extension drives them through fine-grained operating
+//!   points.
+
+use harp_sim::{AppSpec, ContentionModel, PhaseSpec, PhaseWidth};
+
+/// The KPN application variants used in the evaluation.
+pub const KPN_NAMES: [&str; 4] = ["mandelbrot", "mandelbrot-static", "lms", "lms-static"];
+
+/// Looks up a KPN application variant by name.
+pub fn benchmark(name: &str) -> Option<AppSpec> {
+    let spec = match name {
+        // Adaptive Mandelbrot: a source, a scalable compute region and a
+        // sink; the compute region follows the team size and balances rows
+        // dynamically (rows near the set boundary are far more expensive).
+        "mandelbrot" => AppSpec::builder(name, 2)
+            .phases(vec![
+                PhaseSpec {
+                    work: 1.0e9, // setup / parameter distribution
+                    iterations: 1,
+                    width: PhaseWidth::Serial,
+                },
+                PhaseSpec {
+                    work: 7.6e10,
+                    iterations: 120,
+                    width: PhaseWidth::Team,
+                },
+                PhaseSpec {
+                    work: 1.5e9, // image assembly
+                    iterations: 1,
+                    width: PhaseWidth::Serial,
+                },
+            ])
+            .mem_intensity(0.05)
+            .kind_efficiency(vec![1.0, 0.95])
+            .ips_inflation(vec![1.0, 1.0])
+            .dynamic_balance(true)
+            .provides_utility(true)
+            .build(),
+        // Static Mandelbrot: eight worker processes with a fixed row
+        // partition — stragglers on LITTLE cores stall the barrier.
+        "mandelbrot-static" => AppSpec::builder(name, 2)
+            .phases(vec![
+                PhaseSpec {
+                    work: 1.0e9,
+                    iterations: 1,
+                    width: PhaseWidth::Serial,
+                },
+                PhaseSpec {
+                    work: 7.6e10,
+                    iterations: 120,
+                    width: PhaseWidth::Fixed(8),
+                },
+                PhaseSpec {
+                    work: 1.5e9,
+                    iterations: 1,
+                    width: PhaseWidth::Serial,
+                },
+            ])
+            .mem_intensity(0.05)
+            .kind_efficiency(vec![1.0, 0.95])
+            .ips_inflation(vec![1.0, 1.0])
+            .dynamic_balance(false)
+            .build(),
+        // Adaptive LMS signing: hash-tree generation is the scalable
+        // region; chaining between signatures is sequential.
+        "lms" => AppSpec::builder(name, 2)
+            .phases(vec![
+                PhaseSpec {
+                    work: 2.0e9,
+                    iterations: 4,
+                    width: PhaseWidth::Serial,
+                },
+                PhaseSpec {
+                    work: 5.2e10,
+                    iterations: 160,
+                    width: PhaseWidth::Team,
+                },
+            ])
+            .mem_intensity(0.10)
+            .contention(ContentionModel {
+                linear: 0.01,
+                quadratic: 0.0,
+            })
+            .kind_efficiency(vec![1.0, 0.9])
+            .ips_inflation(vec![1.0, 1.0])
+            .dynamic_balance(true)
+            .provides_utility(true)
+            .build(),
+        // Static LMS: a six-process pipeline with fixed stage widths.
+        "lms-static" => AppSpec::builder(name, 2)
+            .phases(vec![
+                PhaseSpec {
+                    work: 2.0e9,
+                    iterations: 4,
+                    width: PhaseWidth::Serial,
+                },
+                PhaseSpec {
+                    work: 5.2e10,
+                    iterations: 160,
+                    width: PhaseWidth::Fixed(6),
+                },
+            ])
+            .mem_intensity(0.10)
+            .contention(ContentionModel {
+                linear: 0.01,
+                quadratic: 0.0,
+            })
+            .kind_efficiency(vec![1.0, 0.9])
+            .ips_inflation(vec![1.0, 1.0])
+            .dynamic_balance(false)
+            .build(),
+        _ => return None,
+    };
+    Some(spec.expect("kpn specs are valid"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harp_platform::presets;
+    use harp_sim::{LaunchOpts, NullManager, SimConfig, Simulation};
+
+    #[test]
+    fn variants_resolve_with_expected_adaptivity() {
+        let adaptive = benchmark("mandelbrot").unwrap();
+        assert!(adaptive.dynamic_balance);
+        assert!(adaptive.max_fixed_width().is_none());
+        let fixed = benchmark("mandelbrot-static").unwrap();
+        assert!(!fixed.dynamic_balance);
+        assert_eq!(fixed.max_fixed_width(), Some(8));
+        assert!(benchmark("lms").is_some());
+        assert!(benchmark("lms-static").is_some());
+        assert!(benchmark("kpn-foo").is_none());
+    }
+
+    #[test]
+    fn adaptive_variant_beats_static_on_big_little() {
+        // On the full machine the adaptive variant balances across the
+        // heterogeneous clusters while the static one straggles.
+        let run = |name: &str| {
+            let mut sim = Simulation::new(presets::odroid_xu3(), SimConfig::default());
+            sim.add_arrival(
+                0,
+                benchmark(name).unwrap(),
+                LaunchOpts::all_hw_threads(),
+            );
+            sim.run(&mut NullManager).unwrap()
+        };
+        let adaptive = run("mandelbrot");
+        let fixed = run("mandelbrot-static");
+        assert!(
+            adaptive.makespan_ns <= fixed.makespan_ns,
+            "adaptive {} vs static {}",
+            adaptive.makespan_ns,
+            fixed.makespan_ns
+        );
+    }
+
+    #[test]
+    fn kpn_apps_complete_on_odroid() {
+        for n in KPN_NAMES {
+            let mut sim = Simulation::new(presets::odroid_xu3(), SimConfig::default());
+            sim.add_arrival(0, benchmark(n).unwrap(), LaunchOpts::all_hw_threads());
+            let r = sim.run(&mut NullManager).unwrap();
+            assert_eq!(r.apps.len(), 1, "{n}");
+            assert!((1.0..120.0).contains(&r.makespan_s()), "{n}: {}s", r.makespan_s());
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! NAS Parallel Benchmarks (OpenMP implementation, v3.4.2) — behaviour
+//! models for class C (Intel) and class A (Odroid).
+//!
+//! Qualitative calibration sources: the published characterization of the
+//! NPB codes (compute- vs. memory-bound split), the paper's own Fig. 1
+//! (`ep.C` scales across both core types and favours full SMT pairs;
+//! `mg.C` is bandwidth-bound and cheapest on E-cores) and §6.3/§6.5 remarks
+//! (`ep.C` runs ≈ 2.4 s under CFS; `is` is short; `lu` is long-running and
+//! its IPS overstates its true progress on some configurations).
+
+use harp_sim::{AppSpec, ContentionModel};
+
+/// The NPB codes used in the evaluation, in presentation order.
+pub const NPB_NAMES: [&str; 9] = ["bt", "cg", "ep", "ft", "is", "lu", "mg", "sp", "ua"];
+
+struct NpbShape {
+    /// Memory-bandwidth intensity.
+    mi: f64,
+    /// SMT friendliness multiplier.
+    smt: f64,
+    /// Serial fraction.
+    serial: f64,
+    /// Synchronization loss per extra worker (linear coefficient).
+    sync: f64,
+    /// Quadratic barrier cost: barrier-heavy codes peak at an interior
+    /// thread count on wide machines (the reason HARP's offline points can
+    /// beat the 32-thread CFS default outright, §6.3.1 `bt`).
+    sync2: f64,
+    /// Heterogeneous-barrier-imbalance sensitivity (static OpenMP loop
+    /// schedules spanning P- and E-cores stall the fast cores at barriers;
+    /// negligible for embarrassingly parallel or bandwidth-bound codes).
+    hetero: f64,
+    /// Relative per-kind progress efficiency [fast kind, efficient kind].
+    kind_eff: [f64; 2],
+    /// Per-kind IPS inflation (measured instructions vs. useful progress).
+    ips_infl: [f64; 2],
+    /// Barrier iterations.
+    iters: u32,
+}
+
+fn shape(name: &str) -> Option<NpbShape> {
+    let s = match name {
+        // Block tridiagonal solver: cache-friendly stencil, moderate BW.
+        "bt" => NpbShape {
+            mi: 0.45,
+            smt: 1.0,
+            serial: 0.01,
+            sync: 0.004,
+            sync2: 0.0015,
+            hetero: 0.20,
+            kind_eff: [1.0, 0.95],
+            ips_infl: [1.0, 1.0],
+            iters: 200,
+        },
+        // Conjugate gradient: irregular gather/scatter, memory-bound.
+        "cg" => NpbShape {
+            mi: 0.82,
+            smt: 0.85,
+            serial: 0.015,
+            sync: 0.006,
+            sync2: 0.0015,
+            hetero: 0.10,
+            kind_eff: [1.0, 0.88],
+            ips_infl: [1.0, 1.0],
+            iters: 150,
+        },
+        // Embarrassingly parallel: pure compute, loves SMT.
+        "ep" => NpbShape {
+            mi: 0.02,
+            smt: 1.15,
+            serial: 0.002,
+            sync: 0.0,
+            sync2: 0.0,
+            hetero: 0.03,
+            kind_eff: [1.0, 1.0],
+            ips_infl: [1.0, 1.0],
+            iters: 64,
+        },
+        // 3-D FFT: transposes stress memory, compute in between.
+        "ft" => NpbShape {
+            mi: 0.60,
+            smt: 0.95,
+            serial: 0.01,
+            sync: 0.003,
+            sync2: 0.0015,
+            hetero: 0.15,
+            kind_eff: [1.0, 0.95],
+            ips_infl: [1.0, 1.0],
+            iters: 120,
+        },
+        // Integer sort: bucket exchange, bandwidth-bound, short.
+        "is" => NpbShape {
+            mi: 0.82,
+            smt: 0.85,
+            serial: 0.02,
+            sync: 0.008,
+            sync2: 0.0020,
+            hetero: 0.10,
+            kind_eff: [1.0, 0.92],
+            ips_infl: [1.0, 1.0],
+            iters: 40,
+        },
+        // Pipelined SSOR solver: long-running, sync-heavy wavefronts whose
+        // spin-waits inflate the measured IPS on slower cores (§6.3.1).
+        "lu" => NpbShape {
+            mi: 0.45,
+            smt: 0.90,
+            serial: 0.01,
+            sync: 0.010,
+            sync2: 0.0015,
+            hetero: 0.25,
+            kind_eff: [1.0, 0.85],
+            ips_infl: [1.08, 1.40],
+            iters: 300,
+        },
+        // Multigrid: the paper's example of a bandwidth-bound code that is
+        // cheapest on the efficient cores (Fig. 1b).
+        "mg" => NpbShape {
+            mi: 0.94,
+            smt: 0.80,
+            serial: 0.01,
+            sync: 0.004,
+            sync2: 0.0010,
+            hetero: 0.08,
+            kind_eff: [1.0, 1.0],
+            ips_infl: [1.0, 1.0],
+            iters: 120,
+        },
+        // Scalar pentadiagonal solver.
+        "sp" => NpbShape {
+            mi: 0.60,
+            smt: 0.95,
+            serial: 0.01,
+            sync: 0.005,
+            sync2: 0.0015,
+            hetero: 0.20,
+            kind_eff: [1.0, 0.93],
+            ips_infl: [1.0, 1.0],
+            iters: 220,
+        },
+        // Unstructured adaptive mesh: irregular, sync-heavy.
+        "ua" => NpbShape {
+            mi: 0.65,
+            smt: 0.90,
+            serial: 0.015,
+            sync: 0.012,
+            sync2: 0.0030,
+            hetero: 0.25,
+            kind_eff: [1.0, 0.87],
+            ips_infl: [1.0, 1.12],
+            iters: 180,
+        },
+        _ => return None,
+    };
+    Some(s)
+}
+
+/// Class-C work sizes chosen so CFS runtimes on the simulated Raptor Lake
+/// land in the paper's range (seconds to tens of seconds; `ep.C` ≈ 2.4 s).
+fn intel_work(name: &str) -> f64 {
+    match name {
+        "bt" => 2.2e12,
+        "cg" => 6.0e11,
+        "ep" => 4.1e11,
+        "ft" => 1.3e12,
+        "is" => 2.5e11,
+        "lu" => 2.0e12,
+        "mg" => 4.0e11,
+        "sp" => 1.8e12,
+        "ua" => 1.2e12,
+        _ => 0.0,
+    }
+}
+
+/// Class-A work sizes for the Odroid XU3-E.
+fn odroid_work(name: &str) -> f64 {
+    match name {
+        "bt" => 2.0e11,
+        "cg" => 5.0e10,
+        "ep" => 6.0e10,
+        "ft" => 1.2e11,
+        "is" => 2.5e10,
+        "lu" => 2.5e11,
+        "mg" => 4.0e10,
+        "sp" => 1.5e11,
+        "ua" => 1.0e11,
+        _ => 0.0,
+    }
+}
+
+fn build(name: &str, work: f64) -> Option<AppSpec> {
+    let s = shape(name)?;
+    Some(
+        AppSpec::builder(name, 2)
+            .total_work(work)
+            .serial_fraction(s.serial)
+            .iterations(s.iters)
+            .mem_intensity(s.mi)
+            .smt_efficiency(s.smt)
+            .contention(ContentionModel {
+                linear: s.sync,
+                quadratic: s.sync2,
+            })
+            .kind_efficiency(s.kind_eff.to_vec())
+            .ips_inflation(s.ips_infl.to_vec())
+            .hetero_penalty(s.hetero)
+            // OpenMP static loop schedules: equal chunks, no work stealing.
+            .dynamic_balance(false)
+            .build()
+            .expect("npb specs are valid"),
+    )
+}
+
+/// The class-C model of an NPB code for the Intel system.
+pub fn intel(name: &str) -> Option<AppSpec> {
+    build(name, intel_work(name)).filter(|_| intel_work(name) > 0.0)
+}
+
+/// The class-A model of an NPB code for the Odroid.
+pub fn odroid(name: &str) -> Option<AppSpec> {
+    build(name, odroid_work(name)).filter(|_| odroid_work(name) > 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harp_platform::presets;
+    use harp_sim::{LaunchOpts, NullManager, SimConfig, Simulation};
+
+    #[test]
+    fn all_names_resolve_on_both_platforms() {
+        for n in NPB_NAMES {
+            assert!(intel(n).is_some(), "{n} intel");
+            assert!(odroid(n).is_some(), "{n} odroid");
+        }
+        assert!(intel("zz").is_none());
+    }
+
+    #[test]
+    fn ep_class_c_runs_about_2_4s_under_cfs() {
+        let mut sim = Simulation::new(presets::raptor_lake(), SimConfig::default());
+        sim.add_arrival(0, intel("ep").unwrap(), LaunchOpts::all_hw_threads());
+        let r = sim.run(&mut NullManager).unwrap();
+        let t = r.makespan_s();
+        assert!(
+            (1.8..3.2).contains(&t),
+            "ep.C CFS runtime {t}s, expected ≈2.4s"
+        );
+    }
+
+    #[test]
+    fn all_intel_npb_run_in_paper_range_under_cfs() {
+        for n in NPB_NAMES {
+            let mut sim = Simulation::new(presets::raptor_lake(), SimConfig::default());
+            sim.add_arrival(0, intel(n).unwrap(), LaunchOpts::all_hw_threads());
+            let r = sim.run(&mut NullManager).unwrap();
+            let t = r.makespan_s();
+            assert!((1.0..90.0).contains(&t), "{n}.C CFS runtime {t}s");
+        }
+    }
+
+    #[test]
+    fn mg_prefers_e_cores_for_energy() {
+        // Run mg.C once on 6 E-cores and once on 6 P-cores (full SMT):
+        // comparable time, much less energy on E-cores (paper Fig. 1b).
+        use harp_sim::{Affinity, Manager, MgrEvent, SimState};
+        use harp_types::HwThreadId;
+        struct Pin(Vec<usize>, u32);
+        impl Manager for Pin {
+            fn on_event(&mut self, st: &mut SimState, ev: MgrEvent) {
+                if let MgrEvent::AppStarted { app, .. } = ev {
+                    st.set_app_affinity(
+                        app,
+                        Affinity::from_threads(self.0.iter().map(|&i| HwThreadId(i))),
+                    )
+                    .unwrap();
+                    st.set_team_size(app, self.1).unwrap();
+                }
+            }
+        }
+        let run = |threads: Vec<usize>, team: u32| {
+            let mut sim = Simulation::new(presets::raptor_lake(), SimConfig::default());
+            sim.add_arrival(0, intel("mg").unwrap(), LaunchOpts::fixed_team(team));
+            sim.run(&mut Pin(threads, team)).unwrap()
+        };
+        // 10 E-cores (≈ the bandwidth saturation point, hw threads 16..26)
+        // vs 6 P-cores with both siblings (threads 0..12).
+        let e_run = run((16..26).collect(), 10);
+        let p_run = run((0..12).collect(), 12);
+        let time_ratio = e_run.makespan_s() / p_run.makespan_s();
+        assert!(time_ratio < 1.4, "mg on E-cores only {time_ratio}x slower");
+        assert!(
+            e_run.total_energy_j < 0.7 * p_run.total_energy_j,
+            "E: {}J P: {}J",
+            e_run.total_energy_j,
+            p_run.total_energy_j
+        );
+    }
+
+    #[test]
+    fn ep_scales_with_more_resources() {
+        let run = |team: u32| {
+            let mut sim = Simulation::new(presets::raptor_lake(), SimConfig::default());
+            sim.add_arrival(0, intel("ep").unwrap(), LaunchOpts::fixed_team(team));
+            sim.run(&mut NullManager).unwrap().makespan_ns
+        };
+        let t4 = run(4);
+        let t16 = run(16);
+        let t32 = run(32);
+        assert!(t16 * 2 < t4, "ep 4->16 should scale well");
+        assert!(t32 < t16, "ep keeps scaling to full machine");
+    }
+
+    #[test]
+    fn mg_does_not_scale_past_bandwidth() {
+        let run = |team: u32| {
+            let mut sim = Simulation::new(presets::raptor_lake(), SimConfig::default());
+            sim.add_arrival(0, intel("mg").unwrap(), LaunchOpts::fixed_team(team));
+            sim.run(&mut NullManager).unwrap().makespan_ns as f64
+        };
+        let t8 = run(8);
+        let t32 = run(32);
+        assert!(t8 / t32 < 1.35, "mg speedup 8->32 was {}", t8 / t32);
+    }
+
+    #[test]
+    fn odroid_runtimes_are_platform_appropriate() {
+        for n in ["ep", "mg", "lu"] {
+            let mut sim = Simulation::new(presets::odroid_xu3(), SimConfig::default());
+            sim.add_arrival(0, odroid(n).unwrap(), LaunchOpts::all_hw_threads());
+            let r = sim.run(&mut NullManager).unwrap();
+            let t = r.makespan_s();
+            assert!((1.0..120.0).contains(&t), "{n}.A runtime {t}s");
+        }
+    }
+}

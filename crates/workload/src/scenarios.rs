@@ -1,0 +1,169 @@
+//! The single- and multi-application scenarios of the evaluation
+//! (Figs. 6–8).
+//!
+//! The paper's figures enumerate one scenario per x-axis group: every
+//! benchmark alone, plus mixes of two to five concurrent applications. The
+//! exact multi-application mixes are chosen here to be representative of
+//! the paper's (compute + memory mixes, short + long mixes, framework
+//! mixes); the per-experiment index in `DESIGN.md` documents this.
+
+use crate::{benchmark, Platform};
+use harp_sim::AppSpec;
+
+/// A named workload scenario: a set of applications started together.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Display name, e.g. `"cg+ep+ft"`.
+    pub name: String,
+    /// The applications launched at time zero.
+    pub apps: Vec<AppSpec>,
+}
+
+impl Scenario {
+    /// Builds a scenario from benchmark names of the given platform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any name is unknown on the platform (scenario tables are
+    /// static data; a typo should fail loudly).
+    pub fn of(platform: Platform, names: &[&str]) -> Self {
+        let apps = names
+            .iter()
+            .map(|n| {
+                benchmark(platform, n)
+                    .unwrap_or_else(|| panic!("unknown benchmark '{n}' on {platform}"))
+            })
+            .collect();
+        Scenario {
+            name: names.join("+"),
+            apps,
+        }
+    }
+
+    /// Number of concurrent applications.
+    pub fn len(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Whether the scenario is empty (never true for the built-in tables).
+    pub fn is_empty(&self) -> bool {
+        self.apps.is_empty()
+    }
+
+    /// Whether this is a multi-application scenario.
+    pub fn is_multi(&self) -> bool {
+        self.apps.len() > 1
+    }
+}
+
+/// Single-application scenarios on the Intel system (Fig. 6 left half).
+pub fn intel_single() -> Vec<Scenario> {
+    [
+        "bt", "cg", "ep", "ft", "is", "lu", "mg", "sp", "ua", "binpack", "fractal",
+        "parallel_preorder", "pi", "primes", "seismic", "vgg", "alexnet",
+    ]
+    .iter()
+    .map(|n| Scenario::of(Platform::RaptorLake, &[n]))
+    .collect()
+}
+
+/// Multi-application scenarios on the Intel system (Fig. 6 right half).
+pub fn intel_multi() -> Vec<Scenario> {
+    vec![
+        Scenario::of(Platform::RaptorLake, &["is", "lu"]),
+        Scenario::of(Platform::RaptorLake, &["bt", "lu"]),
+        Scenario::of(Platform::RaptorLake, &["cg", "ep", "ft"]),
+        Scenario::of(Platform::RaptorLake, &["mg", "sp", "ua"]),
+        Scenario::of(Platform::RaptorLake, &["binpack", "fractal", "pi"]),
+        Scenario::of(Platform::RaptorLake, &["ep", "mg", "seismic", "vgg"]),
+        Scenario::of(Platform::RaptorLake, &["bt", "cg", "ft", "is", "lu"]),
+    ]
+}
+
+/// Single-application scenarios on the Odroid (Fig. 7 left half).
+pub fn odroid_single() -> Vec<Scenario> {
+    [
+        "bt",
+        "cg",
+        "ep",
+        "ft",
+        "is",
+        "lu",
+        "mg",
+        "sp",
+        "ua",
+        "mandelbrot",
+        "mandelbrot-static",
+        "lms",
+        "lms-static",
+    ]
+    .iter()
+    .map(|n| Scenario::of(Platform::Odroid, &[n]))
+    .collect()
+}
+
+/// Multi-application scenarios on the Odroid (Fig. 7 right half).
+pub fn odroid_multi() -> Vec<Scenario> {
+    vec![
+        Scenario::of(Platform::Odroid, &["ep", "ft"]),
+        Scenario::of(Platform::Odroid, &["is", "mg"]),
+        Scenario::of(Platform::Odroid, &["bt", "cg", "lu"]),
+        Scenario::of(Platform::Odroid, &["mandelbrot", "lms"]),
+        Scenario::of(Platform::Odroid, &["sp", "ua", "ep"]),
+    ]
+}
+
+/// All scenarios of a platform (singles then multis), the full Fig. 6/7
+/// x axis.
+pub fn all(platform: Platform) -> Vec<Scenario> {
+    match platform {
+        Platform::RaptorLake => {
+            let mut v = intel_single();
+            v.extend(intel_multi());
+            v
+        }
+        Platform::Odroid => {
+            let mut v = odroid_single();
+            v.extend(odroid_multi());
+            v
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intel_tables_have_expected_shapes() {
+        let singles = intel_single();
+        assert_eq!(singles.len(), 17);
+        assert!(singles.iter().all(|s| !s.is_multi()));
+        let multis = intel_multi();
+        assert_eq!(multis.len(), 7);
+        assert!(multis.iter().all(|s| s.is_multi()));
+        assert!(multis.iter().any(|s| s.len() == 5));
+        assert_eq!(all(Platform::RaptorLake).len(), 24);
+    }
+
+    #[test]
+    fn odroid_tables_have_expected_shapes() {
+        assert_eq!(odroid_single().len(), 13);
+        assert_eq!(odroid_multi().len(), 5);
+        assert_eq!(all(Platform::Odroid).len(), 18);
+    }
+
+    #[test]
+    fn scenario_names_join_with_plus() {
+        let s = Scenario::of(Platform::RaptorLake, &["cg", "ep", "ft"]);
+        assert_eq!(s.name, "cg+ep+ft");
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark")]
+    fn unknown_name_panics() {
+        let _ = Scenario::of(Platform::Odroid, &["binpack"]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Intel TBB benchmark models (paper §6.2: `binpack`, `fractal`,
+//! `parallel-preorder`, `pi`, `primes`, `seismic` from the official TBB
+//! repository).
+//!
+//! TBB programs work-steal, so all models use dynamic load balancing.
+//! `binpack`'s defining trait (paper §6.3.1) is that all workers contend on
+//! one shared input queue: beyond a handful of threads the convoy *reduces*
+//! aggregate throughput, which is why HARP's scaled-down configuration is
+//! ≈ 7× faster than the 32-thread baseline.
+
+use harp_sim::{AppSpec, ContentionModel};
+
+/// The TBB benchmarks used in the evaluation, in presentation order.
+pub const TBB_NAMES: [&str; 6] = [
+    "binpack",
+    "fractal",
+    "parallel_preorder",
+    "pi",
+    "primes",
+    "seismic",
+];
+
+/// Looks up a TBB benchmark model by name.
+pub fn benchmark(name: &str) -> Option<AppSpec> {
+    let spec = match name {
+        // Shared-queue bin packing: convoy contention dominates.
+        "binpack" => AppSpec::builder(name, 2)
+            .total_work(2.0e10)
+            .serial_fraction(0.005)
+            .iterations(100)
+            .mem_intensity(0.10)
+            .smt_efficiency(0.9)
+            .contention(ContentionModel {
+                linear: 0.05,
+                quadratic: 0.09,
+            })
+            .dynamic_balance(true)
+            .build(),
+        // Escape-time fractal rendering: pure compute, steals well.
+        "fractal" => AppSpec::builder(name, 2)
+            .total_work(8.0e11)
+            .serial_fraction(0.005)
+            .iterations(150)
+            .mem_intensity(0.05)
+            .smt_efficiency(1.05)
+            .dynamic_balance(true)
+            .build(),
+        // Parallel tree traversal: pointer chasing, some sync.
+        "parallel_preorder" => AppSpec::builder(name, 2)
+            .total_work(4.0e11)
+            .serial_fraction(0.01)
+            .iterations(120)
+            .mem_intensity(0.35)
+            .smt_efficiency(0.9)
+            .contention(ContentionModel {
+                linear: 0.02,
+                quadratic: 0.0,
+            })
+            .kind_efficiency(vec![1.0, 0.9])
+            .ips_inflation(vec![1.0, 1.0])
+            .dynamic_balance(true)
+            .build(),
+        // Monte-Carlo π: perfectly parallel reduction.
+        "pi" => AppSpec::builder(name, 2)
+            .total_work(7.0e11)
+            .serial_fraction(0.002)
+            .iterations(100)
+            .mem_intensity(0.02)
+            .smt_efficiency(1.1)
+            .dynamic_balance(true)
+            .build(),
+        // Sieve of primes: compute with light sharing; short-running, so
+        // HARP's startup overhead is visible on it (§6.3.1).
+        "primes" => AppSpec::builder(name, 2)
+            .total_work(3.0e11)
+            .serial_fraction(0.01)
+            .iterations(60)
+            .mem_intensity(0.15)
+            .smt_efficiency(1.0)
+            .contention(ContentionModel {
+                linear: 0.01,
+                quadratic: 0.0,
+            })
+            .dynamic_balance(true)
+            .build(),
+        // Seismic wave simulation: stencil over a grid, bandwidth-hungry.
+        "seismic" => AppSpec::builder(name, 2)
+            .total_work(6.0e11)
+            .serial_fraction(0.01)
+            .iterations(180)
+            .mem_intensity(0.55)
+            .smt_efficiency(0.9)
+            .dynamic_balance(true)
+            .build(),
+        _ => return None,
+    };
+    Some(spec.expect("tbb specs are valid"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harp_platform::presets;
+    use harp_sim::{LaunchOpts, NullManager, SimConfig, Simulation};
+
+    #[test]
+    fn all_names_resolve() {
+        for n in TBB_NAMES {
+            let s = benchmark(n).unwrap();
+            assert_eq!(s.name, n);
+            assert!(s.dynamic_balance, "{n} must work-steal");
+        }
+        assert!(benchmark("unknown").is_none());
+    }
+
+    #[test]
+    fn binpack_convoy_makes_small_teams_much_faster() {
+        let run = |team: u32| {
+            let mut sim = Simulation::new(presets::raptor_lake(), SimConfig::default());
+            sim.add_arrival(0, benchmark("binpack").unwrap(), LaunchOpts::fixed_team(team));
+            sim.run(&mut NullManager).unwrap().makespan_ns as f64
+        };
+        let t32 = run(32);
+        let t4 = run(4);
+        let speedup = t32 / t4;
+        assert!(
+            (3.0..15.0).contains(&speedup),
+            "binpack 32->4 speedup {speedup}, paper reports ≈6.9x over CFS"
+        );
+    }
+
+    #[test]
+    fn pi_scales_nearly_linearly() {
+        let run = |team: u32| {
+            let mut sim = Simulation::new(presets::raptor_lake(), SimConfig::default());
+            sim.add_arrival(0, benchmark("pi").unwrap(), LaunchOpts::fixed_team(team));
+            sim.run(&mut NullManager).unwrap().makespan_ns as f64
+        };
+        let eff = run(2) / run(16) / 8.0;
+        assert!(eff > 0.7, "pi 2->16 parallel efficiency {eff}");
+    }
+
+    #[test]
+    fn primes_is_short_running() {
+        let mut sim = Simulation::new(presets::raptor_lake(), SimConfig::default());
+        sim.add_arrival(0, benchmark("primes").unwrap(), LaunchOpts::all_hw_threads());
+        let r = sim.run(&mut NullManager).unwrap();
+        assert!(r.makespan_s() < 6.0, "primes took {}s", r.makespan_s());
+    }
+}

@@ -1,0 +1,80 @@
+//! TensorFlow Lite image-recognition models with the HARP-enabled wrapper
+//! (paper §6.2: VGG and AlexNet).
+//!
+//! The paper's TensorFlow wrapper demonstrates two libharp capabilities:
+//! dynamic parallelism scaling through an application-provided adaptivity
+//! knob, and an *application-specific utility metric* (inference throughput)
+//! that reflects true progress better than IPS (§4.2.1). Both models
+//! therefore set `provides_utility`.
+
+use harp_sim::{AppSpec, ContentionModel};
+
+/// The TensorFlow models used in the evaluation.
+pub const TF_NAMES: [&str; 2] = ["vgg", "alexnet"];
+
+/// Looks up a TensorFlow model by name.
+pub fn benchmark(name: &str) -> Option<AppSpec> {
+    let spec = match name {
+        // VGG-16: large dense convolutions; compute-heavy, long-running.
+        "vgg" => AppSpec::builder(name, 2)
+            .total_work(9.0e11)
+            .serial_fraction(0.01)
+            .iterations(250)
+            .mem_intensity(0.30)
+            .smt_efficiency(0.95)
+            .contention(ContentionModel {
+                linear: 0.015,
+                quadratic: 0.0,
+            })
+            .kind_efficiency(vec![1.0, 0.92])
+            .ips_inflation(vec![1.05, 1.15])
+            .dynamic_balance(true)
+            .provides_utility(true)
+            .build(),
+        // AlexNet: smaller network, more memory-relative work per FLOP.
+        "alexnet" => AppSpec::builder(name, 2)
+            .total_work(4.0e11)
+            .serial_fraction(0.015)
+            .iterations(200)
+            .mem_intensity(0.40)
+            .smt_efficiency(0.9)
+            .contention(ContentionModel {
+                linear: 0.02,
+                quadratic: 0.0,
+            })
+            .kind_efficiency(vec![1.0, 0.9])
+            .ips_inflation(vec![1.05, 1.15])
+            .dynamic_balance(true)
+            .provides_utility(true)
+            .build(),
+        _ => return None,
+    };
+    Some(spec.expect("tensorflow specs are valid"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harp_platform::presets;
+    use harp_sim::{LaunchOpts, NullManager, SimConfig, Simulation};
+
+    #[test]
+    fn models_resolve_and_provide_utility() {
+        for n in TF_NAMES {
+            let s = benchmark(n).unwrap();
+            assert!(s.provides_utility, "{n}");
+            assert!(s.dynamic_balance, "{n}");
+        }
+        assert!(benchmark("resnet").is_none());
+    }
+
+    #[test]
+    fn vgg_is_heavier_than_alexnet() {
+        let run = |name: &str| {
+            let mut sim = Simulation::new(presets::raptor_lake(), SimConfig::default());
+            sim.add_arrival(0, benchmark(name).unwrap(), LaunchOpts::all_hw_threads());
+            sim.run(&mut NullManager).unwrap().makespan_ns
+        };
+        assert!(run("vgg") > run("alexnet"));
+    }
+}

@@ -1,0 +1,109 @@
+//! The real middleware path, end to end on this machine: start `harpd` on
+//! a Unix socket, connect a libharp application, receive the RM's
+//! operating-point activation over the wire, resize the malleable runtime
+//! accordingly and (on Linux) pin the workers with real
+//! `sched_setaffinity`.
+//!
+//! ```text
+//! cargo run --release --example live_daemon
+//! ```
+
+use harp::daemon::{DaemonConfig, HarpDaemon, UnixTransport};
+use harp::libharp::{HarpSession, MalleableRuntime, SessionConfig};
+use harp::platform::HardwareDescription;
+use harp::proto::AdaptivityType;
+use harp::types::{ExtResourceVector, NonFunctional};
+
+fn main() -> harp::types::Result<()> {
+    // Describe the machine the daemon manages. For the demo we use a tiny
+    // profile whose best operating point is 4 threads.
+    let hw = HardwareDescription::raptor_lake();
+    let shape = hw.erv_shape();
+    let socket = std::env::temp_dir().join(format!("harp-demo-{}.sock", std::process::id()));
+    let daemon = HarpDaemon::start(DaemonConfig::new(&socket, hw))?;
+    println!("harpd listening on {}", socket.display());
+
+    // The application side: register as a scalable app with description
+    // points; the efficient 4-E-core point wins the energy-utility cost.
+    let points = vec![
+        (
+            ExtResourceVector::from_flat(&shape, &[0, 8, 16])?,
+            NonFunctional::new(1.0e11, 130.0),
+        ),
+        (
+            ExtResourceVector::from_flat(&shape, &[0, 0, 4])?,
+            NonFunctional::new(8.0e10, 30.0),
+        ),
+    ];
+    let transport = UnixTransport::connect(&socket)?;
+    let cfg = SessionConfig::new("live-demo", AdaptivityType::Scalable)
+        .with_points(vec![2, 1], points);
+    let mut session = HarpSession::connect(transport, cfg)?;
+    println!("registered with the RM as app {}", session.app_id());
+
+    // The malleable runtime consults the RM-controlled allocation at every
+    // parallel-region entry (the GOMP_parallel hook of the paper, §4.1.3).
+    let runtime = MalleableRuntime::new(session.allocation(), 16);
+
+    // Wait for the activation reflecting the submitted points (the first
+    // activation is a provisional whole-machine envelope granted at
+    // registration, before the points arrive).
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        session.poll(|| runtime.regions_entered() as f64)?;
+        if session
+            .allocation()
+            .current()
+            .is_some_and(|a| a.parallelism == 4)
+        {
+            break;
+        }
+        if std::time::Instant::now() > deadline {
+            eprintln!("final activation not received; using the latest one");
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    if let Some(act) = session.allocation().current() {
+        println!(
+            "activation: parallelism {} on hw threads {:?}",
+            act.parallelism,
+            act.hw_threads.iter().map(|t| t.0).collect::<Vec<_>>()
+        );
+        // Real actuation (Linux): pin to the granted hardware threads.
+        #[cfg(target_os = "linux")]
+        {
+            // Clamp to the CPUs this machine actually has.
+            let ncpu = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            let cpus: Vec<_> = act
+                .hw_threads
+                .iter()
+                .copied()
+                .filter(|t| t.0 < ncpu)
+                .collect();
+            if !cpus.is_empty() {
+                harp::daemon::affinity::pin_current_thread(&cpus)?;
+                println!(
+                    "pinned to CPUs {:?} (sched_setaffinity)",
+                    harp::daemon::affinity::current_affinity()?
+                        .iter()
+                        .map(|t| t.0)
+                        .collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+
+    // Run a parallel region on the RM-sized team.
+    let team = runtime.current_team();
+    let data: Vec<u64> = (0..4_000_000).collect();
+    let sum: u64 = runtime.parallel_sum(&data, |&x| x % 7);
+    println!("parallel region ran with team size {team}; checksum {sum}");
+
+    session.exit()?;
+    daemon.shutdown();
+    println!("daemon stopped; socket removed");
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! A dynamic desktop scenario: three applications with different
+//! characteristics (compute-bound `ep`, memory-bound `cg`, mixed `ft`)
+//! arrive together; compare Linux CFS against HARP end to end.
+//!
+//! ```text
+//! cargo run --release --example multi_app_desktop
+//! ```
+//!
+//! HARP first *learns* operating points online (applications restart in a
+//! warm-up loop, the RM explores configurations), then manages a fresh run
+//! with the learned tables — the paper's "stable operating points"
+//! methodology (§6.3).
+
+use harp_bench::runner::{
+    improvement, learn_profiles, run_scenario, ManagerKind, RunOptions,
+};
+use harp_workload::{Platform, Scenario};
+
+fn main() -> harp::types::Result<()> {
+    let scenario = Scenario::of(Platform::RaptorLake, &["cg", "ep", "ft"]);
+    println!("scenario: {} on {}", scenario.name, Platform::RaptorLake);
+
+    // Baseline: Linux CFS, 32 OpenMP threads per application.
+    let opts = RunOptions::default();
+    let cfs = run_scenario(Platform::RaptorLake, &scenario, ManagerKind::Cfs, &opts)?;
+    println!(
+        "CFS   : makespan {:6.2}s   energy {:7.0}J",
+        cfs.makespan_s, cfs.energy_j
+    );
+
+    // Warm-up: HARP explores operating points online.
+    println!("\nlearning operating points online (240 simulated seconds)...");
+    let profiles = learn_profiles(
+        Platform::RaptorLake,
+        &scenario,
+        240 * harp::sim::SECOND,
+        42,
+    )?;
+    for (name, table) in &profiles {
+        println!(
+            "  learned {:>3} measured operating points for {name}",
+            table.measured_count()
+        );
+    }
+
+    // Measured run with stable operating points.
+    let mut hopts = opts.clone();
+    hopts.profiles = Some(profiles);
+    let harp = run_scenario(Platform::RaptorLake, &scenario, ManagerKind::Harp, &hopts)?;
+    println!(
+        "\nHARP  : makespan {:6.2}s   energy {:7.0}J",
+        harp.makespan_s, harp.energy_j
+    );
+    let imp = improvement(cfs, harp);
+    println!(
+        "HARP vs CFS: {:.2}x faster, {:.2}x less energy",
+        imp.time, imp.energy
+    );
+    println!("(paper, multi-application geomeans: 1.40x faster, 1.52x less energy)");
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Quickstart: manage one application with the HARP RM.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the simulated Intel Raptor Lake machine, loads an operating-point
+//! profile for a memory-bound application, registers it with the RM, and
+//! prints the activation HARP selects — the efficient-core configuration
+//! that minimizes the energy-utility cost.
+
+use harp::platform::HardwareDescription;
+use harp::rm::{RmConfig, RmCore};
+use harp::types::{AppId, ExtResourceVector, NonFunctional};
+
+fn main() -> harp::types::Result<()> {
+    // 1. The hardware description (normally /etc/harp/hardware.json).
+    let hw = HardwareDescription::raptor_lake();
+    println!("machine: {} ({} cores, {} hardware threads)", hw.name, hw.num_cores(), hw.total_hw_threads());
+
+    // 2. An RM in offline mode with a small description-file profile:
+    //    three operating points of a memory-bound application.
+    let mut cfg = RmConfig::default();
+    cfg.offline = true;
+    let mut rm = RmCore::new(hw.clone(), cfg);
+    let shape = hw.erv_shape();
+    let points = vec![
+        // All 8 P-cores with SMT: fast but power-hungry.
+        (
+            ExtResourceVector::from_flat(&shape, &[0, 8, 0])?,
+            NonFunctional::new(5.2e10, 95.0),
+        ),
+        // Ten E-cores: nearly as fast (bandwidth-bound!) at a fraction
+        // of the power.
+        (
+            ExtResourceVector::from_flat(&shape, &[0, 0, 10])?,
+            NonFunctional::new(4.8e10, 42.0),
+        ),
+        // Two E-cores: frugal but slow.
+        (
+            ExtResourceVector::from_flat(&shape, &[0, 0, 2])?,
+            NonFunctional::new(1.0e10, 22.0),
+        ),
+    ];
+    rm.load_profile("membound", harp::rm::table_from_points(points));
+
+    // 3. Register the application; the RM runs an allocation round and
+    //    returns the activation libharp would relay.
+    let out = rm.register(AppId(1), "membound", false)?;
+    for d in &out.directives {
+        println!(
+            "activation for {}: {} -> {} cores / parallelism {}",
+            d.app,
+            d.erv,
+            d.cores.len(),
+            d.parallelism
+        );
+        println!("  granted cores:      {:?}", d.cores.iter().map(|c| c.0).collect::<Vec<_>>());
+        println!("  granted hw threads: {:?}", d.hw_threads.iter().map(|t| t.0).collect::<Vec<_>>());
+    }
+    // The 10-E-core point wins on the EDP-style energy-utility cost.
+    assert_eq!(out.directives[0].erv.cores_of_kind(1), 10);
+    println!("\nHARP selected the energy-efficient configuration, as expected.");
+    Ok(())
+}
