@@ -1,0 +1,107 @@
+//! Minimal, offline stand-in for `proptest` covering the surface this
+//! workspace uses: the `proptest!` macro with optional
+//! `#![proptest_config(...)]`, `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assume!`, `prop_oneof!`, `Just`, `any::<T>()`, numeric-range and
+//! tuple strategies, `proptest::collection::vec`, literal `".{a,b}"` regex
+//! string strategies, and `prop_map`/`prop_flat_map`.
+//!
+//! Cases are generated from a per-test deterministic seed (FNV-1a of the
+//! test name driving a ChaCha8 stream), so failures are reproducible.
+//! There is no shrinking: the failing inputs are reported via `Debug` on
+//! the assertion message instead.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Size argument for [`vec`]: a `usize` range, inclusive or half-open.
+    pub trait SizeRange {
+        /// (min, max) both inclusive.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl SizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start() <= self.end(), "empty size range");
+            (*self.start(), *self.end())
+        }
+    }
+
+    impl SizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl SizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (u32, u32)> {
+        (0u32..10, 0u32..10)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(a in 3u32..9, b in 0.5f64..2.0, c in 1usize..=4) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!((0.5..2.0).contains(&b));
+            prop_assert!((1..=4).contains(&c));
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in crate::collection::vec(0u8..255, 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn flat_map_and_assume((x, y) in arb_pair().prop_flat_map(|(a, b)| {
+            (Just(a), Just(b))
+        })) {
+            prop_assume!(x + y > 0);
+            prop_assert!(x < 10 && y < 10);
+            if x == y {
+                return Ok(());
+            }
+            prop_assert_ne!(x, y);
+        }
+
+        #[test]
+        fn oneof_and_regex(choice in prop_oneof![Just(1u8), Just(2), Just(3)], s in ".{0,8}") {
+            prop_assert!((1..=3).contains(&choice));
+            prop_assert!(s.chars().count() <= 8);
+        }
+
+        #[test]
+        fn any_values_exist(x in any::<u64>(), f in any::<f64>(), b in any::<bool>()) {
+            let _ = (x, f, b);
+            prop_assert_eq!(x, x);
+        }
+    }
+}

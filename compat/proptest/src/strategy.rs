@@ -1,0 +1,394 @@
+//! Strategy combinators: how test inputs are generated.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+use rand::{Rng, SampleVal};
+
+/// A recipe for generating values of `Self::Value`. Object-safe: the
+/// combinator methods are `Self: Sized` so `Box<dyn Strategy<Value = T>>`
+/// works (needed by `prop_oneof!`).
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T: SampleVal> Strategy for Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+impl<T: SampleVal> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H, 8 I)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H, 8 I, 9 J)
+}
+
+/// `proptest::collection::vec(element, size)`.
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) min: usize,
+    pub(crate) max: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.random_range(self.min..=self.max);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Uniform choice between boxed alternatives (`prop_oneof!`).
+pub struct OneOf<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOf<T> {
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.random_range(0..self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Types with a canonical "arbitrary" strategy, used via [`any`].
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // Bias towards small magnitudes and boundary values so
+                // varint-style codecs see every width class.
+                match rng.random_range(0u32..8) {
+                    0 => 0,
+                    1 => <$t>::MAX,
+                    2 => <$t>::MIN,
+                    3 => rng.random_range(0u64..256) as $t,
+                    _ => rng.random::<u64>() as $t,
+                }
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.random()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        match rng.random_range(0u32..8) {
+            0 => 0.0,
+            1 => -0.0,
+            2 => rng.random_range(-10.0f64..10.0),
+            3 => f64::MAX,
+            4 => f64::MIN_POSITIVE,
+            // Wide-magnitude finite values via a random exponent.
+            _ => {
+                let mag = 10f64.powi(rng.random_range(-30i32..30));
+                rng.random_range(-1.0f64..1.0) * mag
+            }
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// String literals act as regex strategies. Only the pattern shapes used in
+/// this workspace are supported: `.{min,max}` (any chars, length range),
+/// optionally `.*`/`.+`. Anything else panics at generation time.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (min, max) = parse_len_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported regex strategy pattern: {self:?}"));
+        let len = rng.random_range(min..=max);
+        (0..len)
+            .map(|_| {
+                // Mostly printable ASCII with occasional multi-byte chars so
+                // UTF-8 handling gets exercised.
+                if rng.random_bool(0.9) {
+                    rng.random_range(0x20u32..0x7f) as u8 as char
+                } else {
+                    char::from_u32(rng.random_range(0xA0u32..0x2FF)).unwrap_or('¤')
+                }
+            })
+            .collect()
+    }
+}
+
+fn parse_len_pattern(pat: &str) -> Option<(usize, usize)> {
+    match pat {
+        ".*" => return Some((0, 32)),
+        ".+" => return Some((1, 32)),
+        _ => {}
+    }
+    let body = pat.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = body.split_once(',')?;
+    let min = lo.trim().parse().ok()?;
+    let max = if hi.trim().is_empty() {
+        min + 32
+    } else {
+        hi.trim().parse().ok()?
+    };
+    Some((min, max))
+}
+
+/// The `proptest!` macro: expands each `fn name(bindings) { body }` into a
+/// plain test running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($p:pat in $s:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            let mut __accepted: u32 = 0;
+            let mut __attempts: u32 = 0;
+            while __accepted < __config.cases {
+                __attempts += 1;
+                assert!(
+                    __attempts <= __config.cases.saturating_mul(20).saturating_add(1000),
+                    "proptest {}: too many rejected cases", stringify!($name),
+                );
+                $(let $p = $crate::strategy::Strategy::generate(&($s), &mut __rng);)+
+                let mut __case = move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    #[allow(unreachable_code, clippy::needless_return)]
+                    {
+                        $body
+                        Ok(())
+                    }
+                };
+                match __case() {
+                    Ok(()) => __accepted += 1,
+                    Err($crate::test_runner::TestCaseError::Reject) => {}
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} failed at case {}: {}",
+                            stringify!($name), __accepted, msg,
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), __l, __r,
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "{}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)+), __l, __r,
+                ),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject());
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}

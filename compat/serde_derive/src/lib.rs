@@ -1,0 +1,328 @@
+//! `#[derive(Serialize, Deserialize)]` for the compat `serde` crate,
+//! implemented by walking the raw `TokenStream` (no `syn`/`quote`
+//! available offline). Supports the shapes this workspace uses:
+//!
+//! - structs with named fields  -> JSON object keyed by field name
+//! - tuple structs with 1 field -> transparent newtype
+//! - tuple structs with N>1     -> JSON array
+//! - unit structs               -> null
+//! - enums with unit variants   -> `"VariantName"`
+//! - enums with newtype variants-> `{"VariantName": payload}`
+//!
+//! Generics and `#[serde(...)]` attributes are intentionally unsupported
+//! and panic at expansion time so misuse is caught at compile time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct { fields: Vec<String> },
+    TupleStruct { arity: usize },
+    UnitStruct,
+    Enum { variants: Vec<(String, bool)> }, // (name, has_payload)
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+/// Skip outer attributes (`#[...]`, including doc comments) and visibility
+/// markers, returning the remaining tokens.
+fn skip_attrs_and_vis(tokens: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` or `#!` followed by a bracket group.
+                i += 1;
+                if let Some(TokenTree::Punct(p2)) = tokens.get(i) {
+                    if p2.as_char() == '!' {
+                        i += 1;
+                    }
+                }
+                match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => i += 1,
+                    _ => panic!("serde_derive: malformed attribute"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                // `pub(crate)` etc.
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return &tokens[i..],
+        }
+    }
+}
+
+/// Extract field names from the brace group of a named-field struct.
+fn named_fields(group: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut rest: &[TokenTree] = &tokens;
+    while !rest.is_empty() {
+        rest = skip_attrs_and_vis(rest);
+        let Some(TokenTree::Ident(name)) = rest.first() else {
+            break;
+        };
+        fields.push(name.to_string());
+        // Skip `: Type` up to the next top-level comma, tracking generic
+        // angle depth so `HashMap<K, V>` commas don't split fields.
+        let mut angle: i32 = 0;
+        let mut i = 1;
+        while i < rest.len() {
+            if let TokenTree::Punct(p) = &rest[i] {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        rest = &rest[i..];
+    }
+    fields
+}
+
+/// Count fields in the paren group of a tuple struct.
+fn tuple_arity(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 1;
+    let mut angle: i32 = 0;
+    for (i, t) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 && i + 1 < tokens.len() => arity += 1,
+                _ => {}
+            }
+        }
+    }
+    arity
+}
+
+/// Extract `(variant_name, has_newtype_payload)` pairs from an enum body.
+fn enum_variants(group: &proc_macro::Group) -> Vec<(String, bool)> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut rest: &[TokenTree] = &tokens;
+    while !rest.is_empty() {
+        rest = skip_attrs_and_vis(rest);
+        let Some(TokenTree::Ident(name)) = rest.first() else {
+            break;
+        };
+        let name = name.to_string();
+        let mut i = 1;
+        let mut has_payload = false;
+        match rest.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                assert_eq!(
+                    tuple_arity(g),
+                    1,
+                    "serde_derive: enum variant `{name}` must have exactly one payload field"
+                );
+                has_payload = true;
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!("serde_derive: struct enum variants are not supported (`{name}`)");
+            }
+            _ => {}
+        }
+        match rest.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            Some(other) => panic!("serde_derive: unexpected token after variant `{name}`: {other}"),
+        }
+        variants.push((name, has_payload));
+        rest = &rest[i..];
+    }
+    variants
+}
+
+fn parse(input: TokenStream) -> Parsed {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let rest = skip_attrs_and_vis(&tokens);
+    let (kind, rest) = match rest.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => ("struct", &rest[1..]),
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => ("enum", &rest[1..]),
+        other => panic!("serde_derive: expected struct or enum, got {other:?}"),
+    };
+    let Some(TokenTree::Ident(name)) = rest.first() else {
+        panic!("serde_derive: expected type name");
+    };
+    let name = name.to_string();
+    let rest = &rest[1..];
+    if let Some(TokenTree::Punct(p)) = rest.first() {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic types are not supported ({name})");
+        }
+    }
+    let shape = match (kind, rest.first()) {
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+            variants: enum_variants(g),
+        },
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::NamedStruct {
+                fields: named_fields(g),
+            }
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::TupleStruct {
+                arity: tuple_arity(g),
+            }
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Shape::UnitStruct,
+        (k, other) => panic!("serde_derive: unsupported {k} body for {name}: {other:?}"),
+    };
+    Parsed { name, shape }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let p = parse(input);
+    let name = &p.name;
+    let body = match &p.shape {
+        Shape::NamedStruct { fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push(({f:?}.to_string(), \
+                         ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}::serde::Value::Obj(fields)"
+            )
+        }
+        Shape::TupleStruct { arity: 1 } => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct { arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Arr(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum { variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, has_payload)| {
+                    if *has_payload {
+                        format!(
+                            "{name}::{v}(inner) => ::serde::Value::Obj(vec![({v:?}.to_string(), \
+                             ::serde::Serialize::to_value(inner))]),\n"
+                        )
+                    } else {
+                        format!("{name}::{v} => ::serde::Value::Str({v:?}.to_string()),\n")
+                    }
+                })
+                .collect();
+            // `_ => unreachable` arm is unnecessary: all variants covered.
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let p = parse(input);
+    let name = &p.name;
+    let body = match &p.shape {
+        Shape::NamedStruct { fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__private::get_field(v, {name:?}, {f:?})?,\n"))
+                .collect();
+            format!("Ok({name} {{\n{inits}}})")
+        }
+        Shape::TupleStruct { arity: 1 } => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct { arity } => {
+            let gets: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Arr(items) if items.len() == {arity} => \
+                 Ok({name}({gets})),\n\
+                 other => Err(::serde::DeError::custom(format!(\
+                 \"{name}: expected {arity}-element array, got {{other:?}}\"))),\n}}",
+                gets = gets.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!(
+            "match v {{\n\
+             ::serde::Value::Null => Ok({name}),\n\
+             other => Err(::serde::DeError::custom(format!(\
+             \"{name}: expected null, got {{other:?}}\"))),\n}}"
+        ),
+        Shape::Enum { variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, has)| !has)
+                .map(|(v, _)| format!("{v:?} => Ok({name}::{v}),\n"))
+                .collect();
+            let payload_arms: String = variants
+                .iter()
+                .filter(|(_, has)| *has)
+                .map(|(v, _)| {
+                    format!(
+                        "{v:?} => Ok({name}::{v}(::serde::Deserialize::from_value(payload)?)),\n"
+                    )
+                })
+                .collect();
+            let obj_arm = if payload_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "::serde::Value::Obj(fields) if fields.len() == 1 => {{\n\
+                     let (tag, payload) = &fields[0];\n\
+                     match tag.as_str() {{\n\
+                     {payload_arms}\
+                     other => Err(::serde::DeError::custom(format!(\
+                     \"{name}: unknown variant `{{other}}`\"))),\n}}\n}},\n"
+                )
+            };
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => Err(::serde::DeError::custom(format!(\
+                 \"{name}: unknown variant `{{other}}`\"))),\n}},\n\
+                 {obj_arm}\
+                 other => Err(::serde::DeError::custom(format!(\
+                 \"{name}: expected variant, got {{other:?}}\"))),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<{name}, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .unwrap()
+}

@@ -31,8 +31,7 @@ pub fn hw_threads_for(
         per_kind[hw.kind_of_core(c)?.0].push(c);
     }
     let mut out = Vec::new();
-    for kind in 0..num_kinds {
-        let granted = &mut per_kind[kind];
+    for (kind, granted) in per_kind.iter_mut().enumerate() {
         granted.sort();
         if granted.len() != erv.cores_of_kind(kind) as usize {
             return Err(HarpError::other(format!(
@@ -74,13 +73,13 @@ pub(crate) fn assign_cores(
     for (r, &p) in requests.iter().zip(picks) {
         let option = &r.options[p];
         let mut cores = Vec::new();
-        for kind in 0..num_kinds {
+        for (kind, cursor) in next_free.iter_mut().enumerate() {
             let kind_cores = hw.cores_of_kind(CoreKind(kind))?;
             let needed = option.erv.cores_of_kind(kind) as usize;
             if needed == 0 {
                 continue;
             }
-            let start = if co_allocated { 0 } else { next_free[kind] };
+            let start = if co_allocated { 0 } else { *cursor };
             if start + needed > kind_cores.len() {
                 return Err(HarpError::InsufficientResources {
                     detail: format!(
@@ -91,7 +90,7 @@ pub(crate) fn assign_cores(
             }
             let granted = &kind_cores[start..start + needed];
             if !co_allocated {
-                next_free[kind] += needed;
+                *cursor += needed;
             }
             cores.extend_from_slice(granted);
         }
@@ -138,7 +137,14 @@ mod tests {
         assert_eq!(c1.cores, vec![CoreId(0), CoreId(1), CoreId(2)]);
         assert_eq!(
             c2.cores,
-            vec![CoreId(3), CoreId(4), CoreId(8), CoreId(9), CoreId(10), CoreId(11)]
+            vec![
+                CoreId(3),
+                CoreId(4),
+                CoreId(8),
+                CoreId(9),
+                CoreId(10),
+                CoreId(11)
+            ]
         );
         // App 1: 3 P-cores × 2 threads = 6 hw threads (0..6).
         assert_eq!(c1.hw_threads.len(), 6);

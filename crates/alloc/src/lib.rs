@@ -56,10 +56,10 @@ mod solvers;
 pub use assign::hw_threads_for;
 pub use solvers::SolverKind;
 
+use harp_platform::HardwareDescription;
 use harp_types::{
     AppId, CoreId, ExtResourceVector, HarpError, HwThreadId, OpId, ResourceVector, Result,
 };
-use harp_platform::HardwareDescription;
 use std::collections::HashMap;
 
 /// One candidate operating point of an application, as seen by the
@@ -156,14 +156,14 @@ pub fn allocate(
     let num_kinds = capacity.num_kinds();
     let mut lower_bound = vec![0u32; num_kinds];
     for r in requests {
-        for k in 0..num_kinds {
+        for (k, lb) in lower_bound.iter_mut().enumerate() {
             let min_k = r
                 .options
                 .iter()
                 .map(|o| o.demand().counts()[k])
                 .min()
                 .expect("validated nonempty");
-            lower_bound[k] += min_k;
+            *lb += min_k;
         }
     }
     let maybe_feasible = lower_bound
@@ -208,10 +208,7 @@ pub fn allocate(
                 })
                 .map(|(i, _)| i)
                 .ok_or_else(|| HarpError::InsufficientResources {
-                    detail: format!(
-                        "app {} has no operating point fitting the machine",
-                        r.app
-                    ),
+                    detail: format!("app {} has no operating point fitting the machine", r.app),
                 })?;
             picks.push(pick);
         }
@@ -253,7 +250,10 @@ fn validate_requests(requests: &[AllocRequest], hw: &HardwareDescription) -> Res
                 )));
             }
             if o.cost.is_nan() {
-                return Err(HarpError::other(format!("option of {} has NaN cost", r.app)));
+                return Err(HarpError::other(format!(
+                    "option of {} has NaN cost",
+                    r.app
+                )));
             }
         }
     }
@@ -309,7 +309,11 @@ mod tests {
                 opt(&shape, &[0, 8, 16], 15.0),
             ],
         )];
-        for solver in [SolverKind::Lagrangian, SolverKind::Greedy, SolverKind::Exact] {
+        for solver in [
+            SolverKind::Lagrangian,
+            SolverKind::Greedy,
+            SolverKind::Exact,
+        ] {
             let a = allocate(&reqs, &hw, solver).unwrap();
             let c = &a.choices[&AppId(1)];
             assert_eq!(c.op, OpId(1), "{solver:?}");
@@ -347,12 +351,16 @@ mod tests {
         // Three apps each preferring all 8 P-cores; only one can have them.
         let mk = || {
             vec![
-                opt(&shape, &[0, 8, 0], 1.0),  // preferred but scarce
-                opt(&shape, &[0, 0, 5], 3.0),  // fallback
+                opt(&shape, &[0, 8, 0], 1.0), // preferred but scarce
+                opt(&shape, &[0, 0, 5], 3.0), // fallback
             ]
         };
         let reqs = vec![req(1, mk()), req(2, mk()), req(3, mk())];
-        for solver in [SolverKind::Lagrangian, SolverKind::Greedy, SolverKind::Exact] {
+        for solver in [
+            SolverKind::Lagrangian,
+            SolverKind::Greedy,
+            SolverKind::Exact,
+        ] {
             let a = allocate(&reqs, &hw, solver).unwrap();
             assert!(!a.co_allocated, "{solver:?}");
             // Capacity respected: at most one app on the P-cores.
@@ -386,10 +394,7 @@ mod tests {
             ),
             req(
                 2,
-                vec![
-                    opt(&shape, &[0, 1, 0], 3.0),
-                    opt(&shape, &[0, 0, 2], 3.5),
-                ],
+                vec![opt(&shape, &[0, 1, 0], 3.0), opt(&shape, &[0, 0, 2], 3.5)],
             ),
         ];
         let exact = allocate(&reqs, &hw, SolverKind::Exact).unwrap();
@@ -478,7 +483,11 @@ mod tests {
                 opt(&shape, &[0, 0, 1], 5.0),
             ],
         )];
-        for solver in [SolverKind::Lagrangian, SolverKind::Greedy, SolverKind::Exact] {
+        for solver in [
+            SolverKind::Lagrangian,
+            SolverKind::Greedy,
+            SolverKind::Exact,
+        ] {
             let a = allocate(&reqs, &hw, solver).unwrap();
             assert_eq!(a.choices[&AppId(1)].op, OpId(1), "{solver:?}");
         }

@@ -62,10 +62,11 @@ fn minimal_picks(requests: &[AllocRequest]) -> Vec<usize> {
                 .iter()
                 .enumerate()
                 .min_by(|(_, a), (_, b)| {
-                    a.demand()
-                        .total()
-                        .cmp(&b.demand().total())
-                        .then(a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal))
+                    a.demand().total().cmp(&b.demand().total()).then(
+                        a.cost
+                            .partial_cmp(&b.cost)
+                            .unwrap_or(std::cmp::Ordering::Equal),
+                    )
                 })
                 .map(|(i, _)| i)
                 .expect("validated nonempty")
@@ -121,19 +122,15 @@ fn lagrangian(requests: &[AllocRequest], capacity: &ResourceVector) -> Result<Ve
         let demand = total_demand(requests, &picks, num_kinds);
         if demand.fits_within(capacity) {
             let cost = selection_cost(requests, &picks);
-            if best_feasible
-                .as_ref()
-                .map_or(true, |(c, _)| cost < *c)
-            {
+            if best_feasible.as_ref().is_none_or(|(c, _)| cost < *c) {
                 best_feasible = Some((cost, picks.clone()));
             }
         }
         // Projected subgradient step with diminishing step size.
-        let step = cost_scale / ((it + 1) as f64).sqrt()
-            / capacity.total().max(1) as f64;
-        for k in 0..num_kinds {
+        let step = cost_scale / ((it + 1) as f64).sqrt() / capacity.total().max(1) as f64;
+        for (k, l) in lambda.iter_mut().enumerate() {
             let g = demand.counts()[k] as f64 - capacity.counts()[k] as f64;
-            lambda[k] = (lambda[k] + step * g).max(0.0);
+            *l = (*l + step * g).max(0.0);
         }
     }
 
@@ -187,8 +184,7 @@ fn repair(
                 for k in 0..num_kinds {
                     let d = demand.counts()[k] as i64;
                     let cap = capacity.counts()[k] as i64;
-                    let delta =
-                        o.demand().counts()[k] as i64 - cur.demand().counts()[k] as i64;
+                    let delta = o.demand().counts()[k] as i64 - cur.demand().counts()[k] as i64;
                     let new_over = (d + delta - cap).max(0);
                     let old_over = (d - cap).max(0);
                     reduction += old_over - new_over;
@@ -198,7 +194,7 @@ fn repair(
                 }
                 let dcost = cost_or_large(o.cost) - cost_or_large(cur.cost);
                 let ratio = dcost / reduction as f64;
-                if best.map_or(true, |(b, _, _)| ratio < b) {
+                if best.is_none_or(|(b, _, _)| ratio < b) {
                     best = Some((ratio, i, j));
                 }
             }
@@ -240,7 +236,7 @@ fn upgrade(requests: &[AllocRequest], picks: &mut [usize], capacity: &ResourceVe
                 picks[i] = j;
                 let ok = is_feasible(requests, picks, capacity);
                 picks[i] = old;
-                if ok && best.map_or(true, |(g, _, _)| gain > g) {
+                if ok && best.is_none_or(|(g, _, _)| gain > g) {
                     best = Some((gain, i, j));
                 }
             }
@@ -273,10 +269,7 @@ fn greedy(requests: &[AllocRequest], capacity: &ResourceVector) -> Result<Vec<us
 
 /// Exact branch-and-bound over the (small) selection space.
 fn exact(requests: &[AllocRequest], capacity: &ResourceVector) -> Result<Vec<usize>> {
-    let space: f64 = requests
-        .iter()
-        .map(|r| r.options.len() as f64)
-        .product();
+    let space: f64 = requests.iter().map(|r| r.options.len() as f64).product();
     if space > 5e7 {
         return Err(HarpError::Numeric {
             detail: format!("exact solver refuses {space:.0} combinations"),
@@ -305,10 +298,10 @@ fn exact(requests: &[AllocRequest], capacity: &ResourceVector) -> Result<Vec<usi
         v
     };
 
+    #[allow(clippy::too_many_arguments)]
     fn dfs(
         requests: &[AllocRequest],
         capacity: &ResourceVector,
-        num_kinds: usize,
         suffix_min: &[f64],
         picks: &mut Vec<usize>,
         depth: usize,
@@ -337,7 +330,6 @@ fn exact(requests: &[AllocRequest], capacity: &ResourceVector) -> Result<Vec<usi
             dfs(
                 requests,
                 capacity,
-                num_kinds,
                 suffix_min,
                 picks,
                 depth + 1,
@@ -352,7 +344,6 @@ fn exact(requests: &[AllocRequest], capacity: &ResourceVector) -> Result<Vec<usi
     dfs(
         requests,
         capacity,
-        num_kinds,
         &suffix_min,
         &mut picks,
         0,
@@ -415,9 +406,7 @@ mod tests {
     #[test]
     fn exact_prunes_infeasible_branches() {
         let capacity = ResourceVector::new(vec![1, 0]);
-        let reqs = vec![
-            req(1, vec![opt(&[1, 0], 1.0), opt(&[0, 1], 0.1)]),
-        ];
+        let reqs = vec![req(1, vec![opt(&[1, 0], 1.0), opt(&[0, 1], 0.1)])];
         // The cheap option needs a little core that doesn't exist.
         let picks = exact(&reqs, &capacity).unwrap();
         assert_eq!(picks, vec![0]);
@@ -430,7 +419,11 @@ mod tests {
             req(1, vec![opt(&[2, 0], 1.0), opt(&[4, 0], 10.0)]),
             req(2, vec![opt(&[0, 2], 1.0), opt(&[0, 4], 10.0)]),
         ];
-        for kind in [SolverKind::Lagrangian, SolverKind::Greedy, SolverKind::Exact] {
+        for kind in [
+            SolverKind::Lagrangian,
+            SolverKind::Greedy,
+            SolverKind::Exact,
+        ] {
             let picks = solve(&reqs, &capacity, kind).unwrap();
             assert_eq!(picks, vec![0, 0], "{kind:?}");
         }
@@ -475,10 +468,7 @@ mod tests {
     fn greedy_upgrades_use_leftover_capacity() {
         let capacity = ResourceVector::new(vec![4, 4]);
         // Minimal pick is the small/expensive one; capacity allows upgrade.
-        let reqs = vec![req(
-            1,
-            vec![opt(&[1, 0], 10.0), opt(&[3, 2], 2.0)],
-        )];
+        let reqs = vec![req(1, vec![opt(&[1, 0], 10.0), opt(&[3, 2], 2.0)])];
         let picks = greedy(&reqs, &capacity).unwrap();
         assert_eq!(picks, vec![1]);
     }

@@ -28,8 +28,7 @@ fn alloc_requests(n_apps: usize, n_opts: usize) -> Vec<AllocRequest> {
                     AllocOption {
                         op: OpId(o),
                         cost: 1.0 + ((a * 7 + o * 13) % 29) as f64,
-                        erv: ExtResourceVector::from_flat(&shape, &[0, p2, e])
-                            .expect("grid point"),
+                        erv: ExtResourceVector::from_flat(&shape, &[0, p2, e]).expect("grid point"),
                     }
                 })
                 .collect(),
@@ -75,10 +74,7 @@ fn bench_regression(c: &mut Criterion) {
     let xs: Vec<Vec<f64>> = (0..25)
         .map(|i| vec![(i % 3) as f64, (i % 5) as f64, (i % 7) as f64])
         .collect();
-    let ys: Vec<f64> = xs
-        .iter()
-        .map(|x| 3.0 + x[0] * 2.0 + x[1] * x[2])
-        .collect();
+    let ys: Vec<f64> = xs.iter().map(|x| 3.0 + x[0] * 2.0 + x[1] * x[2]).collect();
     let mut group = c.benchmark_group("regression");
     group.bench_function("poly2_fit_25pts", |b| {
         b.iter(|| {

@@ -2,7 +2,11 @@
 use harp_bench::fig5::{run, Fig5Options};
 fn main() {
     let reduced = std::env::args().any(|a| a == "--reduced");
-    let opts = if reduced { Fig5Options::reduced() } else { Fig5Options::default() };
+    let opts = if reduced {
+        Fig5Options::reduced()
+    } else {
+        Fig5Options::default()
+    };
     match run(&opts) {
         Ok(table) => print!("{table}"),
         Err(e) => {

@@ -3,7 +3,11 @@
 use harp_bench::fig8::{run, Fig8Options};
 fn main() {
     let reduced = std::env::args().any(|a| a == "--reduced");
-    let opts = if reduced { Fig8Options::reduced() } else { Fig8Options::default() };
+    let opts = if reduced {
+        Fig8Options::reduced()
+    } else {
+        Fig8Options::default()
+    };
     match run(&opts) {
         Ok(table) => print!("{table}"),
         Err(e) => {

@@ -1,19 +1,120 @@
 //! Regenerates the abstract's headline numbers from full Fig. 6 + Fig. 7
 //! runs (slow; pass `--reduced` for a coarse estimate).
-use harp_bench::tables::headline;
-use harp_bench::{fig6::Fig6Options, fig7::Fig7Options};
+//!
+//! The binary doubles as the harness's own benchmark: it computes both
+//! figures twice — once serially (1 worker) and once on the full worker
+//! pool — verifies the rendered tables are byte-identical, and writes the
+//! wall-clock and profile-cache statistics to `BENCH_harness.json`
+//! (machine-readable; path overridable via `HARP_BENCH_JSON`). Both
+//! passes start from a cold in-memory cache with disk spilling disabled,
+//! so the comparison measures the worker pool alone.
+use harp_bench::tables::headline_from_rows;
+use harp_bench::{cache, fig6, fig7, jobs};
+use std::time::Instant;
+
+struct Pass {
+    fig6_s: f64,
+    fig7_s: f64,
+    hits: u64,
+    misses: u64,
+    rows6: Vec<fig6::ScenarioRow>,
+    rows7: Vec<fig7::ScenarioRow>,
+}
+
+fn run_pass(o6: &fig6::Fig6Options, o7: &fig7::Fig7Options) -> Result<Pass, harp_types::HarpError> {
+    cache::reset();
+    let t = Instant::now();
+    let rows6 = fig6::run_rows(o6)?;
+    let fig6_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let rows7 = fig7::run_rows(o7)?;
+    let fig7_s = t.elapsed().as_secs_f64();
+    Ok(Pass {
+        fig6_s,
+        fig7_s,
+        hits: cache::hits(),
+        misses: cache::misses(),
+        rows6,
+        rows7,
+    })
+}
+
 fn main() {
     let reduced = std::env::args().any(|a| a == "--reduced");
     let (o6, o7) = if reduced {
-        (Fig6Options::reduced(), Fig7Options::reduced())
+        (fig6::Fig6Options::reduced(), fig7::Fig7Options::reduced())
     } else {
-        (Fig6Options::default(), Fig7Options::default())
+        (fig6::Fig6Options::default(), fig7::Fig7Options::default())
     };
-    match headline(&o6, &o7) {
+
+    // Cold cache, no spill: time the worker pool itself.
+    cache::set_spill_dir(None);
+    jobs::set_worker_override(Some(1));
+    let serial = match run_pass(&o6, &o7) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("headline_summary (serial pass): {e}");
+            std::process::exit(1);
+        }
+    };
+    jobs::set_worker_override(None);
+    let workers = jobs::worker_count();
+    let parallel = match run_pass(&o6, &o7) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("headline_summary (parallel pass): {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let identical = fig6::render(&serial.rows6) == fig6::render(&parallel.rows6)
+        && fig7::render(&serial.rows7) == fig7::render(&parallel.rows7);
+    if !identical {
+        eprintln!("headline_summary: parallel output differs from serial output");
+    }
+
+    match headline_from_rows(&parallel.rows6, &parallel.rows7) {
         Ok(table) => print!("{table}"),
         Err(e) => {
             eprintln!("headline_summary: {e}");
             std::process::exit(1);
         }
+    }
+
+    let serial_total = serial.fig6_s + serial.fig7_s;
+    let parallel_total = parallel.fig6_s + parallel.fig7_s;
+    println!(
+        "\nHarness: serial {serial_total:.1}s vs {workers} workers {parallel_total:.1}s \
+         ({:.2}x speedup, outputs {})",
+        serial_total / parallel_total.max(1e-9),
+        if identical { "identical" } else { "DIFFERENT" }
+    );
+
+    let json = format!(
+        "{{\n  \"reduced\": {reduced},\n  \"workers\": {workers},\n  \"figures\": [\n    \
+         {{\"figure\": \"fig6\", \"serial_s\": {:.3}, \"parallel_s\": {:.3}}},\n    \
+         {{\"figure\": \"fig7\", \"serial_s\": {:.3}, \"parallel_s\": {:.3}}}\n  ],\n  \
+         \"total\": {{\"serial_s\": {serial_total:.3}, \"parallel_s\": {parallel_total:.3}, \
+         \"speedup\": {:.3}}},\n  \
+         \"cache\": {{\"serial\": {{\"hits\": {}, \"misses\": {}}}, \
+         \"parallel\": {{\"hits\": {}, \"misses\": {}}}}},\n  \
+         \"outputs_identical\": {identical}\n}}\n",
+        serial.fig6_s,
+        parallel.fig6_s,
+        serial.fig7_s,
+        parallel.fig7_s,
+        serial_total / parallel_total.max(1e-9),
+        serial.hits,
+        serial.misses,
+        parallel.hits,
+        parallel.misses,
+    );
+    let path =
+        std::env::var("HARP_BENCH_JSON").unwrap_or_else(|_| "BENCH_harness.json".to_string());
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("headline_summary: cannot write {path}: {e}");
+    }
+    if !identical {
+        std::process::exit(1);
     }
 }

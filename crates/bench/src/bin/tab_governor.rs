@@ -1,8 +1,13 @@
 //! Regenerates the §6.3.3 frequency-governor study.
 use harp_bench::tables::{governor_table, GovernorOptions};
 fn main() {
+    harp_bench::cache::set_spill_dir(harp_bench::cache::default_spill());
     let reduced = std::env::args().any(|a| a == "--reduced");
-    let opts = if reduced { GovernorOptions::reduced() } else { GovernorOptions::default() };
+    let opts = if reduced {
+        GovernorOptions::reduced()
+    } else {
+        GovernorOptions::default()
+    };
     match governor_table(&opts) {
         Ok(table) => print!("{table}"),
         Err(e) => {

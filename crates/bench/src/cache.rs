@@ -1,0 +1,251 @@
+//! Content-addressed cache of operating-point profiles.
+//!
+//! Two kinds of profile generation dominate the harness's wall-clock: the
+//! offline DSE sweep of an application (§3.2.1, reused by Fig. 1, Fig. 5,
+//! Fig. 6's *HARP (Offline)*, Fig. 7, the governor table and the headline
+//! summary) and the Fig. 6-style warm-up learning run of a scenario. Both
+//! are pure functions of `(platform, input spec, parameters)`, so the
+//! harness computes each **once per process** and shares the result —
+//! keyed by a content hash over the platform, the serialized specification
+//! and the generation parameters.
+//!
+//! With a spill directory configured (see [`set_spill_dir`]; the evaluation
+//! binaries default to `target/harp-profile-cache/` unless
+//! `HARP_PROFILE_CACHE=0`), results are additionally persisted as JSON so
+//! consecutive binaries reuse them. Entries are keyed by content, so a
+//! stale directory can only ever *miss*, never return wrong data for the
+//! simulator's current calibration — but after deliberately changing
+//! simulator physics, delete the directory to reclaim the disk.
+//!
+//! Concurrency: every key has its own entry lock, so distinct profiles are
+//! computed in parallel (e.g. by [`crate::jobs::parallel_map`] workers)
+//! while concurrent requests for the *same* key block and then hit.
+
+use crate::runner::ProfileStore;
+use harp_sim::{AppSpec, SimTime};
+use harp_types::{OperatingPointTable, Result};
+use harp_workload::{Platform, Scenario};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A cached generation result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum CacheValue {
+    /// An offline DSE table (one application).
+    Table(OperatingPointTable),
+    /// A learned profile store (one scenario warm-up run).
+    Store(ProfileStore),
+}
+
+#[derive(Default)]
+struct CacheInner {
+    /// Per-key entry slots; the outer lock is held only to look up/insert
+    /// the `Arc`, never while computing.
+    entries: HashMap<String, Arc<Mutex<Option<CacheValue>>>>,
+}
+
+static CACHE: OnceLock<Mutex<CacheInner>> = OnceLock::new();
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static SPILL_DIR: OnceLock<Mutex<Option<PathBuf>>> = OnceLock::new();
+
+fn cache() -> &'static Mutex<CacheInner> {
+    CACHE.get_or_init(Mutex::default)
+}
+
+fn spill_dir_slot() -> &'static Mutex<Option<PathBuf>> {
+    SPILL_DIR.get_or_init(Mutex::default)
+}
+
+/// Number of cache hits (in-memory or spilled) since the last [`reset`].
+pub fn hits() -> u64 {
+    HITS.load(Ordering::Relaxed)
+}
+
+/// Number of cache misses (full computations) since the last [`reset`].
+pub fn misses() -> u64 {
+    MISSES.load(Ordering::Relaxed)
+}
+
+/// Clears the in-memory cache and the hit/miss counters (the spill
+/// directory, if any, is left untouched).
+pub fn reset() {
+    cache().lock().expect("cache lock").entries.clear();
+    HITS.store(0, Ordering::Relaxed);
+    MISSES.store(0, Ordering::Relaxed);
+}
+
+/// Configures the JSON spill directory. `None` (the library default)
+/// disables spilling, keeping tests hermetic; the evaluation binaries
+/// enable it via [`default_spill`].
+pub fn set_spill_dir(dir: Option<PathBuf>) {
+    *spill_dir_slot().lock().expect("spill-dir lock") = dir;
+}
+
+/// The spill directory the evaluation binaries use:
+/// `HARP_PROFILE_CACHE_DIR` if set, else `target/harp-profile-cache/`,
+/// or `None` if `HARP_PROFILE_CACHE=0` disables spilling.
+pub fn default_spill() -> Option<PathBuf> {
+    if std::env::var("HARP_PROFILE_CACHE").is_ok_and(|v| v == "0") {
+        return None;
+    }
+    if let Ok(dir) = std::env::var("HARP_PROFILE_CACHE_DIR") {
+        if !dir.is_empty() {
+            return Some(PathBuf::from(dir));
+        }
+    }
+    Some(PathBuf::from("target/harp-profile-cache"))
+}
+
+/// FNV-1a over the canonical description of a cache entry.
+fn fnv1a(parts: &[&str]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in parts {
+        for b in part.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // Separator so ("ab","c") and ("a","bc") hash differently.
+        h ^= 0x1f;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn key_for(kind: &str, platform: Platform, content: &str, params: &str) -> String {
+    let hash = fnv1a(&[kind, &format!("{platform:?}"), content, params]);
+    format!("{kind}-{platform:?}-{hash:016x}").to_lowercase()
+}
+
+/// Looks up `key`, computing and inserting on miss. Errors are returned
+/// but never cached, so a transient failure does not poison the entry.
+fn get_or_compute(key: &str, compute: impl FnOnce() -> Result<CacheValue>) -> Result<CacheValue> {
+    let slot = {
+        let mut inner = cache().lock().expect("cache lock");
+        Arc::clone(inner.entries.entry(key.to_string()).or_default())
+    };
+    let mut entry = slot.lock().expect("entry lock");
+    if let Some(v) = entry.as_ref() {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        return Ok(v.clone());
+    }
+    if let Some(v) = load_spilled(key) {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        *entry = Some(v.clone());
+        return Ok(v);
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    let v = compute()?;
+    *entry = Some(v.clone());
+    spill(key, &v);
+    Ok(v)
+}
+
+fn spill_path(key: &str) -> Option<PathBuf> {
+    spill_dir_slot()
+        .lock()
+        .expect("spill-dir lock")
+        .as_ref()
+        .map(|d| d.join(format!("{key}.json")))
+}
+
+fn load_spilled(key: &str) -> Option<CacheValue> {
+    let path = spill_path(key)?;
+    let text = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+/// Best-effort persistence: I/O failures only cost future processes a
+/// recomputation, so they are ignored.
+fn spill(key: &str, value: &CacheValue) {
+    let Some(path) = spill_path(key) else {
+        return;
+    };
+    let Ok(text) = serde_json::to_string(value) else {
+        return;
+    };
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let _ = std::fs::write(path, text);
+}
+
+/// The offline DSE table of one application: [`crate::dse::sweep_app`]
+/// filtered to useful points, computed once per (platform, spec,
+/// parameters).
+///
+/// # Errors
+///
+/// Propagates simulation errors (which are never cached).
+pub fn offline_table(
+    platform: Platform,
+    spec: &AppSpec,
+    horizon_s: f64,
+    seed: u64,
+) -> Result<OperatingPointTable> {
+    let content = serde_json::to_string(spec).unwrap_or_else(|_| format!("{spec:?}"));
+    let params = format!("h={horizon_s};s={seed}");
+    let key = key_for("dse", platform, &content, &params);
+    let v = get_or_compute(&key, || {
+        let table = crate::dse::sweep_table(platform, spec, horizon_s, seed)?;
+        Ok(CacheValue::Table(table))
+    })?;
+    match v {
+        CacheValue::Table(t) => Ok(t),
+        CacheValue::Store(_) => unreachable!("dse key holds a table"),
+    }
+}
+
+/// The learned profiles of one scenario warm-up run
+/// ([`crate::runner::learn_profiles`]), computed once per (platform,
+/// scenario, warm-up, seed).
+///
+/// # Errors
+///
+/// Propagates simulation errors (which are never cached).
+pub fn learned_profiles(
+    platform: Platform,
+    scenario: &Scenario,
+    warmup: SimTime,
+    seed: u64,
+) -> Result<ProfileStore> {
+    let content =
+        serde_json::to_string(&scenario.apps).unwrap_or_else(|_| format!("{:?}", scenario.apps));
+    let params = format!("w={warmup};s={seed};n={}", scenario.name);
+    let key = key_for("learn", platform, &content, &params);
+    let v = get_or_compute(&key, || {
+        let store = crate::runner::learn_profiles(platform, scenario, warmup, seed)?;
+        Ok(CacheValue::Store(store))
+    })?;
+    match v {
+        CacheValue::Store(s) => Ok(s),
+        CacheValue::Table(_) => unreachable!("learn key holds a store"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_separates_part_boundaries() {
+        assert_ne!(fnv1a(&["ab", "c"]), fnv1a(&["a", "bc"]));
+        assert_ne!(fnv1a(&["a"]), fnv1a(&["a", ""]));
+    }
+
+    #[test]
+    fn keys_differ_by_every_component() {
+        let spec = harp_workload::benchmark(Platform::RaptorLake, "ep").unwrap();
+        let content = serde_json::to_string(&spec).unwrap();
+        let a = key_for("dse", Platform::RaptorLake, &content, "h=600;s=17");
+        let b = key_for("dse", Platform::Odroid, &content, "h=600;s=17");
+        let c = key_for("dse", Platform::RaptorLake, &content, "h=600;s=18");
+        let d = key_for("learn", Platform::RaptorLake, &content, "h=600;s=17");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+}

@@ -39,10 +39,7 @@ impl Manager for PinTo {
             let mut cores = Vec::new();
             for kind in 0..hw.num_kinds() {
                 let all = hw.cores_of_kind(CoreKind(kind)).expect("valid kind");
-                cores.extend(
-                    all.into_iter()
-                        .take(self.erv.cores_of_kind(kind) as usize),
-                );
+                cores.extend(all.into_iter().take(self.erv.cores_of_kind(kind) as usize));
             }
             let threads =
                 harp_alloc::hw_threads_for(&self.erv, &cores, &hw).expect("erv fits machine");
@@ -143,7 +140,10 @@ pub fn sweep_grid(platform: Platform) -> Vec<ExtResourceVector> {
 }
 
 /// Sweeps an application over the platform grid, producing its offline
-/// operating-point table and the raw sweep data.
+/// operating-point table and the raw sweep data. Grid points are
+/// independent simulations, so they are measured on the worker pool
+/// ([`crate::jobs::parallel_map`]); results come back in grid order with
+/// per-point seeds, identical to a serial sweep.
 ///
 /// # Errors
 ///
@@ -154,21 +154,43 @@ pub fn sweep_app(
     horizon_s: f64,
     seed: u64,
 ) -> Result<Vec<SweepPoint>> {
-    let mut out = Vec::new();
-    for (i, erv) in sweep_grid(platform).iter().enumerate() {
-        out.push(measure_config(
-            platform,
-            spec,
-            erv,
-            horizon_s,
-            seed.wrapping_add(i as u64),
-        )?);
-    }
-    Ok(out)
+    let grid: Vec<(u64, ExtResourceVector)> = sweep_grid(platform)
+        .into_iter()
+        .enumerate()
+        .map(|(i, e)| (i as u64, e))
+        .collect();
+    crate::jobs::parallel_map(&grid, |(i, erv)| {
+        measure_config(platform, spec, erv, horizon_s, seed.wrapping_add(*i))
+    })
+    .into_iter()
+    .collect()
+}
+
+/// Distils a sweep into the application's offline operating-point table
+/// (configurations that made progress, in grid order).
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn sweep_table(
+    platform: Platform,
+    spec: &AppSpec,
+    horizon_s: f64,
+    seed: u64,
+) -> Result<OperatingPointTable> {
+    let sweep = sweep_app(platform, spec, horizon_s, seed)?;
+    Ok(sweep
+        .into_iter()
+        .filter(|p| p.nfc.utility > 0.0)
+        .map(|p| OperatingPoint::new(p.erv, p.nfc))
+        .collect())
 }
 
 /// Builds the offline profile store for a set of applications (the
-/// description files of *HARP (Offline)*).
+/// description files of *HARP (Offline)*). Each application's table comes
+/// from the shared profile cache ([`crate::cache`]), so repeated requests
+/// — within one binary or, with spilling enabled, across binaries — cost
+/// one sweep total.
 ///
 /// # Errors
 ///
@@ -183,12 +205,7 @@ pub fn offline_profiles(
         if out.contains_key(&spec.name) {
             continue;
         }
-        let sweep = sweep_app(platform, spec, horizon_s, 17)?;
-        let table: OperatingPointTable = sweep
-            .into_iter()
-            .filter(|p| p.nfc.utility > 0.0)
-            .map(|p| OperatingPoint::new(p.erv, p.nfc))
-            .collect();
+        let table = crate::cache::offline_table(platform, spec, horizon_s, 17)?;
         out.insert(spec.name.clone(), table);
     }
     Ok(out)

@@ -117,8 +117,14 @@ fn evaluate_once(
     mu.fit(&xs, &us).ok()?;
     mp.fit(&xs, &ps).ok()?;
 
-    let pred_u: Vec<f64> = points.iter().map(|p| mu.predict(&p.erv.features())).collect();
-    let pred_p: Vec<f64> = points.iter().map(|p| mp.predict(&p.erv.features())).collect();
+    let pred_u: Vec<f64> = points
+        .iter()
+        .map(|p| mu.predict(&p.erv.features()))
+        .collect();
+    let pred_p: Vec<f64> = points
+        .iter()
+        .map(|p| mp.predict(&p.erv.features()))
+        .collect();
     let act_u: Vec<f64> = points.iter().map(|p| p.nfc.utility).collect();
     let act_p: Vec<f64> = points.iter().map(|p| p.nfc.power).collect();
     let mape_u = mape(&pred_u, &act_u).ok()?;

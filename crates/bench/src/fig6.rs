@@ -4,9 +4,8 @@
 //! with geometric means per group.
 
 use crate::dse::offline_profiles;
-use crate::runner::{
-    improvement, learn_profiles, run_repeated, Improvement, ManagerKind, RunOptions,
-};
+use crate::jobs::{fold_repetitions, parallel_map, repetition_jobs, run_jobs};
+use crate::runner::{improvement, Improvement, ManagerKind, ProfileStore, RunOptions};
 use harp_model::metrics::geometric_mean;
 use harp_sim::SECOND;
 use harp_types::Result;
@@ -77,6 +76,13 @@ const VARIANTS: [ManagerKind; 4] = [
 
 /// Runs the full experiment, returning one row per scenario.
 ///
+/// Three waves, each saturating the worker pool: the shared offline DSE
+/// (one internally-parallel sweep per distinct application, via the
+/// profile cache), the per-scenario warm-up learning runs, and finally one
+/// flat job set with every (scenario, manager, repetition) cell. Results
+/// are folded in enumeration order, so the rows are bit-identical to the
+/// serial path.
+///
 /// # Errors
 ///
 /// Propagates simulation errors.
@@ -90,28 +96,35 @@ pub fn run_rows(opts: &Fig6Options) -> Result<Vec<ScenarioRow>> {
     }
     let offline = offline_profiles(Platform::RaptorLake, &all_apps, opts.dse_horizon_s)?;
 
-    let mut rows = Vec::new();
-    for (scenario, multi) in opts
+    let scens: Vec<(&Scenario, bool)> = opts
         .singles
         .iter()
         .map(|s| (s, false))
         .chain(opts.multis.iter().map(|s| (s, true)))
-    {
-        let base_opts = RunOptions::default();
-        let cfs = run_repeated(
+        .collect();
+
+    // Warm-up learning wave: one independent run per scenario, shared
+    // through the profile cache with any other consumer of the same
+    // (scenario, warm-up, seed) table.
+    let learned: Vec<ProfileStore> = parallel_map(&scens, |(scenario, _)| {
+        crate::cache::learned_profiles(Platform::RaptorLake, scenario, opts.warmup_s * SECOND, 23)
+    })
+    .into_iter()
+    .collect::<Result<_>>()?;
+
+    // Flat measurement wave: per scenario, the CFS baseline group then
+    // each variant's group, every repetition its own job.
+    let base_opts = RunOptions::default();
+    let mut jobs = Vec::new();
+    for ((scenario, _), learned) in scens.iter().zip(&learned) {
+        jobs.extend(repetition_jobs(
+            "fig6",
             Platform::RaptorLake,
             scenario,
             ManagerKind::Cfs,
             &base_opts,
             opts.reps,
-        )?;
-        let learned = learn_profiles(
-            Platform::RaptorLake,
-            scenario,
-            opts.warmup_s * SECOND,
-            23,
-        )?;
-        let mut variants = Vec::new();
+        ));
         for kind in VARIANTS {
             let mut vopts = base_opts.clone();
             vopts.profiles = match kind {
@@ -119,9 +132,28 @@ pub fn run_rows(opts: &Fig6Options) -> Result<Vec<ScenarioRow>> {
                 ManagerKind::Harp | ManagerKind::HarpNoScaling => Some(learned.clone()),
                 _ => None,
             };
-            let metrics =
-                run_repeated(Platform::RaptorLake, scenario, kind, &vopts, opts.reps)?;
-            variants.push((kind, improvement(cfs, metrics)));
+            jobs.extend(repetition_jobs(
+                "fig6",
+                Platform::RaptorLake,
+                scenario,
+                kind,
+                &vopts,
+                opts.reps,
+            ));
+        }
+    }
+    let metrics = run_jobs(&jobs)?;
+
+    // Deterministic reassembly: groups come back in enumeration order.
+    let reps = opts.reps.max(1) as usize;
+    let mut groups = metrics.chunks(reps);
+    let mut rows = Vec::new();
+    for (scenario, multi) in scens {
+        let cfs = fold_repetitions(groups.next().expect("CFS group per scenario"));
+        let mut variants = Vec::new();
+        for kind in VARIANTS {
+            let m = fold_repetitions(groups.next().expect("variant group per scenario"));
+            variants.push((kind, improvement(cfs, m)));
         }
         rows.push(ScenarioRow {
             scenario: scenario.name.clone(),
@@ -233,14 +265,7 @@ mod tests {
         );
         // Offline beats or matches online HARP on the multi scenario's energy.
         let multi = rows.iter().find(|r| r.multi).unwrap();
-        let get = |kind| {
-            multi
-                .variants
-                .iter()
-                .find(|(k, _)| *k == kind)
-                .unwrap()
-                .1
-        };
+        let get = |kind| multi.variants.iter().find(|(k, _)| *k == kind).unwrap().1;
         let offline = get(ManagerKind::HarpOffline);
         let noscale = get(ManagerKind::HarpNoScaling);
         assert!(

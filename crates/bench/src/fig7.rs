@@ -6,7 +6,8 @@
 //! from a design-space-exploration sweep, and EAS is the baseline.
 
 use crate::dse::offline_profiles;
-use crate::runner::{improvement, run_repeated, Improvement, ManagerKind, RunOptions};
+use crate::jobs::{fold_repetitions, repetition_jobs, run_jobs};
+use crate::runner::{improvement, Improvement, ManagerKind, RunOptions};
 use harp_model::metrics::geometric_mean;
 use harp_types::Result;
 use harp_workload::{scenarios, Platform, Scenario};
@@ -78,27 +79,49 @@ pub fn run_rows(opts: &Fig7Options) -> Result<Vec<ScenarioRow>> {
     }
     let offline = offline_profiles(Platform::Odroid, &all_apps, opts.dse_horizon_s)?;
 
-    let mut rows = Vec::new();
-    for (scenario, multi) in opts
+    let scens: Vec<(&Scenario, bool)> = opts
         .singles
         .iter()
         .map(|s| (s, false))
         .chain(opts.multis.iter().map(|s| (s, true)))
-    {
-        let base_opts = RunOptions {
-            governor: harp_platform::Governor::Schedutil,
-            ..RunOptions::default()
-        };
-        let eas = run_repeated(Platform::Odroid, scenario, ManagerKind::Eas, &base_opts, opts.reps)?;
-        let mut hopts = base_opts.clone();
-        hopts.profiles = Some(offline.clone());
-        let harp = run_repeated(
+        .collect();
+
+    // One flat job set — per scenario the EAS baseline group then the
+    // HARP (Offline) group — executed on the worker pool and folded in
+    // enumeration order (bit-identical to the serial path).
+    let base_opts = RunOptions {
+        governor: harp_platform::Governor::Schedutil,
+        ..RunOptions::default()
+    };
+    let mut hopts = base_opts.clone();
+    hopts.profiles = Some(offline);
+    let mut jobs = Vec::new();
+    for (scenario, _) in &scens {
+        jobs.extend(repetition_jobs(
+            "fig7",
+            Platform::Odroid,
+            scenario,
+            ManagerKind::Eas,
+            &base_opts,
+            opts.reps,
+        ));
+        jobs.extend(repetition_jobs(
+            "fig7",
             Platform::Odroid,
             scenario,
             ManagerKind::HarpOffline,
             &hopts,
             opts.reps,
-        )?;
+        ));
+    }
+    let metrics = run_jobs(&jobs)?;
+
+    let reps = opts.reps.max(1) as usize;
+    let mut groups = metrics.chunks(reps);
+    let mut rows = Vec::new();
+    for (scenario, multi) in scens {
+        let eas = fold_repetitions(groups.next().expect("EAS group per scenario"));
+        let harp = fold_repetitions(groups.next().expect("HARP group per scenario"));
         rows.push(ScenarioRow {
             scenario: scenario.name.clone(),
             multi,

@@ -10,9 +10,7 @@
 use crate::runner::{improvement, run_scenario, Improvement, ManagerKind, RunOptions};
 use harp_model::metrics::{mean, std_dev};
 use harp_sched::HarpSimManager;
-use harp_sim::{
-    LaunchOpts, Manager, MgrEvent, SimConfig, SimState, SimTime, Simulation, SECOND,
-};
+use harp_sim::{LaunchOpts, Manager, MgrEvent, SimConfig, SimState, SimTime, Simulation, SECOND};
 use harp_types::{OperatingPointTable, Result};
 use harp_workload::{Platform, Scenario};
 use std::collections::HashMap;
@@ -187,14 +185,11 @@ pub fn study_scenario(scenario: &Scenario, multi: bool, opts: &Fig8Options) -> R
         if snap.all_stable && time_to_stable.is_none() {
             time_to_stable = Some(snap.t_s);
         }
-        let mut vopts = RunOptions::default();
-        vopts.profiles = Some(snap.profiles.clone());
-        let metrics = run_scenario(
-            Platform::RaptorLake,
-            scenario,
-            ManagerKind::Harp,
-            &vopts,
-        )?;
+        let vopts = RunOptions {
+            profiles: Some(snap.profiles.clone()),
+            ..Default::default()
+        };
+        let metrics = run_scenario(Platform::RaptorLake, scenario, ManagerKind::Harp, &vopts)?;
         points.push(EvaluatedSnapshot {
             t_s: snap.t_s,
             all_stable: snap.all_stable,
@@ -209,17 +204,20 @@ pub fn study_scenario(scenario: &Scenario, multi: bool, opts: &Fig8Options) -> R
     })
 }
 
-/// Runs all scenarios of the study.
+/// Runs all scenarios of the study. Each scenario's learning run and
+/// snapshot evaluations are independent of the others, so scenarios run on
+/// the worker pool; rows come back in scenario order, identical to the
+/// serial path.
 ///
 /// # Errors
 ///
 /// Propagates simulation errors.
 pub fn run_rows(opts: &Fig8Options) -> Result<Vec<Fig8Row>> {
-    let mut rows = Vec::new();
-    for (scenario, multi) in &opts.scenarios {
-        rows.push(study_scenario(scenario, *multi, opts)?);
-    }
-    Ok(rows)
+    crate::jobs::parallel_map(&opts.scenarios, |(scenario, multi)| {
+        study_scenario(scenario, *multi, opts)
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Mean ± std of time-to-stable for a group.

@@ -254,8 +254,13 @@ mod tests {
     #[test]
     fn cfs_run_produces_metrics() {
         let sc = Scenario::of(Platform::RaptorLake, &["ep"]);
-        let m = run_scenario(Platform::RaptorLake, &sc, ManagerKind::Cfs, &RunOptions::default())
-            .unwrap();
+        let m = run_scenario(
+            Platform::RaptorLake,
+            &sc,
+            ManagerKind::Cfs,
+            &RunOptions::default(),
+        )
+        .unwrap();
         assert!(m.makespan_s > 0.5 && m.makespan_s < 10.0);
         assert!(m.energy_j > 0.0);
     }
@@ -292,8 +297,7 @@ mod tests {
     #[test]
     fn learned_profiles_are_nonempty() {
         let sc = Scenario::of(Platform::RaptorLake, &["mg"]);
-        let profiles =
-            learn_profiles(Platform::RaptorLake, &sc, 40 * SECOND, 3).unwrap();
+        let profiles = learn_profiles(Platform::RaptorLake, &sc, 40 * SECOND, 3).unwrap();
         let table = profiles.get("mg").expect("mg profile learned");
         assert!(
             table.measured_count() >= 5,
@@ -309,8 +313,7 @@ mod tests {
         let sc = &scenarios::intel_multi()[2]; // cg+ep+ft
         let opts = RunOptions::default();
         let base = run_scenario(Platform::RaptorLake, sc, ManagerKind::Cfs, &opts).unwrap();
-        let profiles =
-            learn_profiles(Platform::RaptorLake, sc, 90 * SECOND, 5).unwrap();
+        let profiles = learn_profiles(Platform::RaptorLake, sc, 90 * SECOND, 5).unwrap();
         let mut opts2 = opts.clone();
         opts2.profiles = Some(profiles);
         let harp = run_scenario(Platform::RaptorLake, sc, ManagerKind::Harp, &opts2).unwrap();

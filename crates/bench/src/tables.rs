@@ -3,9 +3,8 @@
 //! (§5.1), and the headline summary of the abstract.
 
 use crate::dse::offline_profiles;
-use crate::runner::{
-    improvement, learn_profiles, run_repeated, run_with_manager, ManagerKind, RunOptions,
-};
+use crate::jobs::{fold_repetitions, parallel_map, repetition_jobs, run_jobs};
+use crate::runner::{improvement, run_with_manager, ManagerKind, ProfileStore, RunOptions};
 use crate::{fig6, fig7};
 use harp_energy::EnergyAttributor;
 use harp_model::metrics::geometric_mean;
@@ -88,41 +87,69 @@ pub fn governor_cells(opts: &GovernorOptions) -> Result<Vec<GovernorCell>> {
     }
     let offline = offline_profiles(Platform::RaptorLake, &all_apps, opts.dse_horizon_s)?;
 
-    let mut cells = Vec::new();
+    // Warm-up learning wave for the online variant (one run per scenario,
+    // shared via the profile cache across both governors).
+    let learned: Vec<ProfileStore> = parallel_map(&opts.scenarios, |scenario| {
+        crate::cache::learned_profiles(Platform::RaptorLake, scenario, opts.warmup_s * SECOND, 29)
+    })
+    .into_iter()
+    .collect::<Result<_>>()?;
+
+    const VARIANTS: [ManagerKind; 2] = [ManagerKind::Harp, ManagerKind::HarpOffline];
+
+    // One flat job set per governor: the shared CFS baseline group of each
+    // scenario, then each variant's group. Folded in enumeration order.
+    let mut jobs = Vec::new();
     for governor in [Governor::Powersave, Governor::Performance] {
-        for variant in [ManagerKind::Harp, ManagerKind::HarpOffline] {
-            let mut times = Vec::new();
-            let mut energies = Vec::new();
-            for scenario in &opts.scenarios {
-                let base_opts = RunOptions {
-                    governor,
-                    ..RunOptions::default()
-                };
-                let cfs = run_repeated(
-                    Platform::RaptorLake,
-                    scenario,
-                    ManagerKind::Cfs,
-                    &base_opts,
-                    opts.reps,
-                )?;
+        let base_opts = RunOptions {
+            governor,
+            ..RunOptions::default()
+        };
+        for scenario in &opts.scenarios {
+            jobs.extend(repetition_jobs(
+                "tab_governor",
+                Platform::RaptorLake,
+                scenario,
+                ManagerKind::Cfs,
+                &base_opts,
+                opts.reps,
+            ));
+        }
+        for variant in VARIANTS {
+            for (scenario, learned) in opts.scenarios.iter().zip(&learned) {
                 let mut vopts = base_opts.clone();
                 vopts.profiles = Some(match variant {
                     ManagerKind::HarpOffline => offline.clone(),
-                    _ => learn_profiles(
-                        Platform::RaptorLake,
-                        scenario,
-                        opts.warmup_s * SECOND,
-                        29,
-                    )?,
+                    _ => learned.clone(),
                 });
-                let harp = run_repeated(
+                jobs.extend(repetition_jobs(
+                    "tab_governor",
                     Platform::RaptorLake,
                     scenario,
                     variant,
                     &vopts,
                     opts.reps,
-                )?;
-                let imp = improvement(cfs, harp);
+                ));
+            }
+        }
+    }
+    let metrics = run_jobs(&jobs)?;
+
+    let reps = opts.reps.max(1) as usize;
+    let mut groups = metrics.chunks(reps);
+    let mut cells = Vec::new();
+    for governor in [Governor::Powersave, Governor::Performance] {
+        let cfs: Vec<_> = opts
+            .scenarios
+            .iter()
+            .map(|_| fold_repetitions(groups.next().expect("CFS group per scenario")))
+            .collect();
+        for variant in VARIANTS {
+            let mut times = Vec::new();
+            let mut energies = Vec::new();
+            for cfs in &cfs {
+                let harp = fold_repetitions(groups.next().expect("variant group per scenario"));
+                let imp = improvement(*cfs, harp);
                 times.push(imp.time);
                 energies.push(imp.energy);
             }
@@ -184,25 +211,37 @@ pub struct OverheadResult {
 ///
 /// Propagates simulation errors.
 pub fn overhead(singles: &[Scenario], multis: &[Scenario], reps: u32) -> Result<OverheadResult> {
-    let measure = |scenarios: &[Scenario]| -> Result<f64> {
-        let mut overheads = Vec::new();
-        for s in scenarios {
-            let opts = RunOptions::default();
-            let base = run_repeated(Platform::RaptorLake, s, ManagerKind::Cfs, &opts, reps)?;
-            let taxed = run_repeated(
+    // One flat job set across both groups: per scenario the CFS baseline
+    // then the overhead-only variant, folded in enumeration order.
+    let opts = RunOptions::default();
+    let mut jobs = Vec::new();
+    for s in singles.iter().chain(multis) {
+        for kind in [ManagerKind::Cfs, ManagerKind::HarpOverheadOnly] {
+            jobs.extend(repetition_jobs(
+                "tab_overhead",
                 Platform::RaptorLake,
                 s,
-                ManagerKind::HarpOverheadOnly,
+                kind,
                 &opts,
                 reps,
-            )?;
+            ));
+        }
+    }
+    let metrics = run_jobs(&jobs)?;
+
+    let mut groups = metrics.chunks(reps.max(1) as usize);
+    let mut measure = |n: usize| -> f64 {
+        let mut overheads = Vec::new();
+        for _ in 0..n {
+            let base = fold_repetitions(groups.next().expect("CFS group per scenario"));
+            let taxed = fold_repetitions(groups.next().expect("taxed group per scenario"));
             overheads.push((taxed.makespan_s / base.makespan_s - 1.0).max(0.0));
         }
-        Ok(overheads.iter().sum::<f64>() / overheads.len().max(1) as f64)
+        overheads.iter().sum::<f64>() / overheads.len().max(1) as f64
     };
     Ok(OverheadResult {
-        single: measure(singles)?,
-        multi: measure(multis)?,
+        single: measure(singles.len()),
+        multi: measure(multis.len()),
     })
 }
 
@@ -261,7 +300,7 @@ impl AttributionProbe {
         let de = e - self.last_energy;
         self.last_energy = e;
         let mut deltas = Vec::new();
-        for app in st.app_ids() {
+        for &app in st.app_ids() {
             let cpu = st.app_cpu_time(app);
             let prev = self
                 .last_cpu
@@ -353,20 +392,30 @@ pub fn attribution_table(scenarios: &[Scenario]) -> Result<String> {
 pub fn headline(fig6_opts: &fig6::Fig6Options, fig7_opts: &fig7::Fig7Options) -> Result<String> {
     let rows6 = fig6::run_rows(fig6_opts)?;
     let rows7 = fig7::run_rows(fig7_opts)?;
+    headline_from_rows(&rows6, &rows7)
+}
+
+/// Renders the headline summary from already-computed Fig. 6 and Fig. 7
+/// rows (the `headline_summary` binary computes the rows itself so it can
+/// time them serial-vs-parallel and compare the outputs).
+///
+/// # Errors
+///
+/// Returns an error if the rows are empty (no geometric mean).
+pub fn headline_from_rows(
+    rows6: &[fig6::ScenarioRow],
+    rows7: &[fig7::ScenarioRow],
+) -> Result<String> {
     // Intel: the online-HARP variant (single + multi); Odroid: offline.
     let mut times = Vec::new();
     let mut energies = Vec::new();
-    for r in &rows6 {
-        if let Some((_, imp)) = r
-            .variants
-            .iter()
-            .find(|(k, _)| *k == ManagerKind::Harp)
-        {
+    for r in rows6 {
+        if let Some((_, imp)) = r.variants.iter().find(|(k, _)| *k == ManagerKind::Harp) {
             times.push(imp.time);
             energies.push(imp.energy);
         }
     }
-    for r in &rows7 {
+    for r in rows7 {
         times.push(r.harp.time);
         energies.push(r.harp.energy);
     }

@@ -3,6 +3,44 @@
 
 use harp_types::{HarpError, HwThreadId, Result};
 
+/// Raw syscall surface, declared directly so the crate needs no `libc`
+/// dependency. The mask is a plain fixed-size bitset, bit *i* = CPU *i*,
+/// matching the kernel's `cpu_set_t` ABI (an array of unsigned longs).
+#[cfg(target_os = "linux")]
+mod sys {
+    /// Maximum CPU index representable, matching glibc's `CPU_SETSIZE`.
+    pub const CPU_SETSIZE: usize = 1024;
+    const WORD_BITS: usize = usize::BITS as usize;
+
+    /// `cpu_set_t`-compatible bitmask.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct CpuSet {
+        words: [usize; CPU_SETSIZE / WORD_BITS],
+    }
+
+    impl CpuSet {
+        pub fn zeroed() -> Self {
+            CpuSet {
+                words: [0; CPU_SETSIZE / WORD_BITS],
+            }
+        }
+
+        pub fn set(&mut self, cpu: usize) {
+            self.words[cpu / WORD_BITS] |= 1 << (cpu % WORD_BITS);
+        }
+
+        pub fn is_set(&self, cpu: usize) -> bool {
+            self.words[cpu / WORD_BITS] & (1 << (cpu % WORD_BITS)) != 0
+        }
+    }
+
+    extern "C" {
+        pub fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const CpuSet) -> i32;
+        pub fn sched_getaffinity(pid: i32, cpusetsize: usize, mask: *mut CpuSet) -> i32;
+    }
+}
+
 /// Pins the *calling thread* to the given hardware threads (logical CPUs).
 ///
 /// # Errors
@@ -14,21 +52,18 @@ pub fn pin_current_thread(threads: &[HwThreadId]) -> Result<()> {
     if threads.is_empty() {
         return Err(HarpError::other("cannot pin to an empty CPU set"));
     }
-    // SAFETY: CPU_ZERO/CPU_SET initialize and populate a plain bitmask on
-    // a fully owned, zero-initialized cpu_set_t; sched_setaffinity reads it.
-    unsafe {
-        let mut set: libc::cpu_set_t = std::mem::zeroed();
-        libc::CPU_ZERO(&mut set);
-        for t in threads {
-            if t.0 >= libc::CPU_SETSIZE as usize {
-                return Err(HarpError::other(format!("cpu {} out of range", t.0)));
-            }
-            libc::CPU_SET(t.0, &mut set);
+    let mut set = sys::CpuSet::zeroed();
+    for t in threads {
+        if t.0 >= sys::CPU_SETSIZE {
+            return Err(HarpError::other(format!("cpu {} out of range", t.0)));
         }
-        let rc = libc::sched_setaffinity(0, std::mem::size_of::<libc::cpu_set_t>(), &set);
-        if rc != 0 {
-            return Err(std::io::Error::last_os_error().into());
-        }
+        set.set(t.0);
+    }
+    // SAFETY: `set` is a fully initialized, owned bitmask of the size we
+    // pass; sched_setaffinity only reads it.
+    let rc = unsafe { sys::sched_setaffinity(0, std::mem::size_of::<sys::CpuSet>(), &set) };
+    if rc != 0 {
+        return Err(std::io::Error::last_os_error().into());
     }
     Ok(())
 }
@@ -40,18 +75,17 @@ pub fn pin_current_thread(threads: &[HwThreadId]) -> Result<()> {
 /// Returns [`HarpError::Io`] if the kernel call fails.
 #[cfg(target_os = "linux")]
 pub fn current_affinity() -> Result<Vec<HwThreadId>> {
-    // SAFETY: sched_getaffinity writes into an owned cpu_set_t.
-    unsafe {
-        let mut set: libc::cpu_set_t = std::mem::zeroed();
-        let rc = libc::sched_getaffinity(0, std::mem::size_of::<libc::cpu_set_t>(), &mut set);
-        if rc != 0 {
-            return Err(std::io::Error::last_os_error().into());
-        }
-        Ok((0..libc::CPU_SETSIZE as usize)
-            .filter(|&i| libc::CPU_ISSET(i, &set))
-            .map(HwThreadId)
-            .collect())
+    let mut set = sys::CpuSet::zeroed();
+    // SAFETY: sched_getaffinity writes at most `size_of::<CpuSet>()` bytes
+    // into the owned, properly aligned mask.
+    let rc = unsafe { sys::sched_getaffinity(0, std::mem::size_of::<sys::CpuSet>(), &mut set) };
+    if rc != 0 {
+        return Err(std::io::Error::last_os_error().into());
     }
+    Ok((0..sys::CPU_SETSIZE)
+        .filter(|&i| set.is_set(i))
+        .map(HwThreadId)
+        .collect())
 }
 
 /// Non-Linux stub: affinity is not supported.

@@ -5,12 +5,12 @@ use harp_proto::frame;
 use harp_proto::{Activate, ErrorMsg, Message, RegisterAck};
 use harp_rm::{Directive, RmConfig, RmCore, RmOutput};
 use harp_types::{AppId, ErvShape, ExtResourceVector, NonFunctional, Result};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -27,8 +27,10 @@ pub struct DaemonConfig {
 impl DaemonConfig {
     /// Creates a configuration with offline-mode RM defaults.
     pub fn new(socket_path: impl AsRef<Path>, hw: HardwareDescription) -> Self {
-        let mut rm = RmConfig::default();
-        rm.offline = true;
+        let rm = RmConfig {
+            offline: true,
+            ..Default::default()
+        };
         DaemonConfig {
             socket_path: socket_path.as_ref().to_path_buf(),
             hw,
@@ -49,7 +51,7 @@ struct Shared {
 impl Shared {
     /// Relays the RM output to every affected application.
     fn route(&self, out: &RmOutput) {
-        let streams = self.streams.lock();
+        let streams = self.streams.lock().unwrap();
         for d in &out.directives {
             if let Some(stream) = streams.get(&d.app) {
                 let mut stream = stream;
@@ -141,14 +143,11 @@ impl DaemonHandle {
     }
 
     /// Preloads an operating-point profile into the RM (description files).
-    pub fn load_profile(
-        &self,
-        name: &str,
-        points: Vec<(ExtResourceVector, NonFunctional)>,
-    ) {
+    pub fn load_profile(&self, name: &str, points: Vec<(ExtResourceVector, NonFunctional)>) {
         self.shared
             .rm
             .lock()
+            .unwrap()
             .load_profile(name, harp_rm::table_from_points(points));
     }
 
@@ -170,11 +169,7 @@ fn handle_connection(shared: Arc<Shared>, stream: UnixStream) {
         Err(_) => return,
     };
     let mut app: Option<AppId> = None;
-    loop {
-        let msg = match frame::read_frame(&mut read) {
-            Ok(Some(m)) => m,
-            Ok(None) | Err(_) => break,
-        };
+    while let Ok(Some(msg)) = frame::read_frame(&mut read) {
         match msg {
             Message::Register(reg) => {
                 let id = AppId(shared.next_id.fetch_add(1, Ordering::SeqCst));
@@ -182,12 +177,14 @@ fn handle_connection(shared: Arc<Shared>, stream: UnixStream) {
                 // Make the stream routable before the allocation round so
                 // this app receives its own activation.
                 if let Ok(clone) = stream.try_clone() {
-                    shared.streams.lock().insert(id, clone);
+                    shared.streams.lock().unwrap().insert(id, clone);
                 }
-                let result = shared
-                    .rm
-                    .lock()
-                    .register(id, &reg.app_name, reg.provides_utility);
+                let result =
+                    shared
+                        .rm
+                        .lock()
+                        .unwrap()
+                        .register(id, &reg.app_name, reg.provides_utility);
                 let mut write = &stream;
                 match result {
                     Ok(out) => {
@@ -216,7 +213,7 @@ fn handle_connection(shared: Arc<Shared>, stream: UnixStream) {
                         points.push((erv, NonFunctional::new(p.utility, p.power)));
                     }
                 }
-                if let Ok(out) = shared.rm.lock().submit_points(id, points) {
+                if let Ok(out) = shared.rm.lock().unwrap().submit_points(id, points) {
                     shared.route(&out);
                 }
             }
@@ -229,8 +226,8 @@ fn handle_connection(shared: Arc<Shared>, stream: UnixStream) {
         }
     }
     if let Some(id) = app {
-        shared.streams.lock().remove(&id);
-        if let Ok(out) = shared.rm.lock().deregister(id) {
+        shared.streams.lock().unwrap().remove(&id);
+        if let Ok(out) = shared.rm.lock().unwrap().deregister(id) {
             shared.route(&out);
         }
     }
@@ -319,9 +316,7 @@ mod tests {
         loop {
             s1.poll(|| 0.0).unwrap();
             s2.poll(|| 0.0).unwrap();
-            if let (Some(a1), Some(a2)) =
-                (s1.allocation().current(), s2.allocation().current())
-            {
+            if let (Some(a1), Some(a2)) = (s1.allocation().current(), s2.allocation().current()) {
                 let overlap = a1.hw_threads.iter().any(|t| a2.hw_threads.contains(t));
                 assert!(!overlap, "thread grants overlap: {a1:?} vs {a2:?}");
                 break;
@@ -337,9 +332,11 @@ mod tests {
     #[test]
     fn shutdown_removes_socket() {
         let socket = temp_socket("down");
-        let daemon =
-            HarpDaemon::start(DaemonConfig::new(&socket, HardwareDescription::odroid_xu3()))
-                .unwrap();
+        let daemon = HarpDaemon::start(DaemonConfig::new(
+            &socket,
+            HardwareDescription::odroid_xu3(),
+        ))
+        .unwrap();
         assert!(socket.exists());
         daemon.shutdown();
         assert!(!socket.exists());

@@ -213,10 +213,7 @@ mod tests {
         att.update(
             1.0,
             att.idle_power() + 10.0,
-            &[
-                (AppId(1), vec![1.0, 0.0]),
-                (AppId(2), vec![0.0, 1.0]),
-            ],
+            &[(AppId(1), vec![1.0, 0.0]), (AppId(2), vec![0.0, 1.0])],
         );
         let e1 = att.attributed_energy(AppId(1));
         let e2 = att.attributed_energy(AppId(2));
@@ -225,11 +222,7 @@ mod tests {
         assert!((e1 + e2 - 10.0).abs() < 1e-9);
         // EnergAt mode distributes everything, static included.
         let mut full = EnergyAttributor::new(&hw);
-        full.update(
-            1.0,
-            full.idle_power() + 10.0,
-            &[(AppId(1), vec![1.0, 0.0])],
-        );
+        full.update(1.0, full.idle_power() + 10.0, &[(AppId(1), vec![1.0, 0.0])]);
         let total = full.idle_power() + 10.0;
         assert!((full.attributed_energy(AppId(1)) - total).abs() < 1e-9);
     }
@@ -263,9 +256,17 @@ mod tests {
     fn last_power_tracks_current_interval() {
         let hw = presets::raptor_lake();
         let mut att = EnergyAttributor::dynamic_only(&hw);
-        att.update(0.1, att.idle_power() * 0.1 + 1.0, &[(AppId(1), vec![0.1, 0.0])]);
+        att.update(
+            0.1,
+            att.idle_power() * 0.1 + 1.0,
+            &[(AppId(1), vec![0.1, 0.0])],
+        );
         assert!((att.last_power(AppId(1)) - 10.0).abs() < 1e-9);
-        att.update(0.1, att.idle_power() * 0.1 + 0.5, &[(AppId(1), vec![0.1, 0.0])]);
+        att.update(
+            0.1,
+            att.idle_power() * 0.1 + 0.5,
+            &[(AppId(1), vec![0.1, 0.0])],
+        );
         assert!((att.last_power(AppId(1)) - 5.0).abs() < 1e-9);
         // Totals accumulate.
         assert!((att.attributed_energy(AppId(1)) - 1.5).abs() < 1e-9);
@@ -297,9 +298,7 @@ mod tests {
         // End-to-end: run two co-located apps in the simulator, feed the
         // attributor only observable counters, compare against the
         // simulator's ground truth (the §5.1 validation, small scale).
-        use harp_sim::{
-            AppSpec, LaunchOpts, Manager, MgrEvent, SimConfig, SimState, Simulation,
-        };
+        use harp_sim::{AppSpec, LaunchOpts, Manager, MgrEvent, SimConfig, SimState, Simulation};
         struct Sampler {
             att: EnergyAttributor,
             last_energy: f64,
@@ -318,7 +317,7 @@ mod tests {
                 self.last_energy = e;
                 self.last_t = now;
                 let mut deltas = Vec::new();
-                for app in st.app_ids() {
+                for &app in st.app_ids() {
                     let cpu = st.app_cpu_time(app);
                     let prev = self
                         .last_cpu

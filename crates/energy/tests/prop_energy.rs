@@ -10,10 +10,7 @@ fn arb_interval() -> impl Strategy<Value = (f64, f64, Vec<(AppId, Vec<f64>)>)> {
     (
         0.01f64..1.0,
         0.0f64..100.0,
-        proptest::collection::vec(
-            (proptest::collection::vec(0.0f64..2.0, 2..=2),),
-            1..5,
-        ),
+        proptest::collection::vec((proptest::collection::vec(0.0f64..2.0, 2..=2),), 1..5),
     )
         .prop_map(|(dt, dynamic, apps)| {
             let apps = apps

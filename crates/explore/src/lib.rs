@@ -147,7 +147,10 @@ impl Explorer {
     /// Seeds the table with measured points from an offline description
     /// file (the *HARP (Offline)* configuration of the evaluation). An
     /// explorer seeded beyond the stable threshold starts stable.
-    pub fn seed_measured(&mut self, points: impl IntoIterator<Item = (ExtResourceVector, NonFunctional)>) {
+    pub fn seed_measured(
+        &mut self,
+        points: impl IntoIterator<Item = (ExtResourceVector, NonFunctional)>,
+    ) {
         for (erv, nfc) in points {
             self.table.record_measurement(erv, nfc);
         }
@@ -201,7 +204,7 @@ impl Explorer {
             .filter(|c| {
                 self.table
                     .find_by_erv(c)
-                    .map_or(true, |id| !self.table.is_measured(id))
+                    .is_none_or(|id| !self.table.is_measured(id))
             })
             .collect();
         if fits.is_empty() {
@@ -267,8 +270,10 @@ impl Explorer {
                 self.table.record_measurement(erv.clone(), nfc);
             }
         } else {
-            self.table
-                .record_measurement(erv.clone(), NonFunctional::new(utility.max(0.0), power.max(0.0)));
+            self.table.record_measurement(
+                erv.clone(),
+                NonFunctional::new(utility.max(0.0), power.max(0.0)),
+            );
         }
     }
 
@@ -283,7 +288,7 @@ impl Explorer {
             if self
                 .table
                 .find_by_erv(c)
-                .map_or(true, |id| !self.table.is_measured(id))
+                .is_none_or(|id| !self.table.is_measured(id))
             {
                 let p = model.predict(c);
                 self.table.record_prediction(c.clone(), p.to_nfc());
@@ -305,13 +310,7 @@ impl Explorer {
         }
         let objectives: Vec<Vec<f64>> = entries
             .iter()
-            .map(|(_, p)| {
-                vec![
-                    -p.nfc.utility,
-                    p.nfc.power,
-                    p.erv.total_cores() as f64,
-                ]
-            })
+            .map(|(_, p)| vec![-p.nfc.utility, p.nfc.power, p.erv.total_cores() as f64])
             .collect();
         pareto::pareto_front_indices(&objectives)
             .into_iter()
@@ -392,7 +391,7 @@ impl Explorer {
                 // half weight.
                 0.5 * neg_u.max(neg_p)
             };
-            if best_neg.map_or(true, |(s, _)| score > s) {
+            if best_neg.is_none_or(|(s, _)| score > s) {
                 best_neg = Some((score, c));
             }
         }
@@ -453,7 +452,12 @@ mod tests {
 
     fn mk_explorer() -> Explorer {
         let hw = presets::tiny_test();
-        Explorer::new(&hw.erv_shape(), &hw.capacity(), ExplorationConfig::default()).unwrap()
+        Explorer::new(
+            &hw.erv_shape(),
+            &hw.capacity(),
+            ExplorationConfig::default(),
+        )
+        .unwrap()
     }
 
     /// A smooth synthetic ground truth for driving campaigns.
@@ -561,8 +565,7 @@ mod tests {
             .map(|i| {
                 let e = (i % 16) + 1;
                 let p2 = i % 8;
-                let erv =
-                    ExtResourceVector::from_flat(&shape, &[0, p2 as u32, e as u32]).unwrap();
+                let erv = ExtResourceVector::from_flat(&shape, &[0, p2 as u32, e as u32]).unwrap();
                 let (u, p) = (i as f64, 2.0 * i as f64);
                 (erv, NonFunctional::new(u, p))
             })
@@ -605,7 +608,11 @@ mod tests {
         let probe = ExtResourceVector::from_flat(&shape, &[1, 0, 1]).unwrap();
         let (u, p) = truth(&probe);
         let pred = model.predict(&probe);
-        assert!((pred.utility - u).abs() / u < 0.25, "{} vs {u}", pred.utility);
+        assert!(
+            (pred.utility - u).abs() / u < 0.25,
+            "{} vs {u}",
+            pred.utility
+        );
         assert!((pred.power - p).abs() / p < 0.25, "{} vs {p}", pred.power);
     }
 

@@ -5,9 +5,7 @@
 //! `/etc/harp`. libharp parses the file at startup and submits the points
 //! during registration.
 
-use harp_types::{
-    ErvShape, ExtResourceVector, HarpError, NonFunctional, OperatingPoint, Result,
-};
+use harp_types::{ErvShape, ExtResourceVector, HarpError, NonFunctional, OperatingPoint, Result};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
@@ -65,8 +63,7 @@ impl AppDescription {
         let shape = ErvShape::new(self.smt_widths.clone());
         let mut out = Vec::with_capacity(self.points.len());
         for p in &self.points {
-            if !(p.utility.is_finite() && p.power.is_finite()) || p.utility < 0.0 || p.power < 0.0
-            {
+            if !(p.utility.is_finite() && p.power.is_finite()) || p.utility < 0.0 || p.power < 0.0 {
                 return Err(HarpError::Description {
                     detail: format!("invalid characteristics in point {:?}", p.erv),
                 });

@@ -6,8 +6,8 @@ use harp_proto::{
     Activate, AdaptivityType, Message, Register, SubmitPoints, UtilityReport, WirePoint,
 };
 use harp_types::{ExtResourceVector, HarpError, HwThreadId, NonFunctional, Result};
-use parking_lot::RwLock;
 use std::sync::Arc;
+use std::sync::RwLock;
 
 /// An operating-point activation as delivered to the application.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,7 +36,7 @@ impl AllocationHandle {
 
     /// The current activation, if any.
     pub fn current(&self) -> Option<Activation> {
-        self.inner.read().clone()
+        self.inner.read().unwrap().clone()
     }
 
     /// The current parallelization degree (defaults to `fallback` before
@@ -45,6 +45,7 @@ impl AllocationHandle {
     pub fn parallelism_or(&self, fallback: u32) -> u32 {
         self.inner
             .read()
+            .unwrap()
             .as_ref()
             .map(|a| a.parallelism.max(1))
             .unwrap_or(fallback)
@@ -54,7 +55,7 @@ impl AllocationHandle {
     /// `Activate` message arrives; it is public so custom frontends (and
     /// tests) can drive a runtime directly.
     pub fn store(&self, a: Activation) {
-        *self.inner.write() = Some(a);
+        *self.inner.write().unwrap() = Some(a);
     }
 }
 
@@ -279,7 +280,12 @@ impl<T: Transport> HarpSession<T> {
 
     /// Applies an activation delivered out of band (used by frontends that
     /// decode messages themselves, e.g. the daemon service thread).
-    pub fn apply_activation(&mut self, erv_flat: Vec<u32>, hw_threads: Vec<HwThreadId>, parallelism: u32) {
+    pub fn apply_activation(
+        &mut self,
+        erv_flat: Vec<u32>,
+        hw_threads: Vec<HwThreadId>,
+        parallelism: u32,
+    ) {
         self.apply(Activation {
             erv_flat,
             hw_threads,
@@ -305,7 +311,10 @@ mod tests {
     use super::*;
     use harp_proto::{duplex, RegisterAck, UtilityRequest};
 
-    fn handshake() -> (HarpSession<harp_proto::DuplexEndpoint>, harp_proto::DuplexEndpoint) {
+    fn handshake() -> (
+        HarpSession<harp_proto::DuplexEndpoint>,
+        harp_proto::DuplexEndpoint,
+    ) {
         let (app_side, rm_side) = duplex();
         let t = std::thread::spawn(move || {
             let msg = rm_side.recv().unwrap();
@@ -392,10 +401,8 @@ mod tests {
                 other => panic!("expected SubmitPoints, got {other:?}"),
             }
         });
-        let cfg = SessionConfig::new("with-points", AdaptivityType::Static).with_points(
-            vec![2, 1],
-            vec![(erv, NonFunctional::new(5.0, 2.0))],
-        );
+        let cfg = SessionConfig::new("with-points", AdaptivityType::Static)
+            .with_points(vec![2, 1], vec![(erv, NonFunctional::new(5.0, 2.0))]);
         let _session = HarpSession::connect(app_side, cfg).unwrap();
         t.join().unwrap();
     }
@@ -412,10 +419,7 @@ mod tests {
                 }))
                 .unwrap();
         });
-        let r = HarpSession::connect(
-            app_side,
-            SessionConfig::new("x", AdaptivityType::Static),
-        );
+        let r = HarpSession::connect(app_side, SessionConfig::new("x", AdaptivityType::Static));
         assert!(r.is_err());
     }
 

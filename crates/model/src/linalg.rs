@@ -109,8 +109,8 @@ impl Matrix {
         }
         let mut out = vec![0.0; self.cols];
         for (r, &yv) in y.iter().enumerate() {
-            for c in 0..self.cols {
-                out[c] += self.get(r, c) * yv;
+            for (c, o) in out.iter_mut().enumerate() {
+                *o += self.get(r, c) * yv;
             }
         }
         Ok(out)

@@ -107,7 +107,11 @@ pub fn geometric_mean(values: &[f64]) -> Result<f64> {
             detail: "geometric mean of empty input".into(),
         });
     }
-    if values.iter().any(|&v| !(v > 0.0)) {
+    // NaN counts as non-positive here, so it is rejected too.
+    if values
+        .iter()
+        .any(|&v| v.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater))
+    {
         return Err(HarpError::Numeric {
             detail: "geometric mean needs strictly positive values".into(),
         });

@@ -75,20 +75,20 @@ impl MlpRegression {
     fn forward(f: &Fitted, x_std: &[f64]) -> (Vec<f64>, Vec<f64>, f64) {
         let h = f.b1.len();
         let mut a1 = vec![0.0; h];
-        for i in 0..h {
+        for (i, a1i) in a1.iter_mut().enumerate() {
             let mut s = f.b1[i];
             for (j, &xv) in x_std.iter().enumerate() {
                 s += f.w1[i * f.in_dim + j] * xv;
             }
-            a1[i] = s.tanh();
+            *a1i = s.tanh();
         }
         let mut a2 = vec![0.0; h];
-        for i in 0..h {
+        for (i, a2i) in a2.iter_mut().enumerate() {
             let mut s = f.b2[i];
             for (j, &a) in a1.iter().enumerate() {
                 s += f.w2[i * h + j] * a;
             }
-            a2[i] = s.tanh();
+            *a2i = s.tanh();
         }
         let mut out = f.b3;
         for (i, &a) in a2.iter().enumerate() {
@@ -236,8 +236,8 @@ impl Regressor for MlpRegression {
                 let mut d_a1 = vec![0.0; h];
                 for j in 0..h {
                     let mut s = 0.0;
-                    for i in 0..h {
-                        s += d_a2[i] * f.w2[i * h + j];
+                    for (i, &d) in d_a2.iter().enumerate() {
+                        s += d * f.w2[i * h + j];
                     }
                     d_a1[j] = s * (1.0 - a1[j] * a1[j]);
                 }

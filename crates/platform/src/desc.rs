@@ -243,6 +243,8 @@ impl HardwareDescription {
     ///
     /// Returns [`HarpError::Description`] describing the first violation.
     pub fn validate(&self) -> Result<()> {
+        // "Not strictly positive", with NaN counted as invalid.
+        let not_pos = |x: f64| x.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater);
         if self.clusters.is_empty() {
             return Err(HarpError::Description {
                 detail: "hardware description needs at least one cluster".into(),
@@ -260,13 +262,13 @@ impl HardwareDescription {
                     detail: format!("{ctx}: zero SMT width"),
                 });
             }
-            if !(c.max_freq_mhz > 0.0) || c.min_freq_mhz > c.max_freq_mhz || c.min_freq_mhz < 0.0 {
+            if not_pos(c.max_freq_mhz) || c.min_freq_mhz > c.max_freq_mhz || c.min_freq_mhz < 0.0 {
                 return Err(HarpError::Description {
                     detail: format!("{ctx}: invalid frequency range"),
                 });
             }
-            if !(c.perf.ips_per_thread > 0.0)
-                || !(c.perf.smt_rate_factor > 0.0)
+            if not_pos(c.perf.ips_per_thread)
+                || not_pos(c.perf.smt_rate_factor)
                 || c.perf.smt_rate_factor > 1.0
             {
                 return Err(HarpError::Description {
@@ -274,7 +276,7 @@ impl HardwareDescription {
                 });
             }
             if c.power.core_idle_w < 0.0
-                || !(c.power.core_active_w > 0.0)
+                || not_pos(c.power.core_active_w)
                 || c.power.smt_active_extra < 0.0
                 || c.power.cluster_static_w < 0.0
             {
@@ -283,7 +285,7 @@ impl HardwareDescription {
                 });
             }
         }
-        if self.package_static_w < 0.0 || !(self.mem_bandwidth > 0.0) {
+        if self.package_static_w < 0.0 || not_pos(self.mem_bandwidth) {
             return Err(HarpError::Description {
                 detail: "invalid package power or memory bandwidth".into(),
             });

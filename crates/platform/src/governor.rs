@@ -14,7 +14,7 @@ use std::fmt;
 use std::str::FromStr;
 
 /// A frequency-scaling governor model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 #[non_exhaustive]
 pub enum Governor {
     /// Always run at the maximum allowed frequency. Disables the processor's
@@ -25,6 +25,7 @@ pub enum Governor {
     Powersave,
     /// The mainline `schedutil` governor: `f = 1.25 · util · f_max`,
     /// clamped to the cluster's frequency range.
+    #[default]
     Schedutil,
 }
 
@@ -82,12 +83,6 @@ impl Governor {
         } else {
             Governor::Schedutil
         }
-    }
-}
-
-impl Default for Governor {
-    fn default() -> Self {
-        Governor::Schedutil
     }
 }
 

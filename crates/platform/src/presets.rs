@@ -182,8 +182,12 @@ mod tests {
         let hw = odroid_xu3();
         let big = &hw.clusters[0];
         let little = &hw.clusters[1];
-        let perf_ratio = big.thread_rate(big.max_freq_mhz, 1) / little.thread_rate(little.max_freq_mhz, 1);
-        assert!(perf_ratio > 2.0 && perf_ratio < 4.0, "perf ratio {perf_ratio}");
+        let perf_ratio =
+            big.thread_rate(big.max_freq_mhz, 1) / little.thread_rate(little.max_freq_mhz, 1);
+        assert!(
+            perf_ratio > 2.0 && perf_ratio < 4.0,
+            "perf ratio {perf_ratio}"
+        );
         let eff_big = big.thread_rate(big.max_freq_mhz, 1) / big.core_power(big.max_freq_mhz, 1);
         let eff_little =
             little.thread_rate(little.max_freq_mhz, 1) / little.core_power(little.max_freq_mhz, 1);

@@ -115,7 +115,7 @@ impl<S: Read + Write> Framed<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Register, AdaptivityType};
+    use crate::{AdaptivityType, Register};
     use std::io::Cursor;
 
     #[test]
@@ -172,10 +172,7 @@ mod tests {
             framed.send(&Message::Exit { app_id: 42 }).unwrap();
         }
         let mut framed = Framed::new(Cursor::new(inner));
-        assert_eq!(
-            framed.recv().unwrap(),
-            Some(Message::Exit { app_id: 42 })
-        );
+        assert_eq!(framed.recv().unwrap(), Some(Message::Exit { app_id: 42 }));
         assert_eq!(framed.recv().unwrap(), None);
     }
 }

@@ -234,7 +234,7 @@ impl Message {
         let buf = &mut bytes;
         let mut discriminant: Option<u64> = None;
         let mut payload: Option<Vec<u8>> = None;
-        while buf.len() > 0 {
+        while !buf.is_empty() {
             let (field, wiretype) = wire::get_key(buf)?;
             match (field, wiretype) {
                 (1, WireType::Varint) => discriminant = Some(wire::get_varint(buf)?),
@@ -253,8 +253,7 @@ impl Message {
 fn decode_payload(discriminant: u64, buf: &mut &[u8]) -> Result<Message> {
     match discriminant {
         1 => {
-            let (mut pid, mut name, mut adapt, mut provides) =
-                (0u64, String::new(), 0u64, false);
+            let (mut pid, mut name, mut adapt, mut provides) = (0u64, String::new(), 0u64, false);
             for_each_field(buf, |field, wiretype, buf| {
                 match (field, wiretype) {
                     (1, WireType::Varint) => pid = wire::get_varint(buf)?,

@@ -5,7 +5,7 @@
 //! Unknown fields can be skipped, giving the protocol protobuf-style
 //! forward compatibility.
 
-use bytes::{Buf, BufMut};
+use crate::buf::{Buf, BufMut};
 use harp_types::{HarpError, Result};
 
 /// Protobuf wire type of a field.
@@ -25,7 +25,9 @@ impl WireType {
             0 => Ok(WireType::Varint),
             1 => Ok(WireType::Fixed64),
             2 => Ok(WireType::LengthDelimited),
-            other => Err(HarpError::protocol(format!("unsupported wire type {other}"))),
+            other => Err(HarpError::protocol(format!(
+                "unsupported wire type {other}"
+            ))),
         }
     }
 
@@ -267,7 +269,10 @@ mod tests {
         let mut buf = Vec::new();
         put_key(&mut buf, 15, WireType::LengthDelimited);
         let mut slice = buf.as_slice();
-        assert_eq!(get_key(&mut slice).unwrap(), (15, WireType::LengthDelimited));
+        assert_eq!(
+            get_key(&mut slice).unwrap(),
+            (15, WireType::LengthDelimited)
+        );
     }
 
     #[test]

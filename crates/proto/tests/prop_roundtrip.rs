@@ -73,10 +73,8 @@ fn arb_message() -> impl Strategy<Value = Message> {
             Message::UtilityReport(UtilityReport { app_id, utility })
         }),
         any::<u64>().prop_map(|app_id| Message::Exit { app_id }),
-        (any::<u32>(), ".{0,60}").prop_map(|(code, detail)| Message::Error(ErrorMsg {
-            code,
-            detail,
-        })),
+        (any::<u32>(), ".{0,60}")
+            .prop_map(|(code, detail)| Message::Error(ErrorMsg { code, detail })),
     ]
 }
 

@@ -5,8 +5,8 @@ use harp_energy::EnergyAttributor;
 use harp_explore::{ExplorationConfig, Explorer, SampleOutcome, Stage};
 use harp_platform::HardwareDescription;
 use harp_types::{
-    energy_utility_cost, AppId, CoreId, ExtResourceVector, HarpError, HwThreadId,
-    NonFunctional, OperatingPointTable, ResourceVector, Result,
+    energy_utility_cost, AppId, CoreId, ExtResourceVector, HarpError, HwThreadId, NonFunctional,
+    OperatingPointTable, ResourceVector, Result,
 };
 use std::collections::HashMap;
 
@@ -215,11 +215,7 @@ impl RmCore {
             self.cfg.exploration.clone(),
         )?;
         if let Some(profile) = self.profiles.get(name) {
-            explorer.seed_measured(
-                profile
-                    .iter_measured()
-                    .map(|(_, p)| (p.erv.clone(), p.nfc)),
-            );
+            explorer.seed_measured(profile.iter_measured().map(|(_, p)| (p.erv.clone(), p.nfc)));
         }
         self.sessions.insert(
             app,
@@ -308,18 +304,22 @@ impl RmCore {
         self.last_package_energy = obs.package_energy_j;
         let mut cpu_deltas = Vec::with_capacity(obs.apps.len());
         for a in &obs.apps {
-            let prev = self
-                .last_cpu
-                .get(&a.app)
-                .cloned()
-                .unwrap_or_else(|| vec![0.0; a.cpu_time.len()]);
+            // Read the previous sample in place (cloning it every tick was
+            // pure allocation churn) and reuse its buffer for the update.
+            let prev = self.last_cpu.get(&a.app);
             let delta: Vec<f64> = a
                 .cpu_time
                 .iter()
-                .zip(prev.iter().chain(std::iter::repeat(&0.0)))
-                .map(|(now, before)| (now - before).max(0.0))
+                .enumerate()
+                .map(|(i, now)| {
+                    let before = prev.and_then(|p| p.get(i)).copied().unwrap_or(0.0);
+                    (now - before).max(0.0)
+                })
                 .collect();
-            self.last_cpu.insert(a.app, a.cpu_time.clone());
+            self.last_cpu
+                .entry(a.app)
+                .or_default()
+                .clone_from(&a.cpu_time);
             cpu_deltas.push((a.app, delta));
         }
         self.attributor.update(obs.dt_s, energy_delta, &cpu_deltas);
@@ -356,9 +356,7 @@ impl RmCore {
             } else if let Some(erv) = session.active_erv.clone() {
                 session.explorer.record_ambient(&erv, a.utility_rate, power);
                 session.samples_since_realloc += 1;
-                if session.samples_since_realloc
-                    >= self.cfg.exploration.stable_realloc_every
-                {
+                if session.samples_since_realloc >= self.cfg.exploration.stable_realloc_every {
                     session.samples_since_realloc = 0;
                     want_realloc = true;
                 }
@@ -383,19 +381,21 @@ impl RmCore {
     /// Chooses the next exploration target for `app` within its existing
     /// envelope and produces the corresponding activation.
     fn next_target_directive(&mut self, app: AppId) -> Option<Directive> {
-        let hw = self.hw.clone();
+        // Disjoint field borrows: the machine description is only read
+        // while the session is mutated (cloning it per call was churn).
+        let hw = &self.hw;
         let session = self.sessions.get_mut(&app)?;
-        let envelope_rv = cores_to_rv(&session.envelope, &hw);
+        let envelope_rv = cores_to_rv(&session.envelope, hw);
         let erv = match session.explorer.begin_target(&envelope_rv) {
             Some(t) => t,
             None => {
                 // Candidate space within the envelope exhausted: run on the
                 // full envelope until the next allocation round.
-                full_envelope_erv(&session.envelope, &hw)
+                full_envelope_erv(&session.envelope, hw)
             }
         };
         session.active_erv = Some(erv.clone());
-        Some(directive_for(app, &erv, &session.envelope, &hw))
+        Some(directive_for(app, &erv, &session.envelope, hw))
     }
 
     /// Runs one allocation round (paper §4.2 + §5.3 integration): MMKP over
@@ -403,7 +403,7 @@ impl RmCore {
     /// cores to exploring applications, exploration targets within the
     /// envelopes.
     fn reallocate(&mut self) -> Result<RmOutput> {
-        let hw = self.hw.clone();
+        let hw = &self.hw;
         let mut out = RmOutput {
             directives: Vec::new(),
             solves: 1,
@@ -436,7 +436,7 @@ impl RmCore {
             }
         }
 
-        let allocation = allocate(&requests, &hw, self.cfg.solver)?;
+        let allocation = allocate(&requests, hw, self.cfg.solver)?;
         let co = allocation.co_allocated;
 
         // 2. Used cores and leftovers.
@@ -496,18 +496,18 @@ impl RmCore {
             session.samples_since_realloc = 0;
 
             let erv = if is_exploring && !session_co {
-                let envelope_rv = cores_to_rv(&envelope, &hw);
+                let envelope_rv = cores_to_rv(&envelope, hw);
                 match session.explorer.begin_target(&envelope_rv) {
                     Some(t) => t,
-                    None => full_envelope_erv(&envelope, &hw),
+                    None => full_envelope_erv(&envelope, hw),
                 }
             } else if let Some(c) = choice {
                 c.erv.clone()
             } else {
-                full_envelope_erv(&envelope, &hw)
+                full_envelope_erv(&envelope, hw)
             };
             session.active_erv = Some(erv.clone());
-            out.directives.push(directive_for(app, &erv, &envelope, &hw));
+            out.directives.push(directive_for(app, &erv, &envelope, hw));
         }
         Ok(out)
     }
@@ -575,9 +575,7 @@ impl ExplorerExt for Explorer {
 
 // Re-exported for frontends that need to seed tables directly.
 #[doc(hidden)]
-pub fn table_from_points(
-    points: Vec<(ExtResourceVector, NonFunctional)>,
-) -> OperatingPointTable {
+pub fn table_from_points(points: Vec<(ExtResourceVector, NonFunctional)>) -> OperatingPointTable {
     points
         .into_iter()
         .map(|(erv, nfc)| harp_types::OperatingPoint::new(erv, nfc))

@@ -23,6 +23,39 @@ use std::collections::HashMap;
 const TICK: u64 = 20 * MILLISECOND; // PELT-ish update cadence
 const TIMER_ID: u64 = 0xEA5;
 
+/// Placement-relevant topology facts, derived once from the machine
+/// description instead of re-deriving (and cloning the description) every
+/// tick — the topology is immutable for the lifetime of a simulation.
+#[derive(Debug)]
+struct Topology {
+    little_threads: Vec<HwThreadId>,
+    little_capacity: f64,
+    n_threads: usize,
+}
+
+impl Topology {
+    fn of(hw: &harp_platform::HardwareDescription) -> Self {
+        // Relative capacity of the LITTLE cluster (last kind) vs big.
+        let big_rate = hw.clusters[0].perf.ips_per_thread;
+        let little_rate = hw.clusters.last().unwrap().perf.ips_per_thread;
+        let n_threads = hw.total_hw_threads();
+        let little_threads = (0..n_threads)
+            .map(HwThreadId)
+            .filter(|t| {
+                hw.core_of_thread(*t)
+                    .and_then(|c| hw.kind_of_core(c))
+                    .map(|k| k.0 == hw.num_kinds() - 1)
+                    .unwrap_or(false)
+            })
+            .collect();
+        Topology {
+            little_threads,
+            little_capacity: (little_rate / big_rate).clamp(0.0, 1.0),
+            n_threads,
+        }
+    }
+}
+
 /// EAS baseline manager (see module docs).
 #[derive(Debug)]
 pub struct EasManager {
@@ -31,6 +64,7 @@ pub struct EasManager {
     last_cpu: HashMap<AppId, f64>,
     last_tick_ns: u64,
     timer_armed: bool,
+    topo: Option<Topology>,
 }
 
 impl EasManager {
@@ -41,6 +75,7 @@ impl EasManager {
             last_cpu: HashMap::new(),
             last_tick_ns: 0,
             timer_armed: false,
+            topo: None,
         }
     }
 
@@ -51,23 +86,16 @@ impl EasManager {
         if dt <= 0.0 {
             return;
         }
-        let hw = st.hw().clone();
-        // Relative capacity of the LITTLE cluster (kind 1) vs big (kind 0).
-        let big_rate = hw.clusters[0].perf.ips_per_thread;
-        let little_rate = hw.clusters.last().unwrap().perf.ips_per_thread;
-        let little_capacity = (little_rate / big_rate).clamp(0.0, 1.0);
-        let n_threads = hw.total_hw_threads();
-        let little_threads: Vec<HwThreadId> = (0..n_threads)
-            .map(HwThreadId)
-            .filter(|t| {
-                hw.core_of_thread(*t)
-                    .and_then(|c| hw.kind_of_core(c))
-                    .map(|k| k.0 == hw.num_kinds() - 1)
-                    .unwrap_or(false)
-            })
-            .collect();
+        if self.topo.is_none() {
+            self.topo = Some(Topology::of(st.hw()));
+        }
+        let topo = self.topo.as_ref().expect("topology derived above");
+        let little_capacity = topo.little_capacity;
+        let n_threads = topo.n_threads;
+        let little_threads = &topo.little_threads;
 
-        for app in st.app_ids() {
+        // Copy the cached id view: the placement loop mutates the state.
+        for app in st.app_ids().to_vec() {
             let cpu: f64 = st.app_cpu_time(app).iter().sum();
             let prev = self.last_cpu.get(&app).copied().unwrap_or(cpu);
             self.last_cpu.insert(app, cpu);
@@ -100,12 +128,10 @@ impl Default for EasManager {
 impl Manager for EasManager {
     fn on_event(&mut self, st: &mut SimState, ev: MgrEvent) {
         match ev {
-            MgrEvent::AppStarted { .. } => {
-                if !self.timer_armed {
-                    self.timer_armed = true;
-                    self.last_tick_ns = st.now();
-                    st.set_timer(st.now() + TICK, TIMER_ID);
-                }
+            MgrEvent::AppStarted { .. } if !self.timer_armed => {
+                self.timer_armed = true;
+                self.last_tick_ns = st.now();
+                st.set_timer(st.now() + TICK, TIMER_ID);
             }
             MgrEvent::Timer { id } if id == TIMER_ID => {
                 self.update_and_place(st);
@@ -154,6 +180,9 @@ mod tests {
         let eas = eas_sim.run(&mut EasManager::new()).unwrap();
         // EAS should be within a few percent of CFS for saturated apps.
         let ratio = eas.makespan_ns as f64 / cfs.makespan_ns as f64;
-        assert!((0.9..1.15).contains(&ratio), "EAS/CFS makespan ratio {ratio}");
+        assert!(
+            (0.9..1.15).contains(&ratio),
+            "EAS/CFS makespan ratio {ratio}"
+        );
     }
 }

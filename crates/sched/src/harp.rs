@@ -136,7 +136,9 @@ impl HarpSimManager {
             return;
         }
         let mut apps = Vec::new();
-        for app in st.app_ids() {
+        // Copy the cached id view: sampling and overhead charging mutate
+        // the state.
+        for app in st.app_ids().to_vec() {
             if !self.provides_utility.contains_key(&app) {
                 continue; // not registered (arrived between timer and tick)
             }
@@ -147,7 +149,13 @@ impl HarpSimManager {
                 st.sample_app_work(app)
             };
             let utility_rate = sample
-                .map(|(dw, dns)| if dns > 0 { dw / (dns as f64 / 1e9) } else { 0.0 })
+                .map(|(dw, dns)| {
+                    if dns > 0 {
+                        dw / (dns as f64 / 1e9)
+                    } else {
+                        0.0
+                    }
+                })
                 .unwrap_or(0.0);
             // Sampling perf counters costs a message round trip.
             st.charge_overhead(app, self.cfg.rm.message_cost_ns / 2);

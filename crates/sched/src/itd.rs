@@ -44,32 +44,18 @@ fn classify(st: &SimState, app: AppId) -> ThreadClass {
     }
 }
 
-/// ITD-based allocator baseline (see module docs).
-#[derive(Debug, Default)]
-pub struct ItdManager {
-    classes: HashMap<AppId, ThreadClass>,
+/// Cluster membership, derived once from the machine description instead
+/// of re-deriving (and cloning the description) on every app arrival.
+#[derive(Debug)]
+struct Clusters {
+    n_threads: usize,
+    p_threads: Vec<HwThreadId>,
+    e_threads: Vec<HwThreadId>,
 }
 
-impl ItdManager {
-    /// Creates the ITD baseline.
-    pub fn new() -> Self {
-        ItdManager::default()
-    }
-
-    fn replace_all(&mut self, st: &mut SimState) {
-        let hw = st.hw().clone();
+impl Clusters {
+    fn of(hw: &harp_platform::HardwareDescription) -> Self {
         let n = hw.total_hw_threads();
-        let apps = st.app_ids();
-        if apps.len() <= 1 {
-            // Single application: ITD hints barely alter placement on an
-            // otherwise idle machine — leave the default spread.
-            for app in apps {
-                let _ = st.set_app_affinity(app, Affinity::all(n));
-            }
-            return;
-        }
-        // Multi-application: steer each app to its class's preferred
-        // cluster.
         let p_threads: Vec<HwThreadId> = (0..n)
             .map(HwThreadId)
             .filter(|t| {
@@ -79,21 +65,56 @@ impl ItdManager {
                     .unwrap_or(false)
             })
             .collect();
-        let e_threads: Vec<HwThreadId> = (0..n)
+        let e_threads = (0..n)
             .map(HwThreadId)
             .filter(|t| !p_threads.contains(t))
             .collect();
+        Clusters {
+            n_threads: n,
+            p_threads,
+            e_threads,
+        }
+    }
+}
+
+/// ITD-based allocator baseline (see module docs).
+#[derive(Debug, Default)]
+pub struct ItdManager {
+    classes: HashMap<AppId, ThreadClass>,
+    clusters: Option<Clusters>,
+}
+
+impl ItdManager {
+    /// Creates the ITD baseline.
+    pub fn new() -> Self {
+        ItdManager::default()
+    }
+
+    fn replace_all(&mut self, st: &mut SimState) {
+        if self.clusters.is_none() {
+            self.clusters = Some(Clusters::of(st.hw()));
+        }
+        let clusters = self.clusters.as_ref().expect("clusters derived above");
+        // Copy the cached id view: the placement loops mutate the state.
+        let apps = st.app_ids().to_vec();
+        if apps.len() <= 1 {
+            // Single application: ITD hints barely alter placement on an
+            // otherwise idle machine — leave the default spread.
+            for app in apps {
+                let _ = st.set_app_affinity(app, Affinity::all(clusters.n_threads));
+            }
+            return;
+        }
+        // Multi-application: steer each app to its class's preferred
+        // cluster.
         for app in apps {
-            let class = *self
-                .classes
-                .entry(app)
-                .or_insert_with(|| classify(st, app));
+            let class = *self.classes.entry(app).or_insert_with(|| classify(st, app));
             let mask = match class {
                 ThreadClass::PerformanceSensitive => {
-                    Affinity::from_threads(p_threads.iter().copied())
+                    Affinity::from_threads(clusters.p_threads.iter().copied())
                 }
                 ThreadClass::EfficiencyFriendly => {
-                    Affinity::from_threads(e_threads.iter().copied())
+                    Affinity::from_threads(clusters.e_threads.iter().copied())
                 }
             };
             let _ = st.set_app_affinity(app, mask);

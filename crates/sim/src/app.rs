@@ -70,7 +70,6 @@ impl AppInstance {
         let p = &self.spec.phases[self.phase_idx];
         p.work / p.iterations as f64
     }
-
 }
 
 #[cfg(test)]

@@ -179,6 +179,17 @@ pub struct SimState {
     completed: Vec<AppReport>,
     notifications: VecDeque<MgrEvent>,
     events: u64,
+    /// Sorted cache of live app ids; app ids are monotonically increasing,
+    /// so spawns append and exits remove — no per-query clone-and-sort.
+    sorted_app_ids: Vec<AppId>,
+    /// Reusable scratch for `rebalance` (per-app runnable lists + the
+    /// round-robin order), cleared rather than reallocated per barrier.
+    scratch_per_app: Vec<Vec<SimThreadId>>,
+    scratch_order: Vec<SimThreadId>,
+    /// Reusable scratch for `compute_rates` raw per-thread rates.
+    scratch_raw: Vec<f64>,
+    /// Reusable scratch for `process_due` finished-thread collection.
+    scratch_finished: Vec<SimThreadId>,
 }
 
 impl std::fmt::Debug for SimState {
@@ -226,6 +237,11 @@ impl SimState {
             completed: Vec::new(),
             notifications: VecDeque::new(),
             events: 0,
+            sorted_app_ids: Vec::new(),
+            scratch_per_app: Vec::new(),
+            scratch_order: Vec::new(),
+            scratch_raw: Vec::new(),
+            scratch_finished: Vec::new(),
         }
     }
 
@@ -243,11 +259,12 @@ impl SimState {
         &self.topo.hw
     }
 
-    /// Ids of all currently running applications.
-    pub fn app_ids(&self) -> Vec<AppId> {
-        let mut v: Vec<AppId> = self.apps.keys().copied().collect();
-        v.sort();
-        v
+    /// Ids of all currently running applications, sorted ascending. This is
+    /// a cached view maintained on app start/exit — no allocation per call.
+    /// Callers that mutate the state while iterating must copy it first
+    /// (`st.app_ids().to_vec()`).
+    pub fn app_ids(&self) -> &[AppId] {
+        &self.sorted_app_ids
     }
 
     /// Name of a running application.
@@ -272,12 +289,14 @@ impl SimState {
         self.apps.get(&app).map(|a| a.affinity)
     }
 
-    /// Thread ids of an application (worker rank order).
-    pub fn threads_of_app(&self, app: AppId) -> Vec<SimThreadId> {
+    /// Thread ids of an application (worker rank order). Returns a borrowed
+    /// view into the instance — no per-query clone; unknown apps yield an
+    /// empty slice.
+    pub fn threads_of_app(&self, app: AppId) -> &[SimThreadId] {
         self.apps
             .get(&app)
-            .map(|a| a.threads.clone())
-            .unwrap_or_default()
+            .map(|a| a.threads.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Samples the application's retired-instruction counter since the last
@@ -465,6 +484,9 @@ impl SimState {
             alive: true,
         };
         self.apps.insert(id, inst);
+        // Ids are handed out monotonically, so appending keeps the cache
+        // sorted.
+        self.sorted_app_ids.push(id);
         self.samples.insert(
             id,
             SampleState {
@@ -474,10 +496,8 @@ impl SimState {
             },
         );
         self.start_iteration(id);
-        self.notifications.push_back(MgrEvent::AppStarted {
-            app: id,
-            name,
-        });
+        self.notifications
+            .push_back(MgrEvent::AppStarted { app: id, name });
         id
     }
 
@@ -502,7 +522,8 @@ impl SimState {
             self.apps.get_mut(&app).unwrap().threads.push(tid);
         }
         let inst = self.apps.get_mut(&app).unwrap();
-        inst.active = inst.threads[..width].to_vec();
+        inst.active.clear();
+        inst.active.extend_from_slice(&inst.threads[..width]);
         if !self.needs_chunks.contains(&app) {
             self.needs_chunks.push(app);
         }
@@ -523,10 +544,13 @@ impl SimState {
             work += overhead;
             let n = inst.active.len().max(1);
             let chunk = work / n as f64;
-            let active = inst.active.clone();
+            // Move the active list out while writing the chunks so no
+            // per-barrier clone is needed, then put it back.
+            let active = std::mem::take(&mut inst.active);
             for &t in &active {
                 self.threads[t.0].chunk = Some(chunk);
             }
+            self.apps.get_mut(app).unwrap().active = active;
         }
         self.needs_chunks = pending; // keep for the dynamic re-split pass
         self.dirty = true;
@@ -544,22 +568,22 @@ impl SimState {
             if !inst.spec.dynamic_balance || inst.active.len() <= 1 {
                 continue;
             }
-            let active = inst.active.clone();
-            let total: f64 = active
-                .iter()
-                .filter_map(|t| self.threads[t.0].chunk)
-                .sum();
-            let rates: Vec<f64> = active
-                .iter()
-                .map(|t| self.rates.get(t.0).copied().unwrap_or(0.0).max(1e-9))
-                .collect();
-            let rate_sum: f64 = rates.iter().sum();
+            // Two passes over the (borrowed) active list; rates are re-read
+            // in the second pass so no per-barrier rate vector is built.
+            let active = &inst.active;
+            let total: f64 = active.iter().filter_map(|t| self.threads[t.0].chunk).sum();
+            let rate_of =
+                |rates: &[f64], t: &SimThreadId| rates.get(t.0).copied().unwrap_or(0.0).max(1e-9);
+            let rate_sum: f64 = active.iter().map(|t| rate_of(&self.rates, t)).sum();
             if rate_sum <= 0.0 {
                 continue;
             }
-            for (t, r) in active.iter().zip(&rates) {
+            let active = std::mem::take(&mut self.apps.get_mut(&app).unwrap().active);
+            for t in &active {
+                let r = rate_of(&self.rates, t);
                 self.threads[t.0].chunk = Some(total * r / rate_sum);
             }
+            self.apps.get_mut(&app).unwrap().active = active;
         }
     }
 
@@ -570,28 +594,35 @@ impl SimState {
         for q in &mut self.queues {
             q.clear();
         }
-        // Round-robin across apps so co-running apps interleave fairly.
-        let mut per_app: Vec<Vec<SimThreadId>> = Vec::new();
-        let mut ids = self.app_ids();
-        ids.sort();
-        for app in ids {
+        // Round-robin across apps so co-running apps interleave fairly. The
+        // app-id cache is already sorted, and each instance's thread list is
+        // built in ascending rank order, so no per-barrier sort is needed;
+        // the per-app lists and the round-robin order reuse scratch storage.
+        let mut per_app = std::mem::take(&mut self.scratch_per_app);
+        let mut used = 0;
+        for &app in &self.sorted_app_ids {
             let inst = &self.apps[&app];
-            let mut list: Vec<SimThreadId> = inst
-                .threads
-                .iter()
-                .copied()
-                .filter(|t| self.threads[t.0].runnable())
-                .collect();
-            list.sort();
+            if used == per_app.len() {
+                per_app.push(Vec::new());
+            }
+            let list = &mut per_app[used];
+            list.clear();
+            list.extend(
+                inst.threads
+                    .iter()
+                    .copied()
+                    .filter(|t| self.threads[t.0].runnable()),
+            );
             if !list.is_empty() {
-                per_app.push(list);
+                used += 1;
             }
         }
-        let mut order = Vec::new();
+        let mut order = std::mem::take(&mut self.scratch_order);
+        order.clear();
         let mut i = 0;
         loop {
             let mut any = false;
-            for list in &per_app {
+            for list in &per_app[..used] {
                 if i < list.len() {
                     order.push(list[i]);
                     any = true;
@@ -602,7 +633,8 @@ impl SimState {
             }
             i += 1;
         }
-        for t in order {
+        self.scratch_per_app = per_app;
+        for &t in &order {
             let aff = self.threads[t.0]
                 .affinity_override
                 .unwrap_or(self.apps[&self.threads[t.0].app].affinity);
@@ -618,7 +650,7 @@ impl SimState {
                     .filter(|&&h| h != hwt && !self.queues[h].is_empty())
                     .count();
                 let key = (qlen, busy_sibs, hwt);
-                if best.map_or(true, |b| key < b) {
+                if best.is_none_or(|b| key < b) {
                     best = Some(key);
                 }
             }
@@ -629,15 +661,21 @@ impl SimState {
                 self.threads[t.0].assigned_hwt = None;
             }
         }
+        self.scratch_order = order;
         self.dirty = false;
     }
 
     /// Recomputes cluster frequencies and all per-thread progress rates.
     fn compute_rates(&mut self) {
         let n = self.threads.len();
-        self.rates = vec![0.0; n];
-        self.counter_rates = vec![0.0; n];
-        self.activity = vec![0.0; n];
+        // Reset in place: these vectors are recomputed every barrier, so
+        // keep their capacity instead of reallocating.
+        self.rates.clear();
+        self.rates.resize(n, 0.0);
+        self.counter_rates.clear();
+        self.counter_rates.resize(n, 0.0);
+        self.activity.clear();
+        self.activity.resize(n, 0.0);
         // Governor: instantaneous utilization per cluster.
         let num_kinds = self.topo.hw.num_kinds();
         let mut busy_per_kind = vec![0usize; num_kinds];
@@ -646,8 +684,8 @@ impl SimState {
                 busy_per_kind[self.topo.kind_of_hwt(hwt)] += 1;
             }
         }
-        for k in 0..num_kinds {
-            let util = busy_per_kind[k] as f64 / self.topo.cluster_thread_count[k].max(1) as f64;
+        for (k, &busy) in busy_per_kind.iter().enumerate() {
+            let util = busy as f64 / self.topo.cluster_thread_count[k].max(1) as f64;
             self.freqs[k] = self
                 .config
                 .governor
@@ -681,14 +719,13 @@ impl SimState {
             }
             if distinct > 1 && min_rate > 0.0 {
                 let spread = (max_rate / min_rate - 1.0).max(0.0);
-                span_factor.insert(
-                    *id,
-                    1.0 / (1.0 + inst.spec.hetero_penalty * spread),
-                );
+                span_factor.insert(*id, 1.0 / (1.0 + inst.spec.hetero_penalty * spread));
             }
         }
-        // Per-thread raw rates.
-        let mut raw = vec![0.0f64; n];
+        // Per-thread raw rates (reused scratch).
+        let mut raw = std::mem::take(&mut self.scratch_raw);
+        raw.clear();
+        raw.resize(n, 0.0);
         for hwt in 0..self.topo.n_threads {
             let m = self.queues[hwt].len();
             if m == 0 {
@@ -750,6 +787,7 @@ impl SimState {
             self.rates[i] = r;
             self.counter_rates[i] = r * inst.spec.ips_inflation[kind];
         }
+        self.scratch_raw = raw;
     }
 
     fn prepare(&mut self) {
@@ -828,18 +866,22 @@ impl SimState {
             for core in 0..self.topo.n_cores {
                 let kind = self.topo.core_kind[core];
                 let cluster = &self.topo.hw.clusters[kind];
-                let busy: Vec<usize> = self.topo.core_threads[core]
+                // A core has at most a handful of hardware threads; iterate
+                // the (borrowed) sibling list directly instead of collecting
+                // the busy subset into a fresh vector every barrier.
+                let busy_count = self.topo.core_threads[core]
                     .iter()
-                    .copied()
-                    .filter(|&h| !self.queues[h].is_empty())
-                    .collect();
-                let p = cluster.core_power(self.freqs[kind], busy.len() as u32);
+                    .filter(|&&h| !self.queues[h].is_empty())
+                    .count();
+                let p = cluster.core_power(self.freqs[kind], busy_count as u32);
                 // Contention-blocked threads idle the core part-time: scale
                 // the core's active power by its mean busy fraction.
-                let mean_activity = if busy.is_empty() {
+                let mean_activity = if busy_count == 0 {
                     0.0
                 } else {
-                    busy.iter()
+                    self.topo.core_threads[core]
+                        .iter()
+                        .filter(|&&h| !self.queues[h].is_empty())
                         .map(|&h| {
                             let q = &self.queues[h];
                             q.iter()
@@ -848,19 +890,22 @@ impl SimState {
                                 / q.len().max(1) as f64
                         })
                         .sum::<f64>()
-                        / busy.len() as f64
+                        / busy_count as f64
                 };
                 let p = cluster.power.core_idle_w
                     + (p - cluster.power.core_idle_w).max(0.0) * mean_activity;
                 cluster_power[kind] += p;
-                if !busy.is_empty() {
+                if busy_count > 0 {
                     // Ground-truth attribution of the core's active power.
                     let active = (p - cluster.power.core_idle_w).max(0.0);
-                    let per_hwt = active / busy.len() as f64;
-                    for h in busy {
+                    let per_hwt = active / busy_count as f64;
+                    for hi in 0..self.topo.core_threads[core].len() {
+                        let h = self.topo.core_threads[core][hi];
                         let m = self.queues[h].len() as f64;
-                        let tids = self.queues[h].clone();
-                        for tid in tids {
+                        // Index the queue instead of cloning it: the energy
+                        // account and the run queues are disjoint fields.
+                        for qi in 0..self.queues[h].len() {
+                            let tid = self.queues[h][qi];
                             let app = self.threads[tid.0].app;
                             self.energy.add_app_energy(app, per_hwt / m * dt);
                             self.energy.add_app_cpu_time(app, kind, num_kinds, dt / m);
@@ -868,10 +913,10 @@ impl SimState {
                     }
                 }
             }
-            for k in 0..num_kinds {
+            for (k, &cp) in cluster_power.iter().enumerate() {
                 self.energy.cluster_energy[k] +=
-                    (cluster_power[k] + self.topo.hw.clusters[k].power.cluster_static_w) * dt;
-                package_power += cluster_power[k];
+                    (cp + self.topo.hw.clusters[k].power.cluster_static_w) * dt;
+                package_power += cp;
             }
             self.energy.package_energy += package_power * dt;
         }
@@ -883,8 +928,10 @@ impl SimState {
     fn process_due(&mut self) {
         self.events += 1;
         // Worker completions: a chunk of less than one nanosecond of work
-        // remaining counts as done.
-        let mut finished_threads = Vec::new();
+        // remaining counts as done. The collection vector is scratch reused
+        // across events.
+        let mut finished_threads = std::mem::take(&mut self.scratch_finished);
+        finished_threads.clear();
         for (i, th) in self.threads.iter().enumerate() {
             if let Some(chunk) = th.chunk {
                 let rate = self.rates.get(i).copied().unwrap_or(0.0);
@@ -893,7 +940,7 @@ impl SimState {
                 }
             }
         }
-        for t in finished_threads {
+        for &t in &finished_threads {
             let app = self.threads[t.0].app;
             let leftover = self.threads[t.0].chunk.take().unwrap_or(0.0);
             if let Some(inst) = self.apps.get_mut(&app) {
@@ -902,6 +949,7 @@ impl SimState {
             self.dirty = true;
             self.maybe_finish_iteration(app);
         }
+        self.scratch_finished = finished_threads;
         // Timers.
         while let Some(&Reverse((t, id))) = self.timers.peek() {
             if t <= self.time {
@@ -965,6 +1013,9 @@ impl SimState {
 
     fn finish_app(&mut self, app: AppId) {
         let inst = self.apps.remove(&app).expect("finishing a live app");
+        if let Ok(pos) = self.sorted_app_ids.binary_search(&app) {
+            self.sorted_app_ids.remove(pos);
+        }
         // Release the app's threads entirely.
         for t in &inst.threads {
             self.threads[t.0].chunk = None;
@@ -1237,7 +1288,10 @@ mod tests {
             fn on_event(&mut self, st: &mut SimState, ev: MgrEvent) {
                 if let MgrEvent::AppStarted { app, ref name } = ev {
                     let (aff, team) = if name == "a" {
-                        (Affinity::from_threads((0..16).map(harp_types::HwThreadId)), 16)
+                        (
+                            Affinity::from_threads((0..16).map(harp_types::HwThreadId)),
+                            16,
+                        )
                     } else {
                         (
                             Affinity::from_threads((16..32).map(harp_types::HwThreadId)),
@@ -1295,7 +1349,7 @@ mod tests {
                 match ev {
                     MgrEvent::AppStarted { .. } => st.set_timer(st.now() + 50_000_000, 7),
                     MgrEvent::Timer { .. } => {
-                        for app in st.app_ids() {
+                        for app in st.app_ids().to_vec() {
                             if let Some((dw, dns)) = st.sample_app_work(app) {
                                 self.samples.push(dw / (dns as f64 / 1e9));
                             }
@@ -1368,11 +1422,8 @@ mod tests {
         impl Manager for Pin {
             fn on_event(&mut self, st: &mut SimState, ev: MgrEvent) {
                 if let MgrEvent::AppStarted { app, .. } = ev {
-                    st.set_app_affinity(
-                        app,
-                        Affinity::from_threads([harp_types::HwThreadId(4)]),
-                    )
-                    .unwrap();
+                    st.set_app_affinity(app, Affinity::from_threads([harp_types::HwThreadId(4)]))
+                        .unwrap();
                 }
             }
         }

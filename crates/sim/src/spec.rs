@@ -150,13 +150,15 @@ impl AppSpec {
     ///
     /// Returns [`HarpError::Description`] describing the first violation.
     pub fn validate(&self) -> Result<()> {
+        // "Not strictly positive", with NaN counted as invalid.
+        let not_pos = |x: f64| x.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater);
         if self.phases.is_empty() {
             return Err(HarpError::Description {
                 detail: format!("app '{}' has no phases", self.name),
             });
         }
         for (i, p) in self.phases.iter().enumerate() {
-            if !(p.work > 0.0) {
+            if not_pos(p.work) {
                 return Err(HarpError::Description {
                     detail: format!("app '{}' phase {i}: non-positive work", self.name),
                 });
@@ -173,16 +175,19 @@ impl AppSpec {
             }
         }
         if self.kind_efficiency.is_empty()
-            || self.kind_efficiency.iter().any(|&e| !(e > 0.0))
+            || self.kind_efficiency.iter().any(|&e| not_pos(e))
             || self.ips_inflation.len() != self.kind_efficiency.len()
-            || self.ips_inflation.iter().any(|&e| !(e >= 1.0))
+            || self
+                .ips_inflation
+                .iter()
+                .any(|&e| e.partial_cmp(&1.0).is_none_or(|o| o.is_lt()))
         {
             return Err(HarpError::Description {
                 detail: format!("app '{}': invalid per-kind parameters", self.name),
             });
         }
         if !(0.0..=1.0).contains(&self.mem_intensity)
-            || !(self.smt_efficiency > 0.0)
+            || not_pos(self.smt_efficiency)
             || self.preemption_penalty < 0.0
             || self.hetero_penalty < 0.0
             || self.contention.linear < 0.0

@@ -4,9 +4,7 @@
 //! per-application energy never exceeds the package total.
 
 use harp_platform::presets;
-use harp_sim::{
-    AppSpec, ContentionModel, LaunchOpts, NullManager, SimConfig, Simulation,
-};
+use harp_sim::{AppSpec, ContentionModel, LaunchOpts, NullManager, SimConfig, Simulation};
 use proptest::prelude::*;
 
 fn arb_spec() -> impl Strategy<Value = AppSpec> {

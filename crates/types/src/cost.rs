@@ -29,7 +29,9 @@ use serde::{Deserialize, Serialize};
 /// assert!(energy_utility_cost(0.0, 10.0, 4.0).is_infinite());
 /// ```
 pub fn energy_utility_cost(utility: f64, power: f64, v_max: f64) -> f64 {
-    if !(utility > 0.0) || !(v_max > 0.0) || !power.is_finite() {
+    // NaN inputs fall through to infinite cost, like non-positive ones.
+    let positive = |x: f64| x.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater);
+    if !positive(utility) || !positive(v_max) || !power.is_finite() {
         return f64::INFINITY;
     }
     let v_star = utility / v_max;

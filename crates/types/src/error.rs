@@ -93,7 +93,10 @@ impl fmt::Display for HarpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HarpError::UnknownCoreKind { kind, num_kinds } => {
-                write!(f, "unknown core kind {kind} (platform has {num_kinds} kinds)")
+                write!(
+                    f,
+                    "unknown core kind {kind} (platform has {num_kinds} kinds)"
+                )
             }
             HarpError::InvalidThreadCount { threads, smt_width } => {
                 write!(
@@ -157,7 +160,13 @@ mod tests {
     #[test]
     fn shorthand_constructors() {
         assert!(matches!(HarpError::other("x"), HarpError::Other { .. }));
-        assert!(matches!(HarpError::protocol("x"), HarpError::Protocol { .. }));
-        assert!(matches!(HarpError::not_found("x"), HarpError::NotFound { .. }));
+        assert!(matches!(
+            HarpError::protocol("x"),
+            HarpError::Protocol { .. }
+        ));
+        assert!(matches!(
+            HarpError::not_found("x"),
+            HarpError::NotFound { .. }
+        ));
     }
 }

@@ -97,10 +97,7 @@ impl OperatingPointTable {
     /// Builds a table from measured points (e.g. parsed from an application
     /// description file, paper §4.1.1 step 2).
     pub fn from_measured(points: Vec<OperatingPoint>) -> Self {
-        let max_utility = points
-            .iter()
-            .map(|p| p.nfc.utility)
-            .fold(0.0_f64, f64::max);
+        let max_utility = points.iter().map(|p| p.nfc.utility).fold(0.0_f64, f64::max);
         let measured = vec![true; points.len()];
         OperatingPointTable {
             points,

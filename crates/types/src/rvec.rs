@@ -253,11 +253,7 @@ impl ExtResourceVector {
     pub fn full_smt(shape: &ErvShape, counts: &[u32]) -> Result<Self> {
         if counts.len() != shape.num_kinds() {
             return Err(HarpError::ShapeMismatch {
-                detail: format!(
-                    "{} counts vs {} kinds",
-                    counts.len(),
-                    shape.num_kinds()
-                ),
+                detail: format!("{} counts vs {} kinds", counts.len(), shape.num_kinds()),
             });
         }
         let mut erv = ExtResourceVector::zero(shape);
@@ -322,10 +318,7 @@ impl ExtResourceVector {
     /// Total hardware threads of `kind` used.
     pub fn threads_of_kind(&self, kind: usize) -> u32 {
         self.per_kind.get(kind).map_or(0, |h| {
-            h.iter()
-                .enumerate()
-                .map(|(i, &c)| c * (i as u32 + 1))
-                .sum()
+            h.iter().enumerate().map(|(i, &c)| c * (i as u32 + 1)).sum()
         })
     }
 
@@ -361,11 +354,7 @@ impl ExtResourceVector {
 
     /// The flattened counts as `f64` features for regression models.
     pub fn features(&self) -> Vec<f64> {
-        self.per_kind
-            .iter()
-            .flatten()
-            .map(|&c| c as f64)
-            .collect()
+        self.per_kind.iter().flatten().map(|&c| c as f64).collect()
     }
 
     /// Component-wise dominance: `self` uses at least as many cores in every
@@ -534,7 +523,10 @@ mod tests {
         ));
         assert!(matches!(
             erv.add_cores(1, 2, 1),
-            Err(HarpError::InvalidThreadCount { threads: 2, smt_width: 1 })
+            Err(HarpError::InvalidThreadCount {
+                threads: 2,
+                smt_width: 1
+            })
         ));
         assert!(matches!(
             erv.add_cores(0, 0, 1),

@@ -12,7 +12,13 @@ use rand::Rng;
 pub fn random_spec<R: Rng>(rng: &mut R, name: &str, num_kinds: usize) -> AppSpec {
     let mem_intensity = rng.random_range(0.0..0.9);
     let kind_eff: Vec<f64> = (0..num_kinds)
-        .map(|k| if k == 0 { 1.0 } else { rng.random_range(0.8..1.0) })
+        .map(|k| {
+            if k == 0 {
+                1.0
+            } else {
+                rng.random_range(0.8..1.0)
+            }
+        })
         .collect();
     let contention = if rng.random_bool(0.2) {
         ContentionModel {

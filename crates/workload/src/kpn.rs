@@ -151,11 +151,7 @@ mod tests {
         // heterogeneous clusters while the static one straggles.
         let run = |name: &str| {
             let mut sim = Simulation::new(presets::odroid_xu3(), SimConfig::default());
-            sim.add_arrival(
-                0,
-                benchmark(name).unwrap(),
-                LaunchOpts::all_hw_threads(),
-            );
+            sim.add_arrival(0, benchmark(name).unwrap(), LaunchOpts::all_hw_threads());
             sim.run(&mut NullManager).unwrap()
         };
         let adaptive = run("mandelbrot");
@@ -175,7 +171,11 @@ mod tests {
             sim.add_arrival(0, benchmark(n).unwrap(), LaunchOpts::all_hw_threads());
             let r = sim.run(&mut NullManager).unwrap();
             assert_eq!(r.apps.len(), 1, "{n}");
-            assert!((1.0..120.0).contains(&r.makespan_s()), "{n}: {}s", r.makespan_s());
+            assert!(
+                (1.0..120.0).contains(&r.makespan_s()),
+                "{n}: {}s",
+                r.makespan_s()
+            );
         }
     }
 }

@@ -135,13 +135,9 @@ mod tests {
         for platform in [Platform::RaptorLake, Platform::Odroid] {
             let hw = platform.hardware();
             for spec in suite(platform) {
-                spec.validate().unwrap_or_else(|e| panic!("{}: {e}", spec.name));
-                assert_eq!(
-                    spec.kind_efficiency.len(),
-                    hw.num_kinds(),
-                    "{}",
-                    spec.name
-                );
+                spec.validate()
+                    .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+                assert_eq!(spec.kind_efficiency.len(), hw.num_kinds(), "{}", spec.name);
             }
         }
     }
@@ -167,8 +163,7 @@ mod tests {
     #[test]
     fn suite_names_are_unique() {
         for platform in [Platform::RaptorLake, Platform::Odroid] {
-            let mut names: Vec<String> =
-                suite(platform).into_iter().map(|s| s.name).collect();
+            let mut names: Vec<String> = suite(platform).into_iter().map(|s| s.name).collect();
             let n = names.len();
             names.sort();
             names.dedup();

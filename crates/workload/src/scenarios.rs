@@ -59,8 +59,23 @@ impl Scenario {
 /// Single-application scenarios on the Intel system (Fig. 6 left half).
 pub fn intel_single() -> Vec<Scenario> {
     [
-        "bt", "cg", "ep", "ft", "is", "lu", "mg", "sp", "ua", "binpack", "fractal",
-        "parallel_preorder", "pi", "primes", "seismic", "vgg", "alexnet",
+        "bt",
+        "cg",
+        "ep",
+        "ft",
+        "is",
+        "lu",
+        "mg",
+        "sp",
+        "ua",
+        "binpack",
+        "fractal",
+        "parallel_preorder",
+        "pi",
+        "primes",
+        "seismic",
+        "vgg",
+        "alexnet",
     ]
     .iter()
     .map(|n| Scenario::of(Platform::RaptorLake, &[n]))

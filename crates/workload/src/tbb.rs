@@ -117,7 +117,11 @@ mod tests {
     fn binpack_convoy_makes_small_teams_much_faster() {
         let run = |team: u32| {
             let mut sim = Simulation::new(presets::raptor_lake(), SimConfig::default());
-            sim.add_arrival(0, benchmark("binpack").unwrap(), LaunchOpts::fixed_team(team));
+            sim.add_arrival(
+                0,
+                benchmark("binpack").unwrap(),
+                LaunchOpts::fixed_team(team),
+            );
             sim.run(&mut NullManager).unwrap().makespan_ns as f64
         };
         let t32 = run(32);
@@ -143,7 +147,11 @@ mod tests {
     #[test]
     fn primes_is_short_running() {
         let mut sim = Simulation::new(presets::raptor_lake(), SimConfig::default());
-        sim.add_arrival(0, benchmark("primes").unwrap(), LaunchOpts::all_hw_threads());
+        sim.add_arrival(
+            0,
+            benchmark("primes").unwrap(),
+            LaunchOpts::all_hw_threads(),
+        );
         let r = sim.run(&mut NullManager).unwrap();
         assert!(r.makespan_s() < 6.0, "primes took {}s", r.makespan_s());
     }

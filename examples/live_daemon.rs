@@ -36,8 +36,8 @@ fn main() -> harp::types::Result<()> {
         ),
     ];
     let transport = UnixTransport::connect(&socket)?;
-    let cfg = SessionConfig::new("live-demo", AdaptivityType::Scalable)
-        .with_points(vec![2, 1], points);
+    let cfg =
+        SessionConfig::new("live-demo", AdaptivityType::Scalable).with_points(vec![2, 1], points);
     let mut session = HarpSession::connect(transport, cfg)?;
     println!("registered with the RM as app {}", session.app_id());
 

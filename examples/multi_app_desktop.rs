@@ -11,9 +11,7 @@
 //! with the learned tables — the paper's "stable operating points"
 //! methodology (§6.3).
 
-use harp_bench::runner::{
-    improvement, learn_profiles, run_scenario, ManagerKind, RunOptions,
-};
+use harp_bench::runner::{improvement, learn_profiles, run_scenario, ManagerKind, RunOptions};
 use harp_workload::{Platform, Scenario};
 
 fn main() -> harp::types::Result<()> {
@@ -30,12 +28,7 @@ fn main() -> harp::types::Result<()> {
 
     // Warm-up: HARP explores operating points online.
     println!("\nlearning operating points online (240 simulated seconds)...");
-    let profiles = learn_profiles(
-        Platform::RaptorLake,
-        &scenario,
-        240 * harp::sim::SECOND,
-        42,
-    )?;
+    let profiles = learn_profiles(Platform::RaptorLake, &scenario, 240 * harp::sim::SECOND, 42)?;
     for (name, table) in &profiles {
         println!(
             "  learned {:>3} measured operating points for {name}",

@@ -16,7 +16,12 @@ use harp::types::{AppId, ExtResourceVector, NonFunctional};
 fn main() -> harp::types::Result<()> {
     // 1. The hardware description (normally /etc/harp/hardware.json).
     let hw = HardwareDescription::raptor_lake();
-    println!("machine: {} ({} cores, {} hardware threads)", hw.name, hw.num_cores(), hw.total_hw_threads());
+    println!(
+        "machine: {} ({} cores, {} hardware threads)",
+        hw.name,
+        hw.num_cores(),
+        hw.total_hw_threads()
+    );
 
     // 2. An RM in offline mode with a small description-file profile:
     //    three operating points of a memory-bound application.
@@ -55,8 +60,14 @@ fn main() -> harp::types::Result<()> {
             d.cores.len(),
             d.parallelism
         );
-        println!("  granted cores:      {:?}", d.cores.iter().map(|c| c.0).collect::<Vec<_>>());
-        println!("  granted hw threads: {:?}", d.hw_threads.iter().map(|t| t.0).collect::<Vec<_>>());
+        println!(
+            "  granted cores:      {:?}",
+            d.cores.iter().map(|c| c.0).collect::<Vec<_>>()
+        );
+        println!(
+            "  granted hw threads: {:?}",
+            d.hw_threads.iter().map(|t| t.0).collect::<Vec<_>>()
+        );
     }
     // The 10-E-core point wins on the EDP-style energy-utility cost.
     assert_eq!(out.directives[0].erv.cores_of_kind(1), 10);

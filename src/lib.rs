@@ -30,6 +30,7 @@
 //! ```
 
 pub use harp_alloc as alloc;
+pub use harp_bench as bench;
 pub use harp_energy as energy;
 pub use harp_explore as explore;
 pub use harp_model as model;

@@ -2,11 +2,11 @@
 //! RM core, allocation, simulator, workloads — wired together the way a
 //! deployment would use it.
 
+use harp::libharp::{HarpSession, MalleableRuntime, SessionConfig};
 use harp::platform::HardwareDescription;
 use harp::proto::{duplex, AdaptivityType, Message, RegisterAck};
 use harp::rm::{RmConfig, RmCore};
 use harp::types::{AppId, ExtResourceVector, NonFunctional};
-use harp::libharp::{HarpSession, MalleableRuntime, SessionConfig};
 
 /// A minimal in-process RM frontend over the duplex transport: receives
 /// registration + points, runs the real `RmCore`, pushes activations back —
@@ -58,11 +58,7 @@ fn registration_points_activation_flow_over_protocol() {
                                 erv_flat: d.erv.flat(),
                                 core_ids: d.cores.iter().map(|c| c.0 as u32).collect(),
                                 parallelism: d.parallelism,
-                                hw_thread_ids: d
-                                    .hw_threads
-                                    .iter()
-                                    .map(|t| t.0 as u32)
-                                    .collect(),
+                                hw_thread_ids: d.hw_threads.iter().map(|t| t.0 as u32).collect(),
                             }))
                             .unwrap();
                     }
@@ -84,8 +80,8 @@ fn registration_points_activation_flow_over_protocol() {
             NonFunctional::new(7.0e10, 32.0),
         ),
     ];
-    let cfg = SessionConfig::new("integration", AdaptivityType::Scalable)
-        .with_points(vec![2, 1], points);
+    let cfg =
+        SessionConfig::new("integration", AdaptivityType::Scalable).with_points(vec![2, 1], points);
     let mut session = HarpSession::connect(app_side, cfg).unwrap();
 
     // Receive the activation and wire it into the malleable runtime.
@@ -110,8 +106,7 @@ fn daemon_round_trip_with_profile_reuse() {
     use harp::daemon::{DaemonConfig, HarpDaemon, UnixTransport};
     let hw = HardwareDescription::raptor_lake();
     let shape = hw.erv_shape();
-    let socket =
-        std::env::temp_dir().join(format!("harp-int-{}.sock", std::process::id()));
+    let socket = std::env::temp_dir().join(format!("harp-int-{}.sock", std::process::id()));
     let daemon = HarpDaemon::start(DaemonConfig::new(&socket, hw)).unwrap();
 
     // First run submits points.
@@ -121,8 +116,7 @@ fn daemon_round_trip_with_profile_reuse() {
     )];
     let s1 = HarpSession::connect(
         UnixTransport::connect(&socket).unwrap(),
-        SessionConfig::new("reuse-me", AdaptivityType::Scalable)
-            .with_points(vec![2, 1], points),
+        SessionConfig::new("reuse-me", AdaptivityType::Scalable).with_points(vec![2, 1], points),
     )
     .unwrap();
     s1.exit().unwrap();
@@ -160,9 +154,7 @@ fn daemon_round_trip_with_profile_reuse() {
 /// binpack convoy must yield a multi-x speedup.
 #[test]
 fn simulated_evaluation_shapes_hold() {
-    use harp_bench::runner::{
-        improvement, learn_profiles, run_scenario, ManagerKind, RunOptions,
-    };
+    use harp_bench::runner::{improvement, learn_profiles, run_scenario, ManagerKind, RunOptions};
     use harp_workload::{Platform, Scenario};
 
     let scenario = Scenario::of(Platform::RaptorLake, &["mg", "ep"]);
@@ -178,14 +170,12 @@ fn simulated_evaluation_shapes_hold() {
     assert!(imp.energy > 1.0, "HARP must save energy on mg+ep: {imp:?}");
 
     let binpack = Scenario::of(Platform::RaptorLake, &["binpack"]);
-    let cfs_bp =
-        run_scenario(Platform::RaptorLake, &binpack, ManagerKind::Cfs, &opts).unwrap();
+    let cfs_bp = run_scenario(Platform::RaptorLake, &binpack, ManagerKind::Cfs, &opts).unwrap();
     let profiles =
         learn_profiles(Platform::RaptorLake, &binpack, 90 * harp::sim::SECOND, 9).unwrap();
     let mut bopts = opts.clone();
     bopts.profiles = Some(profiles);
-    let harp_bp =
-        run_scenario(Platform::RaptorLake, &binpack, ManagerKind::Harp, &bopts).unwrap();
+    let harp_bp = run_scenario(Platform::RaptorLake, &binpack, ManagerKind::Harp, &bopts).unwrap();
     let imp = improvement(cfs_bp, harp_bp);
     assert!(
         imp.time > 2.0,
@@ -210,8 +200,13 @@ fn odroid_offline_beats_eas_on_multi_scenario() {
     let eas = run_scenario(Platform::Odroid, &scenario, ManagerKind::Eas, &opts).unwrap();
     let mut hopts = opts.clone();
     hopts.profiles = Some(profiles);
-    let harp_run =
-        run_scenario(Platform::Odroid, &scenario, ManagerKind::HarpOffline, &hopts).unwrap();
+    let harp_run = run_scenario(
+        Platform::Odroid,
+        &scenario,
+        ManagerKind::HarpOffline,
+        &hopts,
+    )
+    .unwrap();
     let imp = improvement(eas, harp_run);
     assert!(
         imp.time > 1.0 && imp.energy > 1.0,
