@@ -16,4 +16,13 @@ cargo build --release
 echo "==> cargo test -q (tier-1 gate)"
 cargo test -q
 
+echo "==> solver bench smoke (quick mode)"
+# Quick sweep into a scratch path: never clobbers the committed
+# BENCH_solver.json (regenerate that with a full `cargo bench` run).
+mkdir -p target
+HARP_SOLVER_BENCH_QUICK=1 \
+    HARP_SOLVER_BENCH_JSON="$PWD/target/BENCH_solver_smoke.json" \
+    cargo bench -p harp-bench --bench solver
+test -s target/BENCH_solver_smoke.json
+
 echo "CI OK"

@@ -30,7 +30,7 @@ pub fn hw_threads_for(
     for &c in cores {
         per_kind[hw.kind_of_core(c)?.0].push(c);
     }
-    let mut out = Vec::new();
+    let mut out = Vec::with_capacity(erv.total_threads() as usize);
     for (kind, granted) in per_kind.iter_mut().enumerate() {
         granted.sort();
         if granted.len() != erv.cores_of_kind(kind) as usize {
@@ -72,7 +72,10 @@ pub(crate) fn assign_cores(
     let mut out = HashMap::with_capacity(requests.len());
     for (r, &p) in requests.iter().zip(picks) {
         let option = &r.options[p];
-        let mut cores = Vec::new();
+        let total_cores: usize = (0..num_kinds)
+            .map(|k| option.erv.cores_of_kind(k) as usize)
+            .sum();
+        let mut cores = Vec::with_capacity(total_cores);
         for (kind, cursor) in next_free.iter_mut().enumerate() {
             let kind_cores = hw.cores_of_kind(CoreKind(kind))?;
             let needed = option.erv.cores_of_kind(kind) as usize;

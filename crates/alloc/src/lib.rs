@@ -51,10 +51,14 @@
 #![warn(missing_docs)]
 
 mod assign;
+mod instance;
+pub mod reference;
 mod solvers;
+pub mod stats;
 
 pub use assign::hw_threads_for;
-pub use solvers::SolverKind;
+pub use instance::{cost_or_large, WarmStart, INFINITE_COST};
+pub use solvers::{select, Selection, SolveOutcome, SolverKind, REFERENCE_ITERS};
 
 use harp_platform::HardwareDescription;
 use harp_types::{
@@ -124,6 +128,11 @@ pub struct Allocation {
     pub co_allocated: bool,
     /// Total energy-utility cost of the selection (finite costs only).
     pub total_cost: f64,
+    /// Solve effort as a fraction of the reference solver's fixed
+    /// iteration schedule (see [`Selection::work`]); `1.0` for full solves
+    /// and the co-allocation fallback. The RM scales its modeled
+    /// `solve_cost_ns` overhead by this.
+    pub solve_work: f64,
 }
 
 /// Solves the selection problem and maps the selection onto disjoint
@@ -140,6 +149,33 @@ pub fn allocate(
     hw: &HardwareDescription,
     solver: SolverKind,
 ) -> Result<Allocation> {
+    allocate_impl(requests, hw, solver, None)
+}
+
+/// Like [`allocate`], but threads a [`WarmStart`] through the solver so λ
+/// multipliers, previous picks and the instance memo carry across
+/// consecutive rounds. The RM persists one `WarmStart` between ticks;
+/// consecutive instances differ by at most an arrival or departure, so
+/// warm rounds converge in a handful of iterations (or none at all).
+///
+/// # Errors
+///
+/// Same contract as [`allocate`].
+pub fn allocate_warm(
+    requests: &[AllocRequest],
+    hw: &HardwareDescription,
+    solver: SolverKind,
+    warm: &mut WarmStart,
+) -> Result<Allocation> {
+    allocate_impl(requests, hw, solver, Some(warm))
+}
+
+fn allocate_impl(
+    requests: &[AllocRequest],
+    hw: &HardwareDescription,
+    solver: SolverKind,
+    warm: Option<&mut WarmStart>,
+) -> Result<Allocation> {
     let capacity = hw.capacity();
     validate_requests(requests, hw)?;
     if requests.is_empty() {
@@ -147,12 +183,15 @@ pub fn allocate(
             choices: HashMap::new(),
             co_allocated: false,
             total_cost: 0.0,
+            solve_work: 0.0,
         });
     }
 
     // Necessary feasibility condition: per kind, even if every app chose
     // its kind-minimal option, does the demand fit? (A lower bound — the
-    // real selection couples kinds, which the solvers handle.)
+    // real selection couples kinds, which the solvers handle.) Reads the
+    // per-kind counts straight off the extended vectors instead of
+    // materializing a `ResourceVector` per option.
     let num_kinds = capacity.num_kinds();
     let mut lower_bound = vec![0u32; num_kinds];
     for r in requests {
@@ -160,7 +199,7 @@ pub fn allocate(
             let min_k = r
                 .options
                 .iter()
-                .map(|o| o.demand().counts()[k])
+                .map(|o| o.erv.cores_of_kind(k))
                 .min()
                 .expect("validated nonempty");
             *lb += min_k;
@@ -172,12 +211,13 @@ pub fn allocate(
         .all(|(lb, cap)| lb <= cap);
 
     let solved = if maybe_feasible {
-        solvers::solve(requests, &capacity, solver).ok()
+        solvers::select(requests, &capacity, solver, warm).ok()
     } else {
         None
     };
 
-    if let Some(picks) = solved {
+    if let Some(sel) = solved {
+        let picks = sel.picks;
         let choices = assign::assign_cores(requests, &picks, hw, false)?;
         let total_cost = picks
             .iter()
@@ -189,6 +229,7 @@ pub fn allocate(
             choices,
             co_allocated: false,
             total_cost,
+            solve_work: sel.work,
         })
     } else {
         // Co-allocation: relax Eq. 1b; every app gets its cheapest option
@@ -223,6 +264,7 @@ pub fn allocate(
             choices,
             co_allocated: true,
             total_cost,
+            solve_work: 1.0,
         })
     }
 }

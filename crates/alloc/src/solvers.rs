@@ -1,5 +1,33 @@
-//! MMKP selection solvers.
+//! Incremental MMKP selection engine.
+//!
+//! All solver kinds run on the flattened [`SolveInstance`] built by the
+//! prepass in [`crate::instance`]: contiguous structure-of-arrays demand
+//! rows, sentinel-clamped costs, dominance-pruned option sets. Selection
+//! totals are delta-maintained ([`Totals`]), so the repair and upgrade
+//! phases evaluate a candidate swap in O(kinds) instead of
+//! O(apps × kinds), and the subgradient loop computes per-iteration demand
+//! into a reused scratch buffer without allocating.
+//!
+//! The Lagrangian path is *warm-startable* (see [`WarmStart`]):
+//!
+//! 1. **Memo** — if the instance fingerprint matches the previous solve,
+//!    the previous answer is returned without iterating.
+//! 2. **Certify** — otherwise a short subgradient phase starts from the
+//!    carried λ vector; if the duality gap
+//!    `best_feasible − L(λ)` drops within `1e-9 · cost_scale`, the
+//!    incumbent is certified near-optimal and returned early.
+//! 3. **Cold fallback** — failing that, λ resets to zero and the full
+//!    reference iteration schedule runs (with the same gap-based exit, the
+//!    common uncongested case certifies at iteration zero). The warm
+//!    phases only *add* candidate selections, so a warm solve is never
+//!    costlier than the cold solve of the same instance.
+//!
+//! Cold-start behavior is conservative by construction: the subgradient
+//! trajectory (step sizes, tie-breaking, update order) replicates
+//! [`crate::reference`] exactly, which the property tests in
+//! `tests/prop_alloc.rs` verify on seeded instances.
 
+use crate::instance::{SolveInstance, Totals, WarmStart};
 use crate::AllocRequest;
 use harp_types::{HarpError, ResourceVector, Result};
 
@@ -16,183 +44,370 @@ pub enum SolverKind {
     Exact,
 }
 
-/// Solves the selection problem: returns the chosen option index per
-/// request. Callers guarantee the instance is feasible at minimal demands.
-pub(crate) fn solve(
+/// How a [`Selection`] was produced — drives the RM overhead model and the
+/// warm-start statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveOutcome {
+    /// Instance fingerprint matched the previous solve; answer replayed.
+    MemoHit,
+    /// Duality-gap certificate reached before the full iteration schedule.
+    Certified,
+    /// Full iteration schedule ran (or a non-Lagrangian solver).
+    Full,
+}
+
+/// The subgradient iteration count of the reference solver; `work == 1.0`
+/// corresponds to this effort (the `solve_cost_ns` overhead model in
+/// `crates/rm` is calibrated against it).
+pub const REFERENCE_ITERS: u32 = 60;
+
+/// Iterations granted to the warm certify phase before falling back cold.
+const WARM_ITERS: u32 = 10;
+
+/// One solved selection.
+#[derive(Debug, Clone)]
+pub struct Selection {
+    /// Chosen option index per request (indices into the request's original
+    /// option list).
+    pub picks: Vec<usize>,
+    /// Sentinel-clamped total cost of the selection.
+    pub cost: f64,
+    /// Solve effort as a fraction of the reference solver's fixed
+    /// 60-iteration schedule (memo hits cost `1/60`, certified exits
+    /// `iterations/60`). The RM scales its modeled `solve_cost_ns` by this.
+    pub work: f64,
+    /// How the answer was produced.
+    pub outcome: SolveOutcome,
+}
+
+/// Solves the selection problem on the incremental engine and returns the
+/// chosen option index per request. Callers guarantee the instance is
+/// feasible at minimal demands. Pass a [`WarmStart`] to carry λ
+/// multipliers, previous picks and the instance memo across consecutive
+/// solves (only the Lagrangian path uses it).
+///
+/// # Errors
+///
+/// [`HarpError::InsufficientResources`] when no feasible selection exists,
+/// [`HarpError::Numeric`] when [`SolverKind::Exact`] refuses an instance
+/// with more than 5·10⁷ combinations (measured on the unpruned space).
+pub fn select(
     requests: &[AllocRequest],
     capacity: &ResourceVector,
     kind: SolverKind,
-) -> Result<Vec<usize>> {
+    warm: Option<&mut WarmStart>,
+) -> Result<Selection> {
+    let t0 = std::time::Instant::now();
+    let res = select_inner(requests, capacity, kind, warm);
+    if let Ok(sel) = &res {
+        crate::stats::record(t0.elapsed().as_nanos() as u64, sel.outcome);
+    }
+    res
+}
+
+fn select_inner(
+    requests: &[AllocRequest],
+    capacity: &ResourceVector,
+    kind: SolverKind,
+    warm: Option<&mut WarmStart>,
+) -> Result<Selection> {
+    if requests.is_empty() {
+        return Ok(Selection {
+            picks: Vec::new(),
+            cost: 0.0,
+            work: 0.0,
+            outcome: SolveOutcome::Full,
+        });
+    }
+    let inst = SolveInstance::build(requests, capacity);
+    crate::stats::record_pruned(inst.pruned as u64);
     match kind {
-        SolverKind::Lagrangian => lagrangian(requests, capacity),
-        SolverKind::Greedy => greedy(requests, capacity),
-        SolverKind::Exact => exact(requests, capacity),
+        SolverKind::Lagrangian => lagrangian(&inst, requests, warm),
+        SolverKind::Greedy => {
+            let picks = greedy_picks(&inst)?;
+            Ok(finish(&inst, picks, 1.0, SolveOutcome::Full))
+        }
+        SolverKind::Exact => {
+            let picks = exact(&inst, requests)?;
+            Ok(finish(&inst, picks, 1.0, SolveOutcome::Full))
+        }
     }
 }
 
-fn total_demand(requests: &[AllocRequest], picks: &[usize], num_kinds: usize) -> ResourceVector {
-    let mut total = ResourceVector::zero(num_kinds);
-    for (r, &p) in requests.iter().zip(picks) {
-        total = total
-            .checked_add(&r.options[p].demand())
-            .expect("uniform shapes");
+/// Maps internal picks to original option indices and packages the result.
+fn finish(inst: &SolveInstance, picks: Vec<usize>, work: f64, outcome: SolveOutcome) -> Selection {
+    Selection {
+        cost: inst.selection_cost(&picks),
+        picks: inst.to_original(&picks),
+        work,
+        outcome,
     }
-    total
 }
 
-fn is_feasible(requests: &[AllocRequest], picks: &[usize], capacity: &ResourceVector) -> bool {
-    total_demand(requests, picks, capacity.num_kinds()).fits_within(capacity)
-}
-
-fn selection_cost(requests: &[AllocRequest], picks: &[usize]) -> f64 {
-    requests
-        .iter()
-        .zip(picks)
-        .map(|(r, &p)| r.options[p].cost)
-        .sum()
-}
-
-/// The index of each request's smallest-total-demand option (ties broken by
-/// cost) — the guaranteed-feasible fallback selection.
-fn minimal_picks(requests: &[AllocRequest]) -> Vec<usize> {
-    requests
-        .iter()
-        .map(|r| {
-            r.options
+/// One subgradient iteration's relaxed solve: per-app argmin of
+/// `cost + λ·demand`, accumulated demand in `demand`, relaxed picks in
+/// `picks`. Returns the Lagrangian dual value `L(λ)` — a valid lower bound
+/// on the optimal selection cost for any λ ≥ 0.
+fn relax(inst: &SolveInstance, lambda: &[f64], picks: &mut [usize], demand: &mut [u32]) -> f64 {
+    demand.fill(0);
+    let mut value = 0.0f64;
+    for (app, pick) in picks.iter_mut().enumerate() {
+        let mut best = inst.options(app).start;
+        let mut best_v = f64::INFINITY;
+        for j in inst.options(app) {
+            let penalty: f64 = inst
+                .demand(j)
                 .iter()
-                .enumerate()
-                .min_by(|(_, a), (_, b)| {
-                    a.demand().total().cmp(&b.demand().total()).then(
-                        a.cost
-                            .partial_cmp(&b.cost)
-                            .unwrap_or(std::cmp::Ordering::Equal),
-                    )
-                })
-                .map(|(i, _)| i)
-                .expect("validated nonempty")
-        })
-        .collect()
+                .zip(lambda)
+                .map(|(&c, &l)| l * c as f64)
+                .sum();
+            let v = inst.cost(j) + penalty;
+            if v < best_v {
+                best_v = v;
+                best = j;
+            }
+        }
+        *pick = best;
+        for (t, &d) in demand.iter_mut().zip(inst.demand(best)) {
+            *t += d;
+        }
+        value += best_v;
+    }
+    let relaxed_capacity: f64 = lambda
+        .iter()
+        .zip(&inst.capacity)
+        .map(|(&l, &r)| l * r as f64)
+        .sum();
+    value - relaxed_capacity
 }
 
-/// Lagrangian relaxation: relax Eq. 1b with multipliers λ ≥ 0, solve the
-/// separable per-application subproblems, update λ by projected
-/// subgradient, then repair to feasibility and greedily use leftovers.
-fn lagrangian(requests: &[AllocRequest], capacity: &ResourceVector) -> Result<Vec<usize>> {
-    let num_kinds = capacity.num_kinds();
-    let mut lambda = vec![0.0f64; num_kinds];
-    let mut picks = minimal_picks(requests);
-    let mut best_feasible: Option<(f64, Vec<usize>)> = None;
+/// Projected subgradient step with the reference solver's diminishing step
+/// schedule (`it` counts from zero within the phase).
+fn subgradient_step(inst: &SolveInstance, lambda: &mut [f64], demand: &[u32], it: u32) {
+    let step = inst.cost_scale / ((it + 1) as f64).sqrt() / inst.capacity_total.max(1) as f64;
+    for ((l, &d), &r) in lambda.iter_mut().zip(demand).zip(&inst.capacity) {
+        let g = d as f64 - r as f64;
+        *l = (*l + step * g).max(0.0);
+    }
+}
 
-    // Normalize the subgradient step by the cost scale so convergence does
-    // not depend on the magnitude of ζ.
-    let cost_scale = requests
-        .iter()
-        .flat_map(|r| r.options.iter().map(|o| o.cost))
-        .filter(|c| c.is_finite() && *c > 0.0)
-        .fold(0.0f64, f64::max)
-        .max(1e-9);
+struct Subgradient {
+    lambda: Vec<f64>,
+    picks: Vec<usize>,
+    demand: Vec<u32>,
+    best: Option<(f64, Vec<usize>)>,
+    iters: u32,
+    certified: bool,
+}
 
-    const ITERS: usize = 60;
-    for it in 0..ITERS {
-        // Per-app argmin of ζ + λ·r.
-        for (i, r) in requests.iter().enumerate() {
-            let mut best = 0usize;
-            let mut best_v = f64::INFINITY;
-            for (j, o) in r.options.iter().enumerate() {
-                let d = o.demand();
-                let penalty: f64 = d
-                    .counts()
-                    .iter()
-                    .enumerate()
-                    .map(|(k, &c)| lambda[k] * c as f64)
-                    .sum();
-                let v = if o.cost.is_finite() {
-                    o.cost + penalty
-                } else {
-                    // Infinite-cost options only win if nothing else exists.
-                    f64::MAX / 4.0 + penalty
-                };
-                if v < best_v {
-                    best_v = v;
-                    best = j;
+impl Subgradient {
+    /// Runs up to `max_iters` subgradient iterations, exiting early once
+    /// the duality gap of the incumbent drops within `tol`.
+    fn run(&mut self, inst: &SolveInstance, max_iters: u32, tol: f64) {
+        for it in 0..max_iters {
+            self.iters += 1;
+            let lower = relax(inst, &self.lambda, &mut self.picks, &mut self.demand);
+            if inst.fits(&self.demand) {
+                let cost = inst.selection_cost(&self.picks);
+                if self.best.as_ref().is_none_or(|(c, _)| cost < *c) {
+                    self.best = Some((cost, self.picks.clone()));
                 }
             }
-            picks[i] = best;
-        }
-        let demand = total_demand(requests, &picks, num_kinds);
-        if demand.fits_within(capacity) {
-            let cost = selection_cost(requests, &picks);
-            if best_feasible.as_ref().is_none_or(|(c, _)| cost < *c) {
-                best_feasible = Some((cost, picks.clone()));
+            if let Some((best_cost, _)) = &self.best {
+                if best_cost - lower <= tol {
+                    self.certified = true;
+                    return;
+                }
             }
+            subgradient_step(inst, &mut self.lambda, &self.demand, it);
         }
-        // Projected subgradient step with diminishing step size.
-        let step = cost_scale / ((it + 1) as f64).sqrt() / capacity.total().max(1) as f64;
-        for (k, l) in lambda.iter_mut().enumerate() {
-            let g = demand.counts()[k] as f64 - capacity.counts()[k] as f64;
-            *l = (*l + step * g).max(0.0);
+    }
+}
+
+fn lagrangian(
+    inst: &SolveInstance,
+    requests: &[AllocRequest],
+    mut warm: Option<&mut WarmStart>,
+) -> Result<Selection> {
+    // Phase 0: memo — bit-identical instance, replay the previous answer.
+    if let Some(w) = warm.as_deref_mut() {
+        if let Some((fp, memo_picks)) = &w.memo {
+            if *fp == inst.fingerprint && inst.picks_valid(memo_picks) {
+                w.memo_hits += 1;
+                let picks = memo_picks.clone();
+                return Ok(finish(
+                    inst,
+                    picks,
+                    1.0 / REFERENCE_ITERS as f64,
+                    SolveOutcome::MemoHit,
+                ));
+            }
         }
     }
 
-    let mut picks = match best_feasible {
-        Some((_, p)) => p,
-        None => {
-            // Repair from the last relaxed selection.
-            repair(requests, picks, capacity)?
-        }
+    // Seed candidate from the previous tick's picks (keyed by app/op so it
+    // survives arrivals and departures), repaired to feasibility.
+    let seed = warm
+        .as_deref()
+        .and_then(|w| seed_candidate(inst, requests, w));
+
+    let tol = 1e-9 * inst.cost_scale.max(1.0);
+    let mut sg = Subgradient {
+        lambda: vec![0.0; inst.num_kinds],
+        picks: vec![0usize; inst.num_apps()],
+        demand: vec![0u32; inst.num_kinds],
+        best: seed.clone(),
+        iters: 0,
+        certified: false,
     };
-    upgrade(requests, &mut picks, capacity);
-    // The subgradient iteration and the greedy climb explore different
-    // basins; keep whichever feasible selection is cheaper (this makes the
-    // production solver dominate the greedy baseline by construction).
-    if let Ok(greedy_picks) = greedy(requests, capacity) {
-        if selection_cost(requests, &greedy_picks) < selection_cost(requests, &picks) {
-            picks = greedy_picks;
+
+    // Phase 1: certify from the carried λ vector. Consecutive RM ticks
+    // shift the instance only slightly, so the previous multipliers usually
+    // certify the incumbent within a few iterations.
+    if let Some(w) = warm.as_deref() {
+        if w.lambda.len() == inst.num_kinds && w.lambda.iter().any(|&l| l > 0.0) {
+            sg.lambda.copy_from_slice(&w.lambda);
+            sg.run(inst, WARM_ITERS, tol);
         }
     }
-    Ok(picks)
+
+    // Phase 2: cold schedule — λ from zero, the reference solver's exact
+    // trajectory (same step sizes, tie-breaking and update order). In the
+    // uncongested case the relaxed picks at λ = 0 are feasible with a zero
+    // gap, so even cold solves certify at iteration zero.
+    if !sg.certified {
+        sg.lambda.fill(0.0);
+        sg.run(inst, REFERENCE_ITERS, tol);
+    }
+
+    let picks = if sg.certified {
+        sg.best.take().expect("certified implies incumbent").1
+    } else {
+        // No certificate: finish the way the reference solver does —
+        // repair the last relaxed selection if nothing feasible was seen,
+        // climb with upgrades, and keep the better of the subgradient and
+        // greedy basins (plus the warm seed, which only improves things).
+        let mut picks = match sg.best.take() {
+            Some((_, p)) => p,
+            None => repair(inst, sg.picks.clone())?.0,
+        };
+        let mut totals = Totals::new(inst, &picks);
+        upgrade(inst, &mut picks, &mut totals);
+        let mut cost = inst.selection_cost(&picks);
+        if let Ok(g) = greedy_picks(inst) {
+            let g_cost = inst.selection_cost(&g);
+            if g_cost < cost {
+                picks = g;
+                cost = g_cost;
+            }
+        }
+        if let Some((s_cost, s_picks)) = seed {
+            if s_cost < cost {
+                picks = s_picks;
+            }
+        }
+        picks
+    };
+
+    let outcome = if sg.certified {
+        SolveOutcome::Certified
+    } else {
+        SolveOutcome::Full
+    };
+    if let Some(w) = warm {
+        w.lambda.clone_from(&sg.lambda);
+        w.last_picks = requests
+            .iter()
+            .zip(&picks)
+            .map(|(r, &p)| (r.app, r.options[inst.original(p)].op))
+            .collect();
+        w.memo = Some((inst.fingerprint, picks.clone()));
+        match outcome {
+            SolveOutcome::Certified => w.certified_exits += 1,
+            SolveOutcome::Full => w.full_solves += 1,
+            SolveOutcome::MemoHit => unreachable!("memo returns earlier"),
+        }
+    }
+    Ok(finish(
+        inst,
+        picks,
+        sg.iters.max(1) as f64 / REFERENCE_ITERS as f64,
+        outcome,
+    ))
+}
+
+/// Maps the previous tick's `(app, op)` picks onto the current instance
+/// (apps may have arrived, departed, or lost options to pruning), repairs
+/// to feasibility and climbs. Returns `(cost, picks)` or `None` when
+/// nothing carries over.
+fn seed_candidate(
+    inst: &SolveInstance,
+    requests: &[AllocRequest],
+    w: &WarmStart,
+) -> Option<(f64, Vec<usize>)> {
+    if w.last_picks.is_empty() {
+        return None;
+    }
+    let minimal = inst.minimal_picks();
+    let mut mapped = 0usize;
+    let picks: Vec<usize> = requests
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let carried = w
+                .last_picks
+                .iter()
+                .find(|(app, _)| *app == r.app)
+                .and_then(|(_, op)| {
+                    let orig = r.options.iter().position(|o| o.op == *op)?;
+                    inst.kept_original(i, orig)
+                });
+            match carried {
+                Some(p) => {
+                    mapped += 1;
+                    p
+                }
+                None => minimal[i],
+            }
+        })
+        .collect();
+    if mapped == 0 {
+        return None;
+    }
+    let totals = Totals::new(inst, &picks);
+    let (mut picks, _) = if totals.fits(inst) {
+        (picks, 0)
+    } else {
+        repair(inst, picks).ok()?
+    };
+    let mut totals = Totals::new(inst, &picks);
+    upgrade(inst, &mut picks, &mut totals);
+    Some((inst.selection_cost(&picks), picks))
 }
 
 /// Repair an infeasible selection: repeatedly apply the downgrade with the
 /// best (cost increase) / (overshoot reduction) ratio until feasible.
-fn repair(
-    requests: &[AllocRequest],
-    mut picks: Vec<usize>,
-    capacity: &ResourceVector,
-) -> Result<Vec<usize>> {
-    let num_kinds = capacity.num_kinds();
+/// Totals are delta-maintained, so each candidate swap costs O(kinds).
+/// Returns the repaired picks and the number of swap rounds taken.
+pub(crate) fn repair(inst: &SolveInstance, mut picks: Vec<usize>) -> Result<(Vec<usize>, u32)> {
+    let mut totals = Totals::new(inst, &picks);
+    let mut rounds = 0u32;
     loop {
-        let demand = total_demand(requests, &picks, num_kinds);
-        let overshoot: i64 = demand
-            .counts()
-            .iter()
-            .zip(capacity.counts())
-            .map(|(&d, &c)| (d as i64 - c as i64).max(0))
-            .sum();
-        if overshoot == 0 {
-            return Ok(picks);
+        if totals.overshoot(inst) == 0 {
+            return Ok((picks, rounds));
         }
+        rounds += 1;
         let mut best: Option<(f64, usize, usize)> = None; // (ratio, app, option)
-        for (i, r) in requests.iter().enumerate() {
-            let cur = &r.options[picks[i]];
-            for (j, o) in r.options.iter().enumerate() {
-                if j == picks[i] {
+        for (i, &cur) in picks.iter().enumerate() {
+            for j in inst.options(i) {
+                if j == cur {
                     continue;
                 }
-                // Overshoot reduction if we swap.
-                let mut reduction = 0i64;
-                for k in 0..num_kinds {
-                    let d = demand.counts()[k] as i64;
-                    let cap = capacity.counts()[k] as i64;
-                    let delta = o.demand().counts()[k] as i64 - cur.demand().counts()[k] as i64;
-                    let new_over = (d + delta - cap).max(0);
-                    let old_over = (d - cap).max(0);
-                    reduction += old_over - new_over;
-                }
+                let reduction = totals.reduction_after_swap(inst, cur, j);
                 if reduction <= 0 {
                     continue;
                 }
-                let dcost = cost_or_large(o.cost) - cost_or_large(cur.cost);
+                let dcost = inst.cost(j) - inst.cost(cur);
                 let ratio = dcost / reduction as f64;
                 if best.is_none_or(|(b, _, _)| ratio < b) {
                     best = Some((ratio, i, j));
@@ -200,13 +415,16 @@ fn repair(
             }
         }
         match best {
-            Some((_, i, j)) => picks[i] = j,
+            Some((_, i, j)) => {
+                totals.swap(inst, picks[i], j);
+                picks[i] = j;
+            }
             None => {
                 // No single swap helps; fall back to the minimal selection,
                 // which the caller guarantees is feasible.
-                let min = minimal_picks(requests);
-                if is_feasible(requests, &min, capacity) {
-                    return Ok(min);
+                let min = inst.minimal_picks();
+                if Totals::new(inst, &min).fits(inst) {
+                    return Ok((min, rounds));
                 }
                 return Err(HarpError::InsufficientResources {
                     detail: "repair failed on an infeasible instance".into(),
@@ -216,150 +434,130 @@ fn repair(
     }
 }
 
-/// Greedy improvement: while feasible swaps with lower cost exist, apply the
-/// best one. Uses leftover capacity (the paper's RM hands unassigned cores
-/// to exploring applications; here they go to whoever benefits most).
-fn upgrade(requests: &[AllocRequest], picks: &mut [usize], capacity: &ResourceVector) {
+/// Greedy improvement: while feasible swaps with lower cost exist, apply
+/// the best one. Candidate feasibility is checked against the
+/// delta-maintained totals in O(kinds).
+pub(crate) fn upgrade(inst: &SolveInstance, picks: &mut [usize], totals: &mut Totals) {
     loop {
         let mut best: Option<(f64, usize, usize)> = None;
-        for (i, r) in requests.iter().enumerate() {
-            let cur_cost = cost_or_large(r.options[picks[i]].cost);
-            for (j, o) in r.options.iter().enumerate() {
-                if j == picks[i] {
+        for (i, &cur) in picks.iter().enumerate() {
+            let cur_cost = inst.cost(cur);
+            for j in inst.options(i) {
+                if j == cur {
                     continue;
                 }
-                let gain = cur_cost - cost_or_large(o.cost);
+                let gain = cur_cost - inst.cost(j);
                 if gain <= 1e-12 {
                     continue;
                 }
-                let old = picks[i];
-                picks[i] = j;
-                let ok = is_feasible(requests, picks, capacity);
-                picks[i] = old;
-                if ok && best.is_none_or(|(g, _, _)| gain > g) {
+                if totals.fits_after_swap(inst, cur, j) && best.is_none_or(|(g, _, _)| gain > g) {
                     best = Some((gain, i, j));
                 }
             }
         }
         match best {
-            Some((_, i, j)) => picks[i] = j,
+            Some((_, i, j)) => {
+                totals.swap(inst, picks[i], j);
+                picks[i] = j;
+            }
             None => return,
         }
     }
 }
 
-fn cost_or_large(c: f64) -> f64 {
-    if c.is_finite() {
-        c
-    } else {
-        f64::MAX / 4.0
-    }
-}
-
 /// Greedy heuristic: start from the minimal selection (repaired if the
 /// min-total choices overload a kind), then apply upgrades.
-fn greedy(requests: &[AllocRequest], capacity: &ResourceVector) -> Result<Vec<usize>> {
-    let mut picks = minimal_picks(requests);
-    if !is_feasible(requests, &picks, capacity) {
-        picks = repair(requests, picks, capacity)?;
+fn greedy_picks(inst: &SolveInstance) -> Result<Vec<usize>> {
+    let mut picks = inst.minimal_picks();
+    if !Totals::new(inst, &picks).fits(inst) {
+        picks = repair(inst, picks)?.0;
     }
-    upgrade(requests, &mut picks, capacity);
+    let mut totals = Totals::new(inst, &picks);
+    upgrade(inst, &mut picks, &mut totals);
     Ok(picks)
 }
 
-/// Exact branch-and-bound over the (small) selection space.
-fn exact(requests: &[AllocRequest], capacity: &ResourceVector) -> Result<Vec<usize>> {
+/// Exact branch-and-bound. The refusal guard measures the *unpruned*
+/// option space (the caller-visible instance size); the search itself runs
+/// on the pruned arrays with a push/pop scratch demand vector.
+fn exact(inst: &SolveInstance, requests: &[AllocRequest]) -> Result<Vec<usize>> {
     let space: f64 = requests.iter().map(|r| r.options.len() as f64).product();
     if space > 5e7 {
         return Err(HarpError::Numeric {
             detail: format!("exact solver refuses {space:.0} combinations"),
         });
     }
-    let num_kinds = capacity.num_kinds();
-    let mut best_cost = f64::INFINITY;
-    let mut best: Option<Vec<usize>> = None;
-    let mut picks = vec![0usize; requests.len()];
-
+    let n = inst.num_apps();
     // Per-app lower bound on remaining cost for pruning.
-    let min_costs: Vec<f64> = requests
-        .iter()
-        .map(|r| {
-            r.options
-                .iter()
-                .map(|o| cost_or_large(o.cost))
-                .fold(f64::INFINITY, f64::min)
-        })
-        .collect();
-    let suffix_min: Vec<f64> = {
-        let mut v = vec![0.0; requests.len() + 1];
-        for i in (0..requests.len()).rev() {
-            v[i] = v[i + 1] + min_costs[i];
-        }
-        v
-    };
-
-    #[allow(clippy::too_many_arguments)]
-    fn dfs(
-        requests: &[AllocRequest],
-        capacity: &ResourceVector,
-        suffix_min: &[f64],
-        picks: &mut Vec<usize>,
-        depth: usize,
-        used: ResourceVector,
-        cost: f64,
-        best_cost: &mut f64,
-        best: &mut Option<Vec<usize>>,
-    ) {
-        if cost + suffix_min[depth] >= *best_cost {
-            return;
-        }
-        if depth == requests.len() {
-            *best_cost = cost;
-            *best = Some(picks.clone());
-            return;
-        }
-        for (j, o) in requests[depth].options.iter().enumerate() {
-            let next_used = match used.checked_add(&o.demand()) {
-                Ok(u) => u,
-                Err(_) => continue,
-            };
-            if !next_used.fits_within(capacity) {
-                continue;
-            }
-            picks[depth] = j;
-            dfs(
-                requests,
-                capacity,
-                suffix_min,
-                picks,
-                depth + 1,
-                next_used,
-                cost + cost_or_large(o.cost),
-                best_cost,
-                best,
-            );
-        }
+    let mut suffix_min = vec![0.0f64; n + 1];
+    for app in (0..n).rev() {
+        let min_cost = inst
+            .options(app)
+            .map(|j| inst.cost(j))
+            .fold(f64::INFINITY, f64::min);
+        suffix_min[app] = suffix_min[app + 1] + min_cost;
     }
-
-    dfs(
-        requests,
-        capacity,
-        &suffix_min,
-        &mut picks,
-        0,
-        ResourceVector::zero(num_kinds),
-        0.0,
-        &mut best_cost,
-        &mut best,
-    );
-    best.ok_or_else(|| HarpError::InsufficientResources {
+    let mut search = ExactSearch {
+        inst,
+        suffix_min,
+        best_cost: f64::INFINITY,
+        best: None,
+        picks: vec![0usize; n],
+        used: vec![0u32; inst.num_kinds],
+    };
+    search.dfs(0, 0.0);
+    search.best.ok_or_else(|| HarpError::InsufficientResources {
         detail: "exact solver found no feasible selection".into(),
     })
+}
+
+struct ExactSearch<'a> {
+    inst: &'a SolveInstance,
+    suffix_min: Vec<f64>,
+    best_cost: f64,
+    best: Option<Vec<usize>>,
+    picks: Vec<usize>,
+    used: Vec<u32>,
+}
+
+impl ExactSearch<'_> {
+    fn dfs(&mut self, depth: usize, cost: f64) {
+        if cost + self.suffix_min[depth] >= self.best_cost {
+            return;
+        }
+        if depth == self.inst.num_apps() {
+            self.best_cost = cost;
+            self.best = Some(self.picks.clone());
+            return;
+        }
+        for j in self.inst.options(depth) {
+            let row = self.inst.demand(j);
+            let fits = self
+                .used
+                .iter()
+                .zip(row)
+                .zip(&self.inst.capacity)
+                .all(|((&u, &d), &c)| u + d <= c);
+            if !fits {
+                continue;
+            }
+            for (u, &d) in self.used.iter_mut().zip(row) {
+                *u += d;
+            }
+            self.picks[depth] = j;
+            self.dfs(depth + 1, cost + self.inst.cost(j));
+            let row = self.inst.demand(j);
+            for (u, &d) in self.used.iter_mut().zip(row) {
+                *u -= d;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::instance::INFINITE_COST;
     use crate::AllocOption;
     use harp_types::{AppId, ErvShape, ExtResourceVector, OpId};
 
@@ -390,6 +588,14 @@ mod tests {
         }
     }
 
+    fn solve(reqs: &[AllocRequest], capacity: &ResourceVector, kind: SolverKind) -> Vec<usize> {
+        select(reqs, capacity, kind, None).unwrap().picks
+    }
+
+    fn feasible(reqs: &[AllocRequest], picks: &[usize], capacity: &ResourceVector) -> bool {
+        crate::reference::is_feasible(reqs, picks, capacity)
+    }
+
     #[test]
     fn exact_finds_optimum() {
         // capacity (2,2): optimum is app1 big (1), app2 little (2): cost 3.
@@ -398,9 +604,9 @@ mod tests {
             req(1, vec![opt(&[1, 0], 1.0), opt(&[0, 1], 5.0)]),
             req(2, vec![opt(&[2, 0], 1.0), opt(&[0, 2], 2.0)]),
         ];
-        let picks = exact(&reqs, &capacity).unwrap();
-        assert_eq!(selection_cost(&reqs, &picks), 3.0);
-        assert!(is_feasible(&reqs, &picks, &capacity));
+        let sel = select(&reqs, &capacity, SolverKind::Exact, None).unwrap();
+        assert_eq!(sel.cost, 3.0);
+        assert!(feasible(&reqs, &sel.picks, &capacity));
     }
 
     #[test]
@@ -408,8 +614,7 @@ mod tests {
         let capacity = ResourceVector::new(vec![1, 0]);
         let reqs = vec![req(1, vec![opt(&[1, 0], 1.0), opt(&[0, 1], 0.1)])];
         // The cheap option needs a little core that doesn't exist.
-        let picks = exact(&reqs, &capacity).unwrap();
-        assert_eq!(picks, vec![0]);
+        assert_eq!(solve(&reqs, &capacity, SolverKind::Exact), vec![0]);
     }
 
     #[test]
@@ -424,8 +629,7 @@ mod tests {
             SolverKind::Greedy,
             SolverKind::Exact,
         ] {
-            let picks = solve(&reqs, &capacity, kind).unwrap();
-            assert_eq!(picks, vec![0, 0], "{kind:?}");
+            assert_eq!(solve(&reqs, &capacity, kind), vec![0, 0], "{kind:?}");
         }
     }
 
@@ -451,14 +655,14 @@ mod tests {
                 })
                 .collect();
             // Only evaluate feasible instances (callers guarantee this).
-            let min = minimal_picks(&reqs);
-            if !is_feasible(&reqs, &min, &capacity) {
+            let inst = SolveInstance::build(&reqs, &capacity);
+            if !Totals::new(&inst, &inst.minimal_picks()).fits(&inst) {
                 continue;
             }
-            let e = exact(&reqs, &capacity).unwrap();
-            let l = lagrangian(&reqs, &capacity).unwrap();
-            assert!(is_feasible(&reqs, &l, &capacity));
-            let gap = selection_cost(&reqs, &l) / selection_cost(&reqs, &e).max(1e-9);
+            let e = select(&reqs, &capacity, SolverKind::Exact, None).unwrap();
+            let l = select(&reqs, &capacity, SolverKind::Lagrangian, None).unwrap();
+            assert!(feasible(&reqs, &l.picks, &capacity));
+            let gap = l.cost / e.cost.max(1e-9);
             worst_gap = worst_gap.max(gap);
         }
         assert!(worst_gap < 1.5, "worst approximation gap {worst_gap}");
@@ -469,8 +673,7 @@ mod tests {
         let capacity = ResourceVector::new(vec![4, 4]);
         // Minimal pick is the small/expensive one; capacity allows upgrade.
         let reqs = vec![req(1, vec![opt(&[1, 0], 10.0), opt(&[3, 2], 2.0)])];
-        let picks = greedy(&reqs, &capacity).unwrap();
-        assert_eq!(picks, vec![1]);
+        assert_eq!(solve(&reqs, &capacity, SolverKind::Greedy), vec![1]);
     }
 
     #[test]
@@ -481,8 +684,66 @@ mod tests {
             req(2, vec![opt(&[2, 0], 1.0), opt(&[0, 1], 4.0)]),
         ];
         // Both at their favourite: infeasible (4 big > 2).
-        let picks = repair(&reqs, vec![0, 0], &capacity).unwrap();
-        assert!(is_feasible(&reqs, &picks, &capacity));
+        let inst = SolveInstance::build(&reqs, &capacity);
+        let start = vec![inst.options(0).start, inst.options(1).start];
+        let (picks, _) = repair(&inst, start).unwrap();
+        assert!(feasible(&reqs, &inst.to_original(&picks), &capacity));
+    }
+
+    #[test]
+    fn repair_uses_multi_unit_swaps_sparingly() {
+        // 50 apps each holding a 4-core option with a 1-core downgrade.
+        // Capacity forces ~47 downgrades worth ~3 units each; with
+        // delta-maintained totals repair must finish in far fewer rounds
+        // than the total overshoot (the regression guarded here: the old
+        // solver recomputed total demand from scratch every round, and a
+        // round per overshoot *unit* would be 3× as many rounds).
+        let n = 50u32;
+        let capacity = ResourceVector::new(vec![60, 200]);
+        let reqs: Vec<AllocRequest> = (0..n)
+            .map(|a| {
+                req(
+                    a as u64 + 1,
+                    vec![opt(&[4, 0], 1.0), opt(&[0, 1], 2.0 + a as f64 * 0.01)],
+                )
+            })
+            .collect();
+        let inst = SolveInstance::build(&reqs, &capacity);
+        let start: Vec<usize> = (0..n as usize).map(|i| inst.options(i).start).collect();
+        let overshoot = Totals::new(&inst, &start).overshoot(&inst);
+        assert!(overshoot > 0);
+        let (picks, rounds) = repair(&inst, start).unwrap();
+        assert!(Totals::new(&inst, &picks).fits(&inst));
+        assert!(
+            (rounds as i64) < overshoot,
+            "repair took {rounds} rounds for overshoot {overshoot}"
+        );
+    }
+
+    #[test]
+    fn all_infinite_cost_app_still_gets_minimal_option() {
+        // Every option of app 1 is infinite-cost: the sentinel keeps the
+        // argmin well-defined and the app receives its minimal option
+        // rather than crashing or starving.
+        let capacity = ResourceVector::new(vec![4, 4]);
+        let reqs = vec![req(
+            1,
+            vec![
+                opt(&[3, 0], f64::INFINITY),
+                opt(&[1, 0], f64::INFINITY),
+                opt(&[0, 2], f64::INFINITY),
+            ],
+        )];
+        for kind in [
+            SolverKind::Lagrangian,
+            SolverKind::Greedy,
+            SolverKind::Exact,
+        ] {
+            let sel = select(&reqs, &capacity, kind, None).unwrap();
+            assert!(feasible(&reqs, &sel.picks, &capacity), "{kind:?}");
+            assert_eq!(sel.picks, vec![1], "{kind:?}");
+            assert_eq!(sel.cost, INFINITE_COST, "{kind:?}");
+        }
     }
 
     #[test]
@@ -490,9 +751,69 @@ mod tests {
         let capacity = ResourceVector::new(vec![100, 100]);
         let opts: Vec<AllocOption> = (0..60).map(|i| opt(&[1, 0], i as f64)).collect();
         let reqs: Vec<AllocRequest> = (0..10).map(|a| req(a, opts.clone())).collect();
+        // Dominance pruning would collapse each app to one option, but the
+        // refusal guard must key on the caller-visible (unpruned) space.
         assert!(matches!(
-            exact(&reqs, &capacity),
+            select(&reqs, &capacity, SolverKind::Exact, None),
             Err(HarpError::Numeric { .. })
         ));
+    }
+
+    #[test]
+    fn memo_replays_identical_instances() {
+        let capacity = ResourceVector::new(vec![4, 4]);
+        let reqs = vec![
+            req(1, vec![opt(&[2, 0], 1.0), opt(&[0, 2], 3.0)]),
+            req(2, vec![opt(&[0, 2], 1.0), opt(&[2, 0], 3.0)]),
+        ];
+        let mut warm = WarmStart::new();
+        let first = select(&reqs, &capacity, SolverKind::Lagrangian, Some(&mut warm)).unwrap();
+        let second = select(&reqs, &capacity, SolverKind::Lagrangian, Some(&mut warm)).unwrap();
+        assert_eq!(second.outcome, SolveOutcome::MemoHit);
+        assert_eq!(second.picks, first.picks);
+        assert_eq!(warm.memo_hits(), 1);
+        assert!(second.work < 0.05);
+    }
+
+    #[test]
+    fn uncongested_instances_certify_at_iteration_zero() {
+        // Plenty of capacity: the λ=0 relaxed picks are feasible and the
+        // duality gap is exactly zero, so even a cold solve exits after one
+        // iteration with work 1/60.
+        let capacity = ResourceVector::new(vec![16, 16]);
+        let reqs = vec![
+            req(1, vec![opt(&[2, 0], 1.0), opt(&[0, 2], 3.0)]),
+            req(2, vec![opt(&[0, 2], 1.0), opt(&[2, 0], 3.0)]),
+        ];
+        let sel = select(&reqs, &capacity, SolverKind::Lagrangian, None).unwrap();
+        assert_eq!(sel.outcome, SolveOutcome::Certified);
+        assert_eq!(sel.picks, vec![0, 0]);
+        assert!((sel.work - 1.0 / REFERENCE_ITERS as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warm_solve_stays_feasible_after_cost_drift() {
+        let capacity = ResourceVector::new(vec![4, 8]);
+        let mk = |bump: f64| {
+            vec![
+                req(1, vec![opt(&[2, 0], 1.0 + bump), opt(&[0, 3], 4.0)]),
+                req(2, vec![opt(&[2, 0], 1.5), opt(&[0, 3], 3.5 + bump)]),
+                req(3, vec![opt(&[2, 0], 2.0), opt(&[0, 3], 3.0)]),
+            ]
+        };
+        let mut warm = WarmStart::new();
+        for t in 0..6 {
+            let reqs = mk(t as f64 * 1e-3);
+            let w = select(&reqs, &capacity, SolverKind::Lagrangian, Some(&mut warm)).unwrap();
+            let cold = select(&reqs, &capacity, SolverKind::Lagrangian, None).unwrap();
+            assert!(feasible(&reqs, &w.picks, &capacity), "tick {t}");
+            assert!(
+                w.cost <= cold.cost + 1e-9 * cold.cost.abs().max(1.0),
+                "tick {t}: warm {} vs cold {}",
+                w.cost,
+                cold.cost
+            );
+        }
+        assert!(warm.memo_hits() + warm.certified_exits() + warm.full_solves() == 6);
     }
 }

@@ -3,7 +3,7 @@
 //! the same core twice (outside co-allocation), and always honours the
 //! selected point's resource structure.
 
-use harp_alloc::{allocate, AllocOption, AllocRequest, SolverKind};
+use harp_alloc::{allocate, reference, select, AllocOption, AllocRequest, SolverKind, WarmStart};
 use harp_types::{AppId, CoreKind, ExtResourceVector, OpId};
 use proptest::prelude::*;
 
@@ -99,6 +99,103 @@ proptest! {
         if !l.co_allocated && !g.co_allocated {
             prop_assert!(l.total_cost <= g.total_cost + 1e-6,
                 "lagrangian {} vs greedy {}", l.total_cost, g.total_cost);
+        }
+    }
+
+    #[test]
+    fn dominance_pruning_preserves_exact_optimum(reqs in arb_requests()) {
+        // The engine's Exact solver searches the dominance-pruned option
+        // space; the reference searches the full space. A dominated option
+        // can always be replaced by its dominator without raising cost or
+        // demand, so the optima must coincide.
+        let hw = harp_platform::presets::raptor_lake();
+        let capacity = hw.capacity();
+        let engine = select(&reqs, &capacity, SolverKind::Exact, None);
+        let refr = reference::select(&reqs, &capacity, SolverKind::Exact);
+        match (engine, refr) {
+            (Ok(e), Ok(r)) => {
+                prop_assert!(reference::is_feasible(&reqs, &e.picks, &capacity));
+                let r_cost = reference::selection_cost(&reqs, &r);
+                prop_assert!(
+                    (e.cost - r_cost).abs() <= 1e-9 * r_cost.abs().max(1.0),
+                    "pruned optimum {} vs unpruned {}", e.cost, r_cost
+                );
+            }
+            (Err(_), Err(_)) => {}
+            (e, r) => prop_assert!(false, "solvability diverged: {e:?} vs {r:?}"),
+        }
+    }
+
+    #[test]
+    fn cold_engine_is_cost_equal_to_reference_lagrangian(reqs in arb_requests()) {
+        // Without warm state the engine replays the reference solver's
+        // exact subgradient trajectory (same step schedule, tie-breaking
+        // and update order); the duality-gap exit only fires when the
+        // incumbent is certified within 1e-9·scale of optimal, so the
+        // cold-start cost matches the reference to that tolerance.
+        let hw = harp_platform::presets::raptor_lake();
+        let capacity = hw.capacity();
+        let engine = select(&reqs, &capacity, SolverKind::Lagrangian, None);
+        let refr = reference::select(&reqs, &capacity, SolverKind::Lagrangian);
+        match (engine, refr) {
+            (Ok(e), Ok(r)) => {
+                prop_assert!(reference::is_feasible(&reqs, &e.picks, &capacity));
+                let r_cost = reference::selection_cost(&reqs, &r);
+                let tol = 1e-9 * r_cost.abs().max(100.0);
+                prop_assert!(
+                    (e.cost - r_cost).abs() <= tol,
+                    "cold engine {} vs reference {}", e.cost, r_cost
+                );
+            }
+            (Err(_), Err(_)) => {}
+            (e, r) => prop_assert!(false, "solvability diverged: {e:?} vs {r:?}"),
+        }
+    }
+
+    #[test]
+    fn warm_solves_track_cold_across_arrivals_and_departures(reqs in arb_requests()) {
+        // Thread one WarmStart through a simulated tick sequence — repeat,
+        // cost drift, departure, arrival — and require every warm answer to
+        // be feasible and no costlier than a cold solve of the same
+        // instance (the warm phases only add candidate selections).
+        let hw = harp_platform::presets::raptor_lake();
+        let capacity = hw.capacity();
+        let mut warm = WarmStart::new();
+        let mut ticks: Vec<Vec<AllocRequest>> = Vec::new();
+        ticks.push(reqs.clone());
+        ticks.push(reqs.clone()); // identical: memo path
+        let mut drifted = reqs.clone();
+        for o in &mut drifted[0].options {
+            o.cost *= 1.0 + 1e-3; // small drift: certify path
+        }
+        ticks.push(drifted.clone());
+        if drifted.len() > 1 {
+            let mut departed = drifted.clone();
+            departed.pop(); // departure
+            ticks.push(departed);
+        }
+        ticks.push(drifted); // arrival (app returns)
+        for (t, tick_reqs) in ticks.iter().enumerate() {
+            let cold = select(tick_reqs, &capacity, SolverKind::Lagrangian, None);
+            let w = select(tick_reqs, &capacity, SolverKind::Lagrangian, Some(&mut warm));
+            match (w, cold) {
+                (Ok(w), Ok(c)) => {
+                    prop_assert!(
+                        reference::is_feasible(tick_reqs, &w.picks, &capacity),
+                        "tick {t}: warm selection infeasible"
+                    );
+                    prop_assert!(
+                        w.cost <= c.cost + 1e-9 * c.cost.abs().max(1.0),
+                        "tick {t}: warm {} vs cold {}", w.cost, c.cost
+                    );
+                }
+                (Ok(w), Err(_)) => {
+                    // Warm state may rescue instances the cold solver gives
+                    // up on; the answer must still be feasible.
+                    prop_assert!(reference::is_feasible(tick_reqs, &w.picks, &capacity));
+                }
+                (Err(_), _) => {}
+            }
         }
     }
 }

@@ -1,0 +1,298 @@
+//! Solver-engine microbenchmark: sweeps apps × options × kinds and
+//! compares the incremental MMKP engine (cold and warm-started) against
+//! the frozen reference solver, emitting `BENCH_solver.json`.
+//!
+//! Two measurements per configuration:
+//!
+//! * **cold** — a single one-shot solve, engine vs reference, on a
+//!   congested instance (cheap options oversubscribe capacity so the
+//!   subgradient schedule actually runs).
+//! * **warm ticks** — a 32-tick RM-style sequence (arrival burst, cost
+//!   drift, departure, re-arrival, with unchanged instances in between).
+//!   The engine threads one [`WarmStart`] through all ticks; the
+//!   reference re-solves every tick from scratch. `warm_speedup` is the
+//!   reference total divided by the engine total.
+//!
+//! Run with `cargo bench -p harp-bench --bench solver`. Environment:
+//!
+//! * `HARP_SOLVER_BENCH_QUICK=1` — smoke mode: small configs, few reps
+//!   (used by `ci.sh`; the compat criterion harness has no CLI parsing,
+//!   so quick mode is an env var rather than a flag).
+//! * `HARP_SOLVER_BENCH_JSON=path` — output path (defaults to the repo
+//!   root `BENCH_solver.json`).
+//!
+//! The binary re-parses whatever it wrote and exits non-zero if the
+//! JSON is malformed, so CI can gate on the artifact.
+
+use criterion::{black_box, Criterion};
+use harp_alloc::{reference, select, AllocOption, AllocRequest, SolverKind, WarmStart};
+use harp_types::{AppId, ErvShape, ExtResourceVector, OpId, ResourceVector};
+use serde::Deserialize;
+use std::time::Instant;
+
+/// Shape the emitted JSON is checked against before it is written: the
+/// bench re-parses its own output so CI can trust the committed artifact.
+#[derive(Deserialize)]
+struct CheckFile {
+    quick: bool,
+    rows: Vec<CheckRow>,
+}
+
+#[derive(Deserialize)]
+struct CheckRow {
+    apps: u64,
+    options: u64,
+    warm_speedup: f64,
+}
+
+/// One benched configuration plus its measurements.
+struct Row {
+    apps: usize,
+    options: usize,
+    kinds: usize,
+    cold_engine_ns: u128,
+    cold_reference_ns: u128,
+    warm_ticks: usize,
+    warm_engine_ns: u128,
+    warm_reference_ns: u128,
+    memo_hits: u64,
+    certified: u64,
+    full: u64,
+}
+
+impl Row {
+    fn warm_speedup(&self) -> f64 {
+        self.warm_reference_ns as f64 / (self.warm_engine_ns as f64).max(1.0)
+    }
+}
+
+/// Deterministic congested instance: cheaper operating points demand more
+/// cores (the classic MMKP shape), so the per-app minima oversubscribe
+/// capacity and the solver has to trade cost against congestion.
+fn requests(apps: usize, options: usize, kinds: usize, shape: &ErvShape) -> Vec<AllocRequest> {
+    (0..apps)
+        .map(|a| AllocRequest {
+            app: AppId(a as u64 + 1),
+            options: (0..options)
+                .map(|o| {
+                    let mut flat = vec![0u32; kinds];
+                    flat[a % kinds] = (options - o) as u32;
+                    flat[(a + o) % kinds] += ((a * 5 + o * 3) % 2) as u32;
+                    AllocOption {
+                        op: OpId(o),
+                        cost: 1.0 + (o * 5) as f64 + ((a * 7 + o * 13) % 9) as f64 * 0.1,
+                        erv: ExtResourceVector::from_flat(shape, &flat).expect("fits shape"),
+                    }
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+fn capacity_for(apps: usize, kinds: usize) -> ResourceVector {
+    ResourceVector::new(vec![(apps * 2) as u32; kinds])
+}
+
+/// The RM-style tick schedule: 4 distinct instances (initial, drifted,
+/// departed, drifted-again), each followed by a run of unchanged ticks.
+fn tick_schedule(reqs: &[AllocRequest], ticks: usize) -> Vec<Vec<AllocRequest>> {
+    let mut drifted = reqs.to_vec();
+    for o in &mut drifted[0].options {
+        o.cost *= 1.0 + 5e-4;
+    }
+    let mut departed = drifted.clone();
+    departed.pop();
+    let phases: [&[AllocRequest]; 4] = [reqs, &drifted, &departed, &drifted];
+    (0..ticks)
+        .map(|t| phases[(t * phases.len()) / ticks].to_vec())
+        .collect()
+}
+
+/// Median of `reps` timed runs of `f`, in nanoseconds.
+fn median_ns(reps: usize, mut f: impl FnMut()) -> u128 {
+    f(); // warm-up
+    let mut samples: Vec<u128> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn bench_config(apps: usize, options: usize, kinds: usize, reps: usize) -> Row {
+    let shape = ErvShape::new(vec![1; kinds]);
+    let reqs = requests(apps, options, kinds, &shape);
+    let capacity = capacity_for(apps, kinds);
+
+    let cold_engine_ns = median_ns(reps, || {
+        black_box(select(&reqs, &capacity, SolverKind::Lagrangian, None)).ok();
+    });
+    let cold_reference_ns = median_ns(reps, || {
+        black_box(reference::select(&reqs, &capacity, SolverKind::Lagrangian)).ok();
+    });
+
+    let warm_ticks = 32;
+    let ticks = tick_schedule(&reqs, warm_ticks);
+    let mut counters = (0u64, 0u64, 0u64);
+    let warm_engine_ns = median_ns(reps, || {
+        let mut warm = WarmStart::new();
+        for tick in &ticks {
+            black_box(select(
+                tick,
+                &capacity,
+                SolverKind::Lagrangian,
+                Some(&mut warm),
+            ))
+            .ok();
+        }
+        counters = (warm.memo_hits(), warm.certified_exits(), warm.full_solves());
+    });
+    let warm_reference_ns = median_ns(reps, || {
+        for tick in &ticks {
+            black_box(reference::select(tick, &capacity, SolverKind::Lagrangian)).ok();
+        }
+    });
+
+    Row {
+        apps,
+        options,
+        kinds,
+        cold_engine_ns,
+        cold_reference_ns,
+        warm_ticks,
+        warm_engine_ns,
+        warm_reference_ns,
+        memo_hits: counters.0,
+        certified: counters.1,
+        full: counters.2,
+    }
+}
+
+fn render_json(quick: bool, rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{{\n  \"quick\": {quick},\n  \"rows\": [\n"));
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"apps\": {}, \"options\": {}, \"kinds\": {}, \
+             \"cold_engine_ns\": {}, \"cold_reference_ns\": {}, \
+             \"warm_ticks\": {}, \"warm_engine_ns\": {}, \"warm_reference_ns\": {}, \
+             \"warm_speedup\": {:.3}, \
+             \"memo_hits\": {}, \"certified\": {}, \"full\": {}}}{}\n",
+            r.apps,
+            r.options,
+            r.kinds,
+            r.cold_engine_ns,
+            r.cold_reference_ns,
+            r.warm_ticks,
+            r.warm_engine_ns,
+            r.warm_reference_ns,
+            r.warm_speedup(),
+            r.memo_hits,
+            r.certified,
+            r.full,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn criterion_display(c: &mut Criterion) {
+    let kinds = 3;
+    let shape = ErvShape::new(vec![1; kinds]);
+    let reqs = requests(16, 8, kinds, &shape);
+    let capacity = capacity_for(16, kinds);
+    let ticks = tick_schedule(&reqs, 32);
+    let mut group = c.benchmark_group("solver");
+    group.bench_function("cold_engine_16x8x3", |b| {
+        b.iter(|| select(black_box(&reqs), &capacity, SolverKind::Lagrangian, None))
+    });
+    group.bench_function("cold_reference_16x8x3", |b| {
+        b.iter(|| reference::select(black_box(&reqs), &capacity, SolverKind::Lagrangian))
+    });
+    group.bench_function("warm_32ticks_16x8x3", |b| {
+        b.iter(|| {
+            let mut warm = WarmStart::new();
+            for tick in &ticks {
+                select(
+                    black_box(tick),
+                    &capacity,
+                    SolverKind::Lagrangian,
+                    Some(&mut warm),
+                )
+                .ok();
+            }
+            warm.memo_hits()
+        })
+    });
+    group.finish();
+}
+
+fn main() {
+    let quick = std::env::var("HARP_SOLVER_BENCH_QUICK").is_ok();
+    let (configs, reps): (&[(usize, usize, usize)], usize) = if quick {
+        (&[(4, 4, 2), (16, 8, 3)], 3)
+    } else {
+        (
+            &[(4, 4, 2), (8, 8, 2), (16, 8, 3), (16, 12, 4), (32, 16, 3)],
+            9,
+        )
+    };
+
+    if !quick {
+        criterion_display(&mut Criterion::default());
+    }
+
+    let rows: Vec<Row> = configs
+        .iter()
+        .map(|&(apps, options, kinds)| {
+            let row = bench_config(apps, options, kinds, reps);
+            println!(
+                "sweep {apps}x{options}x{kinds}: cold engine {} ns vs reference {} ns; \
+                 warm {} ticks {} ns vs reference {} ns ({:.1}x, {} memo / {} certified / {} full)",
+                row.cold_engine_ns,
+                row.cold_reference_ns,
+                row.warm_ticks,
+                row.warm_engine_ns,
+                row.warm_reference_ns,
+                row.warm_speedup(),
+                row.memo_hits,
+                row.certified,
+                row.full,
+            );
+            row
+        })
+        .collect();
+
+    let json = render_json(quick, &rows);
+    let parsed: CheckFile = match serde_json::from_str(&json) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("solver bench: generated JSON does not parse: {e}");
+            std::process::exit(1);
+        }
+    };
+    if parsed.quick != quick || parsed.rows.len() != rows.len() {
+        eprintln!("solver bench: generated JSON does not round-trip");
+        std::process::exit(1);
+    }
+    for r in &parsed.rows {
+        if r.apps >= 16 && r.options >= 8 && r.warm_speedup < 3.0 {
+            eprintln!(
+                "solver bench: WARNING: warm speedup {:.2}x below 3x at {}x{}",
+                r.warm_speedup, r.apps, r.options
+            );
+        }
+    }
+    let path = std::env::var("HARP_SOLVER_BENCH_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_solver.json").to_string()
+    });
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("solver bench: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {path}");
+}

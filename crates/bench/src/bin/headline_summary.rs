@@ -89,6 +89,17 @@ fn main() {
         serial_total / parallel_total.max(1e-9),
         if identical { "identical" } else { "DIFFERENT" }
     );
+    // Aggregate solver cost across both passes (printed, never rendered
+    // into the byte-compared tables).
+    let s = harp_alloc::stats::snapshot();
+    println!(
+        "Solver: {} solves in {:.1} ms wall ({} memo hits, {} certified early exits, {} full)",
+        s.solves,
+        s.wall_ms(),
+        s.memo_hits,
+        s.certified,
+        s.full
+    );
 
     let json = format!(
         "{{\n  \"reduced\": {reduced},\n  \"workers\": {workers},\n  \"figures\": [\n    \

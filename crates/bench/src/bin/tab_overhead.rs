@@ -19,4 +19,17 @@ fn main() {
             std::process::exit(1);
         }
     }
+    // Real solver cost next to the modeled overhead (printed after the
+    // table so the rendered study stays wall-clock free).
+    let s = harp_alloc::stats::snapshot();
+    println!(
+        "\nSolver: {} solves in {:.1} ms wall ({} memo hits, {} certified early exits, \
+         {} full, {} dominated options pruned)",
+        s.solves,
+        s.wall_ms(),
+        s.memo_hits,
+        s.certified,
+        s.full,
+        s.pruned_options
+    );
 }

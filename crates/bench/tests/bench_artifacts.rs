@@ -1,0 +1,60 @@
+//! Guards on the committed benchmark artifacts: `BENCH_solver.json` must
+//! stay parseable and keep demonstrating the warm-start speedup the
+//! solver engine was built for (≥ 3x on every row with at least 16 apps
+//! and 8 operating points). Regenerate the artifact with
+//! `cargo bench -p harp-bench --bench solver` after solver changes.
+
+use serde::Deserialize;
+
+#[derive(Deserialize)]
+struct BenchFile {
+    quick: bool,
+    rows: Vec<Row>,
+}
+
+#[derive(Deserialize)]
+struct Row {
+    apps: u64,
+    options: u64,
+    kinds: u64,
+    warm_ticks: u64,
+    warm_speedup: f64,
+    memo_hits: u64,
+    certified: u64,
+    full: u64,
+}
+
+#[test]
+fn committed_solver_bench_parses_and_meets_speedup_floor() {
+    let text = include_str!("../../../BENCH_solver.json");
+    let file: BenchFile = serde_json::from_str(text).expect("BENCH_solver.json parses");
+    assert!(!file.quick, "committed artifact must come from a full run");
+    assert!(!file.rows.is_empty(), "artifact has no rows");
+    let mut large_rows = 0;
+    for r in &file.rows {
+        assert!(r.kinds >= 2, "solver rows must be heterogeneous");
+        assert_eq!(
+            r.memo_hits + r.certified + r.full,
+            r.warm_ticks,
+            "every warm tick must be accounted for ({}x{}x{})",
+            r.apps,
+            r.options,
+            r.kinds
+        );
+        if r.apps >= 16 && r.options >= 8 {
+            large_rows += 1;
+            assert!(
+                r.warm_speedup >= 3.0,
+                "warm speedup {:.2}x below the 3x floor at {}x{}x{}",
+                r.warm_speedup,
+                r.apps,
+                r.options,
+                r.kinds
+            );
+        }
+    }
+    assert!(
+        large_rows >= 1,
+        "artifact needs at least one row with >= 16 apps and >= 8 options"
+    );
+}

@@ -1,6 +1,6 @@
 //! The transport-agnostic RM state machine.
 
-use harp_alloc::{allocate, hw_threads_for, AllocOption, AllocRequest, SolverKind};
+use harp_alloc::{allocate_warm, hw_threads_for, AllocOption, AllocRequest, SolverKind, WarmStart};
 use harp_energy::EnergyAttributor;
 use harp_explore::{ExplorationConfig, Explorer, SampleOutcome, Stage};
 use harp_platform::HardwareDescription;
@@ -64,6 +64,12 @@ pub struct RmOutput {
     pub directives: Vec<Directive>,
     /// Number of allocation solves performed.
     pub solves: u32,
+    /// Summed solver effort of those solves, as a fraction of the
+    /// reference solver's full iteration schedule (see
+    /// [`harp_alloc::Selection::work`]). Warm-started rounds report far
+    /// less than `solves × 1.0`; the overhead model charges
+    /// `solve_cost_ns × solve_work`.
+    pub solve_work: f64,
 }
 
 impl RmOutput {
@@ -74,6 +80,7 @@ impl RmOutput {
             self.directives.push(d);
         }
         self.solves += other.solves;
+        self.solve_work += other.solve_work;
     }
 }
 
@@ -127,6 +134,11 @@ pub struct RmCore {
     /// Operating-point profiles persisted across application runs, keyed by
     /// application name (the `/etc/harp` profile store, §4.3).
     profiles: HashMap<String, OperatingPointTable>,
+    /// Solver warm-start state carried between allocation rounds:
+    /// consecutive rounds differ by at most an arrival, departure or small
+    /// cost drift, so the λ multipliers, previous picks and instance memo
+    /// let warm rounds converge in a handful of iterations.
+    warm: WarmStart,
 }
 
 impl std::fmt::Debug for RmCore {
@@ -151,12 +163,19 @@ impl RmCore {
             last_package_energy: 0.0,
             last_cpu: HashMap::new(),
             profiles: HashMap::new(),
+            warm: WarmStart::new(),
         }
     }
 
     /// The RM configuration.
     pub fn config(&self) -> &RmConfig {
         &self.cfg
+    }
+
+    /// The solver warm-start state carried between allocation rounds
+    /// (memo/certificate counters for the overhead study).
+    pub fn warm_start(&self) -> &WarmStart {
+        &self.warm
     }
 
     /// Installs an operating-point profile for an application name (from a
@@ -371,6 +390,7 @@ impl RmCore {
                     out.merge(RmOutput {
                         directives: vec![d],
                         solves: 0,
+                        solve_work: 0.0,
                     });
                 }
             }
@@ -407,6 +427,7 @@ impl RmCore {
         let mut out = RmOutput {
             directives: Vec::new(),
             solves: 1,
+            solve_work: 0.0, // set from the allocation below
         };
         let mut ids: Vec<AppId> = self.sessions.keys().copied().collect();
         ids.sort();
@@ -436,7 +457,8 @@ impl RmCore {
             }
         }
 
-        let allocation = allocate(&requests, hw, self.cfg.solver)?;
+        let allocation = allocate_warm(&requests, hw, self.cfg.solver, &mut self.warm)?;
+        out.solve_work = allocation.solve_work;
         let co = allocation.co_allocated;
 
         // 2. Used cores and leftovers.
@@ -814,6 +836,50 @@ mod tests {
         };
         let out = rm.tick(&obs).unwrap();
         assert!(out.directives.is_empty());
+    }
+
+    #[test]
+    fn warm_start_persists_between_allocation_rounds() {
+        let hw = presets::raptor_lake();
+        let shape = hw.erv_shape();
+        let mut cfg = RmConfig::default();
+        cfg.offline = true;
+        let mut rm = RmCore::new(hw, cfg);
+        for (i, name) in ["wa", "wb", "wc"].iter().enumerate() {
+            rm.load_profile(
+                *name,
+                table_from_points(vec![
+                    (
+                        ExtResourceVector::from_flat(&shape, &[0, 2, 0]).unwrap(),
+                        NonFunctional::new(10.0, 20.0 + i as f64),
+                    ),
+                    (
+                        ExtResourceVector::from_flat(&shape, &[0, 0, 4]).unwrap(),
+                        NonFunctional::new(8.0, 9.0 + i as f64),
+                    ),
+                ]),
+            );
+        }
+        let mut total_work = 0.0;
+        for (i, name) in ["wa", "wb", "wc"].iter().enumerate() {
+            let out = rm.register(AppId(i as u64 + 1), name, false).unwrap();
+            assert_eq!(out.solves, 1);
+            total_work += out.solve_work;
+        }
+        // Departures re-solve against warm state too.
+        let out = rm.deregister(AppId(3)).unwrap();
+        total_work += out.solve_work;
+        // Four allocation rounds over a slowly changing app set: the warm
+        // solver must not have paid 4 full reference schedules.
+        assert!(
+            total_work < 4.0,
+            "warm rounds should cost less than cold ones, got {total_work}"
+        );
+        let w = rm.warm_start();
+        assert!(
+            w.memo_hits() + w.certified_exits() + w.full_solves() >= 4,
+            "warm state not threaded through reallocation"
+        );
     }
 
     #[test]

@@ -106,10 +106,16 @@ impl HarpSimManager {
         let message_cost = self.cfg.rm.message_cost_ns;
         let solve_cost = self.cfg.rm.solve_cost_ns;
         let napps = out.directives.len().max(1) as u64;
+        // `solve_work` scales the modeled solve cost by the actual solver
+        // effort (fraction of the reference iteration schedule) — warm
+        // rounds answered from the memo or a duality-gap certificate charge
+        // a fraction of a full solve. Iteration counts are deterministic,
+        // so this keeps runs bit-reproducible (unlike wall time).
+        let solve_charge = (solve_cost as f64 * out.solve_work) as u64 / napps;
         for d in &out.directives {
             // Communication + (spread) solve cost land on the application's
             // critical path, managed or not.
-            st.charge_overhead(d.app, message_cost + out.solves as u64 * solve_cost / napps);
+            st.charge_overhead(d.app, message_cost + solve_charge);
             if !self.cfg.actuation {
                 continue;
             }
