@@ -16,6 +16,11 @@ cargo build --release
 echo "==> cargo test -q (tier-1 gate)"
 cargo test -q
 
+echo "==> chaos suite (quick mode, fixed seeds)"
+# Deterministic bounded sweep of the fault-injection harness; the full
+# sweep is opt-in via HARP_CHAOS_FULL=1 (see DESIGN.md section 8).
+HARP_CHAOS_QUICK=1 cargo test -q -p harp-testkit --test chaos
+
 echo "==> solver bench smoke (quick mode)"
 # Quick sweep into a scratch path: never clobbers the committed
 # BENCH_solver.json (regenerate that with a full `cargo bench` run).

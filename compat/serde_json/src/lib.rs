@@ -403,6 +403,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::excessive_precision)] // over-precise literal is the point
     fn floats_round_trip_bit_exactly() {
         for &f in &[
             0.1,

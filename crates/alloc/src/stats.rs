@@ -95,8 +95,8 @@ mod tests {
         let after = snapshot();
         assert!(after.solves >= before.solves + 2);
         assert!(after.wall_ns >= before.wall_ns + 1_500);
-        assert!(after.memo_hits >= before.memo_hits + 1);
-        assert!(after.full >= before.full + 1);
+        assert!(after.memo_hits > before.memo_hits);
+        assert!(after.full > before.full);
         assert!(after.pruned_options >= before.pruned_options + 3);
     }
 

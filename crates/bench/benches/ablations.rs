@@ -118,9 +118,11 @@ fn explore_error(heuristic: bool, campaigns: usize, seed: u64) -> f64 {
     let hw = Platform::RaptorLake.hardware();
     let shape = hw.erv_shape();
     let capacity = hw.capacity();
-    let mut cfg = ExplorationConfig::default();
-    cfg.measurements_per_point = 5;
-    cfg.stable_threshold = usize::MAX; // keep exploring
+    let cfg = ExplorationConfig {
+        measurements_per_point: 5,
+        stable_threshold: usize::MAX, // keep exploring
+        ..Default::default()
+    };
     let mut ex = Explorer::new(&shape, &capacity, cfg).unwrap();
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let all = ExtResourceVector::enumerate(&shape, &ResourceVector::new(vec![3, 8]))
@@ -192,8 +194,10 @@ fn bench_ablation_explore(c: &mut Criterion) {
     g.bench_function("target_selection_refinement_stage", |b| {
         // Pre-measure enough points to be in the refinement stage, then
         // time one heuristic target selection.
-        let mut cfg = ExplorationConfig::default();
-        cfg.measurements_per_point = 1;
+        let cfg = ExplorationConfig {
+            measurements_per_point: 1,
+            ..Default::default()
+        };
         let mut ex = Explorer::new(&hw.erv_shape(), &hw.capacity(), cfg).unwrap();
         for _ in 0..10 {
             if let Some(t) = ex.begin_target(&hw.capacity()) {

@@ -52,9 +52,18 @@ impl UnixTransport {
                         Ok(None) | Err(_) => return,
                     }
                 }
-            })
-            .expect("spawning reader thread");
+            })?;
         Ok(UnixTransport { write: stream, rx })
+    }
+}
+
+impl Drop for UnixTransport {
+    /// Hang up on drop. Without this the reader thread's clone keeps the
+    /// socket half-open forever, so a crashed (or merely dropped) client
+    /// would never be reaped by the daemon — the chaos suite's
+    /// `client_crash_mid_exploration` scenario catches exactly that.
+    fn drop(&mut self) {
+        let _ = self.write.shutdown(std::net::Shutdown::Both);
     }
 }
 

@@ -39,4 +39,7 @@ mod client;
 mod server;
 
 pub use client::UnixTransport;
-pub use server::{DaemonConfig, DaemonHandle, HarpDaemon};
+pub use server::{
+    DaemonConfig, DaemonHandle, HarpDaemon, ERR_DUPLICATE_REGISTER, ERR_NO_SESSION, ERR_PROTOCOL,
+    ERR_REGISTER_REJECTED, ERR_SUBMIT_REJECTED,
+};

@@ -10,7 +10,28 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Protocol error code: a registration was rejected by the RM.
+pub const ERR_REGISTER_REJECTED: u32 = 1;
+/// Protocol error code: a malformed or torn frame was received.
+pub const ERR_PROTOCOL: u32 = 2;
+/// Protocol error code: a message that requires a session arrived before
+/// registration.
+pub const ERR_NO_SESSION: u32 = 3;
+/// Protocol error code: a second `Register` arrived on a connection that
+/// already holds a session.
+pub const ERR_DUPLICATE_REGISTER: u32 = 4;
+/// Protocol error code: a point submission was rejected by the RM.
+pub const ERR_SUBMIT_REJECTED: u32 = 5;
+
+/// Locks a mutex, recovering from poison: a connection thread that
+/// panicked while holding the lock must not take the whole daemon down
+/// with it — the guarded state (RM core, stream map) stays consistent
+/// because every mutation path hands back a fully-updated value.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -49,14 +70,21 @@ struct Shared {
 }
 
 impl Shared {
-    /// Relays the RM output to every affected application.
+    /// Relays the RM output to every affected application. Streams whose
+    /// peer is gone are pruned here; the session itself is deregistered by
+    /// its connection thread when it observes the hangup.
     fn route(&self, out: &RmOutput) {
-        let streams = self.streams.lock().unwrap();
+        let mut streams = lock(&self.streams);
+        let mut dead: Vec<AppId> = Vec::new();
         for d in &out.directives {
-            if let Some(stream) = streams.get(&d.app) {
-                let mut stream = stream;
-                let _ = frame::write_frame(&mut stream, &directive_to_activate(d));
+            if let Some(mut stream) = streams.get(&d.app) {
+                if frame::write_frame(&mut stream, &directive_to_activate(d)).is_err() {
+                    dead.push(d.app);
+                }
             }
+        }
+        for app in dead {
+            streams.remove(&app);
         }
     }
 }
@@ -126,8 +154,7 @@ impl HarpDaemon {
                         Err(_) => return,
                     }
                 }
-            })
-            .expect("spawning accept thread");
+            })?;
         Ok(DaemonHandle {
             shared,
             socket_path: cfg.socket_path,
@@ -144,11 +171,13 @@ impl DaemonHandle {
 
     /// Preloads an operating-point profile into the RM (description files).
     pub fn load_profile(&self, name: &str, points: Vec<(ExtResourceVector, NonFunctional)>) {
-        self.shared
-            .rm
-            .lock()
-            .unwrap()
-            .load_profile(name, harp_rm::table_from_points(points));
+        lock(&self.shared.rm).load_profile(name, harp_rm::table_from_points(points));
+    }
+
+    /// Ids of the applications the RM currently manages — the live-session
+    /// view used by operational checks and crash/regression tests.
+    pub fn managed_apps(&self) -> Vec<AppId> {
+        lock(&self.shared.rm).managed_apps()
     }
 
     /// Stops the daemon and removes the socket file.
@@ -163,58 +192,88 @@ impl DaemonHandle {
     }
 }
 
+/// Sends a protocol error notification to the peer; delivery is
+/// best-effort (the peer may already be gone).
+fn send_error(stream: &UnixStream, code: u32, detail: impl Into<String>) {
+    let _ = frame::write_frame(
+        stream,
+        &Message::Error(ErrorMsg {
+            code,
+            detail: detail.into(),
+        }),
+    );
+}
+
+/// Serves one client connection until clean exit, hangup, or a protocol
+/// violation. Every failure mode ends in the same cleanup: the write side
+/// is unrouted and the session (if any) deregistered, so a misbehaving or
+/// crashed client can never leak cores or wedge the daemon.
 fn handle_connection(shared: Arc<Shared>, stream: UnixStream) {
     let mut read = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     };
     let mut app: Option<AppId> = None;
-    while let Ok(Some(msg)) = frame::read_frame(&mut read) {
+    loop {
+        let msg = match frame::read_frame(&mut read) {
+            Ok(Some(m)) => m,
+            // Clean EOF at a frame boundary: treat like an exit.
+            Ok(None) => break,
+            // Torn, oversized or malformed frame — tell the peer (best
+            // effort) and drop the connection. Resynchronizing a byte
+            // stream after a framing error is not possible.
+            Err(e) => {
+                send_error(&stream, ERR_PROTOCOL, e.to_string());
+                break;
+            }
+        };
         match msg {
+            Message::Register(_) if app.is_some() => {
+                // A connection is one session; re-registration would leak
+                // the original session's resources.
+                send_error(
+                    &stream,
+                    ERR_DUPLICATE_REGISTER,
+                    "connection already holds a registered session",
+                );
+            }
             Message::Register(reg) => {
                 let id = AppId(shared.next_id.fetch_add(1, Ordering::SeqCst));
-                app = Some(id);
                 // Make the stream routable before the allocation round so
                 // this app receives its own activation.
                 if let Ok(clone) = stream.try_clone() {
-                    shared.streams.lock().unwrap().insert(id, clone);
+                    lock(&shared.streams).insert(id, clone);
                 }
-                let result =
-                    shared
-                        .rm
-                        .lock()
-                        .unwrap()
-                        .register(id, &reg.app_name, reg.provides_utility);
-                let mut write = &stream;
+                let result = lock(&shared.rm).register(id, &reg.app_name, reg.provides_utility);
                 match result {
                     Ok(out) => {
+                        app = Some(id);
                         let _ = frame::write_frame(
-                            &mut write,
+                            &stream,
                             &Message::RegisterAck(RegisterAck { app_id: id.raw() }),
                         );
                         shared.route(&out);
                     }
                     Err(e) => {
-                        let _ = frame::write_frame(
-                            &mut write,
-                            &Message::Error(ErrorMsg {
-                                code: 1,
-                                detail: e.to_string(),
-                            }),
-                        );
+                        lock(&shared.streams).remove(&id);
+                        send_error(&stream, ERR_REGISTER_REJECTED, e.to_string());
                     }
                 }
             }
             Message::SubmitPoints(sp) => {
-                let Some(id) = app else { continue };
+                let Some(id) = app else {
+                    send_error(&stream, ERR_NO_SESSION, "SubmitPoints before registration");
+                    continue;
+                };
                 let mut points = Vec::new();
                 for p in &sp.points {
                     if let Ok(erv) = ExtResourceVector::from_flat(&shared.shape, &p.erv_flat) {
                         points.push((erv, NonFunctional::new(p.utility, p.power)));
                     }
                 }
-                if let Ok(out) = shared.rm.lock().unwrap().submit_points(id, points) {
-                    shared.route(&out);
+                match lock(&shared.rm).submit_points(id, points) {
+                    Ok(out) => shared.route(&out),
+                    Err(e) => send_error(&stream, ERR_SUBMIT_REJECTED, e.to_string()),
                 }
             }
             Message::UtilityReport(_) => {
@@ -222,12 +281,15 @@ fn handle_connection(shared: Arc<Shared>, stream: UnixStream) {
                 // runs offline (see crate docs).
             }
             Message::Exit { .. } => break,
-            _ => {}
+            _ => {
+                // RM-to-application messages echoed back by a confused or
+                // malicious client carry no meaning here; ignore them.
+            }
         }
     }
     if let Some(id) = app {
-        shared.streams.lock().unwrap().remove(&id);
-        if let Ok(out) = shared.rm.lock().unwrap().deregister(id) {
+        lock(&shared.streams).remove(&id);
+        if let Ok(out) = lock(&shared.rm).deregister(id) {
             shared.route(&out);
         }
     }

@@ -1,0 +1,172 @@
+//! Regression: a client that dies mid-frame must not take the daemon down
+//! or disturb other sessions.
+//!
+//! The original server implementation unwrapped every socket read, so a
+//! peer hanging up in the middle of a `SubmitPoints` frame panicked the
+//! connection thread with the RM lock held and wedged the daemon. This
+//! test registers a raw client, tears its socket down half-way through a
+//! frame, and asserts that (a) the daemon reaps the dead session and (b) a
+//! concurrently-connected healthy session keeps receiving activations.
+
+use harp_daemon::{DaemonConfig, HarpDaemon, UnixTransport};
+use harp_platform::HardwareDescription;
+use harp_proto::frame;
+use harp_proto::{AdaptivityType, Message, Register, SubmitPoints, WirePoint};
+use harp_types::{ErvShape, ExtResourceVector, NonFunctional};
+use libharp::{HarpSession, SessionConfig};
+use std::io::Write as _;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn temp_socket(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("harp-disc-{}-{tag}.sock", std::process::id()))
+}
+
+fn points(shape: &ErvShape) -> Vec<(ExtResourceVector, NonFunctional)> {
+    vec![
+        (
+            ExtResourceVector::from_flat(shape, &[0, 4, 0]).unwrap(),
+            NonFunctional::new(3.0e10, 40.0),
+        ),
+        (
+            ExtResourceVector::from_flat(shape, &[0, 0, 8]).unwrap(),
+            NonFunctional::new(2.5e10, 15.0),
+        ),
+    ]
+}
+
+#[test]
+fn client_death_mid_frame_leaves_other_sessions_running() {
+    let hw = HardwareDescription::raptor_lake();
+    let shape = hw.erv_shape();
+    let socket = temp_socket("mid-frame");
+    let daemon = HarpDaemon::start(DaemonConfig::new(&socket, hw)).unwrap();
+
+    // Healthy session A, speaking the full libharp protocol.
+    let cfg = SessionConfig::new("healthy", AdaptivityType::Scalable)
+        .with_points(vec![2, 1], points(&shape));
+    let mut a = HarpSession::connect(UnixTransport::connect(&socket).unwrap(), cfg).unwrap();
+    let a_id = a.app_id();
+
+    // Raw client B: registers correctly...
+    let b = UnixStream::connect(&socket).unwrap();
+    let mut b_read = b.try_clone().unwrap();
+    frame::write_frame(
+        &b,
+        &Message::Register(Register {
+            pid: 4242,
+            app_name: "doomed".into(),
+            adaptivity: AdaptivityType::Scalable,
+            provides_utility: false,
+        }),
+    )
+    .unwrap();
+    let b_id = loop {
+        // Activations for the provisional grant may interleave with the ack.
+        match frame::read_frame(&mut b_read).unwrap().expect("ack frame") {
+            Message::RegisterAck(ack) => break ack.app_id,
+            _ => continue,
+        }
+    };
+    assert_ne!(b_id, a_id);
+
+    // ...then dies in the middle of a SubmitPoints frame: the length
+    // prefix promises more bytes than ever arrive.
+    let mut encoded = Vec::new();
+    frame::write_frame(
+        &mut encoded,
+        &Message::SubmitPoints(SubmitPoints {
+            app_id: b_id,
+            smt_widths: vec![2, 1],
+            points: vec![WirePoint {
+                erv_flat: vec![0, 4, 0],
+                utility: 1.0e10,
+                power: 20.0,
+            }],
+        }),
+    )
+    .unwrap();
+    assert!(encoded.len() > 8, "need a torn frame, not a torn prefix");
+    (&b).write_all(&encoded[..encoded.len() / 2]).unwrap();
+    drop(b_read);
+    drop(b);
+
+    // The daemon reaps B's session without operator intervention...
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let managed: Vec<u64> = daemon.managed_apps().iter().map(|x| x.raw()).collect();
+        if managed == [a_id] {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "dead session never reaped; still managing {managed:?}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // ...and keeps serving A: with B gone the whole machine belongs to A
+    // again, so the efficient 8-E-core point must (re)activate.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        a.poll(|| 0.0).unwrap();
+        if let Some(act) = a.allocation().current() {
+            if act.parallelism == 8 {
+                assert_eq!(act.hw_threads.len(), 8);
+                break;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "healthy session starved after peer crash (last: {:?})",
+            a.allocation().current()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    a.exit().unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !daemon.managed_apps().is_empty() {
+        assert!(Instant::now() < deadline, "exit never drained the RM");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    daemon.shutdown();
+}
+
+#[test]
+fn instant_hangup_after_connect_is_harmless() {
+    let socket = temp_socket("instant");
+    let daemon = HarpDaemon::start(DaemonConfig::new(
+        &socket,
+        HardwareDescription::raptor_lake(),
+    ))
+    .unwrap();
+    for _ in 0..16 {
+        // Connect-and-slam: no bytes at all, or a torn length prefix.
+        let s = UnixStream::connect(&socket).unwrap();
+        drop(s);
+        let s2 = UnixStream::connect(&socket).unwrap();
+        (&s2).write_all(&[0x10, 0x00]).unwrap();
+        drop(s2);
+    }
+    // The daemon still accepts and serves a real session afterwards.
+    let hw_shape = HardwareDescription::raptor_lake().erv_shape();
+    let cfg = SessionConfig::new("late", AdaptivityType::Scalable)
+        .with_points(vec![2, 1], points(&hw_shape));
+    let mut s = HarpSession::connect(UnixTransport::connect(&socket).unwrap(), cfg).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        s.poll(|| 0.0).unwrap();
+        if s.allocation().current().is_some() {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no activation after hangup storm"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    s.exit().unwrap();
+    daemon.shutdown();
+}

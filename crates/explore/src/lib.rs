@@ -473,12 +473,7 @@ mod tests {
     fn run_campaign(ex: &mut Explorer, available: &ResourceVector) -> Option<ExtResourceVector> {
         let target = ex.begin_target(available)?;
         let (u, p) = truth(&target);
-        loop {
-            match ex.record_sample(u, p).unwrap() {
-                SampleOutcome::Continue => {}
-                SampleOutcome::TargetDone => break,
-            }
-        }
+        while let SampleOutcome::Continue = ex.record_sample(u, p).unwrap() {}
         Some(target)
     }
 

@@ -172,7 +172,7 @@ mod tests {
             ExtResourceVector::from_flat(&shape, &[1, 1, 3]).unwrap(),
             NonFunctional::new(4.0, 8.0),
         );
-        let d = AppDescription::from_points("x", &shape, &[p.clone()]);
+        let d = AppDescription::from_points("x", &shape, std::slice::from_ref(&p));
         let pts = d.to_points().unwrap();
         assert_eq!(pts[0].0, p.erv);
         assert_eq!(pts[0].1, p.nfc);

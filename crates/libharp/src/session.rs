@@ -35,8 +35,14 @@ impl AllocationHandle {
     }
 
     /// The current activation, if any.
+    ///
+    /// Lock poison is recovered from: an activation is always written
+    /// whole, so a panicked writer cannot leave a torn value behind.
     pub fn current(&self) -> Option<Activation> {
-        self.inner.read().unwrap().clone()
+        self.inner
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 
     /// The current parallelization degree (defaults to `fallback` before
@@ -45,7 +51,7 @@ impl AllocationHandle {
     pub fn parallelism_or(&self, fallback: u32) -> u32 {
         self.inner
             .read()
-            .unwrap()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .as_ref()
             .map(|a| a.parallelism.max(1))
             .unwrap_or(fallback)
@@ -55,7 +61,10 @@ impl AllocationHandle {
     /// `Activate` message arrives; it is public so custom frontends (and
     /// tests) can drive a runtime directly.
     pub fn store(&self, a: Activation) {
-        *self.inner.write().unwrap() = Some(a);
+        *self
+            .inner
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(a);
     }
 }
 

@@ -13,6 +13,12 @@ use std::io::{Read, Write};
 /// prefixes allocating unbounded memory.
 pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
 
+/// Allocation granularity of the frame-body reader. A corrupted length
+/// prefix can claim up to [`MAX_FRAME_LEN`] bytes; reading in chunks means
+/// memory only grows as bytes actually arrive, so a peer that lies about
+/// the length and then stalls or disconnects costs at most one chunk.
+const READ_CHUNK: usize = 64 * 1024;
+
 /// Writes one framed message to `w`.
 ///
 /// A `&mut W` can be passed for any `W: Write`.
@@ -54,9 +60,16 @@ pub fn read_frame<R: Read>(mut r: R) -> Result<Option<Message>> {
     if len > MAX_FRAME_LEN {
         return Err(HarpError::protocol(format!("oversized frame: {len} bytes")));
     }
-    let mut body = vec![0u8; len as usize];
-    r.read_exact(&mut body)
-        .map_err(|_| HarpError::protocol("truncated frame body"))?;
+    let mut body = Vec::with_capacity((len as usize).min(READ_CHUNK));
+    let mut remaining = len as usize;
+    while remaining > 0 {
+        let take = remaining.min(READ_CHUNK);
+        let start = body.len();
+        body.resize(start + take, 0);
+        r.read_exact(&mut body[start..])
+            .map_err(|_| HarpError::protocol("truncated frame body"))?;
+        remaining -= take;
+    }
     Message::decode(&body).map(Some)
 }
 

@@ -277,28 +277,67 @@ impl RmCore {
     /// step 2: points parsed from the application description file). The
     /// points are recorded as measured and an allocation round runs.
     ///
+    /// The whole batch is validated before any point is recorded, so a
+    /// malformed submission leaves the session table untouched rather than
+    /// half-updated.
+    ///
     /// # Errors
     ///
-    /// Returns [`HarpError::NotFound`] for unknown applications.
+    /// Returns [`HarpError::NotFound`] for unknown applications,
+    /// [`HarpError::ShapeMismatch`] for points whose vector shape differs
+    /// from the machine's, and [`HarpError::Numeric`] for non-finite or
+    /// negative utility/power values.
     pub fn submit_points(
         &mut self,
         app: AppId,
         points: Vec<(ExtResourceVector, NonFunctional)>,
     ) -> Result<RmOutput> {
+        let shape = self.hw.erv_shape();
         let session = self
             .sessions
             .get_mut(&app)
             .ok_or_else(|| HarpError::not_found(format!("{app}")))?;
+        for (erv, nfc) in &points {
+            if erv.shape() != shape {
+                return Err(HarpError::ShapeMismatch {
+                    detail: format!(
+                        "submitted point shape {:?} does not match machine shape {:?}",
+                        erv.shape(),
+                        shape
+                    ),
+                });
+            }
+            if !nfc.utility.is_finite()
+                || !nfc.power.is_finite()
+                || nfc.utility < 0.0
+                || nfc.power < 0.0
+            {
+                return Err(HarpError::Numeric {
+                    detail: format!(
+                        "submitted point has non-finite or negative characteristics \
+                         (utility {}, power {})",
+                        nfc.utility, nfc.power
+                    ),
+                });
+            }
+        }
         session.explorer.seed_measured(points);
         self.reallocate()
     }
 
     /// Deregisters an application: its learned profile is persisted (the
     /// self-improving store of §4.3) and resources are re-balanced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarpError::NotFound`] for unknown applications — an
+    /// out-of-order deregistration (duplicate exit, exit before register)
+    /// is rejected without triggering a spurious allocation round.
     pub fn deregister(&mut self, app: AppId) -> Result<RmOutput> {
-        if let Some(s) = self.sessions.remove(&app) {
-            self.profiles.insert(s.name, s.explorer.into_table());
-        }
+        let Some(s) = self.sessions.remove(&app) else {
+            return Err(HarpError::not_found(format!("{app} is not registered")));
+        };
+        self.profiles.insert(s.name, s.explorer.into_table());
         self.attributor.remove(app);
         self.last_cpu.remove(&app);
         if self.sessions.is_empty() {
@@ -698,8 +737,10 @@ mod tests {
     fn offline_mode_uses_profiles_without_exploring() {
         let hw = presets::raptor_lake();
         let shape = hw.erv_shape();
-        let mut cfg = RmConfig::default();
-        cfg.offline = true;
+        let cfg = RmConfig {
+            offline: true,
+            ..Default::default()
+        };
         let mut rm = RmCore::new(hw, cfg);
         let points = vec![
             (
@@ -749,6 +790,52 @@ mod tests {
     }
 
     #[test]
+    fn out_of_order_lifecycle_is_rejected_without_state_damage() {
+        let mut rm = rm();
+        // Deregistration of an app that never registered: clean error.
+        assert!(rm.deregister(AppId(1)).is_err());
+        rm.register(AppId(1), "a", false).unwrap();
+        rm.register(AppId(2), "b", false).unwrap();
+        rm.deregister(AppId(1)).unwrap();
+        // Duplicate exit: rejected, the survivor keeps its resources.
+        assert!(rm.deregister(AppId(1)).is_err());
+        assert_eq!(rm.managed_apps(), vec![AppId(2)]);
+    }
+
+    #[test]
+    fn malformed_point_submissions_are_rejected_atomically() {
+        let hw = presets::raptor_lake();
+        let shape = hw.erv_shape();
+        let mut rm = RmCore::new(hw, RmConfig::default());
+        rm.register(AppId(1), "a", false).unwrap();
+        let good = ExtResourceVector::from_flat(&shape, &[0, 4, 0]).unwrap();
+        // Wrong shape (single-kind, no-SMT vector on the Raptor Lake RM).
+        let alien_shape = harp_types::ErvShape::new(vec![1]);
+        let alien = ExtResourceVector::from_flat(&alien_shape, &[1]).unwrap();
+        let r = rm.submit_points(
+            AppId(1),
+            vec![
+                (good.clone(), NonFunctional::new(1.0, 1.0)),
+                (alien, NonFunctional::new(1.0, 1.0)),
+            ],
+        );
+        assert!(matches!(r, Err(HarpError::ShapeMismatch { .. })));
+        // Non-finite characteristics.
+        let r = rm.submit_points(
+            AppId(1),
+            vec![(good.clone(), NonFunctional::new(f64::NAN, 1.0))],
+        );
+        assert!(matches!(r, Err(HarpError::Numeric { .. })));
+        let r = rm.submit_points(AppId(1), vec![(good, NonFunctional::new(1.0, -3.0))]);
+        assert!(matches!(r, Err(HarpError::Numeric { .. })));
+        // The rejected batches left no measured points behind.
+        assert_eq!(
+            rm.session_table(AppId(1)).map(|t| t.measured_count()),
+            Some(0)
+        );
+    }
+
+    #[test]
     fn unknown_app_ticks_are_ignored() {
         let mut rm = rm();
         let obs = TickObservations {
@@ -768,8 +855,10 @@ mod tests {
     fn submit_points_triggers_profile_driven_allocation() {
         let hw = presets::raptor_lake();
         let shape = hw.erv_shape();
-        let mut cfg = RmConfig::default();
-        cfg.offline = true;
+        let cfg = RmConfig {
+            offline: true,
+            ..Default::default()
+        };
         let mut rm = RmCore::new(hw, cfg);
         rm.register(AppId(1), "late-points", false).unwrap();
         let out = rm
@@ -801,8 +890,10 @@ mod tests {
     fn many_apps_on_a_tiny_machine_co_allocate() {
         let hw = presets::tiny_test(); // 4 cores total
         let shape = hw.erv_shape();
-        let mut cfg = RmConfig::default();
-        cfg.offline = true;
+        let cfg = RmConfig {
+            offline: true,
+            ..Default::default()
+        };
         let mut rm = RmCore::new(hw, cfg);
         // Six apps each demanding at least 2 big cores: no disjoint fit.
         for i in 1..=6u64 {
@@ -842,8 +933,10 @@ mod tests {
     fn warm_start_persists_between_allocation_rounds() {
         let hw = presets::raptor_lake();
         let shape = hw.erv_shape();
-        let mut cfg = RmConfig::default();
-        cfg.offline = true;
+        let cfg = RmConfig {
+            offline: true,
+            ..Default::default()
+        };
         let mut rm = RmCore::new(hw, cfg);
         for (i, name) in ["wa", "wb", "wc"].iter().enumerate() {
             rm.load_profile(
@@ -888,7 +981,7 @@ mod tests {
         let out = rm.register(AppId(1), "x", false).unwrap();
         let d = &out.directives[0];
         let hw = presets::raptor_lake();
-        let mut per_kind = vec![0u32; 2];
+        let mut per_kind = [0u32; 2];
         for c in &d.cores {
             per_kind[hw.kind_of_core(*c).unwrap().0] += 1;
         }

@@ -1,0 +1,180 @@
+//! Lifecycle invariants of [`RmCore`] under random operation interleavings.
+//!
+//! A random trace of register / submit / tick / deregister operations —
+//! including duplicate registrations, deregistration of unknown apps and
+//! skewed tick observations — must never panic, never leave a departed
+//! application holding cores, and keep per-kind core allocation within
+//! machine capacity whenever grants are disjoint (overlapping grants are
+//! the explicit co-allocation fallback of paper §4.2.2).
+
+use harp_platform::presets;
+use harp_rm::{AppObservation, Directive, RmConfig, RmCore, TickObservations};
+use harp_types::{AppId, ExtResourceVector, NonFunctional};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+/// One decoded trace operation: `(selector, app)` pairs from the strategy.
+const OP_REGISTER: u8 = 0;
+const OP_SUBMIT: u8 = 1;
+const OP_TICK: u8 = 2;
+const OP_DEREGISTER: u8 = 3;
+const OP_SUBMIT_UNKNOWN: u8 = 4;
+const OP_TICK_SKEWED: u8 = 5;
+
+fn check_directives(
+    directives: &[Directive],
+    live: &HashSet<u64>,
+    latest: &mut HashMap<u64, Directive>,
+) -> Result<(), TestCaseError> {
+    let hw = presets::raptor_lake();
+    for d in directives {
+        prop_assert!(
+            live.contains(&d.app.raw()),
+            "directive for departed app {}",
+            d.app
+        );
+        // Cores are valid, unique, and match the vector's per-kind demand.
+        let mut seen = HashSet::new();
+        let mut per_kind = vec![0u32; hw.num_kinds()];
+        for c in &d.cores {
+            prop_assert!(c.0 < hw.num_cores(), "core id {} out of range", c.0);
+            prop_assert!(seen.insert(c.0), "core {} granted twice to {}", c.0, d.app);
+            per_kind[hw.kind_of_core(*c).unwrap().0] += 1;
+        }
+        for (kind, &granted) in per_kind.iter().enumerate() {
+            prop_assert_eq!(granted, d.erv.cores_of_kind(kind));
+        }
+        prop_assert_eq!(d.hw_threads.len() as u32, d.parallelism);
+        latest.insert(d.app.raw(), d.clone());
+    }
+    // Departed apps must not linger in the latest-grant view.
+    latest.retain(|app, _| live.contains(app));
+    // Capacity: when all live grants are disjoint, per-kind totals must fit.
+    let mut all_cores = Vec::new();
+    for d in latest.values() {
+        all_cores.extend(d.cores.iter().map(|c| c.0));
+    }
+    let disjoint = {
+        let unique: HashSet<_> = all_cores.iter().copied().collect();
+        unique.len() == all_cores.len()
+    };
+    if disjoint {
+        let capacity = hw.capacity();
+        let mut per_kind = vec![0u32; hw.num_kinds()];
+        for d in latest.values() {
+            for (kind, total) in per_kind.iter_mut().enumerate() {
+                *total += d.erv.cores_of_kind(kind);
+            }
+        }
+        for (kind, &used) in per_kind.iter().enumerate() {
+            prop_assert!(
+                used <= capacity.count(harp_types::CoreKind(kind)),
+                "kind {} oversubscribed without co-allocation: {} granted",
+                kind,
+                used
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_lifecycle_traces_hold_invariants(
+        ops in proptest::collection::vec((0u8..=5, 1u64..=6), 1..40)
+    ) {
+        let hw = presets::raptor_lake();
+        let shape = hw.erv_shape();
+        let mut rm = RmCore::new(hw, RmConfig::default());
+        let mut live: HashSet<u64> = HashSet::new();
+        let mut latest: HashMap<u64, Directive> = HashMap::new();
+        let mut cpu: HashMap<u64, Vec<f64>> = HashMap::new();
+        let mut energy = 0.0f64;
+        let mut solves = 0u32;
+        let mut solve_work = 0.0f64;
+
+        for (step, &(op, app)) in ops.iter().enumerate() {
+            let out = match op {
+                OP_REGISTER => {
+                    let r = rm.register(AppId(app), &format!("app-{app}"), false);
+                    if live.contains(&app) {
+                        prop_assert!(r.is_err(), "step {step}: duplicate register accepted");
+                        continue;
+                    }
+                    live.insert(app);
+                    cpu.entry(app).or_insert_with(|| vec![0.0, 0.0]);
+                    r.expect("fresh registration succeeds")
+                }
+                OP_SUBMIT => {
+                    let points = vec![
+                        (
+                            ExtResourceVector::from_flat(&shape, &[0, 4, 0]).unwrap(),
+                            NonFunctional::new(3.0e10, 40.0 + app as f64),
+                        ),
+                        (
+                            ExtResourceVector::from_flat(&shape, &[0, 0, 8]).unwrap(),
+                            NonFunctional::new(2.5e10, 15.0 + app as f64),
+                        ),
+                    ];
+                    let r = rm.submit_points(AppId(app), points);
+                    if !live.contains(&app) {
+                        prop_assert!(r.is_err(), "step {step}: submit to unknown app accepted");
+                        continue;
+                    }
+                    r.expect("submission to live app succeeds")
+                }
+                OP_DEREGISTER => {
+                    let r = rm.deregister(AppId(app));
+                    if !live.contains(&app) {
+                        prop_assert!(r.is_err(), "step {step}: unknown deregistration accepted");
+                        continue;
+                    }
+                    live.remove(&app);
+                    r.expect("deregistration of live app succeeds")
+                }
+                OP_SUBMIT_UNKNOWN => {
+                    prop_assert!(rm.submit_points(AppId(app + 1000), vec![]).is_err());
+                    continue;
+                }
+                OP_TICK | OP_TICK_SKEWED => {
+                    let dt = 0.05;
+                    if op == OP_TICK {
+                        energy += 1.0 + app as f64 * 0.1;
+                    } else {
+                        // Skew: the energy counter goes backwards (RAPL
+                        // wrap / reset) — must clamp, not corrupt.
+                        energy = (energy - 5.0).max(0.0);
+                    }
+                    let apps: Vec<AppObservation> = live
+                        .iter()
+                        .map(|&a| {
+                            let c = cpu.get_mut(&a).expect("cpu tracked");
+                            c[0] += dt;
+                            AppObservation {
+                                app: AppId(a),
+                                utility_rate: 1.0e9 * (1.0 + a as f64),
+                                cpu_time: c.clone(),
+                            }
+                        })
+                        .collect();
+                    rm.tick(&TickObservations { dt_s: dt, package_energy_j: energy, apps })
+                        .expect("tick succeeds")
+                }
+                _ => unreachable!(),
+            };
+            solves += out.solves;
+            solve_work += out.solve_work;
+            check_directives(&out.directives, &live, &mut latest)?;
+            // The RM's own view matches the mirror.
+            let managed: HashSet<u64> = rm.managed_apps().iter().map(|a| a.raw()).collect();
+            prop_assert_eq!(&managed, &live, "step {}: live-set mismatch", step);
+        }
+        // Warm-started rounds never cost more than full reference solves.
+        prop_assert!(
+            solve_work <= solves as f64 + 1e-9,
+            "warm solve work {solve_work} exceeds {solves} full solves"
+        );
+    }
+}

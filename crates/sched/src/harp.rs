@@ -300,8 +300,10 @@ mod tests {
     fn no_scaling_variant_is_worse_than_full_harp() {
         let mut full = HarpSimManager::online();
         let with_scaling = run_with(&mut full, &["cg", "ft"]);
-        let mut cfg = HarpManagerConfig::default();
-        cfg.scaling = false;
+        let cfg = HarpManagerConfig {
+            scaling: false,
+            ..Default::default()
+        };
         let mut noscale = HarpSimManager::new(cfg);
         let without = run_with(&mut noscale, &["cg", "ft"]);
         assert!(
@@ -316,8 +318,10 @@ mod tests {
     fn overhead_mode_changes_little_but_costs_something() {
         let mut cfs = CfsManager::new();
         let base = run_with(&mut cfs, &["ep"]);
-        let mut cfg = HarpManagerConfig::default();
-        cfg.actuation = false;
+        let cfg = HarpManagerConfig {
+            actuation: false,
+            ..Default::default()
+        };
         let mut overhead_mgr = HarpSimManager::new(cfg);
         let taxed = run_with(&mut overhead_mgr, &["ep"]);
         let ratio = taxed.makespan_ns as f64 / base.makespan_ns as f64;

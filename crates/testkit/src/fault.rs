@@ -1,0 +1,303 @@
+//! Byte-level wire faults and a protocol client that misbehaves on purpose.
+//!
+//! [`ChaosClient`] speaks real `harp-proto` framing against a daemon
+//! socket, but every outgoing message can be passed through a list of
+//! [`Fault`]s first: corrupted bytes, lying length prefixes, torn writes,
+//! mid-frame disconnects, delays. This is how the scripted
+//! [scenarios](crate::scenarios) reproduce the client-side failure modes a
+//! production daemon must shrug off.
+
+use harp_proto::{frame, Message};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::io::Write;
+use std::net::Shutdown;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::Duration;
+
+/// One injected wire fault, applied to a single encoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Send only the first `keep` bytes of the frame, keep the connection
+    /// open (a stalled peer).
+    Truncate {
+        /// Bytes of the encoded frame to send.
+        keep: usize,
+    },
+    /// XOR one body byte (offset is taken modulo the frame length; the
+    /// mask is forced non-zero).
+    CorruptByte {
+        /// Byte offset into the encoded frame.
+        offset: usize,
+        /// XOR mask.
+        xor: u8,
+    },
+    /// Overwrite the length prefix with `u32::MAX` — claims a frame far
+    /// beyond [`harp_proto::frame::MAX_FRAME_LEN`].
+    OversizedLen,
+    /// Overwrite the length prefix with an arbitrary (wrong) value.
+    BogusLen {
+        /// The lying length value.
+        len: u32,
+    },
+    /// Replace the first body byte with an unknown message discriminant.
+    UnknownTag,
+    /// Write the frame in two pieces with a pause in between (slow sender;
+    /// the frame itself is valid).
+    SplitWrite {
+        /// Bytes in the first piece.
+        first: usize,
+        /// Pause between the pieces.
+        delay_ms: u64,
+    },
+    /// Sleep before sending (reordering relative to other clients).
+    Delay {
+        /// Sleep duration.
+        ms: u64,
+    },
+    /// Send the first `keep` bytes, then hard-close the socket (client
+    /// crash mid-frame).
+    DisconnectMidFrame {
+        /// Bytes sent before the crash.
+        keep: usize,
+    },
+}
+
+/// A per-message fault schedule: message `i` of a session is sent through
+/// `faults_for(i)`.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    slots: Vec<Vec<Fault>>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn clean() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds `fault` to message index `idx`.
+    pub fn inject(mut self, idx: usize, fault: Fault) -> Self {
+        if self.slots.len() <= idx {
+            self.slots.resize(idx + 1, Vec::new());
+        }
+        self.slots[idx].push(fault);
+        self
+    }
+
+    /// The faults scheduled for message index `idx` (empty past the end).
+    pub fn faults_for(&self, idx: usize) -> &[Fault] {
+        self.slots.get(idx).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Generates a random plan for `n_msgs` messages: each message has a
+    /// 30% chance of one non-lethal fault (corruption, truncation, split,
+    /// delay — never a disconnect, so sessions stay comparable).
+    /// Deterministic per seed.
+    pub fn random(seed: u64, n_msgs: usize) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut plan = FaultPlan::clean();
+        for idx in 0..n_msgs {
+            if !rng.random_bool(0.3) {
+                continue;
+            }
+            let fault = match rng.random_range(0u32..4) {
+                0 => Fault::CorruptByte {
+                    offset: rng.random_range(0usize..256),
+                    xor: rng.random_range(1u8..=255),
+                },
+                1 => Fault::Truncate {
+                    keep: rng.random_range(1usize..16),
+                },
+                2 => Fault::SplitWrite {
+                    first: rng.random_range(1usize..8),
+                    delay_ms: rng.random_range(1u64..10),
+                },
+                _ => Fault::Delay {
+                    ms: rng.random_range(1u64..10),
+                },
+            };
+            plan = plan.inject(idx, fault);
+        }
+        plan
+    }
+}
+
+/// A raw protocol client with fault injection.
+#[derive(Debug)]
+pub struct ChaosClient {
+    stream: UnixStream,
+    read: UnixStream,
+    sent: usize,
+    closed: bool,
+}
+
+impl ChaosClient {
+    /// Connects to a daemon socket.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`harp_types::HarpError::Io`] when the socket is unreachable.
+    pub fn connect(path: impl AsRef<Path>) -> harp_types::Result<Self> {
+        let stream = UnixStream::connect(path)?;
+        let read = stream.try_clone()?;
+        Ok(ChaosClient {
+            stream,
+            read,
+            sent: 0,
+            closed: false,
+        })
+    }
+
+    /// Number of messages sent so far (the index into a [`FaultPlan`]).
+    pub fn sent(&self) -> usize {
+        self.sent
+    }
+
+    /// Whether a fault has hard-closed the connection.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Sends `msg` cleanly (no faults).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (e.g. the daemon closed the connection).
+    pub fn send(&mut self, msg: &Message) -> harp_types::Result<()> {
+        self.send_faulty(msg, &[])
+    }
+
+    /// Encodes `msg`, applies `faults` in order, and writes the result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors. A [`Fault::DisconnectMidFrame`] is not an
+    /// error — the client records itself as closed instead.
+    pub fn send_faulty(&mut self, msg: &Message, faults: &[Fault]) -> harp_types::Result<()> {
+        let mut bytes = Vec::new();
+        frame::write_frame(&mut bytes, msg)?;
+        self.sent += 1;
+
+        let mut keep = bytes.len();
+        let mut split: Option<(usize, u64)> = None;
+        let mut crash = false;
+        for fault in faults {
+            match fault {
+                Fault::CorruptByte { offset, xor } => {
+                    if !bytes.is_empty() {
+                        let i = offset % bytes.len();
+                        bytes[i] ^= (*xor).max(1);
+                    }
+                }
+                Fault::OversizedLen => {
+                    bytes[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+                }
+                Fault::BogusLen { len } => {
+                    bytes[..4].copy_from_slice(&len.to_le_bytes());
+                }
+                Fault::UnknownTag => {
+                    if bytes.len() > 4 {
+                        bytes[4] = 0x63;
+                    }
+                }
+                Fault::Truncate { keep: k } => keep = keep.min(*k),
+                Fault::DisconnectMidFrame { keep: k } => {
+                    keep = keep.min(*k);
+                    crash = true;
+                }
+                Fault::SplitWrite { first, delay_ms } => split = Some((*first, *delay_ms)),
+                Fault::Delay { ms } => std::thread::sleep(Duration::from_millis(*ms)),
+            }
+        }
+        let payload = &bytes[..keep.min(bytes.len())];
+        match split {
+            Some((first, delay_ms)) => {
+                let cut = first.min(payload.len());
+                self.stream.write_all(&payload[..cut])?;
+                self.stream.flush()?;
+                std::thread::sleep(Duration::from_millis(delay_ms));
+                self.stream.write_all(&payload[cut..])?;
+            }
+            None => self.stream.write_all(payload)?,
+        }
+        self.stream.flush()?;
+        if crash {
+            let _ = self.stream.shutdown(Shutdown::Both);
+            self.closed = true;
+        }
+        Ok(())
+    }
+
+    /// Writes raw bytes, bypassing framing entirely (garbage injection).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> harp_types::Result<()> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    /// Reads one frame, waiting at most `timeout`. Returns `None` on
+    /// timeout, EOF or any protocol error — scenarios that care about the
+    /// *content* of a reply match on `Some`.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Option<Message> {
+        let _ = self.read.set_read_timeout(Some(timeout));
+        frame::read_frame(&mut self.read).unwrap_or_default()
+    }
+
+    /// Reads frames until one satisfies `want` or `timeout` elapses.
+    pub fn recv_until(
+        &mut self,
+        timeout: Duration,
+        mut want: impl FnMut(&Message) -> bool,
+    ) -> Option<Message> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            match self.recv_timeout(left) {
+                Some(m) if want(&m) => return Some(m),
+                Some(_) => continue,
+                None => return None,
+            }
+        }
+    }
+
+    /// Hard-closes the connection (simulated crash outside a frame).
+    pub fn crash(mut self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+        self.closed = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_plan_is_deterministic_and_indexable() {
+        let a = FaultPlan::random(9, 32);
+        let b = FaultPlan::random(9, 32);
+        for i in 0..32 {
+            assert_eq!(a.faults_for(i), b.faults_for(i));
+        }
+        assert!(a.faults_for(999).is_empty());
+        let some = (0..32).any(|i| !a.faults_for(i).is_empty());
+        assert!(some, "30% fault rate produced nothing in 32 slots");
+    }
+
+    #[test]
+    fn inject_grows_slots() {
+        let plan = FaultPlan::clean()
+            .inject(3, Fault::OversizedLen)
+            .inject(3, Fault::Delay { ms: 1 });
+        assert_eq!(plan.faults_for(0), &[]);
+        assert_eq!(plan.faults_for(3).len(), 2);
+    }
+}

@@ -1,0 +1,466 @@
+//! Scripted fault scenarios against a real daemon.
+//!
+//! Each scenario is a self-contained attack: it boots a fresh daemon on a
+//! private socket, misbehaves in one specific way, then proves the daemon
+//! is still healthy — a well-behaved probe session must register, receive
+//! an activation and exit cleanly, and crashed sessions must be reaped
+//! from the RM. Scenarios return `Err(description)` instead of panicking
+//! so the suite can report every failure at once.
+
+use crate::fault::{ChaosClient, Fault};
+use harp_daemon::{
+    DaemonConfig, DaemonHandle, HarpDaemon, UnixTransport, ERR_DUPLICATE_REGISTER, ERR_NO_SESSION,
+    ERR_PROTOCOL,
+};
+use harp_platform::HardwareDescription;
+use harp_proto::{AdaptivityType, Message, Register, SubmitPoints, WirePoint};
+use harp_types::{ErvShape, ExtResourceVector, NonFunctional};
+use libharp::{HarpSession, SessionConfig};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// One scripted fault scenario.
+pub struct Scenario {
+    /// Short identifier, used in reports and docs (see `EXPERIMENTS.md`).
+    pub name: &'static str,
+    /// Runs the scenario; `Err` carries a human-readable failure.
+    pub run: fn() -> Result<(), String>,
+}
+
+/// All scripted scenarios, in documentation order.
+pub fn all() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "truncated_register_header",
+            run: truncated_register_header,
+        },
+        Scenario {
+            name: "corrupted_submit_body",
+            run: corrupted_submit_body,
+        },
+        Scenario {
+            name: "oversized_frame",
+            run: oversized_frame,
+        },
+        Scenario {
+            name: "bogus_length_prefix",
+            run: bogus_length_prefix,
+        },
+        Scenario {
+            name: "unknown_message_tag",
+            run: unknown_message_tag,
+        },
+        Scenario {
+            name: "disconnect_mid_submit",
+            run: disconnect_mid_submit,
+        },
+        Scenario {
+            name: "duplicate_register_same_connection",
+            run: duplicate_register_same_connection,
+        },
+        Scenario {
+            name: "submit_before_register",
+            run: submit_before_register,
+        },
+        Scenario {
+            name: "slow_split_writes",
+            run: slow_split_writes,
+        },
+        Scenario {
+            name: "client_crash_mid_exploration",
+            run: client_crash_mid_exploration,
+        },
+        Scenario {
+            name: "delayed_reordered_submits",
+            run: delayed_reordered_submits,
+        },
+        Scenario {
+            name: "tick_skew_in_core",
+            run: tick_skew_in_core,
+        },
+    ]
+}
+
+static NEXT_SOCKET: AtomicU64 = AtomicU64::new(0);
+
+fn start(tag: &str) -> Result<(DaemonHandle, PathBuf), String> {
+    let n = NEXT_SOCKET.fetch_add(1, Ordering::SeqCst);
+    let socket =
+        std::env::temp_dir().join(format!("harp-chaos-{}-{n}-{tag}.sock", std::process::id()));
+    let hw = HardwareDescription::raptor_lake();
+    let daemon = HarpDaemon::start(DaemonConfig::new(&socket, hw))
+        .map_err(|e| format!("{tag}: daemon start: {e}"))?;
+    Ok((daemon, socket))
+}
+
+fn points(shape: &ErvShape) -> Vec<(ExtResourceVector, NonFunctional)> {
+    vec![
+        (
+            ExtResourceVector::from_flat(shape, &[0, 4, 0]).expect("valid flat"),
+            NonFunctional::new(3.0e10, 40.0),
+        ),
+        (
+            ExtResourceVector::from_flat(shape, &[0, 0, 8]).expect("valid flat"),
+            NonFunctional::new(2.5e10, 15.0),
+        ),
+    ]
+}
+
+/// Health probe: a fully well-behaved session must still work.
+fn probe(socket: &PathBuf) -> Result<(), String> {
+    let shape = HardwareDescription::raptor_lake().erv_shape();
+    let transport = UnixTransport::connect(socket).map_err(|e| format!("probe connect: {e}"))?;
+    let cfg = SessionConfig::new("probe", AdaptivityType::Scalable)
+        .with_points(vec![2, 1], points(&shape));
+    let mut session =
+        HarpSession::connect(transport, cfg).map_err(|e| format!("probe register: {e}"))?;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        session
+            .poll(|| 0.0)
+            .map_err(|e| format!("probe poll: {e}"))?;
+        if session.allocation().current().is_some() {
+            break;
+        }
+        if Instant::now() >= deadline {
+            return Err("probe never received an activation".into());
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    session.exit().map_err(|e| format!("probe exit: {e}"))
+}
+
+/// Waits for the RM's managed-app set to drain to `expected` (sorted).
+fn wait_managed(daemon: &DaemonHandle, expected: &[u64], what: &str) -> Result<(), String> {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let mut managed: Vec<u64> = daemon.managed_apps().iter().map(|a| a.raw()).collect();
+        managed.sort_unstable();
+        if managed == expected {
+            return Ok(());
+        }
+        if Instant::now() >= deadline {
+            return Err(format!(
+                "{what}: managed {managed:?}, expected {expected:?}"
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn register_msg(name: &str) -> Message {
+    Message::Register(Register {
+        pid: 1000,
+        app_name: name.into(),
+        adaptivity: AdaptivityType::Scalable,
+        provides_utility: false,
+    })
+}
+
+fn submit_msg(app_id: u64) -> Message {
+    Message::SubmitPoints(SubmitPoints {
+        app_id,
+        smt_widths: vec![2, 1],
+        points: vec![
+            WirePoint {
+                erv_flat: vec![0, 4, 0],
+                utility: 3.0e10,
+                power: 40.0,
+            },
+            WirePoint {
+                erv_flat: vec![0, 0, 8],
+                utility: 2.5e10,
+                power: 15.0,
+            },
+        ],
+    })
+}
+
+fn register_and_ack(client: &mut ChaosClient, name: &str) -> Result<u64, String> {
+    client
+        .send(&register_msg(name))
+        .map_err(|e| format!("register send: {e}"))?;
+    match client.recv_until(Duration::from_secs(5), |m| {
+        matches!(m, Message::RegisterAck(_))
+    }) {
+        Some(Message::RegisterAck(ack)) => Ok(ack.app_id),
+        other => Err(format!("no RegisterAck, got {other:?}")),
+    }
+}
+
+fn expect_error(client: &mut ChaosClient, code: u32, what: &str) -> Result<(), String> {
+    match client.recv_until(Duration::from_secs(5), |m| matches!(m, Message::Error(_))) {
+        Some(Message::Error(e)) if e.code == code => Ok(()),
+        Some(Message::Error(e)) => Err(format!(
+            "{what}: expected error code {code}, got {} ({})",
+            e.code, e.detail
+        )),
+        other => Err(format!("{what}: expected error code {code}, got {other:?}")),
+    }
+}
+
+fn truncated_register_header() -> Result<(), String> {
+    let (daemon, socket) = start("trunc-header")?;
+    let mut client = ChaosClient::connect(&socket).map_err(|e| e.to_string())?;
+    // Two bytes of a length prefix, then a crash.
+    client.send_raw(&[0x10, 0x00]).map_err(|e| e.to_string())?;
+    client.crash();
+    probe(&socket)?;
+    wait_managed(&daemon, &[], "after probe exit")?;
+    daemon.shutdown();
+    Ok(())
+}
+
+fn corrupted_submit_body() -> Result<(), String> {
+    let (daemon, socket) = start("corrupt-body")?;
+    let mut client = ChaosClient::connect(&socket).map_err(|e| e.to_string())?;
+    let id = register_and_ack(&mut client, "corrupt")?;
+    // Flip a byte in the middle of the submission body. Whatever the
+    // corruption decodes to — garbage frame, rejected batch, or a still
+    // valid point — the daemon must keep serving.
+    client
+        .send_faulty(
+            &submit_msg(id),
+            &[Fault::CorruptByte {
+                offset: 24,
+                xor: 0xa5,
+            }],
+        )
+        .map_err(|e| format!("faulty submit: {e}"))?;
+    probe(&socket)?;
+    client.crash();
+    wait_managed(&daemon, &[], "after crash")?;
+    daemon.shutdown();
+    Ok(())
+}
+
+fn oversized_frame() -> Result<(), String> {
+    let (daemon, socket) = start("oversized")?;
+    let mut client = ChaosClient::connect(&socket).map_err(|e| e.to_string())?;
+    let id = register_and_ack(&mut client, "oversized")?;
+    client
+        .send_faulty(&submit_msg(id), &[Fault::OversizedLen])
+        .map_err(|e| format!("oversized submit: {e}"))?;
+    expect_error(&mut client, ERR_PROTOCOL, "oversized frame")?;
+    // The protocol error tears down the connection and frees the session.
+    wait_managed(&daemon, &[], "after protocol error")?;
+    probe(&socket)?;
+    daemon.shutdown();
+    Ok(())
+}
+
+fn bogus_length_prefix() -> Result<(), String> {
+    let (daemon, socket) = start("bogus-len")?;
+    let mut client = ChaosClient::connect(&socket).map_err(|e| e.to_string())?;
+    // The prefix claims 7 bytes; the real body is longer, so the daemon's
+    // framing desynchronizes and must fail cleanly rather than hang or
+    // panic once the client gives up.
+    client
+        .send_faulty(&register_msg("bogus"), &[Fault::BogusLen { len: 7 }])
+        .map_err(|e| format!("bogus send: {e}"))?;
+    client.crash();
+    probe(&socket)?;
+    wait_managed(&daemon, &[], "after probe")?;
+    daemon.shutdown();
+    Ok(())
+}
+
+fn unknown_message_tag() -> Result<(), String> {
+    let (daemon, socket) = start("unknown-tag")?;
+    let mut client = ChaosClient::connect(&socket).map_err(|e| e.to_string())?;
+    client
+        .send_faulty(&register_msg("tag"), &[Fault::UnknownTag])
+        .map_err(|e| format!("tagged send: {e}"))?;
+    expect_error(&mut client, ERR_PROTOCOL, "unknown tag")?;
+    probe(&socket)?;
+    daemon.shutdown();
+    Ok(())
+}
+
+fn disconnect_mid_submit() -> Result<(), String> {
+    let (daemon, socket) = start("disc-mid")?;
+    let mut client = ChaosClient::connect(&socket).map_err(|e| e.to_string())?;
+    let id = register_and_ack(&mut client, "doomed")?;
+    wait_managed(&daemon, &[id], "after register")?;
+    client
+        .send_faulty(&submit_msg(id), &[Fault::DisconnectMidFrame { keep: 9 }])
+        .map_err(|e| format!("mid-frame crash: {e}"))?;
+    if !client.is_closed() {
+        return Err("client should report itself closed".into());
+    }
+    wait_managed(&daemon, &[], "after mid-frame crash")?;
+    probe(&socket)?;
+    daemon.shutdown();
+    Ok(())
+}
+
+fn duplicate_register_same_connection() -> Result<(), String> {
+    let (daemon, socket) = start("dup-reg")?;
+    let mut client = ChaosClient::connect(&socket).map_err(|e| e.to_string())?;
+    let id = register_and_ack(&mut client, "orig")?;
+    client
+        .send(&register_msg("imposter"))
+        .map_err(|e| format!("second register: {e}"))?;
+    expect_error(&mut client, ERR_DUPLICATE_REGISTER, "duplicate register")?;
+    // The original session survives the rejected re-registration.
+    wait_managed(&daemon, &[id], "after duplicate register")?;
+    client
+        .send(&Message::Exit { app_id: id })
+        .map_err(|e| format!("exit: {e}"))?;
+    wait_managed(&daemon, &[], "after exit")?;
+    daemon.shutdown();
+    Ok(())
+}
+
+fn submit_before_register() -> Result<(), String> {
+    let (daemon, socket) = start("early-submit")?;
+    let mut client = ChaosClient::connect(&socket).map_err(|e| e.to_string())?;
+    client
+        .send(&submit_msg(1))
+        .map_err(|e| format!("early submit: {e}"))?;
+    expect_error(&mut client, ERR_NO_SESSION, "submit before register")?;
+    // The connection is still usable: registration works afterwards.
+    let id = register_and_ack(&mut client, "late")?;
+    client
+        .send(&Message::Exit { app_id: id })
+        .map_err(|e| format!("exit: {e}"))?;
+    wait_managed(&daemon, &[], "after exit")?;
+    daemon.shutdown();
+    Ok(())
+}
+
+fn slow_split_writes() -> Result<(), String> {
+    let (daemon, socket) = start("split")?;
+    let mut client = ChaosClient::connect(&socket).map_err(|e| e.to_string())?;
+    // Valid frames, delivered in drips: framing must reassemble them.
+    client
+        .send_faulty(
+            &register_msg("slow"),
+            &[Fault::SplitWrite {
+                first: 3,
+                delay_ms: 20,
+            }],
+        )
+        .map_err(|e| format!("split register: {e}"))?;
+    let id = match client.recv_until(Duration::from_secs(5), |m| {
+        matches!(m, Message::RegisterAck(_))
+    }) {
+        Some(Message::RegisterAck(ack)) => ack.app_id,
+        other => return Err(format!("no ack after split register: {other:?}")),
+    };
+    client
+        .send_faulty(
+            &submit_msg(id),
+            &[
+                Fault::Delay { ms: 10 },
+                Fault::SplitWrite {
+                    first: 9,
+                    delay_ms: 20,
+                },
+            ],
+        )
+        .map_err(|e| format!("split submit: {e}"))?;
+    match client.recv_until(Duration::from_secs(5), |m| {
+        matches!(m, Message::Activate(_))
+    }) {
+        Some(_) => {}
+        None => return Err("no activation after split submit".into()),
+    }
+    client
+        .send(&Message::Exit { app_id: id })
+        .map_err(|e| format!("exit: {e}"))?;
+    wait_managed(&daemon, &[], "after exit")?;
+    daemon.shutdown();
+    Ok(())
+}
+
+fn client_crash_mid_exploration() -> Result<(), String> {
+    let (daemon, socket) = start("crash-explore")?;
+    let shape = HardwareDescription::raptor_lake().erv_shape();
+    let transport = UnixTransport::connect(&socket).map_err(|e| format!("connect: {e}"))?;
+    let cfg = SessionConfig::new("crasher", AdaptivityType::Scalable)
+        .with_points(vec![2, 1], points(&shape));
+    let mut session = HarpSession::connect(transport, cfg).map_err(|e| format!("register: {e}"))?;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while session.allocation().current().is_none() {
+        session.poll(|| 0.0).map_err(|e| format!("poll: {e}"))?;
+        if Instant::now() >= deadline {
+            return Err("no activation before crash point".into());
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // Crash: drop the session without Exit. The transport hangs up and the
+    // daemon must deregister on the dead socket.
+    drop(session);
+    wait_managed(&daemon, &[], "after session drop")?;
+    probe(&socket)?;
+    daemon.shutdown();
+    Ok(())
+}
+
+fn delayed_reordered_submits() -> Result<(), String> {
+    let (daemon, socket) = start("reorder")?;
+    let mut a = ChaosClient::connect(&socket).map_err(|e| e.to_string())?;
+    let mut b = ChaosClient::connect(&socket).map_err(|e| e.to_string())?;
+    let id_a = register_and_ack(&mut a, "first")?;
+    let id_b = register_and_ack(&mut b, "second")?;
+    // B's profile lands before A's, and A's arrives late and in drips —
+    // the opposite of registration order. Both must end up activated.
+    b.send_faulty(&submit_msg(id_b), &[Fault::Delay { ms: 5 }])
+        .map_err(|e| format!("b submit: {e}"))?;
+    a.send_faulty(
+        &submit_msg(id_a),
+        &[
+            Fault::Delay { ms: 30 },
+            Fault::SplitWrite {
+                first: 5,
+                delay_ms: 10,
+            },
+        ],
+    )
+    .map_err(|e| format!("a submit: {e}"))?;
+    for (client, who) in [(&mut a, "a"), (&mut b, "b")] {
+        if client
+            .recv_until(Duration::from_secs(5), |m| {
+                matches!(m, Message::Activate(_))
+            })
+            .is_none()
+        {
+            return Err(format!("{who}: no activation after reordered submits"));
+        }
+    }
+    a.send(&Message::Exit { app_id: id_a })
+        .map_err(|e| format!("a exit: {e}"))?;
+    b.send(&Message::Exit { app_id: id_b })
+        .map_err(|e| format!("b exit: {e}"))?;
+    wait_managed(&daemon, &[], "after exits")?;
+    daemon.shutdown();
+    Ok(())
+}
+
+fn tick_skew_in_core() -> Result<(), String> {
+    use crate::trace::{Trace, TraceOp};
+    // Monitoring-clock skew attacks the RM core directly: energy counters
+    // that wrap or reset mid-run must be absorbed without panic or drift.
+    let mut ops = vec![
+        TraceOp::Register { app: 1 },
+        TraceOp::Submit { app: 1, profile: 0 },
+        TraceOp::Register { app: 2 },
+        TraceOp::Submit { app: 2, profile: 1 },
+    ];
+    for i in 0..40 {
+        ops.push(if i % 3 == 0 {
+            TraceOp::TickSkew
+        } else {
+            TraceOp::Tick { energy_mj: 1500 }
+        });
+    }
+    ops.push(TraceOp::Deregister { app: 1 });
+    ops.push(TraceOp::Deregister { app: 2 });
+    let report = crate::runner::run_trace(&Trace { seed: 0, ops });
+    if !report.passed() {
+        return Err(format!("tick-skew trace failed: {:?}", report.violations));
+    }
+    Ok(())
+}

@@ -1,0 +1,93 @@
+//! Greedy delta-debugging of failing traces.
+//!
+//! The vendored proptest stand-in does not shrink, so the chaos suite
+//! brings its own minimizer: remove chunks of operations (halving the chunk
+//! size as progress stalls) while the failure predicate keeps holding.
+//! The result is what gets committed to `tests/corpus/` — short enough to
+//! read, faithful enough to reproduce.
+
+use crate::trace::Trace;
+
+/// Minimizes `trace` while `failing` stays true. `failing(&trace)` must be
+/// true on entry (otherwise the input is returned unchanged). The
+/// predicate must be deterministic — re-running the runner on a candidate
+/// trace satisfies this because trace execution is seeded end-to-end.
+pub fn shrink(trace: &Trace, mut failing: impl FnMut(&Trace) -> bool) -> Trace {
+    let mut current = trace.clone();
+    if current.ops.is_empty() || !failing(&current) {
+        return current;
+    }
+    let mut chunk = (current.ops.len() / 2).max(1);
+    loop {
+        let mut i = 0;
+        while i < current.ops.len() {
+            let mut candidate = current.clone();
+            let end = (i + chunk).min(candidate.ops.len());
+            candidate.ops.drain(i..end);
+            if failing(&candidate) {
+                current = candidate;
+                // Same index now holds the next chunk; retry in place.
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceOp;
+
+    #[test]
+    fn shrinks_to_single_culprit_op() {
+        let trace = Trace::generate(11, 60);
+        assert!(trace
+            .ops
+            .iter()
+            .any(|op| matches!(op, TraceOp::Deregister { .. })));
+        let failing = |t: &Trace| {
+            t.ops
+                .iter()
+                .any(|op| matches!(op, TraceOp::Deregister { .. }))
+        };
+        let min = shrink(&trace, failing);
+        assert_eq!(min.ops.len(), 1, "not minimal: {:?}", min.ops);
+        assert!(matches!(min.ops[0], TraceOp::Deregister { .. }));
+    }
+
+    #[test]
+    fn non_failing_trace_is_untouched() {
+        let trace = Trace::generate(12, 20);
+        let min = shrink(&trace, |_| false);
+        assert_eq!(min, trace);
+    }
+
+    #[test]
+    fn needs_pair_keeps_pair() {
+        // Failure requires both a register and a later deregister — the
+        // shrinker must keep one of each.
+        let trace = Trace::generate(13, 80);
+        let failing = |t: &Trace| {
+            let reg = t
+                .ops
+                .iter()
+                .position(|op| matches!(op, TraceOp::Register { .. }));
+            let dereg = t
+                .ops
+                .iter()
+                .rposition(|op| matches!(op, TraceOp::Deregister { .. }));
+            matches!((reg, dereg), (Some(r), Some(d)) if r < d)
+        };
+        if !failing(&trace) {
+            return; // seed happens not to contain the pattern; nothing to test
+        }
+        let min = shrink(&trace, failing);
+        assert_eq!(min.ops.len(), 2, "not minimal: {:?}", min.ops);
+    }
+}

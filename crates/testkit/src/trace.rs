@@ -1,0 +1,224 @@
+//! Lifecycle traces: a text-serializable DSL of RM operations and a seeded
+//! generator of random interleavings.
+//!
+//! A trace is deliberately low-level — raw app ids, no session objects — so
+//! it can express *invalid* interleavings (duplicate registrations,
+//! submissions to unknown apps, deregistration before registration) that a
+//! well-behaved client library could never produce. The runner decides
+//! which operations must succeed and which must be cleanly rejected.
+//!
+//! The text format is line-oriented and diff-friendly so failing traces can
+//! be committed to `tests/corpus/` and replayed forever:
+//!
+//! ```text
+//! # harp-testkit trace v1
+//! seed 42
+//! register 3
+//! submit 3 1
+//! tick 1200
+//! tick-skew
+//! dereg 3
+//! ```
+
+use harp_types::{HarpError, Result};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Magic first line of the trace text format.
+pub const TRACE_HEADER: &str = "# harp-testkit trace v1";
+
+/// One lifecycle operation against the RM.
+///
+/// All payloads are integers so the text round trip is exact; the runner
+/// derives actual operating points and observations deterministically from
+/// them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceOp {
+    /// Register application `app` (may be a duplicate — the runner expects
+    /// rejection in that case).
+    Register {
+        /// Raw application id.
+        app: u64,
+    },
+    /// Submit measured operating points for `app` drawn from profile
+    /// variant `profile` (may target an unknown app).
+    Submit {
+        /// Raw application id.
+        app: u64,
+        /// Profile variant selector (varies utility/power, see runner).
+        profile: u8,
+    },
+    /// Submit a batch containing a malformed point (wrong vector shape);
+    /// must be rejected atomically without recording anything.
+    SubmitMalformed {
+        /// Raw application id.
+        app: u64,
+    },
+    /// Advance time with a monitoring tick; the package-energy counter
+    /// increases by `energy_mj` millijoules.
+    Tick {
+        /// Energy-counter increment in millijoules.
+        energy_mj: u64,
+    },
+    /// A skewed tick: the energy counter runs *backwards* (RAPL wrap or
+    /// counter reset) — must be clamped, never corrupt state.
+    TickSkew,
+    /// Deregister `app` (may be unknown or already departed — the runner
+    /// expects rejection in that case).
+    Deregister {
+        /// Raw application id.
+        app: u64,
+    },
+}
+
+impl TraceOp {
+    fn to_line(&self) -> String {
+        match self {
+            TraceOp::Register { app } => format!("register {app}"),
+            TraceOp::Submit { app, profile } => format!("submit {app} {profile}"),
+            TraceOp::SubmitMalformed { app } => format!("submit-malformed {app}"),
+            TraceOp::Tick { energy_mj } => format!("tick {energy_mj}"),
+            TraceOp::TickSkew => "tick-skew".to_string(),
+            TraceOp::Deregister { app } => format!("dereg {app}"),
+        }
+    }
+
+    fn from_line(line: &str) -> Result<Self> {
+        let mut parts = line.split_whitespace();
+        let op = parts.next().unwrap_or_default();
+        let mut int = |what: &str| -> Result<u64> {
+            parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| HarpError::protocol(format!("trace: bad {what} in {line:?}")))
+        };
+        let parsed = match op {
+            "register" => TraceOp::Register { app: int("app")? },
+            "submit" => TraceOp::Submit {
+                app: int("app")?,
+                profile: int("profile")? as u8,
+            },
+            "submit-malformed" => TraceOp::SubmitMalformed { app: int("app")? },
+            "tick" => TraceOp::Tick {
+                energy_mj: int("energy")?,
+            },
+            "tick-skew" => TraceOp::TickSkew,
+            "dereg" => TraceOp::Deregister { app: int("app")? },
+            other => {
+                return Err(HarpError::protocol(format!("trace: unknown op {other:?}")));
+            }
+        };
+        Ok(parsed)
+    }
+}
+
+/// A seeded sequence of lifecycle operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// The seed the trace was generated from (kept for provenance; replay
+    /// does not re-generate).
+    pub seed: u64,
+    /// The operations, in execution order.
+    pub ops: Vec<TraceOp>,
+}
+
+impl Trace {
+    /// Generates a random trace of `len` operations from `seed`.
+    /// Deterministic: the same `(seed, len)` always yields the same trace.
+    ///
+    /// The distribution is biased toward *valid* interleavings (apps that
+    /// exist get most of the traffic) with a deliberate minority of
+    /// out-of-order and malformed operations, mirroring a mostly-sane
+    /// system with occasional misbehaving clients.
+    pub fn generate(seed: u64, len: usize) -> Trace {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut ops = Vec::with_capacity(len);
+        for _ in 0..len {
+            let app = rng.random_range(1u64..=6);
+            let op = match rng.random_range(0u32..100) {
+                0..=19 => TraceOp::Register { app },
+                20..=44 => TraceOp::Submit {
+                    app,
+                    profile: rng.random_range(0u8..4),
+                },
+                45..=49 => TraceOp::SubmitMalformed { app },
+                50..=79 => TraceOp::Tick {
+                    energy_mj: rng.random_range(100u64..5000),
+                },
+                80..=87 => TraceOp::TickSkew,
+                _ => TraceOp::Deregister { app },
+            };
+            ops.push(op);
+        }
+        Trace { seed, ops }
+    }
+
+    /// Serializes to the line-oriented text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(TRACE_HEADER);
+        out.push('\n');
+        out.push_str(&format!("seed {}\n", self.seed));
+        for op in &self.ops {
+            out.push_str(&op.to_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the text format produced by [`Trace::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarpError::Protocol`] on a missing header, a missing
+    /// `seed` line, or any unparseable operation line. Blank lines and
+    /// `#` comments are ignored.
+    pub fn from_text(text: &str) -> Result<Trace> {
+        let mut lines = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && (!l.starts_with('#') || *l == TRACE_HEADER));
+        if lines.next() != Some(TRACE_HEADER) {
+            return Err(HarpError::protocol("trace: missing header"));
+        }
+        let seed_line = lines
+            .next()
+            .ok_or_else(|| HarpError::protocol("trace: missing seed line"))?;
+        let seed = seed_line
+            .strip_prefix("seed ")
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| HarpError::protocol(format!("trace: bad seed line {seed_line:?}")))?;
+        let ops = lines.map(TraceOp::from_line).collect::<Result<Vec<_>>>()?;
+        Ok(Trace { seed, ops })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_round_trip_is_exact() {
+        let t = Trace::generate(7, 40);
+        let parsed = Trace::from_text(&t.to_text()).unwrap();
+        assert_eq!(t, parsed);
+        assert_eq!(t.to_text(), parsed.to_text());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        assert_eq!(Trace::generate(3, 64), Trace::generate(3, 64));
+        assert_ne!(Trace::generate(3, 64), Trace::generate(4, 64));
+    }
+
+    #[test]
+    fn malformed_text_is_rejected() {
+        assert!(Trace::from_text("").is_err());
+        assert!(Trace::from_text("# harp-testkit trace v1\n").is_err());
+        assert!(Trace::from_text("# harp-testkit trace v1\nseed x\n").is_err());
+        let bad_op = format!("{TRACE_HEADER}\nseed 1\nfrobnicate 3\n");
+        assert!(Trace::from_text(&bad_op).is_err());
+        let bad_arg = format!("{TRACE_HEADER}\nseed 1\nregister many\n");
+        assert!(Trace::from_text(&bad_arg).is_err());
+    }
+}

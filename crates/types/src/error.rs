@@ -151,7 +151,7 @@ mod tests {
 
     #[test]
     fn io_error_converts() {
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let io = std::io::Error::other("boom");
         let e: HarpError = io.into();
         assert!(matches!(e, HarpError::Io { .. }));
         assert!(e.to_string().contains("boom"));

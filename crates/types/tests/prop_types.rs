@@ -28,7 +28,7 @@ proptest! {
     }
 
     #[test]
-    fn totals_are_consistent(shape in arb_shape().prop_flat_map(|s| arb_erv(s))) {
+    fn totals_are_consistent(shape in arb_shape().prop_flat_map(arb_erv)) {
         let erv = shape; // renamed binding: the generated vector
         // Threads >= cores (every used core contributes >= 1 thread).
         prop_assert!(erv.total_threads() >= erv.total_cores());

@@ -25,8 +25,10 @@ fn main() -> harp::types::Result<()> {
 
     // 2. An RM in offline mode with a small description-file profile:
     //    three operating points of a memory-bound application.
-    let mut cfg = RmConfig::default();
-    cfg.offline = true;
+    let cfg = RmConfig {
+        offline: true,
+        ..Default::default()
+    };
     let mut rm = RmCore::new(hw.clone(), cfg);
     let shape = hw.erv_shape();
     let points = vec![

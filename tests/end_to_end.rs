@@ -18,8 +18,10 @@ fn registration_points_activation_flow_over_protocol() {
     let (app_side, rm_side) = duplex();
 
     let server = std::thread::spawn(move || {
-        let mut cfg = RmConfig::default();
-        cfg.offline = true;
+        let cfg = RmConfig {
+            offline: true,
+            ..Default::default()
+        };
         let mut rm = RmCore::new(HardwareDescription::raptor_lake(), cfg);
         let shape = HardwareDescription::raptor_lake().erv_shape();
         let mut app_id = None;
@@ -146,6 +148,83 @@ fn daemon_round_trip_with_profile_reuse() {
         std::thread::sleep(std::time::Duration::from_millis(5));
     }
     s2.exit().unwrap();
+    daemon.shutdown();
+}
+
+/// The daemon path must be a pure transport: running the same scenario
+/// through a real loopback socket and directly against an in-process
+/// `RmCore` with the daemon's configuration must converge to the *same*
+/// final allocation, bit for bit — vector, core ids, thread ids,
+/// parallelism. Any divergence means the daemon (framing, routing, session
+/// bookkeeping) is editorializing on RM decisions.
+#[cfg(unix)]
+#[test]
+fn daemon_allocation_matches_in_process_run_bitwise() {
+    use harp::daemon::{DaemonConfig, HarpDaemon, UnixTransport};
+    let hw = HardwareDescription::raptor_lake();
+    let shape = hw.erv_shape();
+    let points = vec![
+        (
+            ExtResourceVector::from_flat(&shape, &[0, 6, 0]).unwrap(),
+            NonFunctional::new(6.0e10, 90.0),
+        ),
+        (
+            ExtResourceVector::from_flat(&shape, &[0, 2, 4]).unwrap(),
+            NonFunctional::new(5.0e10, 45.0),
+        ),
+        (
+            ExtResourceVector::from_flat(&shape, &[0, 0, 8]).unwrap(),
+            NonFunctional::new(3.5e10, 18.0),
+        ),
+    ];
+
+    // Reference run: the RM core driven directly, using the exact
+    // configuration the daemon constructs (offline mode).
+    let cfg = DaemonConfig::new("/unused", hw.clone());
+    let mut rm = RmCore::new(hw, cfg.rm.clone());
+    let id = AppId(1); // the daemon's id counter also starts at 1
+    rm.register(id, "bitwise", false).expect("register");
+    let out = rm.submit_points(id, points.clone()).expect("submit");
+    let reference = out
+        .directives
+        .iter()
+        .find(|d| d.app == id)
+        .expect("allocation for the only app")
+        .clone();
+
+    // Daemon run: same app, same points, over a real Unix socket.
+    let socket = std::env::temp_dir().join(format!("harp-bitwise-{}.sock", std::process::id()));
+    let daemon = HarpDaemon::start(DaemonConfig::new(&socket, cfg.hw)).unwrap();
+    let mut session = HarpSession::connect(
+        UnixTransport::connect(&socket).unwrap(),
+        SessionConfig::new("bitwise", AdaptivityType::Scalable).with_points(vec![2, 1], points),
+    )
+    .unwrap();
+    assert_eq!(session.app_id(), id.raw(), "daemon assigned a different id");
+
+    let want_threads: Vec<_> = reference.hw_threads.clone();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let act = loop {
+        session.poll(|| 0.0).unwrap();
+        // The provisional whole-machine activation from registration may
+        // arrive first; wait for the post-submission allocation.
+        if let Some(act) = session.allocation().current() {
+            if act.parallelism == reference.parallelism {
+                break act;
+            }
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "daemon never converged to the reference allocation {reference:?}; last {:?}",
+            session.allocation().current()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    };
+    assert_eq!(act.erv_flat, reference.erv.flat(), "vector differs");
+    assert_eq!(act.hw_threads, want_threads, "hw threads differ");
+    assert_eq!(act.parallelism, reference.parallelism);
+
+    session.exit().unwrap();
     daemon.shutdown();
 }
 
