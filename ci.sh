@@ -21,6 +21,14 @@ echo "==> chaos suite (quick mode, fixed seeds)"
 # sweep is opt-in via HARP_CHAOS_FULL=1 (see DESIGN.md section 8).
 HARP_CHAOS_QUICK=1 cargo test -q -p harp-testkit --test chaos
 
+echo "==> telemetry round trip (traced daemon session, schema check)"
+# Starts a traced daemon, runs a client session plus a 4-tick RM run,
+# dumps the flight recorder over the wire and validates the JSONL
+# against the harp-obs-v1 schema (crates/obs/tests/schema.rs), then
+# checks the daemon-side event guarantees (crates/daemon/tests/telemetry.rs).
+cargo test -q -p harp-obs --test schema
+cargo test -q -p harp-daemon --test telemetry
+
 echo "==> solver bench smoke (quick mode)"
 # Quick sweep into a scratch path: never clobbers the committed
 # BENCH_solver.json (regenerate that with a full `cargo bench` run).

@@ -56,6 +56,17 @@ pub enum SolveOutcome {
     Full,
 }
 
+impl SolveOutcome {
+    /// Stable name used in telemetry events and bench JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            SolveOutcome::MemoHit => "memo_hit",
+            SolveOutcome::Certified => "certified",
+            SolveOutcome::Full => "full",
+        }
+    }
+}
+
 /// The subgradient iteration count of the reference solver; `work == 1.0`
 /// corresponds to this effort (the `solve_cost_ns` overhead model in
 /// `crates/rm` is calibrated against it).
@@ -98,9 +109,15 @@ pub fn select(
     warm: Option<&mut WarmStart>,
 ) -> Result<Selection> {
     let t0 = std::time::Instant::now();
+    let mut sp = harp_obs::span(harp_obs::Subsystem::Solver, "solve").field("apps", requests.len());
     let res = select_inner(requests, capacity, kind, warm);
     if let Ok(sel) = &res {
         crate::stats::record(t0.elapsed().as_nanos() as u64, sel.outcome);
+        if sp.is_active() {
+            sp.set_field("outcome", sel.outcome.name());
+            sp.set_field("work", sel.work);
+            sp.set_field("cost", sel.cost);
+        }
     }
     res
 }
@@ -121,6 +138,11 @@ fn select_inner(
     }
     let inst = SolveInstance::build(requests, capacity);
     crate::stats::record_pruned(inst.pruned as u64);
+    if harp_obs::enabled() {
+        harp_obs::instant(harp_obs::Subsystem::Solver, "prepass")
+            .field("pruned", inst.pruned as u64)
+            .field("kinds", inst.num_kinds);
+    }
     match kind {
         SolverKind::Lagrangian => lagrangian(&inst, requests, warm),
         SolverKind::Greedy => {
@@ -234,6 +256,7 @@ fn lagrangian(
         if let Some((fp, memo_picks)) = &w.memo {
             if *fp == inst.fingerprint && inst.picks_valid(memo_picks) {
                 w.memo_hits += 1;
+                harp_obs::instant(harp_obs::Subsystem::Solver, "memo_hit");
                 let picks = memo_picks.clone();
                 return Ok(finish(
                     inst,
@@ -266,8 +289,11 @@ fn lagrangian(
     // certify the incumbent within a few iterations.
     if let Some(w) = warm.as_deref() {
         if w.lambda.len() == inst.num_kinds && w.lambda.iter().any(|&l| l > 0.0) {
+            let mut sp = harp_obs::span(harp_obs::Subsystem::Solver, "warm_certify");
             sg.lambda.copy_from_slice(&w.lambda);
             sg.run(inst, WARM_ITERS, tol);
+            sp.set_field("iters", sg.iters);
+            sp.set_field("certified", sg.certified);
         }
     }
 
@@ -276,23 +302,35 @@ fn lagrangian(
     // uncongested case the relaxed picks at λ = 0 are feasible with a zero
     // gap, so even cold solves certify at iteration zero.
     if !sg.certified {
+        let before = sg.iters;
+        let mut sp = harp_obs::span(harp_obs::Subsystem::Solver, "cold_schedule");
         sg.lambda.fill(0.0);
         sg.run(inst, REFERENCE_ITERS, tol);
+        sp.set_field("iters", sg.iters - before);
+        sp.set_field("certified", sg.certified);
     }
 
     let picks = if sg.certified {
+        harp_obs::instant(harp_obs::Subsystem::Solver, "duality_gap_exit").field("iters", sg.iters);
         sg.best.take().expect("certified implies incumbent").1
     } else {
         // No certificate: finish the way the reference solver does —
         // repair the last relaxed selection if nothing feasible was seen,
         // climb with upgrades, and keep the better of the subgradient and
         // greedy basins (plus the warm seed, which only improves things).
+        let mut sp = harp_obs::span(harp_obs::Subsystem::Solver, "repair_upgrade");
+        let mut repair_rounds = 0u32;
         let mut picks = match sg.best.take() {
             Some((_, p)) => p,
-            None => repair(inst, sg.picks.clone())?.0,
+            None => {
+                let (p, rounds) = repair(inst, sg.picks.clone())?;
+                repair_rounds = rounds;
+                p
+            }
         };
         let mut totals = Totals::new(inst, &picks);
         upgrade(inst, &mut picks, &mut totals);
+        sp.set_field("repair_rounds", repair_rounds);
         let mut cost = inst.selection_cost(&picks);
         if let Ok(g) = greedy_picks(inst) {
             let g_cost = inst.selection_cost(&g);

@@ -72,6 +72,18 @@ pub(crate) fn record(ns: u64, outcome: SolveOutcome) {
         SolveOutcome::Certified => CERTIFIED.fetch_add(1, Ordering::Relaxed),
         SolveOutcome::Full => FULL.fetch_add(1, Ordering::Relaxed),
     };
+    // Mirror into the obs registry so telemetry dumps carry solver
+    // totals; gated on enabled() to keep the disabled path unchanged.
+    if harp_obs::enabled() {
+        harp_obs::metrics::counter("solver.solves").inc();
+        harp_obs::metrics::histogram("solver.solve_ns").record(ns);
+        harp_obs::metrics::counter(match outcome {
+            SolveOutcome::MemoHit => "solver.memo_hits",
+            SolveOutcome::Certified => "solver.certified",
+            SolveOutcome::Full => "solver.full",
+        })
+        .inc();
+    }
 }
 
 pub(crate) fn record_pruned(n: u64) {

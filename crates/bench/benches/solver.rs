@@ -30,12 +30,26 @@ use harp_types::{AppId, ErvShape, ExtResourceVector, OpId, ResourceVector};
 use serde::Deserialize;
 use std::time::Instant;
 
+/// The PR 3 committed headline (apps=32 × options=16 × kinds=3)
+/// warm-engine time. The telemetry layer added on top of the solver must
+/// not tax the disabled path: `bench_artifacts.rs` gates the committed
+/// `obs.disabled_delta_pct` (fresh disabled-path run vs this anchor) at
+/// +2%.
+const PR3_BASELINE_WARM_ENGINE_NS: u128 = 2_757_343;
+
 /// Shape the emitted JSON is checked against before it is written: the
 /// bench re-parses its own output so CI can trust the committed artifact.
 #[derive(Deserialize)]
 struct CheckFile {
     quick: bool,
     rows: Vec<CheckRow>,
+    obs: CheckObs,
+}
+
+#[derive(Deserialize)]
+struct CheckObs {
+    disabled_delta_pct: f64,
+    enabled_overhead_pct: f64,
 }
 
 #[derive(Deserialize)]
@@ -171,7 +185,73 @@ fn bench_config(apps: usize, options: usize, kinds: usize, reps: usize) -> Row {
     }
 }
 
-fn render_json(quick: bool, rows: &[Row]) -> String {
+/// Telemetry overhead on the headline warm-tick workload: the same
+/// 32-tick sequence timed with instrumentation disabled (the default:
+/// every callsite is one relaxed atomic load) and with the global
+/// collector enabled.
+struct ObsRow {
+    apps: usize,
+    options: usize,
+    kinds: usize,
+    disabled_ns: u128,
+    enabled_ns: u128,
+}
+
+impl ObsRow {
+    /// Signed drift of the disabled path vs the PR 3 anchor, in percent.
+    fn disabled_delta_pct(&self) -> f64 {
+        (self.disabled_ns as f64 - PR3_BASELINE_WARM_ENGINE_NS as f64)
+            / PR3_BASELINE_WARM_ENGINE_NS as f64
+            * 100.0
+    }
+
+    /// Cost of turning tracing on, in percent of the disabled run.
+    fn enabled_overhead_pct(&self) -> f64 {
+        (self.enabled_ns as f64 - self.disabled_ns as f64) / (self.disabled_ns as f64).max(1.0)
+            * 100.0
+    }
+}
+
+fn bench_obs_overhead(reps: usize) -> ObsRow {
+    let (apps, options, kinds) = (32, 16, 3);
+    let shape = ErvShape::new(vec![1; kinds]);
+    let reqs = requests(apps, options, kinds, &shape);
+    let capacity = capacity_for(apps, kinds);
+    let ticks = tick_schedule(&reqs, 32);
+    let mut warm_run = || {
+        let mut warm = WarmStart::new();
+        for tick in &ticks {
+            black_box(select(
+                tick,
+                &capacity,
+                SolverKind::Lagrangian,
+                Some(&mut warm),
+            ))
+            .ok();
+        }
+    };
+    assert!(
+        !harp_obs::enabled(),
+        "obs A/B needs a cold start: tracing already on"
+    );
+    // The effect being measured is a few percent of a ~2.5 ms workload, so
+    // this A/B uses a much larger sample than the sweep rows.
+    let reps = reps.max(5) * 5;
+    let disabled_ns = median_ns(reps, &mut warm_run);
+    harp_obs::enable_global();
+    let enabled_ns = median_ns(reps, &mut warm_run);
+    harp_obs::disable_global();
+    harp_obs::reset_global();
+    ObsRow {
+        apps,
+        options,
+        kinds,
+        disabled_ns,
+        enabled_ns,
+    }
+}
+
+fn render_json(quick: bool, rows: &[Row], obs: &ObsRow) -> String {
     let mut out = String::new();
     out.push_str(&format!("{{\n  \"quick\": {quick},\n  \"rows\": [\n"));
     for (i, r) in rows.iter().enumerate() {
@@ -196,7 +276,21 @@ fn render_json(quick: bool, rows: &[Row]) -> String {
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"obs\": {{\"apps\": {}, \"options\": {}, \"kinds\": {}, \
+         \"baseline_pr3_warm_engine_ns\": {PR3_BASELINE_WARM_ENGINE_NS}, \
+         \"disabled_warm_engine_ns\": {}, \"enabled_warm_engine_ns\": {}, \
+         \"disabled_delta_pct\": {:.3}, \"enabled_overhead_pct\": {:.3}}}\n",
+        obs.apps,
+        obs.options,
+        obs.kinds,
+        obs.disabled_ns,
+        obs.enabled_ns,
+        obs.disabled_delta_pct(),
+        obs.enabled_overhead_pct(),
+    ));
+    out.push_str("}\n");
     out
 }
 
@@ -267,7 +361,21 @@ fn main() {
         })
         .collect();
 
-    let json = render_json(quick, &rows);
+    let obs = bench_obs_overhead(reps);
+    println!(
+        "obs overhead {}x{}x{}: disabled {} ns (PR3 baseline {} ns, {:+.2}%), \
+         enabled {} ns ({:+.2}%)",
+        obs.apps,
+        obs.options,
+        obs.kinds,
+        obs.disabled_ns,
+        PR3_BASELINE_WARM_ENGINE_NS,
+        obs.disabled_delta_pct(),
+        obs.enabled_ns,
+        obs.enabled_overhead_pct(),
+    );
+
+    let json = render_json(quick, &rows, &obs);
     let parsed: CheckFile = match serde_json::from_str(&json) {
         Ok(p) => p,
         Err(e) => {
@@ -278,6 +386,19 @@ fn main() {
     if parsed.quick != quick || parsed.rows.len() != rows.len() {
         eprintln!("solver bench: generated JSON does not round-trip");
         std::process::exit(1);
+    }
+    if parsed.obs.disabled_delta_pct > 2.0 {
+        eprintln!(
+            "solver bench: WARNING: disabled-path drift {:+.2}% exceeds the +2% gate \
+             (obs overhead or machine noise)",
+            parsed.obs.disabled_delta_pct
+        );
+    }
+    if parsed.obs.enabled_overhead_pct > 50.0 {
+        eprintln!(
+            "solver bench: WARNING: enabled tracing costs {:+.2}% on the headline workload",
+            parsed.obs.enabled_overhead_pct
+        );
     }
     for r in &parsed.rows {
         if r.apps >= 16 && r.options >= 8 && r.warm_speedup < 3.0 {

@@ -67,10 +67,34 @@ fn main() {
         }
     };
 
+    // Third pass with the harp-obs global collector on: records what
+    // end-to-end tracing costs the harness, and that it cannot perturb
+    // the simulated results.
+    harp_obs::enable_global();
+    let traced = match run_pass(&o6, &o7) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("headline_summary (traced pass): {e}");
+            std::process::exit(1);
+        }
+    };
+    harp_obs::disable_global();
+    let telemetry = harp_obs::dump_global(false);
+    let events_recorded = harp_obs::render::parse_dump(&telemetry)
+        .map(|d| d.recorded)
+        .unwrap_or(0);
+    let events_dropped = harp_obs::global_dropped();
+    harp_obs::reset_global();
+
     let identical = fig6::render(&serial.rows6) == fig6::render(&parallel.rows6)
         && fig7::render(&serial.rows7) == fig7::render(&parallel.rows7);
     if !identical {
         eprintln!("headline_summary: parallel output differs from serial output");
+    }
+    let traced_identical = fig6::render(&traced.rows6) == fig6::render(&parallel.rows6)
+        && fig7::render(&traced.rows7) == fig7::render(&parallel.rows7);
+    if !traced_identical {
+        eprintln!("headline_summary: tracing perturbed the rendered output");
     }
 
     match headline_from_rows(&parallel.rows6, &parallel.rows7) {
@@ -83,11 +107,22 @@ fn main() {
 
     let serial_total = serial.fig6_s + serial.fig7_s;
     let parallel_total = parallel.fig6_s + parallel.fig7_s;
+    let traced_total = traced.fig6_s + traced.fig7_s;
+    let obs_overhead_pct = (traced_total - parallel_total) / parallel_total.max(1e-9) * 100.0;
     println!(
         "\nHarness: serial {serial_total:.1}s vs {workers} workers {parallel_total:.1}s \
          ({:.2}x speedup, outputs {})",
         serial_total / parallel_total.max(1e-9),
         if identical { "identical" } else { "DIFFERENT" }
+    );
+    println!(
+        "Tracing: {traced_total:.1}s with the collector on ({obs_overhead_pct:+.1}%, \
+         {events_recorded} events, {events_dropped} dropped, outputs {})",
+        if traced_identical {
+            "identical"
+        } else {
+            "DIFFERENT"
+        }
     );
     // Aggregate solver cost across both passes (printed, never rendered
     // into the byte-compared tables).
@@ -109,6 +144,9 @@ fn main() {
          \"speedup\": {:.3}}},\n  \
          \"cache\": {{\"serial\": {{\"hits\": {}, \"misses\": {}}}, \
          \"parallel\": {{\"hits\": {}, \"misses\": {}}}}},\n  \
+         \"obs\": {{\"disabled_s\": {parallel_total:.3}, \"enabled_s\": {traced_total:.3}, \
+         \"overhead_pct\": {obs_overhead_pct:.3}, \"events_recorded\": {events_recorded}, \
+         \"events_dropped\": {events_dropped}, \"outputs_identical\": {traced_identical}}},\n  \
          \"outputs_identical\": {identical}\n}}\n",
         serial.fig6_s,
         parallel.fig6_s,
@@ -125,7 +163,7 @@ fn main() {
     if let Err(e) = std::fs::write(&path, json) {
         eprintln!("headline_summary: cannot write {path}: {e}");
     }
-    if !identical {
+    if !identical || !traced_identical {
         std::process::exit(1);
     }
 }

@@ -10,6 +10,18 @@ use serde::Deserialize;
 struct BenchFile {
     quick: bool,
     rows: Vec<Row>,
+    obs: ObsSection,
+}
+
+#[derive(Deserialize)]
+struct ObsSection {
+    apps: u64,
+    options: u64,
+    baseline_pr3_warm_engine_ns: u64,
+    disabled_warm_engine_ns: u64,
+    enabled_warm_engine_ns: u64,
+    disabled_delta_pct: f64,
+    enabled_overhead_pct: f64,
 }
 
 #[derive(Deserialize)]
@@ -56,5 +68,52 @@ fn committed_solver_bench_parses_and_meets_speedup_floor() {
     assert!(
         large_rows >= 1,
         "artifact needs at least one row with >= 16 apps and >= 8 options"
+    );
+}
+
+/// The observability layer must be free when disabled: the committed
+/// artifact's headline warm run (instrumentation compiled in, collector
+/// off) may not regress more than 2% against the PR 3 baseline measured
+/// before `harp-obs` existed. Signed gate — being faster always passes.
+#[test]
+fn committed_obs_overhead_is_within_gate() {
+    let text = include_str!("../../../BENCH_solver.json");
+    let file: BenchFile = serde_json::from_str(text).expect("BENCH_solver.json parses");
+    let obs = &file.obs;
+    assert_eq!(
+        (obs.apps, obs.options),
+        (32, 16),
+        "obs A/B must run the headline configuration"
+    );
+    assert_eq!(
+        obs.baseline_pr3_warm_engine_ns, 2_757_343,
+        "PR 3 anchor changed — the gate no longer measures what it claims"
+    );
+    assert!(
+        obs.disabled_delta_pct <= 2.0,
+        "disabled-instrumentation solver run drifted {:+.2}% (> +2%) from the PR 3 baseline \
+         ({} ns vs {} ns) — the telemetry layer is taxing the disabled path",
+        obs.disabled_delta_pct,
+        obs.disabled_warm_engine_ns,
+        obs.baseline_pr3_warm_engine_ns
+    );
+    // The recomputed delta must match what the bench wrote (artifact not
+    // hand-edited).
+    let recomputed = (obs.disabled_warm_engine_ns as f64 - obs.baseline_pr3_warm_engine_ns as f64)
+        / obs.baseline_pr3_warm_engine_ns as f64
+        * 100.0;
+    assert!(
+        (recomputed - obs.disabled_delta_pct).abs() < 0.01,
+        "disabled_delta_pct {} disagrees with its inputs ({recomputed:.3})",
+        obs.disabled_delta_pct
+    );
+    // Enabled tracing is allowed to cost something, but a blow-up here
+    // means the hot path regressed (lock contention, allocation, ...).
+    assert!(
+        obs.enabled_overhead_pct < 25.0,
+        "enabled tracing costs {:+.2}% on the headline workload ({} ns vs {} ns)",
+        obs.enabled_overhead_pct,
+        obs.enabled_warm_engine_ns,
+        obs.disabled_warm_engine_ns
     );
 }

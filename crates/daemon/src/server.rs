@@ -2,7 +2,7 @@
 
 use harp_platform::HardwareDescription;
 use harp_proto::frame;
-use harp_proto::{Activate, ErrorMsg, Message, RegisterAck};
+use harp_proto::{Activate, ErrorMsg, Message, RegisterAck, TelemetryDump};
 use harp_rm::{Directive, RmConfig, RmCore, RmOutput};
 use harp_types::{AppId, ErvShape, ExtResourceVector, NonFunctional, Result};
 use std::collections::HashMap;
@@ -25,6 +25,48 @@ pub const ERR_DUPLICATE_REGISTER: u32 = 4;
 /// Protocol error code: a point submission was rejected by the RM.
 pub const ERR_SUBMIT_REJECTED: u32 = 5;
 
+/// Stable telemetry name of a protocol error code.
+fn err_name(code: u32) -> &'static str {
+    match code {
+        ERR_REGISTER_REJECTED => "register_rejected",
+        ERR_PROTOCOL => "protocol",
+        ERR_NO_SESSION => "no_session",
+        ERR_DUPLICATE_REGISTER => "duplicate_register",
+        ERR_SUBMIT_REJECTED => "submit_rejected",
+        _ => "unknown",
+    }
+}
+
+/// Stable telemetry name of an inbound message type.
+fn msg_name(msg: &Message) -> &'static str {
+    match msg {
+        Message::Register(_) => "register",
+        Message::RegisterAck(_) => "register_ack",
+        Message::SubmitPoints(_) => "submit_points",
+        Message::Activate(_) => "activate",
+        Message::UtilityRequest(_) => "utility_request",
+        Message::UtilityReport(_) => "utility_report",
+        Message::Exit { .. } => "exit",
+        Message::Error(_) => "error",
+        Message::DumpTelemetry(_) => "dump_telemetry",
+        Message::TelemetryDump(_) => "telemetry_dump",
+    }
+}
+
+/// Upper bound on the JSONL payload of a [`TelemetryDump`] reply, chosen
+/// well under [`frame::MAX_FRAME_LEN`] so the encoded frame always fits.
+const MAX_DUMP_BYTES: usize = 8 * 1024 * 1024;
+
+/// Truncates a JSONL document to `max` bytes at a line boundary.
+fn truncate_jsonl(mut jsonl: String, max: usize) -> (String, bool) {
+    if jsonl.len() <= max {
+        return (jsonl, false);
+    }
+    let cut = jsonl[..max].rfind('\n').map(|i| i + 1).unwrap_or(0);
+    jsonl.truncate(cut);
+    (jsonl, true)
+}
+
 /// Locks a mutex, recovering from poison: a connection thread that
 /// panicked while holding the lock must not take the whole daemon down
 /// with it — the guarded state (RM core, stream map) stays consistent
@@ -43,6 +85,10 @@ pub struct DaemonConfig {
     /// RM configuration. Defaults to *offline* mode — see the
     /// [crate docs](crate) for why the daemon does not monitor counters.
     pub rm: RmConfig,
+    /// Whether to enable the global `harp-obs` collector on start. Off by
+    /// default: tracing is opt-in, and the disabled path costs one atomic
+    /// load per callsite.
+    pub tracing: bool,
 }
 
 impl DaemonConfig {
@@ -56,7 +102,14 @@ impl DaemonConfig {
             socket_path: socket_path.as_ref().to_path_buf(),
             hw,
             rm,
+            tracing: false,
         }
+    }
+
+    /// Enables the global telemetry collector for this daemon.
+    pub fn with_tracing(mut self) -> Self {
+        self.tracing = true;
+        self
     }
 }
 
@@ -66,6 +119,9 @@ struct Shared {
     streams: Mutex<HashMap<AppId, UnixStream>>,
     shape: ErvShape,
     next_id: AtomicU64,
+    /// Connection counter for telemetry (distinct from session ids: a
+    /// connection may never register).
+    next_conn: AtomicU64,
     stop: AtomicBool,
 }
 
@@ -85,6 +141,11 @@ impl Shared {
         }
         for app in dead {
             streams.remove(&app);
+            if harp_obs::enabled() {
+                harp_obs::instant(harp_obs::Subsystem::Daemon, "dead_stream_pruned")
+                    .field("session", app.raw());
+                harp_obs::metrics::counter("daemon.dead_stream_pruned").inc();
+            }
         }
     }
 }
@@ -126,6 +187,9 @@ impl HarpDaemon {
     ///
     /// Returns [`harp_types::HarpError::Io`] if the socket cannot be bound.
     pub fn start(cfg: DaemonConfig) -> Result<DaemonHandle> {
+        if cfg.tracing {
+            harp_obs::enable_global();
+        }
         let _ = std::fs::remove_file(&cfg.socket_path);
         let listener = UnixListener::bind(&cfg.socket_path)?;
         let shape = cfg.hw.erv_shape();
@@ -134,6 +198,7 @@ impl HarpDaemon {
             streams: Mutex::new(HashMap::new()),
             shape,
             next_id: AtomicU64::new(1),
+            next_conn: AtomicU64::new(1),
             stop: AtomicBool::new(false),
         });
         let accept_shared = shared.clone();
@@ -147,9 +212,15 @@ impl HarpDaemon {
                     match conn {
                         Ok(stream) => {
                             let shared = accept_shared.clone();
+                            let conn_id = shared.next_conn.fetch_add(1, Ordering::SeqCst);
+                            if harp_obs::enabled() {
+                                harp_obs::instant(harp_obs::Subsystem::Daemon, "accept")
+                                    .field("conn", conn_id);
+                                harp_obs::metrics::counter("daemon.accepts").inc();
+                            }
                             let _ = std::thread::Builder::new()
                                 .name("harpd-conn".into())
-                                .spawn(move || handle_connection(shared, stream));
+                                .spawn(move || handle_connection(shared, stream, conn_id));
                         }
                         Err(_) => return,
                     }
@@ -193,26 +264,39 @@ impl DaemonHandle {
 }
 
 /// Sends a protocol error notification to the peer; delivery is
-/// best-effort (the peer may already be gone).
-fn send_error(stream: &UnixStream, code: u32, detail: impl Into<String>) {
-    let _ = frame::write_frame(
-        stream,
-        &Message::Error(ErrorMsg {
-            code,
-            detail: detail.into(),
-        }),
-    );
+/// best-effort (the peer may already be gone). Every ERR_* reply is also
+/// logged as a structured `err_reply` event carrying the connection and
+/// session ids, and counted in the metrics registry.
+fn send_error(
+    stream: &UnixStream,
+    code: u32,
+    detail: impl Into<String>,
+    conn: u64,
+    session: Option<AppId>,
+) {
+    let detail = detail.into();
+    if harp_obs::enabled() {
+        harp_obs::instant(harp_obs::Subsystem::Daemon, "err_reply")
+            .field("code", code)
+            .field("err", err_name(code))
+            .field("conn", conn)
+            .field("session", session.map(AppId::raw).unwrap_or(0))
+            .field("detail", detail.clone());
+        harp_obs::metrics::counter("daemon.err_replies").inc();
+    }
+    let _ = frame::write_frame(stream, &Message::Error(ErrorMsg { code, detail }));
 }
 
 /// Serves one client connection until clean exit, hangup, or a protocol
 /// violation. Every failure mode ends in the same cleanup: the write side
 /// is unrouted and the session (if any) deregistered, so a misbehaving or
 /// crashed client can never leak cores or wedge the daemon.
-fn handle_connection(shared: Arc<Shared>, stream: UnixStream) {
+fn handle_connection(shared: Arc<Shared>, stream: UnixStream, conn: u64) {
     let mut read = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     };
+    let mut conn_span = harp_obs::span(harp_obs::Subsystem::Daemon, "conn").field("conn", conn);
     let mut app: Option<AppId> = None;
     loop {
         let msg = match frame::read_frame(&mut read) {
@@ -223,10 +307,14 @@ fn handle_connection(shared: Arc<Shared>, stream: UnixStream) {
             // effort) and drop the connection. Resynchronizing a byte
             // stream after a framing error is not possible.
             Err(e) => {
-                send_error(&stream, ERR_PROTOCOL, e.to_string());
+                send_error(&stream, ERR_PROTOCOL, e.to_string(), conn, app);
                 break;
             }
         };
+        let _dispatch = harp_obs::span(harp_obs::Subsystem::Daemon, "dispatch")
+            .field("msg", msg_name(&msg))
+            .field("conn", conn)
+            .field("session", app.map(AppId::raw).unwrap_or(0));
         match msg {
             Message::Register(_) if app.is_some() => {
                 // A connection is one session; re-registration would leak
@@ -235,6 +323,8 @@ fn handle_connection(shared: Arc<Shared>, stream: UnixStream) {
                     &stream,
                     ERR_DUPLICATE_REGISTER,
                     "connection already holds a registered session",
+                    conn,
+                    app,
                 );
             }
             Message::Register(reg) => {
@@ -248,6 +338,7 @@ fn handle_connection(shared: Arc<Shared>, stream: UnixStream) {
                 match result {
                     Ok(out) => {
                         app = Some(id);
+                        conn_span.set_field("session", id.raw());
                         let _ = frame::write_frame(
                             &stream,
                             &Message::RegisterAck(RegisterAck { app_id: id.raw() }),
@@ -256,13 +347,19 @@ fn handle_connection(shared: Arc<Shared>, stream: UnixStream) {
                     }
                     Err(e) => {
                         lock(&shared.streams).remove(&id);
-                        send_error(&stream, ERR_REGISTER_REJECTED, e.to_string());
+                        send_error(&stream, ERR_REGISTER_REJECTED, e.to_string(), conn, app);
                     }
                 }
             }
             Message::SubmitPoints(sp) => {
                 let Some(id) = app else {
-                    send_error(&stream, ERR_NO_SESSION, "SubmitPoints before registration");
+                    send_error(
+                        &stream,
+                        ERR_NO_SESSION,
+                        "SubmitPoints before registration",
+                        conn,
+                        app,
+                    );
                     continue;
                 };
                 let mut points = Vec::new();
@@ -273,8 +370,19 @@ fn handle_connection(shared: Arc<Shared>, stream: UnixStream) {
                 }
                 match lock(&shared.rm).submit_points(id, points) {
                     Ok(out) => shared.route(&out),
-                    Err(e) => send_error(&stream, ERR_SUBMIT_REJECTED, e.to_string()),
+                    Err(e) => send_error(&stream, ERR_SUBMIT_REJECTED, e.to_string(), conn, app),
                 }
+            }
+            Message::DumpTelemetry(req) => {
+                // Serve the flight recorder to observers (`harp-trace`).
+                // When the collector is disabled the dump is just the
+                // (empty) recorder header — still a valid document.
+                let (jsonl, truncated) =
+                    truncate_jsonl(harp_obs::dump_global(req.include_metrics), MAX_DUMP_BYTES);
+                let _ = frame::write_frame(
+                    &stream,
+                    &Message::TelemetryDump(TelemetryDump { jsonl, truncated }),
+                );
             }
             Message::UtilityReport(_) => {
                 // Collected for future online monitoring; the daemon's RM
@@ -290,6 +398,12 @@ fn handle_connection(shared: Arc<Shared>, stream: UnixStream) {
     if let Some(id) = app {
         lock(&shared.streams).remove(&id);
         if let Ok(out) = lock(&shared.rm).deregister(id) {
+            if harp_obs::enabled() {
+                harp_obs::instant(harp_obs::Subsystem::Daemon, "session_deregistered")
+                    .field("conn", conn)
+                    .field("session", id.raw());
+                harp_obs::metrics::counter("daemon.deregisters").inc();
+            }
             shared.route(&out);
         }
     }

@@ -1,0 +1,234 @@
+//! End-to-end telemetry: the daemon's flight recorder must reconstruct
+//! the full request → selection → allocation → directive path, serve it
+//! over the wire via `DumpTelemetry`, and log protocol failures as
+//! exactly-once structured events.
+//!
+//! The global collector is process-wide, so these tests serialize on a
+//! mutex and reset the recorder before each run.
+
+use harp_daemon::{DaemonConfig, HarpDaemon, UnixTransport, ERR_PROTOCOL};
+use harp_obs::render::{parse_dump, render_span_tree};
+use harp_obs::schema::validate_dump;
+use harp_platform::HardwareDescription;
+use harp_proto::frame;
+use harp_proto::{AdaptivityType, DumpTelemetry, Message, Register};
+use harp_types::{ErvShape, ExtResourceVector, NonFunctional};
+use libharp::{HarpSession, SessionConfig};
+use std::io::Write as _;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+static TELEMETRY_LOCK: Mutex<()> = Mutex::new(());
+
+fn temp_socket(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("harp-obs-{}-{tag}.sock", std::process::id()))
+}
+
+fn points(shape: &ErvShape) -> Vec<(ExtResourceVector, NonFunctional)> {
+    vec![
+        (
+            ExtResourceVector::from_flat(shape, &[0, 4, 0]).unwrap(),
+            NonFunctional::new(3.0e10, 40.0),
+        ),
+        (
+            ExtResourceVector::from_flat(shape, &[0, 0, 8]).unwrap(),
+            NonFunctional::new(2.5e10, 15.0),
+        ),
+    ]
+}
+
+/// Requests a telemetry dump over the wire on a fresh connection.
+fn fetch_dump(socket: &PathBuf, include_metrics: bool) -> String {
+    let s = UnixStream::connect(socket).unwrap();
+    let mut read = s.try_clone().unwrap();
+    frame::write_frame(
+        &s,
+        &Message::DumpTelemetry(DumpTelemetry { include_metrics }),
+    )
+    .unwrap();
+    match frame::read_frame(&mut read).unwrap().expect("dump reply") {
+        Message::TelemetryDump(d) => {
+            assert!(!d.truncated, "tiny test session should never truncate");
+            d.jsonl
+        }
+        other => panic!("expected TelemetryDump, got {other:?}"),
+    }
+}
+
+/// Lets in-flight events from daemon threads reach the recorder.
+fn settle() {
+    std::thread::sleep(Duration::from_millis(50));
+    harp_obs::flush_global();
+}
+
+#[test]
+fn span_tree_reconstructs_request_to_directive_path() {
+    let _guard = TELEMETRY_LOCK.lock().unwrap();
+    harp_obs::reset_global();
+    let hw = HardwareDescription::raptor_lake();
+    let shape = hw.erv_shape();
+    let socket = temp_socket("path");
+    let daemon = HarpDaemon::start(DaemonConfig::new(&socket, hw).with_tracing()).unwrap();
+
+    let cfg = SessionConfig::new("traced", AdaptivityType::Scalable)
+        .with_points(vec![2, 1], points(&shape));
+    let mut s = HarpSession::connect(UnixTransport::connect(&socket).unwrap(), cfg).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        s.poll(|| 0.0).unwrap();
+        if s.allocation().current().is_some() {
+            break;
+        }
+        assert!(Instant::now() < deadline, "no activation under tracing");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    s.exit().unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !daemon.managed_apps().is_empty() {
+        assert!(Instant::now() < deadline, "exit never drained the RM");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    settle();
+
+    let jsonl = fetch_dump(&socket, true);
+    let stats = validate_dump(&jsonl).expect("wire dump must pass the schema");
+    assert!(stats.events > 0 && stats.metrics > 0);
+    let parsed = parse_dump(&jsonl).unwrap();
+
+    // The directive instant must sit inside a reallocate span that nests
+    // (via rm.register or rm.submit_points) under a daemon dispatch span —
+    // one connected trace from request to directive.
+    let directive = parsed
+        .events
+        .iter()
+        .find(|e| e.sub == "rm" && e.name == "directive")
+        .expect("no rm.directive instant recorded");
+    let start_of = |span: u64| {
+        parsed
+            .events
+            .iter()
+            .find(|e| e.kind == "span_start" && e.span == span)
+    };
+    let realloc = start_of(directive.span).expect("directive's span evicted");
+    assert_eq!(
+        (realloc.sub.as_str(), realloc.name.as_str()),
+        ("rm", "reallocate")
+    );
+    let request = start_of(realloc.parent).expect("reallocate is an orphan");
+    assert_eq!(request.sub, "rm");
+    assert!(
+        request.name == "register" || request.name == "submit_points",
+        "reallocate hangs under rm.{}, not a request",
+        request.name
+    );
+    let dispatch = start_of(request.parent).expect("request span is an orphan");
+    assert_eq!(
+        (dispatch.sub.as_str(), dispatch.name.as_str()),
+        ("daemon", "dispatch")
+    );
+
+    // A solver selection ran somewhere under the same story.
+    assert!(
+        parsed
+            .events
+            .iter()
+            .any(|e| e.sub == "solver" && e.name == "solve" && e.kind == "span_end"),
+        "no solver.solve span recorded"
+    );
+
+    // And the rendered tree shows the whole path for `harp-trace` users.
+    let tree = render_span_tree(&parsed);
+    for needle in [
+        "daemon.dispatch",
+        "rm.register",
+        "rm.reallocate",
+        "solver.solve",
+        "rm.directive",
+        "daemon.session_deregistered",
+    ] {
+        assert!(
+            tree.contains(needle),
+            "span tree is missing {needle}:\n{tree}"
+        );
+    }
+
+    daemon.shutdown();
+}
+
+#[test]
+fn malformed_frame_logs_one_error_and_one_deregister() {
+    let _guard = TELEMETRY_LOCK.lock().unwrap();
+    harp_obs::reset_global();
+    let hw = HardwareDescription::raptor_lake();
+    let socket = temp_socket("malformed");
+    let daemon = HarpDaemon::start(DaemonConfig::new(&socket, hw).with_tracing()).unwrap();
+
+    // Register a real session first so the error event carries its id.
+    let c = UnixStream::connect(&socket).unwrap();
+    let mut c_read = c.try_clone().unwrap();
+    frame::write_frame(
+        &c,
+        &Message::Register(Register {
+            pid: 7,
+            app_name: "garbler".into(),
+            adaptivity: AdaptivityType::Scalable,
+            provides_utility: false,
+        }),
+    )
+    .unwrap();
+    let session = loop {
+        match frame::read_frame(&mut c_read).unwrap().expect("ack") {
+            Message::RegisterAck(ack) => break ack.app_id,
+            _ => continue,
+        }
+    };
+
+    // A complete frame whose payload is not a decodable message: the
+    // daemon must answer ERR_PROTOCOL once and drop the connection.
+    (&c).write_all(&[2, 0, 0, 0, 0xFF, 0xFF]).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !daemon.managed_apps().is_empty() {
+        assert!(Instant::now() < deadline, "malformed session never reaped");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    drop(c_read);
+    drop(c);
+    settle();
+
+    let parsed = parse_dump(&fetch_dump(&socket, false)).unwrap();
+    let errs: Vec<_> = parsed
+        .events
+        .iter()
+        .filter(|e| e.sub == "daemon" && e.name == "err_reply")
+        .collect();
+    assert_eq!(errs.len(), 1, "expected exactly one err_reply: {errs:?}");
+    let code = errs[0]
+        .fields
+        .iter()
+        .find(|(k, _)| k == "code")
+        .and_then(|(_, v)| v.as_u64())
+        .unwrap();
+    assert_eq!(code as u32, ERR_PROTOCOL);
+    let err_session = errs[0]
+        .fields
+        .iter()
+        .find(|(k, _)| k == "session")
+        .and_then(|(_, v)| v.as_u64())
+        .unwrap();
+    assert_eq!(err_session, session, "error not attributed to the session");
+
+    let deregs: Vec<_> = parsed
+        .events
+        .iter()
+        .filter(|e| e.sub == "daemon" && e.name == "session_deregistered")
+        .collect();
+    assert_eq!(
+        deregs.len(),
+        1,
+        "session must deregister exactly once: {deregs:?}"
+    );
+
+    daemon.shutdown();
+}

@@ -1,0 +1,545 @@
+//! Event dispatch: span stacks, tick scoping, and the global/local
+//! collectors.
+//!
+//! Two sinks exist. The **global** collector (daemon, benches) routes
+//! events through a lock-free bounded queue to a background collector
+//! thread that folds them into a process-wide [`FlightRecorder`]; span
+//! ids come from a process atomic and spans are wall-clock timed. A
+//! **local** collector (chaos tests, deterministic replays) captures the
+//! installing thread's events directly into a private recorder with its
+//! own span-id counter and timing disabled, so two runs of the same
+//! seeded trace produce byte-identical dumps.
+//!
+//! The disabled fast path — the only cost instrumented hot loops pay
+//! when tracing is off — is one relaxed atomic load plus one
+//! thread-local flag read in [`enabled`].
+
+use crate::channel::BoundedQueue;
+use crate::event::{Event, EventKind, Subsystem, Value};
+use crate::metrics::Histogram;
+use crate::recorder::FlightRecorder;
+use std::cell::{Cell, RefCell};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, Once, OnceLock};
+use std::time::Instant;
+
+/// Capacity of the global event queue. Producers that find it full drop
+/// the event and bump [`global_dropped`] instead of blocking.
+pub const GLOBAL_QUEUE_CAPACITY: usize = 1 << 16;
+
+static GLOBAL_ON: AtomicBool = AtomicBool::new(false);
+static TIMING: AtomicBool = AtomicBool::new(true);
+static NEXT_SPAN: AtomicU64 = AtomicU64::new(1);
+static GLOBAL_DROPPED: AtomicU64 = AtomicU64::new(0);
+static COLLECTOR_THREAD: Once = Once::new();
+
+static QUEUE: OnceLock<BoundedQueue<Event>> = OnceLock::new();
+static RECORDER: OnceLock<Mutex<FlightRecorder>> = OnceLock::new();
+
+fn queue() -> &'static BoundedQueue<Event> {
+    QUEUE.get_or_init(|| BoundedQueue::with_capacity(GLOBAL_QUEUE_CAPACITY))
+}
+
+fn recorder() -> &'static Mutex<FlightRecorder> {
+    RECORDER.get_or_init(|| Mutex::new(FlightRecorder::default()))
+}
+
+fn lock_recorder() -> std::sync::MutexGuard<'static, FlightRecorder> {
+    recorder().lock().unwrap_or_else(|p| p.into_inner())
+}
+
+struct LocalState {
+    recorder: FlightRecorder,
+    timing: bool,
+    next_span: u64,
+}
+
+struct Frame {
+    id: u64,
+    start: Option<Instant>,
+}
+
+#[derive(Default)]
+struct Tls {
+    local: Option<LocalState>,
+    stack: Vec<Frame>,
+    tick: u64,
+}
+
+thread_local! {
+    static HAS_LOCAL: Cell<bool> = const { Cell::new(false) };
+    static TLS: RefCell<Tls> = RefCell::new(Tls::default());
+}
+
+/// True when events from this thread have somewhere to go. This is the
+/// cheap check instrumented code performs before building any event.
+#[inline]
+pub fn enabled() -> bool {
+    GLOBAL_ON.load(Ordering::Relaxed) || HAS_LOCAL.with(Cell::get)
+}
+
+/// Turns on the global collector and starts the background collector
+/// thread (once per process).
+pub fn enable_global() {
+    GLOBAL_ON.store(true, Ordering::SeqCst);
+    COLLECTOR_THREAD.call_once(|| {
+        let _ = std::thread::Builder::new()
+            .name("harp-obs-collector".into())
+            .spawn(|| loop {
+                if flush_global() == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+            });
+    });
+}
+
+/// Stops routing new events to the global collector. Already-queued
+/// events still reach the recorder.
+pub fn disable_global() {
+    GLOBAL_ON.store(false, Ordering::SeqCst);
+}
+
+/// Whether the global collector is accepting events.
+pub fn global_enabled() -> bool {
+    GLOBAL_ON.load(Ordering::Relaxed)
+}
+
+/// Enables or disables wall-clock span timing for the global collector.
+/// Local collectors always run untimed (`dur_ns = 0`) for determinism.
+pub fn set_timing(on: bool) {
+    TIMING.store(on, Ordering::Relaxed);
+}
+
+/// Events dropped because the global queue was full.
+pub fn global_dropped() -> u64 {
+    GLOBAL_DROPPED.load(Ordering::Relaxed)
+}
+
+/// Drains the global queue into the flight recorder; returns how many
+/// events moved. Called by the collector thread and by the dump path.
+pub fn flush_global() -> usize {
+    let q = queue();
+    let mut rec = lock_recorder();
+    let mut n = 0;
+    while let Some(ev) = q.pop() {
+        rec.record(ev);
+        n += 1;
+    }
+    n
+}
+
+/// Flushes and serializes the global flight recorder as JSONL,
+/// optionally appending a metrics snapshot.
+pub fn dump_global(include_metrics: bool) -> String {
+    flush_global();
+    let rec = lock_recorder();
+    let metrics = include_metrics.then(crate::metrics::snapshot);
+    rec.dump_jsonl(metrics.as_ref())
+}
+
+/// Clears the global recorder and queue (test isolation).
+pub fn reset_global() {
+    flush_global();
+    lock_recorder().clear();
+}
+
+/// Sets the current RM tick for this thread; subsequent events carry it.
+pub fn set_tick(tick: u64) {
+    TLS.with(|t| t.borrow_mut().tick = tick);
+}
+
+/// The tick most recently set on this thread.
+pub fn current_tick() -> u64 {
+    TLS.with(|t| t.borrow().tick)
+}
+
+/// Span id of the innermost open span on this thread (0 if none).
+pub fn current_span() -> u64 {
+    TLS.with(|t| t.borrow().stack.last().map(|f| f.id).unwrap_or(0))
+}
+
+fn dispatch(ev: Event) {
+    let mut ev = Some(ev);
+    let handled = TLS
+        .try_with(|t| {
+            let mut t = t.borrow_mut();
+            if let Some(local) = &mut t.local {
+                local.recorder.record(ev.take().expect("event present"));
+                true
+            } else {
+                false
+            }
+        })
+        .unwrap_or(true); // TLS torn down: drop the event
+    if handled {
+        return;
+    }
+    if !GLOBAL_ON.load(Ordering::Relaxed) {
+        return;
+    }
+    if queue().push(ev.take().expect("event present")).is_err() {
+        GLOBAL_DROPPED.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// RAII guard for an open span. Emits `span_start` on creation and
+/// `span_end` (with accumulated fields and duration) on drop — including
+/// drops during unwinding, so panicking spans still close in the dump.
+#[must_use = "dropping the guard immediately closes the span"]
+pub struct SpanGuard(Option<SpanInner>);
+
+struct SpanInner {
+    sub: Subsystem,
+    name: &'static str,
+    id: u64,
+    parent: u64,
+    fields: Vec<(&'static str, Value)>,
+}
+
+/// Opens a span. Returns an inert guard when tracing is disabled.
+pub fn span(sub: Subsystem, name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard(None);
+    }
+    let (id, parent, tick) = TLS.with(|t| {
+        let mut t = t.borrow_mut();
+        let (id, timing) = match &mut t.local {
+            Some(local) => {
+                local.next_span += 1;
+                (local.next_span, local.timing)
+            }
+            None => (
+                NEXT_SPAN.fetch_add(1, Ordering::Relaxed),
+                TIMING.load(Ordering::Relaxed),
+            ),
+        };
+        let parent = t.stack.last().map(|f| f.id).unwrap_or(0);
+        t.stack.push(Frame {
+            id,
+            start: timing.then(Instant::now),
+        });
+        (id, parent, t.tick)
+    });
+    dispatch(Event {
+        seq: 0,
+        tick,
+        span: id,
+        parent,
+        subsystem: sub,
+        kind: EventKind::SpanStart,
+        name,
+        dur_ns: 0,
+        fields: Vec::new(),
+    });
+    SpanGuard(Some(SpanInner {
+        sub,
+        name,
+        id,
+        parent,
+        fields: Vec::new(),
+    }))
+}
+
+impl SpanGuard {
+    /// Attaches a field to the eventual `span_end` event (builder form).
+    pub fn field(mut self, key: &'static str, value: impl Into<Value>) -> Self {
+        self.set_field(key, value);
+        self
+    }
+
+    /// Attaches a field to the eventual `span_end` event.
+    pub fn set_field(&mut self, key: &'static str, value: impl Into<Value>) {
+        if let Some(inner) = &mut self.0 {
+            inner.fields.push((key, value.into()));
+        }
+    }
+
+    /// Whether this guard is actually recording.
+    pub fn is_active(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(inner) = self.0.take() else {
+            return;
+        };
+        let popped = TLS.try_with(|t| {
+            let mut t = t.borrow_mut();
+            let mut dur = 0u64;
+            // Guards drop in LIFO order even during unwinding, so the
+            // matching frame is normally on top; tolerate skew anyway.
+            while let Some(frame) = t.stack.pop() {
+                if frame.id == inner.id {
+                    if let Some(start) = frame.start {
+                        dur = start.elapsed().as_nanos() as u64;
+                    }
+                    break;
+                }
+            }
+            (dur, t.tick)
+        });
+        let Ok((dur, tick)) = popped else {
+            return; // thread TLS already destroyed
+        };
+        dispatch(Event {
+            seq: 0,
+            tick,
+            span: inner.id,
+            parent: inner.parent,
+            subsystem: inner.sub,
+            kind: EventKind::SpanEnd,
+            name: inner.name,
+            dur_ns: dur,
+            fields: inner.fields,
+        });
+    }
+}
+
+/// Builder for an instant event; emits when dropped (end of statement).
+pub struct EventBuilder(Option<Event>);
+
+/// Records a point-in-time event under the current span. Fields chain:
+/// `obs::instant(Subsystem::Daemon, "err_reply").field("code", 2u64);`
+pub fn instant(sub: Subsystem, name: &'static str) -> EventBuilder {
+    if !enabled() {
+        return EventBuilder(None);
+    }
+    let (span, tick) = TLS.with(|t| {
+        let t = t.borrow();
+        (t.stack.last().map(|f| f.id).unwrap_or(0), t.tick)
+    });
+    EventBuilder(Some(Event {
+        seq: 0,
+        tick,
+        span,
+        parent: span,
+        subsystem: sub,
+        kind: EventKind::Instant,
+        name,
+        dur_ns: 0,
+        fields: Vec::new(),
+    }))
+}
+
+impl EventBuilder {
+    /// Attaches a field.
+    pub fn field(mut self, key: &'static str, value: impl Into<Value>) -> Self {
+        if let Some(ev) = &mut self.0 {
+            ev.fields.push((key, value.into()));
+        }
+        self
+    }
+}
+
+impl Drop for EventBuilder {
+    fn drop(&mut self) {
+        if let Some(ev) = self.0.take() {
+            dispatch(ev);
+        }
+    }
+}
+
+/// RAII histogram timer; records elapsed nanoseconds on drop. Inert when
+/// tracing is disabled or running under an (untimed) local collector.
+#[must_use = "dropping the timer immediately records the duration"]
+pub struct TimerGuard(Option<(&'static Histogram, Instant)>);
+
+/// Starts a histogram timer for `hist`.
+pub fn timer(hist: &'static Histogram) -> TimerGuard {
+    let timed = GLOBAL_ON.load(Ordering::Relaxed)
+        && TIMING.load(Ordering::Relaxed)
+        && !HAS_LOCAL.with(Cell::get);
+    TimerGuard(timed.then(|| (hist, Instant::now())))
+}
+
+impl Drop for TimerGuard {
+    fn drop(&mut self) {
+        if let Some((hist, start)) = self.0.take() {
+            hist.record(start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// A deterministic per-thread collector. While installed, every event
+/// emitted by this thread goes to a private flight recorder (span ids
+/// restart at 1, `dur_ns` fixed at 0) instead of the global queue.
+pub struct LocalCollector {
+    // Not Send/Sync: the collector is bound to the installing thread.
+    _not_send: PhantomData<*const ()>,
+}
+
+impl LocalCollector {
+    /// Installs a local collector on the current thread.
+    ///
+    /// # Panics
+    /// Panics if one is already installed on this thread.
+    pub fn install() -> LocalCollector {
+        TLS.with(|t| {
+            let mut t = t.borrow_mut();
+            assert!(
+                t.local.is_none(),
+                "a LocalCollector is already installed on this thread"
+            );
+            t.local = Some(LocalState {
+                recorder: FlightRecorder::default(),
+                timing: false,
+                next_span: 0,
+            });
+            t.tick = 0;
+        });
+        HAS_LOCAL.with(|c| c.set(true));
+        LocalCollector {
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Serializes everything captured so far (no metrics: the registry
+    /// is process-global and would break per-thread determinism).
+    pub fn dump_jsonl(&self) -> String {
+        TLS.with(|t| {
+            let t = t.borrow();
+            t.local
+                .as_ref()
+                .expect("local collector installed")
+                .recorder
+                .dump_jsonl(None)
+        })
+    }
+
+    /// Number of events captured so far.
+    pub fn recorded(&self) -> u64 {
+        TLS.with(|t| {
+            let t = t.borrow();
+            t.local
+                .as_ref()
+                .expect("local collector installed")
+                .recorder
+                .recorded()
+        })
+    }
+}
+
+impl Drop for LocalCollector {
+    fn drop(&mut self) {
+        let _ = TLS.try_with(|t| {
+            let mut t = t.borrow_mut();
+            t.local = None;
+            t.tick = 0;
+        });
+        let _ = HAS_LOCAL.try_with(|c| c.set(false));
+    }
+}
+
+/// Dump of the current thread's local collector, if one is installed.
+/// Used by panic hooks, which run on the panicking thread before TLS
+/// teardown.
+pub fn local_dump_jsonl() -> Option<String> {
+    TLS.try_with(|t| {
+        let t = t.borrow();
+        t.local.as_ref().map(|l| l.recorder.dump_jsonl(None))
+    })
+    .ok()
+    .flatten()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // These tests exercise the *local* collector so they stay isolated
+    // from other tests in this binary; global-collector behavior is
+    // covered by the integration tests (separate processes).
+
+    #[test]
+    fn disabled_paths_are_inert() {
+        assert!(!enabled() || global_enabled());
+        let sp = span(Subsystem::Test, "noop");
+        if !global_enabled() {
+            assert!(!sp.is_active());
+        }
+        drop(sp);
+        instant(Subsystem::Test, "noop").field("k", 1u64);
+    }
+
+    #[test]
+    fn local_collector_captures_span_tree_deterministically() {
+        let run = || {
+            let local = LocalCollector::install();
+            set_tick(3);
+            {
+                let _outer = span(Subsystem::Rm, "tick").field("apps", 2u64);
+                {
+                    let _inner = span(Subsystem::Solver, "solve").field("work", 0.5f64);
+                    instant(Subsystem::Solver, "memo_hit").field("fp", 42u64);
+                }
+                instant(Subsystem::Rm, "directive").field("app", 7u64);
+            }
+            local.dump_jsonl()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "local dumps must be byte-identical");
+
+        // Structure: start(tick) start(solve) instant end(solve) instant end(tick)
+        let lines: Vec<&str> = a.lines().collect();
+        assert!(lines[0].contains("\"type\":\"meta\""));
+        let events: Vec<crate::json::Json> = lines[1..]
+            .iter()
+            .map(|l| crate::json::parse(l).unwrap())
+            .collect();
+        assert_eq!(events.len(), 6);
+        let kind = |i: usize| {
+            events[i]
+                .get("kind")
+                .and_then(crate::json::Json::as_str)
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(kind(0), "span_start");
+        assert_eq!(kind(1), "span_start");
+        assert_eq!(kind(2), "instant");
+        assert_eq!(kind(3), "span_end");
+        assert_eq!(kind(4), "instant");
+        assert_eq!(kind(5), "span_end");
+        // The solver span nests under the rm span.
+        let tick_id = events[0].get("span").and_then(crate::json::Json::as_u64);
+        let solve_parent = events[1].get("parent").and_then(crate::json::Json::as_u64);
+        assert_eq!(tick_id, solve_parent);
+        // Untimed: all durations are 0, every event carries tick 3.
+        for ev in &events {
+            assert_eq!(
+                ev.get("dur_ns").and_then(crate::json::Json::as_u64),
+                Some(0)
+            );
+            assert_eq!(ev.get("tick").and_then(crate::json::Json::as_u64), Some(3));
+        }
+    }
+
+    #[test]
+    fn span_end_survives_unwind() {
+        let local = LocalCollector::install();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _sp = span(Subsystem::Test, "doomed").field("oops", true);
+            panic!("boom");
+        }));
+        assert!(result.is_err());
+        let dump = local.dump_jsonl();
+        assert!(dump.contains("\"kind\":\"span_end\""));
+        assert!(dump.contains("\"name\":\"doomed\""));
+        assert!(dump.contains("\"oops\":true"));
+        // Stack is clean again after the unwind popped the guard.
+        assert_eq!(current_span(), 0);
+    }
+
+    #[test]
+    fn nested_install_panics() {
+        let _outer = LocalCollector::install();
+        let err = std::panic::catch_unwind(LocalCollector::install);
+        assert!(err.is_err());
+        // The failed install must not have clobbered the outer one.
+        assert!(enabled());
+    }
+}

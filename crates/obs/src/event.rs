@@ -1,0 +1,331 @@
+//! Structured event model shared by the tracing facade, the flight
+//! recorder and the JSONL dump format.
+//!
+//! Events are deliberately flat and cheap to construct: a fixed header
+//! (sequence number, tick, span ids, subsystem, kind, static name,
+//! duration) plus a small vector of typed key/value fields. The JSONL
+//! encoding is hand-rolled so the crate stays dependency-free and the
+//! byte output is deterministic (field order is emission order, floats
+//! use the shortest round-trip form).
+
+use std::borrow::Cow;
+use std::fmt::Write as _;
+
+/// The subsystems that own flight-recorder rings.
+///
+/// The order of [`Subsystem::ALL`] is the order rings are serialized in
+/// and must stay stable: dump determinism tests compare bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Subsystem {
+    /// Wire protocol (frame encode/decode).
+    Proto,
+    /// Daemon accept/dispatch loop.
+    Daemon,
+    /// Resource-manager tick lifecycle.
+    Rm,
+    /// MMKP solver phases.
+    Solver,
+    /// Exploration stage machine.
+    Explore,
+    /// Scheduler / simulation manager.
+    Sched,
+    /// Simulator event loop.
+    Sim,
+    /// Benchmarks and harness.
+    Bench,
+    /// Test harness (chaos runner, oracles).
+    Test,
+}
+
+impl Subsystem {
+    /// Every subsystem, in ring-serialization order.
+    pub const ALL: [Subsystem; 9] = [
+        Subsystem::Proto,
+        Subsystem::Daemon,
+        Subsystem::Rm,
+        Subsystem::Solver,
+        Subsystem::Explore,
+        Subsystem::Sched,
+        Subsystem::Sim,
+        Subsystem::Bench,
+        Subsystem::Test,
+    ];
+
+    /// Stable wire name used in JSONL dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            Subsystem::Proto => "proto",
+            Subsystem::Daemon => "daemon",
+            Subsystem::Rm => "rm",
+            Subsystem::Solver => "solver",
+            Subsystem::Explore => "explore",
+            Subsystem::Sched => "sched",
+            Subsystem::Sim => "sim",
+            Subsystem::Bench => "bench",
+            Subsystem::Test => "test",
+        }
+    }
+
+    /// Inverse of [`Subsystem::name`] (used by the schema validator).
+    pub fn from_name(name: &str) -> Option<Subsystem> {
+        Subsystem::ALL.into_iter().find(|s| s.name() == name)
+    }
+
+    /// Dense index into per-subsystem arrays.
+    pub fn index(self) -> usize {
+        Subsystem::ALL
+            .iter()
+            .position(|s| *s == self)
+            .expect("subsystem listed in ALL")
+    }
+}
+
+/// What an [`Event`] represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span was opened.
+    SpanStart,
+    /// A span was closed; `dur_ns` and result fields are attached here.
+    SpanEnd,
+    /// A point-in-time event inside the current span.
+    Instant,
+}
+
+impl EventKind {
+    /// Stable wire name used in JSONL dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::SpanStart => "span_start",
+            EventKind::SpanEnd => "span_end",
+            EventKind::Instant => "instant",
+        }
+    }
+
+    /// Inverse of [`EventKind::name`] (used by the schema validator).
+    pub fn from_name(name: &str) -> Option<EventKind> {
+        match name {
+            "span_start" => Some(EventKind::SpanStart),
+            "span_end" => Some(EventKind::SpanEnd),
+            "instant" => Some(EventKind::Instant),
+            _ => None,
+        }
+    }
+}
+
+/// A typed field value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (emitted with shortest round-trip formatting).
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String; static for callsite literals, owned for computed text.
+    Str(Cow<'static, str>),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&'static str> for Value {
+    fn from(v: &'static str) -> Self {
+        Value::Str(Cow::Borrowed(v))
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Cow::Owned(v))
+    }
+}
+
+/// One structured telemetry event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Collector-assigned sequence number (total order within a dump).
+    pub seq: u64,
+    /// RM tick the event belongs to (0 before the first tick).
+    pub tick: u64,
+    /// Span id this event belongs to (0 for instants outside any span).
+    pub span: u64,
+    /// Parent span id (0 for roots).
+    pub parent: u64,
+    /// Owning subsystem ring.
+    pub subsystem: Subsystem,
+    /// Start / end / instant.
+    pub kind: EventKind,
+    /// Static callsite name.
+    pub name: &'static str,
+    /// Span duration in nanoseconds (span ends only; 0 when timing is
+    /// disabled for determinism).
+    pub dur_ns: u64,
+    /// Typed payload fields, in emission order.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+/// Escapes `s` into `out` as JSON string *contents* (no surrounding quotes).
+pub(crate) fn escape_json_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+pub(crate) fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Rust's shortest round-trip formatting is deterministic; NaN and
+        // infinities have no JSON representation, so they become null.
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+impl Value {
+    pub(crate) fn encode_into(&self, out: &mut String) {
+        match self {
+            Value::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::F64(v) => push_f64(out, *v),
+            Value::Bool(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::Str(s) => {
+                out.push('"');
+                escape_json_into(out, s);
+                out.push('"');
+            }
+        }
+    }
+}
+
+impl Event {
+    /// Encodes the event as one JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(128);
+        self.encode_into(&mut out);
+        out
+    }
+
+    pub(crate) fn encode_into(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"type\":\"event\",\"seq\":{},\"tick\":{},\"span\":{},\"parent\":{},\"sub\":\"{}\",\"kind\":\"{}\",\"name\":\"",
+            self.seq,
+            self.tick,
+            self.span,
+            self.parent,
+            self.subsystem.name(),
+            self.kind.name(),
+        );
+        escape_json_into(out, self.name);
+        let _ = write!(out, "\",\"dur_ns\":{},\"fields\":{{", self.dur_ns);
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_json_into(out, k);
+            out.push_str("\":");
+            v.encode_into(out);
+        }
+        out.push_str("}}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subsystem_names_round_trip() {
+        for s in Subsystem::ALL {
+            assert_eq!(Subsystem::from_name(s.name()), Some(s));
+            assert_eq!(Subsystem::ALL[s.index()], s);
+        }
+        assert_eq!(Subsystem::from_name("nope"), None);
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for k in [EventKind::SpanStart, EventKind::SpanEnd, EventKind::Instant] {
+            assert_eq!(EventKind::from_name(k.name()), Some(k));
+        }
+    }
+
+    #[test]
+    fn event_encodes_escaped_strings() {
+        let ev = Event {
+            seq: 7,
+            tick: 2,
+            span: 3,
+            parent: 1,
+            subsystem: Subsystem::Daemon,
+            kind: EventKind::Instant,
+            name: "err_reply",
+            dur_ns: 0,
+            fields: vec![
+                ("code", Value::U64(2)),
+                ("detail", Value::Str(Cow::Owned("bad \"frame\"\n".into()))),
+                ("ok", Value::Bool(false)),
+            ],
+        };
+        let line = ev.to_jsonl();
+        assert!(line.starts_with("{\"type\":\"event\",\"seq\":7,"));
+        assert!(line.contains("\"detail\":\"bad \\\"frame\\\"\\n\""));
+        assert!(line.contains("\"ok\":false"));
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn float_fields_encode_finite_and_nonfinite() {
+        let mut out = String::new();
+        Value::F64(1.5).encode_into(&mut out);
+        assert_eq!(out, "1.5");
+        out.clear();
+        Value::F64(f64::NAN).encode_into(&mut out);
+        assert_eq!(out, "null");
+    }
+}

@@ -1,0 +1,40 @@
+//! `harp-obs`: tracing, metrics and flight-recorder observability for
+//! the HARP stack.
+//!
+//! The crate has three layers, all dependency-free:
+//!
+//! * **Tracing facade** ([`span`], [`instant`]): spans and events with
+//!   static callsite names, thread-local span stacks, and tick scoping
+//!   via [`set_tick`]. Disabled cost is one relaxed atomic load plus a
+//!   thread-local flag read per callsite.
+//! * **Metrics registry** ([`metrics`]): counters, gauges and
+//!   power-of-two-bucket histograms on relaxed atomics, with name-sorted
+//!   [`metrics::snapshot`] / [`metrics::MetricsSnapshot::delta_since`].
+//! * **Flight recorder** ([`recorder::FlightRecorder`]): per-subsystem
+//!   ring buffers of recent events behind either the process-global
+//!   collector (lock-free MPSC queue + collector thread; enable with
+//!   [`enable_global`], dump with [`dump_global`]) or a deterministic
+//!   per-thread [`LocalCollector`] used by the chaos harness.
+//!
+//! Dumps are JSONL in the `harp-obs-v1` format ([`schema::validate_dump`])
+//! and render to span trees / per-tick tables via [`render`]; the
+//! `harp-trace` binary in the root crate wraps those renderers and the
+//! `DumpTelemetry` protocol request.
+
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod collect;
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod recorder;
+pub mod render;
+pub mod schema;
+
+pub use collect::{
+    current_span, current_tick, disable_global, dump_global, enable_global, enabled, flush_global,
+    global_dropped, global_enabled, instant, local_dump_jsonl, reset_global, set_tick, set_timing,
+    span, timer, EventBuilder, LocalCollector, SpanGuard, TimerGuard,
+};
+pub use event::{Event, EventKind, Subsystem, Value};

@@ -1,0 +1,177 @@
+//! Flight recorder: per-subsystem ring buffers of recent events.
+//!
+//! Each [`Subsystem`] owns a bounded ring of the last `cap` events it
+//! emitted, so a burst in one subsystem (the solver, typically) cannot
+//! evict the daemon's error history. Sequence numbers are assigned here,
+//! at insertion, giving a total order that survives the per-subsystem
+//! split; `dump_jsonl` re-merges rings by sequence number into one
+//! deterministic JSONL document.
+
+use crate::event::{Event, Subsystem};
+use crate::metrics::MetricsSnapshot;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// Default per-subsystem ring capacity. Sized so a full chaos trace
+/// (tens of ticks, a handful of apps) fits without eviction while a
+/// long-running daemon stays under ~10 MB of retained telemetry.
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// Per-subsystem bounded event history.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    cap: usize,
+    next_seq: u64,
+    dropped: u64,
+    rings: Vec<VecDeque<Event>>,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder with `cap` events of history per subsystem.
+    pub fn new(cap: usize) -> Self {
+        FlightRecorder {
+            cap: cap.max(1),
+            next_seq: 0,
+            dropped: 0,
+            rings: Subsystem::ALL.iter().map(|_| VecDeque::new()).collect(),
+        }
+    }
+
+    /// Total events ever recorded (monotonic, includes evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Events evicted from rings because a subsystem exceeded capacity.
+    pub fn evicted(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Assigns the next sequence number to `ev` and stores it in its
+    /// subsystem's ring, evicting the oldest entry when full.
+    pub fn record(&mut self, mut ev: Event) {
+        ev.seq = self.next_seq;
+        self.next_seq += 1;
+        let ring = &mut self.rings[ev.subsystem.index()];
+        if ring.len() == self.cap {
+            ring.pop_front();
+            self.dropped += 1;
+        }
+        ring.push_back(ev);
+    }
+
+    /// All retained events merged back into sequence order.
+    pub fn events_in_order(&self) -> Vec<&Event> {
+        let mut all: Vec<&Event> = self.rings.iter().flatten().collect();
+        all.sort_by_key(|e| e.seq);
+        all
+    }
+
+    /// Clears all rings and resets sequence numbering.
+    pub fn clear(&mut self) {
+        for ring in &mut self.rings {
+            ring.clear();
+        }
+        self.next_seq = 0;
+        self.dropped = 0;
+    }
+
+    /// Serializes the recorder (and optionally a metrics snapshot) as a
+    /// JSONL document: one `meta` header line, then `event` lines in
+    /// sequence order, then `metric` lines.
+    pub fn dump_jsonl(&self, metrics: Option<&MetricsSnapshot>) -> String {
+        let mut out = String::with_capacity(256 + 160 * self.events_in_order().len());
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"meta\",\"format\":\"harp-obs-v1\",\"ring_capacity\":{},\"recorded\":{},\"evicted\":{}}}",
+            self.cap, self.next_seq, self.dropped
+        );
+        for ev in self.events_in_order() {
+            ev.encode_into(&mut out);
+            out.push('\n');
+        }
+        if let Some(m) = metrics {
+            out.push_str(&m.to_jsonl());
+        }
+        out
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(DEFAULT_RING_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, Value};
+
+    fn ev(sub: Subsystem, name: &'static str) -> Event {
+        Event {
+            seq: 0,
+            tick: 0,
+            span: 0,
+            parent: 0,
+            subsystem: sub,
+            kind: EventKind::Instant,
+            name,
+            dur_ns: 0,
+            fields: vec![],
+        }
+    }
+
+    #[test]
+    fn assigns_sequence_and_merges_in_order() {
+        let mut fr = FlightRecorder::new(16);
+        fr.record(ev(Subsystem::Rm, "a"));
+        fr.record(ev(Subsystem::Solver, "b"));
+        fr.record(ev(Subsystem::Rm, "c"));
+        let order: Vec<&str> = fr.events_in_order().iter().map(|e| e.name).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+        let seqs: Vec<u64> = fr.events_in_order().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, [0, 1, 2]);
+    }
+
+    #[test]
+    fn burst_in_one_subsystem_does_not_evict_others() {
+        let mut fr = FlightRecorder::new(4);
+        fr.record(ev(Subsystem::Daemon, "err"));
+        for _ in 0..100 {
+            fr.record(ev(Subsystem::Solver, "solve"));
+        }
+        let events = fr.events_in_order();
+        assert!(events.iter().any(|e| e.name == "err"));
+        assert_eq!(events.len(), 5); // 1 daemon + 4 retained solver
+        assert_eq!(fr.evicted(), 96);
+        assert_eq!(fr.recorded(), 101);
+    }
+
+    #[test]
+    fn dump_has_meta_header_and_valid_lines() {
+        let mut fr = FlightRecorder::new(8);
+        let mut e = ev(Subsystem::Test, "x");
+        e.fields.push(("k", Value::U64(1)));
+        fr.record(e);
+        let dump = fr.dump_jsonl(None);
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let meta = crate::json::parse(lines[0]).unwrap();
+        assert_eq!(
+            meta.get("format").and_then(crate::json::Json::as_str),
+            Some("harp-obs-v1")
+        );
+        assert!(crate::json::parse(lines[1]).is_ok());
+    }
+
+    #[test]
+    fn clear_resets_sequence() {
+        let mut fr = FlightRecorder::new(4);
+        fr.record(ev(Subsystem::Rm, "a"));
+        fr.clear();
+        assert_eq!(fr.recorded(), 0);
+        fr.record(ev(Subsystem::Rm, "b"));
+        assert_eq!(fr.events_in_order()[0].seq, 0);
+    }
+}

@@ -1,0 +1,231 @@
+//! Schema validation for `harp-obs-v1` JSONL telemetry dumps.
+//!
+//! A dump is: one `meta` header line, zero or more `event` lines in
+//! strictly increasing `seq` order, then zero or more `metric` lines.
+//! The validator is used by CI (via `crates/obs/tests/schema.rs`), by
+//! the chaos harness before committing a failure dump, and by
+//! `harp-trace` before rendering.
+
+use crate::event::{EventKind, Subsystem};
+use crate::json::{parse, Json};
+
+/// Summary statistics of a validated dump.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DumpStats {
+    /// Number of event lines.
+    pub events: usize,
+    /// Number of metric lines.
+    pub metrics: usize,
+    /// Highest tick seen on any event.
+    pub max_tick: u64,
+}
+
+fn require_u64(v: &Json, key: &str, line_no: usize) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("line {line_no}: missing or non-integer \"{key}\""))
+}
+
+fn require_str<'a>(v: &'a Json, key: &str, line_no: usize) -> Result<&'a str, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("line {line_no}: missing or non-string \"{key}\""))
+}
+
+/// Validates one event line (without cross-line ordering checks).
+pub fn validate_event_line(line: &str, line_no: usize) -> Result<u64, String> {
+    let v = parse(line).map_err(|e| format!("line {line_no}: {e}"))?;
+    validate_event_value(&v, line_no)
+}
+
+fn validate_event_value(v: &Json, line_no: usize) -> Result<u64, String> {
+    let seq = require_u64(v, "seq", line_no)?;
+    require_u64(v, "tick", line_no)?;
+    require_u64(v, "span", line_no)?;
+    require_u64(v, "parent", line_no)?;
+    require_u64(v, "dur_ns", line_no)?;
+    let sub = require_str(v, "sub", line_no)?;
+    if Subsystem::from_name(sub).is_none() {
+        return Err(format!("line {line_no}: unknown subsystem \"{sub}\""));
+    }
+    let kind = require_str(v, "kind", line_no)?;
+    if EventKind::from_name(kind).is_none() {
+        return Err(format!("line {line_no}: unknown kind \"{kind}\""));
+    }
+    let name = require_str(v, "name", line_no)?;
+    if name.is_empty() {
+        return Err(format!("line {line_no}: empty event name"));
+    }
+    match v.get("fields") {
+        Some(Json::Obj(members)) => {
+            for (k, fv) in members {
+                let ok = matches!(fv, Json::Num(_) | Json::Str(_) | Json::Bool(_) | Json::Null);
+                if !ok {
+                    return Err(format!(
+                        "line {line_no}: field \"{k}\" has non-scalar value"
+                    ));
+                }
+            }
+        }
+        _ => return Err(format!("line {line_no}: missing \"fields\" object")),
+    }
+    Ok(seq)
+}
+
+fn validate_metric_value(v: &Json, line_no: usize) -> Result<(), String> {
+    let kind = require_str(v, "metric", line_no)?;
+    require_str(v, "name", line_no)?;
+    match kind {
+        "counter" => {
+            require_u64(v, "value", line_no)?;
+        }
+        "gauge" => {
+            v.get("value")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("line {line_no}: gauge missing numeric value"))?;
+        }
+        "histogram" => {
+            require_u64(v, "count", line_no)?;
+            require_u64(v, "sum", line_no)?;
+            match v.get("buckets") {
+                Some(Json::Arr(items)) => {
+                    if items.len() > crate::metrics::HISTOGRAM_BUCKETS {
+                        return Err(format!("line {line_no}: too many histogram buckets"));
+                    }
+                    for b in items {
+                        b.as_u64().ok_or_else(|| {
+                            format!("line {line_no}: non-integer histogram bucket")
+                        })?;
+                    }
+                }
+                _ => return Err(format!("line {line_no}: histogram missing buckets array")),
+            }
+        }
+        other => return Err(format!("line {line_no}: unknown metric kind \"{other}\"")),
+    }
+    Ok(())
+}
+
+/// Validates a full dump document. Returns summary stats on success.
+pub fn validate_dump(dump: &str) -> Result<DumpStats, String> {
+    let mut stats = DumpStats::default();
+    let mut saw_meta = false;
+    let mut last_seq: Option<u64> = None;
+    let mut in_metrics = false;
+    for (i, line) in dump.lines().enumerate() {
+        let line_no = i + 1;
+        if line.trim().is_empty() {
+            return Err(format!("line {line_no}: blank line in dump"));
+        }
+        let v = parse(line).map_err(|e| format!("line {line_no}: {e}"))?;
+        let ty = require_str(&v, "type", line_no)?;
+        match ty {
+            "meta" => {
+                if line_no != 1 {
+                    return Err(format!("line {line_no}: meta line must come first"));
+                }
+                let format = require_str(&v, "format", line_no)?;
+                if format != "harp-obs-v1" {
+                    return Err(format!("line {line_no}: unknown format \"{format}\""));
+                }
+                require_u64(&v, "ring_capacity", line_no)?;
+                require_u64(&v, "recorded", line_no)?;
+                require_u64(&v, "evicted", line_no)?;
+                saw_meta = true;
+            }
+            "event" => {
+                if !saw_meta {
+                    return Err(format!("line {line_no}: event before meta header"));
+                }
+                if in_metrics {
+                    return Err(format!("line {line_no}: event after metric lines"));
+                }
+                let seq = validate_event_value(&v, line_no)?;
+                if let Some(prev) = last_seq {
+                    if seq <= prev {
+                        return Err(format!(
+                            "line {line_no}: seq {seq} not greater than previous {prev}"
+                        ));
+                    }
+                }
+                last_seq = Some(seq);
+                let tick = require_u64(&v, "tick", line_no)?;
+                stats.max_tick = stats.max_tick.max(tick);
+                stats.events += 1;
+            }
+            "metric" => {
+                if !saw_meta {
+                    return Err(format!("line {line_no}: metric before meta header"));
+                }
+                in_metrics = true;
+                validate_metric_value(&v, line_no)?;
+                stats.metrics += 1;
+            }
+            other => return Err(format!("line {line_no}: unknown line type \"{other}\"")),
+        }
+    }
+    if !saw_meta {
+        return Err("dump is empty (no meta header)".into());
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::{instant, set_tick, span, LocalCollector};
+    use crate::event::Subsystem;
+
+    #[test]
+    fn real_local_dump_validates() {
+        let local = LocalCollector::install();
+        set_tick(2);
+        {
+            let _sp = span(Subsystem::Rm, "tick").field("apps", 1u64);
+            instant(Subsystem::Rm, "directive").field("app", 1u64);
+        }
+        let dump = local.dump_jsonl();
+        drop(local);
+        let stats = validate_dump(&dump).expect("valid dump");
+        assert_eq!(stats.events, 3);
+        assert_eq!(stats.metrics, 0);
+        assert_eq!(stats.max_tick, 2);
+    }
+
+    #[test]
+    fn metrics_lines_validate() {
+        let c = crate::metrics::counter("test.schema.counter");
+        c.inc();
+        crate::metrics::histogram("test.schema.hist").record(100);
+        let mut dump = String::from(
+            "{\"type\":\"meta\",\"format\":\"harp-obs-v1\",\"ring_capacity\":4,\"recorded\":0,\"evicted\":0}\n",
+        );
+        dump.push_str(&crate::metrics::snapshot().to_jsonl());
+        let stats = validate_dump(&dump).expect("valid dump");
+        assert!(stats.metrics >= 2);
+    }
+
+    #[test]
+    fn rejects_malformed_dumps() {
+        assert!(validate_dump("").is_err());
+        assert!(validate_dump("{\"type\":\"event\"}").is_err());
+        let meta =
+            "{\"type\":\"meta\",\"format\":\"harp-obs-v1\",\"ring_capacity\":4,\"recorded\":0,\"evicted\":0}";
+        // Unknown subsystem.
+        let bad_sub = format!(
+            "{meta}\n{{\"type\":\"event\",\"seq\":0,\"tick\":0,\"span\":1,\"parent\":0,\"sub\":\"warp\",\"kind\":\"instant\",\"name\":\"x\",\"dur_ns\":0,\"fields\":{{}}}}"
+        );
+        assert!(validate_dump(&bad_sub).unwrap_err().contains("subsystem"));
+        // Non-monotonic seq.
+        let ev = |seq: u64| {
+            format!(
+                "{{\"type\":\"event\",\"seq\":{seq},\"tick\":0,\"span\":1,\"parent\":0,\"sub\":\"rm\",\"kind\":\"instant\",\"name\":\"x\",\"dur_ns\":0,\"fields\":{{}}}}"
+            )
+        };
+        let bad_seq = format!("{meta}\n{}\n{}", ev(5), ev(5));
+        assert!(validate_dump(&bad_seq).unwrap_err().contains("seq"));
+        // Wrong format tag.
+        let bad_fmt = meta.replace("harp-obs-v1", "harp-obs-v9");
+        assert!(validate_dump(&bad_fmt).unwrap_err().contains("format"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Property tests: concurrent metric updates must be lossless.
+//!
+//! Eight threads hammer a shared counter and histogram with
+//! proptest-generated per-thread workloads; the merged result must equal
+//! a serial oracle that replays every operation on plain integers. A
+//! second property interleaves snapshots with the writers and checks that
+//! snapshot/delta accounting never loses or invents an increment.
+
+use harp_obs::metrics::{bucket_index, HISTOGRAM_BUCKETS};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+
+const THREADS: usize = 8;
+
+/// Registered names must be `'static` and the registry is process-global,
+/// so each proptest case gets a fresh (leaked) metric pair. Case counts
+/// are bounded below, keeping total leakage a few kilobytes.
+fn fresh_names() -> (&'static str, &'static str) {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    (
+        Box::leak(format!("test.prop.counter{n}").into_boxed_str()),
+        Box::leak(format!("test.prop.hist{n}").into_boxed_str()),
+    )
+}
+
+/// One thread's workload: counter increments and histogram samples.
+#[derive(Debug, Clone)]
+struct Workload {
+    adds: Vec<u64>,
+    samples: Vec<u64>,
+}
+
+fn workload() -> impl Strategy<Value = Workload> {
+    (
+        proptest::collection::vec(0u64..1_000, 0..64),
+        proptest::collection::vec(any::<u64>(), 0..64),
+    )
+        .prop_map(|(adds, samples)| Workload { adds, samples })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn concurrent_updates_match_serial_oracle(
+        loads in proptest::collection::vec(workload(), THREADS..=THREADS)
+    ) {
+        let (cname, hname) = fresh_names();
+        let counter = harp_obs::metrics::counter(cname);
+        let hist = harp_obs::metrics::histogram(hname);
+        let barrier = Arc::new(Barrier::new(THREADS));
+        std::thread::scope(|s| {
+            for load in &loads {
+                let barrier = barrier.clone();
+                s.spawn(move || {
+                    barrier.wait();
+                    for &n in &load.adds {
+                        counter.add(n);
+                    }
+                    for &v in &load.samples {
+                        hist.record(v);
+                    }
+                });
+            }
+        });
+
+        // Serial oracle on plain integers.
+        let mut total = 0u64;
+        let mut count = 0u64;
+        let mut sum = 0u64;
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for load in &loads {
+            for &n in &load.adds {
+                total += n;
+            }
+            for &v in &load.samples {
+                count += 1;
+                sum = sum.wrapping_add(v);
+                buckets[bucket_index(v)] += 1;
+            }
+        }
+        prop_assert_eq!(counter.get(), total);
+        let h = hist.snapshot();
+        prop_assert_eq!(h.count, count);
+        prop_assert_eq!(h.sum, sum);
+        prop_assert_eq!(h.buckets, buckets);
+    }
+
+    #[test]
+    fn snapshot_delta_never_loses_increments(
+        loads in proptest::collection::vec(workload(), THREADS..=THREADS),
+        snapshots in 1usize..6
+    ) {
+        let (cname, hname) = fresh_names();
+        let counter = harp_obs::metrics::counter(cname);
+        let hist = harp_obs::metrics::histogram(hname);
+        let base = harp_obs::metrics::snapshot();
+        let barrier = Arc::new(Barrier::new(THREADS + 1));
+        let mid_deltas = std::thread::scope(|s| {
+            for load in &loads {
+                let barrier = barrier.clone();
+                s.spawn(move || {
+                    barrier.wait();
+                    for &n in &load.adds {
+                        counter.add(n);
+                    }
+                    for &v in &load.samples {
+                        hist.record(v);
+                    }
+                });
+            }
+            barrier.wait();
+            // Snapshot concurrently with the writers: deltas against the
+            // base must be monotone and internally consistent even
+            // mid-flight.
+            let mut deltas = Vec::new();
+            for _ in 0..snapshots {
+                deltas.push(harp_obs::metrics::snapshot().delta_since(&base));
+            }
+            deltas
+        });
+
+        let expected_total: u64 = loads.iter().flat_map(|l| l.adds.iter()).sum();
+        let expected_count: u64 = loads.iter().map(|l| l.samples.len() as u64).sum();
+        let mut last_seen = 0u64;
+        for d in &mid_deltas {
+            let c = d.counter(cname);
+            prop_assert!(c <= expected_total, "delta overshot: {c} > {expected_total}");
+            prop_assert!(c >= last_seen, "counter delta went backwards");
+            last_seen = c;
+            if let Some(h) = d.histogram(hname) {
+                // Mid-flight reads use relaxed atomics over three separate
+                // cells, so count and bucket totals may be skewed by
+                // in-flight records — but never beyond what was submitted.
+                prop_assert!(h.count <= expected_count);
+                prop_assert!(h.buckets.iter().sum::<u64>() <= expected_count);
+            }
+        }
+        // After the scope joins, the final delta accounts for everything.
+        let fin = harp_obs::metrics::snapshot().delta_since(&base);
+        prop_assert_eq!(fin.counter(cname), expected_total);
+        let h = fin.histogram(hname).unwrap();
+        prop_assert_eq!(h.count, expected_count);
+        prop_assert_eq!(h.buckets.iter().sum::<u64>(), expected_count);
+    }
+}

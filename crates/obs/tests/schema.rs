@@ -1,0 +1,120 @@
+//! CI telemetry round trip: a traced daemon session plus a 4-tick RM run,
+//! dumped over the wire via `DumpTelemetry` and validated against the
+//! `harp-obs-v1` schema. This is the quick-mode `ci.sh` step.
+
+use harp_obs::render::parse_dump;
+use harp_obs::schema::validate_dump;
+use harp_platform::HardwareDescription;
+use harp_proto::frame;
+use harp_proto::{AdaptivityType, DumpTelemetry, Message};
+use harp_rm::{AppObservation, RmConfig, RmCore, TickObservations};
+use harp_types::{AppId, ErvShape, ExtResourceVector, NonFunctional};
+use libharp::{HarpSession, SessionConfig};
+use std::os::unix::net::UnixStream;
+use std::time::{Duration, Instant};
+
+fn points(shape: &ErvShape) -> Vec<(ExtResourceVector, NonFunctional)> {
+    vec![
+        (
+            ExtResourceVector::from_flat(shape, &[0, 4, 0]).unwrap(),
+            NonFunctional::new(3.0e10, 40.0),
+        ),
+        (
+            ExtResourceVector::from_flat(shape, &[0, 0, 8]).unwrap(),
+            NonFunctional::new(2.5e10, 15.0),
+        ),
+    ]
+}
+
+/// Drives a fresh online-mode RM for `n` ticks; the global collector is
+/// process-wide, so these events land in the same recorder the daemon
+/// serves. This is the tick traffic the dump must carry.
+fn run_ticks(n: u64) {
+    let hw = HardwareDescription::raptor_lake();
+    let shape = hw.erv_shape();
+    let mut rm = RmCore::new(hw, RmConfig::default());
+    rm.register(AppId(1), "ticker", false).unwrap();
+    rm.submit_points(AppId(1), points(&shape)).unwrap();
+    let mut cpu = 0.0;
+    for t in 0..n {
+        cpu += 0.05;
+        rm.tick(&TickObservations {
+            dt_s: 0.05,
+            package_energy_j: 1.2 * (t + 1) as f64,
+            apps: vec![AppObservation {
+                app: AppId(1),
+                utility_rate: 2.0e9,
+                cpu_time: vec![cpu, 0.0],
+            }],
+        })
+        .unwrap();
+    }
+    assert_eq!(rm.ticks(), n);
+}
+
+#[test]
+fn traced_session_dump_passes_schema() {
+    let socket = std::env::temp_dir().join(format!("harp-obs-schema-{}.sock", std::process::id()));
+    let hw = HardwareDescription::raptor_lake();
+    let shape = hw.erv_shape();
+    let daemon =
+        harp_daemon::HarpDaemon::start(harp_daemon::DaemonConfig::new(&socket, hw).with_tracing())
+            .unwrap();
+
+    // One full client session through the daemon...
+    let cfg = SessionConfig::new("schema-check", AdaptivityType::Scalable)
+        .with_points(vec![2, 1], points(&shape));
+    let mut s =
+        HarpSession::connect(harp_daemon::UnixTransport::connect(&socket).unwrap(), cfg).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        s.poll(|| 0.0).unwrap();
+        if s.allocation().current().is_some() {
+            break;
+        }
+        assert!(Instant::now() < deadline, "no activation");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    s.exit().unwrap();
+
+    // ...plus four traced RM ticks in the same process.
+    run_ticks(4);
+    std::thread::sleep(Duration::from_millis(50));
+    harp_obs::flush_global();
+
+    let conn = UnixStream::connect(&socket).unwrap();
+    let mut read = conn.try_clone().unwrap();
+    frame::write_frame(
+        &conn,
+        &Message::DumpTelemetry(DumpTelemetry {
+            include_metrics: true,
+        }),
+    )
+    .unwrap();
+    let jsonl = match frame::read_frame(&mut read).unwrap().expect("reply") {
+        Message::TelemetryDump(d) => {
+            assert!(!d.truncated);
+            d.jsonl
+        }
+        other => panic!("expected TelemetryDump, got {other:?}"),
+    };
+    daemon.shutdown();
+
+    let stats = validate_dump(&jsonl)
+        .unwrap_or_else(|e| panic!("wire dump violates harp-obs-v1: {e}\n{jsonl}"));
+    assert!(stats.events > 0, "dump carries no events");
+    assert!(stats.metrics > 0, "dump carries no metrics");
+    assert!(
+        stats.max_tick >= 4,
+        "expected 4 traced ticks, saw max tick {}",
+        stats.max_tick
+    );
+
+    // The same document parses for rendering (harp-trace's reading path).
+    let parsed = parse_dump(&jsonl).unwrap();
+    assert_eq!(parsed.events.len(), stats.events);
+    assert!(parsed
+        .events
+        .iter()
+        .any(|e| e.sub == "rm" && e.name == "tick" && e.tick == 4));
+}

@@ -43,8 +43,8 @@ mod messages;
 pub mod wire;
 
 pub use messages::{
-    Activate, AdaptivityType, ErrorMsg, Message, Register, RegisterAck, SubmitPoints,
-    UtilityReport, UtilityRequest, WirePoint,
+    Activate, AdaptivityType, DumpTelemetry, ErrorMsg, Message, Register, RegisterAck,
+    SubmitPoints, TelemetryDump, UtilityReport, UtilityRequest, WirePoint,
 };
 
 use std::sync::mpsc;

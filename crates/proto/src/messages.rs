@@ -137,6 +137,27 @@ pub struct ErrorMsg {
     pub detail: String,
 }
 
+/// Telemetry dump request (observer → RM daemon).
+///
+/// Any client may ask the daemon to serialize its flight recorder; the
+/// daemon replies with a [`TelemetryDump`]. This is how `harp-trace`
+/// inspects a live daemon without attaching a debugger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DumpTelemetry {
+    /// Whether to append a metrics snapshot after the event lines.
+    pub include_metrics: bool,
+}
+
+/// Telemetry dump reply (RM daemon → observer).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryDump {
+    /// `harp-obs-v1` JSONL document (may be truncated to respect the
+    /// frame limit; truncation always happens at a line boundary).
+    pub jsonl: String,
+    /// True when the daemon had to drop trailing lines to fit the frame.
+    pub truncated: bool,
+}
+
 /// Envelope over all protocol messages.
 ///
 /// On the wire: field 1 (varint) holds the message-type discriminant,
@@ -156,6 +177,8 @@ pub enum Message {
         app_id: u64,
     },
     Error(ErrorMsg),
+    DumpTelemetry(DumpTelemetry),
+    TelemetryDump(TelemetryDump),
 }
 
 impl Message {
@@ -169,6 +192,8 @@ impl Message {
             Message::UtilityReport(_) => 6,
             Message::Exit { .. } => 7,
             Message::Error(_) => 8,
+            Message::DumpTelemetry(_) => 9,
+            Message::TelemetryDump(_) => 10,
         }
     }
 
@@ -216,6 +241,13 @@ impl Message {
             Message::Error(m) => {
                 wire::put_uint_field(&mut payload, 1, u64::from(m.code));
                 wire::put_str_field(&mut payload, 2, &m.detail);
+            }
+            Message::DumpTelemetry(m) => {
+                wire::put_uint_field(&mut payload, 1, u64::from(m.include_metrics));
+            }
+            Message::TelemetryDump(m) => {
+                wire::put_str_field(&mut payload, 1, &m.jsonl);
+                wire::put_uint_field(&mut payload, 2, u64::from(m.truncated));
             }
         }
         let mut out = Vec::with_capacity(payload.len() + 8);
@@ -383,6 +415,30 @@ fn decode_payload(discriminant: u64, buf: &mut &[u8]) -> Result<Message> {
             })?;
             Ok(Message::Error(ErrorMsg { code, detail }))
         }
+        9 => {
+            let mut include_metrics = false;
+            for_each_field(buf, |field, wiretype, buf| {
+                match (field, wiretype) {
+                    (1, WireType::Varint) => include_metrics = wire::get_varint(buf)? != 0,
+                    (_, w) => wire::skip_field(buf, w)?,
+                }
+                Ok(())
+            })?;
+            Ok(Message::DumpTelemetry(DumpTelemetry { include_metrics }))
+        }
+        10 => {
+            let mut jsonl = String::new();
+            let mut truncated = false;
+            for_each_field(buf, |field, wiretype, buf| {
+                match (field, wiretype) {
+                    (1, WireType::LengthDelimited) => jsonl = wire::get_string(buf)?,
+                    (2, WireType::Varint) => truncated = wire::get_varint(buf)? != 0,
+                    (_, w) => wire::skip_field(buf, w)?,
+                }
+                Ok(())
+            })?;
+            Ok(Message::TelemetryDump(TelemetryDump { jsonl, truncated }))
+        }
         other => Err(HarpError::protocol(format!(
             "unknown message discriminant {other}"
         ))),
@@ -471,6 +527,20 @@ mod tests {
         round_trip(Message::Error(ErrorMsg {
             code: 3,
             detail: "no such session".into(),
+        }));
+        round_trip(Message::DumpTelemetry(DumpTelemetry {
+            include_metrics: true,
+        }));
+        round_trip(Message::DumpTelemetry(DumpTelemetry {
+            include_metrics: false,
+        }));
+        round_trip(Message::TelemetryDump(TelemetryDump {
+            jsonl: "{\"type\":\"meta\",\"format\":\"harp-obs-v1\"}\n".into(),
+            truncated: false,
+        }));
+        round_trip(Message::TelemetryDump(TelemetryDump {
+            jsonl: String::new(),
+            truncated: true,
         }));
     }
 

@@ -139,6 +139,9 @@ pub struct RmCore {
     /// cost drift, so the λ multipliers, previous picks and instance memo
     /// let warm rounds converge in a handful of iterations.
     warm: WarmStart,
+    /// Ticks processed so far; scopes telemetry events via
+    /// [`harp_obs::set_tick`].
+    ticks: u64,
 }
 
 impl std::fmt::Debug for RmCore {
@@ -164,7 +167,13 @@ impl RmCore {
             last_cpu: HashMap::new(),
             profiles: HashMap::new(),
             warm: WarmStart::new(),
+            ticks: 0,
         }
+    }
+
+    /// Number of measurement ticks processed so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
     }
 
     /// The RM configuration.
@@ -225,6 +234,9 @@ impl RmCore {
     ///
     /// Returns [`HarpError::Other`] on duplicate registration.
     pub fn register(&mut self, app: AppId, name: &str, provides_utility: bool) -> Result<RmOutput> {
+        let _sp = harp_obs::span(harp_obs::Subsystem::Rm, "register")
+            .field("app", app.0)
+            .field("name", name.to_string());
         if self.sessions.contains_key(&app) {
             return Err(HarpError::other(format!("{app} already registered")));
         }
@@ -292,6 +304,9 @@ impl RmCore {
         app: AppId,
         points: Vec<(ExtResourceVector, NonFunctional)>,
     ) -> Result<RmOutput> {
+        let _sp = harp_obs::span(harp_obs::Subsystem::Rm, "submit_points")
+            .field("app", app.0)
+            .field("points", points.len());
         let shape = self.hw.erv_shape();
         let session = self
             .sessions
@@ -334,6 +349,7 @@ impl RmCore {
     /// out-of-order deregistration (duplicate exit, exit before register)
     /// is rejected without triggering a spurious allocation round.
     pub fn deregister(&mut self, app: AppId) -> Result<RmOutput> {
+        let _sp = harp_obs::span(harp_obs::Subsystem::Rm, "deregister").field("app", app.0);
         let Some(s) = self.sessions.remove(&app) else {
             return Err(HarpError::not_found(format!("{app} is not registered")));
         };
@@ -357,6 +373,21 @@ impl RmCore {
     /// Propagates allocation errors (which indicate an inconsistent
     /// machine description rather than a runtime condition).
     pub fn tick(&mut self, obs: &TickObservations) -> Result<RmOutput> {
+        self.ticks += 1;
+        harp_obs::set_tick(self.ticks);
+        let mut sp = harp_obs::span(harp_obs::Subsystem::Rm, "tick").field("apps", obs.apps.len());
+        let out = self.tick_inner(obs);
+        if let Ok(out) = &out {
+            if sp.is_active() {
+                sp.set_field("directives", out.directives.len());
+                sp.set_field("solves", out.solves);
+                sp.set_field("solve_work", out.solve_work);
+            }
+        }
+        out
+    }
+
+    fn tick_inner(&mut self, obs: &TickObservations) -> Result<RmOutput> {
         // Energy attribution from observable counters.
         let energy_delta = (obs.package_energy_j - self.last_package_energy).max(0.0);
         self.last_package_energy = obs.package_energy_j;
@@ -400,11 +431,24 @@ impl RmCore {
                 continue;
             }
             if session.explorer.current_target().is_some() {
+                let stage_before = session.explorer.stage();
                 match session.explorer.record_sample(a.utility_rate, power)? {
                     SampleOutcome::Continue => {}
                     SampleOutcome::TargetDone => {
                         session.explorer.refresh_predictions();
-                        if session.explorer.stage() == Stage::Stable {
+                        let stage_after = session.explorer.stage();
+                        if harp_obs::enabled() {
+                            harp_obs::instant(harp_obs::Subsystem::Explore, "campaign_done")
+                                .field("app", a.app.0)
+                                .field("stage", stage_name(stage_after));
+                            if stage_after != stage_before {
+                                harp_obs::instant(harp_obs::Subsystem::Explore, "stage_transition")
+                                    .field("app", a.app.0)
+                                    .field("from", stage_name(stage_before))
+                                    .field("to", stage_name(stage_after));
+                            }
+                        }
+                        if stage_after == Stage::Stable {
                             want_realloc = true;
                         } else {
                             retarget.push(a.app);
@@ -462,6 +506,7 @@ impl RmCore {
     /// cores to exploring applications, exploration targets within the
     /// envelopes.
     fn reallocate(&mut self) -> Result<RmOutput> {
+        let mut sp = harp_obs::span(harp_obs::Subsystem::Rm, "reallocate");
         let hw = &self.hw;
         let mut out = RmOutput {
             directives: Vec::new(),
@@ -499,6 +544,11 @@ impl RmCore {
         let allocation = allocate_warm(&requests, hw, self.cfg.solver, &mut self.warm)?;
         out.solve_work = allocation.solve_work;
         let co = allocation.co_allocated;
+        if sp.is_active() {
+            sp.set_field("requests", requests.len());
+            sp.set_field("co_allocated", co);
+            sp.set_field("solve_work", allocation.solve_work);
+        }
 
         // 2. Used cores and leftovers.
         let mut used: Vec<bool> = vec![false; hw.num_cores()];
@@ -611,12 +661,29 @@ fn directive_for(
     }
     cores.sort();
     let hw_threads = hw_threads_for(erv, &cores, hw).unwrap_or_default();
+    if harp_obs::enabled() {
+        // Every activation the RM emits flows through here — both
+        // allocation rounds and per-app exploration retargets.
+        harp_obs::instant(harp_obs::Subsystem::Rm, "directive")
+            .field("app", app.0)
+            .field("parallelism", erv.total_threads())
+            .field("cores", cores.len());
+    }
     Directive {
         app,
         erv: erv.clone(),
         parallelism: erv.total_threads(),
         cores,
         hw_threads,
+    }
+}
+
+/// Stable telemetry name of an exploration stage.
+fn stage_name(stage: Stage) -> &'static str {
+    match stage {
+        Stage::Initial => "initial",
+        Stage::Refinement => "refinement",
+        Stage::Stable => "stable",
     }
 }
 

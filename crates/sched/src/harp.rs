@@ -141,6 +141,7 @@ impl HarpSimManager {
         if dt_s <= 0.0 {
             return;
         }
+        let mut sp = harp_obs::span(harp_obs::Subsystem::Sched, "tick");
         let mut apps = Vec::new();
         // Copy the cached id view: sampling and overhead charging mutate
         // the state.
@@ -176,6 +177,10 @@ impl HarpSimManager {
             package_energy_j: st.package_energy(),
             apps,
         };
+        if sp.is_active() {
+            sp.set_field("apps", obs.apps.len());
+            sp.set_field("dt_ms", dt_s * 1e3);
+        }
         let rm = self.ensure_rm(st);
         if let Ok(out) = rm.tick(&obs) {
             self.apply(st, out);
@@ -191,6 +196,11 @@ impl Manager for HarpSimManager {
     fn on_event(&mut self, st: &mut SimState, ev: MgrEvent) {
         match ev {
             MgrEvent::AppStarted { app, ref name } => {
+                if harp_obs::enabled() {
+                    harp_obs::instant(harp_obs::Subsystem::Sched, "app_started")
+                        .field("app", app.0)
+                        .field("name", name.clone());
+                }
                 let provides = st
                     .app_spec(app)
                     .map(|s| s.provides_utility)
@@ -208,6 +218,9 @@ impl Manager for HarpSimManager {
                 }
             }
             MgrEvent::AppExited { app } => {
+                if harp_obs::enabled() {
+                    harp_obs::instant(harp_obs::Subsystem::Sched, "app_exited").field("app", app.0);
+                }
                 self.provides_utility.remove(&app);
                 if let Some(rm) = self.rm.as_mut() {
                     if let Ok(out) = rm.deregister(app) {

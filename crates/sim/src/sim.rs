@@ -496,6 +496,12 @@ impl SimState {
             },
         );
         self.start_iteration(id);
+        if harp_obs::enabled() {
+            harp_obs::instant(harp_obs::Subsystem::Sim, "app_started")
+                .field("app", id.0)
+                .field("name", name.clone())
+                .field("now_ns", self.time);
+        }
         self.notifications
             .push_back(MgrEvent::AppStarted { app: id, name });
         id
@@ -1031,6 +1037,11 @@ impl SimState {
             work_done: inst.done_work,
         };
         self.completed.push(report);
+        if harp_obs::enabled() {
+            harp_obs::instant(harp_obs::Subsystem::Sim, "app_exited")
+                .field("app", app.0)
+                .field("now_ns", self.time);
+        }
         self.notifications.push_back(MgrEvent::AppExited { app });
         self.dirty = true;
         // Restart policy.
@@ -1135,6 +1146,10 @@ impl Simulation {
                 });
             }
         }
+        let mut sp = harp_obs::span(harp_obs::Subsystem::Sim, "run");
+        if sp.is_active() {
+            sp.set_field("arrivals", self.st.arrivals.len());
+        }
         loop {
             while let Some(ev) = self.st.pop_notification() {
                 manager.on_event(&mut self.st, ev);
@@ -1156,6 +1171,10 @@ impl Simulation {
         // Drain any final notifications (app exits at the very end).
         while let Some(ev) = self.st.pop_notification() {
             manager.on_event(&mut self.st, ev);
+        }
+        if sp.is_active() {
+            sp.set_field("completed", self.st.completed.len());
+            sp.set_field("end_ns", self.st.time);
         }
         Ok(self.st.report())
     }

@@ -60,9 +60,31 @@ pub fn install_panic_monitor() {
         let previous = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
             PANICS.fetch_add(1, Ordering::SeqCst);
+            dump_telemetry_on_panic();
             previous(info);
         }));
     });
+}
+
+/// If `HARP_OBS_PANIC_DUMP` names a path, writes the flight recorder of
+/// the panicking thread's local collector (falling back to the global
+/// recorder when tracing is enabled process-wide) to it as JSONL. Best
+/// effort: I/O errors are swallowed — we are already panicking.
+fn dump_telemetry_on_panic() {
+    let Some(path) = std::env::var_os("HARP_OBS_PANIC_DUMP") else {
+        return;
+    };
+    let dump = harp_obs::local_dump_jsonl().or_else(|| {
+        if harp_obs::global_enabled() {
+            harp_obs::flush_global();
+            Some(harp_obs::dump_global(true))
+        } else {
+            None
+        }
+    });
+    if let Some(dump) = dump {
+        let _ = std::fs::write(path, dump);
+    }
 }
 
 /// Number of panics observed process-wide since

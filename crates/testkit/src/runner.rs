@@ -230,6 +230,20 @@ pub fn run_trace(trace: &Trace) -> TraceReport {
     }
 }
 
+/// Runs a trace with a thread-local flight recorder installed and returns
+/// the report alongside the telemetry dump.
+///
+/// The local collector disables timing and restarts span ids, so the dump
+/// is deterministic per trace: the same trace always yields the same bytes.
+/// Chaos failures are written next to the shrunken trace in the corpus so
+/// a regression arrives with its own flight recording attached.
+pub fn run_trace_with_telemetry(trace: &Trace) -> (TraceReport, String) {
+    let local = harp_obs::LocalCollector::install();
+    let report = run_trace(trace);
+    let dump = local.dump_jsonl();
+    (report, dump)
+}
+
 /// Executes one operation, updating the oracle mirror. Returns the RM
 /// output when the operation was expected to succeed and did.
 fn run_op(

@@ -52,16 +52,23 @@ fn random_trace_sweep_holds_invariants() {
         let trace = Trace::generate(seed, len);
         let report = runner::run_trace(&trace);
         if !report.passed() {
-            // Minimize and persist the repro before failing.
+            // Minimize and persist the repro before failing, alongside a
+            // flight recording of the minimized run so the regression
+            // arrives with its own telemetry.
             let min = shrink::shrink(&trace, |t| !runner::run_trace(t).passed());
             let path = corpus_dir().join(format!("failure-seed{seed}.trace"));
             let _ = std::fs::write(&path, min.to_text());
+            let (_, telemetry) = runner::run_trace_with_telemetry(&min);
+            let tpath = corpus_dir().join(format!("failure-seed{seed}.telemetry.jsonl"));
+            let _ = std::fs::write(&tpath, telemetry);
             panic!(
                 "seed {seed} violated invariants: {:?}\nminimized to {} ops, written to {}\n\
+                 (telemetry: {})\n\
                  replay: commit the file and re-run `cargo test -p harp-testkit corpus`",
                 report.violations,
                 min.ops.len(),
-                path.display()
+                path.display(),
+                tpath.display()
             );
         }
     }
@@ -112,6 +119,27 @@ fn committed_corpus_replays_clean() {
             report.violations
         );
     }
+}
+
+#[test]
+fn telemetry_dump_is_deterministic_per_seed() {
+    // The flight recording written next to a failing trace must be exactly
+    // reproducible from the seed: the local collector zeroes durations and
+    // restarts span ids, so two runs of the same trace dump identical bytes.
+    for seed in [1u64, 7] {
+        let trace = Trace::generate(seed, 48);
+        let (r1, d1) = runner::run_trace_with_telemetry(&trace);
+        let (r2, d2) = runner::run_trace_with_telemetry(&trace);
+        assert_eq!(r1, r2, "seed {seed}: report not deterministic");
+        assert_eq!(d1, d2, "seed {seed}: telemetry dump not byte-identical");
+        let stats = harp_obs::schema::validate_dump(&d1)
+            .unwrap_or_else(|e| panic!("seed {seed}: dump fails schema: {e}"));
+        assert!(stats.events > 0, "seed {seed}: empty flight recording");
+    }
+    // Telemetry capture must not perturb the report itself.
+    let trace = Trace::generate(3, 48);
+    let (with_obs, _) = runner::run_trace_with_telemetry(&trace);
+    assert_eq!(with_obs, runner::run_trace(&trace));
 }
 
 #[test]

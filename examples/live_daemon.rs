@@ -20,8 +20,11 @@ fn main() -> harp::types::Result<()> {
     let hw = HardwareDescription::raptor_lake();
     let shape = hw.erv_shape();
     let socket = std::env::temp_dir().join(format!("harp-demo-{}.sock", std::process::id()));
-    let daemon = HarpDaemon::start(DaemonConfig::new(&socket, hw))?;
-    println!("harpd listening on {}", socket.display());
+    // `with_tracing` switches on the harp-obs flight recorder: while the
+    // daemon runs, `harp-trace --socket <path> --metrics` renders the
+    // span tree and metric snapshot of everything below.
+    let daemon = HarpDaemon::start(DaemonConfig::new(&socket, hw).with_tracing())?;
+    println!("harpd listening on {} (tracing on)", socket.display());
 
     // The application side: register as a scalable app with description
     // points; the efficient 4-E-core point wins the energy-utility cost.
@@ -101,6 +104,16 @@ fn main() -> harp::types::Result<()> {
     let data: Vec<u64> = (0..4_000_000).collect();
     let sum: u64 = runtime.parallel_sum(&data, |&x| x % 7);
     println!("parallel region ran with team size {team}; checksum {sum}");
+
+    // Optionally hold the daemon open so an observer can attach with
+    // `harp-trace --socket` while the session's telemetry is still live.
+    if let Some(ms) = std::env::var("HARP_DEMO_HOLD_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        println!("holding the daemon open for {ms} ms (HARP_DEMO_HOLD_MS)");
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
 
     session.exit()?;
     daemon.shutdown();

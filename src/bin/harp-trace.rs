@@ -1,0 +1,110 @@
+//! `harp-trace` — renders HARP telemetry dumps.
+//!
+//! Reads a `harp-obs-v1` JSONL document either from a file or live from a
+//! running daemon (via the `DumpTelemetry` request) and prints three
+//! views: the span tree (one connected trace from request to directive),
+//! the per-tick RM/solver timing table, and the metric snapshot.
+//!
+//! ```text
+//! harp-trace dump.jsonl                 # render a file (e.g. a panic dump)
+//! harp-trace --socket /run/harp.sock    # dump a live daemon
+//! harp-trace --socket /run/harp.sock --metrics
+//! ```
+
+use harp_obs::render::{parse_dump, render_metrics, render_span_tree, render_tick_table};
+use harp_obs::schema::validate_dump;
+use harp_proto::{frame, DumpTelemetry, Message};
+use std::os::unix::net::UnixStream;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: harp-trace <dump.jsonl>\n       harp-trace --socket <path> [--metrics]";
+
+struct Args {
+    socket: Option<String>,
+    file: Option<String>,
+    metrics: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        socket: None,
+        file: None,
+        metrics: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => {
+                args.socket = Some(it.next().ok_or("--socket needs a path")?);
+            }
+            "--metrics" => args.metrics = true,
+            "--help" | "-h" => return Err(USAGE.into()),
+            _ if a.starts_with('-') => return Err(format!("unknown flag {a}\n{USAGE}")),
+            _ if args.file.is_none() => args.file = Some(a),
+            _ => return Err(format!("unexpected argument {a}\n{USAGE}")),
+        }
+    }
+    if args.socket.is_some() == args.file.is_some() {
+        return Err(USAGE.into());
+    }
+    Ok(args)
+}
+
+/// Fetches the flight recorder of a live daemon over its control socket.
+fn fetch_live(socket: &str, include_metrics: bool) -> Result<String, String> {
+    let conn = UnixStream::connect(socket).map_err(|e| format!("connect {socket}: {e}"))?;
+    let mut read = conn.try_clone().map_err(|e| format!("clone socket: {e}"))?;
+    frame::write_frame(
+        &conn,
+        &Message::DumpTelemetry(DumpTelemetry { include_metrics }),
+    )
+    .map_err(|e| format!("send DumpTelemetry: {e}"))?;
+    match frame::read_frame(&mut read) {
+        Ok(Some(Message::TelemetryDump(d))) => {
+            if d.truncated {
+                eprintln!("note: dump truncated by the daemon (8 MiB cap)");
+            }
+            Ok(d.jsonl)
+        }
+        Ok(Some(other)) => Err(format!("unexpected reply: {other:?}")),
+        Ok(None) => Err("daemon closed the connection without replying".into()),
+        Err(e) => Err(format!("read reply: {e}")),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let jsonl = match (&args.socket, &args.file) {
+        (Some(socket), _) => fetch_live(socket, args.metrics)?,
+        (_, Some(file)) => {
+            std::fs::read_to_string(file).map_err(|e| format!("read {file}: {e}"))?
+        }
+        _ => unreachable!("parse_args enforces one source"),
+    };
+    let stats = validate_dump(&jsonl).map_err(|e| format!("not a harp-obs-v1 dump: {e}"))?;
+    let dump = parse_dump(&jsonl)?;
+
+    println!(
+        "== harp-obs dump: {} events ({} recorded, {} evicted), max tick {} ==",
+        stats.events, dump.recorded, dump.evicted, stats.max_tick
+    );
+    println!("\n== span tree ==");
+    print!("{}", render_span_tree(&dump));
+    println!("\n== per-tick timings ==");
+    print!("{}", render_tick_table(&dump));
+    if !dump.metrics.is_empty() {
+        println!("\n== metrics ==");
+        print!("{}", render_metrics(&dump));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -34,6 +34,7 @@ pub use harp_bench as bench;
 pub use harp_energy as energy;
 pub use harp_explore as explore;
 pub use harp_model as model;
+pub use harp_obs as obs;
 pub use harp_platform as platform;
 pub use harp_proto as proto;
 pub use harp_rm as rm;
