@@ -17,9 +17,18 @@ echo "==> cargo test -q (tier-1 gate)"
 cargo test -q
 
 echo "==> chaos suite (quick mode, fixed seeds)"
-# Deterministic bounded sweep of the fault-injection harness; the full
-# sweep is opt-in via HARP_CHAOS_FULL=1 (see DESIGN.md section 8).
+# Deterministic bounded sweep of the fault-injection harness, including
+# the crash-recovery scenarios (daemon kill mid-session, reconnect storm,
+# solver deadline overrun); the full sweep is opt-in via HARP_CHAOS_FULL=1
+# (see DESIGN.md sections 8 and 10).
 HARP_CHAOS_QUICK=1 cargo test -q -p harp-testkit --test chaos
+
+echo "==> crash recovery gate (journal round trip, kill/restart resume)"
+# Journal recovery must be bit-identical (including torn/corrupted tails),
+# and a client must ride out a daemon kill+restart and resume onto the
+# exact pre-crash allocation (DESIGN.md section 10).
+cargo test -q -p harp-rm --test prop_journal
+cargo test -q --test end_to_end killed_daemon_restart_resumes_client_with_bit_identical_allocation
 
 echo "==> telemetry round trip (traced daemon session, schema check)"
 # Starts a traced daemon, runs a client session plus a 4-tick RM run,

@@ -58,7 +58,9 @@ pub mod stats;
 
 pub use assign::hw_threads_for;
 pub use instance::{cost_or_large, WarmStart, INFINITE_COST};
-pub use solvers::{select, Selection, SolveOutcome, SolverKind, REFERENCE_ITERS};
+pub use solvers::{
+    select, select_deadline, Selection, SolveDeadline, SolveOutcome, SolverKind, REFERENCE_ITERS,
+};
 
 use harp_platform::HardwareDescription;
 use harp_types::{
@@ -149,7 +151,7 @@ pub fn allocate(
     hw: &HardwareDescription,
     solver: SolverKind,
 ) -> Result<Allocation> {
-    allocate_impl(requests, hw, solver, None)
+    allocate_impl(requests, hw, solver, None, SolveDeadline::UNBOUNDED)
 }
 
 /// Like [`allocate`], but threads a [`WarmStart`] through the solver so λ
@@ -167,7 +169,27 @@ pub fn allocate_warm(
     solver: SolverKind,
     warm: &mut WarmStart,
 ) -> Result<Allocation> {
-    allocate_impl(requests, hw, solver, Some(warm))
+    allocate_impl(requests, hw, solver, Some(warm), SolveDeadline::UNBOUNDED)
+}
+
+/// Like [`allocate_warm`], but with a cooperative [`SolveDeadline`].
+///
+/// # Errors
+///
+/// Same contract as [`allocate`], plus [`HarpError::DeadlineExceeded`] when
+/// the budget exhausts before the solver certifies an answer. Unlike other
+/// solver failures, a deadline overrun does **not** fall back to
+/// co-allocation — tearing up every application's placement is exactly the
+/// wrong response to a transient time crunch. The caller keeps its previous
+/// feasible allocation and re-solves on the next round.
+pub fn allocate_warm_deadline(
+    requests: &[AllocRequest],
+    hw: &HardwareDescription,
+    solver: SolverKind,
+    warm: &mut WarmStart,
+    deadline: SolveDeadline,
+) -> Result<Allocation> {
+    allocate_impl(requests, hw, solver, Some(warm), deadline)
 }
 
 fn allocate_impl(
@@ -175,6 +197,7 @@ fn allocate_impl(
     hw: &HardwareDescription,
     solver: SolverKind,
     warm: Option<&mut WarmStart>,
+    deadline: SolveDeadline,
 ) -> Result<Allocation> {
     let capacity = hw.capacity();
     validate_requests(requests, hw)?;
@@ -211,7 +234,14 @@ fn allocate_impl(
         .all(|(lb, cap)| lb <= cap);
 
     let solved = if maybe_feasible {
-        solvers::select(requests, &capacity, solver, warm).ok()
+        match solvers::select_deadline(requests, &capacity, solver, warm, deadline) {
+            Ok(sel) => Some(sel),
+            // A deadline overrun is a *time* failure, not a capacity one:
+            // propagate it instead of tearing up placements via the
+            // co-allocation fallback below.
+            Err(e @ HarpError::DeadlineExceeded { .. }) => return Err(e),
+            Err(_) => None,
+        }
     } else {
         None
     };

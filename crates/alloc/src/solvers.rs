@@ -72,6 +72,79 @@ impl SolveOutcome {
 /// `crates/rm` is calibrated against it).
 pub const REFERENCE_ITERS: u32 = 60;
 
+/// A cooperative budget for one solve, checked between subgradient
+/// iterations on the Lagrangian path (memo hits are exempt — they cost no
+/// iterations; the greedy and exact solvers ignore the budget).
+///
+/// Two budget axes compose (whichever exhausts first wins):
+///
+/// * **iterations** — a deterministic cap on total subgradient iterations
+///   across the warm and cold phases. Deterministic budgets replay
+///   bit-identically from an RM journal, so they are the production choice
+///   for crash-recoverable daemons.
+/// * **wall clock** — an [`std::time::Instant`] cut-off. Useful for hard
+///   real-time tick budgets, but non-deterministic: a journal replay under
+///   different load may take a different degraded/non-degraded path.
+///
+/// When the budget exhausts before a duality-gap certificate is reached,
+/// the solve fails with [`HarpError::DeadlineExceeded`] instead of spending
+/// unbounded time in the repair/upgrade phases; callers (the RM) fall back
+/// to their previous feasible allocation and re-solve next tick.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveDeadline {
+    wall: Option<std::time::Instant>,
+    iters: Option<u32>,
+}
+
+impl SolveDeadline {
+    /// No budget: the solver runs its full schedule (the default).
+    pub const UNBOUNDED: SolveDeadline = SolveDeadline {
+        wall: None,
+        iters: None,
+    };
+
+    /// Deterministic budget of `budget` total subgradient iterations.
+    pub fn iterations(budget: u32) -> Self {
+        SolveDeadline {
+            wall: None,
+            iters: Some(budget),
+        }
+    }
+
+    /// Wall-clock cut-off at `deadline`.
+    pub fn by(deadline: std::time::Instant) -> Self {
+        SolveDeadline {
+            wall: Some(deadline),
+            iters: None,
+        }
+    }
+
+    /// Wall-clock budget of `budget` from now.
+    pub fn within(budget: std::time::Duration) -> Self {
+        Self::by(std::time::Instant::now() + budget)
+    }
+
+    /// Adds an iteration cap to a wall-clock deadline (or vice versa).
+    pub fn and_iterations(mut self, budget: u32) -> Self {
+        self.iters = Some(budget);
+        self
+    }
+
+    /// Whether this deadline never fires.
+    pub fn is_unbounded(&self) -> bool {
+        self.wall.is_none() && self.iters.is_none()
+    }
+
+    /// True when the budget leaves no room for another iteration after
+    /// `done` iterations have run.
+    fn exhausted(&self, done: u32) -> bool {
+        if self.iters.is_some_and(|b| done >= b) {
+            return true;
+        }
+        self.wall.is_some_and(|w| std::time::Instant::now() >= w)
+    }
+}
+
 /// Iterations granted to the warm certify phase before falling back cold.
 const WARM_ITERS: u32 = 10;
 
@@ -108,9 +181,28 @@ pub fn select(
     kind: SolverKind,
     warm: Option<&mut WarmStart>,
 ) -> Result<Selection> {
+    select_deadline(requests, capacity, kind, warm, SolveDeadline::UNBOUNDED)
+}
+
+/// Like [`select`], but with a cooperative [`SolveDeadline`]. When the
+/// budget exhausts before the Lagrangian path certifies an answer, returns
+/// [`HarpError::DeadlineExceeded`] (memo hits are exempt; the greedy and
+/// exact solvers ignore the budget).
+///
+/// # Errors
+///
+/// Same contract as [`select`], plus [`HarpError::DeadlineExceeded`] on
+/// budget exhaustion.
+pub fn select_deadline(
+    requests: &[AllocRequest],
+    capacity: &ResourceVector,
+    kind: SolverKind,
+    warm: Option<&mut WarmStart>,
+    deadline: SolveDeadline,
+) -> Result<Selection> {
     let t0 = std::time::Instant::now();
     let mut sp = harp_obs::span(harp_obs::Subsystem::Solver, "solve").field("apps", requests.len());
-    let res = select_inner(requests, capacity, kind, warm);
+    let res = select_inner(requests, capacity, kind, warm, deadline);
     if let Ok(sel) = &res {
         crate::stats::record(t0.elapsed().as_nanos() as u64, sel.outcome);
         if sp.is_active() {
@@ -127,6 +219,7 @@ fn select_inner(
     capacity: &ResourceVector,
     kind: SolverKind,
     warm: Option<&mut WarmStart>,
+    deadline: SolveDeadline,
 ) -> Result<Selection> {
     if requests.is_empty() {
         return Ok(Selection {
@@ -144,7 +237,7 @@ fn select_inner(
             .field("kinds", inst.num_kinds);
     }
     match kind {
-        SolverKind::Lagrangian => lagrangian(&inst, requests, warm),
+        SolverKind::Lagrangian => lagrangian(&inst, requests, warm, deadline),
         SolverKind::Greedy => {
             let picks = greedy_picks(&inst)?;
             Ok(finish(&inst, picks, 1.0, SolveOutcome::Full))
@@ -220,13 +313,20 @@ struct Subgradient {
     best: Option<(f64, Vec<usize>)>,
     iters: u32,
     certified: bool,
+    deadline_hit: bool,
 }
 
 impl Subgradient {
     /// Runs up to `max_iters` subgradient iterations, exiting early once
-    /// the duality gap of the incumbent drops within `tol`.
-    fn run(&mut self, inst: &SolveInstance, max_iters: u32, tol: f64) {
+    /// the duality gap of the incumbent drops within `tol`. The deadline is
+    /// checked cooperatively before every iteration against the total
+    /// iteration count (which spans the warm and cold phases).
+    fn run(&mut self, inst: &SolveInstance, max_iters: u32, tol: f64, deadline: SolveDeadline) {
         for it in 0..max_iters {
+            if deadline.exhausted(self.iters) {
+                self.deadline_hit = true;
+                return;
+            }
             self.iters += 1;
             let lower = relax(inst, &self.lambda, &mut self.picks, &mut self.demand);
             if inst.fits(&self.demand) {
@@ -250,6 +350,7 @@ fn lagrangian(
     inst: &SolveInstance,
     requests: &[AllocRequest],
     mut warm: Option<&mut WarmStart>,
+    deadline: SolveDeadline,
 ) -> Result<Selection> {
     // Phase 0: memo — bit-identical instance, replay the previous answer.
     if let Some(w) = warm.as_deref_mut() {
@@ -282,6 +383,7 @@ fn lagrangian(
         best: seed.clone(),
         iters: 0,
         certified: false,
+        deadline_hit: false,
     };
 
     // Phase 1: certify from the carried λ vector. Consecutive RM ticks
@@ -291,7 +393,7 @@ fn lagrangian(
         if w.lambda.len() == inst.num_kinds && w.lambda.iter().any(|&l| l > 0.0) {
             let mut sp = harp_obs::span(harp_obs::Subsystem::Solver, "warm_certify");
             sg.lambda.copy_from_slice(&w.lambda);
-            sg.run(inst, WARM_ITERS, tol);
+            sg.run(inst, WARM_ITERS, tol, deadline);
             sp.set_field("iters", sg.iters);
             sp.set_field("certified", sg.certified);
         }
@@ -305,9 +407,21 @@ fn lagrangian(
         let before = sg.iters;
         let mut sp = harp_obs::span(harp_obs::Subsystem::Solver, "cold_schedule");
         sg.lambda.fill(0.0);
-        sg.run(inst, REFERENCE_ITERS, tol);
+        sg.run(inst, REFERENCE_ITERS, tol, deadline);
         sp.set_field("iters", sg.iters - before);
         sp.set_field("certified", sg.certified);
+    }
+
+    // Budget exhausted without a certificate: bail out before the
+    // repair/upgrade phases rather than spend unbudgeted time there. The
+    // caller keeps its previous feasible allocation and re-solves later.
+    if sg.deadline_hit && !sg.certified {
+        harp_obs::instant(harp_obs::Subsystem::Solver, "deadline_exceeded")
+            .field("iters", sg.iters);
+        return Err(HarpError::deadline(format!(
+            "solve budget exhausted after {} subgradient iterations without a certificate",
+            sg.iters
+        )));
     }
 
     let picks = if sg.certified {
@@ -827,6 +941,93 @@ mod tests {
         assert_eq!(sel.outcome, SolveOutcome::Certified);
         assert_eq!(sel.picks, vec![0, 0]);
         assert!((sel.work - 1.0 / REFERENCE_ITERS as f64).abs() < 1e-12);
+    }
+
+    /// A congested instance: at λ = 0 both apps pick the cheap big option,
+    /// which overflows capacity, so no incumbent exists after the first
+    /// iteration and certification needs further subgradient work.
+    fn congested() -> (ResourceVector, Vec<AllocRequest>) {
+        let capacity = ResourceVector::new(vec![2, 2]);
+        let reqs = vec![
+            req(1, vec![opt(&[2, 0], 1.0), opt(&[0, 1], 5.0)]),
+            req(2, vec![opt(&[2, 0], 1.0), opt(&[0, 2], 2.0)]),
+        ];
+        (capacity, reqs)
+    }
+
+    #[test]
+    fn exhausted_iteration_budget_is_a_deadline_error() {
+        let (capacity, reqs) = congested();
+        let res = select_deadline(
+            &reqs,
+            &capacity,
+            SolverKind::Lagrangian,
+            None,
+            SolveDeadline::iterations(1),
+        );
+        assert!(
+            matches!(res, Err(HarpError::DeadlineExceeded { .. })),
+            "expected deadline error, got {res:?}"
+        );
+    }
+
+    #[test]
+    fn past_wall_deadline_is_a_deadline_error() {
+        let (capacity, reqs) = congested();
+        let res = select_deadline(
+            &reqs,
+            &capacity,
+            SolverKind::Lagrangian,
+            None,
+            SolveDeadline::by(std::time::Instant::now()),
+        );
+        assert!(matches!(res, Err(HarpError::DeadlineExceeded { .. })));
+    }
+
+    #[test]
+    fn memo_hits_are_exempt_from_the_deadline() {
+        let (capacity, reqs) = congested();
+        let mut warm = WarmStart::new();
+        let first = select(&reqs, &capacity, SolverKind::Lagrangian, Some(&mut warm)).unwrap();
+        // Identical instance, zero budget: the memo replays without
+        // spending a single iteration.
+        let second = select_deadline(
+            &reqs,
+            &capacity,
+            SolverKind::Lagrangian,
+            Some(&mut warm),
+            SolveDeadline::iterations(0),
+        )
+        .unwrap();
+        assert_eq!(second.outcome, SolveOutcome::MemoHit);
+        assert_eq!(second.picks, first.picks);
+    }
+
+    #[test]
+    fn generous_deadline_is_bit_identical_to_unbounded() {
+        let (capacity, reqs) = congested();
+        let free = select(&reqs, &capacity, SolverKind::Lagrangian, None).unwrap();
+        let budgeted = select_deadline(
+            &reqs,
+            &capacity,
+            SolverKind::Lagrangian,
+            None,
+            SolveDeadline::iterations(10_000),
+        )
+        .unwrap();
+        assert_eq!(budgeted.picks, free.picks);
+        assert_eq!(budgeted.cost.to_bits(), free.cost.to_bits());
+        assert_eq!(budgeted.outcome, free.outcome);
+    }
+
+    #[test]
+    fn greedy_and_exact_ignore_the_budget() {
+        let (capacity, reqs) = congested();
+        for kind in [SolverKind::Greedy, SolverKind::Exact] {
+            let sel = select_deadline(&reqs, &capacity, kind, None, SolveDeadline::iterations(0))
+                .unwrap();
+            assert!(feasible(&reqs, &sel.picks, &capacity), "{kind:?}");
+        }
     }
 
     #[test]

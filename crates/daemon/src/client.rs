@@ -23,9 +23,16 @@ impl UnixTransport {
     ///
     /// # Errors
     ///
-    /// Returns [`HarpError::Io`] if the socket cannot be reached.
+    /// Returns [`HarpError::Connect`] classifying *why* the daemon is
+    /// unreachable — [`harp_types::ConnectKind::SocketMissing`] (no daemon
+    /// ever started, or it removed its socket on shutdown),
+    /// [`harp_types::ConnectKind::Refused`] (socket file exists but nothing
+    /// is listening — a crashed daemon), or
+    /// [`harp_types::ConnectKind::PermissionDenied`] (not retryable).
+    /// Reconnect loops use [`HarpError::is_retryable`] to decide whether
+    /// backing off can help.
     pub fn connect(path: impl AsRef<Path>) -> Result<Self> {
-        let stream = UnixStream::connect(path)?;
+        let stream = UnixStream::connect(path).map_err(|e| HarpError::from_connect_io(&e))?;
         Self::from_stream(stream)
     }
 
@@ -75,7 +82,7 @@ impl libharp::Transport for UnixTransport {
     fn recv(&mut self) -> Result<Message> {
         self.rx
             .recv()
-            .map_err(|_| HarpError::protocol("daemon connection closed"))
+            .map_err(|_| HarpError::disconnected("daemon connection closed"))
     }
 
     fn try_recv(&mut self) -> Result<Option<Message>> {
@@ -83,7 +90,7 @@ impl libharp::Transport for UnixTransport {
             Ok(m) => Ok(Some(m)),
             Err(mpsc::TryRecvError::Empty) => Ok(None),
             Err(mpsc::TryRecvError::Disconnected) => {
-                Err(HarpError::protocol("daemon connection closed"))
+                Err(HarpError::disconnected("daemon connection closed"))
             }
         }
     }
@@ -116,11 +123,37 @@ mod tests {
     }
 
     #[test]
-    fn closed_peer_is_an_error() {
+    fn closed_peer_is_a_disconnect() {
         let (a, b) = UnixStream::pair().unwrap();
         let mut ta = UnixTransport::from_stream(a).unwrap();
         drop(b);
-        // recv drains EOF -> error.
-        assert!(ta.recv().is_err());
+        // recv drains EOF -> a retryable disconnect, not a protocol error.
+        let err = ta.recv().unwrap_err();
+        assert!(err.is_disconnect(), "got {err:?}");
+        assert!(err.is_retryable());
+    }
+
+    #[test]
+    fn missing_socket_is_classified() {
+        let path = std::env::temp_dir().join(format!("harp-nosock-{}.sock", std::process::id()));
+        let err = UnixTransport::connect(&path).unwrap_err();
+        assert_eq!(
+            err.connect_kind(),
+            Some(harp_types::ConnectKind::SocketMissing)
+        );
+        assert!(err.is_retryable());
+    }
+
+    #[test]
+    fn dead_socket_file_is_refused() {
+        use std::os::unix::net::UnixListener;
+        let path = std::env::temp_dir().join(format!("harp-dead-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        // Bind then drop the listener: the file stays, nobody listens.
+        drop(UnixListener::bind(&path).unwrap());
+        let err = UnixTransport::connect(&path).unwrap_err();
+        assert_eq!(err.connect_kind(), Some(harp_types::ConnectKind::Refused));
+        assert!(err.is_retryable());
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -2,15 +2,17 @@
 
 use harp_platform::HardwareDescription;
 use harp_proto::frame;
-use harp_proto::{Activate, ErrorMsg, Message, RegisterAck, TelemetryDump};
-use harp_rm::{Directive, RmConfig, RmCore, RmOutput};
+use harp_proto::{Activate, ErrorMsg, Hello, Message, RegisterAck, TelemetryDump};
+use harp_rm::journal::{last_epoch, read_journal};
+use harp_rm::{Directive, JournalRecord, JournalWriter, RmConfig, RmCore, RmOutput};
 use harp_types::{AppId, ErvShape, ExtResourceVector, NonFunctional, Result};
 use std::collections::HashMap;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Mutex, MutexGuard, PoisonError, RwLock};
+use std::time::{Duration, Instant};
 
 /// Protocol error code: a registration was rejected by the RM.
 pub const ERR_REGISTER_REJECTED: u32 = 1;
@@ -50,6 +52,8 @@ fn msg_name(msg: &Message) -> &'static str {
         Message::Error(_) => "error",
         Message::DumpTelemetry(_) => "dump_telemetry",
         Message::TelemetryDump(_) => "telemetry_dump",
+        Message::Hello(_) => "hello",
+        Message::Resume(_) => "resume",
     }
 }
 
@@ -89,6 +93,18 @@ pub struct DaemonConfig {
     /// default: tracing is opt-in, and the disabled path costs one atomic
     /// load per callsite.
     pub tracing: bool,
+    /// Crash-recovery journal path (`None` = journaling off). On start the
+    /// daemon replays the journal through the real RM entry points, bumps
+    /// the boot epoch, and resumes appending; sessions recovered from the
+    /// journal are reclaimable by their resume tokens (DESIGN.md §10).
+    pub journal_path: Option<PathBuf>,
+    /// Watchdog stall threshold (`None` = watchdog off). An RM operation
+    /// in flight longer than this is declared wedged: telemetry is dumped
+    /// next to the journal, the journal writer is fenced off, and a fresh
+    /// core recovered from the journal replaces the wedged one.
+    pub watchdog: Option<Duration>,
+    /// Records appended between journal compactions.
+    pub compact_every: u64,
 }
 
 impl DaemonConfig {
@@ -103,6 +119,9 @@ impl DaemonConfig {
             hw,
             rm,
             tracing: false,
+            journal_path: None,
+            watchdog: None,
+            compact_every: 256,
         }
     }
 
@@ -111,21 +130,108 @@ impl DaemonConfig {
         self.tracing = true;
         self
     }
+
+    /// Enables the crash-recovery journal at `path`.
+    pub fn with_journal(mut self, path: impl AsRef<Path>) -> Self {
+        self.journal_path = Some(path.as_ref().to_path_buf());
+        self
+    }
+
+    /// Enables the wedged-operation watchdog with the given stall
+    /// threshold.
+    pub fn with_watchdog(mut self, threshold: Duration) -> Self {
+        self.watchdog = Some(threshold);
+        self
+    }
 }
 
+/// One client's serialized write side. `frame::write_frame` issues two
+/// writes per frame (length prefix, body), so the connection thread and
+/// `route()` must take this lock to keep frames from interleaving.
+type ClientWriter = Arc<Mutex<UnixStream>>;
+
 struct Shared {
-    rm: Mutex<RmCore>,
+    /// The RM core behind two layers: the outer `RwLock` lets the watchdog
+    /// swap in a freshly recovered core while wedged threads still hold the
+    /// old one; the inner `Mutex` serializes normal operations.
+    rm: RwLock<Arc<Mutex<RmCore>>>,
     /// Write-sides of connected applications, for pushing activations.
-    streams: Mutex<HashMap<AppId, UnixStream>>,
+    /// Each entry is the same shared writer its connection thread uses for
+    /// replies, so concurrent frames to one client never interleave.
+    streams: Mutex<HashMap<AppId, ClientWriter>>,
+    /// Session → connection currently owning it. Hangup cleanup only
+    /// deregisters a session its connection still owns, so a client that
+    /// resumed on a new connection is not torn down by the stale one.
+    owners: Mutex<HashMap<AppId, u64>>,
     shape: ErvShape,
+    hw: HardwareDescription,
+    rm_cfg: RmConfig,
+    journal_path: Option<PathBuf>,
+    /// Fence generation shared with the live journal writer; bumping it
+    /// silently voids appends from a writer the watchdog has orphaned.
+    fence: Arc<AtomicU64>,
+    /// Boot epoch stamped into every `Hello`/`RegisterAck`; strictly
+    /// increases across daemon restarts via the journal's epoch records.
+    epoch: u64,
     next_id: AtomicU64,
+    /// Resume-token counter; tokens embed the epoch so tokens from
+    /// different boots never collide.
+    next_token: AtomicU64,
     /// Connection counter for telemetry (distinct from session ids: a
     /// connection may never register).
     next_conn: AtomicU64,
     stop: AtomicBool,
+    /// Simulated crash: connection threads skip deregister-on-hangup so
+    /// the journal keeps the sessions for the next boot to recover.
+    killed: AtomicBool,
+    /// Milliseconds since `started` at which the in-flight RM operation
+    /// began (0 = idle); sampled by the watchdog.
+    op_started_ms: AtomicU64,
+    op_seq: AtomicU64,
+    started: Instant,
+}
+
+/// Marks an RM operation in flight for the watchdog; cleared on drop
+/// unless a newer operation has started since (the wedged case).
+struct OpGuard<'a> {
+    shared: &'a Shared,
+    seq: u64,
+}
+
+impl<'a> OpGuard<'a> {
+    fn begin(shared: &'a Shared) -> Self {
+        let seq = shared.op_seq.fetch_add(1, Ordering::SeqCst) + 1;
+        // `| 1` keeps a start in the very first millisecond distinct from
+        // the idle sentinel.
+        let now = shared.started.elapsed().as_millis() as u64 | 1;
+        shared.op_started_ms.store(now, Ordering::SeqCst);
+        OpGuard { shared, seq }
+    }
+}
+
+impl Drop for OpGuard<'_> {
+    fn drop(&mut self) {
+        if self.shared.op_seq.load(Ordering::SeqCst) == self.seq {
+            self.shared.op_started_ms.store(0, Ordering::SeqCst);
+        }
+    }
 }
 
 impl Shared {
+    /// The current RM core (watchdog restarts swap the `Arc`).
+    fn core(&self) -> Arc<Mutex<RmCore>> {
+        self.rm
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Mints a resume token: epoch in the high half, a counter in the low,
+    /// so tokens stay unique across daemon restarts.
+    fn make_token(&self) -> u64 {
+        (self.epoch << 32) | self.next_token.fetch_add(1, Ordering::SeqCst)
+    }
+
     /// Relays the RM output to every affected application. Streams whose
     /// peer is gone are pruned here; the session itself is deregistered by
     /// its connection thread when it observes the hangup.
@@ -133,8 +239,8 @@ impl Shared {
         let mut streams = lock(&self.streams);
         let mut dead: Vec<AppId> = Vec::new();
         for d in &out.directives {
-            if let Some(mut stream) = streams.get(&d.app) {
-                if frame::write_frame(&mut stream, &directive_to_activate(d)).is_err() {
+            if let Some(writer) = streams.get(&d.app) {
+                if frame::write_frame(&mut *lock(writer), &directive_to_activate(d)).is_err() {
                     dead.push(d.app);
                 }
             }
@@ -165,11 +271,13 @@ fn directive_to_activate(d: &Directive) -> Message {
 pub struct HarpDaemon;
 
 /// Handle of a running daemon; dropping it does *not* stop the daemon —
-/// call [`DaemonHandle::shutdown`].
+/// call [`DaemonHandle::shutdown`] (or [`DaemonHandle::kill`] to simulate
+/// a crash).
 pub struct DaemonHandle {
     shared: Arc<Shared>,
     socket_path: PathBuf,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    watchdog_thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for DaemonHandle {
@@ -193,13 +301,35 @@ impl HarpDaemon {
         let _ = std::fs::remove_file(&cfg.socket_path);
         let listener = UnixListener::bind(&cfg.socket_path)?;
         let shape = cfg.hw.erv_shape();
+
+        let fence = Arc::new(AtomicU64::new(1));
+        let (core, epoch) = open_core(
+            cfg.hw.clone(),
+            cfg.rm.clone(),
+            cfg.journal_path.as_deref(),
+            &fence,
+            cfg.compact_every,
+        )?;
+        let next_id = core.max_app_seen() + 1;
+
         let shared = Arc::new(Shared {
-            rm: Mutex::new(RmCore::new(cfg.hw.clone(), cfg.rm.clone())),
+            rm: RwLock::new(Arc::new(Mutex::new(core))),
             streams: Mutex::new(HashMap::new()),
+            owners: Mutex::new(HashMap::new()),
             shape,
-            next_id: AtomicU64::new(1),
+            hw: cfg.hw,
+            rm_cfg: cfg.rm,
+            journal_path: cfg.journal_path,
+            fence,
+            epoch,
+            next_id: AtomicU64::new(next_id),
+            next_token: AtomicU64::new(1),
             next_conn: AtomicU64::new(1),
             stop: AtomicBool::new(false),
+            killed: AtomicBool::new(false),
+            op_started_ms: AtomicU64::new(0),
+            op_seq: AtomicU64::new(0),
+            started: Instant::now(),
         });
         let accept_shared = shared.clone();
         let accept_thread = std::thread::Builder::new()
@@ -226,11 +356,123 @@ impl HarpDaemon {
                     }
                 }
             })?;
+        let watchdog_thread = match cfg.watchdog {
+            Some(threshold) => {
+                let wd_shared = shared.clone();
+                Some(
+                    std::thread::Builder::new()
+                        .name("harpd-watchdog".into())
+                        .spawn(move || watchdog_loop(wd_shared, threshold))?,
+                )
+            }
+            None => None,
+        };
         Ok(DaemonHandle {
             shared,
             socket_path: cfg.socket_path,
             accept_thread: Some(accept_thread),
+            watchdog_thread,
         })
+    }
+}
+
+/// Builds the RM core for a boot: replays the journal (if any) through the
+/// real entry points, bumps the boot epoch, and attaches a fenced writer.
+/// Returns the core and the new epoch. Journal damage is tolerated — a
+/// torn tail replays the surviving prefix; an unreadable journal starts a
+/// fresh core (availability over history) and is counted in
+/// `daemon.recover_failures`.
+fn open_core(
+    hw: HardwareDescription,
+    rm_cfg: RmConfig,
+    journal_path: Option<&Path>,
+    fence: &Arc<AtomicU64>,
+    compact_every: u64,
+) -> Result<(RmCore, u64)> {
+    let Some(path) = journal_path else {
+        return Ok((RmCore::new(hw, rm_cfg), 1));
+    };
+    let mut prior_epoch = 0;
+    let core = match read_journal(path) {
+        Ok(outcome) => {
+            prior_epoch = last_epoch(&outcome.records);
+            if harp_obs::enabled() {
+                harp_obs::instant(harp_obs::Subsystem::Daemon, "journal_replay")
+                    .field("records", outcome.records.len())
+                    .field("truncated", outcome.truncated);
+            }
+            match RmCore::recover(hw.clone(), rm_cfg.clone(), &outcome.records) {
+                Ok(core) => core,
+                Err(_) => {
+                    harp_obs::metrics::counter("daemon.recover_failures").inc();
+                    RmCore::new(hw, rm_cfg)
+                }
+            }
+        }
+        Err(_) => {
+            harp_obs::metrics::counter("daemon.recover_failures").inc();
+            RmCore::new(hw, rm_cfg)
+        }
+    };
+    let epoch = prior_epoch + 1;
+    let mut core = core;
+    let mut writer = JournalWriter::open(path)?;
+    writer.set_fence(fence.clone(), fence.load(Ordering::SeqCst));
+    writer.append(&JournalRecord::EpochBump { epoch })?;
+    core.attach_journal(writer, compact_every);
+    Ok((core, epoch))
+}
+
+/// Samples the op-watch atomics; when an RM operation stalls past the
+/// threshold, dumps the flight recorder next to the journal, fences the
+/// orphaned journal writer, and swaps in a core recovered from the
+/// journal. Wedged threads keep their old core and die with it.
+fn watchdog_loop(shared: Arc<Shared>, threshold: Duration) {
+    let threshold_ms = threshold.as_millis().max(1) as u64;
+    let poll = Duration::from_millis((threshold_ms / 4).clamp(1, 250));
+    while !shared.stop.load(Ordering::SeqCst) {
+        std::thread::sleep(poll);
+        let started = shared.op_started_ms.load(Ordering::SeqCst);
+        if started == 0 {
+            continue;
+        }
+        let now = shared.started.elapsed().as_millis() as u64;
+        if now.saturating_sub(started) < threshold_ms {
+            continue;
+        }
+        // Wedged. Dump telemetry for the postmortem (best effort).
+        if let Some(path) = &shared.journal_path {
+            let dump = harp_obs::dump_global(true);
+            let _ = std::fs::write(path.with_extension("wedge.jsonl"), dump);
+        }
+        // Fence off the wedged core's journal writer: if the stuck thread
+        // ever resumes, its appends are silently dropped instead of
+        // corrupting the journal the new core now owns.
+        shared.fence.fetch_add(1, Ordering::SeqCst);
+        let recovered = shared.journal_path.as_deref().and_then(|path| {
+            open_core(
+                shared.hw.clone(),
+                shared.rm_cfg.clone(),
+                Some(path),
+                &shared.fence,
+                256,
+            )
+            .ok()
+        });
+        let new_core = match recovered {
+            Some((core, _)) => core,
+            // No journal: a fresh empty core still unwedges the daemon.
+            None => RmCore::new(shared.hw.clone(), shared.rm_cfg.clone()),
+        };
+        *shared.rm.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(Mutex::new(new_core));
+        // The wedged op is presumed dead; reset the watch so the next
+        // stall is measured from its own start.
+        shared.op_started_ms.store(0, Ordering::SeqCst);
+        harp_obs::metrics::counter("daemon.watchdog_restarts").inc();
+        if harp_obs::enabled() {
+            harp_obs::instant(harp_obs::Subsystem::Daemon, "watchdog_restart")
+                .field("stalled_ms", now.saturating_sub(started));
+        }
     }
 }
 
@@ -242,24 +484,83 @@ impl DaemonHandle {
 
     /// Preloads an operating-point profile into the RM (description files).
     pub fn load_profile(&self, name: &str, points: Vec<(ExtResourceVector, NonFunctional)>) {
-        lock(&self.shared.rm).load_profile(name, harp_rm::table_from_points(points));
+        let core = self.shared.core();
+        lock(&core).load_profile(name, harp_rm::table_from_points(points));
     }
 
     /// Ids of the applications the RM currently manages — the live-session
     /// view used by operational checks and crash/regression tests.
     pub fn managed_apps(&self) -> Vec<AppId> {
-        lock(&self.shared.rm).managed_apps()
+        let core = self.shared.core();
+        let apps = lock(&core).managed_apps();
+        apps
     }
 
-    /// Stops the daemon and removes the socket file.
+    /// The boot epoch this daemon stamps into `Hello` and `RegisterAck`.
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch
+    }
+
+    /// Degraded allocation rounds since this boot (solver deadline
+    /// overruns; see [`RmConfig::solve_deadline_iters`]).
+    pub fn degraded_ticks(&self) -> u64 {
+        let core = self.shared.core();
+        let n = lock(&core).degraded_ticks();
+        n
+    }
+
+    /// Stops the daemon and removes the socket file. The journal (if any)
+    /// is detached first, so live sessions stay recorded in it and their
+    /// clients can resume against the next boot.
     pub fn shutdown(mut self) {
+        self.stop_threads();
+        let _ = std::fs::remove_file(&self.socket_path);
+    }
+
+    /// Simulates a daemon crash for recovery testing: every client
+    /// connection is severed mid-flight, no session is deregistered (the
+    /// journal keeps them for the next boot), and the socket file is left
+    /// behind dead — subsequent connects see `ECONNREFUSED`, exactly like
+    /// a killed process.
+    pub fn kill(mut self) {
+        self.shared.killed.store(true, Ordering::SeqCst);
+        self.stop_threads();
+        let mut streams = lock(&self.shared.streams);
+        for (_, s) in streams.drain() {
+            let _ = lock(&s).shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    /// Test hook: simulates a wedged RM operation by starting an op-watch
+    /// and holding the core mutex for `hold` on a detached thread. Used by
+    /// the chaos suite to drive the watchdog; not part of the public API.
+    #[doc(hidden)]
+    pub fn wedge_for(&self, hold: Duration) {
+        let shared = self.shared.clone();
+        std::thread::spawn(move || {
+            let core = shared.core();
+            let _op = OpGuard::begin(&shared);
+            let _held = lock(&core);
+            std::thread::sleep(hold);
+        });
+    }
+
+    /// Stops the accept and watchdog threads and releases the journal:
+    /// fences the writer (a wedged thread can no longer append) and
+    /// detaches it from the core so the file is free for the next boot.
+    fn stop_threads(&mut self) {
         self.shared.stop.store(true, Ordering::SeqCst);
         // Unblock the accept loop with a dummy connection.
         let _ = UnixStream::connect(&self.socket_path);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        let _ = std::fs::remove_file(&self.socket_path);
+        if let Some(t) = self.watchdog_thread.take() {
+            let _ = t.join();
+        }
+        self.shared.fence.fetch_add(1, Ordering::SeqCst);
+        let core = self.shared.core();
+        lock(&core).detach_journal();
     }
 }
 
@@ -268,7 +569,7 @@ impl DaemonHandle {
 /// logged as a structured `err_reply` event carrying the connection and
 /// session ids, and counted in the metrics registry.
 fn send_error(
-    stream: &UnixStream,
+    writer: &Mutex<UnixStream>,
     code: u32,
     detail: impl Into<String>,
     conn: u64,
@@ -284,7 +585,10 @@ fn send_error(
             .field("detail", detail.clone());
         harp_obs::metrics::counter("daemon.err_replies").inc();
     }
-    let _ = frame::write_frame(stream, &Message::Error(ErrorMsg { code, detail }));
+    let _ = frame::write_frame(
+        &mut *lock(writer),
+        &Message::Error(ErrorMsg { code, detail }),
+    );
 }
 
 /// Serves one client connection until clean exit, hangup, or a protocol
@@ -296,8 +600,22 @@ fn handle_connection(shared: Arc<Shared>, stream: UnixStream, conn: u64) {
         Ok(s) => s,
         Err(_) => return,
     };
+    // All writes to this client — replies from this thread and activations
+    // routed by other connections' threads — go through one lock, so
+    // multi-write frames never interleave on the wire.
+    let writer: ClientWriter = Arc::new(Mutex::new(stream));
     let mut conn_span = harp_obs::span(harp_obs::Subsystem::Daemon, "conn").field("conn", conn);
     let mut app: Option<AppId> = None;
+    // Greet with the boot epoch: a reconnecting client compares it with
+    // the epoch it registered under to learn whether the daemon restarted
+    // (and therefore whether its resume token refers to recovered state).
+    let _ = frame::write_frame(
+        &mut *lock(&writer),
+        &Message::Hello(Hello {
+            epoch: shared.epoch,
+            resume_token: 0,
+        }),
+    );
     loop {
         let msg = match frame::read_frame(&mut read) {
             Ok(Some(m)) => m,
@@ -307,7 +625,7 @@ fn handle_connection(shared: Arc<Shared>, stream: UnixStream, conn: u64) {
             // effort) and drop the connection. Resynchronizing a byte
             // stream after a framing error is not possible.
             Err(e) => {
-                send_error(&stream, ERR_PROTOCOL, e.to_string(), conn, app);
+                send_error(&writer, ERR_PROTOCOL, e.to_string(), conn, app);
                 break;
             }
         };
@@ -320,7 +638,7 @@ fn handle_connection(shared: Arc<Shared>, stream: UnixStream, conn: u64) {
                 // A connection is one session; re-registration would leak
                 // the original session's resources.
                 send_error(
-                    &stream,
+                    &writer,
                     ERR_DUPLICATE_REGISTER,
                     "connection already holds a registered session",
                     conn,
@@ -329,32 +647,114 @@ fn handle_connection(shared: Arc<Shared>, stream: UnixStream, conn: u64) {
             }
             Message::Register(reg) => {
                 let id = AppId(shared.next_id.fetch_add(1, Ordering::SeqCst));
+                let token = shared.make_token();
                 // Make the stream routable before the allocation round so
                 // this app receives its own activation.
-                if let Ok(clone) = stream.try_clone() {
-                    lock(&shared.streams).insert(id, clone);
-                }
-                let result = lock(&shared.rm).register(id, &reg.app_name, reg.provides_utility);
+                lock(&shared.streams).insert(id, writer.clone());
+                let core = shared.core();
+                let result = {
+                    let _op = OpGuard::begin(&shared);
+                    lock(&core).register_resumable(id, &reg.app_name, reg.provides_utility, token)
+                };
                 match result {
                     Ok(out) => {
                         app = Some(id);
+                        lock(&shared.owners).insert(id, conn);
                         conn_span.set_field("session", id.raw());
                         let _ = frame::write_frame(
-                            &stream,
-                            &Message::RegisterAck(RegisterAck { app_id: id.raw() }),
+                            &mut *lock(&writer),
+                            &Message::RegisterAck(RegisterAck {
+                                app_id: id.raw(),
+                                epoch: shared.epoch,
+                                resume_token: token,
+                                resumed: false,
+                            }),
                         );
                         shared.route(&out);
                     }
                     Err(e) => {
                         lock(&shared.streams).remove(&id);
-                        send_error(&stream, ERR_REGISTER_REJECTED, e.to_string(), conn, app);
+                        send_error(&writer, ERR_REGISTER_REJECTED, e.to_string(), conn, app);
+                    }
+                }
+            }
+            Message::Resume(_) if app.is_some() => {
+                send_error(
+                    &writer,
+                    ERR_DUPLICATE_REGISTER,
+                    "connection already holds a registered session",
+                    conn,
+                    app,
+                );
+            }
+            Message::Resume(r) => {
+                let core = shared.core();
+                let resolved = lock(&core).resolve_resume_token(r.resume_token);
+                if let Some(id) = resolved {
+                    // Idempotent reclaim: rebind the session to this
+                    // connection and replay its current activation so the
+                    // client re-applies without waiting for a round.
+                    lock(&shared.streams).insert(id, writer.clone());
+                    lock(&shared.owners).insert(id, conn);
+                    app = Some(id);
+                    conn_span.set_field("session", id.raw());
+                    let _ = frame::write_frame(
+                        &mut *lock(&writer),
+                        &Message::RegisterAck(RegisterAck {
+                            app_id: id.raw(),
+                            epoch: shared.epoch,
+                            resume_token: r.resume_token,
+                            resumed: true,
+                        }),
+                    );
+                    let last = lock(&core).last_directive(id).cloned();
+                    if let Some(d) = last {
+                        let _ = frame::write_frame(&mut *lock(&writer), &directive_to_activate(&d));
+                    }
+                    harp_obs::metrics::counter("daemon.reconnects_total").inc();
+                    if harp_obs::enabled() {
+                        harp_obs::instant(harp_obs::Subsystem::Daemon, "session_resumed")
+                            .field("conn", conn)
+                            .field("session", id.raw());
+                    }
+                } else {
+                    // Stale or foreign token (journal lost, session reaped):
+                    // fall back to a fresh registration under a new token.
+                    let id = AppId(shared.next_id.fetch_add(1, Ordering::SeqCst));
+                    let token = shared.make_token();
+                    lock(&shared.streams).insert(id, writer.clone());
+                    let result = {
+                        let _op = OpGuard::begin(&shared);
+                        lock(&core).register_resumable(id, &r.app_name, r.provides_utility, token)
+                    };
+                    match result {
+                        Ok(out) => {
+                            app = Some(id);
+                            lock(&shared.owners).insert(id, conn);
+                            conn_span.set_field("session", id.raw());
+                            let _ = frame::write_frame(
+                                &mut *lock(&writer),
+                                &Message::RegisterAck(RegisterAck {
+                                    app_id: id.raw(),
+                                    epoch: shared.epoch,
+                                    resume_token: token,
+                                    resumed: false,
+                                }),
+                            );
+                            harp_obs::metrics::counter("daemon.reconnects_total").inc();
+                            shared.route(&out);
+                        }
+                        Err(e) => {
+                            lock(&shared.streams).remove(&id);
+                            send_error(&writer, ERR_REGISTER_REJECTED, e.to_string(), conn, app);
+                        }
                     }
                 }
             }
             Message::SubmitPoints(sp) => {
                 let Some(id) = app else {
                     send_error(
-                        &stream,
+                        &writer,
                         ERR_NO_SESSION,
                         "SubmitPoints before registration",
                         conn,
@@ -368,9 +768,14 @@ fn handle_connection(shared: Arc<Shared>, stream: UnixStream, conn: u64) {
                         points.push((erv, NonFunctional::new(p.utility, p.power)));
                     }
                 }
-                match lock(&shared.rm).submit_points(id, points) {
+                let core = shared.core();
+                let result = {
+                    let _op = OpGuard::begin(&shared);
+                    lock(&core).submit_points(id, points)
+                };
+                match result {
                     Ok(out) => shared.route(&out),
-                    Err(e) => send_error(&stream, ERR_SUBMIT_REJECTED, e.to_string(), conn, app),
+                    Err(e) => send_error(&writer, ERR_SUBMIT_REJECTED, e.to_string(), conn, app),
                 }
             }
             Message::DumpTelemetry(req) => {
@@ -380,7 +785,7 @@ fn handle_connection(shared: Arc<Shared>, stream: UnixStream, conn: u64) {
                 let (jsonl, truncated) =
                     truncate_jsonl(harp_obs::dump_global(req.include_metrics), MAX_DUMP_BYTES);
                 let _ = frame::write_frame(
-                    &stream,
+                    &mut *lock(&writer),
                     &Message::TelemetryDump(TelemetryDump { jsonl, truncated }),
                 );
             }
@@ -396,15 +801,29 @@ fn handle_connection(shared: Arc<Shared>, stream: UnixStream, conn: u64) {
         }
     }
     if let Some(id) = app {
-        lock(&shared.streams).remove(&id);
-        if let Ok(out) = lock(&shared.rm).deregister(id) {
-            if harp_obs::enabled() {
-                harp_obs::instant(harp_obs::Subsystem::Daemon, "session_deregistered")
-                    .field("conn", conn)
-                    .field("session", id.raw());
-                harp_obs::metrics::counter("daemon.deregisters").inc();
+        // Only the connection that currently owns the session may tear it
+        // down: after a resume, the stale connection's hangup must not
+        // deregister the session out from under the new one. A killed
+        // daemon skips cleanup entirely so the journal keeps the session
+        // for the next boot to recover.
+        let owns = lock(&shared.owners).get(&id).copied() == Some(conn);
+        if owns && !shared.killed.load(Ordering::SeqCst) {
+            lock(&shared.streams).remove(&id);
+            lock(&shared.owners).remove(&id);
+            let core = shared.core();
+            let result = {
+                let _op = OpGuard::begin(&shared);
+                lock(&core).deregister(id)
+            };
+            if let Ok(out) = result {
+                if harp_obs::enabled() {
+                    harp_obs::instant(harp_obs::Subsystem::Daemon, "session_deregistered")
+                        .field("conn", conn)
+                        .field("session", id.raw());
+                    harp_obs::metrics::counter("daemon.deregisters").inc();
+                }
+                shared.route(&out);
             }
-            shared.route(&out);
         }
     }
 }
@@ -503,6 +922,121 @@ mod tests {
         s1.exit().unwrap();
         s2.exit().unwrap();
         daemon.shutdown();
+    }
+
+    fn temp_journal(tag: &str) -> PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("harp-test-{}-{tag}.journal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    /// Polls `cond` for up to 5 seconds.
+    fn wait_for(mut cond: impl FnMut() -> bool, what: &str) {
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !cond() {
+            assert!(std::time::Instant::now() < deadline, "timed out: {what}");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn kill_then_restart_recovers_sessions_from_the_journal() {
+        let hw = HardwareDescription::raptor_lake();
+        let shape = hw.erv_shape();
+        let socket = temp_socket("recover");
+        let journal = temp_journal("recover");
+        let daemon =
+            HarpDaemon::start(DaemonConfig::new(&socket, hw.clone()).with_journal(&journal))
+                .unwrap();
+        assert_eq!(daemon.epoch(), 1);
+
+        let cfg = SessionConfig::new("victim", AdaptivityType::Scalable)
+            .with_points(vec![2, 1], points(&shape));
+        let mut session =
+            HarpSession::connect(UnixTransport::connect(&socket).unwrap(), cfg).unwrap();
+        let id = session.app_id();
+        wait_for(
+            || {
+                session.poll(|| 0.0).unwrap();
+                session
+                    .allocation()
+                    .current()
+                    .is_some_and(|a| a.parallelism == 8)
+            },
+            "pre-crash activation",
+        );
+        let before = session.allocation().current().unwrap();
+
+        // Crash: sockets severed, nothing deregistered, socket file stays.
+        daemon.kill();
+        assert!(socket.exists(), "kill must leave the dead socket behind");
+
+        // Restart from the journal: the session is still managed, under a
+        // bumped epoch, and its directive replays bit-identically.
+        let daemon =
+            HarpDaemon::start(DaemonConfig::new(&socket, hw).with_journal(&journal)).unwrap();
+        assert_eq!(daemon.epoch(), 2, "epoch must bump across restarts");
+        let managed: Vec<u64> = daemon.managed_apps().iter().map(|a| a.raw()).collect();
+        assert_eq!(managed, vec![id], "journal lost the session");
+        let core = daemon.shared.core();
+        let replayed = lock(&core).last_directive(AppId(id)).cloned().unwrap();
+        drop(core);
+        assert_eq!(replayed.erv.flat(), before.erv_flat);
+        assert_eq!(
+            replayed.hw_threads.iter().map(|t| t.0).collect::<Vec<_>>(),
+            before.hw_threads.iter().map(|t| t.0).collect::<Vec<_>>()
+        );
+        assert_eq!(replayed.parallelism, before.parallelism);
+        daemon.shutdown();
+        let _ = std::fs::remove_file(&journal);
+    }
+
+    #[test]
+    fn watchdog_replaces_a_wedged_core() {
+        let hw = HardwareDescription::raptor_lake();
+        let shape = hw.erv_shape();
+        let socket = temp_socket("wedge");
+        let journal = temp_journal("wedge");
+        let daemon = HarpDaemon::start(
+            DaemonConfig::new(&socket, hw)
+                .with_journal(&journal)
+                .with_watchdog(Duration::from_millis(40)),
+        )
+        .unwrap();
+        let cfg = SessionConfig::new("survivor", AdaptivityType::Scalable)
+            .with_points(vec![2, 1], points(&shape));
+        let mut session =
+            HarpSession::connect(UnixTransport::connect(&socket).unwrap(), cfg).unwrap();
+        let id = session.app_id();
+        wait_for(
+            || {
+                session.poll(|| 0.0).unwrap();
+                session.allocation().current().is_some()
+            },
+            "activation before wedge",
+        );
+
+        let baseline = harp_obs::metrics::counter("daemon.watchdog_restarts").get();
+        // Hold the core mutex with an op in flight far past the threshold.
+        daemon.wedge_for(Duration::from_secs(3));
+        wait_for(
+            || harp_obs::metrics::counter("daemon.watchdog_restarts").get() > baseline,
+            "watchdog restart",
+        );
+        // The swapped-in core was recovered from the journal: the session
+        // survived the restart, and the daemon serves without waiting for
+        // the wedged thread to release the old core.
+        let managed: Vec<u64> = daemon.managed_apps().iter().map(|a| a.raw()).collect();
+        assert_eq!(managed, vec![id], "session lost across watchdog restart");
+        // The telemetry postmortem was dumped next to the journal.
+        assert!(
+            journal.with_extension("wedge.jsonl").exists(),
+            "wedge dump missing"
+        );
+        daemon.shutdown();
+        let _ = std::fs::remove_file(&journal);
+        let _ = std::fs::remove_file(journal.with_extension("wedge.jsonl"));
     }
 
     #[test]

@@ -48,12 +48,16 @@ fn fetch_dump(socket: &PathBuf, include_metrics: bool) -> String {
         &Message::DumpTelemetry(DumpTelemetry { include_metrics }),
     )
     .unwrap();
-    match frame::read_frame(&mut read).unwrap().expect("dump reply") {
-        Message::TelemetryDump(d) => {
-            assert!(!d.truncated, "tiny test session should never truncate");
-            d.jsonl
+    loop {
+        match frame::read_frame(&mut read).unwrap().expect("dump reply") {
+            Message::TelemetryDump(d) => {
+                assert!(!d.truncated, "tiny test session should never truncate");
+                break d.jsonl;
+            }
+            // The daemon greets every connection with its boot epoch.
+            Message::Hello(_) => continue,
+            other => panic!("expected TelemetryDump, got {other:?}"),
         }
-        other => panic!("expected TelemetryDump, got {other:?}"),
     }
 }
 

@@ -29,7 +29,7 @@
 //!     let msg = rm_side.recv().unwrap();
 //!     assert!(matches!(msg, Message::Register(_)));
 //!     rm_side
-//!         .send(&Message::RegisterAck(RegisterAck { app_id: 7 }))
+//!         .send(&Message::RegisterAck(RegisterAck::new(7)))
 //!         .unwrap();
 //!     // Keep the endpoint alive until the app has finished its handshake.
 //!     let _ = rm_side.recv();
@@ -50,7 +50,10 @@ mod runtime;
 mod session;
 
 pub use runtime::MalleableRuntime;
-pub use session::{Activation, AllocationHandle, HarpSession, SessionConfig};
+pub use session::{
+    Activation, AllocationHandle, HarpSession, ReconnectPolicy, SessionConfig, SessionState,
+    SessionStateHandle,
+};
 
 use harp_proto::Message;
 use harp_types::Result;

@@ -347,6 +347,40 @@ pub fn render_metrics(dump: &ParsedDump) -> String {
     out
 }
 
+/// Metric names summarized by [`render_fault_tolerance`], in render order.
+const FAULT_METRICS: [(&str, &str); 4] = [
+    (
+        "rm.degraded_ticks",
+        "ticks served by the previous allocation",
+    ),
+    (
+        "daemon.reconnects_total",
+        "sessions resumed after a disconnect",
+    ),
+    (
+        "daemon.watchdog_restarts",
+        "wedged cores replaced from the journal",
+    ),
+    ("daemon.dead_stream_pruned", "unreachable clients unrouted"),
+];
+
+/// Renders the fault-tolerance summary: solver-deadline degradation,
+/// client reconnects and watchdog restarts (DESIGN.md §10). Returns an
+/// empty string when the dump records none of these — a healthy run
+/// prints no fault section at all.
+pub fn render_fault_tolerance(dump: &ParsedDump) -> String {
+    let mut out = String::new();
+    for (name, what) in FAULT_METRICS {
+        let Some(m) = dump.metrics.iter().find(|m| m.name == name) else {
+            continue;
+        };
+        if m.value != 0.0 {
+            let _ = writeln!(out, "{:<40} {:>8}  {}", m.name, m.value, what);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -398,6 +432,23 @@ mod tests {
         let rendered = render_metrics(&parsed);
         assert!(rendered.contains("daemon.accepts"));
         assert!(rendered.contains("count=2"));
+    }
+
+    #[test]
+    fn fault_tolerance_renders_only_nonzero_counters() {
+        let dump = "{\"type\":\"meta\",\"format\":\"harp-obs-v1\",\"ring_capacity\":1,\"recorded\":0,\"evicted\":0}\n{\"type\":\"metric\",\"metric\":\"counter\",\"name\":\"rm.degraded_ticks\",\"value\":2}\n{\"type\":\"metric\",\"metric\":\"counter\",\"name\":\"daemon.reconnects_total\",\"value\":5}\n{\"type\":\"metric\",\"metric\":\"counter\",\"name\":\"daemon.watchdog_restarts\",\"value\":0}\n";
+        let parsed = parse_dump(dump).unwrap();
+        let rendered = render_fault_tolerance(&parsed);
+        assert!(rendered.contains("rm.degraded_ticks"));
+        assert!(rendered.contains("daemon.reconnects_total"));
+        assert!(
+            !rendered.contains("watchdog_restarts"),
+            "zero counters stay quiet"
+        );
+
+        let healthy = "{\"type\":\"meta\",\"format\":\"harp-obs-v1\",\"ring_capacity\":1,\"recorded\":0,\"evicted\":0}\n";
+        let parsed = parse_dump(healthy).unwrap();
+        assert!(render_fault_tolerance(&parsed).is_empty());
     }
 
     #[test]

@@ -91,12 +91,16 @@ fn traced_session_dump_passes_schema() {
         }),
     )
     .unwrap();
-    let jsonl = match frame::read_frame(&mut read).unwrap().expect("reply") {
-        Message::TelemetryDump(d) => {
-            assert!(!d.truncated);
-            d.jsonl
+    let jsonl = loop {
+        match frame::read_frame(&mut read).unwrap().expect("reply") {
+            Message::TelemetryDump(d) => {
+                assert!(!d.truncated);
+                break d.jsonl;
+            }
+            // Skip the daemon's per-connection epoch greeting.
+            Message::Hello(_) => continue,
+            other => panic!("expected TelemetryDump, got {other:?}"),
         }
-        other => panic!("expected TelemetryDump, got {other:?}"),
     };
     daemon.shutdown();
 

@@ -43,8 +43,8 @@ mod messages;
 pub mod wire;
 
 pub use messages::{
-    Activate, AdaptivityType, DumpTelemetry, ErrorMsg, Message, Register, RegisterAck,
-    SubmitPoints, TelemetryDump, UtilityReport, UtilityRequest, WirePoint,
+    Activate, AdaptivityType, DumpTelemetry, ErrorMsg, Hello, Message, Register, RegisterAck,
+    Resume, SubmitPoints, TelemetryDump, UtilityReport, UtilityRequest, WirePoint,
 };
 
 use std::sync::mpsc;
@@ -65,25 +65,28 @@ impl DuplexEndpoint {
     ///
     /// # Errors
     ///
-    /// Returns [`harp_types::HarpError::Protocol`] if the peer endpoint was
-    /// dropped.
+    /// Returns [`harp_types::HarpError::Disconnected`] if the peer
+    /// endpoint was dropped — the same classification the Unix-socket
+    /// transport gives a hangup, so reconnect logic behaves identically
+    /// over both.
     pub fn send(&self, msg: &Message) -> harp_types::Result<()> {
         self.tx
             .send(msg.encode())
-            .map_err(|_| harp_types::HarpError::protocol("peer endpoint closed"))
+            .map_err(|_| harp_types::HarpError::disconnected("peer endpoint closed"))
     }
 
     /// Receives the next message, blocking until one arrives.
     ///
     /// # Errors
     ///
-    /// Returns [`harp_types::HarpError::Protocol`] if the peer endpoint was
-    /// dropped or the payload fails to decode.
+    /// Returns [`harp_types::HarpError::Disconnected`] if the peer
+    /// endpoint was dropped, or [`harp_types::HarpError::Protocol`] if the
+    /// payload fails to decode.
     pub fn recv(&self) -> harp_types::Result<Message> {
         let bytes = self
             .rx
             .recv()
-            .map_err(|_| harp_types::HarpError::protocol("peer endpoint closed"))?;
+            .map_err(|_| harp_types::HarpError::disconnected("peer endpoint closed"))?;
         Message::decode(&bytes)
     }
 
@@ -93,14 +96,15 @@ impl DuplexEndpoint {
     ///
     /// # Errors
     ///
-    /// Returns [`harp_types::HarpError::Protocol`] if the peer endpoint was
-    /// dropped or the payload fails to decode.
+    /// Returns [`harp_types::HarpError::Disconnected`] if the peer
+    /// endpoint was dropped, or [`harp_types::HarpError::Protocol`] if the
+    /// payload fails to decode.
     pub fn try_recv(&self) -> harp_types::Result<Option<Message>> {
         match self.rx.try_recv() {
             Ok(bytes) => Message::decode(&bytes).map(Some),
             Err(mpsc::TryRecvError::Empty) => Ok(None),
             Err(mpsc::TryRecvError::Disconnected) => {
-                Err(harp_types::HarpError::protocol("peer endpoint closed"))
+                Err(harp_types::HarpError::disconnected("peer endpoint closed"))
             }
         }
     }
@@ -128,20 +132,23 @@ mod tests {
             .unwrap();
         let got = rm.recv().unwrap();
         assert_eq!(got, Message::UtilityRequest(UtilityRequest { app_id: 7 }));
-        rm.send(&Message::RegisterAck(RegisterAck { app_id: 7 }))
-            .unwrap();
+        rm.send(&Message::RegisterAck(RegisterAck::new(7))).unwrap();
         assert_eq!(
             app.try_recv().unwrap(),
-            Some(Message::RegisterAck(RegisterAck { app_id: 7 }))
+            Some(Message::RegisterAck(RegisterAck::new(7)))
         );
         assert_eq!(app.try_recv().unwrap(), None);
     }
 
     #[test]
-    fn dropped_peer_is_an_error() {
+    fn dropped_peer_is_a_disconnect() {
         let (app, rm) = duplex();
         drop(rm);
-        assert!(app.send(&Message::Exit { app_id: 1 }).is_err());
-        assert!(app.recv().is_err());
+        assert!(app
+            .send(&Message::Exit { app_id: 1 })
+            .unwrap_err()
+            .is_disconnect());
+        assert!(app.recv().unwrap_err().is_disconnect());
+        assert!(app.try_recv().unwrap_err().is_retryable());
     }
 }

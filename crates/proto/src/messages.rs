@@ -67,6 +67,65 @@ pub struct Register {
 pub struct RegisterAck {
     /// The session id assigned by the RM.
     pub app_id: u64,
+    /// Daemon boot epoch the session was (re)registered under. `0` from
+    /// daemons that predate crash recovery (the decoder skips unknown
+    /// fields, so old and new peers interoperate).
+    pub epoch: u64,
+    /// Opaque token the client presents in a [`Resume`] after a disconnect
+    /// to reclaim this session idempotently. `0` means "no resume support".
+    pub resume_token: u64,
+    /// True when this ack answers a [`Resume`] that reclaimed existing
+    /// session state; false for a fresh registration (the client must then
+    /// resubmit its operating points).
+    pub resumed: bool,
+}
+
+impl RegisterAck {
+    /// Ack for a fresh registration without resume support (the pre-recovery
+    /// wire shape; `epoch`/`resume_token`/`resumed` all zero).
+    pub fn new(app_id: u64) -> Self {
+        RegisterAck {
+            app_id,
+            epoch: 0,
+            resume_token: 0,
+            resumed: false,
+        }
+    }
+}
+
+/// Greeting pushed by the daemon as the first frame on every accepted
+/// connection. Carries the daemon's boot epoch so clients can detect a
+/// restart, plus a pre-minted resume token for this connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hello {
+    /// Monotonically increasing daemon boot epoch (bumped on every start
+    /// and on every watchdog-triggered internal restart).
+    pub epoch: u64,
+    /// Token minted for this connection; the daemon also embeds the
+    /// authoritative per-session token in [`RegisterAck`].
+    pub resume_token: u64,
+}
+
+/// Idempotent re-registration after a disconnect (application → RM).
+///
+/// Presents the resume token from the previous [`RegisterAck`]. If the
+/// daemon still (or again, after journal recovery) knows the session, it
+/// re-binds the connection to the existing state and replies with
+/// `RegisterAck { resumed: true }`; otherwise it falls back to a fresh
+/// registration using the carried [`Register`]-equivalent fields and
+/// replies `resumed: false`, telling the client to resubmit its points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Resume {
+    /// Token from the previous registration acknowledgement.
+    pub resume_token: u64,
+    /// Process id of the resuming application.
+    pub pid: u64,
+    /// Application name (for the fresh-registration fallback).
+    pub app_name: String,
+    /// Supported adaptivity type.
+    pub adaptivity: AdaptivityType,
+    /// Whether the application provides its own utility metric.
+    pub provides_utility: bool,
 }
 
 /// One operating point on the wire: the flattened extended resource vector
@@ -179,6 +238,8 @@ pub enum Message {
     Error(ErrorMsg),
     DumpTelemetry(DumpTelemetry),
     TelemetryDump(TelemetryDump),
+    Hello(Hello),
+    Resume(Resume),
 }
 
 impl Message {
@@ -194,6 +255,8 @@ impl Message {
             Message::Error(_) => 8,
             Message::DumpTelemetry(_) => 9,
             Message::TelemetryDump(_) => 10,
+            Message::Hello(_) => 11,
+            Message::Resume(_) => 12,
         }
     }
 
@@ -209,6 +272,9 @@ impl Message {
             }
             Message::RegisterAck(m) => {
                 wire::put_uint_field(&mut payload, 1, m.app_id);
+                wire::put_uint_field(&mut payload, 2, m.epoch);
+                wire::put_uint_field(&mut payload, 3, m.resume_token);
+                wire::put_uint_field(&mut payload, 4, u64::from(m.resumed));
             }
             Message::SubmitPoints(m) => {
                 wire::put_uint_field(&mut payload, 1, m.app_id);
@@ -248,6 +314,17 @@ impl Message {
             Message::TelemetryDump(m) => {
                 wire::put_str_field(&mut payload, 1, &m.jsonl);
                 wire::put_uint_field(&mut payload, 2, u64::from(m.truncated));
+            }
+            Message::Hello(m) => {
+                wire::put_uint_field(&mut payload, 1, m.epoch);
+                wire::put_uint_field(&mut payload, 2, m.resume_token);
+            }
+            Message::Resume(m) => {
+                wire::put_uint_field(&mut payload, 1, m.resume_token);
+                wire::put_uint_field(&mut payload, 2, m.pid);
+                wire::put_str_field(&mut payload, 3, &m.app_name);
+                wire::put_uint_field(&mut payload, 4, m.adaptivity.to_raw());
+                wire::put_uint_field(&mut payload, 5, u64::from(m.provides_utility));
             }
         }
         let mut out = Vec::with_capacity(payload.len() + 8);
@@ -304,15 +381,23 @@ fn decode_payload(discriminant: u64, buf: &mut &[u8]) -> Result<Message> {
             }))
         }
         2 => {
-            let mut app_id = 0u64;
+            let (mut app_id, mut epoch, mut resume_token, mut resumed) = (0u64, 0u64, 0u64, false);
             for_each_field(buf, |field, wiretype, buf| {
                 match (field, wiretype) {
                     (1, WireType::Varint) => app_id = wire::get_varint(buf)?,
+                    (2, WireType::Varint) => epoch = wire::get_varint(buf)?,
+                    (3, WireType::Varint) => resume_token = wire::get_varint(buf)?,
+                    (4, WireType::Varint) => resumed = wire::get_varint(buf)? != 0,
                     (_, w) => wire::skip_field(buf, w)?,
                 }
                 Ok(())
             })?;
-            Ok(Message::RegisterAck(RegisterAck { app_id }))
+            Ok(Message::RegisterAck(RegisterAck {
+                app_id,
+                epoch,
+                resume_token,
+                resumed,
+            }))
         }
         3 => {
             let mut app_id = 0u64;
@@ -439,6 +524,43 @@ fn decode_payload(discriminant: u64, buf: &mut &[u8]) -> Result<Message> {
             })?;
             Ok(Message::TelemetryDump(TelemetryDump { jsonl, truncated }))
         }
+        11 => {
+            let (mut epoch, mut resume_token) = (0u64, 0u64);
+            for_each_field(buf, |field, wiretype, buf| {
+                match (field, wiretype) {
+                    (1, WireType::Varint) => epoch = wire::get_varint(buf)?,
+                    (2, WireType::Varint) => resume_token = wire::get_varint(buf)?,
+                    (_, w) => wire::skip_field(buf, w)?,
+                }
+                Ok(())
+            })?;
+            Ok(Message::Hello(Hello {
+                epoch,
+                resume_token,
+            }))
+        }
+        12 => {
+            let (mut resume_token, mut pid, mut name, mut adapt, mut provides) =
+                (0u64, 0u64, String::new(), 0u64, false);
+            for_each_field(buf, |field, wiretype, buf| {
+                match (field, wiretype) {
+                    (1, WireType::Varint) => resume_token = wire::get_varint(buf)?,
+                    (2, WireType::Varint) => pid = wire::get_varint(buf)?,
+                    (3, WireType::LengthDelimited) => name = wire::get_string(buf)?,
+                    (4, WireType::Varint) => adapt = wire::get_varint(buf)?,
+                    (5, WireType::Varint) => provides = wire::get_varint(buf)? != 0,
+                    (_, w) => wire::skip_field(buf, w)?,
+                }
+                Ok(())
+            })?;
+            Ok(Message::Resume(Resume {
+                resume_token,
+                pid,
+                app_name: name,
+                adaptivity: AdaptivityType::from_raw(adapt)?,
+                provides_utility: provides,
+            }))
+        }
         other => Err(HarpError::protocol(format!(
             "unknown message discriminant {other}"
         ))),
@@ -494,7 +616,24 @@ mod tests {
             adaptivity: AdaptivityType::Scalable,
             provides_utility: true,
         }));
-        round_trip(Message::RegisterAck(RegisterAck { app_id: 9 }));
+        round_trip(Message::RegisterAck(RegisterAck::new(9)));
+        round_trip(Message::RegisterAck(RegisterAck {
+            app_id: 9,
+            epoch: 4,
+            resume_token: 0xdead_beef,
+            resumed: true,
+        }));
+        round_trip(Message::Hello(Hello {
+            epoch: 3,
+            resume_token: 77,
+        }));
+        round_trip(Message::Resume(Resume {
+            resume_token: 77,
+            pid: 4242,
+            app_name: "binpack".into(),
+            adaptivity: AdaptivityType::Scalable,
+            provides_utility: false,
+        }));
         round_trip(Message::SubmitPoints(SubmitPoints {
             app_id: 9,
             smt_widths: vec![2, 1],
@@ -582,8 +721,21 @@ mod tests {
         wire::put_bytes_field(&mut out, 2, &payload);
         assert_eq!(
             Message::decode(&out).unwrap(),
-            Message::RegisterAck(RegisterAck { app_id: 5 })
+            Message::RegisterAck(RegisterAck::new(5))
         );
+    }
+
+    #[test]
+    fn old_register_ack_payload_decodes_with_zero_recovery_fields() {
+        // A pre-recovery daemon only emits field 1; the new decoder must
+        // fill the recovery fields with their compatibility defaults.
+        let mut payload = Vec::new();
+        wire::put_uint_field(&mut payload, 1, 5);
+        let mut out = Vec::new();
+        wire::put_uint_field(&mut out, 1, 2);
+        wire::put_bytes_field(&mut out, 2, &payload);
+        let got = Message::decode(&out).unwrap();
+        assert_eq!(got, Message::RegisterAck(RegisterAck::new(5)));
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //! arbitrary bytes.
 
 use harp_proto::{
-    frame, Activate, AdaptivityType, ErrorMsg, Message, Register, RegisterAck, SubmitPoints,
-    UtilityReport, UtilityRequest, WirePoint,
+    frame, Activate, AdaptivityType, ErrorMsg, Hello, Message, Register, RegisterAck, Resume,
+    SubmitPoints, UtilityReport, UtilityRequest, WirePoint,
 };
 use proptest::prelude::*;
 
@@ -39,7 +39,36 @@ fn arb_message() -> impl Strategy<Value = Message> {
                 provides_utility,
             })
         ),
-        any::<u64>().prop_map(|app_id| Message::RegisterAck(RegisterAck { app_id })),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<bool>()).prop_map(
+            |(app_id, epoch, resume_token, resumed)| Message::RegisterAck(RegisterAck {
+                app_id,
+                epoch,
+                resume_token,
+                resumed,
+            })
+        ),
+        (any::<u64>(), any::<u64>()).prop_map(|(epoch, resume_token)| Message::Hello(Hello {
+            epoch,
+            resume_token,
+        })),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            ".{0,40}",
+            arb_adaptivity(),
+            any::<bool>()
+        )
+            .prop_map(
+                |(resume_token, pid, app_name, adaptivity, provides_utility)| {
+                    Message::Resume(Resume {
+                        resume_token,
+                        pid,
+                        app_name,
+                        adaptivity,
+                        provides_utility,
+                    })
+                }
+            ),
         (
             any::<u64>(),
             proptest::collection::vec(any::<u32>(), 0..4),

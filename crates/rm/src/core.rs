@@ -1,14 +1,21 @@
 //! The transport-agnostic RM state machine.
 
-use harp_alloc::{allocate_warm, hw_threads_for, AllocOption, AllocRequest, SolverKind, WarmStart};
+use crate::journal::{
+    JournalAppObs, JournalPoint, JournalRecord, JournalWriter, Snapshot, SnapshotSession,
+};
+use harp_alloc::{
+    allocate_warm_deadline, hw_threads_for, AllocOption, AllocRequest, SolveDeadline, SolverKind,
+    WarmStart, REFERENCE_ITERS,
+};
 use harp_energy::EnergyAttributor;
 use harp_explore::{ExplorationConfig, Explorer, SampleOutcome, Stage};
 use harp_platform::HardwareDescription;
 use harp_types::{
-    energy_utility_cost, AppId, CoreId, ExtResourceVector, HarpError, HwThreadId, NonFunctional,
-    OperatingPointTable, ResourceVector, Result,
+    energy_utility_cost, AppId, CoreId, ErvShape, ExtResourceVector, HarpError, HwThreadId,
+    NonFunctional, OperatingPointTable, ResourceVector, Result,
 };
 use std::collections::HashMap;
+use std::fmt::Write as _;
 
 /// RM configuration.
 #[derive(Debug, Clone)]
@@ -26,6 +33,19 @@ pub struct RmConfig {
     pub message_cost_ns: u64,
     /// Modelled CPU cost of one allocation solve.
     pub solve_cost_ns: u64,
+    /// Cooperative solver budget per allocation round in subgradient
+    /// iterations (`0` = unbounded). Deterministic, so journal replay takes
+    /// the same degraded/non-degraded path as the live run — the production
+    /// choice for crash-recoverable daemons. On overrun the RM keeps the
+    /// previous feasible allocation, marks the tick degraded
+    /// (`rm.degraded_ticks`) and re-solves next tick.
+    pub solve_deadline_iters: u32,
+    /// Wall-clock solver budget per allocation round in microseconds
+    /// (`0` = disabled). Layers on top of the iteration budget; whichever
+    /// exhausts first wins. Non-deterministic: a replay under different
+    /// load may diverge from the live run, so snapshots (compaction) bound
+    /// the divergence window.
+    pub solve_deadline_us: u64,
 }
 
 impl Default for RmConfig {
@@ -36,6 +56,8 @@ impl Default for RmConfig {
             offline: false,
             message_cost_ns: 300_000,
             solve_cost_ns: 2_000_000,
+            solve_deadline_iters: 0,
+            solve_deadline_us: 0,
         }
     }
 }
@@ -70,6 +92,10 @@ pub struct RmOutput {
     /// less than `solves × 1.0`; the overhead model charges
     /// `solve_cost_ns × solve_work`.
     pub solve_work: f64,
+    /// The solver overran its deadline this round: the previous feasible
+    /// allocation stays applied (new arrivals fall back to whole-machine
+    /// co-allocation) and a full re-solve is retried next tick.
+    pub degraded: bool,
 }
 
 impl RmOutput {
@@ -81,6 +107,7 @@ impl RmOutput {
         }
         self.solves += other.solves;
         self.solve_work += other.solve_work;
+        self.degraded |= other.degraded;
     }
 }
 
@@ -109,7 +136,6 @@ pub struct TickObservations {
 
 struct Session {
     name: String,
-    #[allow(dead_code)]
     provides_utility: bool,
     explorer: Explorer,
     /// Disjoint core envelope this session may use until the next
@@ -119,6 +145,9 @@ struct Session {
     active_erv: Option<ExtResourceVector>,
     samples_since_realloc: u64,
     co_allocated: bool,
+    /// Opaque token a disconnected client presents to reclaim the session
+    /// (0 = resume not supported for this session).
+    resume_token: u64,
 }
 
 /// The HARP RM state machine. See the [crate docs](crate) for the overall
@@ -142,6 +171,25 @@ pub struct RmCore {
     /// Ticks processed so far; scopes telemetry events via
     /// [`harp_obs::set_tick`].
     ticks: u64,
+    /// Attached crash-recovery journal (None = journaling off).
+    journal: Option<JournalWriter>,
+    /// Records appended since the last compaction.
+    ops_since_compact: u64,
+    /// Compact the journal after this many records (0 = never).
+    compact_every: u64,
+    /// Resume-token → session lookup for idempotent reconnects.
+    resume_tokens: HashMap<u64, AppId>,
+    /// Last activation emitted per app — replayed to a resuming client so
+    /// it re-applies its current allocation without waiting for a round.
+    last_directives: HashMap<AppId, Directive>,
+    /// Highest app id ever registered; survives recovery so a restarted
+    /// frontend never reuses ids.
+    max_app_seen: u64,
+    /// The last allocation round overran its solver deadline; the next
+    /// tick forces a full re-solve even if nothing else changed.
+    pending_resolve: bool,
+    /// Allocation rounds that overran the solver deadline since creation.
+    degraded_ticks: u64,
 }
 
 impl std::fmt::Debug for RmCore {
@@ -168,12 +216,99 @@ impl RmCore {
             profiles: HashMap::new(),
             warm: WarmStart::new(),
             ticks: 0,
+            journal: None,
+            ops_since_compact: 0,
+            compact_every: 0,
+            resume_tokens: HashMap::new(),
+            last_directives: HashMap::new(),
+            max_app_seen: 0,
+            pending_resolve: false,
+            degraded_ticks: 0,
         }
+    }
+
+    /// Rebuilds a core by replaying a journal record sequence through the
+    /// real entry points. With a full (uncompacted) history the result is
+    /// bit-identical to the crashed core — sessions, measured points,
+    /// solver warm-start and exploration state all evolve deterministically
+    /// from the same inputs. A leading [`JournalRecord::Snapshot`] restores
+    /// durable state exactly (profiles, sessions, points, tokens, counters)
+    /// and the allocation is re-derived on the first round.
+    ///
+    /// The recovered core has no journal attached; call
+    /// [`RmCore::attach_journal`] to resume journaling.
+    ///
+    /// # Errors
+    ///
+    /// Propagates replay errors — a journal written by a correct core never
+    /// produces them, so they indicate the records belong to a different
+    /// machine description or configuration.
+    pub fn recover(
+        hw: HardwareDescription,
+        cfg: RmConfig,
+        records: &[JournalRecord],
+    ) -> Result<RmCore> {
+        let mut core = RmCore::new(hw, cfg);
+        for rec in records {
+            core.apply_record(rec)?;
+        }
+        Ok(core)
+    }
+
+    /// Attaches a journal; subsequent successful state changes are appended
+    /// to it. `compact_every` > 0 rewrites the file as one snapshot after
+    /// that many appended records.
+    pub fn attach_journal(&mut self, journal: JournalWriter, compact_every: u64) {
+        self.journal = Some(journal);
+        self.ops_since_compact = 0;
+        self.compact_every = compact_every;
+    }
+
+    /// Detaches and returns the journal, if any (flushed state stays on
+    /// disk).
+    pub fn detach_journal(&mut self) -> Option<JournalWriter> {
+        self.journal.take()
+    }
+
+    /// Mutable access to the attached journal (daemon epoch bumps).
+    pub fn journal_mut(&mut self) -> Option<&mut JournalWriter> {
+        self.journal.as_mut()
+    }
+
+    /// Resolves a resume token to the session it is bound to.
+    pub fn resolve_resume_token(&self, token: u64) -> Option<AppId> {
+        if token == 0 {
+            return None;
+        }
+        self.resume_tokens.get(&token).copied()
+    }
+
+    /// The resume token bound to a session (0 = none).
+    pub fn resume_token_of(&self, app: AppId) -> u64 {
+        self.sessions.get(&app).map_or(0, |s| s.resume_token)
+    }
+
+    /// The last activation emitted for an app (replayed on resume).
+    pub fn last_directive(&self, app: AppId) -> Option<&Directive> {
+        self.last_directives.get(&app)
+    }
+
+    /// Highest app id ever registered on this core (including recovered
+    /// history); frontends seed their id counters past it after a restart.
+    pub fn max_app_seen(&self) -> u64 {
+        self.max_app_seen
     }
 
     /// Number of measurement ticks processed so far.
     pub fn ticks(&self) -> u64 {
         self.ticks
+    }
+
+    /// Allocation rounds that overran the solver deadline and fell back to
+    /// the previous feasible allocation (also surfaced as the
+    /// `rm.degraded_ticks` metric).
+    pub fn degraded_ticks(&self) -> u64 {
+        self.degraded_ticks
     }
 
     /// The RM configuration.
@@ -234,11 +369,35 @@ impl RmCore {
     ///
     /// Returns [`HarpError::Other`] on duplicate registration.
     pub fn register(&mut self, app: AppId, name: &str, provides_utility: bool) -> Result<RmOutput> {
+        self.register_resumable(app, name, provides_utility, 0)
+    }
+
+    /// [`RmCore::register`] with a resume token bound to the session: a
+    /// disconnected client presenting the token later reclaims this exact
+    /// session instead of registering fresh (crash-recovery protocol,
+    /// DESIGN.md §10).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarpError::Other`] on duplicate registration or a token
+    /// already bound to another session.
+    pub fn register_resumable(
+        &mut self,
+        app: AppId,
+        name: &str,
+        provides_utility: bool,
+        resume_token: u64,
+    ) -> Result<RmOutput> {
         let _sp = harp_obs::span(harp_obs::Subsystem::Rm, "register")
             .field("app", app.0)
             .field("name", name.to_string());
         if self.sessions.contains_key(&app) {
             return Err(HarpError::other(format!("{app} already registered")));
+        }
+        if resume_token != 0 && self.resume_tokens.contains_key(&resume_token) {
+            return Err(HarpError::other(format!(
+                "resume token {resume_token} already bound"
+            )));
         }
         let mut explorer = Explorer::new(
             &self.hw.erv_shape(),
@@ -258,9 +417,22 @@ impl RmCore {
                 active_erv: None,
                 samples_since_realloc: 0,
                 co_allocated: false,
+                resume_token,
             },
         );
-        self.reallocate()
+        if resume_token != 0 {
+            self.resume_tokens.insert(resume_token, app);
+        }
+        self.max_app_seen = self.max_app_seen.max(app.0);
+        let out = self.reallocate()?;
+        self.journal_append(JournalRecord::Register {
+            app: app.0,
+            name: name.to_string(),
+            provides_utility,
+            resume_token,
+        });
+        self.note_output(&out);
+        Ok(out)
     }
 
     /// The live operating-point table of a managed application.
@@ -336,8 +508,17 @@ impl RmCore {
                 });
             }
         }
+        let journaled: Option<Vec<JournalPoint>> = self
+            .journal
+            .is_some()
+            .then(|| points.iter().map(encode_point).collect());
         session.explorer.seed_measured(points);
-        self.reallocate()
+        let out = self.reallocate()?;
+        if let Some(points) = journaled {
+            self.journal_append(JournalRecord::SubmitPoints { app: app.0, points });
+        }
+        self.note_output(&out);
+        Ok(out)
     }
 
     /// Deregisters an application: its learned profile is persisted (the
@@ -353,14 +534,21 @@ impl RmCore {
         let Some(s) = self.sessions.remove(&app) else {
             return Err(HarpError::not_found(format!("{app} is not registered")));
         };
+        if s.resume_token != 0 {
+            self.resume_tokens.remove(&s.resume_token);
+        }
+        self.last_directives.remove(&app);
         self.profiles.insert(s.name, s.explorer.into_table());
         self.attributor.remove(app);
         self.last_cpu.remove(&app);
-        if self.sessions.is_empty() {
-            Ok(RmOutput::default())
+        let out = if self.sessions.is_empty() {
+            RmOutput::default()
         } else {
-            self.reallocate()
-        }
+            self.reallocate()?
+        };
+        self.journal_append(JournalRecord::Deregister { app: app.0 });
+        self.note_output(&out);
+        Ok(out)
     }
 
     /// Processes one measurement tick (paper §5.1/§5.3): energy
@@ -383,6 +571,24 @@ impl RmCore {
                 sp.set_field("solves", out.solves);
                 sp.set_field("solve_work", out.solve_work);
             }
+        }
+        if let Ok(out) = &out {
+            if self.journal.is_some() {
+                self.journal_append(JournalRecord::Tick {
+                    dt_bits: obs.dt_s.to_bits(),
+                    package_energy_bits: obs.package_energy_j.to_bits(),
+                    apps: obs
+                        .apps
+                        .iter()
+                        .map(|a| JournalAppObs {
+                            app: a.app.0,
+                            utility_rate_bits: a.utility_rate.to_bits(),
+                            cpu_time_bits: a.cpu_time.iter().map(|v| v.to_bits()).collect(),
+                        })
+                        .collect(),
+                });
+            }
+            self.note_output(out);
         }
         out
     }
@@ -465,7 +671,9 @@ impl RmCore {
             }
         }
 
-        if want_realloc {
+        // A degraded round leaves the previous allocation in place; retry
+        // the full solve on the next tick even if nothing else changed.
+        if want_realloc || self.pending_resolve {
             out.merge(self.reallocate()?);
         } else {
             for app in retarget {
@@ -474,6 +682,7 @@ impl RmCore {
                         directives: vec![d],
                         solves: 0,
                         solve_work: 0.0,
+                        degraded: false,
                     });
                 }
             }
@@ -512,6 +721,7 @@ impl RmCore {
             directives: Vec::new(),
             solves: 1,
             solve_work: 0.0, // set from the allocation below
+            degraded: false,
         };
         let mut ids: Vec<AppId> = self.sessions.keys().copied().collect();
         ids.sort();
@@ -541,7 +751,22 @@ impl RmCore {
             }
         }
 
-        let allocation = allocate_warm(&requests, hw, self.cfg.solver, &mut self.warm)?;
+        let deadline = self.solve_deadline();
+        let allocation = match allocate_warm_deadline(
+            &requests,
+            hw,
+            self.cfg.solver,
+            &mut self.warm,
+            deadline,
+        ) {
+            Ok(a) => a,
+            Err(HarpError::DeadlineExceeded { .. }) => {
+                drop(sp);
+                return self.degraded_fallback(&ids);
+            }
+            Err(e) => return Err(e),
+        };
+        self.pending_resolve = false;
         out.solve_work = allocation.solve_work;
         let co = allocation.co_allocated;
         if sp.is_active() {
@@ -622,6 +847,325 @@ impl RmCore {
         }
         Ok(out)
     }
+
+    /// The per-round solver budget from the configuration (whichever axis
+    /// exhausts first wins; both zero = unbounded).
+    fn solve_deadline(&self) -> SolveDeadline {
+        match (self.cfg.solve_deadline_iters, self.cfg.solve_deadline_us) {
+            (0, 0) => SolveDeadline::UNBOUNDED,
+            (it, 0) => SolveDeadline::iterations(it),
+            (0, us) => SolveDeadline::within(std::time::Duration::from_micros(us)),
+            (it, us) => {
+                SolveDeadline::within(std::time::Duration::from_micros(us)).and_iterations(it)
+            }
+        }
+    }
+
+    /// The solver overran its deadline: keep the previous feasible
+    /// allocation applied (sessions, envelopes and directives untouched),
+    /// hand any application that never received an activation the whole
+    /// machine co-allocated, and schedule a full re-solve for the next
+    /// tick. The round is marked degraded for the frontend and the
+    /// `rm.degraded_ticks` metric.
+    fn degraded_fallback(&mut self, ids: &[AppId]) -> Result<RmOutput> {
+        self.pending_resolve = true;
+        self.degraded_ticks += 1;
+        harp_obs::metrics::counter("rm.degraded_ticks").inc();
+        if harp_obs::enabled() {
+            harp_obs::instant(harp_obs::Subsystem::Rm, "degraded_tick").field("apps", ids.len());
+        }
+        // The overrun burned up to the configured iteration budget of
+        // solver time; charge that fraction of the reference schedule.
+        let work = if self.cfg.solve_deadline_iters > 0 {
+            (self.cfg.solve_deadline_iters as f64 / REFERENCE_ITERS as f64).min(1.0)
+        } else {
+            1.0
+        };
+        let mut out = RmOutput {
+            directives: Vec::new(),
+            solves: 1,
+            solve_work: work,
+            degraded: true,
+        };
+        let hw = &self.hw;
+        for &app in ids {
+            if self.last_directives.contains_key(&app) {
+                // The previous activation stays applied; nothing to send.
+                continue;
+            }
+            // A new arrival with no prior activation must not be left
+            // hanging until the re-solve: whole machine, co-allocated.
+            let envelope: Vec<CoreId> = (0..hw.num_cores()).map(CoreId).collect();
+            let session = self.sessions.get_mut(&app).expect("session exists");
+            session.envelope = envelope.clone();
+            session.co_allocated = true;
+            session.samples_since_realloc = 0;
+            let erv = full_envelope_erv(&envelope, hw);
+            session.active_erv = Some(erv.clone());
+            out.directives.push(directive_for(app, &erv, &envelope, hw));
+        }
+        Ok(out)
+    }
+
+    /// Appends a record to the attached journal, compacting when due. A
+    /// journal write failure detaches the journal (availability over
+    /// durability) and is surfaced via the `rm.journal_errors` counter.
+    fn journal_append(&mut self, rec: JournalRecord) {
+        let Some(j) = self.journal.as_mut() else {
+            return;
+        };
+        if j.append(&rec).is_err() {
+            harp_obs::metrics::counter("rm.journal_errors").inc();
+            self.journal = None;
+            return;
+        }
+        self.ops_since_compact += 1;
+        if self.compact_every > 0 && self.ops_since_compact >= self.compact_every {
+            self.compact_now();
+        }
+    }
+
+    /// Rewrites the journal as one snapshot of the durable state.
+    pub fn compact_now(&mut self) {
+        let snap = JournalRecord::Snapshot(self.snapshot());
+        if let Some(j) = self.journal.as_mut() {
+            if j.rewrite(std::slice::from_ref(&snap)).is_err() {
+                harp_obs::metrics::counter("rm.journal_errors").inc();
+            } else {
+                harp_obs::metrics::counter("rm.journal_compactions").inc();
+            }
+        }
+        self.ops_since_compact = 0;
+    }
+
+    /// Captures the durable state: stored profiles, live sessions with
+    /// their measured points and resume tokens, and the id/tick counters.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut profiles: Vec<(String, Vec<JournalPoint>)> = self
+            .profiles
+            .iter()
+            .map(|(name, table)| (name.clone(), encode_table(table)))
+            .collect();
+        profiles.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut sessions: Vec<SnapshotSession> = self
+            .sessions
+            .iter()
+            .map(|(app, s)| SnapshotSession {
+                app: app.0,
+                name: s.name.clone(),
+                provides_utility: s.provides_utility,
+                resume_token: s.resume_token,
+                points: encode_table(s.explorer.table()),
+            })
+            .collect();
+        sessions.sort_by_key(|s| s.app);
+        Snapshot {
+            profiles,
+            sessions,
+            max_app_seen: self.max_app_seen,
+            ticks: self.ticks,
+        }
+    }
+
+    /// Replays one journal record through the real entry points.
+    fn apply_record(&mut self, rec: &JournalRecord) -> Result<()> {
+        match rec {
+            JournalRecord::Register {
+                app,
+                name,
+                provides_utility,
+                resume_token,
+            } => {
+                self.register_resumable(AppId(*app), name, *provides_utility, *resume_token)?;
+            }
+            JournalRecord::SubmitPoints { app, points } => {
+                let shape = self.hw.erv_shape();
+                self.submit_points(AppId(*app), decode_points(&shape, points)?)?;
+            }
+            JournalRecord::Deregister { app } => {
+                self.deregister(AppId(*app))?;
+            }
+            JournalRecord::Tick {
+                dt_bits,
+                package_energy_bits,
+                apps,
+            } => {
+                let obs = TickObservations {
+                    dt_s: f64::from_bits(*dt_bits),
+                    package_energy_j: f64::from_bits(*package_energy_bits),
+                    apps: apps
+                        .iter()
+                        .map(|a| AppObservation {
+                            app: AppId(a.app),
+                            utility_rate: f64::from_bits(a.utility_rate_bits),
+                            cpu_time: a.cpu_time_bits.iter().map(|b| f64::from_bits(*b)).collect(),
+                        })
+                        .collect(),
+                };
+                self.tick(&obs)?;
+            }
+            JournalRecord::EpochBump { .. } => {} // daemon-level, not RM state
+            JournalRecord::Snapshot(s) => self.apply_snapshot(s)?,
+        }
+        Ok(())
+    }
+
+    /// Restores durable state from a snapshot through the real register /
+    /// submit paths (so allocation, warm-start and exploration state are
+    /// re-derived consistently).
+    fn apply_snapshot(&mut self, s: &Snapshot) -> Result<()> {
+        let shape = self.hw.erv_shape();
+        for (name, points) in &s.profiles {
+            self.profiles.insert(
+                name.clone(),
+                table_from_points(decode_points(&shape, points)?),
+            );
+        }
+        for sess in &s.sessions {
+            self.register_resumable(
+                AppId(sess.app),
+                &sess.name,
+                sess.provides_utility,
+                sess.resume_token,
+            )?;
+            if !sess.points.is_empty() {
+                self.submit_points(AppId(sess.app), decode_points(&shape, &sess.points)?)?;
+            }
+        }
+        self.max_app_seen = self.max_app_seen.max(s.max_app_seen);
+        self.ticks = self.ticks.max(s.ticks);
+        Ok(())
+    }
+
+    /// Remembers the last directive emitted per app (resume replay).
+    fn note_output(&mut self, out: &RmOutput) {
+        for d in &out.directives {
+            self.last_directives.insert(d.app, d.clone());
+        }
+    }
+
+    /// A deterministic, human-diffable digest of the full RM state. Two
+    /// cores that processed the same op sequence — e.g. a live core and its
+    /// journal-recovered twin — produce identical fingerprints; any state
+    /// divergence (sessions, measured points, envelopes, energy accounting,
+    /// solver counters) shows up as a differing line.
+    pub fn state_fingerprint(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "ticks={} energy_bits={:016x} max_app={}",
+            self.ticks,
+            self.last_package_energy.to_bits(),
+            self.max_app_seen
+        );
+        let _ = writeln!(
+            s,
+            "warm memo_hits={} certified={} full={}",
+            self.warm.memo_hits(),
+            self.warm.certified_exits(),
+            self.warm.full_solves()
+        );
+        let mut apps: Vec<AppId> = self.sessions.keys().copied().collect();
+        apps.sort();
+        for app in apps {
+            let sess = &self.sessions[&app];
+            let _ = writeln!(
+                s,
+                "session {} name={} provides={} token={} stage={:?} co={} since_realloc={}",
+                app.0,
+                sess.name,
+                sess.provides_utility,
+                sess.resume_token,
+                self.session_stage(sess),
+                sess.co_allocated,
+                sess.samples_since_realloc
+            );
+            let _ = writeln!(
+                s,
+                "  envelope={:?} power_bits={:016x}",
+                sess.envelope.iter().map(|c| c.0).collect::<Vec<_>>(),
+                self.attributor.last_power(app).to_bits()
+            );
+            let _ = writeln!(
+                s,
+                "  active_erv={:?}",
+                sess.active_erv.as_ref().map(|e| e.flat())
+            );
+            let _ = writeln!(
+                s,
+                "  cpu_bits={:?}",
+                self.last_cpu
+                    .get(&app)
+                    .map(|v| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>())
+            );
+            for p in encode_table(sess.explorer.table()) {
+                let _ = writeln!(
+                    s,
+                    "  point erv={:?} u={:016x} p={:016x}",
+                    p.erv_flat, p.utility_bits, p.power_bits
+                );
+            }
+            if let Some(d) = self.last_directives.get(&app) {
+                let _ = writeln!(
+                    s,
+                    "  directive erv={:?} cores={:?} threads={:?} par={}",
+                    d.erv.flat(),
+                    d.cores.iter().map(|c| c.0).collect::<Vec<_>>(),
+                    d.hw_threads.iter().map(|t| t.0).collect::<Vec<_>>(),
+                    d.parallelism
+                );
+            }
+        }
+        let mut names: Vec<&String> = self.profiles.keys().collect();
+        names.sort();
+        for name in names {
+            let _ = writeln!(s, "profile {name}");
+            for p in encode_table(&self.profiles[name]) {
+                let _ = writeln!(
+                    s,
+                    "  point erv={:?} u={:016x} p={:016x}",
+                    p.erv_flat, p.utility_bits, p.power_bits
+                );
+            }
+        }
+        s
+    }
+}
+
+/// A point in journal form.
+fn encode_point((erv, nfc): &(ExtResourceVector, NonFunctional)) -> JournalPoint {
+    JournalPoint {
+        erv_flat: erv.flat(),
+        utility_bits: nfc.utility.to_bits(),
+        power_bits: nfc.power.to_bits(),
+    }
+}
+
+/// The measured points of a table, in journal form.
+fn encode_table(table: &OperatingPointTable) -> Vec<JournalPoint> {
+    table
+        .iter_measured()
+        .map(|(_, p)| {
+            encode_point(&(p.erv.clone(), p.nfc)) // reuse the single-point encoding
+        })
+        .collect()
+}
+
+/// Journal points back to typed points against the machine shape.
+fn decode_points(
+    shape: &ErvShape,
+    points: &[JournalPoint],
+) -> Result<Vec<(ExtResourceVector, NonFunctional)>> {
+    points
+        .iter()
+        .map(|p| {
+            let erv = ExtResourceVector::from_flat(shape, &p.erv_flat)?;
+            Ok((
+                erv,
+                NonFunctional::new(f64::from_bits(p.utility_bits), f64::from_bits(p.power_bits)),
+            ))
+        })
+        .collect()
 }
 
 /// Per-kind core counts of a concrete core list.
@@ -1040,6 +1584,288 @@ mod tests {
             w.memo_hits() + w.certified_exits() + w.full_solves() >= 4,
             "warm state not threaded through reallocation"
         );
+    }
+
+    #[test]
+    fn journal_recovery_is_bit_identical_including_future_behavior() {
+        let dir = std::env::temp_dir().join(format!("harp-core-jrnl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("recover.jrnl");
+        let _ = std::fs::remove_file(&path);
+
+        let mut live = rm();
+        live.attach_journal(JournalWriter::open(&path).unwrap(), 0);
+        live.register_resumable(AppId(1), "a", false, 101).unwrap();
+        live.register(AppId(2), "b", true).unwrap();
+        for i in 0..40 {
+            let obs = TickObservations {
+                dt_s: 0.05,
+                package_energy_j: (i as f64 + 1.0) * 1.3,
+                apps: vec![
+                    AppObservation {
+                        app: AppId(1),
+                        utility_rate: 1.0e9 + i as f64,
+                        cpu_time: vec![0.05 * (i + 1) as f64, 0.0],
+                    },
+                    AppObservation {
+                        app: AppId(2),
+                        utility_rate: 2.0e9,
+                        cpu_time: vec![0.0, 0.03 * (i + 1) as f64],
+                    },
+                ],
+            };
+            live.tick(&obs).unwrap();
+        }
+        live.deregister(AppId(2)).unwrap();
+
+        let outcome = crate::journal::read_journal(&path).unwrap();
+        assert!(!outcome.truncated);
+        let mut recovered = RmCore::recover(
+            presets::raptor_lake(),
+            RmConfig::default(),
+            &outcome.records,
+        )
+        .unwrap();
+        assert_eq!(recovered.state_fingerprint(), live.state_fingerprint());
+        assert_eq!(recovered.resolve_resume_token(101), Some(AppId(1)));
+        assert_eq!(recovered.max_app_seen(), 2);
+
+        // Future behavior equality: both cores answer the next ops
+        // identically, proving hidden state (attributor, explorer, warm
+        // start) recovered too.
+        let obs = TickObservations {
+            dt_s: 0.05,
+            package_energy_j: 60.0,
+            apps: vec![AppObservation {
+                app: AppId(1),
+                utility_rate: 1.5e9,
+                cpu_time: vec![2.1, 0.0],
+            }],
+        };
+        let a = live.tick(&obs).unwrap();
+        let b = recovered.tick(&obs).unwrap();
+        assert_eq!(a.directives, b.directives);
+        assert_eq!(live.state_fingerprint(), recovered.state_fingerprint());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn recovery_from_corrupted_tail_drops_only_the_tail() {
+        let dir = std::env::temp_dir().join(format!("harp-core-tail-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tail.jrnl");
+        let _ = std::fs::remove_file(&path);
+
+        let mut live = rm();
+        live.attach_journal(JournalWriter::open(&path).unwrap(), 0);
+        live.register(AppId(1), "a", false).unwrap();
+        live.register(AppId(2), "b", false).unwrap();
+        live.detach_journal();
+
+        // Corrupt the last byte (inside the final record body).
+        let mut bytes = std::fs::read(&path).unwrap();
+        *bytes.last_mut().unwrap() ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let outcome = crate::journal::read_journal(&path).unwrap();
+        assert!(outcome.truncated);
+        assert_eq!(outcome.records.len(), 1);
+        let recovered = RmCore::recover(
+            presets::raptor_lake(),
+            RmConfig::default(),
+            &outcome.records,
+        )
+        .unwrap();
+        // Only the first registration survived — matching a core that never
+        // saw the second.
+        let mut reference = rm();
+        reference.register(AppId(1), "a", false).unwrap();
+        assert_eq!(recovered.state_fingerprint(), reference.state_fingerprint());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compacted_journal_restores_durable_state() {
+        let dir = std::env::temp_dir().join(format!("harp-core-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.jrnl");
+        let _ = std::fs::remove_file(&path);
+
+        let hw = presets::raptor_lake();
+        let shape = hw.erv_shape();
+        let cfg = RmConfig {
+            offline: true,
+            ..Default::default()
+        };
+        let mut live = RmCore::new(hw, cfg.clone());
+        live.attach_journal(JournalWriter::open(&path).unwrap(), 0);
+        live.register_resumable(AppId(1), "snap-app", false, 77)
+            .unwrap();
+        live.submit_points(
+            AppId(1),
+            vec![
+                (
+                    ExtResourceVector::from_flat(&shape, &[0, 4, 0]).unwrap(),
+                    NonFunctional::new(10.0, 30.0),
+                ),
+                (
+                    ExtResourceVector::from_flat(&shape, &[0, 0, 8]).unwrap(),
+                    NonFunctional::new(8.0, 10.0),
+                ),
+            ],
+        )
+        .unwrap();
+        live.compact_now();
+
+        let outcome = crate::journal::read_journal(&path).unwrap();
+        assert!(!outcome.truncated);
+        assert!(outcome
+            .records
+            .iter()
+            .any(|r| matches!(r, JournalRecord::Snapshot(_))));
+        let recovered = RmCore::recover(presets::raptor_lake(), cfg, &outcome.records).unwrap();
+        assert_eq!(recovered.managed_apps(), vec![AppId(1)]);
+        assert_eq!(recovered.resolve_resume_token(77), Some(AppId(1)));
+        assert_eq!(
+            recovered
+                .session_table(AppId(1))
+                .map(|t| t.measured_count()),
+            live.session_table(AppId(1)).map(|t| t.measured_count())
+        );
+        // The re-derived allocation matches: same directive for the session.
+        assert_eq!(
+            recovered.last_directive(AppId(1)),
+            live.last_directive(AppId(1))
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// An offline RM whose two profiled apps compete for P cores: each
+    /// app's cost-optimal point wants 6 of the 8 P cores, so the two-app
+    /// instance is congested and needs subgradient work beyond the first
+    /// iteration — a tight budget overruns deterministically.
+    fn congested_offline_rm(solve_deadline_iters: u32) -> RmCore {
+        let hw = presets::raptor_lake();
+        let shape = hw.erv_shape();
+        let cfg = RmConfig {
+            offline: true,
+            solve_deadline_iters,
+            ..Default::default()
+        };
+        let mut rm = RmCore::new(hw, cfg);
+        let points = || {
+            vec![
+                (
+                    ExtResourceVector::from_flat(&shape, &[0, 6, 0]).unwrap(),
+                    NonFunctional::new(10.0, 50.0),
+                ),
+                (
+                    ExtResourceVector::from_flat(&shape, &[0, 0, 4]).unwrap(),
+                    NonFunctional::new(4.0, 40.0),
+                ),
+            ]
+        };
+        rm.load_profile("a", table_from_points(points()));
+        rm.load_profile("b", table_from_points(points()));
+        rm
+    }
+
+    fn empty_obs() -> TickObservations {
+        TickObservations {
+            dt_s: 0.05,
+            package_energy_j: 1.0,
+            apps: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn deadline_overrun_keeps_previous_allocation() {
+        let mut rm = congested_offline_rm(1);
+        // App 1 alone certifies within the budget and gets its 6-P-core
+        // optimum applied.
+        let out = rm.register(AppId(1), "a", false).unwrap();
+        assert!(!out.degraded);
+        let d1 = rm.last_directive(AppId(1)).unwrap().clone();
+        assert_eq!(d1.erv.cores_of_kind(0), 6);
+
+        // App 2 arrives: the congested two-app solve overruns the 1-iter
+        // budget. App 1's allocation must stay applied untouched and the
+        // newcomer gets the whole machine co-allocated instead of nothing.
+        let out = rm.register(AppId(2), "b", false).unwrap();
+        assert!(out.degraded);
+        assert_eq!(rm.degraded_ticks(), 1);
+        assert_eq!(rm.last_directive(AppId(1)).unwrap(), &d1);
+        assert_eq!(out.directives.len(), 1);
+        let d2 = &out.directives[0];
+        assert_eq!(d2.app, AppId(2));
+        assert_eq!(d2.cores.len(), presets::raptor_lake().num_cores());
+
+        // Every session still holds a feasible envelope and activation.
+        for app in rm.managed_apps() {
+            let s = &rm.sessions[&app];
+            assert!(!s.envelope.is_empty(), "{app} left without an envelope");
+            assert!(s.active_erv.is_some(), "{app} left without an activation");
+        }
+
+        // The overrun is retried every tick while the congestion persists.
+        let out = rm.tick(&empty_obs()).unwrap();
+        assert!(out.degraded);
+        assert_eq!(out.solves, 1);
+        assert_eq!(rm.degraded_ticks(), 2);
+
+        // Once the instance shrinks back to one app the re-solve succeeds
+        // and the pending flag clears: the next tick is solve-free.
+        let out = rm.deregister(AppId(2)).unwrap();
+        assert!(!out.degraded);
+        let out = rm.tick(&empty_obs()).unwrap();
+        assert_eq!(out.solves, 0);
+        assert!(!out.degraded);
+    }
+
+    #[test]
+    fn generous_deadline_matches_unbounded_bitwise() {
+        let drive = |mut rm: RmCore| {
+            rm.register(AppId(1), "a", false).unwrap();
+            rm.register(AppId(2), "b", false).unwrap();
+            for _ in 0..5 {
+                rm.tick(&empty_obs()).unwrap();
+            }
+            rm
+        };
+        let free = drive(congested_offline_rm(0));
+        let budgeted = drive(congested_offline_rm(100_000));
+        assert_eq!(free.state_fingerprint(), budgeted.state_fingerprint());
+        assert_eq!(budgeted.degraded_ticks(), 0);
+    }
+
+    #[test]
+    fn degraded_rounds_replay_bit_identically_from_journal() {
+        let dir = std::env::temp_dir().join(format!("harp-core-degr-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("degraded.jrnl");
+        let _ = std::fs::remove_file(&path);
+
+        let mut live = congested_offline_rm(1);
+        let cfg = live.config().clone();
+        live.attach_journal(JournalWriter::open(&path).unwrap(), 0);
+        // Loaded profiles are not journaled ops; snapshot them so the
+        // replay starts from the same stored-profile state.
+        live.compact_now();
+        live.register(AppId(1), "a", false).unwrap();
+        live.register(AppId(2), "b", false).unwrap();
+        for _ in 0..3 {
+            live.tick(&empty_obs()).unwrap();
+        }
+        assert!(live.degraded_ticks() > 0);
+
+        let outcome = crate::journal::read_journal(&path).unwrap();
+        assert!(!outcome.truncated);
+        let recovered = RmCore::recover(presets::raptor_lake(), cfg, &outcome.records).unwrap();
+        // The iteration budget is deterministic, so the replay takes the
+        // exact same degraded/non-degraded path as the live run.
+        assert_eq!(recovered.state_fingerprint(), live.state_fingerprint());
+        assert_eq!(recovered.degraded_ticks(), live.degraded_ticks());
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

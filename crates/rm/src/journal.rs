@@ -1,0 +1,914 @@
+//! Append-only, checksummed RM state journal.
+//!
+//! Every successful state-changing operation on a journal-attached
+//! [`RmCore`](crate::RmCore) (register, submit-points, deregister, tick) is
+//! appended as one framed record; [`RmCore::recover`](crate::RmCore::recover)
+//! replays the records through the *real* entry points, so the rebuilt core
+//! is bit-identical to the crashed one — including solver warm-start and
+//! exploration state, because those evolve deterministically from the same
+//! op sequence.
+//!
+//! # On-disk format
+//!
+//! ```text
+//! header:  "HARPJRNL" (8 bytes) | version u32 LE
+//! record:  body_len u32 LE | crc32(body) u32 LE | body
+//! body:    record_type u8 | type-specific fields (LE; f64 as raw bits)
+//! ```
+//!
+//! Floats are stored as `f64::to_bits` so replay sees the exact inputs the
+//! live core saw. The reader stops at the first truncated or
+//! checksum-damaged record and returns the valid prefix — a torn tail
+//! (crash mid-append) costs at most the last record, never a panic.
+//!
+//! Periodic compaction rewrites the file as one [`JournalRecord::Snapshot`]
+//! carrying the durable state (profiles, live sessions with their measured
+//! points and resume tokens, counters). A snapshot restores durable state
+//! exactly; in-flight exploration-campaign progress restarts, and the
+//! allocation is re-derived deterministically on the first round after
+//! recovery (see DESIGN.md §10).
+
+use harp_types::{HarpError, Result};
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Journal file magic.
+pub const MAGIC: &[u8; 8] = b"HARPJRNL";
+/// Journal format version.
+pub const VERSION: u32 = 1;
+
+/// Upper bound on a single record body; guards the reader against a
+/// corrupted length field asking for gigabytes.
+const MAX_RECORD_LEN: u32 = 64 * 1024 * 1024;
+
+const T_REGISTER: u8 = 1;
+const T_SUBMIT: u8 = 2;
+const T_DEREGISTER: u8 = 3;
+const T_TICK: u8 = 4;
+const T_EPOCH: u8 = 5;
+const T_SNAPSHOT: u8 = 6;
+
+/// One operating point in journal form: flattened vector plus the raw bit
+/// patterns of its non-functional characteristics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalPoint {
+    /// Flattened extended resource vector.
+    pub erv_flat: Vec<u32>,
+    /// `f64::to_bits` of the utility.
+    pub utility_bits: u64,
+    /// `f64::to_bits` of the power.
+    pub power_bits: u64,
+}
+
+/// One per-app observation of a journaled tick.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalAppObs {
+    /// Raw application id.
+    pub app: u64,
+    /// `f64::to_bits` of the utility rate.
+    pub utility_rate_bits: u64,
+    /// `f64::to_bits` of the cumulative per-kind CPU seconds.
+    pub cpu_time_bits: Vec<u64>,
+}
+
+/// A live session captured in a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotSession {
+    /// Raw application id.
+    pub app: u64,
+    /// Application name.
+    pub name: String,
+    /// Whether the application provides its own utility metric.
+    pub provides_utility: bool,
+    /// Resume token bound to the session (0 = none).
+    pub resume_token: u64,
+    /// The session's measured operating points at snapshot time.
+    pub points: Vec<JournalPoint>,
+}
+
+/// Compacted durable state replacing the journal prefix.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// Stored profiles, keyed by application name (sorted).
+    pub profiles: Vec<(String, Vec<JournalPoint>)>,
+    /// Live sessions at snapshot time (sorted by app id).
+    pub sessions: Vec<SnapshotSession>,
+    /// Highest application id ever registered (daemon id allocation must
+    /// not reuse ids after a restart).
+    pub max_app_seen: u64,
+    /// Measurement ticks processed so far.
+    pub ticks: u64,
+}
+
+/// One journal record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalRecord {
+    /// A successful registration.
+    Register {
+        /// Raw application id.
+        app: u64,
+        /// Application name.
+        name: String,
+        /// Whether the application provides its own utility metric.
+        provides_utility: bool,
+        /// Resume token minted for the session (0 = none).
+        resume_token: u64,
+    },
+    /// A successful (validated) point submission.
+    SubmitPoints {
+        /// Raw application id.
+        app: u64,
+        /// The submitted points.
+        points: Vec<JournalPoint>,
+    },
+    /// A successful deregistration.
+    Deregister {
+        /// Raw application id.
+        app: u64,
+    },
+    /// A processed measurement tick, with the exact observed inputs.
+    Tick {
+        /// `f64::to_bits` of the interval length in seconds.
+        dt_bits: u64,
+        /// `f64::to_bits` of the cumulative package energy in joules.
+        package_energy_bits: u64,
+        /// Per-application observations.
+        apps: Vec<JournalAppObs>,
+    },
+    /// A daemon boot (or watchdog restart) epoch bump.
+    EpochBump {
+        /// The new epoch.
+        epoch: u64,
+    },
+    /// Compacted durable state; replaces all earlier lifecycle records.
+    Snapshot(Snapshot),
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected), table-driven.
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// IEEE CRC-32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Body encoding helpers.
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_u32s(out: &mut Vec<u8>, vs: &[u32]) {
+    put_u32(out, vs.len() as u32);
+    for &v in vs {
+        put_u32(out, v);
+    }
+}
+
+fn put_point(out: &mut Vec<u8>, p: &JournalPoint) {
+    put_u32s(out, &p.erv_flat);
+    put_u64(out, p.utility_bits);
+    put_u64(out, p.power_bits);
+}
+
+fn put_points(out: &mut Vec<u8>, ps: &[JournalPoint]) {
+    put_u32(out, ps.len() as u32);
+    for p in ps {
+        put_point(out, p);
+    }
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.buf.len() < n {
+            return Err(HarpError::other("journal record body truncated"));
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| HarpError::other("journal record holds invalid utf-8"))
+    }
+
+    fn u32s(&mut self) -> Result<Vec<u32>> {
+        let len = self.len_capped()?;
+        let mut v = Vec::with_capacity(len);
+        for _ in 0..len {
+            v.push(self.u32()?);
+        }
+        Ok(v)
+    }
+
+    fn u64s(&mut self) -> Result<Vec<u64>> {
+        let len = self.len_capped()?;
+        let mut v = Vec::with_capacity(len);
+        for _ in 0..len {
+            v.push(self.u64()?);
+        }
+        Ok(v)
+    }
+
+    fn point(&mut self) -> Result<JournalPoint> {
+        Ok(JournalPoint {
+            erv_flat: self.u32s()?,
+            utility_bits: self.u64()?,
+            power_bits: self.u64()?,
+        })
+    }
+
+    fn points(&mut self) -> Result<Vec<JournalPoint>> {
+        let len = self.len_capped()?;
+        let mut v = Vec::with_capacity(len);
+        for _ in 0..len {
+            v.push(self.point()?);
+        }
+        Ok(v)
+    }
+
+    /// A collection length, sanity-capped by the remaining bytes so a
+    /// corrupted count cannot trigger a huge allocation.
+    fn len_capped(&mut self) -> Result<usize> {
+        let len = self.u32()? as usize;
+        if len > self.buf.len() {
+            return Err(HarpError::other("journal collection length exceeds body"));
+        }
+        Ok(len)
+    }
+}
+
+impl JournalRecord {
+    /// Encodes the record body (without the length/CRC frame).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            JournalRecord::Register {
+                app,
+                name,
+                provides_utility,
+                resume_token,
+            } => {
+                out.push(T_REGISTER);
+                put_u64(&mut out, *app);
+                put_str(&mut out, name);
+                out.push(u8::from(*provides_utility));
+                put_u64(&mut out, *resume_token);
+            }
+            JournalRecord::SubmitPoints { app, points } => {
+                out.push(T_SUBMIT);
+                put_u64(&mut out, *app);
+                put_points(&mut out, points);
+            }
+            JournalRecord::Deregister { app } => {
+                out.push(T_DEREGISTER);
+                put_u64(&mut out, *app);
+            }
+            JournalRecord::Tick {
+                dt_bits,
+                package_energy_bits,
+                apps,
+            } => {
+                out.push(T_TICK);
+                put_u64(&mut out, *dt_bits);
+                put_u64(&mut out, *package_energy_bits);
+                put_u32(&mut out, apps.len() as u32);
+                for a in apps {
+                    put_u64(&mut out, a.app);
+                    put_u64(&mut out, a.utility_rate_bits);
+                    put_u32(&mut out, a.cpu_time_bits.len() as u32);
+                    for &b in &a.cpu_time_bits {
+                        put_u64(&mut out, b);
+                    }
+                }
+            }
+            JournalRecord::EpochBump { epoch } => {
+                out.push(T_EPOCH);
+                put_u64(&mut out, *epoch);
+            }
+            JournalRecord::Snapshot(s) => {
+                out.push(T_SNAPSHOT);
+                put_u32(&mut out, s.profiles.len() as u32);
+                for (name, points) in &s.profiles {
+                    put_str(&mut out, name);
+                    put_points(&mut out, points);
+                }
+                put_u32(&mut out, s.sessions.len() as u32);
+                for sess in &s.sessions {
+                    put_u64(&mut out, sess.app);
+                    put_str(&mut out, &sess.name);
+                    out.push(u8::from(sess.provides_utility));
+                    put_u64(&mut out, sess.resume_token);
+                    put_points(&mut out, &sess.points);
+                }
+                put_u64(&mut out, s.max_app_seen);
+                put_u64(&mut out, s.ticks);
+            }
+        }
+        out
+    }
+
+    /// Decodes a record body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarpError::Other`] for truncated bodies or unknown record
+    /// types.
+    pub fn decode(body: &[u8]) -> Result<JournalRecord> {
+        let mut c = Cursor { buf: body };
+        let rec = match c.u8()? {
+            T_REGISTER => JournalRecord::Register {
+                app: c.u64()?,
+                name: c.str()?,
+                provides_utility: c.u8()? != 0,
+                resume_token: c.u64()?,
+            },
+            T_SUBMIT => JournalRecord::SubmitPoints {
+                app: c.u64()?,
+                points: c.points()?,
+            },
+            T_DEREGISTER => JournalRecord::Deregister { app: c.u64()? },
+            T_TICK => {
+                let dt_bits = c.u64()?;
+                let package_energy_bits = c.u64()?;
+                let napps = c.len_capped()?;
+                let mut apps = Vec::with_capacity(napps);
+                for _ in 0..napps {
+                    apps.push(JournalAppObs {
+                        app: c.u64()?,
+                        utility_rate_bits: c.u64()?,
+                        cpu_time_bits: c.u64s()?,
+                    });
+                }
+                JournalRecord::Tick {
+                    dt_bits,
+                    package_energy_bits,
+                    apps,
+                }
+            }
+            T_EPOCH => JournalRecord::EpochBump { epoch: c.u64()? },
+            T_SNAPSHOT => {
+                let nprofiles = c.len_capped()?;
+                let mut profiles = Vec::with_capacity(nprofiles);
+                for _ in 0..nprofiles {
+                    let name = c.str()?;
+                    profiles.push((name, c.points()?));
+                }
+                let nsessions = c.len_capped()?;
+                let mut sessions = Vec::with_capacity(nsessions);
+                for _ in 0..nsessions {
+                    sessions.push(SnapshotSession {
+                        app: c.u64()?,
+                        name: c.str()?,
+                        provides_utility: c.u8()? != 0,
+                        resume_token: c.u64()?,
+                        points: c.points()?,
+                    });
+                }
+                JournalRecord::Snapshot(Snapshot {
+                    profiles,
+                    sessions,
+                    max_app_seen: c.u64()?,
+                    ticks: c.u64()?,
+                })
+            }
+            other => {
+                return Err(HarpError::other(format!(
+                    "unknown journal record type {other}"
+                )))
+            }
+        };
+        if !c.buf.is_empty() {
+            return Err(HarpError::other("journal record has trailing bytes"));
+        }
+        Ok(rec)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer.
+
+/// Appending journal writer.
+///
+/// Records are flushed to the OS after every append, so an in-process crash
+/// (panic, abrupt daemon kill) loses nothing; a machine power cut may cost
+/// the unsynced tail, which the tolerant reader then drops cleanly.
+#[derive(Debug)]
+pub struct JournalWriter {
+    path: PathBuf,
+    out: BufWriter<File>,
+    records_written: u64,
+    last_epoch: u64,
+    /// Watchdog fence: when the shared generation no longer matches this
+    /// writer's, the writer has been superseded by a recovered core and
+    /// silently drops appends (an orphaned wedged thread must not interleave
+    /// bytes with its replacement).
+    fence: Option<(Arc<AtomicU64>, u64)>,
+}
+
+impl JournalWriter {
+    /// Opens (creating or appending) the journal at `path`. A fresh file
+    /// gets the header; an existing file is scanned so the writer resumes
+    /// after the last valid record, truncating a torn tail if present.
+    pub fn open(path: impl AsRef<Path>) -> Result<JournalWriter> {
+        let path = path.as_ref().to_path_buf();
+        let existing = if path.exists() {
+            read_journal(&path).ok() // unreadable header: start fresh
+        } else {
+            None
+        };
+        let (file, records_written, last_epoch) = match existing {
+            Some(outcome) => {
+                let file = OpenOptions::new().read(true).write(true).open(&path)?;
+                // Drop a torn tail so new appends start on a record boundary.
+                file.set_len(outcome.valid_bytes)?;
+                let last_epoch = last_epoch(&outcome.records);
+                (file, outcome.records.len() as u64, last_epoch)
+            }
+            None => {
+                let mut file = OpenOptions::new()
+                    .create(true)
+                    .write(true)
+                    .truncate(true)
+                    .open(&path)?;
+                file.write_all(MAGIC)?;
+                file.write_all(&VERSION.to_le_bytes())?;
+                file.flush()?;
+                (file, 0, 0)
+            }
+        };
+        use std::io::Seek;
+        let mut file = file;
+        file.seek(std::io::SeekFrom::End(0))?;
+        Ok(JournalWriter {
+            path,
+            out: BufWriter::new(file),
+            records_written,
+            last_epoch,
+            fence: None,
+        })
+    }
+
+    /// Attaches a supersession fence (see the field docs).
+    pub fn set_fence(&mut self, fence: Arc<AtomicU64>, generation: u64) {
+        self.fence = Some((fence, generation));
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records appended by this writer (plus valid pre-existing ones).
+    pub fn records_written(&self) -> u64 {
+        self.records_written
+    }
+
+    /// The last epoch this journal carries.
+    pub fn last_epoch(&self) -> u64 {
+        self.last_epoch
+    }
+
+    /// Appends one record and flushes it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarpError::Io`] on write failure. A fenced-out writer
+    /// silently succeeds without writing.
+    pub fn append(&mut self, rec: &JournalRecord) -> Result<()> {
+        if let Some((fence, generation)) = &self.fence {
+            if fence.load(Ordering::SeqCst) != *generation {
+                return Ok(());
+            }
+        }
+        let body = rec.encode();
+        self.out.write_all(&(body.len() as u32).to_le_bytes())?;
+        self.out.write_all(&crc32(&body).to_le_bytes())?;
+        self.out.write_all(&body)?;
+        self.out.flush()?;
+        self.records_written += 1;
+        if let JournalRecord::EpochBump { epoch } = rec {
+            self.last_epoch = *epoch;
+        }
+        Ok(())
+    }
+
+    /// Atomically replaces the journal contents with `records` (compaction):
+    /// writes a sibling temp file and renames it over the journal. The
+    /// epoch carried by the old journal is preserved as a leading
+    /// [`JournalRecord::EpochBump`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarpError::Io`] on write/rename failure; the original
+    /// journal is untouched in that case.
+    pub fn rewrite(&mut self, records: &[JournalRecord]) -> Result<()> {
+        if let Some((fence, generation)) = &self.fence {
+            if fence.load(Ordering::SeqCst) != *generation {
+                return Ok(());
+            }
+        }
+        let tmp = self.path.with_extension("jrnl.tmp");
+        {
+            let mut f = BufWriter::new(
+                OpenOptions::new()
+                    .create(true)
+                    .write(true)
+                    .truncate(true)
+                    .open(&tmp)?,
+            );
+            f.write_all(MAGIC)?;
+            f.write_all(&VERSION.to_le_bytes())?;
+            let mut write_rec = |rec: &JournalRecord| -> Result<()> {
+                let body = rec.encode();
+                f.write_all(&(body.len() as u32).to_le_bytes())?;
+                f.write_all(&crc32(&body).to_le_bytes())?;
+                f.write_all(&body)?;
+                Ok(())
+            };
+            let mut count = 0u64;
+            if self.last_epoch != 0 {
+                write_rec(&JournalRecord::EpochBump {
+                    epoch: self.last_epoch,
+                })?;
+                count += 1;
+            }
+            for rec in records {
+                write_rec(rec)?;
+                count += 1;
+            }
+            f.flush()?;
+            self.records_written = count;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        let mut file = OpenOptions::new().write(true).open(&self.path)?;
+        use std::io::Seek;
+        file.seek(std::io::SeekFrom::End(0))?;
+        self.out = BufWriter::new(file);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader.
+
+/// Result of scanning a journal file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadOutcome {
+    /// The valid record prefix.
+    pub records: Vec<JournalRecord>,
+    /// True when trailing bytes were dropped (torn or corrupted tail).
+    pub truncated: bool,
+    /// File offset just past the last valid record (header included).
+    pub valid_bytes: u64,
+}
+
+/// The last epoch carried by a record sequence (0 when none).
+pub fn last_epoch(records: &[JournalRecord]) -> u64 {
+    records
+        .iter()
+        .rev()
+        .find_map(|r| match r {
+            JournalRecord::EpochBump { epoch } => Some(*epoch),
+            _ => None,
+        })
+        .unwrap_or(0)
+}
+
+/// Reads a journal file, stopping cleanly at the first invalid record.
+///
+/// A missing file yields an empty, non-truncated outcome (first boot).
+///
+/// # Errors
+///
+/// Returns [`HarpError::Io`] on read failure and [`HarpError::Other`] for a
+/// file that is not a HARP journal at all (bad magic or version) — damage
+/// *within* the record stream is never an error, only a shorter prefix.
+pub fn read_journal(path: impl AsRef<Path>) -> Result<ReadOutcome> {
+    let path = path.as_ref();
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(ReadOutcome {
+                records: Vec::new(),
+                truncated: false,
+                valid_bytes: 0,
+            })
+        }
+        Err(e) => return Err(e.into()),
+    }
+    read_journal_bytes(&bytes)
+}
+
+/// [`read_journal`] over an in-memory byte image.
+pub fn read_journal_bytes(bytes: &[u8]) -> Result<ReadOutcome> {
+    if bytes.len() < MAGIC.len() + 4 || &bytes[..MAGIC.len()] != MAGIC {
+        return Err(HarpError::other("not a HARP journal (bad magic)"));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != VERSION {
+        return Err(HarpError::other(format!(
+            "unsupported journal version {version}"
+        )));
+    }
+    let mut records = Vec::new();
+    let mut offset = MAGIC.len() + 4;
+    loop {
+        let rest = &bytes[offset..];
+        if rest.is_empty() {
+            return Ok(ReadOutcome {
+                records,
+                truncated: false,
+                valid_bytes: offset as u64,
+            });
+        }
+        let valid = (|| -> Option<(JournalRecord, usize)> {
+            if rest.len() < 8 {
+                return None;
+            }
+            let len = u32::from_le_bytes(rest[0..4].try_into().unwrap());
+            if len > MAX_RECORD_LEN {
+                return None;
+            }
+            let crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+            let body = rest.get(8..8 + len as usize)?;
+            if crc32(body) != crc {
+                return None;
+            }
+            let rec = JournalRecord::decode(body).ok()?;
+            Some((rec, 8 + len as usize))
+        })();
+        match valid {
+            Some((rec, consumed)) => {
+                records.push(rec);
+                offset += consumed;
+            }
+            None => {
+                return Ok(ReadOutcome {
+                    records,
+                    truncated: true,
+                    valid_bytes: offset as u64,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<JournalRecord> {
+        vec![
+            JournalRecord::EpochBump { epoch: 1 },
+            JournalRecord::Register {
+                app: 1,
+                name: "ep".into(),
+                provides_utility: false,
+                resume_token: 0x1_0000_0001,
+            },
+            JournalRecord::SubmitPoints {
+                app: 1,
+                points: vec![JournalPoint {
+                    erv_flat: vec![0, 4, 0],
+                    utility_bits: 10.0f64.to_bits(),
+                    power_bits: 30.0f64.to_bits(),
+                }],
+            },
+            JournalRecord::Tick {
+                dt_bits: 0.05f64.to_bits(),
+                package_energy_bits: 1.5f64.to_bits(),
+                apps: vec![JournalAppObs {
+                    app: 1,
+                    utility_rate_bits: 1.0e9f64.to_bits(),
+                    cpu_time_bits: vec![0.05f64.to_bits(), 0.0f64.to_bits()],
+                }],
+            },
+            JournalRecord::Deregister { app: 1 },
+        ]
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn records_round_trip() {
+        for rec in sample_records() {
+            let body = rec.encode();
+            assert_eq!(JournalRecord::decode(&body).unwrap(), rec);
+        }
+        let snap = JournalRecord::Snapshot(Snapshot {
+            profiles: vec![(
+                "ep".into(),
+                vec![JournalPoint {
+                    erv_flat: vec![1, 0, 0],
+                    utility_bits: 2.5f64.to_bits(),
+                    power_bits: 1.0f64.to_bits(),
+                }],
+            )],
+            sessions: vec![SnapshotSession {
+                app: 3,
+                name: "mg".into(),
+                provides_utility: true,
+                resume_token: 42,
+                points: vec![],
+            }],
+            max_app_seen: 3,
+            ticks: 17,
+        });
+        assert_eq!(JournalRecord::decode(&snap.encode()).unwrap(), snap);
+    }
+
+    #[test]
+    fn file_round_trip_and_reopen_appends() {
+        let dir = std::env::temp_dir().join(format!("harp-jrnl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.jrnl");
+        let _ = std::fs::remove_file(&path);
+        let records = sample_records();
+        {
+            let mut w = JournalWriter::open(&path).unwrap();
+            for r in &records[..3] {
+                w.append(r).unwrap();
+            }
+            assert_eq!(w.last_epoch(), 1);
+        }
+        {
+            // Reopen resumes after the existing records.
+            let mut w = JournalWriter::open(&path).unwrap();
+            assert_eq!(w.records_written(), 3);
+            for r in &records[3..] {
+                w.append(r).unwrap();
+            }
+        }
+        let outcome = read_journal(&path).unwrap();
+        assert!(!outcome.truncated);
+        assert_eq!(outcome.records, records);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_not_fatal() {
+        let records = sample_records();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        for r in &records {
+            let body = r.encode();
+            bytes.extend_from_slice(&(body.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&crc32(&body).to_le_bytes());
+            bytes.extend_from_slice(&body);
+        }
+        let full = read_journal_bytes(&bytes).unwrap();
+        assert_eq!(full.records.len(), records.len());
+        // Cut the file mid-way through the last record.
+        let cut = bytes.len() - 3;
+        let torn = read_journal_bytes(&bytes[..cut]).unwrap();
+        assert!(torn.truncated);
+        assert_eq!(torn.records, records[..records.len() - 1]);
+    }
+
+    #[test]
+    fn corrupted_byte_stops_at_last_valid_record() {
+        let records = sample_records();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        let mut third_record_start = 0;
+        for (i, r) in records.iter().enumerate() {
+            if i == 2 {
+                third_record_start = bytes.len();
+            }
+            let body = r.encode();
+            bytes.extend_from_slice(&(body.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&crc32(&body).to_le_bytes());
+            bytes.extend_from_slice(&body);
+        }
+        // Flip a byte inside the third record's body.
+        bytes[third_record_start + 10] ^= 0xFF;
+        let outcome = read_journal_bytes(&bytes).unwrap();
+        assert!(outcome.truncated);
+        assert_eq!(outcome.records, records[..2]);
+    }
+
+    #[test]
+    fn non_journal_file_is_an_error() {
+        assert!(read_journal_bytes(b"definitely not a journal").is_err());
+        assert!(read_journal_bytes(b"").is_err());
+    }
+
+    #[test]
+    fn fenced_out_writer_drops_appends() {
+        let dir = std::env::temp_dir().join(format!("harp-jrnl-fence-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fence.jrnl");
+        let _ = std::fs::remove_file(&path);
+        let fence = Arc::new(AtomicU64::new(1));
+        let mut w = JournalWriter::open(&path).unwrap();
+        w.set_fence(fence.clone(), 1);
+        w.append(&JournalRecord::EpochBump { epoch: 1 }).unwrap();
+        fence.store(2, Ordering::SeqCst);
+        w.append(&JournalRecord::Deregister { app: 9 }).unwrap();
+        let outcome = read_journal(&path).unwrap();
+        assert_eq!(outcome.records, vec![JournalRecord::EpochBump { epoch: 1 }]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rewrite_compacts_and_preserves_epoch() {
+        let dir = std::env::temp_dir().join(format!("harp-jrnl-rw-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rewrite.jrnl");
+        let _ = std::fs::remove_file(&path);
+        let mut w = JournalWriter::open(&path).unwrap();
+        for r in sample_records() {
+            w.append(&r).unwrap();
+        }
+        let snap = JournalRecord::Snapshot(Snapshot {
+            max_app_seen: 1,
+            ticks: 1,
+            ..Default::default()
+        });
+        w.rewrite(std::slice::from_ref(&snap)).unwrap();
+        // Appends after a rewrite keep working.
+        w.append(&JournalRecord::Register {
+            app: 2,
+            name: "post".into(),
+            provides_utility: false,
+            resume_token: 0,
+        })
+        .unwrap();
+        let outcome = read_journal(&path).unwrap();
+        assert!(!outcome.truncated);
+        assert_eq!(outcome.records.len(), 3);
+        assert_eq!(outcome.records[0], JournalRecord::EpochBump { epoch: 1 });
+        assert_eq!(outcome.records[1], snap);
+        assert_eq!(last_epoch(&outcome.records), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -79,6 +79,18 @@ pub fn all() -> Vec<Scenario> {
             name: "tick_skew_in_core",
             run: tick_skew_in_core,
         },
+        Scenario {
+            name: "kill_daemon_mid_session",
+            run: kill_daemon_mid_session,
+        },
+        Scenario {
+            name: "reconnect_storm",
+            run: reconnect_storm,
+        },
+        Scenario {
+            name: "deadline_overrun",
+            run: deadline_overrun,
+        },
     ]
 }
 
@@ -434,6 +446,290 @@ fn delayed_reordered_submits() -> Result<(), String> {
         .map_err(|e| format!("a exit: {e}"))?;
     b.send(&Message::Exit { app_id: id_b })
         .map_err(|e| format!("b exit: {e}"))?;
+    wait_managed(&daemon, &[], "after exits")?;
+    daemon.shutdown();
+    Ok(())
+}
+
+/// Reconnect policy for recovery scenarios: fast retries, generous budget
+/// (the daemon stays down for a macroscopic moment while we restart it).
+fn recovery_policy() -> libharp::ReconnectPolicy {
+    libharp::ReconnectPolicy::new(Duration::from_millis(2), Duration::from_millis(50), 500)
+}
+
+fn temp_journal(tag: &str) -> PathBuf {
+    let n = NEXT_SOCKET.fetch_add(1, Ordering::SeqCst);
+    let path = std::env::temp_dir().join(format!(
+        "harp-chaos-{}-{n}-{tag}.journal",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// Polls a reconnecting session until `cond` holds, failing after 10s.
+fn poll_until(
+    session: &mut HarpSession<UnixTransport>,
+    mut cond: impl FnMut(&HarpSession<UnixTransport>) -> bool,
+    what: &str,
+) -> Result<(), String> {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        session
+            .poll(|| 0.0)
+            .map_err(|e| format!("{what}: poll: {e}"))?;
+        if cond(session) {
+            return Ok(());
+        }
+        if Instant::now() >= deadline {
+            return Err(format!("{what}: condition never held"));
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// The full crash-recovery story (ISSUE 5 acceptance): kill the daemon
+/// under a live session, restart it from the journal, and prove the client
+/// reconnects with backoff, resumes idempotently, and ends up with a
+/// bit-identical allocation — while staying degraded (old grant applied)
+/// for the whole outage.
+fn kill_daemon_mid_session() -> Result<(), String> {
+    let n = NEXT_SOCKET.fetch_add(1, Ordering::SeqCst);
+    let socket = std::env::temp_dir().join(format!(
+        "harp-chaos-{}-{n}-kill-mid.sock",
+        std::process::id()
+    ));
+    let journal = temp_journal("kill-mid");
+    let hw = HardwareDescription::raptor_lake();
+    let daemon = HarpDaemon::start(DaemonConfig::new(&socket, hw.clone()).with_journal(&journal))
+        .map_err(|e| format!("daemon start: {e}"))?;
+
+    let shape = hw.erv_shape();
+    let cfg = SessionConfig::new("phoenix", AdaptivityType::Scalable)
+        .with_points(vec![2, 1], points(&shape));
+    let socket_cl = socket.clone();
+    let mut session = HarpSession::connect_with_reconnect(
+        move || UnixTransport::connect(&socket_cl),
+        cfg,
+        recovery_policy(),
+    )
+    .map_err(|e| format!("register: {e}"))?;
+    let id = session.app_id();
+    poll_until(
+        &mut session,
+        |s| s.allocation().current().is_some_and(|a| a.parallelism == 8),
+        "pre-kill activation",
+    )?;
+    let before = session.allocation().current().unwrap();
+    let epoch_before = session.epoch();
+
+    daemon.kill();
+    // The outage is observable: Degraded, with the old grant still applied.
+    poll_until(
+        &mut session,
+        |s| s.state() == libharp::SessionState::Degraded,
+        "degraded state",
+    )?;
+    if session.allocation().current().as_ref() != Some(&before) {
+        return Err("degraded session dropped its applied allocation".into());
+    }
+
+    // Restart from the journal; the client must resume on its own.
+    let daemon = HarpDaemon::start(DaemonConfig::new(&socket, hw).with_journal(&journal))
+        .map_err(|e| format!("daemon restart: {e}"))?;
+    if daemon.epoch() < epoch_before + 1 {
+        return Err(format!(
+            "epoch did not bump: {} -> {}",
+            epoch_before,
+            daemon.epoch()
+        ));
+    }
+    poll_until(
+        &mut session,
+        |s| s.state() == libharp::SessionState::Connected,
+        "reconnect",
+    )?;
+    if session.app_id() != id {
+        return Err(format!(
+            "resume was not idempotent: id {} became {}",
+            id,
+            session.app_id()
+        ));
+    }
+    if session.epoch() <= epoch_before {
+        return Err("client never observed the new epoch".into());
+    }
+    // The replayed activation is bit-identical to the pre-kill one.
+    poll_until(
+        &mut session,
+        |s| s.allocation().current().as_ref() == Some(&before),
+        "replayed allocation",
+    )?;
+    // Exactly one session: the resume reclaimed, not duplicated.
+    wait_managed(&daemon, &[id], "after resume")?;
+    session.exit().map_err(|e| format!("exit: {e}"))?;
+    wait_managed(&daemon, &[], "after exit")?;
+    daemon.shutdown();
+    let _ = std::fs::remove_file(&journal);
+    Ok(())
+}
+
+/// Many clients lose the daemon at once and all storm back: every one must
+/// resume its own session (no duplicates, no lost sessions) and end with
+/// the allocation it held before the crash.
+fn reconnect_storm() -> Result<(), String> {
+    const CLIENTS: usize = 5;
+    let n = NEXT_SOCKET.fetch_add(1, Ordering::SeqCst);
+    let socket =
+        std::env::temp_dir().join(format!("harp-chaos-{}-{n}-storm.sock", std::process::id()));
+    let journal = temp_journal("storm");
+    let hw = HardwareDescription::raptor_lake();
+    let daemon = HarpDaemon::start(DaemonConfig::new(&socket, hw.clone()).with_journal(&journal))
+        .map_err(|e| format!("daemon start: {e}"))?;
+    let shape = hw.erv_shape();
+
+    let mut sessions = Vec::new();
+    for i in 0..CLIENTS {
+        let cfg = SessionConfig::new(format!("storm-{i}"), AdaptivityType::Scalable)
+            .with_points(vec![2, 1], points(&shape));
+        let socket_cl = socket.clone();
+        // Distinct seeds: the point of jitter is that the herd spreads out.
+        let policy = recovery_policy().with_seed(0x57AB + i as u64);
+        let session = HarpSession::connect_with_reconnect(
+            move || UnixTransport::connect(&socket_cl),
+            cfg,
+            policy,
+        )
+        .map_err(|e| format!("client {i} register: {e}"))?;
+        sessions.push(session);
+    }
+    let mut ids: Vec<u64> = sessions.iter().map(|s| s.app_id()).collect();
+    ids.sort_unstable();
+    for (i, s) in sessions.iter_mut().enumerate() {
+        poll_until(s, |s| s.allocation().current().is_some(), "storm warmup")
+            .map_err(|e| format!("client {i}: {e}"))?;
+    }
+    // Registration churn re-allocates as each client arrives; drain until
+    // the whole herd has been quiet for a while so the snapshot below is
+    // the settled state, not a mid-churn directive.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut quiet = 0u32;
+    while quiet < 10 {
+        let mut handled = 0;
+        for s in sessions.iter_mut() {
+            handled += s.poll(|| 0.0).map_err(|e| format!("settle poll: {e}"))?;
+        }
+        quiet = if handled == 0 { quiet + 1 } else { 0 };
+        if Instant::now() >= deadline {
+            return Err("herd never settled before the crash".into());
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let before: Vec<_> = sessions
+        .iter()
+        .map(|s| s.allocation().current().unwrap())
+        .collect();
+
+    daemon.kill();
+    let daemon = HarpDaemon::start(DaemonConfig::new(&socket, hw).with_journal(&journal))
+        .map_err(|e| format!("daemon restart: {e}"))?;
+
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        let mut all_back = true;
+        for s in sessions.iter_mut() {
+            s.poll(|| 0.0).map_err(|e| format!("storm poll: {e}"))?;
+            all_back &= s.state() == libharp::SessionState::Connected;
+        }
+        if all_back {
+            break;
+        }
+        if Instant::now() >= deadline {
+            let states: Vec<_> = sessions.iter().map(|s| s.state()).collect();
+            return Err(format!("storm never settled: {states:?}"));
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // Idempotent resume for the whole herd: the managed set is unchanged.
+    wait_managed(&daemon, &ids, "after storm")?;
+    for (i, (s, b)) in sessions.iter_mut().zip(&before).enumerate() {
+        if s.allocation().current().as_ref() != Some(b) {
+            return Err(format!("client {i}: allocation changed across the crash"));
+        }
+    }
+    for s in sessions {
+        s.exit().map_err(|e| format!("storm exit: {e}"))?;
+    }
+    wait_managed(&daemon, &[], "after storm exits")?;
+    daemon.shutdown();
+    let _ = std::fs::remove_file(&journal);
+    Ok(())
+}
+
+/// A solver deadline overrun mid-arrival: the RM must fall back to the
+/// previous feasible allocation (plus a co-allocated envelope for the
+/// newcomer), count the degraded round, and keep serving — no session is
+/// ever left without an activation.
+fn deadline_overrun() -> Result<(), String> {
+    let n = NEXT_SOCKET.fetch_add(1, Ordering::SeqCst);
+    let socket = std::env::temp_dir().join(format!(
+        "harp-chaos-{}-{n}-deadline.sock",
+        std::process::id()
+    ));
+    let hw = HardwareDescription::raptor_lake();
+    let shape = hw.erv_shape();
+    let mut cfg = DaemonConfig::new(&socket, hw);
+    // One subgradient iteration: enough for a lone app, hopeless for the
+    // congested two-app instance below.
+    cfg.rm.solve_deadline_iters = 1;
+    let daemon = HarpDaemon::start(cfg).map_err(|e| format!("daemon start: {e}"))?;
+    let congested = || {
+        vec![
+            (
+                ExtResourceVector::from_flat(&shape, &[0, 6, 0]).expect("valid flat"),
+                NonFunctional::new(10.0, 50.0),
+            ),
+            (
+                ExtResourceVector::from_flat(&shape, &[0, 0, 4]).expect("valid flat"),
+                NonFunctional::new(4.0, 40.0),
+            ),
+        ]
+    };
+    daemon.load_profile("a", congested());
+    daemon.load_profile("b", congested());
+
+    let mut s1 = HarpSession::connect(
+        UnixTransport::connect(&socket).map_err(|e| format!("s1 connect: {e}"))?,
+        SessionConfig::new("a", AdaptivityType::Scalable),
+    )
+    .map_err(|e| format!("s1 register: {e}"))?;
+    poll_until(&mut s1, |s| s.allocation().current().is_some(), "s1 warmup")?;
+    let s1_before = s1.allocation().current().unwrap();
+
+    // The second arrival pushes the solve past the 1-iteration budget.
+    let mut s2 = HarpSession::connect(
+        UnixTransport::connect(&socket).map_err(|e| format!("s2 connect: {e}"))?,
+        SessionConfig::new("b", AdaptivityType::Scalable),
+    )
+    .map_err(|e| format!("s2 register: {e}"))?;
+    poll_until(
+        &mut s2,
+        |s| s.allocation().current().is_some(),
+        "s2 fallback",
+    )?;
+    if daemon.degraded_ticks() == 0 {
+        return Err("congested solve was not counted as a degraded round".into());
+    }
+    // Degraded mode never clobbers the survivor or starves the newcomer.
+    s1.poll(|| 0.0).map_err(|e| format!("s1 poll: {e}"))?;
+    if s1.allocation().current().as_ref() != Some(&s1_before) {
+        return Err("deadline overrun re-allocated the incumbent".into());
+    }
+    if s2.allocation().current().is_none() {
+        return Err("newcomer left without a feasible allocation".into());
+    }
+    s1.exit().map_err(|e| format!("s1 exit: {e}"))?;
+    s2.exit().map_err(|e| format!("s2 exit: {e}"))?;
     wait_managed(&daemon, &[], "after exits")?;
     daemon.shutdown();
     Ok(())

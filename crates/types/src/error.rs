@@ -2,6 +2,33 @@
 
 use std::fmt;
 
+/// Classification of a failed attempt to reach the daemon control socket.
+///
+/// Produced by `UnixTransport::connect` so that reconnect logic (libharp
+/// backoff) can distinguish retryable failures (daemon restarting) from
+/// fatal ones (wrong permissions) without string matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConnectKind {
+    /// The socket path does not exist yet (daemon not started, or it was
+    /// killed before re-binding). Retryable.
+    SocketMissing,
+    /// The socket file exists but nothing is accepting on it (daemon died
+    /// without unlinking the path, or is mid-restart). Retryable.
+    Refused,
+    /// The caller is not allowed to open the socket. Not retryable.
+    PermissionDenied,
+    /// Any other connect-time failure. Treated as retryable.
+    Other,
+}
+
+impl ConnectKind {
+    /// Whether a connect failure of this kind is worth retrying with backoff.
+    pub fn is_retryable(self) -> bool {
+        !matches!(self, ConnectKind::PermissionDenied)
+    }
+}
+
 /// Errors produced by HARP subsystems.
 ///
 /// One meaningful, well-behaved error type (implements [`std::error::Error`],
@@ -61,6 +88,27 @@ pub enum HarpError {
         /// Stringified `std::io::Error`.
         detail: String,
     },
+    /// The peer hung up: broken pipe, connection reset, or a half-read
+    /// frame. Distinguished from [`HarpError::Io`] so reconnect logic can
+    /// treat it as retryable and clean shutdown can swallow it.
+    Disconnected {
+        /// Stringified cause.
+        detail: String,
+    },
+    /// Establishing a connection to the daemon failed, with a typed
+    /// classification of why (see [`ConnectKind`]).
+    Connect {
+        /// What class of connect failure this was.
+        kind: ConnectKind,
+        /// Stringified cause.
+        detail: String,
+    },
+    /// A cooperative deadline elapsed before the operation finished
+    /// (e.g. the allocation solver exceeded its per-tick budget).
+    DeadlineExceeded {
+        /// What was being attempted and which budget was exhausted.
+        detail: String,
+    },
     /// Any other error.
     Other {
         /// Free-form description.
@@ -86,6 +134,63 @@ impl HarpError {
     /// Shorthand constructor for [`HarpError::NotFound`].
     pub fn not_found(what: impl Into<String>) -> Self {
         HarpError::NotFound { what: what.into() }
+    }
+
+    /// Shorthand constructor for [`HarpError::Disconnected`].
+    pub fn disconnected(detail: impl Into<String>) -> Self {
+        HarpError::Disconnected {
+            detail: detail.into(),
+        }
+    }
+
+    /// Shorthand constructor for [`HarpError::DeadlineExceeded`].
+    pub fn deadline(detail: impl Into<String>) -> Self {
+        HarpError::DeadlineExceeded {
+            detail: detail.into(),
+        }
+    }
+
+    /// Classifies a connect-time `std::io::Error` into a typed
+    /// [`HarpError::Connect`]. Used by transports when dialing the daemon.
+    pub fn from_connect_io(err: &std::io::Error) -> Self {
+        use std::io::ErrorKind;
+        let kind = match err.kind() {
+            ErrorKind::NotFound => ConnectKind::SocketMissing,
+            ErrorKind::ConnectionRefused => ConnectKind::Refused,
+            ErrorKind::PermissionDenied => ConnectKind::PermissionDenied,
+            _ => ConnectKind::Other,
+        };
+        HarpError::Connect {
+            kind,
+            detail: err.to_string(),
+        }
+    }
+
+    /// Whether this error means the peer went away mid-conversation
+    /// (as opposed to a local or semantic failure).
+    pub fn is_disconnect(&self) -> bool {
+        matches!(self, HarpError::Disconnected { .. })
+    }
+
+    /// The connect classification, when this is a [`HarpError::Connect`].
+    pub fn connect_kind(&self) -> Option<ConnectKind> {
+        match self {
+            HarpError::Connect { kind, .. } => Some(*kind),
+            _ => None,
+        }
+    }
+
+    /// Whether a reconnect loop should keep retrying after this error.
+    ///
+    /// Retryable: every [`HarpError::Disconnected`], and every
+    /// [`HarpError::Connect`] except `PermissionDenied`. Everything else
+    /// (protocol violations, shape mismatches, ...) is fatal.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            HarpError::Disconnected { .. } => true,
+            HarpError::Connect { kind, .. } => kind.is_retryable(),
+            _ => false,
+        }
     }
 }
 
@@ -113,6 +218,19 @@ impl fmt::Display for HarpError {
             HarpError::Description { detail } => write!(f, "description error: {detail}"),
             HarpError::Numeric { detail } => write!(f, "numeric error: {detail}"),
             HarpError::Io { detail } => write!(f, "i/o error: {detail}"),
+            HarpError::Disconnected { detail } => write!(f, "disconnected: {detail}"),
+            HarpError::Connect { kind, detail } => {
+                let what = match kind {
+                    ConnectKind::SocketMissing => "socket missing",
+                    ConnectKind::Refused => "connection refused",
+                    ConnectKind::PermissionDenied => "permission denied",
+                    ConnectKind::Other => "connect failed",
+                };
+                write!(f, "{what}: {detail}")
+            }
+            HarpError::DeadlineExceeded { detail } => {
+                write!(f, "deadline exceeded: {detail}")
+            }
             HarpError::Other { detail } => write!(f, "{detail}"),
         }
     }
@@ -122,8 +240,20 @@ impl std::error::Error for HarpError {}
 
 impl From<std::io::Error> for HarpError {
     fn from(err: std::io::Error) -> Self {
-        HarpError::Io {
-            detail: err.to_string(),
+        use std::io::ErrorKind;
+        match err.kind() {
+            // Peer-went-away kinds become the retryable `Disconnected`
+            // so transports don't have to re-classify stringified errors.
+            ErrorKind::BrokenPipe
+            | ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::NotConnected
+            | ErrorKind::UnexpectedEof => HarpError::Disconnected {
+                detail: err.to_string(),
+            },
+            _ => HarpError::Io {
+                detail: err.to_string(),
+            },
         }
     }
 }
@@ -155,6 +285,54 @@ mod tests {
         let e: HarpError = io.into();
         assert!(matches!(e, HarpError::Io { .. }));
         assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn hangup_io_kinds_become_disconnected() {
+        for kind in [
+            std::io::ErrorKind::BrokenPipe,
+            std::io::ErrorKind::ConnectionReset,
+            std::io::ErrorKind::ConnectionAborted,
+            std::io::ErrorKind::NotConnected,
+            std::io::ErrorKind::UnexpectedEof,
+        ] {
+            let e: HarpError = std::io::Error::from(kind).into();
+            assert!(e.is_disconnect(), "{kind:?} should map to Disconnected");
+            assert!(e.is_retryable());
+        }
+        let e: HarpError = std::io::Error::from(std::io::ErrorKind::InvalidData).into();
+        assert!(matches!(e, HarpError::Io { .. }));
+        assert!(!e.is_retryable());
+    }
+
+    #[test]
+    fn connect_io_classification() {
+        let cases = [
+            (std::io::ErrorKind::NotFound, ConnectKind::SocketMissing),
+            (std::io::ErrorKind::ConnectionRefused, ConnectKind::Refused),
+            (
+                std::io::ErrorKind::PermissionDenied,
+                ConnectKind::PermissionDenied,
+            ),
+            (std::io::ErrorKind::TimedOut, ConnectKind::Other),
+        ];
+        for (io_kind, want) in cases {
+            let e = HarpError::from_connect_io(&std::io::Error::from(io_kind));
+            assert_eq!(e.connect_kind(), Some(want));
+            assert_eq!(
+                e.is_retryable(),
+                want != ConnectKind::PermissionDenied,
+                "retryability for {want:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn deadline_shorthand_and_display() {
+        let e = HarpError::deadline("solver budget 2ms");
+        assert!(matches!(e, HarpError::DeadlineExceeded { .. }));
+        assert!(e.to_string().starts_with("deadline exceeded"));
+        assert!(!e.is_retryable());
     }
 
     #[test]

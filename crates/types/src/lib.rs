@@ -49,7 +49,7 @@ pub mod pareto;
 mod rvec;
 
 pub use cost::{energy_utility_cost, NormalizedCost};
-pub use error::HarpError;
+pub use error::{ConnectKind, HarpError};
 pub use ids::{AppId, CoreId, CoreKind, HwThreadId};
 pub use ops::{NonFunctional, OpId, OperatingPoint, OperatingPointTable};
 pub use rvec::{ErvShape, ExtResourceVector, ResourceVector};

@@ -11,7 +11,9 @@
 //! harp-trace --socket /run/harp.sock --metrics
 //! ```
 
-use harp_obs::render::{parse_dump, render_metrics, render_span_tree, render_tick_table};
+use harp_obs::render::{
+    parse_dump, render_fault_tolerance, render_metrics, render_span_tree, render_tick_table,
+};
 use harp_obs::schema::validate_dump;
 use harp_proto::{frame, DumpTelemetry, Message};
 use std::os::unix::net::UnixStream;
@@ -59,16 +61,21 @@ fn fetch_live(socket: &str, include_metrics: bool) -> Result<String, String> {
         &Message::DumpTelemetry(DumpTelemetry { include_metrics }),
     )
     .map_err(|e| format!("send DumpTelemetry: {e}"))?;
-    match frame::read_frame(&mut read) {
-        Ok(Some(Message::TelemetryDump(d))) => {
-            if d.truncated {
-                eprintln!("note: dump truncated by the daemon (8 MiB cap)");
+    loop {
+        match frame::read_frame(&mut read) {
+            Ok(Some(Message::TelemetryDump(d))) => {
+                if d.truncated {
+                    eprintln!("note: dump truncated by the daemon (8 MiB cap)");
+                }
+                return Ok(d.jsonl);
             }
-            Ok(d.jsonl)
+            // A crash-recoverable daemon greets every connection with its
+            // boot epoch before serving requests.
+            Ok(Some(Message::Hello(_))) => continue,
+            Ok(Some(other)) => return Err(format!("unexpected reply: {other:?}")),
+            Ok(None) => return Err("daemon closed the connection without replying".into()),
+            Err(e) => return Err(format!("read reply: {e}")),
         }
-        Ok(Some(other)) => Err(format!("unexpected reply: {other:?}")),
-        Ok(None) => Err("daemon closed the connection without replying".into()),
-        Err(e) => Err(format!("read reply: {e}")),
     }
 }
 
@@ -92,6 +99,11 @@ fn run() -> Result<(), String> {
     print!("{}", render_span_tree(&dump));
     println!("\n== per-tick timings ==");
     print!("{}", render_tick_table(&dump));
+    let faults = render_fault_tolerance(&dump);
+    if !faults.is_empty() {
+        println!("\n== fault tolerance ==");
+        print!("{faults}");
+    }
     if !dump.metrics.is_empty() {
         println!("\n== metrics ==");
         print!("{}", render_metrics(&dump));

@@ -37,7 +37,7 @@ fn registration_points_activation_flow_over_protocol() {
                     rm.register(id, &reg.app_name, reg.provides_utility)
                         .expect("register");
                     rm_side
-                        .send(&Message::RegisterAck(RegisterAck { app_id: id.raw() }))
+                        .send(&Message::RegisterAck(RegisterAck::new(id.raw())))
                         .unwrap();
                 }
                 Message::SubmitPoints(sp) => {
@@ -226,6 +226,109 @@ fn daemon_allocation_matches_in_process_run_bitwise() {
 
     session.exit().unwrap();
     daemon.shutdown();
+}
+
+/// Crash recovery end to end: a journaled daemon is killed mid-session and
+/// restarted from its journal; the client (connected with a reconnect
+/// policy) rides out the outage in degraded mode with its last activation
+/// still applied, resumes idempotently under its token, and the replayed
+/// allocation is bit-identical to the pre-crash one.
+#[cfg(unix)]
+#[test]
+fn killed_daemon_restart_resumes_client_with_bit_identical_allocation() {
+    use harp::daemon::{DaemonConfig, HarpDaemon, UnixTransport};
+    use harp::libharp::{ReconnectPolicy, SessionState};
+    use std::time::{Duration, Instant};
+
+    let hw = HardwareDescription::raptor_lake();
+    let shape = hw.erv_shape();
+    let pid = std::process::id();
+    let socket = std::env::temp_dir().join(format!("harp-recover-{pid}.sock"));
+    let journal = std::env::temp_dir().join(format!("harp-recover-{pid}.journal"));
+    let _ = std::fs::remove_file(&journal);
+
+    let daemon =
+        HarpDaemon::start(DaemonConfig::new(&socket, hw.clone()).with_journal(&journal)).unwrap();
+    let epoch_before = daemon.epoch();
+
+    let points = vec![
+        (
+            ExtResourceVector::from_flat(&shape, &[0, 4, 0]).unwrap(),
+            NonFunctional::new(3.0e10, 40.0),
+        ),
+        (
+            ExtResourceVector::from_flat(&shape, &[0, 0, 8]).unwrap(),
+            NonFunctional::new(2.5e10, 15.0),
+        ),
+    ];
+    let sock = socket.clone();
+    let mut session = HarpSession::connect_with_reconnect(
+        move || UnixTransport::connect(&sock).map_err(Into::into),
+        SessionConfig::new("survivor", AdaptivityType::Scalable).with_points(vec![2, 1], points),
+        ReconnectPolicy::new(Duration::from_millis(2), Duration::from_millis(50), 500),
+    )
+    .unwrap();
+    let app_id = session.app_id();
+
+    // Settle on the post-submission allocation (8 E-core threads).
+    let poll_until =
+        |session: &mut HarpSession<UnixTransport>,
+         what: &str,
+         mut cond: Box<dyn FnMut(&mut HarpSession<UnixTransport>) -> bool>| {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                let _ = session.poll(|| 0.0);
+                if cond(session) {
+                    break;
+                }
+                assert!(Instant::now() < deadline, "timed out waiting for {what}");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        };
+    poll_until(
+        &mut session,
+        "first allocation",
+        Box::new(|s| s.allocation().current().is_some_and(|a| a.parallelism == 8)),
+    );
+    let before = session.allocation().current().expect("allocation");
+
+    // Crash: connections severed, journal kept. The session degrades but
+    // keeps the last activation applied.
+    daemon.kill();
+    poll_until(
+        &mut session,
+        "degraded state",
+        Box::new(|s| s.state() == SessionState::Degraded),
+    );
+    assert_eq!(
+        session.allocation().current(),
+        Some(before.clone()),
+        "degraded session must keep the last activation applied"
+    );
+
+    // Restart from the same journal: epoch bumps, the session resumes
+    // under its token and replays the identical allocation.
+    let daemon = HarpDaemon::start(DaemonConfig::new(&socket, hw).with_journal(&journal)).unwrap();
+    assert!(daemon.epoch() > epoch_before, "boot epoch must increase");
+    poll_until(
+        &mut session,
+        "reconnect",
+        Box::new(|s| s.state() == SessionState::Connected),
+    );
+    assert_eq!(session.app_id(), app_id, "resume must keep the session id");
+    assert!(
+        session.epoch() > epoch_before,
+        "client must observe the bump"
+    );
+    poll_until(
+        &mut session,
+        "replayed allocation",
+        Box::new(move |s| s.allocation().current() == Some(before.clone())),
+    );
+
+    session.exit().unwrap();
+    daemon.shutdown();
+    let _ = std::fs::remove_file(&journal);
 }
 
 /// End-to-end evaluation shape: on the simulated Raptor Lake, HARP with
