@@ -38,9 +38,13 @@ echo "==> telemetry round trip (traced daemon session, schema check)"
 cargo test -q -p harp-obs --test schema
 cargo test -q -p harp-daemon --test telemetry
 
-echo "==> solver bench smoke (quick mode)"
+echo "==> solver bench smoke (quick mode, parallel determinism check)"
 # Quick sweep into a scratch path: never clobbers the committed
 # BENCH_solver.json (regenerate that with a full `cargo bench` run).
+# Quick mode also runs the 256-app parallel λ-search tier on a 2-thread
+# chunk pool and exits non-zero unless the parallel solve is
+# bit-identical to serial (picks, cost bits, work bits, outcome, and an
+# 8-tick warm-started sequence).
 mkdir -p target
 HARP_SOLVER_BENCH_QUICK=1 \
     HARP_SOLVER_BENCH_JSON="$PWD/target/BENCH_solver_smoke.json" \

@@ -1,0 +1,370 @@
+//! Minimal, dependency-free chunked worker pool for deterministic
+//! data-parallel loops (a tiny offline stand-in for the slice of `rayon`
+//! this workspace would otherwise use; see `compat/README.md`).
+//!
+//! The design goal is *bit-identical results at any thread count*: the
+//! caller pre-splits its work into an ordered list of chunks (each chunk
+//! typically owning disjoint `&mut` sub-slices of the output buffers), the
+//! pool executes `f(chunk_index, chunk)` exactly once per chunk, and the
+//! caller performs any cross-chunk reduction serially in chunk order after
+//! [`Pool::run_parts`] returns. Which *thread* executes a chunk is
+//! scheduling-dependent; what the chunk computes and where it lands is not.
+//!
+//! A [`Pool`] of `threads` spawns `threads - 1` persistent workers; the
+//! submitting thread claims chunks too, so `Pool::new(1)` degenerates to a
+//! plain serial loop with no synchronization. Worker threads park on a
+//! condvar between jobs, so a dispatch costs roughly one mutex round trip
+//! plus a wakeup — cheap enough to dispatch once per subgradient
+//! iteration of a solver.
+//!
+//! Panic policy: a panicking chunk does not deadlock the pool. The panic
+//! is caught on whichever thread ran the chunk, the job still completes,
+//! and [`Pool::run_parts`] re-panics on the calling thread.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Type-erased pointer to the per-chunk closure of the current job.
+///
+/// Safety: the pointer is only dereferenced while the owning
+/// [`Pool::run`] call is still on the submitter's stack — `run` does not
+/// return until every chunk has executed, and a thread never calls the
+/// closure once its claimed index reaches `num_chunks`.
+#[derive(Clone, Copy)]
+struct TaskPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the closure behind the pointer is `Sync` (shared calls from many
+// threads are fine) and the completion barrier in `Pool::run` bounds its
+// lifetime as described on `TaskPtr`.
+unsafe impl Send for TaskPtr {}
+// SAFETY: see above — `&TaskPtr` only ever hands out `&dyn Fn + Sync`.
+unsafe impl Sync for TaskPtr {}
+
+/// One dispatched job: an erased chunk closure plus its claim/completion
+/// counters. Cloned out of the job slot by each participating thread.
+#[derive(Clone)]
+struct Job {
+    task: TaskPtr,
+    /// Next chunk index to claim (fetch-add).
+    next: Arc<AtomicUsize>,
+    /// Chunks not yet finished; the job is complete at zero.
+    pending: Arc<AtomicUsize>,
+    /// A chunk panicked somewhere; `run` re-panics after completion.
+    poisoned: Arc<AtomicBool>,
+    num_chunks: usize,
+}
+
+struct State {
+    /// Bumped once per dispatched job; workers use it to detect new work.
+    epoch: u64,
+    job: Option<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers wait here for a new epoch.
+    work_cv: Condvar,
+    /// The submitter waits here for `pending == 0`.
+    done_cv: Condvar,
+}
+
+fn lock(m: &Mutex<State>) -> std::sync::MutexGuard<'_, State> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A fixed-size pool of persistent worker threads executing pre-split
+/// chunked jobs with deterministic chunk→slot mapping.
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl Pool {
+    /// Creates a pool of `threads` total execution lanes: `threads - 1`
+    /// spawned workers plus the submitting thread. `threads <= 1` spawns
+    /// nothing and [`Pool::run_parts`] runs serially.
+    pub fn new(threads: usize) -> Pool {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let workers = (1..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name("chunkpool".into())
+                    .spawn(move || worker(&shared))
+                    .expect("spawn chunkpool worker")
+            })
+            .collect();
+        Pool {
+            shared,
+            workers,
+            threads,
+        }
+    }
+
+    /// Total execution lanes (spawned workers + the submitting thread).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Executes `f(index, part)` exactly once for every part, in parallel,
+    /// and returns once all parts completed. Part `i` always receives index
+    /// `i`; results must be written into the parts themselves (or reduced
+    /// by the caller afterwards, in index order, for determinism).
+    ///
+    /// # Panics
+    ///
+    /// Re-panics on the calling thread if any chunk panicked (after the
+    /// whole job has completed, so the pool stays usable).
+    pub fn run_parts<P, F>(&self, parts: Vec<P>, f: F)
+    where
+        P: Send,
+        F: Fn(usize, P) + Sync,
+    {
+        if self.workers.is_empty() || parts.len() <= 1 {
+            for (i, p) in parts.into_iter().enumerate() {
+                f(i, p);
+            }
+            return;
+        }
+        // Each part sits in its own slot; the chunk task claims slot `i`
+        // exactly once (the `next` counter hands every index to exactly one
+        // thread), so the slot mutexes are never contended.
+        let slots: Vec<Mutex<Option<P>>> = parts.into_iter().map(|p| Mutex::new(Some(p))).collect();
+        let task = |i: usize| {
+            let part = slots[i]
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .take()
+                .expect("chunk index claimed exactly once");
+            f(i, part);
+        };
+        self.run(slots.len(), &task);
+    }
+
+    /// Dispatches `task` over `num_chunks` chunk indices and blocks until
+    /// all have executed. The submitting thread participates.
+    fn run(&self, num_chunks: usize, task: &(dyn Fn(usize) + Sync)) {
+        if num_chunks == 0 {
+            return;
+        }
+        // SAFETY: lifetime erasure only — the pointer is dead before `run`
+        // returns (TaskPtr contract), so the borrow it came from outlives
+        // every dereference.
+        let task: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task) };
+        let job = Job {
+            task: TaskPtr(task as *const _),
+            next: Arc::new(AtomicUsize::new(0)),
+            pending: Arc::new(AtomicUsize::new(num_chunks)),
+            poisoned: Arc::new(AtomicBool::new(false)),
+            num_chunks,
+        };
+        {
+            let mut st = lock(&self.shared.state);
+            st.epoch += 1;
+            st.job = Some(job.clone());
+        }
+        self.shared.work_cv.notify_all();
+
+        run_chunks(&self.shared, &job);
+
+        let mut st = lock(&self.shared.state);
+        while job.pending.load(Ordering::Acquire) != 0 {
+            st = self
+                .shared
+                .done_cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        // All chunks have finished; nothing will touch the task pointer
+        // again. Drop the job so its counters are not kept alive.
+        st.job = None;
+        drop(st);
+        if job.poisoned.load(Ordering::Acquire) {
+            panic!("chunkpool: a chunk task panicked");
+        }
+    }
+}
+
+/// Claims and executes chunk indices of `job` until exhausted. Used by both
+/// workers and the submitting thread.
+fn run_chunks(shared: &Shared, job: &Job) {
+    loop {
+        let i = job.next.fetch_add(1, Ordering::Relaxed);
+        if i >= job.num_chunks {
+            return;
+        }
+        // SAFETY: `i < num_chunks`, so the submitter is still blocked in
+        // `Pool::run` and the closure is alive (TaskPtr contract).
+        let task = unsafe { &*job.task.0 };
+        if catch_unwind(AssertUnwindSafe(|| task(i))).is_err() {
+            job.poisoned.store(true, Ordering::Release);
+        }
+        if job.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last chunk: wake the submitter. Taking the state lock first
+            // orders this notify after the submitter either checked
+            // `pending` (and stayed awake) or went to sleep on `done_cv`,
+            // so the wakeup cannot be lost.
+            drop(lock(&shared.state));
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+fn worker(shared: &Arc<Shared>) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = lock(&shared.state);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen {
+                    seen = st.epoch;
+                    if let Some(j) = st.job.clone() {
+                        break j;
+                    }
+                    // Epoch advanced but the job is already gone (it
+                    // completed before this worker woke): keep waiting.
+                }
+                st = shared
+                    .work_cv
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        run_chunks(shared, &job);
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut st = lock(&self.shared.state);
+            st.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Process-global pool cache: returns a pool with exactly `threads` lanes,
+/// reusing the previous one when the size matches (the common case — a
+/// process picks one solver thread count and sticks with it). Sizes `0`
+/// and `1` share the serial singleton.
+pub fn global(threads: usize) -> Arc<Pool> {
+    static CACHE: Mutex<Option<Arc<Pool>>> = Mutex::new(None);
+    let threads = threads.max(1);
+    let mut cache = CACHE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(p) = cache.as_ref() {
+        if p.threads() == threads {
+            return Arc::clone(p);
+        }
+    }
+    let pool = Arc::new(Pool::new(threads));
+    *cache = Some(Arc::clone(&pool));
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parts_execute_exactly_once_in_their_slot() {
+        let p = Pool::new(4);
+        for n in [0usize, 1, 2, 7, 64, 257] {
+            let mut out = vec![0usize; n];
+            let parts: Vec<(usize, &mut usize)> = out.iter_mut().enumerate().collect();
+            p.run_parts(parts, |i, (orig, slot)| {
+                assert_eq!(i, orig);
+                *slot += i * i + 1;
+            });
+            let want: Vec<usize> = (0..n).map(|i| i * i + 1).collect();
+            assert_eq!(out, want, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let compute = |p: &Pool| -> Vec<f64> {
+            let mut out = vec![0.0f64; 1000];
+            let parts: Vec<&mut [f64]> = out.chunks_mut(64).collect();
+            p.run_parts(parts, |c, chunk| {
+                for (j, v) in chunk.iter_mut().enumerate() {
+                    let i = c * 64 + j;
+                    *v = (i as f64).sqrt() * 1.0001 + c as f64;
+                }
+            });
+            out
+        };
+        let serial = compute(&Pool::new(1));
+        for t in [2usize, 3, 8] {
+            let par = compute(&Pool::new(t));
+            assert!(
+                serial
+                    .iter()
+                    .zip(&par)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "threads = {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_survives_many_dispatches() {
+        let p = Pool::new(3);
+        let total = AtomicUsize::new(0);
+        for round in 0..200 {
+            let parts: Vec<usize> = (0..5).collect();
+            p.run_parts(parts, |_, v| {
+                total.fetch_add(v + round, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 200 * 10 + 199 * 200 * 5 / 2);
+    }
+
+    #[test]
+    fn panicking_chunk_propagates_and_pool_stays_usable() {
+        let p = Pool::new(2);
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            p.run_parts(vec![0usize, 1, 2], |_, v| {
+                if v == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(res.is_err());
+        let mut out = vec![0usize; 3];
+        let parts: Vec<&mut usize> = out.iter_mut().collect();
+        p.run_parts(parts, |i, slot| *slot = i + 10);
+        assert_eq!(out, vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn global_cache_reuses_matching_size() {
+        let a = global(2);
+        let b = global(2);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = global(3);
+        assert_eq!(c.threads(), 3);
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+}

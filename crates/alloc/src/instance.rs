@@ -48,6 +48,12 @@ pub fn cost_or_large(c: f64) -> f64 {
     }
 }
 
+/// Lane width of the padded per-app option slices in the structure-of-
+/// arrays λ-scoring layout: each application's kept options are padded up
+/// to a multiple of this, so the inner scoring loop runs over fixed-stride
+/// `f64` lanes with no per-option branching.
+pub(crate) const LANES: usize = 4;
+
 const FNV_OFFSET: u64 = 0xcbf29ce484222325;
 const FNV_PRIME: u64 = 0x100000001b3;
 
@@ -79,6 +85,20 @@ pub(crate) struct SolveInstance {
     row_totals: Vec<u32>,
     orig: Vec<usize>,
     offsets: Vec<usize>,
+    /// Per-app start of the *padded* option slice in the lane arrays;
+    /// `lane_offsets[a + 1] - lane_offsets[a]` is `options(a).len()` rounded
+    /// up to a multiple of [`LANES`]. `lane_offsets[num_apps]` is the total
+    /// lane length.
+    lane_offsets: Vec<usize>,
+    /// Padded per-option costs. Pad lanes hold `f64::INFINITY`, which can
+    /// never win the strict-`<` argmin against a real option (real costs
+    /// are clamped to [`INFINITE_COST`] = `f64::MAX / 4`).
+    lane_costs: Vec<f64>,
+    /// Kind-major `f64` demand lanes: kind `k` of lane `i` lives at
+    /// `lane_demands[k * lane_len + i]`. Pad lanes hold `0.0`, so a skipped
+    /// or zero multiplier contributes exactly `+0.0` to a pad's penalty and
+    /// its score stays `INFINITY`.
+    lane_demands: Vec<f64>,
     /// Largest finite positive cost across *all* original options (also the
     /// dominated ones, so the subgradient step schedule matches the
     /// reference solver exactly), floored at `1e-9`.
@@ -91,8 +111,15 @@ pub(crate) struct SolveInstance {
 }
 
 impl SolveInstance {
-    /// Flattens and prunes `requests` against `capacity`.
-    pub(crate) fn build(requests: &[AllocRequest], capacity: &ResourceVector) -> Self {
+    /// Flattens and prunes `requests` against `capacity`, reusing the
+    /// buffers carried in `scratch` (the arrays built here are handed back
+    /// via [`SolveScratch::reclaim`] after the solve, so steady-state RM
+    /// ticks run the prepass without allocating).
+    pub(crate) fn build(
+        requests: &[AllocRequest],
+        capacity: &ResourceVector,
+        scratch: &mut SolveScratch,
+    ) -> Self {
         let num_kinds = capacity.num_kinds();
         let mut fingerprint = FNV_OFFSET;
         fnv_u64(&mut fingerprint, num_kinds as u64);
@@ -100,19 +127,25 @@ impl SolveInstance {
             fnv_u64(&mut fingerprint, c as u64);
         }
 
-        let mut demands = Vec::new();
-        let mut costs = Vec::new();
-        let mut row_totals = Vec::new();
-        let mut orig = Vec::new();
-        let mut offsets = Vec::with_capacity(requests.len() + 1);
+        let mut demands = std::mem::take(&mut scratch.demands);
+        let mut costs = std::mem::take(&mut scratch.costs);
+        let mut row_totals = std::mem::take(&mut scratch.row_totals);
+        let mut orig = std::mem::take(&mut scratch.orig);
+        let mut offsets = std::mem::take(&mut scratch.offsets);
+        demands.clear();
+        costs.clear();
+        row_totals.clear();
+        orig.clear();
+        offsets.clear();
+        offsets.reserve(requests.len() + 1);
         offsets.push(0);
         let mut cost_scale = 0.0f64;
         let mut pruned = 0usize;
 
         // Per-request scratch: demand rows and clamped costs of every
         // original option, computed once.
-        let mut rows: Vec<u32> = Vec::new();
-        let mut ccosts: Vec<f64> = Vec::new();
+        let rows = &mut scratch.rows;
+        let ccosts = &mut scratch.ccosts;
         for r in requests {
             fnv_u64(&mut fingerprint, r.app.0);
             fnv_u64(&mut fingerprint, r.options.len() as u64);
@@ -133,7 +166,7 @@ impl SolveInstance {
             }
             let m = r.options.len();
             for j in 0..m {
-                if dominated(&rows, &ccosts, num_kinds, j, m) {
+                if dominated(rows, ccosts, num_kinds, j, m) {
                     pruned += 1;
                     continue;
                 }
@@ -146,6 +179,36 @@ impl SolveInstance {
             offsets.push(costs.len());
         }
 
+        // Lane layout for the λ-scoring loop: pad each app's kept options
+        // up to a LANES multiple, costs row-padded with +∞ (can never win
+        // the strict-< argmin), demands transposed kind-major as f64 with
+        // 0.0 pads.
+        let napps = offsets.len() - 1;
+        let mut lane_offsets = std::mem::take(&mut scratch.lane_offsets);
+        lane_offsets.clear();
+        lane_offsets.reserve(napps + 1);
+        lane_offsets.push(0);
+        for a in 0..napps {
+            let m = offsets[a + 1] - offsets[a];
+            lane_offsets.push(lane_offsets[a] + m.div_ceil(LANES) * LANES);
+        }
+        let lane_len = lane_offsets[napps];
+        let mut lane_costs = std::mem::take(&mut scratch.lane_costs);
+        lane_costs.clear();
+        lane_costs.resize(lane_len, f64::INFINITY);
+        let mut lane_demands = std::mem::take(&mut scratch.lane_demands);
+        lane_demands.clear();
+        lane_demands.resize(lane_len * num_kinds, 0.0);
+        for a in 0..napps {
+            let lo = lane_offsets[a];
+            for (i, j) in (offsets[a]..offsets[a + 1]).enumerate() {
+                lane_costs[lo + i] = costs[j];
+                for k in 0..num_kinds {
+                    lane_demands[k * lane_len + lo + i] = demands[j * num_kinds + k] as f64;
+                }
+            }
+        }
+
         SolveInstance {
             num_kinds,
             capacity: capacity.counts().to_vec(),
@@ -155,6 +218,9 @@ impl SolveInstance {
             row_totals,
             orig,
             offsets,
+            lane_offsets,
+            lane_costs,
+            lane_demands,
             cost_scale: cost_scale.max(1e-9),
             fingerprint,
             pruned,
@@ -233,6 +299,85 @@ impl SolveInstance {
     /// Whether a per-kind demand vector fits within capacity.
     pub(crate) fn fits(&self, demand: &[u32]) -> bool {
         demand.iter().zip(&self.capacity).all(|(d, c)| d <= c)
+    }
+
+    /// Total padded lane length (`lane_offsets[num_apps]`).
+    pub(crate) fn lane_len(&self) -> usize {
+        *self.lane_offsets.last().expect("lane_offsets nonempty")
+    }
+
+    /// Padded lane range of application `app` (a superset of
+    /// [`SolveInstance::options`]; pads score `INFINITY`).
+    pub(crate) fn lanes(&self, app: usize) -> std::ops::Range<usize> {
+        self.lane_offsets[app]..self.lane_offsets[app + 1]
+    }
+
+    /// Padded per-option costs (pads hold `f64::INFINITY`).
+    pub(crate) fn lane_costs(&self) -> &[f64] {
+        &self.lane_costs
+    }
+
+    /// Demand lanes of core kind `k` (kind-major, `lane_len()` wide).
+    pub(crate) fn lane_demands(&self, k: usize) -> &[f64] {
+        &self.lane_demands[k * self.lane_len()..(k + 1) * self.lane_len()]
+    }
+}
+
+/// Reusable buffers for the [`SolveInstance`] prepass and the λ-scoring
+/// loop, carried across solves by [`WarmStart`] so steady-state RM ticks
+/// allocate nothing: [`SolveInstance::build`] takes the instance arrays out
+/// of here, the solver borrows the scoring buffers (`pen`, `best_v`,
+/// `chunk_demand`) directly, and [`SolveScratch::reclaim`] hands the
+/// instance arrays back once the solve finishes.
+#[derive(Default)]
+pub(crate) struct SolveScratch {
+    demands: Vec<u32>,
+    costs: Vec<f64>,
+    row_totals: Vec<u32>,
+    orig: Vec<usize>,
+    offsets: Vec<usize>,
+    lane_offsets: Vec<usize>,
+    lane_costs: Vec<f64>,
+    lane_demands: Vec<f64>,
+    rows: Vec<u32>,
+    ccosts: Vec<f64>,
+    /// Per-lane λ-penalty accumulator (`lane_len()` wide during a solve).
+    pub(crate) pen: Vec<f64>,
+    /// Per-app relaxed best value of the current iteration.
+    pub(crate) best_v: Vec<f64>,
+    /// Per-chunk demand partials of the parallel relax
+    /// (`num_chunks × num_kinds`).
+    pub(crate) chunk_demand: Vec<u32>,
+}
+
+impl SolveScratch {
+    /// Takes the instance arrays back for reuse by the next solve.
+    pub(crate) fn reclaim(&mut self, inst: SolveInstance) {
+        self.demands = inst.demands;
+        self.costs = inst.costs;
+        self.row_totals = inst.row_totals;
+        self.orig = inst.orig;
+        self.offsets = inst.offsets;
+        self.lane_offsets = inst.lane_offsets;
+        self.lane_costs = inst.lane_costs;
+        self.lane_demands = inst.lane_demands;
+    }
+}
+
+// Scratch contents are meaningless between solves: cloning a WarmStart
+// (e.g. when the RM snapshots state) starts the copy with empty buffers.
+impl Clone for SolveScratch {
+    fn clone(&self) -> Self {
+        SolveScratch::default()
+    }
+}
+
+impl std::fmt::Debug for SolveScratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolveScratch")
+            .field("lane_cap", &self.lane_costs.capacity())
+            .field("pen_cap", &self.pen.capacity())
+            .finish()
     }
 }
 
@@ -340,6 +485,8 @@ pub struct WarmStart {
     pub(crate) memo_hits: u64,
     pub(crate) certified_exits: u64,
     pub(crate) full_solves: u64,
+    /// Reusable prepass/scoring buffers (see [`SolveScratch`]).
+    pub(crate) scratch: SolveScratch,
 }
 
 impl WarmStart {
@@ -377,6 +524,10 @@ mod tests {
     use super::*;
     use crate::AllocOption;
     use harp_types::{ErvShape, ExtResourceVector};
+
+    fn build(requests: &[AllocRequest], capacity: &ResourceVector) -> SolveInstance {
+        SolveInstance::build(requests, capacity, &mut SolveScratch::default())
+    }
 
     fn req(app: u64, options: &[(&[u32], f64)]) -> AllocRequest {
         let shape = ErvShape::new(vec![1; options[0].0.len()]);
@@ -416,7 +567,7 @@ mod tests {
                 (&[0, 1], 1.0),
             ],
         );
-        let inst = SolveInstance::build(&[r], &capacity);
+        let inst = build(&[r], &capacity);
         assert_eq!(inst.pruned, 2);
         let kept: Vec<usize> = inst.options(0).map(|j| inst.original(j)).collect();
         assert_eq!(kept, vec![0, 1]);
@@ -428,14 +579,14 @@ mod tests {
     #[test]
     fn fingerprint_tracks_instance_identity() {
         let capacity = ResourceVector::new(vec![4, 4]);
-        let a = SolveInstance::build(&[req(1, &[(&[1, 0], 2.0)])], &capacity);
-        let b = SolveInstance::build(&[req(1, &[(&[1, 0], 2.0)])], &capacity);
+        let a = build(&[req(1, &[(&[1, 0], 2.0)])], &capacity);
+        let b = build(&[req(1, &[(&[1, 0], 2.0)])], &capacity);
         assert_eq!(a.fingerprint, b.fingerprint);
-        let c = SolveInstance::build(&[req(1, &[(&[1, 0], 2.0 + 1e-12)])], &capacity);
+        let c = build(&[req(1, &[(&[1, 0], 2.0 + 1e-12)])], &capacity);
         assert_ne!(a.fingerprint, c.fingerprint);
-        let d = SolveInstance::build(&[req(2, &[(&[1, 0], 2.0)])], &capacity);
+        let d = build(&[req(2, &[(&[1, 0], 2.0)])], &capacity);
         assert_ne!(a.fingerprint, d.fingerprint);
-        let e = SolveInstance::build(
+        let e = build(
             &[req(1, &[(&[1, 0], 2.0)])],
             &ResourceVector::new(vec![4, 3]),
         );
@@ -449,7 +600,7 @@ mod tests {
             req(1, &[(&[2, 0], 1.0), (&[0, 2], 2.0)]),
             req(2, &[(&[1, 1], 1.0), (&[0, 3], 2.0)]),
         ];
-        let inst = SolveInstance::build(&reqs, &capacity);
+        let inst = build(&reqs, &capacity);
         let mut picks = vec![inst.options(0).start, inst.options(1).start];
         let mut totals = Totals::new(&inst, &picks); // (3, 1)
         assert!(totals.fits(&inst));

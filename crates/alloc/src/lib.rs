@@ -59,7 +59,8 @@ pub mod stats;
 pub use assign::hw_threads_for;
 pub use instance::{cost_or_large, WarmStart, INFINITE_COST};
 pub use solvers::{
-    select, select_deadline, Selection, SolveDeadline, SolveOutcome, SolverKind, REFERENCE_ITERS,
+    select, select_deadline, select_opts, Selection, SolveDeadline, SolveOpts, SolveOutcome,
+    SolverKind, PAR_MIN_APPS, REFERENCE_ITERS,
 };
 
 use harp_platform::HardwareDescription;
@@ -151,7 +152,7 @@ pub fn allocate(
     hw: &HardwareDescription,
     solver: SolverKind,
 ) -> Result<Allocation> {
-    allocate_impl(requests, hw, solver, None, SolveDeadline::UNBOUNDED)
+    allocate_impl(requests, hw, solver, None, SolveOpts::default())
 }
 
 /// Like [`allocate`], but threads a [`WarmStart`] through the solver so λ
@@ -169,7 +170,7 @@ pub fn allocate_warm(
     solver: SolverKind,
     warm: &mut WarmStart,
 ) -> Result<Allocation> {
-    allocate_impl(requests, hw, solver, Some(warm), SolveDeadline::UNBOUNDED)
+    allocate_impl(requests, hw, solver, Some(warm), SolveOpts::default())
 }
 
 /// Like [`allocate_warm`], but with a cooperative [`SolveDeadline`].
@@ -189,7 +190,31 @@ pub fn allocate_warm_deadline(
     warm: &mut WarmStart,
     deadline: SolveDeadline,
 ) -> Result<Allocation> {
-    allocate_impl(requests, hw, solver, Some(warm), deadline)
+    allocate_impl(
+        requests,
+        hw,
+        solver,
+        Some(warm),
+        SolveOpts::deadline(deadline),
+    )
+}
+
+/// Like [`allocate_warm_deadline`], but with the full per-solve tuning of
+/// [`SolveOpts`] — including the worker-pool width for the data-parallel
+/// candidate-evaluation engine. Parallel solves return bit-identical
+/// allocations to serial ones at any thread count.
+///
+/// # Errors
+///
+/// Same contract as [`allocate_warm_deadline`].
+pub fn allocate_opts(
+    requests: &[AllocRequest],
+    hw: &HardwareDescription,
+    solver: SolverKind,
+    warm: &mut WarmStart,
+    opts: SolveOpts,
+) -> Result<Allocation> {
+    allocate_impl(requests, hw, solver, Some(warm), opts)
 }
 
 fn allocate_impl(
@@ -197,7 +222,7 @@ fn allocate_impl(
     hw: &HardwareDescription,
     solver: SolverKind,
     warm: Option<&mut WarmStart>,
-    deadline: SolveDeadline,
+    opts: SolveOpts,
 ) -> Result<Allocation> {
     let capacity = hw.capacity();
     validate_requests(requests, hw)?;
@@ -234,7 +259,7 @@ fn allocate_impl(
         .all(|(lb, cap)| lb <= cap);
 
     let solved = if maybe_feasible {
-        match solvers::select_deadline(requests, &capacity, solver, warm, deadline) {
+        match solvers::select_opts(requests, &capacity, solver, warm, opts) {
             Ok(sel) => Some(sel),
             // A deadline overrun is a *time* failure, not a capacity one:
             // propagate it instead of tearing up placements via the

@@ -1,0 +1,164 @@
+//! Thread-count determinism of the parallel λ-search: for any instance
+//! and any RM-style tick sequence (repeat, cost drift, departure,
+//! arrival) with warm-start carry, the solver's output — picks, cost
+//! bits, work bits, outcome, and warm counters — is bit-identical at
+//! every thread count, including the serial path. Parallelism is a
+//! latency knob, never a semantics knob: chunk partitioning depends only
+//! on the app count, per-app results land in per-app slots, and every
+//! cross-chunk reduction runs in fixed chunk order.
+
+use harp_alloc::{
+    select_opts, AllocOption, AllocRequest, Selection, SolveOpts, SolverKind, WarmStart,
+};
+use harp_types::{AppId, ErvShape, ExtResourceVector, OpId, ResourceVector};
+use proptest::prelude::*;
+
+const KINDS: usize = 3;
+
+/// Instances sized to straddle the 64-app chunk boundary, so the pool
+/// path genuinely splits work (`min_parallel_apps` is forced to 0 in the
+/// test; multi-chunk needs > 64 apps).
+fn arb_requests() -> impl Strategy<Value = Vec<AllocRequest>> {
+    let shape = ErvShape::new(vec![1; KINDS]);
+    proptest::collection::vec(
+        proptest::collection::vec((0u32..3, 0u32..3, 0u32..3, 0.1f64..100.0), 1..5),
+        40..140,
+    )
+    .prop_map(move |apps| {
+        apps.into_iter()
+            .enumerate()
+            .map(|(a, opts)| AllocRequest {
+                app: AppId(a as u64 + 1),
+                options: opts
+                    .into_iter()
+                    .enumerate()
+                    .map(|(o, (d0, d1, d2, cost))| {
+                        // Guarantee nonzero demand.
+                        let d2 = if d0 + d1 == 0 { d2.max(1) } else { d2 };
+                        AllocOption {
+                            op: OpId(o),
+                            cost,
+                            erv: ExtResourceVector::from_flat(&shape, &[d0, d1, d2])
+                                .expect("fits shape"),
+                        }
+                    })
+                    .collect(),
+            })
+            .collect()
+    })
+}
+
+/// RM-style tick sequence with mid-trace churn: identical repeat (memo
+/// path), cost drift, a departure, and a fresh arrival.
+fn tick_trace(reqs: &[AllocRequest]) -> Vec<Vec<AllocRequest>> {
+    let mut ticks = vec![reqs.to_vec(), reqs.to_vec()];
+    let mut drifted = reqs.to_vec();
+    for o in &mut drifted[0].options {
+        o.cost *= 1.0 + 1e-3;
+    }
+    ticks.push(drifted.clone());
+    let mut departed = drifted.clone();
+    departed.pop();
+    ticks.push(departed.clone());
+    let mut arrived = departed;
+    let mut newcomer = drifted[0].clone();
+    newcomer.app = AppId(reqs.len() as u64 + 1);
+    arrived.push(newcomer);
+    ticks.push(arrived);
+    ticks
+}
+
+/// Runs the whole trace at one thread count, threading a fresh
+/// [`WarmStart`], and returns every tick's outcome plus the final warm
+/// counters. `min_parallel_apps: 0` removes the small-instance serial
+/// fallback so even the 40-app floor exercises the dispatch path.
+fn run_trace(
+    ticks: &[Vec<AllocRequest>],
+    capacity: &ResourceVector,
+    threads: u32,
+) -> (Vec<Result<Selection, String>>, (u64, u64, u64)) {
+    let mut warm = WarmStart::new();
+    let sels = ticks
+        .iter()
+        .map(|tick| {
+            select_opts(
+                tick,
+                capacity,
+                SolverKind::Lagrangian,
+                Some(&mut warm),
+                SolveOpts {
+                    threads,
+                    min_parallel_apps: 0,
+                    ..SolveOpts::default()
+                },
+            )
+            .map_err(|e| e.to_string())
+        })
+        .collect();
+    (
+        sels,
+        (warm.memo_hits(), warm.certified_exits(), warm.full_solves()),
+    )
+}
+
+fn assert_bit_identical(
+    label: &str,
+    a: &[Result<Selection, String>],
+    b: &[Result<Selection, String>],
+) -> std::result::Result<(), TestCaseError> {
+    prop_assert_eq!(a.len(), b.len());
+    for (t, (x, y)) in a.iter().zip(b).enumerate() {
+        match (x, y) {
+            (Ok(x), Ok(y)) => {
+                prop_assert_eq!(&x.picks, &y.picks, "{} tick {}: picks differ", label, t);
+                prop_assert_eq!(
+                    x.cost.to_bits(),
+                    y.cost.to_bits(),
+                    "{} tick {}: cost {} vs {}",
+                    label,
+                    t,
+                    x.cost,
+                    y.cost
+                );
+                prop_assert_eq!(
+                    x.work.to_bits(),
+                    y.work.to_bits(),
+                    "{} tick {}: work {} vs {}",
+                    label,
+                    t,
+                    x.work,
+                    y.work
+                );
+                prop_assert_eq!(x.outcome, y.outcome, "{} tick {}: outcome", label, t);
+            }
+            (Err(x), Err(y)) => prop_assert_eq!(x, y, "{} tick {}: errors differ", label, t),
+            (x, y) => prop_assert!(
+                false,
+                "{label} tick {t}: solvability diverged: {x:?} vs {y:?}"
+            ),
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn parallel_solves_are_bit_identical_across_thread_counts(reqs in arb_requests()) {
+        // Congested capacity (half the population's worst-case demand per
+        // kind) so the subgradient schedule, repair and upgrade phases all
+        // run rather than the trivial per-app minimum.
+        let capacity = ResourceVector::new(vec![reqs.len() as u32; KINDS]);
+        let ticks = tick_trace(&reqs);
+        let (serial, serial_stats) = run_trace(&ticks, &capacity, 0);
+        for threads in [1u32, 2, 8] {
+            let (par, par_stats) = run_trace(&ticks, &capacity, threads);
+            assert_bit_identical(&format!("threads={threads}"), &serial, &par)?;
+            prop_assert_eq!(
+                serial_stats, par_stats,
+                "threads={}: warm counters diverged", threads
+            );
+        }
+    }
+}

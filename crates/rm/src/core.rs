@@ -4,7 +4,7 @@ use crate::journal::{
     JournalAppObs, JournalPoint, JournalRecord, JournalWriter, Snapshot, SnapshotSession,
 };
 use harp_alloc::{
-    allocate_warm_deadline, hw_threads_for, AllocOption, AllocRequest, SolveDeadline, SolverKind,
+    allocate_opts, hw_threads_for, AllocOption, AllocRequest, SolveDeadline, SolveOpts, SolverKind,
     WarmStart, REFERENCE_ITERS,
 };
 use harp_energy::EnergyAttributor;
@@ -46,6 +46,12 @@ pub struct RmConfig {
     /// load may diverge from the live run, so snapshots (compaction) bound
     /// the divergence window.
     pub solve_deadline_us: u64,
+    /// Worker-pool width for the solver's data-parallel candidate
+    /// evaluation (`0`/`1` = serial). Results are bit-identical at any
+    /// setting — the knob trades solve latency for CPU time on large
+    /// managed populations (≳ 256 applications), so journal replay is
+    /// unaffected by it.
+    pub solver_threads: u32,
 }
 
 impl Default for RmConfig {
@@ -58,6 +64,7 @@ impl Default for RmConfig {
             solve_cost_ns: 2_000_000,
             solve_deadline_iters: 0,
             solve_deadline_us: 0,
+            solver_threads: 0,
         }
     }
 }
@@ -751,14 +758,12 @@ impl RmCore {
             }
         }
 
-        let deadline = self.solve_deadline();
-        let allocation = match allocate_warm_deadline(
-            &requests,
-            hw,
-            self.cfg.solver,
-            &mut self.warm,
-            deadline,
-        ) {
+        let opts = SolveOpts {
+            deadline: self.solve_deadline(),
+            threads: self.cfg.solver_threads,
+            ..SolveOpts::default()
+        };
+        let allocation = match allocate_opts(&requests, hw, self.cfg.solver, &mut self.warm, opts) {
             Ok(a) => a,
             Err(HarpError::DeadlineExceeded { .. }) => {
                 drop(sp);
