@@ -51,4 +51,16 @@ HARP_SOLVER_BENCH_QUICK=1 \
     cargo bench -p harp-bench --bench solver
 test -s target/BENCH_solver_smoke.json
 
+echo "==> connection-storm smoke (quick mode, 512-session mini-storm)"
+# Boots a 4-shard reactor daemon and churns 512 session lifecycles
+# through a 64-connection sliding window with tracing on. Exits
+# non-zero on any lost or duplicated directive, any session-level
+# transport error, or events_dropped > 0 (DESIGN.md section 12). The
+# scratch path keeps the committed BENCH_harness.json storm section
+# (regenerate that with a full `storm_bench` run) untouched.
+HARP_STORM_QUICK=1 \
+    HARP_STORM_JSON="$PWD/target/BENCH_storm_smoke.json" \
+    cargo run --release -q -p harp-bench --bin storm_bench
+test -s target/BENCH_storm_smoke.json
+
 echo "CI OK"

@@ -1,0 +1,414 @@
+//! A minimal, dependency-free readiness reactor over Linux `epoll`.
+//!
+//! This is the I/O substrate of the sharded `harpd` event loop
+//! (DESIGN.md §12): a mio-style poller with level-triggered readiness,
+//! a pipe-based cross-thread [`Waker`], a single-fd [`poll_fd`] helper
+//! for poll-driven client transports, and a [`Slab`] allocator for the
+//! per-shard session tables. Everything binds straight to the libc
+//! symbols the platform already links (`epoll_*`, `pipe2`, `poll`,
+//! `read`, `write`, `close`) — no external crates, exactly like the
+//! rest of `compat/`.
+//!
+//! The `unsafe` in this crate is confined to [`sys`]: raw syscall
+//! bindings plus the two byte-sized pipe reads/writes of the waker.
+//! Every unsafe call site checks its return value and converts failures
+//! into [`std::io::Error`].
+//!
+//! Readiness is *level-triggered* (the epoll default): a session with
+//! unread bytes or writable space keeps firing until the condition is
+//! drained, so a shard that processes a bounded batch per wakeup never
+//! loses an edge.
+
+#![warn(missing_docs)]
+
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+mod slab;
+pub mod sys;
+
+pub use slab::Slab;
+
+/// What readiness a registration subscribes to. Hangup (`EPOLLHUP` /
+/// `EPOLLRDHUP`) and error conditions are always reported regardless of
+/// the requested interest — exactly the events the daemon uses to free a
+/// dead session's allocation within one tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd has bytes to read (or the peer hung up).
+    pub readable: bool,
+    /// Wake when the fd can accept writes without blocking.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest — the steady state of an idle session.
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Read + write interest — a session with a backlogged outbound ring.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+
+    fn epoll_mask(self) -> u32 {
+        let mut mask = sys::EPOLLRDHUP; // always observe peer hangups
+        if self.readable {
+            mask |= sys::EPOLLIN;
+        }
+        if self.writable {
+            mask |= sys::EPOLLOUT;
+        }
+        mask
+    }
+}
+
+/// One readiness event delivered by [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered under.
+    pub token: u64,
+    /// Bytes are readable (or the peer closed — read to find out).
+    pub readable: bool,
+    /// The fd accepts writes without blocking.
+    pub writable: bool,
+    /// The peer hung up (`EPOLLHUP` or `EPOLLRDHUP`).
+    pub hangup: bool,
+    /// The fd is in an error state (`EPOLLERR`).
+    pub error: bool,
+}
+
+/// Reusable event buffer for [`Poller::wait`] — allocate once per shard,
+/// drain per wakeup.
+#[derive(Debug)]
+pub struct Events {
+    raw: Vec<sys::EpollEvent>,
+    len: usize,
+}
+
+impl Events {
+    /// A buffer that can carry up to `capacity` events per wakeup.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            raw: vec![sys::EpollEvent::zeroed(); capacity.max(1)],
+            len: 0,
+        }
+    }
+
+    /// Number of events delivered by the last `wait`.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the last `wait` delivered no events (timeout or wake-only).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates the events delivered by the last `wait`.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.raw[..self.len].iter().map(|e| {
+            let mask = e.events();
+            Event {
+                token: e.data(),
+                readable: mask & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP) != 0,
+                writable: mask & sys::EPOLLOUT != 0,
+                hangup: mask & (sys::EPOLLHUP | sys::EPOLLRDHUP) != 0,
+                error: mask & sys::EPOLLERR != 0,
+            }
+        })
+    }
+}
+
+/// A level-triggered `epoll` instance. Registrations map fds to opaque
+/// `u64` tokens; [`Poller::wait`] reports which tokens are ready.
+#[derive(Debug)]
+pub struct Poller {
+    epfd: RawFd,
+}
+
+impl Poller {
+    /// Creates a fresh epoll instance (`EPOLL_CLOEXEC`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the `epoll_create1` failure (fd exhaustion, kernel limits).
+    pub fn new() -> io::Result<Poller> {
+        let epfd = sys::epoll_create()?;
+        Ok(Poller { epfd })
+    }
+
+    /// Registers `fd` under `token` with the given interest.
+    ///
+    /// # Errors
+    ///
+    /// Returns the `epoll_ctl` failure (e.g. the fd is already registered).
+    pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        sys::epoll_ctl(
+            self.epfd,
+            sys::EPOLL_CTL_ADD,
+            fd,
+            interest.epoll_mask(),
+            token,
+        )
+    }
+
+    /// Updates the interest (and token) of an already-registered fd.
+    ///
+    /// # Errors
+    ///
+    /// Returns the `epoll_ctl` failure.
+    pub fn reregister(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        sys::epoll_ctl(
+            self.epfd,
+            sys::EPOLL_CTL_MOD,
+            fd,
+            interest.epoll_mask(),
+            token,
+        )
+    }
+
+    /// Removes `fd` from the poller. Harmless to call for an fd that the
+    /// kernel already dropped (closing an fd deregisters it implicitly).
+    pub fn deregister(&self, fd: RawFd) {
+        let _ = sys::epoll_ctl(self.epfd, sys::EPOLL_CTL_DEL, fd, 0, 0);
+    }
+
+    /// Blocks until at least one registered fd is ready, the timeout
+    /// elapses, or a [`Waker`] fires. Returns the number of events
+    /// written into `events`. `None` blocks indefinitely.
+    ///
+    /// # Errors
+    ///
+    /// Returns the `epoll_wait` failure; `EINTR` is retried internally.
+    pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        let timeout_ms = match timeout {
+            // Round up so a 100µs timeout doesn't spin at 0ms.
+            Some(t) => i32::try_from(t.as_millis().max(u128::from(u32::from(!t.is_zero()))))
+                .unwrap_or(i32::MAX),
+            None => -1,
+        };
+        let n = sys::epoll_wait(self.epfd, &mut events.raw, timeout_ms)?;
+        events.len = n;
+        Ok(n)
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        sys::close_fd(self.epfd);
+    }
+}
+
+/// Cross-thread wakeup for a [`Poller`]: a non-blocking pipe whose read
+/// end is registered with the poller. Any thread holding (a clone of, or
+/// an `Arc` to) the waker can interrupt `wait` with [`Waker::wake`].
+#[derive(Debug)]
+pub struct Waker {
+    read_fd: RawFd,
+    write_fd: RawFd,
+}
+
+// The waker only writes/reads single bytes through fds; both operations
+// are atomic at this size and the fds live until Drop.
+unsafe impl Send for Waker {}
+unsafe impl Sync for Waker {}
+
+impl Waker {
+    /// Creates a waker and registers its pipe with `poller` under `token`.
+    ///
+    /// # Errors
+    ///
+    /// Returns pipe-creation or registration failures.
+    pub fn new(poller: &Poller, token: u64) -> io::Result<Waker> {
+        let (read_fd, write_fd) = sys::pipe_nonblocking()?;
+        poller.register(read_fd, token, Interest::READABLE)?;
+        Ok(Waker { read_fd, write_fd })
+    }
+
+    /// Interrupts the poller. A full pipe means a wake is already
+    /// pending — that is success, not failure.
+    pub fn wake(&self) {
+        sys::write_byte(self.write_fd);
+    }
+
+    /// Drains pending wake bytes; call when the waker's token fires so a
+    /// level-triggered poller doesn't spin on the pipe.
+    pub fn drain(&self) {
+        sys::drain_pipe(self.read_fd);
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        sys::close_fd(self.read_fd);
+        sys::close_fd(self.write_fd);
+    }
+}
+
+/// Blocks until `fd` is ready for the requested direction(s) or the
+/// timeout elapses. Returns `true` when ready, `false` on timeout. This
+/// is the single-fd fast path for poll-driven client transports — no
+/// epoll instance, one `poll(2)` call.
+///
+/// # Errors
+///
+/// Returns the `poll` failure; `EINTR` is retried internally.
+pub fn poll_fd(
+    fd: RawFd,
+    readable: bool,
+    writable: bool,
+    timeout: Option<Duration>,
+) -> io::Result<bool> {
+    let mut mask: i16 = 0;
+    if readable {
+        mask |= sys::POLLIN;
+    }
+    if writable {
+        mask |= sys::POLLOUT;
+    }
+    let timeout_ms = match timeout {
+        Some(t) => i32::try_from(t.as_millis().max(u128::from(u32::from(!t.is_zero()))))
+            .unwrap_or(i32::MAX),
+        None => -1,
+    };
+    sys::poll_one(fd, mask, timeout_ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::unix::io::AsRawFd;
+    use std::os::unix::net::UnixStream;
+    use std::sync::Arc;
+
+    #[test]
+    fn readable_event_fires_for_pending_bytes() {
+        let poller = Poller::new().unwrap();
+        let (mut a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        poller
+            .register(b.as_raw_fd(), 7, Interest::READABLE)
+            .unwrap();
+        let mut events = Events::with_capacity(8);
+        // Nothing pending yet: a zero-ish timeout returns no events.
+        poller
+            .wait(&mut events, Some(Duration::from_millis(1)))
+            .unwrap();
+        assert!(events.is_empty());
+        a.write_all(b"x").unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let ev = events.iter().next().expect("one event");
+        assert_eq!(ev.token, 7);
+        assert!(ev.readable && !ev.hangup);
+    }
+
+    #[test]
+    fn hangup_is_reported() {
+        let poller = Poller::new().unwrap();
+        let (a, b) = UnixStream::pair().unwrap();
+        poller
+            .register(b.as_raw_fd(), 3, Interest::READABLE)
+            .unwrap();
+        drop(a);
+        let mut events = Events::with_capacity(8);
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let ev = events.iter().next().expect("hangup event");
+        assert_eq!(ev.token, 3);
+        assert!(ev.hangup);
+    }
+
+    #[test]
+    fn level_triggered_readiness_persists_until_drained() {
+        let poller = Poller::new().unwrap();
+        let (mut a, mut b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        poller
+            .register(b.as_raw_fd(), 1, Interest::READABLE)
+            .unwrap();
+        a.write_all(b"xyz").unwrap();
+        let mut events = Events::with_capacity(4);
+        for _ in 0..2 {
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert_eq!(events.iter().filter(|e| e.token == 1).count(), 1);
+        }
+        let mut buf = [0u8; 8];
+        let n = b.read(&mut buf).unwrap();
+        assert_eq!(n, 3);
+        poller
+            .wait(&mut events, Some(Duration::from_millis(1)))
+            .unwrap();
+        assert!(events.is_empty(), "drained fd must stop firing");
+    }
+
+    #[test]
+    fn waker_interrupts_wait_from_another_thread() {
+        let poller = Poller::new().unwrap();
+        let waker = Arc::new(Waker::new(&poller, u64::MAX).unwrap());
+        let w = waker.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            w.wake();
+        });
+        let mut events = Events::with_capacity(4);
+        poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        let ev = events.iter().next().expect("waker event");
+        assert_eq!(ev.token, u64::MAX);
+        waker.drain();
+        // Drained waker stops firing.
+        poller
+            .wait(&mut events, Some(Duration::from_millis(1)))
+            .unwrap();
+        assert!(events.is_empty());
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn writable_interest_and_reregister() {
+        let poller = Poller::new().unwrap();
+        let (a, _b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        poller
+            .register(a.as_raw_fd(), 9, Interest::READABLE)
+            .unwrap();
+        let mut events = Events::with_capacity(4);
+        poller
+            .wait(&mut events, Some(Duration::from_millis(1)))
+            .unwrap();
+        assert!(events.is_empty(), "no read interest satisfied yet");
+        // Flip to BOTH: an idle socket is immediately writable.
+        poller.reregister(a.as_raw_fd(), 9, Interest::BOTH).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let ev = events.iter().next().expect("writable event");
+        assert!(ev.writable);
+        poller.deregister(a.as_raw_fd());
+        poller
+            .wait(&mut events, Some(Duration::from_millis(1)))
+            .unwrap();
+        assert!(events.is_empty(), "deregistered fd must not fire");
+    }
+
+    #[test]
+    fn poll_fd_reports_readiness_and_timeout() {
+        let (mut a, b) = UnixStream::pair().unwrap();
+        assert!(!poll_fd(b.as_raw_fd(), true, false, Some(Duration::from_millis(1))).unwrap());
+        a.write_all(b"!").unwrap();
+        assert!(poll_fd(b.as_raw_fd(), true, false, Some(Duration::from_secs(5))).unwrap());
+        // Any healthy socket is writable.
+        assert!(poll_fd(b.as_raw_fd(), false, true, Some(Duration::from_secs(5))).unwrap());
+    }
+}

@@ -1,0 +1,183 @@
+//! A compact slab allocator: stable `usize` keys into a reusable
+//! vector, vacant slots chained into a free list. This is the
+//! per-shard session table index for `harpd` — O(1) insert/remove, no
+//! hashing, keys dense enough to pack into epoll tokens.
+
+/// Slab entry: either a live value or a link in the free list.
+#[derive(Debug)]
+enum Entry<T> {
+    Vacant(usize),
+    Occupied(T),
+}
+
+/// A vector-backed slab with free-slot reuse.
+#[derive(Debug)]
+pub struct Slab<T> {
+    entries: Vec<Entry<T>>,
+    next_free: usize,
+    len: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    pub fn new() -> Slab<T> {
+        Slab {
+            entries: Vec::new(),
+            next_free: 0,
+            len: 0,
+        }
+    }
+
+    /// An empty slab with room for `capacity` entries before reallocating.
+    pub fn with_capacity(capacity: usize) -> Slab<T> {
+        Slab {
+            entries: Vec::with_capacity(capacity),
+            next_free: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the slab holds no live entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a value, returning its key. Reuses the most recently
+    /// vacated slot if one exists.
+    pub fn insert(&mut self, value: T) -> usize {
+        self.len += 1;
+        if self.next_free == self.entries.len() {
+            self.entries.push(Entry::Occupied(value));
+            self.next_free = self.entries.len();
+            self.entries.len() - 1
+        } else {
+            let key = self.next_free;
+            match std::mem::replace(&mut self.entries[key], Entry::Occupied(value)) {
+                Entry::Vacant(next) => self.next_free = next,
+                Entry::Occupied(_) => unreachable!("free list points at occupied slot"),
+            }
+            key
+        }
+    }
+
+    /// Removes and returns the value at `key`, or `None` if vacant/out
+    /// of range. The slot becomes reusable.
+    pub fn remove(&mut self, key: usize) -> Option<T> {
+        match self.entries.get_mut(key) {
+            Some(slot @ Entry::Occupied(_)) => {
+                let old = std::mem::replace(slot, Entry::Vacant(self.next_free));
+                self.next_free = key;
+                self.len -= 1;
+                match old {
+                    Entry::Occupied(v) => Some(v),
+                    Entry::Vacant(_) => unreachable!(),
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Borrows the value at `key`.
+    pub fn get(&self, key: usize) -> Option<&T> {
+        match self.entries.get(key) {
+            Some(Entry::Occupied(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Mutably borrows the value at `key`.
+    pub fn get_mut(&mut self, key: usize) -> Option<&mut T> {
+        match self.entries.get_mut(key) {
+            Some(Entry::Occupied(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Whether `key` names a live entry.
+    pub fn contains(&self, key: usize) -> bool {
+        matches!(self.entries.get(key), Some(Entry::Occupied(_)))
+    }
+
+    /// Iterates `(key, &value)` over live entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &T)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(k, e)| match e {
+                Entry::Occupied(v) => Some((k, v)),
+                Entry::Vacant(_) => None,
+            })
+    }
+
+    /// Keys of live entries in key order (detached — safe to remove while
+    /// walking).
+    pub fn keys(&self) -> Vec<usize> {
+        self.iter().map(|(k, _)| k).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_ne!(a, b);
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(a), Some(&"a"));
+        assert_eq!(slab.remove(a), Some("a"));
+        assert_eq!(slab.remove(a), None);
+        assert_eq!(slab.len(), 1);
+        assert!(slab.contains(b));
+        assert!(!slab.contains(a));
+    }
+
+    #[test]
+    fn vacated_slots_are_reused() {
+        let mut slab = Slab::new();
+        let a = slab.insert(1);
+        let b = slab.insert(2);
+        let c = slab.insert(3);
+        slab.remove(b);
+        slab.remove(a);
+        // LIFO reuse: last-vacated slot comes back first.
+        assert_eq!(slab.insert(4), a);
+        assert_eq!(slab.insert(5), b);
+        assert_eq!(slab.insert(6), c + 1);
+        assert_eq!(slab.len(), 4);
+    }
+
+    #[test]
+    fn iter_skips_vacant_slots() {
+        let mut slab = Slab::new();
+        let keys: Vec<usize> = (0..5).map(|i| slab.insert(i * 10)).collect();
+        slab.remove(keys[1]);
+        slab.remove(keys[3]);
+        let live: Vec<(usize, i32)> = slab.iter().map(|(k, v)| (k, *v)).collect();
+        assert_eq!(live, vec![(keys[0], 0), (keys[2], 20), (keys[4], 40)]);
+        assert_eq!(slab.keys(), vec![keys[0], keys[2], keys[4]]);
+    }
+
+    #[test]
+    fn get_mut_mutates_in_place() {
+        let mut slab = Slab::with_capacity(4);
+        let k = slab.insert(vec![1u8]);
+        slab.get_mut(k).unwrap().push(2);
+        assert_eq!(slab.get(k).unwrap(), &vec![1, 2]);
+        assert!(slab.get_mut(99).is_none());
+    }
+}

@@ -1,0 +1,192 @@
+//! Raw libc bindings for the reactor: `epoll`, the waker pipe, and
+//! single-fd `poll`. This module is the crate's entire unsafe surface;
+//! every call site checks the return value and surfaces failures as
+//! [`std::io::Error`].
+
+use std::io;
+use std::os::unix::io::RawFd;
+
+/// Readiness mask bit: fd has bytes to read.
+pub const EPOLLIN: u32 = 0x001;
+/// Readiness mask bit: fd accepts writes without blocking.
+pub const EPOLLOUT: u32 = 0x004;
+/// Readiness mask bit: fd is in an error state.
+pub const EPOLLERR: u32 = 0x008;
+/// Readiness mask bit: peer hung up completely.
+pub const EPOLLHUP: u32 = 0x010;
+/// Readiness mask bit: peer closed its write half (half-hangup).
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+/// `epoll_ctl` op: add a new fd registration.
+pub const EPOLL_CTL_ADD: i32 = 1;
+/// `epoll_ctl` op: remove a registration.
+pub const EPOLL_CTL_DEL: i32 = 2;
+/// `epoll_ctl` op: modify an existing registration.
+pub const EPOLL_CTL_MOD: i32 = 3;
+
+/// `poll(2)` events bit: readable.
+pub const POLLIN: i16 = 0x001;
+/// `poll(2)` events bit: writable.
+pub const POLLOUT: i16 = 0x004;
+
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const O_NONBLOCK: i32 = 0o4000;
+const O_CLOEXEC: i32 = 0o2000000;
+const EINTR: i32 = 4;
+
+/// Kernel-ABI epoll event record. Packed on x86_64 only — that is the
+/// one architecture where the kernel struct is unpadded.
+#[derive(Clone, Copy)]
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+pub struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+impl EpollEvent {
+    /// An empty event slot for the wait buffer.
+    pub fn zeroed() -> EpollEvent {
+        EpollEvent { events: 0, data: 0 }
+    }
+
+    /// The readiness mask the kernel filled in.
+    pub fn events(&self) -> u32 {
+        // Field reads copy out of the (possibly packed) struct.
+        self.events
+    }
+
+    /// The registration token the kernel echoed back.
+    pub fn data(&self) -> u64 {
+        self.data
+    }
+}
+
+impl std::fmt::Debug for EpollEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpollEvent")
+            .field("events", &self.events())
+            .field("data", &self.data())
+            .finish()
+    }
+}
+
+#[repr(C)]
+struct PollFd {
+    fd: i32,
+    events: i16,
+    revents: i16,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    #[link_name = "epoll_ctl"]
+    fn epoll_ctl_raw(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    #[link_name = "epoll_wait"]
+    fn epoll_wait_raw(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn pipe2(fds: *mut i32, flags: i32) -> i32;
+    #[link_name = "poll"]
+    fn poll_raw(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    #[link_name = "read"]
+    fn read_raw(fd: i32, buf: *mut u8, count: usize) -> isize;
+    #[link_name = "write"]
+    fn write_raw(fd: i32, buf: *const u8, count: usize) -> isize;
+    #[link_name = "close"]
+    fn close_raw(fd: i32) -> i32;
+}
+
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// Creates a close-on-exec epoll instance.
+pub fn epoll_create() -> io::Result<RawFd> {
+    // SAFETY: epoll_create1 takes no pointers; the flag is valid.
+    cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })
+}
+
+/// Adds/modifies/deletes an fd registration on `epfd`.
+pub fn epoll_ctl(epfd: RawFd, op: i32, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+    let mut ev = EpollEvent { events, data };
+    // SAFETY: `ev` outlives the call; the kernel copies it before returning.
+    // EPOLL_CTL_DEL ignores the event pointer on modern kernels but a valid
+    // one is passed anyway for pre-2.6.9 compatibility.
+    cvt(unsafe { epoll_ctl_raw(epfd, op, fd, &mut ev) }).map(|_| ())
+}
+
+/// Waits for readiness events; retries on `EINTR`. Returns the number of
+/// events written into the front of `events`.
+pub fn epoll_wait(epfd: RawFd, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+    let max = i32::try_from(events.len()).unwrap_or(i32::MAX).max(1);
+    loop {
+        // SAFETY: the buffer is valid for `max` records for the duration of
+        // the call, and the kernel writes at most `max` of them.
+        let n = unsafe { epoll_wait_raw(epfd, events.as_mut_ptr(), max, timeout_ms) };
+        if n >= 0 {
+            return Ok(n as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.raw_os_error() != Some(EINTR) {
+            return Err(err);
+        }
+    }
+}
+
+/// Creates a non-blocking close-on-exec pipe: `(read_fd, write_fd)`.
+pub fn pipe_nonblocking() -> io::Result<(RawFd, RawFd)> {
+    let mut fds = [0i32; 2];
+    // SAFETY: `fds` is a valid 2-element buffer for pipe2 to fill.
+    cvt(unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) })?;
+    Ok((fds[0], fds[1]))
+}
+
+/// Polls a single fd for readiness; retries on `EINTR`. Returns whether
+/// any requested (or error/hangup) condition is ready.
+pub fn poll_one(fd: RawFd, events: i16, timeout_ms: i32) -> io::Result<bool> {
+    let mut pfd = PollFd {
+        fd,
+        events,
+        revents: 0,
+    };
+    loop {
+        // SAFETY: `pfd` is a valid single-element array for the call.
+        let n = unsafe { poll_raw(&mut pfd, 1, timeout_ms) };
+        if n >= 0 {
+            return Ok(n > 0);
+        }
+        let err = io::Error::last_os_error();
+        if err.raw_os_error() != Some(EINTR) {
+            return Err(err);
+        }
+    }
+}
+
+/// Writes one byte to a waker pipe. `EAGAIN` (pipe already full — a wake
+/// is pending) and `EINTR` are both fine: the wake is delivered either way.
+pub fn write_byte(fd: RawFd) {
+    let b = 1u8;
+    // SAFETY: one-byte write from a valid stack buffer.
+    let _ = unsafe { write_raw(fd, &b, 1) };
+}
+
+/// Drains all pending bytes from a non-blocking waker pipe.
+pub fn drain_pipe(fd: RawFd) {
+    let mut buf = [0u8; 64];
+    loop {
+        // SAFETY: read into a valid stack buffer of the stated length.
+        let n = unsafe { read_raw(fd, buf.as_mut_ptr(), buf.len()) };
+        if n <= 0 {
+            return; // empty (EAGAIN), EOF, or error — all mean "drained"
+        }
+    }
+}
+
+/// Closes an fd, ignoring errors (used from Drop impls only).
+pub fn close_fd(fd: RawFd) {
+    // SAFETY: closing an owned fd exactly once from Drop.
+    let _ = unsafe { close_raw(fd) };
+}

@@ -1,0 +1,212 @@
+//! Connection-storm benchmark driver: boots a multi-shard reactor
+//! daemon, churns session lifecycles through a sliding concurrency
+//! window, and merges a `storm` section into `BENCH_harness.json`
+//! (see DESIGN.md §12 and EXPERIMENTS.md for methodology).
+//!
+//! Tiers: 512 and 10 000 sessions by default; `HARP_STORM_QUICK=1`
+//! runs the 512-session mini-storm alone (the ci.sh gate);
+//! `HARP_STORM_100K=1` adds the 100 000-session tier. The window
+//! defaults to 64 concurrent connections (`HARP_STORM_WINDOW`), the
+//! daemon to 4 reactor shards (`HARP_STORM_SHARDS`). Output path:
+//! `HARP_STORM_JSON`, else `BENCH_harness.json`; all other keys in an
+//! existing file are preserved (read-modify-write).
+//!
+//! Exits non-zero when any tier loses or duplicates a directive, any
+//! session errors, the global collector drops an event, or the
+//! 10k-tier throughput falls below half the 512-tier rate.
+
+use harp_bench::storm;
+use harp_daemon::{DaemonConfig, HarpDaemon};
+use harp_platform::HardwareDescription;
+use serde_json::JsonValue as V;
+
+fn obj(fields: Vec<(&str, V)>) -> V {
+    V::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Inserts or replaces `key` in an object (no-op on non-objects).
+fn set_key(doc: &mut V, key: &str, val: V) {
+    if let V::Obj(fields) = doc {
+        if let Some(slot) = fields.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = val;
+        } else {
+            fields.push((key.to_string(), val));
+        }
+    }
+}
+
+fn env_flag(name: &str) -> bool {
+    std::env::var(name).is_ok_and(|v| v == "1")
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let quick = env_flag("HARP_STORM_QUICK");
+    let tiers: Vec<u64> = if quick {
+        vec![512]
+    } else if env_flag("HARP_STORM_100K") {
+        vec![512, 10_000, 100_000]
+    } else {
+        vec![512, 10_000]
+    };
+    let window = env_usize("HARP_STORM_WINDOW", 64);
+    let shards = env_usize("HARP_STORM_SHARDS", 4);
+
+    // Tracing stays on for the whole storm: the bench doubles as a
+    // soak test that the event pipeline keeps up (events_dropped == 0
+    // is gated downstream).
+    harp_obs::enable_global();
+
+    let socket = std::env::temp_dir().join(format!("harp-storm-{}.sock", std::process::id()));
+    let hw = HardwareDescription::raptor_lake();
+    let daemon = match HarpDaemon::start(DaemonConfig::new(&socket, hw).with_shards(shards)) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("storm_bench: cannot start daemon: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let mut results = Vec::new();
+    for &n in &tiers {
+        let r = storm::run_tier(&socket, n, window);
+        println!(
+            "storm {n:>6} sessions: {:.1}/s over {:.2}s (acks {}, activates {}, \
+             lost {}, duplicated {}, errors {})",
+            r.sessions_per_sec,
+            r.wall_s,
+            r.totals.acks,
+            r.totals.activates,
+            r.totals.lost,
+            r.totals.duplicated,
+            r.totals.errors
+        );
+        results.push((n, r));
+    }
+    let shard_counters = storm::shard_snapshot();
+    daemon.shutdown();
+    let _ = std::fs::remove_file(&socket);
+
+    harp_obs::disable_global();
+    let dump = harp_obs::dump_global(false);
+    let events_recorded = harp_obs::render::parse_dump(&dump)
+        .map(|d| d.recorded)
+        .unwrap_or(0);
+    let events_dropped = harp_obs::global_dropped();
+    println!(
+        "storm shards: accepted {:?}, frames {}, flushes {}, hangups {} \
+         ({events_recorded} events traced, {events_dropped} dropped)",
+        shard_counters.accepted,
+        shard_counters.frames,
+        shard_counters.flushes,
+        shard_counters.hangups
+    );
+
+    let tiers_json: Vec<V> = results
+        .iter()
+        .map(|(n, r)| {
+            obj(vec![
+                ("sessions", V::UInt(*n)),
+                ("wall_s", V::Float((r.wall_s * 1000.0).round() / 1000.0)),
+                (
+                    "sessions_per_sec",
+                    V::Float((r.sessions_per_sec * 10.0).round() / 10.0),
+                ),
+                ("acks", V::UInt(r.totals.acks)),
+                ("activates", V::UInt(r.totals.activates)),
+                ("lost", V::UInt(r.totals.lost)),
+                ("duplicated", V::UInt(r.totals.duplicated)),
+                ("errors", V::UInt(r.totals.errors)),
+            ])
+        })
+        .collect();
+    let storm_section = obj(vec![
+        ("quick", V::Bool(quick)),
+        ("window", V::UInt(window as u64)),
+        ("shards", V::UInt(shards as u64)),
+        ("tiers", V::Arr(tiers_json)),
+        (
+            "shard_counters",
+            obj(vec![
+                (
+                    "accepted",
+                    V::Arr(
+                        shard_counters
+                            .accepted
+                            .iter()
+                            .map(|&c| V::UInt(c))
+                            .collect(),
+                    ),
+                ),
+                ("frames", V::UInt(shard_counters.frames)),
+                ("flushes", V::UInt(shard_counters.flushes)),
+                ("hangups", V::UInt(shard_counters.hangups)),
+            ]),
+        ),
+        ("events_recorded", V::UInt(events_recorded)),
+        ("events_dropped", V::UInt(events_dropped)),
+    ]);
+
+    let path = std::env::var("HARP_STORM_JSON")
+        .or_else(|_| std::env::var("HARP_BENCH_JSON"))
+        .unwrap_or_else(|_| "BENCH_harness.json".to_string());
+    let mut doc: V = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|t| serde_json::from_str(&t).ok())
+        .unwrap_or(V::Obj(Vec::new()));
+    if !matches!(doc, V::Obj(_)) {
+        doc = V::Obj(Vec::new());
+    }
+    set_key(&mut doc, "storm", storm_section);
+    let mut rendered = serde_json::to_string_pretty(&doc).expect("serializable");
+    rendered.push('\n');
+    if let Err(e) = std::fs::write(&path, rendered) {
+        eprintln!("storm_bench: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+
+    let mut failed = false;
+    for (n, r) in &results {
+        if !r.clean() {
+            eprintln!(
+                "storm_bench: oracle violated at {n} sessions \
+                 (lost {}, duplicated {}, errors {})",
+                r.totals.lost, r.totals.duplicated, r.totals.errors
+            );
+            failed = true;
+        }
+    }
+    if events_dropped > 0 {
+        eprintln!("storm_bench: global collector dropped {events_dropped} events");
+        failed = true;
+    }
+    let rate = |want: u64| {
+        results
+            .iter()
+            .find(|(n, _)| *n == want)
+            .map(|(_, r)| r.sessions_per_sec)
+    };
+    if let (Some(base), Some(big)) = (rate(512), rate(10_000)) {
+        if big < base * 0.5 {
+            eprintln!(
+                "storm_bench: 10k-session throughput {big:.1}/s fell below half \
+                 the 512-session rate {base:.1}/s"
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

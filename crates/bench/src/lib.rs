@@ -12,6 +12,7 @@
 //! | §6.6 | RM overhead | [`tables`] | `tab_overhead` |
 //! | §5.1 | energy-attribution accuracy (MAPE 8.76 %) | [`tables`] | `tab_attribution` |
 //! | headline | avg 12 % time / 28 % energy | [`tables`] | `headline_summary` |
+//! | daemon storm | reactor connection-storm throughput (DESIGN.md §12) | [`storm`] | `storm_bench` |
 //!
 //! The shared machinery lives in [`runner`] (scenario execution under any
 //! manager, improvement factors), [`dse`] (offline design-space
@@ -39,6 +40,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod jobs;
 pub mod runner;
+pub mod storm;
 pub mod tables;
 
 /// Formats an improvement factor the way the paper's figures label bars.

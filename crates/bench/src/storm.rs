@@ -1,0 +1,262 @@
+//! Connection-storm benchmark: many short-lived sessions hammering a
+//! live reactor daemon (`storm_bench` binary, DESIGN.md §12).
+//!
+//! Each storm session walks the full protocol lifecycle against a real
+//! Unix-socket daemon — connect, `Register`, wait for the ack, submit a
+//! two-point profile, wait for at least one `Activate`, `Exit`, drain —
+//! and verifies the per-session oracle as it goes:
+//!
+//! * exactly one `RegisterAck` (a duplicate would mean the reactor
+//!   dispatched the same registration twice),
+//! * at least one `Activate` (zero would mean the RM's directive for
+//!   this session was lost between `route` and the session's shard), and
+//! * no transport error before the client's own `Exit`.
+//!
+//! Sessions run through a **sliding concurrency window**: `window`
+//! worker threads each churn `sessions / window` lifecycles
+//! back-to-back, so the daemon always sees about `window` live sessions
+//! while total connection churn reaches the tier size. Throughput is
+//! reported as completed session lifecycles per second; because every
+//! register/submit/exit triggers a reallocation that re-broadcasts
+//! directives to every live session, per-session cost is O(window) and
+//! a healthy daemon holds the same rate at 512 and 10 000 sessions
+//! (the `bench_artifacts` gate on the committed `BENCH_harness.json`).
+
+use harp_proto::frame;
+use harp_proto::{AdaptivityType, Message, Register, SubmitPoints, WirePoint};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Per-session read timeout. Generous: a loaded single-core CI box runs
+/// hundreds of client threads against a multi-shard daemon, but a
+/// healthy daemon answers in milliseconds — half a minute of silence
+/// means the session's traffic is gone, not late.
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Hard cap on the concurrency window (threads and live connections).
+pub const MAX_WINDOW: usize = 256;
+
+/// What one session lifecycle observed.
+#[derive(Debug, Default, Clone, Copy)]
+struct SessionOutcome {
+    acks: u64,
+    activates: u64,
+    error: bool,
+}
+
+/// Aggregated oracle counts for one storm tier.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TierTotals {
+    /// Session lifecycles attempted.
+    pub sessions: u64,
+    /// `RegisterAck`s observed across all sessions.
+    pub acks: u64,
+    /// `Activate`s observed across all sessions.
+    pub activates: u64,
+    /// Sessions that completed without error but never saw an
+    /// `Activate`: a lost directive.
+    pub lost: u64,
+    /// Sessions that saw more than one `RegisterAck`: a duplicated
+    /// directive.
+    pub duplicated: u64,
+    /// Sessions that hit a transport error (timeout, unexpected EOF)
+    /// before their own `Exit`.
+    pub errors: u64,
+}
+
+/// One storm tier's result: oracle counts plus wall-clock throughput.
+#[derive(Debug, Clone, Copy)]
+pub struct TierResult {
+    /// Aggregated oracle counts.
+    pub totals: TierTotals,
+    /// Wall-clock seconds from first connect to last drain.
+    pub wall_s: f64,
+    /// Completed lifecycles per second (`sessions / wall_s`).
+    pub sessions_per_sec: f64,
+}
+
+impl TierResult {
+    /// True when every per-session oracle held.
+    pub fn clean(&self) -> bool {
+        self.totals.lost == 0 && self.totals.duplicated == 0 && self.totals.errors == 0
+    }
+}
+
+/// Cumulative per-reactor-shard counters, read from the harp-obs
+/// metrics registry (`daemon.shard{N}.*`).
+#[derive(Debug, Default, Clone)]
+pub struct ShardSnapshot {
+    /// Connections accepted per shard (index = shard id). Shards the
+    /// daemon never spawned read 0.
+    pub accepted: Vec<u64>,
+    /// Frames dispatched, summed across shards.
+    pub frames: u64,
+    /// Socket flushes, summed across shards.
+    pub flushes: u64,
+    /// Peer hangups observed, summed across shards.
+    pub hangups: u64,
+}
+
+/// Reads the current per-shard counters from the metrics registry.
+pub fn shard_snapshot() -> ShardSnapshot {
+    let snap = harp_obs::metrics::snapshot();
+    let mut s = ShardSnapshot::default();
+    for i in 0..8 {
+        s.accepted
+            .push(snap.counter(&format!("daemon.shard{i}.accepted")));
+        s.frames += snap.counter(&format!("daemon.shard{i}.frames"));
+        s.flushes += snap.counter(&format!("daemon.shard{i}.flushes"));
+        s.hangups += snap.counter(&format!("daemon.shard{i}.hangups"));
+    }
+    s
+}
+
+/// The fixed two-point profile every storm session submits. Matches the
+/// shape of `HardwareDescription::raptor_lake()` (3 ERV slots): a
+/// 4-P-core point and an 8-E-core point, so the solver always has a
+/// real trade-off to weigh.
+fn storm_points(app_id: u64) -> SubmitPoints {
+    SubmitPoints {
+        app_id,
+        smt_widths: vec![2, 1],
+        points: vec![
+            WirePoint {
+                erv_flat: vec![0, 4, 0],
+                utility: 3.0e10,
+                power: 40.0,
+            },
+            WirePoint {
+                erv_flat: vec![0, 0, 8],
+                utility: 2.5e10,
+                power: 15.0,
+            },
+        ],
+    }
+}
+
+/// One full session lifecycle against the daemon at `socket`.
+fn run_session(socket: &Path) -> SessionOutcome {
+    let mut out = SessionOutcome::default();
+    let Ok(stream) = std::os::unix::net::UnixStream::connect(socket) else {
+        out.error = true;
+        return out;
+    };
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let Ok(mut reader) = stream.try_clone() else {
+        out.error = true;
+        return out;
+    };
+    if frame::write_frame(
+        &stream,
+        &Message::Register(Register {
+            pid: 0,
+            app_name: "storm".into(),
+            adaptivity: AdaptivityType::Scalable,
+            provides_utility: false,
+        }),
+    )
+    .is_err()
+    {
+        out.error = true;
+        return out;
+    }
+
+    // Phase 1: the ack. Activations for the provisional grant may
+    // interleave ahead of it.
+    let mut app_id = None;
+    while app_id.is_none() {
+        match frame::read_frame(&mut reader) {
+            Ok(Some(Message::RegisterAck(ack))) => {
+                out.acks += 1;
+                app_id = Some(ack.app_id);
+            }
+            Ok(Some(Message::Activate(_))) => out.activates += 1,
+            Ok(Some(_)) => {}
+            Ok(None) | Err(_) => {
+                out.error = true;
+                return out;
+            }
+        }
+    }
+    let id = app_id.expect("loop exits with an id");
+
+    // Phase 2: submit the profile, then require at least one activation.
+    if frame::write_frame(&stream, &Message::SubmitPoints(storm_points(id))).is_err() {
+        out.error = true;
+        return out;
+    }
+    while out.activates == 0 {
+        match frame::read_frame(&mut reader) {
+            Ok(Some(Message::RegisterAck(_))) => out.acks += 1,
+            Ok(Some(Message::Activate(_))) => out.activates += 1,
+            Ok(Some(_)) => {}
+            Ok(None) | Err(_) => {
+                out.error = true;
+                return out;
+            }
+        }
+    }
+
+    // Phase 3: exit and drain until the daemon closes the socket. A
+    // duplicated ack or a stale activation for this session would
+    // surface here; torn frames at EOF are expected (the daemon severs
+    // after processing the Exit) and not an oracle violation.
+    let _ = frame::write_frame(&stream, &Message::Exit { app_id: id });
+    loop {
+        match frame::read_frame(&mut reader) {
+            Ok(Some(Message::RegisterAck(_))) => out.acks += 1,
+            Ok(Some(Message::Activate(_))) => out.activates += 1,
+            Ok(Some(_)) => {}
+            Ok(None) | Err(_) => break,
+        }
+    }
+    out
+}
+
+/// Runs one storm tier: `sessions` lifecycles through a sliding window
+/// of at most `window` concurrent connections against the daemon at
+/// `socket`.
+pub fn run_tier(socket: &Path, sessions: u64, window: usize) -> TierResult {
+    let window = window.clamp(1, MAX_WINDOW).min(sessions.max(1) as usize);
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(window);
+    for w in 0..window as u64 {
+        let per = sessions / window as u64 + u64::from(w < sessions % window as u64);
+        let socket: PathBuf = socket.to_path_buf();
+        handles.push(std::thread::spawn(move || {
+            let mut tot = TierTotals::default();
+            for _ in 0..per {
+                let o = run_session(&socket);
+                tot.sessions += 1;
+                tot.acks += o.acks;
+                tot.activates += o.activates;
+                tot.errors += u64::from(o.error);
+                tot.lost += u64::from(!o.error && o.activates == 0);
+                tot.duplicated += u64::from(o.acks > 1);
+            }
+            tot
+        }));
+    }
+    let mut totals = TierTotals::default();
+    for h in handles {
+        let t = h.join().unwrap_or_else(|_| TierTotals {
+            // A panicked worker forfeits its whole share as errors so
+            // the oracle cannot silently pass on a crashed thread.
+            sessions: sessions / window as u64,
+            errors: sessions / window as u64,
+            ..TierTotals::default()
+        });
+        totals.sessions += t.sessions;
+        totals.acks += t.acks;
+        totals.activates += t.activates;
+        totals.lost += t.lost;
+        totals.duplicated += t.duplicated;
+        totals.errors += t.errors;
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    TierResult {
+        totals,
+        wall_s,
+        sessions_per_sec: totals.sessions as f64 / wall_s.max(1e-9),
+    }
+}

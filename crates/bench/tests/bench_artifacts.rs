@@ -4,6 +4,13 @@
 //! operating points), and carry the parallel λ-search tiers with their
 //! determinism bit set. Regenerate the artifact with
 //! `cargo bench -p harp-bench --bench solver` after solver changes.
+//!
+//! `BENCH_harness.json` is gated too: the connection-storm section (from
+//! `cargo run --release -p harp-bench --bin storm_bench`) must show a
+//! clean oracle — zero lost or duplicated directives, zero dropped
+//! events — at both the 512- and 10k-session tiers with no throughput
+//! collapse between them, and the obs section (from `headline_summary
+//! --reduced`) must carry the per-event tracing cost in nanoseconds.
 
 use serde::Deserialize;
 
@@ -51,9 +58,57 @@ struct ParRow {
     deterministic: bool,
 }
 
+#[derive(Deserialize)]
+struct HarnessFile {
+    obs: HarnessObs,
+    storm: StormSection,
+}
+
+#[derive(Deserialize)]
+struct HarnessObs {
+    disabled_s: f64,
+    enabled_s: f64,
+    per_event_ns: f64,
+    events_recorded: u64,
+    events_dropped: u64,
+    outputs_identical: bool,
+}
+
+#[derive(Deserialize)]
+struct StormSection {
+    quick: bool,
+    shards: u64,
+    tiers: Vec<StormTier>,
+    shard_counters: StormShardCounters,
+    events_dropped: u64,
+}
+
+#[derive(Deserialize)]
+struct StormShardCounters {
+    accepted: Vec<u64>,
+    frames: u64,
+}
+
+#[derive(Deserialize)]
+struct StormTier {
+    sessions: u64,
+    wall_s: f64,
+    sessions_per_sec: f64,
+    acks: u64,
+    activates: u64,
+    lost: u64,
+    duplicated: u64,
+    errors: u64,
+}
+
 fn load() -> BenchFile {
     let text = include_str!("../../../BENCH_solver.json");
     serde_json::from_str(text).expect("BENCH_solver.json parses")
+}
+
+fn load_harness() -> HarnessFile {
+    let text = include_str!("../../../BENCH_harness.json");
+    serde_json::from_str(text).expect("BENCH_harness.json parses")
 }
 
 #[test]
@@ -201,5 +256,129 @@ fn committed_obs_overhead_is_within_gate() {
         obs.enabled_overhead_pct,
         obs.enabled_warm_engine_ns,
         obs.disabled_warm_engine_ns
+    );
+}
+
+/// The committed connection-storm run (DESIGN.md §12): a full (non-quick)
+/// sweep whose per-session oracle held at every tier — exactly one ack
+/// and at least one activation per session, no transport errors, no
+/// dropped telemetry events — and whose 10k-session throughput stayed
+/// within 2x of the 512-session rate (the reactor must not collapse
+/// under connection churn). Regenerate with
+/// `cargo run --release -p harp-bench --bin storm_bench`.
+#[test]
+fn committed_storm_run_is_clean_at_both_tiers() {
+    let storm = load_harness().storm;
+    assert!(
+        !storm.quick,
+        "committed storm section must come from a full (512 + 10k) run"
+    );
+    for want in [512u64, 10_000] {
+        assert!(
+            storm.tiers.iter().any(|t| t.sessions == want),
+            "storm section is missing the {want}-session tier"
+        );
+    }
+    for t in &storm.tiers {
+        assert_eq!(t.lost, 0, "{} sessions lost a directive", t.sessions);
+        assert_eq!(
+            t.duplicated, 0,
+            "{} sessions saw a duplicated ack",
+            t.sessions
+        );
+        assert_eq!(t.errors, 0, "{} sessions hit transport errors", t.sessions);
+        assert_eq!(
+            t.acks, t.sessions,
+            "ack count must equal session count at the {}-session tier",
+            t.sessions
+        );
+        assert!(
+            t.activates >= t.sessions,
+            "every session needs at least one activation ({} < {})",
+            t.activates,
+            t.sessions
+        );
+        // Throughput must match its inputs (artifact not hand-edited);
+        // both fields are rounded, so allow 1%.
+        let recomputed = t.sessions as f64 / t.wall_s.max(1e-9);
+        assert!(
+            (recomputed - t.sessions_per_sec).abs() / recomputed < 0.01,
+            "sessions_per_sec {} disagrees with sessions/wall_s ({recomputed:.1}) \
+             at the {}-session tier",
+            t.sessions_per_sec,
+            t.sessions
+        );
+    }
+    assert_eq!(
+        storm.events_dropped, 0,
+        "storm run dropped telemetry events"
+    );
+
+    let rate = |want: u64| {
+        storm
+            .tiers
+            .iter()
+            .find(|t| t.sessions == want)
+            .map(|t| t.sessions_per_sec)
+            .expect("tier present")
+    };
+    let (base, big) = (rate(512), rate(10_000));
+    assert!(
+        big >= base * 0.5,
+        "10k-session throughput {big:.1}/s fell below half the 512-session \
+         rate {base:.1}/s — the session table is not scaling"
+    );
+
+    // The accept spread: every configured shard took connections, and
+    // together they accepted exactly the total session count.
+    let live = storm
+        .shard_counters
+        .accepted
+        .iter()
+        .filter(|&&a| a > 0)
+        .count() as u64;
+    assert_eq!(
+        live, storm.shards,
+        "connections did not spread across all {} reactor shards",
+        storm.shards
+    );
+    let total: u64 = storm.tiers.iter().map(|t| t.sessions).sum();
+    let accepted: u64 = storm.shard_counters.accepted.iter().sum();
+    assert_eq!(
+        accepted, total,
+        "shard accept counters disagree with the tier session totals"
+    );
+    assert!(
+        storm.shard_counters.frames >= 3 * total,
+        "each session sends register/submit/exit; frame counter is too low"
+    );
+}
+
+/// The obs section must carry the events_recorded-normalized tracing
+/// cost: the raw overhead percentage on a seconds-long reduced run is
+/// dominated by noise (the committed artifact once read +33% for what
+/// is ~3.5 µs/event), so the gate bounds the per-event cost instead.
+#[test]
+fn committed_obs_per_event_cost_is_bounded() {
+    let obs = load_harness().obs;
+    assert!(obs.events_recorded > 0, "obs A/B recorded no events");
+    assert_eq!(obs.events_dropped, 0, "obs A/B dropped events");
+    assert!(obs.outputs_identical, "tracing perturbed rendered output");
+    assert!(
+        obs.per_event_ns.is_finite() && obs.per_event_ns.abs() < 20_000.0,
+        "per-event tracing cost {} ns is out of range (timer noise on an \
+         idle run may read slightly negative; 20 µs/event means the hot \
+         path regressed)",
+        obs.per_event_ns
+    );
+    // Recomputed from its (3-decimal-rounded) inputs: the rounding of
+    // the two wall times alone can move the quotient by ~1.1e6 /
+    // events_recorded nanoseconds.
+    let recomputed = (obs.enabled_s - obs.disabled_s) * 1e9 / obs.events_recorded as f64;
+    let tol = 1.2e6 / obs.events_recorded as f64 + 0.1;
+    assert!(
+        (recomputed - obs.per_event_ns).abs() <= tol,
+        "per_event_ns {} disagrees with its inputs ({recomputed:.1} ± {tol:.1})",
+        obs.per_event_ns
     );
 }

@@ -8,9 +8,13 @@
 //! * [`HarpDaemon`] — accepts libharp connections on a Unix domain socket,
 //!   speaks the `harp-proto` frame protocol, runs the shared [`harp_rm::RmCore`] and
 //!   pushes operating-point activations to all affected applications.
+//!   Client I/O runs on a small set of epoll reactor shards (DESIGN.md
+//!   §12): each shard owns a slab-indexed session table and decodes frames
+//!   zero-copy, so ten thousand idle sessions cost file descriptors — not
+//!   threads or per-message allocations.
 //! * [`UnixTransport`] — the client-side [`libharp::Transport`] over a
-//!   `UnixStream` (a reader thread decodes frames into a channel, so
-//!   non-blocking polls never tear frames).
+//!   non-blocking `UnixStream` (an incremental frame decoder reassembles
+//!   partial reads, so non-blocking polls never tear frames).
 //! * [`affinity`] — real `sched_setaffinity` actuation for worker threads.
 //!
 //! Online perf/RAPL monitoring is hardware-specific; the daemon therefore
@@ -36,6 +40,7 @@
 
 pub mod affinity;
 mod client;
+mod reactor_server;
 mod server;
 
 pub use client::UnixTransport;

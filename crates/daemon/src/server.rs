@@ -1,8 +1,9 @@
 //! The `harpd` server: RM core behind a Unix domain socket.
 
+use crate::reactor_server::{self, Router, MAX_SHARDS};
 use harp_platform::HardwareDescription;
-use harp_proto::frame;
-use harp_proto::{Activate, ErrorMsg, Hello, Message, RegisterAck, TelemetryDump};
+use harp_proto::frame::encode_frame;
+use harp_proto::{Activate, Message};
 use harp_rm::journal::{last_epoch, read_journal};
 use harp_rm::{Directive, JournalRecord, JournalWriter, RmConfig, RmCore, RmOutput};
 use harp_types::{AppId, ErvShape, ExtResourceVector, NonFunctional, Result};
@@ -28,7 +29,7 @@ pub const ERR_DUPLICATE_REGISTER: u32 = 4;
 pub const ERR_SUBMIT_REJECTED: u32 = 5;
 
 /// Stable telemetry name of a protocol error code.
-fn err_name(code: u32) -> &'static str {
+pub(crate) fn err_name(code: u32) -> &'static str {
     match code {
         ERR_REGISTER_REJECTED => "register_rejected",
         ERR_PROTOCOL => "protocol",
@@ -40,7 +41,7 @@ fn err_name(code: u32) -> &'static str {
 }
 
 /// Stable telemetry name of an inbound message type.
-fn msg_name(msg: &Message) -> &'static str {
+pub(crate) fn msg_name(msg: &Message) -> &'static str {
     match msg {
         Message::Register(_) => "register",
         Message::RegisterAck(_) => "register_ack",
@@ -57,12 +58,13 @@ fn msg_name(msg: &Message) -> &'static str {
     }
 }
 
-/// Upper bound on the JSONL payload of a [`TelemetryDump`] reply, chosen
-/// well under [`frame::MAX_FRAME_LEN`] so the encoded frame always fits.
-const MAX_DUMP_BYTES: usize = 8 * 1024 * 1024;
+/// Upper bound on the JSONL payload of a `TelemetryDump` reply, chosen
+/// well under [`harp_proto::frame::MAX_FRAME_LEN`] so the encoded frame
+/// always fits.
+pub(crate) const MAX_DUMP_BYTES: usize = 8 * 1024 * 1024;
 
 /// Truncates a JSONL document to `max` bytes at a line boundary.
-fn truncate_jsonl(mut jsonl: String, max: usize) -> (String, bool) {
+pub(crate) fn truncate_jsonl(mut jsonl: String, max: usize) -> (String, bool) {
     if jsonl.len() <= max {
         return (jsonl, false);
     }
@@ -71,11 +73,11 @@ fn truncate_jsonl(mut jsonl: String, max: usize) -> (String, bool) {
     (jsonl, true)
 }
 
-/// Locks a mutex, recovering from poison: a connection thread that
-/// panicked while holding the lock must not take the whole daemon down
-/// with it — the guarded state (RM core, stream map) stays consistent
-/// because every mutation path hands back a fully-updated value.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+/// Locks a mutex, recovering from poison: a shard thread that panicked
+/// while holding the lock must not take the whole daemon down with it —
+/// the guarded state (RM core, routing tables) stays consistent because
+/// every mutation path hands back a fully-updated value.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -105,6 +107,10 @@ pub struct DaemonConfig {
     pub watchdog: Option<Duration>,
     /// Records appended between journal compactions.
     pub compact_every: u64,
+    /// Reactor shard threads serving client I/O (clamped to
+    /// `1..=`[`MAX_SHARDS`]). Each shard owns an epoll poller and a slab
+    /// of sessions; connections are dealt round-robin at accept.
+    pub shards: usize,
 }
 
 impl DaemonConfig {
@@ -122,7 +128,15 @@ impl DaemonConfig {
             journal_path: None,
             watchdog: None,
             compact_every: 256,
+            shards: 2,
         }
+    }
+
+    /// Sets the number of reactor shard threads (clamped to
+    /// `1..=`[`MAX_SHARDS`]).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.clamp(1, MAX_SHARDS);
+        self
     }
 
     /// Enables the global telemetry collector for this daemon.
@@ -145,25 +159,21 @@ impl DaemonConfig {
     }
 }
 
-/// One client's serialized write side. `frame::write_frame` issues two
-/// writes per frame (length prefix, body), so the connection thread and
-/// `route()` must take this lock to keep frames from interleaving.
-type ClientWriter = Arc<Mutex<UnixStream>>;
-
-struct Shared {
+pub(crate) struct Shared {
     /// The RM core behind two layers: the outer `RwLock` lets the watchdog
     /// swap in a freshly recovered core while wedged threads still hold the
     /// old one; the inner `Mutex` serializes normal operations.
     rm: RwLock<Arc<Mutex<RmCore>>>,
-    /// Write-sides of connected applications, for pushing activations.
-    /// Each entry is the same shared writer its connection thread uses for
-    /// replies, so concurrent frames to one client never interleave.
-    streams: Mutex<HashMap<AppId, ClientWriter>>,
+    /// Session → shard routing for pushing activations: encoded frames are
+    /// delivered to the owning shard's inbox, which serializes them into
+    /// the session's outbound ring — frames to one client never interleave
+    /// because only its shard ever writes its socket.
+    pub(crate) router: Router,
     /// Session → connection currently owning it. Hangup cleanup only
     /// deregisters a session its connection still owns, so a client that
     /// resumed on a new connection is not torn down by the stale one.
-    owners: Mutex<HashMap<AppId, u64>>,
-    shape: ErvShape,
+    pub(crate) owners: Mutex<HashMap<AppId, u64>>,
+    pub(crate) shape: ErvShape,
     hw: HardwareDescription,
     rm_cfg: RmConfig,
     journal_path: Option<PathBuf>,
@@ -172,18 +182,18 @@ struct Shared {
     fence: Arc<AtomicU64>,
     /// Boot epoch stamped into every `Hello`/`RegisterAck`; strictly
     /// increases across daemon restarts via the journal's epoch records.
-    epoch: u64,
-    next_id: AtomicU64,
+    pub(crate) epoch: u64,
+    pub(crate) next_id: AtomicU64,
     /// Resume-token counter; tokens embed the epoch so tokens from
     /// different boots never collide.
     next_token: AtomicU64,
     /// Connection counter for telemetry (distinct from session ids: a
     /// connection may never register).
     next_conn: AtomicU64,
-    stop: AtomicBool,
-    /// Simulated crash: connection threads skip deregister-on-hangup so
-    /// the journal keeps the sessions for the next boot to recover.
-    killed: AtomicBool,
+    pub(crate) stop: AtomicBool,
+    /// Simulated crash: shards skip deregister-on-hangup so the journal
+    /// keeps the sessions for the next boot to recover.
+    pub(crate) killed: AtomicBool,
     /// Milliseconds since `started` at which the in-flight RM operation
     /// began (0 = idle); sampled by the watchdog.
     op_started_ms: AtomicU64,
@@ -193,13 +203,13 @@ struct Shared {
 
 /// Marks an RM operation in flight for the watchdog; cleared on drop
 /// unless a newer operation has started since (the wedged case).
-struct OpGuard<'a> {
+pub(crate) struct OpGuard<'a> {
     shared: &'a Shared,
     seq: u64,
 }
 
 impl<'a> OpGuard<'a> {
-    fn begin(shared: &'a Shared) -> Self {
+    pub(crate) fn begin(shared: &'a Shared) -> Self {
         let seq = shared.op_seq.fetch_add(1, Ordering::SeqCst) + 1;
         // `| 1` keeps a start in the very first millisecond distinct from
         // the idle sentinel.
@@ -219,7 +229,7 @@ impl Drop for OpGuard<'_> {
 
 impl Shared {
     /// The current RM core (watchdog restarts swap the `Arc`).
-    fn core(&self) -> Arc<Mutex<RmCore>> {
+    pub(crate) fn core(&self) -> Arc<Mutex<RmCore>> {
         self.rm
             .read()
             .unwrap_or_else(PoisonError::into_inner)
@@ -228,35 +238,25 @@ impl Shared {
 
     /// Mints a resume token: epoch in the high half, a counter in the low,
     /// so tokens stay unique across daemon restarts.
-    fn make_token(&self) -> u64 {
+    pub(crate) fn make_token(&self) -> u64 {
         (self.epoch << 32) | self.next_token.fetch_add(1, Ordering::SeqCst)
     }
 
-    /// Relays the RM output to every affected application. Streams whose
-    /// peer is gone are pruned here; the session itself is deregistered by
-    /// its connection thread when it observes the hangup.
-    fn route(&self, out: &RmOutput) {
-        let mut streams = lock(&self.streams);
-        let mut dead: Vec<AppId> = Vec::new();
+    /// Relays the RM output to every affected application: each directive
+    /// is encoded once and handed to the owning shard's inbox. Routes whose
+    /// session is gone are dropped by the shard (and counted as pruned);
+    /// the session itself is deregistered when its shard observes the
+    /// hangup.
+    pub(crate) fn route(&self, out: &RmOutput) {
         for d in &out.directives {
-            if let Some(writer) = streams.get(&d.app) {
-                if frame::write_frame(&mut *lock(writer), &directive_to_activate(d)).is_err() {
-                    dead.push(d.app);
-                }
-            }
-        }
-        for app in dead {
-            streams.remove(&app);
-            if harp_obs::enabled() {
-                harp_obs::instant(harp_obs::Subsystem::Daemon, "dead_stream_pruned")
-                    .field("session", app.raw());
-                harp_obs::metrics::counter("daemon.dead_stream_pruned").inc();
+            if let Ok(bytes) = encode_frame(&directive_to_activate(d)) {
+                self.router.deliver(d.app, bytes);
             }
         }
     }
 }
 
-fn directive_to_activate(d: &Directive) -> Message {
+pub(crate) fn directive_to_activate(d: &Directive) -> Message {
     Message::Activate(Activate {
         app_id: d.app.raw(),
         erv_flat: d.erv.flat(),
@@ -278,6 +278,7 @@ pub struct DaemonHandle {
     socket_path: PathBuf,
     accept_thread: Option<std::thread::JoinHandle<()>>,
     watchdog_thread: Option<std::thread::JoinHandle<()>>,
+    shard_threads: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for DaemonHandle {
@@ -314,7 +315,7 @@ impl HarpDaemon {
 
         let shared = Arc::new(Shared {
             rm: RwLock::new(Arc::new(Mutex::new(core))),
-            streams: Mutex::new(HashMap::new()),
+            router: Router::default(),
             owners: Mutex::new(HashMap::new()),
             shape,
             hw: cfg.hw,
@@ -331,6 +332,8 @@ impl HarpDaemon {
             op_seq: AtomicU64::new(0),
             started: Instant::now(),
         });
+        let shard_threads = reactor_server::spawn_shards(&shared, cfg.shards)?;
+        let nshards = shard_threads.len();
         let accept_shared = shared.clone();
         let accept_thread = std::thread::Builder::new()
             .name("harpd-accept".into())
@@ -341,16 +344,17 @@ impl HarpDaemon {
                     }
                     match conn {
                         Ok(stream) => {
-                            let shared = accept_shared.clone();
-                            let conn_id = shared.next_conn.fetch_add(1, Ordering::SeqCst);
+                            let conn_id = accept_shared.next_conn.fetch_add(1, Ordering::SeqCst);
                             if harp_obs::enabled() {
                                 harp_obs::instant(harp_obs::Subsystem::Daemon, "accept")
                                     .field("conn", conn_id);
                                 harp_obs::metrics::counter("daemon.accepts").inc();
                             }
-                            let _ = std::thread::Builder::new()
-                                .name("harpd-conn".into())
-                                .spawn(move || handle_connection(shared, stream, conn_id));
+                            // Deal connections round-robin: with long-lived
+                            // sessions this keeps shard load even without
+                            // tracking per-shard occupancy.
+                            let shard = (conn_id as usize) % nshards;
+                            accept_shared.router.dispatch_conn(shard, stream, conn_id);
                         }
                         Err(_) => return,
                     }
@@ -372,6 +376,7 @@ impl HarpDaemon {
             socket_path: cfg.socket_path,
             accept_thread: Some(accept_thread),
             watchdog_thread,
+            shard_threads,
         })
     }
 }
@@ -524,11 +529,11 @@ impl DaemonHandle {
     /// a killed process.
     pub fn kill(mut self) {
         self.shared.killed.store(true, Ordering::SeqCst);
+        // Joining the shards severs every client socket: each shard's
+        // teardown shuts down its remaining sessions without deregistering
+        // them (the `killed` flag makes hangups observed on the way out
+        // skip cleanup too).
         self.stop_threads();
-        let mut streams = lock(&self.shared.streams);
-        for (_, s) in streams.drain() {
-            let _ = lock(&s).shutdown(std::net::Shutdown::Both);
-        }
     }
 
     /// Test hook: simulates a wedged RM operation by starting an op-watch
@@ -545,9 +550,9 @@ impl DaemonHandle {
         });
     }
 
-    /// Stops the accept and watchdog threads and releases the journal:
-    /// fences the writer (a wedged thread can no longer append) and
-    /// detaches it from the core so the file is free for the next boot.
+    /// Stops the accept, shard, and watchdog threads and releases the
+    /// journal: fences the writer (a wedged thread can no longer append)
+    /// and detaches it from the core so the file is free for the next boot.
     fn stop_threads(&mut self) {
         self.shared.stop.store(true, Ordering::SeqCst);
         // Unblock the accept loop with a dummy connection.
@@ -558,273 +563,15 @@ impl DaemonHandle {
         if let Some(t) = self.watchdog_thread.take() {
             let _ = t.join();
         }
+        // Interrupt every shard's poller; each observes `stop`, severs its
+        // remaining sessions, and exits.
+        self.shared.router.wake_all();
+        for t in self.shard_threads.drain(..) {
+            let _ = t.join();
+        }
         self.shared.fence.fetch_add(1, Ordering::SeqCst);
         let core = self.shared.core();
         lock(&core).detach_journal();
-    }
-}
-
-/// Sends a protocol error notification to the peer; delivery is
-/// best-effort (the peer may already be gone). Every ERR_* reply is also
-/// logged as a structured `err_reply` event carrying the connection and
-/// session ids, and counted in the metrics registry.
-fn send_error(
-    writer: &Mutex<UnixStream>,
-    code: u32,
-    detail: impl Into<String>,
-    conn: u64,
-    session: Option<AppId>,
-) {
-    let detail = detail.into();
-    if harp_obs::enabled() {
-        harp_obs::instant(harp_obs::Subsystem::Daemon, "err_reply")
-            .field("code", code)
-            .field("err", err_name(code))
-            .field("conn", conn)
-            .field("session", session.map(AppId::raw).unwrap_or(0))
-            .field("detail", detail.clone());
-        harp_obs::metrics::counter("daemon.err_replies").inc();
-    }
-    let _ = frame::write_frame(
-        &mut *lock(writer),
-        &Message::Error(ErrorMsg { code, detail }),
-    );
-}
-
-/// Serves one client connection until clean exit, hangup, or a protocol
-/// violation. Every failure mode ends in the same cleanup: the write side
-/// is unrouted and the session (if any) deregistered, so a misbehaving or
-/// crashed client can never leak cores or wedge the daemon.
-fn handle_connection(shared: Arc<Shared>, stream: UnixStream, conn: u64) {
-    let mut read = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    };
-    // All writes to this client — replies from this thread and activations
-    // routed by other connections' threads — go through one lock, so
-    // multi-write frames never interleave on the wire.
-    let writer: ClientWriter = Arc::new(Mutex::new(stream));
-    let mut conn_span = harp_obs::span(harp_obs::Subsystem::Daemon, "conn").field("conn", conn);
-    let mut app: Option<AppId> = None;
-    // Greet with the boot epoch: a reconnecting client compares it with
-    // the epoch it registered under to learn whether the daemon restarted
-    // (and therefore whether its resume token refers to recovered state).
-    let _ = frame::write_frame(
-        &mut *lock(&writer),
-        &Message::Hello(Hello {
-            epoch: shared.epoch,
-            resume_token: 0,
-        }),
-    );
-    loop {
-        let msg = match frame::read_frame(&mut read) {
-            Ok(Some(m)) => m,
-            // Clean EOF at a frame boundary: treat like an exit.
-            Ok(None) => break,
-            // Torn, oversized or malformed frame — tell the peer (best
-            // effort) and drop the connection. Resynchronizing a byte
-            // stream after a framing error is not possible.
-            Err(e) => {
-                send_error(&writer, ERR_PROTOCOL, e.to_string(), conn, app);
-                break;
-            }
-        };
-        let _dispatch = harp_obs::span(harp_obs::Subsystem::Daemon, "dispatch")
-            .field("msg", msg_name(&msg))
-            .field("conn", conn)
-            .field("session", app.map(AppId::raw).unwrap_or(0));
-        match msg {
-            Message::Register(_) if app.is_some() => {
-                // A connection is one session; re-registration would leak
-                // the original session's resources.
-                send_error(
-                    &writer,
-                    ERR_DUPLICATE_REGISTER,
-                    "connection already holds a registered session",
-                    conn,
-                    app,
-                );
-            }
-            Message::Register(reg) => {
-                let id = AppId(shared.next_id.fetch_add(1, Ordering::SeqCst));
-                let token = shared.make_token();
-                // Make the stream routable before the allocation round so
-                // this app receives its own activation.
-                lock(&shared.streams).insert(id, writer.clone());
-                let core = shared.core();
-                let result = {
-                    let _op = OpGuard::begin(&shared);
-                    lock(&core).register_resumable(id, &reg.app_name, reg.provides_utility, token)
-                };
-                match result {
-                    Ok(out) => {
-                        app = Some(id);
-                        lock(&shared.owners).insert(id, conn);
-                        conn_span.set_field("session", id.raw());
-                        let _ = frame::write_frame(
-                            &mut *lock(&writer),
-                            &Message::RegisterAck(RegisterAck {
-                                app_id: id.raw(),
-                                epoch: shared.epoch,
-                                resume_token: token,
-                                resumed: false,
-                            }),
-                        );
-                        shared.route(&out);
-                    }
-                    Err(e) => {
-                        lock(&shared.streams).remove(&id);
-                        send_error(&writer, ERR_REGISTER_REJECTED, e.to_string(), conn, app);
-                    }
-                }
-            }
-            Message::Resume(_) if app.is_some() => {
-                send_error(
-                    &writer,
-                    ERR_DUPLICATE_REGISTER,
-                    "connection already holds a registered session",
-                    conn,
-                    app,
-                );
-            }
-            Message::Resume(r) => {
-                let core = shared.core();
-                let resolved = lock(&core).resolve_resume_token(r.resume_token);
-                if let Some(id) = resolved {
-                    // Idempotent reclaim: rebind the session to this
-                    // connection and replay its current activation so the
-                    // client re-applies without waiting for a round.
-                    lock(&shared.streams).insert(id, writer.clone());
-                    lock(&shared.owners).insert(id, conn);
-                    app = Some(id);
-                    conn_span.set_field("session", id.raw());
-                    let _ = frame::write_frame(
-                        &mut *lock(&writer),
-                        &Message::RegisterAck(RegisterAck {
-                            app_id: id.raw(),
-                            epoch: shared.epoch,
-                            resume_token: r.resume_token,
-                            resumed: true,
-                        }),
-                    );
-                    let last = lock(&core).last_directive(id).cloned();
-                    if let Some(d) = last {
-                        let _ = frame::write_frame(&mut *lock(&writer), &directive_to_activate(&d));
-                    }
-                    harp_obs::metrics::counter("daemon.reconnects_total").inc();
-                    if harp_obs::enabled() {
-                        harp_obs::instant(harp_obs::Subsystem::Daemon, "session_resumed")
-                            .field("conn", conn)
-                            .field("session", id.raw());
-                    }
-                } else {
-                    // Stale or foreign token (journal lost, session reaped):
-                    // fall back to a fresh registration under a new token.
-                    let id = AppId(shared.next_id.fetch_add(1, Ordering::SeqCst));
-                    let token = shared.make_token();
-                    lock(&shared.streams).insert(id, writer.clone());
-                    let result = {
-                        let _op = OpGuard::begin(&shared);
-                        lock(&core).register_resumable(id, &r.app_name, r.provides_utility, token)
-                    };
-                    match result {
-                        Ok(out) => {
-                            app = Some(id);
-                            lock(&shared.owners).insert(id, conn);
-                            conn_span.set_field("session", id.raw());
-                            let _ = frame::write_frame(
-                                &mut *lock(&writer),
-                                &Message::RegisterAck(RegisterAck {
-                                    app_id: id.raw(),
-                                    epoch: shared.epoch,
-                                    resume_token: token,
-                                    resumed: false,
-                                }),
-                            );
-                            harp_obs::metrics::counter("daemon.reconnects_total").inc();
-                            shared.route(&out);
-                        }
-                        Err(e) => {
-                            lock(&shared.streams).remove(&id);
-                            send_error(&writer, ERR_REGISTER_REJECTED, e.to_string(), conn, app);
-                        }
-                    }
-                }
-            }
-            Message::SubmitPoints(sp) => {
-                let Some(id) = app else {
-                    send_error(
-                        &writer,
-                        ERR_NO_SESSION,
-                        "SubmitPoints before registration",
-                        conn,
-                        app,
-                    );
-                    continue;
-                };
-                let mut points = Vec::new();
-                for p in &sp.points {
-                    if let Ok(erv) = ExtResourceVector::from_flat(&shared.shape, &p.erv_flat) {
-                        points.push((erv, NonFunctional::new(p.utility, p.power)));
-                    }
-                }
-                let core = shared.core();
-                let result = {
-                    let _op = OpGuard::begin(&shared);
-                    lock(&core).submit_points(id, points)
-                };
-                match result {
-                    Ok(out) => shared.route(&out),
-                    Err(e) => send_error(&writer, ERR_SUBMIT_REJECTED, e.to_string(), conn, app),
-                }
-            }
-            Message::DumpTelemetry(req) => {
-                // Serve the flight recorder to observers (`harp-trace`).
-                // When the collector is disabled the dump is just the
-                // (empty) recorder header — still a valid document.
-                let (jsonl, truncated) =
-                    truncate_jsonl(harp_obs::dump_global(req.include_metrics), MAX_DUMP_BYTES);
-                let _ = frame::write_frame(
-                    &mut *lock(&writer),
-                    &Message::TelemetryDump(TelemetryDump { jsonl, truncated }),
-                );
-            }
-            Message::UtilityReport(_) => {
-                // Collected for future online monitoring; the daemon's RM
-                // runs offline (see crate docs).
-            }
-            Message::Exit { .. } => break,
-            _ => {
-                // RM-to-application messages echoed back by a confused or
-                // malicious client carry no meaning here; ignore them.
-            }
-        }
-    }
-    if let Some(id) = app {
-        // Only the connection that currently owns the session may tear it
-        // down: after a resume, the stale connection's hangup must not
-        // deregister the session out from under the new one. A killed
-        // daemon skips cleanup entirely so the journal keeps the session
-        // for the next boot to recover.
-        let owns = lock(&shared.owners).get(&id).copied() == Some(conn);
-        if owns && !shared.killed.load(Ordering::SeqCst) {
-            lock(&shared.streams).remove(&id);
-            lock(&shared.owners).remove(&id);
-            let core = shared.core();
-            let result = {
-                let _op = OpGuard::begin(&shared);
-                lock(&core).deregister(id)
-            };
-            if let Ok(out) = result {
-                if harp_obs::enabled() {
-                    harp_obs::instant(harp_obs::Subsystem::Daemon, "session_deregistered")
-                        .field("conn", conn)
-                        .field("session", id.raw());
-                    harp_obs::metrics::counter("daemon.deregisters").inc();
-                }
-                shared.route(&out);
-            }
-        }
     }
 }
 

@@ -134,6 +134,73 @@ fn client_death_mid_frame_leaves_other_sessions_running() {
     daemon.shutdown();
 }
 
+/// Reactor-side hangup handling: killing a client mid-frame raises
+/// `EPOLLRDHUP`/`EPOLLHUP` on its shard, which must free the session's
+/// allocation within one reactor tick — not after a timeout, and without
+/// waiting for unrelated traffic to flush the dead socket out.
+#[test]
+fn hangup_frees_allocation_within_one_reactor_tick() {
+    let hw = HardwareDescription::raptor_lake();
+    let shape = hw.erv_shape();
+    let socket = temp_socket("rdhup");
+    let daemon = HarpDaemon::start(DaemonConfig::new(&socket, hw)).unwrap();
+    daemon.load_profile("burst", points(&shape));
+
+    // Raw client: register, wait for the ack so the RM holds an
+    // allocation for it, then die with a torn frame on the wire.
+    let c = UnixStream::connect(&socket).unwrap();
+    let mut c_read = c.try_clone().unwrap();
+    frame::write_frame(
+        &c,
+        &Message::Register(Register {
+            pid: 1,
+            app_name: "burst".into(),
+            adaptivity: AdaptivityType::Scalable,
+            provides_utility: false,
+        }),
+    )
+    .unwrap();
+    let id = loop {
+        match frame::read_frame(&mut c_read).unwrap().expect("ack frame") {
+            Message::RegisterAck(ack) => break ack.app_id,
+            _ => continue,
+        }
+    };
+    assert_eq!(
+        daemon.managed_apps().iter().map(|a| a.raw()).next(),
+        Some(id)
+    );
+
+    let shard_hangups = || -> u64 {
+        let snap = harp_obs::metrics::snapshot();
+        (0..8)
+            .map(|i| snap.counter(&format!("daemon.shard{i}.hangups")))
+            .sum()
+    };
+    let hangups_before = shard_hangups();
+    (&c).write_all(&[0xFF, 0x00, 0x00, 0x00, 0xAA]).unwrap(); // torn frame
+    let killed_at = Instant::now();
+    drop(c_read);
+    drop(c); // close both clones -> EPOLLRDHUP at the daemon
+
+    // One reactor tick is bounded by the shard's 250ms poller timeout;
+    // an edge-delivered hangup should beat it by orders of magnitude.
+    // Allow a full second for a loaded single-core CI box.
+    while !daemon.managed_apps().is_empty() {
+        assert!(
+            killed_at.elapsed() < Duration::from_secs(1),
+            "hangup not reaped within a reactor tick"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let hangups_after = shard_hangups();
+    assert!(
+        hangups_after > hangups_before,
+        "reap happened but no shard observed a hangup event"
+    );
+    daemon.shutdown();
+}
+
 #[test]
 fn instant_hangup_after_connect_is_harmless() {
     let socket = temp_socket("instant");

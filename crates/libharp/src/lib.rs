@@ -84,6 +84,23 @@ pub trait Transport {
     ///
     /// As for [`Transport::send`].
     fn try_recv(&mut self) -> Result<Option<Message>>;
+
+    /// Waits until a message is likely available, up to `timeout`
+    /// (`None` = wait indefinitely). Returns `true` if [`Transport::try_recv`]
+    /// should be attempted, `false` on timeout.
+    ///
+    /// Readiness-based transports (the daemon's Unix-socket transport)
+    /// override this to park in `poll(2)` instead of spinning; the default
+    /// conservatively reports readiness so callers fall back to polling
+    /// `try_recv`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Transport::send`].
+    fn poll_ready(&mut self, timeout: Option<std::time::Duration>) -> Result<bool> {
+        let _ = timeout;
+        Ok(true)
+    }
 }
 
 impl Transport for harp_proto::DuplexEndpoint {

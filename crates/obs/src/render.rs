@@ -380,6 +380,49 @@ pub fn render_metrics(dump: &ParsedDump) -> String {
     out
 }
 
+/// Renders the reactor-shard table (DESIGN.md §12): one row per shard
+/// that saw any traffic, built from the `daemon.shard{N}.*` counters.
+/// Empty when the dump carries no shard metrics (sim-only runs, dumps
+/// from daemons predating the reactor).
+pub fn render_shards(dump: &ParsedDump) -> String {
+    let get = |name: String| {
+        dump.metrics
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| m.value)
+            .unwrap_or(0.0) as u64
+    };
+    let mut rows = Vec::new();
+    for n in 0..8 {
+        let row = (
+            n,
+            get(format!("daemon.shard{n}.accepted")),
+            get(format!("daemon.shard{n}.frames")),
+            get(format!("daemon.shard{n}.flushes")),
+            get(format!("daemon.shard{n}.hangups")),
+        );
+        if row.1 != 0 || row.2 != 0 || row.3 != 0 || row.4 != 0 {
+            rows.push(row);
+        }
+    }
+    if rows.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>5} {:>9} {:>9} {:>9} {:>9}",
+        "shard", "accepted", "frames", "flushes", "hangups"
+    );
+    for (n, accepted, frames, flushes, hangups) in rows {
+        let _ = writeln!(
+            out,
+            "{n:>5} {accepted:>9} {frames:>9} {flushes:>9} {hangups:>9}"
+        );
+    }
+    out
+}
+
 /// Metric names summarized by [`render_fault_tolerance`], in render order.
 const FAULT_METRICS: [(&str, &str); 4] = [
     (
@@ -489,6 +532,27 @@ mod tests {
         let healthy = "{\"type\":\"meta\",\"format\":\"harp-obs-v1\",\"ring_capacity\":1,\"recorded\":0,\"evicted\":0}\n";
         let parsed = parse_dump(healthy).unwrap();
         assert!(render_fault_tolerance(&parsed).is_empty());
+    }
+
+    #[test]
+    fn shard_table_renders_only_active_shards() {
+        let dump = "{\"type\":\"meta\",\"format\":\"harp-obs-v1\",\"ring_capacity\":1,\"recorded\":0,\"evicted\":0}\n\
+            {\"type\":\"metric\",\"metric\":\"counter\",\"name\":\"daemon.shard0.accepted\",\"value\":3}\n\
+            {\"type\":\"metric\",\"metric\":\"counter\",\"name\":\"daemon.shard0.frames\",\"value\":9}\n\
+            {\"type\":\"metric\",\"metric\":\"counter\",\"name\":\"daemon.shard1.accepted\",\"value\":2}\n\
+            {\"type\":\"metric\",\"metric\":\"counter\",\"name\":\"daemon.shard1.hangups\",\"value\":1}\n";
+        let parsed = parse_dump(dump).unwrap();
+        let rendered = render_shards(&parsed);
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 3, "header + two active shards:\n{rendered}");
+        let row0: Vec<&str> = lines[1].split_whitespace().collect();
+        assert_eq!(row0, ["0", "3", "9", "0", "0"]);
+        let row1: Vec<&str> = lines[2].split_whitespace().collect();
+        assert_eq!(row1, ["1", "2", "0", "0", "1"]);
+
+        // No shard counters at all: the section disappears entirely.
+        let quiet = "{\"type\":\"meta\",\"format\":\"harp-obs-v1\",\"ring_capacity\":1,\"recorded\":0,\"evicted\":0}\n";
+        assert!(render_shards(&parse_dump(quiet).unwrap()).is_empty());
     }
 
     #[test]

@@ -39,6 +39,7 @@
 
 pub mod buf;
 pub mod frame;
+pub mod legacy;
 mod messages;
 pub mod wire;
 

@@ -335,6 +335,13 @@ impl Message {
 
     /// Decodes a message from its wire representation.
     ///
+    /// The envelope payload and every nested submessage are *borrowed*
+    /// from `bytes` while parsing — no intermediate copies are made. Only
+    /// the owned fields of the resulting [`Message`] (strings, vectors)
+    /// allocate; messages without such fields decode allocation-free.
+    /// The pre-reactor allocating decoder is frozen in [`crate::legacy`]
+    /// as a differential oracle.
+    ///
     /// # Errors
     ///
     /// Returns [`HarpError::Protocol`] for truncated or malformed input,
@@ -342,19 +349,18 @@ impl Message {
     pub fn decode(mut bytes: &[u8]) -> Result<Message> {
         let buf = &mut bytes;
         let mut discriminant: Option<u64> = None;
-        let mut payload: Option<Vec<u8>> = None;
+        let mut payload: Option<&[u8]> = None;
         while !buf.is_empty() {
             let (field, wiretype) = wire::get_key(buf)?;
             match (field, wiretype) {
                 (1, WireType::Varint) => discriminant = Some(wire::get_varint(buf)?),
-                (2, WireType::LengthDelimited) => payload = Some(wire::get_bytes(buf)?),
+                (2, WireType::LengthDelimited) => payload = Some(wire::take_bytes(buf)?),
                 (_, w) => wire::skip_field(buf, w)?,
             }
         }
         let discriminant =
             discriminant.ok_or_else(|| HarpError::protocol("missing message discriminant"))?;
-        let payload = payload.ok_or_else(|| HarpError::protocol("missing message payload"))?;
-        let mut p = payload.as_slice();
+        let mut p = payload.ok_or_else(|| HarpError::protocol("missing message payload"))?;
         decode_payload(discriminant, &mut p)
     }
 }
@@ -366,7 +372,7 @@ fn decode_payload(discriminant: u64, buf: &mut &[u8]) -> Result<Message> {
             for_each_field(buf, |field, wiretype, buf| {
                 match (field, wiretype) {
                     (1, WireType::Varint) => pid = wire::get_varint(buf)?,
-                    (2, WireType::LengthDelimited) => name = wire::get_string(buf)?,
+                    (2, WireType::LengthDelimited) => name = wire::take_str(buf)?.to_owned(),
                     (3, WireType::Varint) => adapt = wire::get_varint(buf)?,
                     (4, WireType::Varint) => provides = wire::get_varint(buf)? != 0,
                     (_, w) => wire::skip_field(buf, w)?,
@@ -406,10 +412,10 @@ fn decode_payload(discriminant: u64, buf: &mut &[u8]) -> Result<Message> {
             for_each_field(buf, |field, wiretype, buf| {
                 match (field, wiretype) {
                     (1, WireType::Varint) => app_id = wire::get_varint(buf)?,
-                    (2, WireType::LengthDelimited) => smt_widths = wire::get_packed_u32(buf)?,
+                    (2, WireType::LengthDelimited) => smt_widths = wire::take_packed_u32(buf)?,
                     (3, WireType::LengthDelimited) => {
-                        let inner = wire::get_bytes(buf)?;
-                        points.push(decode_point(&mut inner.as_slice())?);
+                        let mut inner = wire::take_bytes(buf)?;
+                        points.push(decode_point(&mut inner)?);
                     }
                     (_, w) => wire::skip_field(buf, w)?,
                 }
@@ -430,13 +436,13 @@ fn decode_payload(discriminant: u64, buf: &mut &[u8]) -> Result<Message> {
             for_each_field(buf, |field, wiretype, buf| {
                 match (field, wiretype) {
                     (1, WireType::Varint) => app_id = wire::get_varint(buf)?,
-                    (2, WireType::LengthDelimited) => erv_flat = wire::get_packed_u32(buf)?,
-                    (3, WireType::LengthDelimited) => core_ids = wire::get_packed_u32(buf)?,
+                    (2, WireType::LengthDelimited) => erv_flat = wire::take_packed_u32(buf)?,
+                    (3, WireType::LengthDelimited) => core_ids = wire::take_packed_u32(buf)?,
                     (4, WireType::Varint) => {
                         parallelism = u32::try_from(wire::get_varint(buf)?)
                             .map_err(|_| HarpError::protocol("parallelism too large"))?
                     }
-                    (5, WireType::LengthDelimited) => hw_thread_ids = wire::get_packed_u32(buf)?,
+                    (5, WireType::LengthDelimited) => hw_thread_ids = wire::take_packed_u32(buf)?,
                     (_, w) => wire::skip_field(buf, w)?,
                 }
                 Ok(())
@@ -493,7 +499,7 @@ fn decode_payload(discriminant: u64, buf: &mut &[u8]) -> Result<Message> {
                         code = u32::try_from(wire::get_varint(buf)?)
                             .map_err(|_| HarpError::protocol("error code too large"))?
                     }
-                    (2, WireType::LengthDelimited) => detail = wire::get_string(buf)?,
+                    (2, WireType::LengthDelimited) => detail = wire::take_str(buf)?.to_owned(),
                     (_, w) => wire::skip_field(buf, w)?,
                 }
                 Ok(())
@@ -516,7 +522,7 @@ fn decode_payload(discriminant: u64, buf: &mut &[u8]) -> Result<Message> {
             let mut truncated = false;
             for_each_field(buf, |field, wiretype, buf| {
                 match (field, wiretype) {
-                    (1, WireType::LengthDelimited) => jsonl = wire::get_string(buf)?,
+                    (1, WireType::LengthDelimited) => jsonl = wire::take_str(buf)?.to_owned(),
                     (2, WireType::Varint) => truncated = wire::get_varint(buf)? != 0,
                     (_, w) => wire::skip_field(buf, w)?,
                 }
@@ -546,7 +552,7 @@ fn decode_payload(discriminant: u64, buf: &mut &[u8]) -> Result<Message> {
                 match (field, wiretype) {
                     (1, WireType::Varint) => resume_token = wire::get_varint(buf)?,
                     (2, WireType::Varint) => pid = wire::get_varint(buf)?,
-                    (3, WireType::LengthDelimited) => name = wire::get_string(buf)?,
+                    (3, WireType::LengthDelimited) => name = wire::take_str(buf)?.to_owned(),
                     (4, WireType::Varint) => adapt = wire::get_varint(buf)?,
                     (5, WireType::Varint) => provides = wire::get_varint(buf)? != 0,
                     (_, w) => wire::skip_field(buf, w)?,
@@ -573,7 +579,7 @@ fn decode_point(buf: &mut &[u8]) -> Result<WirePoint> {
     let mut power = 0.0;
     for_each_field(buf, |field, wiretype, buf| {
         match (field, wiretype) {
-            (1, WireType::LengthDelimited) => erv_flat = wire::get_packed_u32(buf)?,
+            (1, WireType::LengthDelimited) => erv_flat = wire::take_packed_u32(buf)?,
             (2, WireType::Fixed64) => utility = wire::get_f64(buf)?,
             (3, WireType::Fixed64) => power = wire::get_f64(buf)?,
             (_, w) => wire::skip_field(buf, w)?,

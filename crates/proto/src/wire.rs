@@ -188,6 +188,54 @@ pub fn get_packed_u32(buf: &mut impl Buf) -> Result<Vec<u32>> {
     Ok(out)
 }
 
+/// Borrows a length-delimited payload straight out of the input slice —
+/// the zero-copy counterpart of [`get_bytes`]. The returned slice aliases
+/// the input; nothing is allocated.
+///
+/// # Errors
+///
+/// Returns [`HarpError::Protocol`] on truncated input.
+pub fn take_bytes<'a>(buf: &mut &'a [u8]) -> Result<&'a [u8]> {
+    let len = get_varint(buf)? as usize;
+    if buf.len() < len {
+        return Err(HarpError::protocol("truncated length-delimited field"));
+    }
+    let (head, tail) = buf.split_at(len);
+    *buf = tail;
+    Ok(head)
+}
+
+/// Borrows a length-delimited UTF-8 string out of the input slice —
+/// the zero-copy counterpart of [`get_string`].
+///
+/// # Errors
+///
+/// Returns [`HarpError::Protocol`] on truncated or non-UTF-8 input.
+pub fn take_str<'a>(buf: &mut &'a [u8]) -> Result<&'a str> {
+    std::str::from_utf8(take_bytes(buf)?)
+        .map_err(|_| HarpError::protocol("invalid utf-8 in string field"))
+}
+
+/// Reads a packed `u32` sequence directly from the input slice — the
+/// counterpart of [`get_packed_u32`] without the intermediate byte copy
+/// (only the resulting `Vec<u32>` is allocated).
+///
+/// # Errors
+///
+/// Returns [`HarpError::Protocol`] on truncated input or a component that
+/// does not fit into `u32`.
+pub fn take_packed_u32(buf: &mut &[u8]) -> Result<Vec<u32>> {
+    let mut inner = take_bytes(buf)?;
+    let mut out = Vec::with_capacity(inner.len().min(64));
+    while !inner.is_empty() {
+        let v = get_varint(&mut inner)?;
+        out.push(
+            u32::try_from(v).map_err(|_| HarpError::protocol("packed u32 component too large"))?,
+        );
+    }
+    Ok(out)
+}
+
 /// Skips over one field payload of the given wire type (for forward
 /// compatibility with unknown fields).
 ///
@@ -340,6 +388,55 @@ mod tests {
             skip_field(&mut slice, wire).unwrap();
         }
         assert!(slice.is_empty());
+    }
+
+    #[test]
+    fn take_bytes_borrows_without_copying() {
+        let mut buf = Vec::new();
+        put_bytes_field(&mut buf, 1, b"payload");
+        let mut slice = buf.as_slice();
+        get_key(&mut slice).unwrap();
+        let borrowed = take_bytes(&mut slice).unwrap();
+        assert_eq!(borrowed, b"payload");
+        // The borrow aliases the original buffer, not a copy.
+        let base = buf.as_ptr() as usize;
+        let got = borrowed.as_ptr() as usize;
+        assert!((base..base + buf.len()).contains(&got));
+        assert!(slice.is_empty());
+    }
+
+    #[test]
+    fn take_helpers_match_allocating_helpers() {
+        let mut buf = Vec::new();
+        put_str_field(&mut buf, 1, "zéro-copy");
+        put_packed_u32_field(&mut buf, 2, &[0, 1, 127, 128, u32::MAX]);
+
+        let mut a = buf.as_slice();
+        get_key(&mut a).unwrap();
+        let s_owned = get_string(&mut a).unwrap();
+        get_key(&mut a).unwrap();
+        let p_owned = get_packed_u32(&mut a).unwrap();
+
+        let mut b = buf.as_slice();
+        get_key(&mut b).unwrap();
+        let s_borrowed = take_str(&mut b).unwrap();
+        get_key(&mut b).unwrap();
+        let p_borrowed = take_packed_u32(&mut b).unwrap();
+
+        assert_eq!(s_owned, s_borrowed);
+        assert_eq!(p_owned, p_borrowed);
+    }
+
+    #[test]
+    fn take_truncated_is_error() {
+        // Claims 9 bytes, provides 2.
+        let mut slice: &[u8] = &[9, 0xaa, 0xbb];
+        assert!(take_bytes(&mut slice).is_err());
+        let mut bad_utf8 = Vec::new();
+        put_bytes_field(&mut bad_utf8, 1, &[0xff, 0xfe]);
+        let mut slice = bad_utf8.as_slice();
+        get_key(&mut slice).unwrap();
+        assert!(take_str(&mut slice).is_err());
     }
 
     #[test]

@@ -12,7 +12,8 @@
 //! ```
 
 use harp_obs::render::{
-    parse_dump, render_fault_tolerance, render_metrics, render_span_tree, render_tick_table,
+    parse_dump, render_fault_tolerance, render_metrics, render_shards, render_span_tree,
+    render_tick_table,
 };
 use harp_obs::schema::validate_dump;
 use harp_proto::{frame, DumpTelemetry, Message};
@@ -103,6 +104,11 @@ fn run() -> Result<(), String> {
     if !faults.is_empty() {
         println!("\n== fault tolerance ==");
         print!("{faults}");
+    }
+    let shards = render_shards(&dump);
+    if !shards.is_empty() {
+        println!("\n== reactor shards ==");
+        print!("{shards}");
     }
     if !dump.metrics.is_empty() {
         println!("\n== metrics ==");
