@@ -63,4 +63,23 @@ HARP_STORM_QUICK=1 \
     cargo run --release -q -p harp-bench --bin storm_bench
 test -s target/BENCH_storm_smoke.json
 
+echo "==> workload-trace replay gate (committed headline corpus)"
+# Replays the three committed headline traces (diurnal, flash-crowd,
+# heavy-tail-churn) through the testkit oracles and pins their RM state
+# fingerprints and telemetry counts against the committed .expect files
+# (DESIGN.md section 13). Fails on any invariant violation or
+# fingerprint drift; regenerate deliberately with HARP_TRACE_BLESS=1.
+cargo test -q -p harp-testkit --test trace_replay
+
+echo "==> trace-engine smoke (quick mode, 10k-arrival generation + replays)"
+# Generates each headline shape at 10k arrivals, checks the canonical
+# round trip, and replays a small trace per shape under the oracles,
+# requiring clean, quiescent, fingerprint-deterministic runs. The
+# scratch path keeps the committed BENCH_harness.json trace_bench
+# section (regenerate that with a full `trace_bench` run) untouched.
+HARP_TRACE_BENCH_QUICK=1 \
+    HARP_TRACE_BENCH_JSON="$PWD/target/BENCH_trace_smoke.json" \
+    cargo run --release -q -p harp-bench --bin trace_bench
+test -s target/BENCH_trace_smoke.json
+
 echo "CI OK"

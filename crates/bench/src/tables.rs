@@ -336,6 +336,7 @@ impl Manager for AttributionProbe {
                 self.results.push((name, attributed, truth));
                 self.att.remove(app);
             }
+            _ => {}
         }
     }
 }

@@ -62,6 +62,37 @@ struct ParRow {
 struct HarnessFile {
     obs: HarnessObs,
     storm: StormSection,
+    trace_bench: TraceBenchSection,
+}
+
+#[derive(Deserialize)]
+struct TraceBenchSection {
+    quick: bool,
+    generation: Vec<TraceGenRow>,
+    replay: Vec<TraceReplayRow>,
+}
+
+#[derive(Deserialize)]
+struct TraceGenRow {
+    shape: String,
+    arrivals: u64,
+    events: u64,
+    gen_ns: u64,
+    events_per_sec: f64,
+    canonical_bytes: u64,
+    round_trip_ok: bool,
+}
+
+#[derive(Deserialize)]
+struct TraceReplayRow {
+    shape: String,
+    events: u64,
+    ticks: u64,
+    directives: u64,
+    fingerprint: String,
+    violations: u64,
+    quiesced: bool,
+    deterministic: bool,
 }
 
 #[derive(Deserialize)]
@@ -352,6 +383,78 @@ fn committed_storm_run_is_clean_at_both_tiers() {
         storm.shard_counters.frames >= 3 * total,
         "each session sends register/submit/exit; frame counter is too low"
     );
+}
+
+/// The committed trace-engine run (DESIGN.md §13): a full (non-quick)
+/// sweep in which the seeded generator produced every headline shape at
+/// 10k+ arrivals with a clean canonical round trip, and every replay
+/// through the testkit oracles came back violation-free, quiescent and
+/// fingerprint-deterministic. Regenerate with
+/// `cargo run --release -p harp-bench --bin trace_bench`.
+#[test]
+fn committed_trace_bench_is_clean_and_deterministic() {
+    let tb = load_harness().trace_bench;
+    assert!(
+        !tb.quick,
+        "committed trace_bench section must come from a full run"
+    );
+    for shape in ["diurnal", "flash-crowd", "heavy-tail-churn"] {
+        assert!(
+            tb.generation
+                .iter()
+                .any(|g| g.shape == shape && g.arrivals >= 10_000),
+            "generation is missing the {shape} shape at 10k+ arrivals"
+        );
+        assert!(
+            tb.replay.iter().any(|r| r.shape == shape),
+            "replay is missing the {shape} shape"
+        );
+    }
+    for g in &tb.generation {
+        assert!(g.round_trip_ok, "{} lost the canonical round trip", g.shape);
+        assert!(
+            g.events >= g.arrivals,
+            "{} emitted fewer events than arrivals ({} < {})",
+            g.shape,
+            g.events,
+            g.arrivals
+        );
+        assert!(
+            g.canonical_bytes > g.events,
+            "{} canonical text is implausibly small",
+            g.shape
+        );
+        // Throughput must match its inputs (artifact not hand-edited);
+        // the field is rounded to a whole event/s.
+        let recomputed = g.events as f64 * 1e9 / g.gen_ns.max(1) as f64;
+        assert!(
+            (recomputed - g.events_per_sec).abs() <= 1.0,
+            "{} events_per_sec {} disagrees with its inputs ({recomputed:.1})",
+            g.shape,
+            g.events_per_sec
+        );
+    }
+    for r in &tb.replay {
+        assert_eq!(r.violations, 0, "{} replay violated an oracle", r.shape);
+        assert!(r.quiesced, "{} replay never quiesced", r.shape);
+        assert!(
+            r.deterministic,
+            "{} replay fingerprint drifted between runs",
+            r.shape
+        );
+        assert!(
+            r.fingerprint.len() == 16 && r.fingerprint.chars().all(|c| c.is_ascii_hexdigit()),
+            "{} fingerprint {:?} is not a 16-digit hex string",
+            r.shape,
+            r.fingerprint
+        );
+        assert!(
+            r.ticks > 0 && r.events > 0,
+            "{} replay ran nothing",
+            r.shape
+        );
+        assert!(r.directives > 0, "{} replay emitted no directives", r.shape);
+    }
 }
 
 /// The obs section must carry the events_recorded-normalized tracing

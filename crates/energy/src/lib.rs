@@ -342,6 +342,7 @@ mod tests {
                         }
                     }
                     MgrEvent::AppExited { .. } => self.sample(st),
+                    _ => {}
                 }
             }
         }

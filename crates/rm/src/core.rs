@@ -155,6 +155,11 @@ struct Session {
     /// Opaque token a disconnected client presents to reclaim the session
     /// (0 = resume not supported for this session).
     resume_token: u64,
+    /// Tenant priority weight: the allocator multiplies option costs by
+    /// it, so under λ-pressure a weight < 1 session is downgraded off its
+    /// preferred point before a weight > 1 session. Exactly 1.0 for the
+    /// default class, which leaves costs bit-identical.
+    priority: f64,
 }
 
 /// The HARP RM state machine. See the [crate docs](crate) for the overall
@@ -425,6 +430,7 @@ impl RmCore {
                 samples_since_realloc: 0,
                 co_allocated: false,
                 resume_token,
+                priority: 1.0,
             },
         );
         if resume_token != 0 {
@@ -524,6 +530,49 @@ impl RmCore {
         if let Some(points) = journaled {
             self.journal_append(JournalRecord::SubmitPoints { app: app.0, points });
         }
+        self.note_output(&out);
+        Ok(out)
+    }
+
+    /// The priority weight of a managed application (1.0 = default class).
+    pub fn priority_of(&self, app: AppId) -> Option<f64> {
+        self.sessions.get(&app).map(|s| s.priority)
+    }
+
+    /// Changes an application's tenant priority weight and re-balances.
+    /// The weight scales the session's option costs in the MMKP objective
+    /// (see `harp_types::PriorityClass` for the canonical classes): heavier
+    /// sessions hold their preferred operating points under contention
+    /// while lighter ones absorb the downgrade. Setting the current weight
+    /// again is a no-op: no allocation round runs and nothing is
+    /// journaled, so replays stay bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarpError::NotFound`] for unknown applications and
+    /// [`HarpError::Numeric`] for a non-finite or non-positive weight.
+    pub fn set_priority(&mut self, app: AppId, weight: f64) -> Result<RmOutput> {
+        let _sp = harp_obs::span(harp_obs::Subsystem::Rm, "set_priority")
+            .field("app", app.0)
+            .field("weight", weight);
+        if !weight.is_finite() || weight <= 0.0 {
+            return Err(HarpError::Numeric {
+                detail: format!("priority weight must be finite and positive, got {weight}"),
+            });
+        }
+        let session = self
+            .sessions
+            .get_mut(&app)
+            .ok_or_else(|| HarpError::not_found(format!("{app} is not registered")))?;
+        if session.priority == weight {
+            return Ok(RmOutput::default());
+        }
+        session.priority = weight;
+        let out = self.reallocate()?;
+        self.journal_append(JournalRecord::SetPriority {
+            app: app.0,
+            weight_bits: weight.to_bits(),
+        });
         self.note_output(&out);
         Ok(out)
     }
@@ -749,7 +798,12 @@ impl RmCore {
                 .filter(|(_, erv, _)| !erv.is_zero())
                 .map(|(op, erv, nfc)| AllocOption {
                     op,
-                    cost: energy_utility_cost(nfc.utility, nfc.power, v_max),
+                    // Priority-weighted: scaling a session's costs up
+                    // amplifies the penalty of moving it off its preferred
+                    // point, so λ-pressure under contention downgrades
+                    // low-weight sessions first. Weight 1.0 multiplies out
+                    // exactly (bit-identical to the unweighted cost).
+                    cost: energy_utility_cost(nfc.utility, nfc.power, v_max) * s.priority,
                     erv,
                 })
                 .collect();
@@ -960,6 +1014,7 @@ impl RmCore {
                 name: s.name.clone(),
                 provides_utility: s.provides_utility,
                 resume_token: s.resume_token,
+                priority_bits: s.priority.to_bits(),
                 points: encode_table(s.explorer.table()),
             })
             .collect();
@@ -1009,6 +1064,9 @@ impl RmCore {
                 };
                 self.tick(&obs)?;
             }
+            JournalRecord::SetPriority { app, weight_bits } => {
+                self.set_priority(AppId(*app), f64::from_bits(*weight_bits))?;
+            }
             JournalRecord::EpochBump { .. } => {} // daemon-level, not RM state
             JournalRecord::Snapshot(s) => self.apply_snapshot(s)?,
         }
@@ -1033,6 +1091,17 @@ impl RmCore {
                 sess.provides_utility,
                 sess.resume_token,
             )?;
+            // Restore the weight directly (no extra allocation round): the
+            // submit below — or the first post-recovery round — re-derives
+            // the allocation with the restored weight in effect.
+            let weight = f64::from_bits(sess.priority_bits);
+            if let Some(live) = self.sessions.get_mut(&AppId(sess.app)) {
+                live.priority = if weight.is_finite() && weight > 0.0 {
+                    weight
+                } else {
+                    1.0
+                };
+            }
             if !sess.points.is_empty() {
                 self.submit_points(AppId(sess.app), decode_points(&shape, &sess.points)?)?;
             }
@@ -1076,11 +1145,13 @@ impl RmCore {
             let sess = &self.sessions[&app];
             let _ = writeln!(
                 s,
-                "session {} name={} provides={} token={} stage={:?} co={} since_realloc={}",
+                "session {} name={} provides={} token={} prio={:016x} stage={:?} co={} \
+                 since_realloc={}",
                 app.0,
                 sess.name,
                 sess.provides_utility,
                 sess.resume_token,
+                sess.priority.to_bits(),
                 self.session_stage(sess),
                 sess.co_allocated,
                 sess.samples_since_realloc
@@ -1886,5 +1957,150 @@ mod tests {
         assert_eq!(per_kind[0], d.erv.cores_of_kind(0));
         assert_eq!(per_kind[1], d.erv.cores_of_kind(1));
         assert_eq!(d.hw_threads.len() as u32, d.parallelism);
+    }
+
+    #[test]
+    fn set_priority_validates_inputs() {
+        let mut rm = rm();
+        assert!(rm.set_priority(AppId(9), 2.0).is_err()); // unknown app
+        rm.register(AppId(1), "a", false).unwrap();
+        assert!(rm.set_priority(AppId(1), 0.0).is_err());
+        assert!(rm.set_priority(AppId(1), -1.0).is_err());
+        assert!(rm.set_priority(AppId(1), f64::NAN).is_err());
+        assert_eq!(rm.priority_of(AppId(1)), Some(1.0));
+        rm.set_priority(AppId(1), 2.0).unwrap();
+        assert_eq!(rm.priority_of(AppId(1)), Some(2.0));
+    }
+
+    #[test]
+    fn set_priority_same_weight_is_a_pure_noop() {
+        let mut a = rm();
+        let mut b = rm();
+        a.register(AppId(1), "a", false).unwrap();
+        b.register(AppId(1), "a", false).unwrap();
+        let out = b.set_priority(AppId(1), 1.0).unwrap();
+        assert!(out.directives.is_empty());
+        assert_eq!(out.solves, 0);
+        // No allocation round ran, so all state (warm counters included)
+        // matches a core that never called set_priority.
+        assert_eq!(a.state_fingerprint(), b.state_fingerprint());
+    }
+
+    #[test]
+    fn premium_app_wins_the_contended_point() {
+        use harp_types::PriorityClass;
+        // Two apps with identical tables competing for the P-cores. Each
+        // prefers the big efficient point (6 P-cores, 2-way), but both
+        // together exceed the 8 P-core capacity, so one must be downgraded
+        // to the small point — the batch app, never the premium one.
+        let hw = presets::raptor_lake();
+        let shape = hw.erv_shape();
+        let points = |rm: &mut RmCore, app: AppId| {
+            rm.submit_points(
+                app,
+                vec![
+                    (
+                        ExtResourceVector::from_flat(&shape, &[0, 6, 0]).unwrap(),
+                        NonFunctional::new(8.0e10, 64.0),
+                    ),
+                    (
+                        ExtResourceVector::from_flat(&shape, &[0, 1, 0]).unwrap(),
+                        NonFunctional::new(2.0e10, 24.0),
+                    ),
+                ],
+            )
+            .unwrap()
+        };
+        let mut rm = RmCore::new(
+            hw.clone(),
+            RmConfig {
+                offline: true,
+                ..RmConfig::default()
+            },
+        );
+        rm.register(AppId(1), "premium", false).unwrap();
+        rm.register(AppId(2), "batch", false).unwrap();
+        points(&mut rm, AppId(1));
+        points(&mut rm, AppId(2));
+        rm.set_priority(AppId(1), PriorityClass::Premium.weight())
+            .unwrap();
+        let out = rm
+            .set_priority(AppId(2), PriorityClass::Batch.weight())
+            .unwrap();
+        let threads = |app: AppId| {
+            out.directives
+                .iter()
+                .find(|d| d.app == app)
+                .map(|d| d.parallelism)
+        };
+        let premium = threads(AppId(1)).unwrap_or(0);
+        let batch = threads(AppId(2)).unwrap_or(0);
+        assert!(
+            premium > batch,
+            "premium got {premium} threads vs batch {batch}"
+        );
+    }
+
+    #[test]
+    fn priority_changes_replay_bit_identically_from_journal() {
+        let dir = std::env::temp_dir().join(format!("harp-core-prio-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("priority.jrnl");
+        let _ = std::fs::remove_file(&path);
+
+        let mut live = rm();
+        let cfg = live.config().clone();
+        live.attach_journal(JournalWriter::open(&path).unwrap(), 0);
+        live.register(AppId(1), "a", false).unwrap();
+        live.register(AppId(2), "b", false).unwrap();
+        live.set_priority(AppId(1), 2.0).unwrap();
+        for i in 0..3 {
+            let obs = TickObservations {
+                dt_s: 0.05,
+                package_energy_j: (i + 1) as f64,
+                apps: vec![
+                    AppObservation {
+                        app: AppId(1),
+                        utility_rate: 1.0e9,
+                        cpu_time: vec![0.05 * (i + 1) as f64, 0.0],
+                    },
+                    AppObservation {
+                        app: AppId(2),
+                        utility_rate: 2.0e9,
+                        cpu_time: vec![0.0, 0.05 * (i + 1) as f64],
+                    },
+                ],
+            };
+            live.tick(&obs).unwrap();
+        }
+        live.set_priority(AppId(2), 0.5).unwrap();
+
+        let outcome = crate::journal::read_journal(&path).unwrap();
+        assert!(!outcome.truncated);
+        let recovered = RmCore::recover(presets::raptor_lake(), cfg, &outcome.records).unwrap();
+        assert_eq!(recovered.state_fingerprint(), live.state_fingerprint());
+        assert_eq!(recovered.priority_of(AppId(1)), Some(2.0));
+        assert_eq!(recovered.priority_of(AppId(2)), Some(0.5));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn priority_survives_snapshot_compaction() {
+        let dir = std::env::temp_dir().join(format!("harp-core-prio-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("priority-snap.jrnl");
+        let _ = std::fs::remove_file(&path);
+
+        let mut live = rm();
+        let cfg = live.config().clone();
+        live.attach_journal(JournalWriter::open(&path).unwrap(), 0);
+        live.register(AppId(1), "a", false).unwrap();
+        live.set_priority(AppId(1), 2.0).unwrap();
+        live.compact_now();
+
+        let outcome = crate::journal::read_journal(&path).unwrap();
+        let recovered = RmCore::recover(presets::raptor_lake(), cfg, &outcome.records).unwrap();
+        assert_eq!(recovered.priority_of(AppId(1)), Some(2.0));
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -50,6 +50,7 @@ const T_DEREGISTER: u8 = 3;
 const T_TICK: u8 = 4;
 const T_EPOCH: u8 = 5;
 const T_SNAPSHOT: u8 = 6;
+const T_SET_PRIORITY: u8 = 7;
 
 /// One operating point in journal form: flattened vector plus the raw bit
 /// patterns of its non-functional characteristics.
@@ -85,6 +86,8 @@ pub struct SnapshotSession {
     pub provides_utility: bool,
     /// Resume token bound to the session (0 = none).
     pub resume_token: u64,
+    /// `f64::to_bits` of the session's priority weight.
+    pub priority_bits: u64,
     /// The session's measured operating points at snapshot time.
     pub points: Vec<JournalPoint>,
 }
@@ -137,6 +140,13 @@ pub enum JournalRecord {
         package_energy_bits: u64,
         /// Per-application observations.
         apps: Vec<JournalAppObs>,
+    },
+    /// A successful priority-class change.
+    SetPriority {
+        /// Raw application id.
+        app: u64,
+        /// `f64::to_bits` of the new priority weight.
+        weight_bits: u64,
     },
     /// A daemon boot (or watchdog restart) epoch bump.
     EpochBump {
@@ -340,6 +350,11 @@ impl JournalRecord {
                     }
                 }
             }
+            JournalRecord::SetPriority { app, weight_bits } => {
+                out.push(T_SET_PRIORITY);
+                put_u64(&mut out, *app);
+                put_u64(&mut out, *weight_bits);
+            }
             JournalRecord::EpochBump { epoch } => {
                 out.push(T_EPOCH);
                 put_u64(&mut out, *epoch);
@@ -357,6 +372,7 @@ impl JournalRecord {
                     put_str(&mut out, &sess.name);
                     out.push(u8::from(sess.provides_utility));
                     put_u64(&mut out, sess.resume_token);
+                    put_u64(&mut out, sess.priority_bits);
                     put_points(&mut out, &sess.points);
                 }
                 put_u64(&mut out, s.max_app_seen);
@@ -404,6 +420,10 @@ impl JournalRecord {
                     apps,
                 }
             }
+            T_SET_PRIORITY => JournalRecord::SetPriority {
+                app: c.u64()?,
+                weight_bits: c.u64()?,
+            },
             T_EPOCH => JournalRecord::EpochBump { epoch: c.u64()? },
             T_SNAPSHOT => {
                 let nprofiles = c.len_capped()?;
@@ -420,6 +440,7 @@ impl JournalRecord {
                         name: c.str()?,
                         provides_utility: c.u8()? != 0,
                         resume_token: c.u64()?,
+                        priority_bits: c.u64()?,
                         points: c.points()?,
                     });
                 }
@@ -745,6 +766,10 @@ mod tests {
                     cpu_time_bits: vec![0.05f64.to_bits(), 0.0f64.to_bits()],
                 }],
             },
+            JournalRecord::SetPriority {
+                app: 1,
+                weight_bits: 2.0f64.to_bits(),
+            },
             JournalRecord::Deregister { app: 1 },
         ]
     }
@@ -776,6 +801,7 @@ mod tests {
                 name: "mg".into(),
                 provides_utility: true,
                 resume_token: 42,
+                priority_bits: 2.0f64.to_bits(),
                 points: vec![],
             }],
             max_app_seen: 3,

@@ -201,15 +201,21 @@ impl Manager for HarpSimManager {
                         .field("app", app.0)
                         .field("name", name.clone());
                 }
-                let provides = st
+                let (provides, weight) = st
                     .app_spec(app)
-                    .map(|s| s.provides_utility)
-                    .unwrap_or(false);
+                    .map(|s| (s.provides_utility, s.priority.weight()))
+                    .unwrap_or((false, 1.0));
                 self.provides_utility.insert(app, provides);
                 let name = name.clone();
                 let rm = self.ensure_rm(st);
                 if let Ok(out) = rm.register(app, &name, provides) {
                     self.apply(st, out);
+                }
+                if weight != 1.0 {
+                    let rm = self.ensure_rm(st);
+                    if let Ok(out) = rm.set_priority(app, weight) {
+                        self.apply(st, out);
+                    }
                 }
                 if !self.timer_armed {
                     self.timer_armed = true;
@@ -234,6 +240,13 @@ impl Manager for HarpSimManager {
                     self.timer_armed = false;
                 } else {
                     st.set_timer(st.now() + self.interval(), TIMER_ID);
+                }
+            }
+            MgrEvent::PriorityChanged { app, class } => {
+                if let Some(rm) = self.rm.as_mut() {
+                    if let Ok(out) = rm.set_priority(app, class.weight()) {
+                        self.apply(st, out);
+                    }
                 }
             }
             _ => {}

@@ -6,7 +6,7 @@ use crate::report::{AppReport, RunReport};
 use crate::spec::AppSpec;
 use crate::{Affinity, SimThreadId, SimTime};
 use harp_platform::{Governor, HardwareDescription};
-use harp_types::{AppId, HarpError, HwThreadId, Result};
+use harp_types::{AppId, HarpError, HwThreadId, PriorityClass, Result};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::cmp::Reverse;
@@ -114,6 +114,19 @@ pub enum MgrEvent {
         /// The id passed at `set_timer`.
         id: u64,
     },
+    /// A trace schedule changed a running application's priority class.
+    PriorityChanged {
+        /// Session id.
+        app: AppId,
+        /// The new class.
+        class: PriorityClass,
+    },
+    /// A trace schedule shifted the machine-wide load phase: all progress
+    /// rates are scaled by `permille / 1000` until the next shift.
+    LoadShifted {
+        /// New rate scale in permille (1000 = nominal speed).
+        permille: u32,
+    },
 }
 
 /// A resource manager driving the simulated machine — the role played by
@@ -138,6 +151,29 @@ struct ArrivalRec {
     at: SimTime,
     spec: AppSpec,
     opts: LaunchOpts,
+    fired: bool,
+    /// Trace key for later departure/priority events (None for plain
+    /// `add_arrival` scenarios).
+    key: Option<u64>,
+}
+
+/// A non-arrival trace event consumed by the discrete-event loop.
+#[derive(Debug, Clone)]
+enum ScheduleOp {
+    /// Force-exit the instance launched under `key` (app churn: the user
+    /// closes the application before it finishes its work).
+    Depart { key: u64 },
+    /// Change the priority class of the instance launched under `key`.
+    SetPriority { key: u64, class: PriorityClass },
+    /// Scale all progress rates to `permille / 1000` of nominal (diurnal
+    /// load-phase shifts: the same services demand less at night).
+    LoadShift { permille: u32 },
+}
+
+#[derive(Debug, Clone)]
+struct ScheduleRec {
+    at: SimTime,
+    op: ScheduleOp,
     fired: bool,
 }
 
@@ -171,6 +207,14 @@ pub struct SimState {
     energy: EnergyAccount,
     timers: BinaryHeap<Reverse<(SimTime, u64)>>,
     arrivals: Vec<ArrivalRec>,
+    /// Non-arrival trace events (departures, priority changes, load shifts).
+    schedule: Vec<ScheduleRec>,
+    /// Trace key → live session id for keyed arrivals.
+    trace_keys: HashMap<u64, AppId>,
+    /// Machine-wide progress-rate scale set by load-phase shifts (1.0 =
+    /// nominal; multiplying by 1.0 is the identity, so unshifted runs are
+    /// bit-identical to the pre-trace engine).
+    rate_scale: f64,
     next_app_id: u64,
     dirty: bool,
     needs_chunks: Vec<AppId>,
@@ -229,6 +273,9 @@ impl SimState {
             energy: EnergyAccount::new(num_kinds),
             timers: BinaryHeap::new(),
             arrivals: Vec::new(),
+            schedule: Vec::new(),
+            trace_keys: HashMap::new(),
+            rate_scale: 1.0,
             next_app_id: 1,
             dirty: false,
             needs_chunks: Vec::new(),
@@ -436,6 +483,19 @@ impl SimState {
     /// Schedules a manager timer at absolute simulated time `at`.
     pub fn set_timer(&mut self, at: SimTime, id: u64) {
         self.timers.push(Reverse((at.max(self.time), id)));
+    }
+
+    /// The live session launched under trace key `key`, if any.
+    pub fn app_of_key(&self, key: u64) -> Option<AppId> {
+        self.trace_keys
+            .get(&key)
+            .copied()
+            .filter(|app| self.apps.contains_key(app))
+    }
+
+    /// The current machine-wide load-phase rate scale (1.0 = nominal).
+    pub fn load_scale(&self) -> f64 {
+        self.rate_scale
     }
 
     /// Charges management overhead to an application: the given CPU time is
@@ -766,7 +826,7 @@ impl SimState {
                     r /= m as f64;
                     r /= 1.0 + inst.spec.preemption_penalty * (m - 1) as f64;
                 }
-                raw[t.0] = r;
+                raw[t.0] = r * self.rate_scale;
             }
         }
         // Shared memory bandwidth: proportional scaling of the memory-bound
@@ -828,15 +888,21 @@ impl SimState {
         }
         let have_apps = !self.apps.is_empty();
         let have_arrivals = self.arrivals.iter().any(|a| !a.fired);
+        let have_sched = self.schedule.iter().any(|s| !s.fired);
         if let Some(&Reverse((t, _))) = self.timers.peek() {
             // Timers only keep the simulation alive while work remains.
-            if have_apps || have_arrivals {
+            if have_apps || have_arrivals || have_sched {
                 consider(t);
             }
         }
         for a in &self.arrivals {
             if !a.fired {
                 consider(a.at);
+            }
+        }
+        for s in &self.schedule {
+            if !s.fired {
+                consider(s.at);
             }
         }
         if let (Some(h), Some(n)) = (self.config.horizon_ns, next) {
@@ -977,7 +1043,52 @@ impl SimState {
             self.arrivals[i].fired = true;
             let spec = self.arrivals[i].spec.clone();
             let opts = self.arrivals[i].opts;
-            self.spawn_app(spec, opts, 0);
+            let key = self.arrivals[i].key;
+            let id = self.spawn_app(spec, opts, 0);
+            if let Some(key) = key {
+                self.trace_keys.insert(key, id);
+            }
+        }
+        // Trace schedule (after arrivals, so a same-instant arrive+depart
+        // pair resolves the key before the departure looks it up).
+        let due: Vec<usize> = self
+            .schedule
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.fired && s.at <= self.time)
+            .map(|(i, _)| i)
+            .collect();
+        for i in due {
+            self.schedule[i].fired = true;
+            let op = self.schedule[i].op.clone();
+            match op {
+                ScheduleOp::Depart { key } => {
+                    // A key that never arrived, or whose instance already
+                    // finished on its own, departs as a no-op.
+                    if let Some(app) = self.trace_keys.get(&key).copied() {
+                        if self.apps.contains_key(&app) {
+                            self.finish_app_inner(app, false);
+                        }
+                    }
+                }
+                ScheduleOp::SetPriority { key, class } => {
+                    if let Some(app) = self.trace_keys.get(&key).copied() {
+                        if let Some(inst) = self.apps.get_mut(&app) {
+                            if inst.spec.priority != class {
+                                inst.spec.priority = class;
+                                self.notifications
+                                    .push_back(MgrEvent::PriorityChanged { app, class });
+                            }
+                        }
+                    }
+                }
+                ScheduleOp::LoadShift { permille } => {
+                    self.rate_scale = permille as f64 / 1000.0;
+                    self.dirty = true;
+                    self.notifications
+                        .push_back(MgrEvent::LoadShifted { permille });
+                }
+            }
         }
     }
 
@@ -1018,6 +1129,13 @@ impl SimState {
     }
 
     fn finish_app(&mut self, app: AppId) {
+        self.finish_app_inner(app, true);
+    }
+
+    /// Removes an instance from the machine. `allow_restart` is false for
+    /// trace departures: a force-exited app must not resurrect through the
+    /// restart-until policy.
+    fn finish_app_inner(&mut self, app: AppId, allow_restart: bool) {
         let inst = self.apps.remove(&app).expect("finishing a live app");
         if let Ok(pos) = self.sorted_app_ids.binary_search(&app) {
             self.sorted_app_ids.remove(pos);
@@ -1044,6 +1162,11 @@ impl SimState {
         }
         self.notifications.push_back(MgrEvent::AppExited { app });
         self.dirty = true;
+        // Stale trace-key mappings are harmless: app ids are never reused,
+        // so later events for this key find a dead id and no-op.
+        if !allow_restart {
+            return;
+        }
         // Restart policy.
         let restart = self
             .arrivals
@@ -1115,6 +1238,51 @@ impl Simulation {
             at,
             spec,
             opts,
+            fired: false,
+            key: None,
+        });
+    }
+
+    /// Schedules a *keyed* arrival: later trace events (departure, priority
+    /// change) reference the instance through `key`. Keys are
+    /// caller-assigned and must be unique per trace.
+    pub fn add_arrival_keyed(&mut self, at: SimTime, key: u64, spec: AppSpec, opts: LaunchOpts) {
+        self.st.arrivals.push(ArrivalRec {
+            at,
+            spec,
+            opts,
+            fired: false,
+            key: Some(key),
+        });
+    }
+
+    /// Schedules a forced departure of the instance arrived under `key` at
+    /// simulated time `at`. A no-op if the instance already completed (or
+    /// the key never arrives).
+    pub fn add_departure(&mut self, at: SimTime, key: u64) {
+        self.st.schedule.push(ScheduleRec {
+            at,
+            op: ScheduleOp::Depart { key },
+            fired: false,
+        });
+    }
+
+    /// Schedules a priority-class change for the instance arrived under
+    /// `key`. Delivered to the manager as [`MgrEvent::PriorityChanged`].
+    pub fn add_priority_change(&mut self, at: SimTime, key: u64, class: PriorityClass) {
+        self.st.schedule.push(ScheduleRec {
+            at,
+            op: ScheduleOp::SetPriority { key, class },
+            fired: false,
+        });
+    }
+
+    /// Schedules a machine-wide load-phase shift: from `at` on, all
+    /// progress rates are scaled by `permille / 1000` (1000 = nominal).
+    pub fn add_load_shift(&mut self, at: SimTime, permille: u32) {
+        self.st.schedule.push(ScheduleRec {
+            at,
+            op: ScheduleOp::LoadShift { permille },
             fired: false,
         });
     }
@@ -1617,5 +1785,118 @@ mod tests {
         let mut sim = Simulation::new(hw, SimConfig::default());
         sim.add_arrival(0, bad, LaunchOpts::fixed_team(1));
         assert!(sim.run(&mut NullManager).is_err());
+    }
+
+    #[test]
+    fn departure_force_exits_before_work_completes() {
+        let hw = presets::tiny_test();
+        let mut sim = Simulation::new(hw, SimConfig::default());
+        // 1e12 work units would take far longer than 1 ms on the tiny
+        // machine; the trace kills the instance at 1 ms.
+        sim.add_arrival_keyed(0, 7, spec("victim", 1.0e12), LaunchOpts::fixed_team(2));
+        sim.add_departure(crate::MILLISECOND, 7);
+        let r = sim.run(&mut NullManager).unwrap();
+        assert_eq!(r.apps.len(), 1, "forced exit still yields a report");
+        let a = &r.apps[0];
+        assert_eq!(a.end_ns, crate::MILLISECOND);
+        assert!(a.work_done < 1.0e12);
+        assert!(r.partial.is_empty());
+    }
+
+    #[test]
+    fn departure_after_natural_completion_is_a_noop() {
+        let hw = presets::tiny_test();
+        let mut sim = Simulation::new(hw, SimConfig::default());
+        sim.add_arrival_keyed(0, 1, spec("quick", 1.0e8), LaunchOpts::fixed_team(2));
+        // Departs long after the tiny workload finishes on its own.
+        sim.add_departure(crate::SECOND, 1);
+        let r = sim.run(&mut NullManager).unwrap();
+        assert_eq!(r.apps.len(), 1);
+        assert!(
+            (r.apps[0].work_done - 1.0e8).abs() / 1.0e8 < 1e-6,
+            "work fully completed: {}",
+            r.apps[0].work_done
+        );
+    }
+
+    #[test]
+    fn departed_instance_does_not_restart() {
+        let hw = presets::tiny_test();
+        let mut sim = Simulation::new(hw, SimConfig::default());
+        sim.add_arrival_keyed(
+            0,
+            3,
+            spec("churner", 1.0e12),
+            LaunchOpts::fixed_team(2).restart_until(crate::SECOND),
+        );
+        sim.add_departure(crate::MILLISECOND, 3);
+        let r = sim.run(&mut NullManager).unwrap();
+        assert_eq!(r.apps.len(), 1, "no restart after a forced departure");
+    }
+
+    #[test]
+    fn load_shift_slows_progress() {
+        let hw = presets::tiny_test();
+        let run = |permille: Option<u32>| {
+            let mut sim = Simulation::new(hw.clone(), SimConfig::default());
+            sim.add_arrival(0, spec("a", 1.0e9), LaunchOpts::fixed_team(2));
+            if let Some(p) = permille {
+                sim.add_load_shift(0, p);
+            }
+            sim.run(&mut NullManager).unwrap().makespan_ns
+        };
+        let nominal = run(None);
+        let unchanged = run(Some(1000));
+        let half = run(Some(500));
+        assert_eq!(
+            nominal, unchanged,
+            "permille=1000 must be bit-identical to no shift"
+        );
+        assert!(
+            half > nominal * 19 / 10,
+            "half rate ≈ double time: {half} vs {nominal}"
+        );
+    }
+
+    #[test]
+    fn priority_change_reaches_the_manager() {
+        struct Recorder {
+            seen: Vec<(AppId, PriorityClass)>,
+            keyed: Option<AppId>,
+        }
+        impl Manager for Recorder {
+            fn on_event(&mut self, st: &mut SimState, ev: MgrEvent) {
+                if let MgrEvent::PriorityChanged { app, class } = ev {
+                    self.seen.push((app, class));
+                    self.keyed = st.app_of_key(9);
+                }
+            }
+        }
+        let hw = presets::tiny_test();
+        let mut sim = Simulation::new(hw, SimConfig::default());
+        sim.add_arrival_keyed(0, 9, spec("tenant", 1.0e10), LaunchOpts::fixed_team(2));
+        sim.add_priority_change(crate::MILLISECOND, 9, PriorityClass::Premium);
+        // Re-setting the same class later must not emit a second event.
+        sim.add_priority_change(2 * crate::MILLISECOND, 9, PriorityClass::Premium);
+        let mut mgr = Recorder {
+            seen: Vec::new(),
+            keyed: None,
+        };
+        sim.run(&mut mgr).unwrap();
+        assert_eq!(mgr.seen.len(), 1);
+        assert_eq!(mgr.seen[0].1, PriorityClass::Premium);
+        assert_eq!(mgr.keyed, Some(mgr.seen[0].0), "key resolves to session");
+    }
+
+    #[test]
+    fn schedule_alone_keeps_sim_alive_until_drained() {
+        // A load shift scheduled after all work completes must still fire
+        // (the event loop stays alive while unfired schedule events exist).
+        let hw = presets::tiny_test();
+        let mut sim = Simulation::new(hw, SimConfig::default());
+        sim.add_arrival(0, spec("a", 1.0e8), LaunchOpts::fixed_team(2));
+        sim.add_load_shift(crate::SECOND, 250);
+        sim.run(&mut NullManager).unwrap();
+        assert_eq!(sim.state().load_scale(), 0.25);
     }
 }

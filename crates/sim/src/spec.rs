@@ -6,7 +6,7 @@
 //! visualizes per benchmark. The concrete calibrated specs for the paper's
 //! benchmark suite live in `harp-workload`.
 
-use harp_types::{HarpError, Result};
+use harp_types::{HarpError, PriorityClass, Result};
 use serde::{Deserialize, Serialize};
 
 /// How many workers a phase runs on.
@@ -120,6 +120,9 @@ pub struct AppSpec {
     /// metric through libharp (then utility = true progress rate instead of
     /// measured IPS).
     pub provides_utility: bool,
+    /// Tenant priority class; the HARP manager forwards it to the RM, which
+    /// scales the session's allocation costs by the class weight.
+    pub priority: PriorityClass,
 }
 
 impl AppSpec {
@@ -219,6 +222,7 @@ pub struct AppSpecBuilder {
     dynamic_balance: bool,
     ips_inflation: Vec<f64>,
     provides_utility: bool,
+    priority: PriorityClass,
 }
 
 impl AppSpecBuilder {
@@ -239,6 +243,7 @@ impl AppSpecBuilder {
             dynamic_balance: false,
             ips_inflation: vec![1.0; num_kinds],
             provides_utility: false,
+            priority: PriorityClass::Standard,
         }
     }
 
@@ -323,6 +328,12 @@ impl AppSpecBuilder {
         self
     }
 
+    /// Tenant priority class (default [`PriorityClass::Standard`]).
+    pub fn priority(mut self, class: PriorityClass) -> Self {
+        self.priority = class;
+        self
+    }
+
     /// Finalizes and validates the spec.
     ///
     /// # Errors
@@ -362,6 +373,7 @@ impl AppSpecBuilder {
             dynamic_balance: self.dynamic_balance,
             ips_inflation: self.ips_inflation,
             provides_utility: self.provides_utility,
+            priority: self.priority,
         };
         debug_assert_eq!(spec.kind_efficiency.len(), self.num_kinds);
         spec.validate()?;

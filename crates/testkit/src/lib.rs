@@ -13,6 +13,10 @@
 //!   departed apps hold nothing, warm-started solves never cost more than
 //!   cold ones, exploration quiesces), producing a deterministic
 //!   [`runner::TraceReport`].
+//! * [`replay`] — whole-scenario replays of `harp-workload` canonical
+//!   traces (timed arrivals, departures, priority changes, load shifts)
+//!   under the same oracles, pinning fingerprints of the committed
+//!   headline corpus.
 //! * [`fault`] — byte-level wire faults (truncation, corruption, lying
 //!   length prefixes, split writes, mid-frame disconnects) and a
 //!   [`fault::ChaosClient`] that speaks `harp-proto` framing *wrong on
@@ -37,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod fault;
+pub mod replay;
 pub mod runner;
 pub mod scenarios;
 pub mod shrink;

@@ -70,23 +70,36 @@ fn profile_points(
         .collect()
 }
 
-/// Mirror state the runner checks the RM against.
-struct Oracle {
-    hw: HardwareDescription,
-    live: HashSet<u64>,
-    latest: HashMap<u64, Directive>,
-    cpu: HashMap<u64, Vec<f64>>,
-    energy_j: f64,
-    violations: Vec<String>,
+/// Mirror state the runner checks the RM against. Shared with the
+/// workload-trace replay engine (`crate::replay`), which drives the same
+/// directive checks from arrival/departure traces instead of lifecycle ops.
+pub(crate) struct Oracle {
+    pub(crate) hw: HardwareDescription,
+    pub(crate) live: HashSet<u64>,
+    pub(crate) latest: HashMap<u64, Directive>,
+    pub(crate) cpu: HashMap<u64, Vec<f64>>,
+    pub(crate) energy_j: f64,
+    pub(crate) violations: Vec<String>,
 }
 
 impl Oracle {
-    fn violation(&mut self, step: usize, what: impl std::fmt::Display) {
+    pub(crate) fn new(hw: HardwareDescription) -> Oracle {
+        Oracle {
+            hw,
+            live: HashSet::new(),
+            latest: HashMap::new(),
+            cpu: HashMap::new(),
+            energy_j: 0.0,
+            violations: Vec::new(),
+        }
+    }
+
+    pub(crate) fn violation(&mut self, step: usize, what: impl std::fmt::Display) {
         self.violations.push(format!("step {step}: {what}"));
     }
 
     /// Checks a batch of directives and folds them into the grant mirror.
-    fn check_directives(&mut self, step: usize, directives: &[Directive]) {
+    pub(crate) fn check_directives(&mut self, step: usize, directives: &[Directive]) {
         for d in directives {
             if !self.live.contains(&d.app.raw()) {
                 self.violation(step, format!("directive for departed app {}", d.app));
@@ -179,14 +192,7 @@ pub fn run_trace(trace: &Trace) -> TraceReport {
             ..RmConfig::default()
         },
     );
-    let mut oracle = Oracle {
-        hw,
-        live: HashSet::new(),
-        latest: HashMap::new(),
-        cpu: HashMap::new(),
-        energy_j: 0.0,
-        violations: Vec::new(),
-    };
+    let mut oracle = Oracle::new(hw);
     let mut steps = 0usize;
     let mut directives = 0usize;
     let mut solves = 0u32;

@@ -46,12 +46,14 @@ mod error;
 mod ids;
 mod ops;
 pub mod pareto;
+mod priority;
 mod rvec;
 
 pub use cost::{energy_utility_cost, NormalizedCost};
 pub use error::{ConnectKind, HarpError};
 pub use ids::{AppId, CoreId, CoreKind, HwThreadId};
 pub use ops::{NonFunctional, OpId, OperatingPoint, OperatingPointTable};
+pub use priority::PriorityClass;
 pub use rvec::{ErvShape, ExtResourceVector, ResourceVector};
 
 /// Convenient crate-wide result alias.

@@ -9,7 +9,12 @@ use rand::Rng;
 /// realistic ranges of the benchmark suite (compute- to memory-bound,
 /// SMT-friendly to SMT-averse, with or without contention and dynamic
 /// balancing).
+///
+/// `num_kinds == 0` is treated as a single-kind platform: a spec with zero
+/// per-kind parameters can never validate, and callers fuzzing platform
+/// shapes should get a usable spec rather than a panic.
 pub fn random_spec<R: Rng>(rng: &mut R, name: &str, num_kinds: usize) -> AppSpec {
+    let num_kinds = num_kinds.max(1);
     let mem_intensity = rng.random_range(0.0..0.9);
     let kind_eff: Vec<f64> = (0..num_kinds)
         .map(|k| {
@@ -64,7 +69,12 @@ pub fn random_scenario<R: Rng>(rng: &mut R, platform: Platform, n_apps: usize) -
         }
     }
     Scenario {
-        name: names.join("+"),
+        // An empty mix still needs a displayable name.
+        name: if names.is_empty() {
+            "empty".to_string()
+        } else {
+            names.join("+")
+        },
         apps,
     }
 }

@@ -44,8 +44,12 @@ pub mod npb;
 pub mod scenarios;
 pub mod tbb;
 pub mod tensorflow;
+pub mod trace;
+pub mod tracegen;
 
 pub use scenarios::Scenario;
+pub use trace::{Template, Trace, TraceEvent};
+pub use tracegen::{generate_trace, TraceGenConfig, TraceShape};
 
 use harp_platform::HardwareDescription;
 use harp_sim::AppSpec;

@@ -1,0 +1,639 @@
+//! The canonical trace format: replayable workload scenarios as data.
+//!
+//! A [`Trace`] is a time-ordered schedule of [`TraceEvent`]s — arrivals,
+//! departures, priority changes, and machine-wide load-phase shifts — that
+//! the simulator's discrete-event loop consumes via
+//! [`Trace::schedule_into`], and that `harp-testkit` replays directly
+//! against an `RmCore` under its invariant oracles. Traces serialize to a
+//! line-oriented text format designed for exact round-tripping: every
+//! payload is an integer (times in nanoseconds, work in whole work units),
+//! so `parse(to_canonical_text(t)) == t` holds bit-for-bit on every
+//! platform.
+//!
+//! ```text
+//! # harp-workload trace v1
+//! name flash-crowd-demo
+//! seed 42
+//! window 60000000000
+//! arrive 0 1 std cpu 20000000000
+//! priority 5000000000 1 premium
+//! load 10000000000 500
+//! depart 20000000000 1
+//! ```
+//!
+//! Events are kept in canonical order — ascending time, with ties broken
+//! by event rank (arrive < priority < depart < load) and then key — so two
+//! traces with the same content always have identical text.
+
+use crate::Platform;
+use harp_sim::{AppSpec, ContentionModel, LaunchOpts, SimTime, Simulation};
+use harp_types::{HarpError, PriorityClass, Result};
+
+/// A synthetic application template: a fixed, named behaviour model whose
+/// only free parameter is the total work. Templates make traces compact
+/// (one token instead of a full spec) and give the RM stable names to key
+/// its warm-start profiles on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Template {
+    /// Compute-bound, SMT-friendly, scales well (an `ep`-like kernel).
+    Cpu,
+    /// Memory-bandwidth-bound (an `mg`-like kernel).
+    Mem,
+    /// Convoys on a shared queue: throughput peaks at a small team (the
+    /// paper's `binpack` effect, §6.3.1).
+    Convoy,
+    /// Dynamically load-balanced across heterogeneous kinds.
+    Balanced,
+    /// Short-iteration, serial-heavy interactive work.
+    Bursty,
+}
+
+impl Template {
+    /// All templates, in canonical order.
+    pub const ALL: [Template; 5] = [
+        Template::Cpu,
+        Template::Mem,
+        Template::Convoy,
+        Template::Balanced,
+        Template::Bursty,
+    ];
+
+    /// Canonical token used by the trace text format.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Template::Cpu => "cpu",
+            Template::Mem => "mem",
+            Template::Convoy => "convoy",
+            Template::Balanced => "balanced",
+            Template::Bursty => "bursty",
+        }
+    }
+
+    /// Parses a canonical token (see [`Template::as_str`]).
+    pub fn parse(s: &str) -> Option<Template> {
+        match s {
+            "cpu" => Some(Template::Cpu),
+            "mem" => Some(Template::Mem),
+            "convoy" => Some(Template::Convoy),
+            "balanced" => Some(Template::Balanced),
+            "bursty" => Some(Template::Bursty),
+            _ => None,
+        }
+    }
+
+    /// Instantiates the template as a validated [`AppSpec`] with `work`
+    /// total work units on a platform with `num_kinds` core kinds. The
+    /// spec is a pure function of `(self, work, num_kinds, class)` — no
+    /// randomness — so replays rebuild identical behaviour models.
+    pub fn spec(self, num_kinds: usize, work: u64, class: PriorityClass) -> Result<AppSpec> {
+        let num_kinds = num_kinds.max(1);
+        let work = work.max(1) as f64;
+        // Little cores extract less IPC from every template except the
+        // memory-bound one (which is bandwidth-limited anywhere).
+        let eff = |little: f64| -> Vec<f64> {
+            (0..num_kinds)
+                .map(|k| if k == 0 { 1.0 } else { little })
+                .collect()
+        };
+        let b = match self {
+            Template::Cpu => AppSpec::builder(self.as_str(), num_kinds)
+                .serial_fraction(0.01)
+                .iterations(150)
+                .smt_efficiency(1.1)
+                .kind_efficiency(eff(0.85)),
+            Template::Mem => AppSpec::builder(self.as_str(), num_kinds)
+                .serial_fraction(0.02)
+                .iterations(120)
+                .mem_intensity(0.85)
+                .smt_efficiency(0.9)
+                .kind_efficiency(eff(0.95)),
+            Template::Convoy => AppSpec::builder(self.as_str(), num_kinds)
+                .serial_fraction(0.01)
+                .iterations(200)
+                .contention(ContentionModel {
+                    linear: 0.02,
+                    quadratic: 0.04,
+                })
+                .kind_efficiency(eff(0.9)),
+            Template::Balanced => AppSpec::builder(self.as_str(), num_kinds)
+                .serial_fraction(0.02)
+                .iterations(100)
+                .dynamic_balance(true)
+                .kind_efficiency(eff(0.8)),
+            Template::Bursty => AppSpec::builder(self.as_str(), num_kinds)
+                .serial_fraction(0.15)
+                .iterations(40)
+                .smt_efficiency(0.95)
+                .kind_efficiency(eff(0.85)),
+        };
+        b.total_work(work).priority(class).build()
+    }
+}
+
+/// One event of a replayable workload trace. Times are absolute simulated
+/// nanoseconds from trace start; keys are caller-assigned instance
+/// identifiers unique per trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// An application instance arrives.
+    Arrive {
+        /// Event time (ns).
+        at: SimTime,
+        /// Unique instance key later events reference.
+        key: u64,
+        /// Tenant priority class at launch.
+        class: PriorityClass,
+        /// Behaviour template.
+        template: Template,
+        /// Total work units.
+        work: u64,
+    },
+    /// The instance under `key` is force-exited (app churn).
+    Depart {
+        /// Event time (ns).
+        at: SimTime,
+        /// Key of the departing instance.
+        key: u64,
+    },
+    /// The instance under `key` changes priority class.
+    Priority {
+        /// Event time (ns).
+        at: SimTime,
+        /// Key of the affected instance.
+        key: u64,
+        /// The new class.
+        class: PriorityClass,
+    },
+    /// Machine-wide load-phase shift to `permille / 1000` of nominal rate.
+    Load {
+        /// Event time (ns).
+        at: SimTime,
+        /// New rate scale in permille (1000 = nominal).
+        permille: u32,
+    },
+}
+
+impl TraceEvent {
+    /// Event time.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            TraceEvent::Arrive { at, .. }
+            | TraceEvent::Depart { at, .. }
+            | TraceEvent::Priority { at, .. }
+            | TraceEvent::Load { at, .. } => at,
+        }
+    }
+
+    /// Canonical sort key: time, then event rank (arrivals first so a
+    /// same-instant departure finds its key), then instance key.
+    fn sort_key(&self) -> (SimTime, u8, u64) {
+        match *self {
+            TraceEvent::Arrive { at, key, .. } => (at, 0, key),
+            TraceEvent::Priority { at, key, .. } => (at, 1, key),
+            TraceEvent::Depart { at, key, .. } => (at, 2, key),
+            TraceEvent::Load { at, permille } => (at, 3, permille as u64),
+        }
+    }
+}
+
+/// A named, seeded, replayable workload trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Display name (also names corpus files).
+    pub name: String,
+    /// The generator seed that produced the trace (0 for hand-written).
+    pub seed: u64,
+    /// The simulated window the trace spans (ns); no event is later.
+    pub window_ns: SimTime,
+    /// The schedule, in canonical order.
+    pub events: Vec<TraceEvent>,
+}
+
+/// Format version tag; the first line of every canonical trace.
+pub const TRACE_HEADER: &str = "# harp-workload trace v1";
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new(name: impl Into<String>, seed: u64, window_ns: SimTime) -> Self {
+        Trace {
+            name: name.into(),
+            seed,
+            window_ns,
+            events: Vec::new(),
+        }
+    }
+
+    /// Sorts events into canonical order (stable content → identical text).
+    pub fn normalize(&mut self) {
+        self.events.sort_by_key(|e| e.sort_key());
+    }
+
+    /// Number of arrival events.
+    pub fn arrivals(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Arrive { .. }))
+            .count()
+    }
+
+    /// Checks well-formedness: canonical event order, events within the
+    /// window, unique arrival keys, departure/priority events referencing
+    /// keys that arrived no later, and load shifts within `1..=4000`
+    /// permille.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarpError::Description`] naming the first violation.
+    pub fn validate(&self) -> Result<()> {
+        let fail = |detail: String| -> Result<()> { Err(HarpError::Description { detail }) };
+        if self.name.is_empty() || self.name.contains(char::is_whitespace) {
+            return fail(format!("trace name '{}' is empty or has spaces", self.name));
+        }
+        let mut arrived: std::collections::HashMap<u64, SimTime> = std::collections::HashMap::new();
+        let mut prev: Option<(SimTime, u8, u64)> = None;
+        for (i, ev) in self.events.iter().enumerate() {
+            let sk = ev.sort_key();
+            if let Some(p) = prev {
+                if sk < p {
+                    return fail(format!("event {i} out of canonical order"));
+                }
+            }
+            prev = Some(sk);
+            if ev.at() > self.window_ns {
+                return fail(format!("event {i} at {} ns beyond window", ev.at()));
+            }
+            match *ev {
+                TraceEvent::Arrive { at, key, work, .. } => {
+                    if arrived.insert(key, at).is_some() {
+                        return fail(format!("duplicate arrival key {key}"));
+                    }
+                    if work == 0 {
+                        return fail(format!("arrival {key} has zero work"));
+                    }
+                }
+                TraceEvent::Depart { at, key } | TraceEvent::Priority { at, key, .. } => {
+                    match arrived.get(&key) {
+                        None => return fail(format!("event {i} references unknown key {key}")),
+                        Some(&t0) if t0 > at => {
+                            return fail(format!("event {i} precedes arrival of key {key}"))
+                        }
+                        _ => {}
+                    }
+                }
+                TraceEvent::Load { permille, .. } => {
+                    if permille == 0 || permille > 4000 {
+                        return fail(format!("load shift {permille} outside 1..=4000"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the canonical text form.
+    pub fn to_canonical_text(&self) -> String {
+        let mut s = String::with_capacity(64 + self.events.len() * 32);
+        s.push_str(TRACE_HEADER);
+        s.push('\n');
+        s.push_str(&format!("name {}\n", self.name));
+        s.push_str(&format!("seed {}\n", self.seed));
+        s.push_str(&format!("window {}\n", self.window_ns));
+        for ev in &self.events {
+            match *ev {
+                TraceEvent::Arrive {
+                    at,
+                    key,
+                    class,
+                    template,
+                    work,
+                } => s.push_str(&format!(
+                    "arrive {at} {key} {} {} {work}\n",
+                    class.as_str(),
+                    template.as_str()
+                )),
+                TraceEvent::Depart { at, key } => s.push_str(&format!("depart {at} {key}\n")),
+                TraceEvent::Priority { at, key, class } => {
+                    s.push_str(&format!("priority {at} {key} {}\n", class.as_str()))
+                }
+                TraceEvent::Load { at, permille } => s.push_str(&format!("load {at} {permille}\n")),
+            }
+        }
+        s
+    }
+
+    /// Parses a canonical text trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarpError::Description`] on a malformed header, an unknown
+    /// directive, or a bad field; the parsed trace is also
+    /// [validated](Trace::validate).
+    pub fn parse(text: &str) -> Result<Trace> {
+        let fail = |line_no: usize, detail: &str| HarpError::Description {
+            detail: format!("trace line {}: {detail}", line_no + 1),
+        };
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, l)) if l.trim() == TRACE_HEADER => {}
+            _ => {
+                return Err(HarpError::Description {
+                    detail: format!("missing trace header '{TRACE_HEADER}'"),
+                })
+            }
+        }
+        let mut trace = Trace::new("unnamed", 0, 0);
+        let mut saw = (false, false, false); // name, seed, window
+        for (no, raw) in lines {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut f = line.split_ascii_whitespace();
+            let directive = f.next().unwrap_or_default();
+            let rest: Vec<&str> = f.collect();
+            let int =
+                |s: &str| -> Result<u64> { s.parse::<u64>().map_err(|_| fail(no, "bad integer")) };
+            match directive {
+                "name" => {
+                    let [n] = rest[..] else {
+                        return Err(fail(no, "name takes one token"));
+                    };
+                    trace.name = n.to_string();
+                    saw.0 = true;
+                }
+                "seed" => {
+                    let [s] = rest[..] else {
+                        return Err(fail(no, "seed takes one integer"));
+                    };
+                    trace.seed = int(s)?;
+                    saw.1 = true;
+                }
+                "window" => {
+                    let [w] = rest[..] else {
+                        return Err(fail(no, "window takes one integer"));
+                    };
+                    trace.window_ns = int(w)?;
+                    saw.2 = true;
+                }
+                "arrive" => {
+                    let [at, key, class, template, work] = rest[..] else {
+                        return Err(fail(no, "arrive takes 5 fields"));
+                    };
+                    trace.events.push(TraceEvent::Arrive {
+                        at: int(at)?,
+                        key: int(key)?,
+                        class: PriorityClass::parse(class)
+                            .ok_or_else(|| fail(no, "unknown priority class"))?,
+                        template: Template::parse(template)
+                            .ok_or_else(|| fail(no, "unknown template"))?,
+                        work: int(work)?,
+                    });
+                }
+                "depart" => {
+                    let [at, key] = rest[..] else {
+                        return Err(fail(no, "depart takes 2 fields"));
+                    };
+                    trace.events.push(TraceEvent::Depart {
+                        at: int(at)?,
+                        key: int(key)?,
+                    });
+                }
+                "priority" => {
+                    let [at, key, class] = rest[..] else {
+                        return Err(fail(no, "priority takes 3 fields"));
+                    };
+                    trace.events.push(TraceEvent::Priority {
+                        at: int(at)?,
+                        key: int(key)?,
+                        class: PriorityClass::parse(class)
+                            .ok_or_else(|| fail(no, "unknown priority class"))?,
+                    });
+                }
+                "load" => {
+                    let [at, permille] = rest[..] else {
+                        return Err(fail(no, "load takes 2 fields"));
+                    };
+                    let p = int(permille)?;
+                    trace.events.push(TraceEvent::Load {
+                        at: int(at)?,
+                        permille: u32::try_from(p).map_err(|_| fail(no, "bad permille"))?,
+                    });
+                }
+                other => {
+                    return Err(fail(no, &format!("unknown directive '{other}'")));
+                }
+            }
+        }
+        if !(saw.0 && saw.1 && saw.2) {
+            return Err(HarpError::Description {
+                detail: "trace missing name/seed/window".to_string(),
+            });
+        }
+        trace.validate()?;
+        Ok(trace)
+    }
+
+    /// Schedules every trace event into a simulation of the given
+    /// platform. Arrivals launch the template spec with all hardware
+    /// threads (the unmanaged default a real service starts with; the
+    /// manager under test resizes teams from there).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarpError::Description`] if the trace is invalid or a
+    /// template fails to instantiate.
+    pub fn schedule_into(&self, sim: &mut Simulation, platform: Platform) -> Result<()> {
+        self.validate()?;
+        for ev in &self.events {
+            match *ev {
+                TraceEvent::Arrive {
+                    at,
+                    key,
+                    class,
+                    template,
+                    work,
+                } => {
+                    let spec = template.spec(platform.num_kinds(), work, class)?;
+                    sim.add_arrival_keyed(at, key, spec, LaunchOpts::all_hw_threads());
+                }
+                TraceEvent::Depart { at, key } => sim.add_departure(at, key),
+                TraceEvent::Priority { at, key, class } => sim.add_priority_change(at, key, class),
+                TraceEvent::Load { at, permille } => sim.add_load_shift(at, permille),
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new("sample", 7, 60_000_000_000);
+        t.events = vec![
+            TraceEvent::Arrive {
+                at: 0,
+                key: 1,
+                class: PriorityClass::Standard,
+                template: Template::Cpu,
+                work: 2_000_000_000,
+            },
+            TraceEvent::Arrive {
+                at: 1_000_000,
+                key: 2,
+                class: PriorityClass::Batch,
+                template: Template::Mem,
+                work: 5_000_000_000,
+            },
+            TraceEvent::Priority {
+                at: 2_000_000,
+                key: 1,
+                class: PriorityClass::Premium,
+            },
+            TraceEvent::Load {
+                at: 3_000_000,
+                permille: 500,
+            },
+            TraceEvent::Depart {
+                at: 4_000_000,
+                key: 2,
+            },
+        ];
+        t
+    }
+
+    #[test]
+    fn canonical_text_round_trips_exactly() {
+        let t = sample();
+        t.validate().unwrap();
+        let text = t.to_canonical_text();
+        let back = Trace::parse(&text).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.to_canonical_text(), text);
+    }
+
+    #[test]
+    fn templates_round_trip_and_instantiate() {
+        for tpl in Template::ALL {
+            assert_eq!(Template::parse(tpl.as_str()), Some(tpl));
+            for kinds in [1usize, 2, 3] {
+                let s = tpl
+                    .spec(kinds, 1_000_000_000, PriorityClass::Standard)
+                    .unwrap();
+                s.validate().unwrap();
+                assert_eq!(s.kind_efficiency.len(), kinds);
+            }
+        }
+        assert_eq!(Template::parse("gpu"), None);
+    }
+
+    #[test]
+    fn validation_rejects_malformed_traces() {
+        let mut dup = sample();
+        dup.events.push(TraceEvent::Arrive {
+            at: 5_000_000,
+            key: 1,
+            class: PriorityClass::Standard,
+            template: Template::Cpu,
+            work: 1,
+        });
+        assert!(dup.validate().is_err(), "duplicate key");
+
+        let mut orphan = sample();
+        orphan.events.push(TraceEvent::Depart {
+            at: 6_000_000,
+            key: 99,
+        });
+        assert!(orphan.validate().is_err(), "unknown key");
+
+        let mut unsorted = sample();
+        unsorted.events.swap(0, 1);
+        assert!(unsorted.validate().is_err(), "out of order");
+        unsorted.normalize();
+        assert!(unsorted.validate().is_ok(), "normalize restores order");
+
+        let mut late = sample();
+        late.events.push(TraceEvent::Load {
+            at: 100_000_000_000,
+            permille: 500,
+        });
+        assert!(late.validate().is_err(), "beyond window");
+
+        let mut zeroload = sample();
+        zeroload.events.push(TraceEvent::Load {
+            at: 5_000_000,
+            permille: 0,
+        });
+        assert!(zeroload.validate().is_err(), "zero permille");
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(Trace::parse("").is_err(), "empty");
+        assert!(Trace::parse("nonsense\n").is_err(), "no header");
+        let headed = |body: &str| format!("{TRACE_HEADER}\nname t\nseed 0\nwindow 10\n{body}");
+        assert!(Trace::parse(&headed("")).is_ok());
+        assert!(
+            Trace::parse(&headed("arrive 0 1 std cpu\n")).is_err(),
+            "short arrive"
+        );
+        assert!(
+            Trace::parse(&headed("arrive 0 1 gold cpu 5\n")).is_err(),
+            "bad class"
+        );
+        assert!(
+            Trace::parse(&headed("arrive 0 1 std gpu 5\n")).is_err(),
+            "bad template"
+        );
+        assert!(
+            Trace::parse(&headed("frobnicate 0\n")).is_err(),
+            "bad directive"
+        );
+        assert!(
+            Trace::parse(&format!("{TRACE_HEADER}\nname t\nseed 0\n")).is_err(),
+            "missing window"
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = format!(
+            "{TRACE_HEADER}\n# a comment\n\nname t\nseed 3\nwindow 10\n# more\narrive 0 1 std cpu 5\n"
+        );
+        let t = Trace::parse(&text).unwrap();
+        assert_eq!(t.arrivals(), 1);
+        assert_eq!(t.seed, 3);
+    }
+
+    #[test]
+    fn scheduled_trace_drives_the_simulator() {
+        use harp_sim::{NullManager, SimConfig};
+        let mut t = Trace::new("drive", 0, 10 * harp_sim::SECOND);
+        t.events = vec![
+            TraceEvent::Arrive {
+                at: 0,
+                key: 1,
+                class: PriorityClass::Standard,
+                template: Template::Cpu,
+                work: 1_000_000_000,
+            },
+            TraceEvent::Arrive {
+                at: 0,
+                key: 2,
+                class: PriorityClass::Batch,
+                template: Template::Convoy,
+                work: 1_000_000_000_000,
+            },
+            TraceEvent::Depart {
+                at: harp_sim::SECOND,
+                key: 2,
+            },
+        ];
+        let mut sim = Simulation::new(Platform::RaptorLake.hardware(), SimConfig::default());
+        t.schedule_into(&mut sim, Platform::RaptorLake).unwrap();
+        let r = sim.run(&mut NullManager).unwrap();
+        assert_eq!(r.apps.len(), 2, "both instances exit");
+        assert!(r.partial.is_empty());
+    }
+}

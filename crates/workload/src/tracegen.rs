@@ -1,0 +1,400 @@
+//! Seeded workload-trace generation.
+//!
+//! Produces [`Trace`]s with the temporal structure production RMs face:
+//! diurnal load curves, flash crowds, heavy-tailed job sizes, app churn and
+//! multi-tenant priority mixes — at 10k+ arrivals per simulated window. The
+//! generator is deliberately **integer-only**: arrival apportionment uses
+//! largest-remainder rounding over integer bucket weights, the diurnal
+//! curve is Bhaskara's integer sine approximation, and heavy-tailed work
+//! sizes come from a geometric draw in log space (counting trailing zeros
+//! of a raw 64-bit word). No floating-point operation touches any emitted
+//! value, so the same seed yields a byte-identical canonical trace on
+//! every platform, at any optimization level, regardless of how many
+//! solver threads the consuming RM runs.
+
+use crate::trace::{Template, Trace, TraceEvent};
+use harp_sim::SimTime;
+use harp_types::PriorityClass;
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// The temporal shape of a generated trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceShape {
+    /// A day-like sinusoidal load curve: arrival density and machine-wide
+    /// load phase swing between trough and peak over the window.
+    Diurnal,
+    /// A low base arrival rate with a few sudden spikes that concentrate a
+    /// large share of all arrivals in short bursts.
+    FlashCrowd,
+    /// Uniform arrival times, but heavily skewed job sizes and aggressive
+    /// early departures (app churn).
+    HeavyTailChurn,
+}
+
+impl TraceShape {
+    /// Canonical token (used in headline-trace names and reports).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceShape::Diurnal => "diurnal",
+            TraceShape::FlashCrowd => "flash-crowd",
+            TraceShape::HeavyTailChurn => "heavy-tail-churn",
+        }
+    }
+}
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct TraceGenConfig {
+    /// RNG seed; the sole source of variation between same-shape traces.
+    pub seed: u64,
+    /// Simulated window the trace spans (ns).
+    pub window_ns: SimTime,
+    /// Number of arrival events to emit.
+    pub arrivals: u32,
+    /// Shape of the arrival process.
+    pub shape: TraceShape,
+    /// Per-mille of arrivals that depart early (app churn).
+    pub churn_permille: u32,
+    /// Per-mille of arrivals that change priority class mid-life.
+    pub reprioritize_permille: u32,
+}
+
+impl Default for TraceGenConfig {
+    fn default() -> Self {
+        TraceGenConfig {
+            seed: 1,
+            window_ns: 60 * harp_sim::SECOND,
+            arrivals: 1000,
+            shape: TraceShape::Diurnal,
+            churn_permille: 250,
+            reprioritize_permille: 50,
+        }
+    }
+}
+
+/// Number of time buckets the window is divided into for arrival
+/// apportionment (96 ≅ 15-minute buckets of a simulated day).
+const BUCKETS: usize = 96;
+
+/// Bhaskara I's integer sine approximation, scaled to per-mille:
+/// `sin_milli(deg) ≈ 1000·sin(deg°)` for `deg ∈ [0, 360)`, exact at 0/90/180
+/// and within 2 ‰ elsewhere — entirely in `i64` arithmetic.
+fn sin_milli(deg: u32) -> i64 {
+    let deg = (deg % 360) as i64;
+    let (theta, sign) = if deg <= 180 {
+        (deg, 1)
+    } else {
+        (deg - 180, -1)
+    };
+    let num = 4 * 1000 * 4 * theta * (180 - theta);
+    let den = 40500 - theta * (180 - theta);
+    sign * num / (4 * den)
+}
+
+/// Per-bucket integer arrival weights for a shape (values are relative;
+/// only ratios matter for apportionment).
+fn bucket_weights(shape: TraceShape, rng: &mut ChaCha8Rng) -> Vec<u64> {
+    match shape {
+        TraceShape::Diurnal => (0..BUCKETS)
+            .map(|b| {
+                let deg = (b as u32 * 360) / BUCKETS as u32;
+                // 1000 ± 700: trough-to-peak ratio ≈ 5.7×.
+                (1000 + 700 * sin_milli(deg) / 1000) as u64
+            })
+            .collect(),
+        TraceShape::FlashCrowd => {
+            let mut w = vec![200u64; BUCKETS];
+            // Three spikes, each a burst bucket plus a decaying shoulder.
+            for _ in 0..3 {
+                let b = rng.random_range(0..BUCKETS as u64) as usize;
+                w[b] += 8000;
+                w[(b + 1) % BUCKETS] += 3000;
+                w[(b + 2) % BUCKETS] += 1000;
+            }
+            w
+        }
+        TraceShape::HeavyTailChurn => vec![1000u64; BUCKETS],
+    }
+}
+
+/// Largest-remainder apportionment of `total` arrivals across buckets
+/// proportionally to integer `weights` (ties broken by lower bucket index,
+/// so the result is a pure function of its inputs).
+fn apportion(total: u32, weights: &[u64]) -> Vec<u32> {
+    let sum: u64 = weights.iter().sum::<u64>().max(1);
+    let mut counts: Vec<u32> = Vec::with_capacity(weights.len());
+    let mut rems: Vec<(u64, usize)> = Vec::with_capacity(weights.len());
+    let mut assigned: u32 = 0;
+    for (i, &w) in weights.iter().enumerate() {
+        let exact = total as u64 * w;
+        let floor = (exact / sum) as u32;
+        counts.push(floor);
+        assigned += floor;
+        rems.push((exact % sum, i));
+    }
+    // Hand the leftover arrivals to the largest remainders, wrapping
+    // round-robin in the degenerate all-zero-weight case (where the
+    // leftover exceeds the bucket count).
+    rems.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let mut left = total - assigned;
+    let mut i = 0usize;
+    while left > 0 && !rems.is_empty() {
+        counts[rems[i % rems.len()].1] += 1;
+        left -= 1;
+        i += 1;
+    }
+    counts
+}
+
+/// Heavy-tailed work size: `base · 2^Z` where `Z` is geometric (counting
+/// trailing zeros of a raw word, capped), plus uniform jitter below one
+/// octave — a discrete Pareto-like distribution in pure integer math.
+fn heavy_tail_work(rng: &mut ChaCha8Rng, base: u64, cap: u32) -> u64 {
+    let z = rng.next_u64().trailing_zeros().min(cap);
+    let w = base << z;
+    w + rng.random_range(0..w)
+}
+
+/// Draws a priority class from the tenant mix (15 % batch, 80 % standard,
+/// 5 % premium).
+fn draw_class(rng: &mut ChaCha8Rng) -> PriorityClass {
+    match rng.random_range(0..1000u64) {
+        0..=149 => PriorityClass::Batch,
+        150..=949 => PriorityClass::Standard,
+        _ => PriorityClass::Premium,
+    }
+}
+
+/// Generates a seeded trace. The result is validated, normalized, and a
+/// pure function of `(name, cfg)`.
+pub fn generate_trace(name: &str, cfg: &TraceGenConfig) -> Trace {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let window = cfg.window_ns.max(BUCKETS as u64);
+    let mut trace = Trace::new(name, cfg.seed, window);
+    let weights = bucket_weights(cfg.shape, &mut rng);
+    let counts = apportion(cfg.arrivals, &weights);
+    let bucket_len = window / BUCKETS as u64;
+
+    // Machine-wide load phase tracks the arrival curve for the diurnal
+    // shape: one shift per bucket boundary where the level changes.
+    if cfg.shape == TraceShape::Diurnal {
+        let mut last = 1000u64;
+        for (b, &w) in weights.iter().enumerate() {
+            let permille = w.clamp(300, 2000);
+            if permille != last {
+                trace.events.push(TraceEvent::Load {
+                    at: b as u64 * bucket_len,
+                    permille: permille as u32,
+                });
+                last = permille;
+            }
+        }
+    }
+
+    let (work_base, work_cap) = match cfg.shape {
+        // Heavier tail for the heavy-tail shape: up to base·2^10.
+        TraceShape::HeavyTailChurn => (500_000_000u64, 10u32),
+        _ => (1_000_000_000u64, 5u32),
+    };
+
+    let mut key: u64 = 0;
+    for (b, &n) in counts.iter().enumerate() {
+        let start = b as u64 * bucket_len;
+        for _ in 0..n {
+            key += 1;
+            let at = start + rng.random_range(0..bucket_len.max(1));
+            let class = draw_class(&mut rng);
+            let template = Template::ALL[rng.random_range(0..Template::ALL.len() as u64) as usize];
+            let work = heavy_tail_work(&mut rng, work_base, work_cap);
+            trace.events.push(TraceEvent::Arrive {
+                at,
+                key,
+                class,
+                template,
+                work,
+            });
+            if rng.random_range(0..1000u64) < cfg.churn_permille as u64 {
+                let lifetime = rng.random_range(window / 64..window / 4);
+                let depart_at = (at + lifetime).min(window);
+                trace.events.push(TraceEvent::Depart { at: depart_at, key });
+            }
+            if rng.random_range(0..1000u64) < cfg.reprioritize_permille as u64 {
+                let delay = rng.random_range(1..window / 8);
+                let to = match class {
+                    // Rotate to a different class so the event is never a
+                    // no-op on replay.
+                    PriorityClass::Batch => PriorityClass::Standard,
+                    PriorityClass::Standard => PriorityClass::Premium,
+                    PriorityClass::Premium => PriorityClass::Batch,
+                };
+                trace.events.push(TraceEvent::Priority {
+                    at: (at + delay).min(window),
+                    key,
+                    class: to,
+                });
+            }
+        }
+    }
+    trace.normalize();
+    trace
+        .validate()
+        .expect("generated trace is valid by construction");
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_sine_hits_landmarks() {
+        assert_eq!(sin_milli(0), 0);
+        assert_eq!(sin_milli(180), 0);
+        assert!((sin_milli(90) - 1000).abs() <= 2, "{}", sin_milli(90));
+        assert!((sin_milli(270) + 1000).abs() <= 2, "{}", sin_milli(270));
+        assert!(sin_milli(30) > 480 && sin_milli(30) < 520);
+        for d in 0..720 {
+            assert!(sin_milli(d).abs() <= 1002);
+        }
+    }
+
+    #[test]
+    fn apportionment_is_exact_and_proportional() {
+        let counts = apportion(1000, &[1, 1, 2]);
+        assert_eq!(counts.iter().sum::<u32>(), 1000);
+        assert_eq!(counts[2], 500);
+        // Degenerate: all-zero weights still assign every arrival.
+        let z = apportion(7, &[0, 0, 0]);
+        assert_eq!(z.iter().sum::<u32>(), 7);
+    }
+
+    #[test]
+    fn all_shapes_generate_valid_traces() {
+        for shape in [
+            TraceShape::Diurnal,
+            TraceShape::FlashCrowd,
+            TraceShape::HeavyTailChurn,
+        ] {
+            let cfg = TraceGenConfig {
+                shape,
+                arrivals: 500,
+                seed: 11,
+                ..TraceGenConfig::default()
+            };
+            let t = generate_trace(shape.as_str(), &cfg);
+            t.validate().unwrap();
+            assert_eq!(t.arrivals(), 500);
+            // Round-trips through the canonical text form.
+            let back = Trace::parse(&t.to_canonical_text()).unwrap();
+            assert_eq!(back, t);
+        }
+    }
+
+    #[test]
+    fn diurnal_trace_has_load_shifts_and_flash_crowd_bursts() {
+        let diurnal = generate_trace(
+            "d",
+            &TraceGenConfig {
+                shape: TraceShape::Diurnal,
+                arrivals: 2000,
+                ..TraceGenConfig::default()
+            },
+        );
+        assert!(
+            diurnal
+                .events
+                .iter()
+                .filter(|e| matches!(e, TraceEvent::Load { .. }))
+                .count()
+                > 10,
+            "diurnal curve emits load shifts"
+        );
+
+        let crowd = generate_trace(
+            "f",
+            &TraceGenConfig {
+                shape: TraceShape::FlashCrowd,
+                arrivals: 2000,
+                ..TraceGenConfig::default()
+            },
+        );
+        // Some bucket holds a burst far above the uniform share.
+        let bucket_len = crowd.window_ns / BUCKETS as u64;
+        let mut per_bucket = vec![0u32; BUCKETS];
+        for e in &crowd.events {
+            if let TraceEvent::Arrive { at, .. } = e {
+                per_bucket[((at / bucket_len) as usize).min(BUCKETS - 1)] += 1;
+            }
+        }
+        let max = *per_bucket.iter().max().unwrap();
+        assert!(max > 200, "spike bucket holds {max} of 2000 arrivals");
+    }
+
+    #[test]
+    fn churn_shape_emits_departures_and_priority_events() {
+        let t = generate_trace(
+            "c",
+            &TraceGenConfig {
+                shape: TraceShape::HeavyTailChurn,
+                arrivals: 1000,
+                churn_permille: 400,
+                reprioritize_permille: 100,
+                ..TraceGenConfig::default()
+            },
+        );
+        let departs = t
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Depart { .. }))
+            .count();
+        let prios = t
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Priority { .. }))
+            .count();
+        assert!(departs > 250, "{departs} departures");
+        assert!(prios > 40, "{prios} priority changes");
+    }
+
+    #[test]
+    fn work_sizes_are_heavy_tailed() {
+        let t = generate_trace(
+            "h",
+            &TraceGenConfig {
+                shape: TraceShape::HeavyTailChurn,
+                arrivals: 4000,
+                ..TraceGenConfig::default()
+            },
+        );
+        let works: Vec<u64> = t
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Arrive { work, .. } => Some(*work),
+                _ => None,
+            })
+            .collect();
+        let max = *works.iter().max().unwrap();
+        let min = *works.iter().min().unwrap();
+        assert!(max / min >= 256, "spread {min}..{max}");
+        // The median is far below the mean: the tail carries the mass.
+        let mut sorted = works.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        let mean = works.iter().sum::<u64>() / works.len() as u64;
+        assert!(mean > median, "mean {mean} vs median {median}");
+    }
+
+    #[test]
+    fn ten_thousand_arrivals_generate_quickly_and_validate() {
+        let cfg = TraceGenConfig {
+            arrivals: 10_000,
+            shape: TraceShape::FlashCrowd,
+            ..TraceGenConfig::default()
+        };
+        let t = generate_trace("big", &cfg);
+        assert_eq!(t.arrivals(), 10_000);
+        t.validate().unwrap();
+    }
+}
