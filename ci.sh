@@ -71,6 +71,16 @@ echo "==> workload-trace replay gate (committed headline corpus)"
 # fingerprint drift; regenerate deliberately with HARP_TRACE_BLESS=1.
 cargo test -q -p harp-testkit --test trace_replay
 
+echo "==> energy-ledger conservation gate (headline replay + live stream)"
+# Replays a committed headline trace under the testkit oracles — which
+# reject any tick whose per-session attributed energy plus idle share
+# misses the modeled total, at solver threads 0 and 2 — while a live
+# daemon streams telemetry frames to an in-process subscriber that fails
+# on any seq/dropped_frames miscount (DESIGN.md section 14). The
+# dedicated solver-thread sweep (0/1/2/8) runs in the trace_replay gate
+# above via committed_corpus_conserves_ledger_energy_across_solver_threads.
+cargo test -q -p harp-testkit --test telemetry_gate
+
 echo "==> trace-engine smoke (quick mode, 10k-arrival generation + replays)"
 # Generates each headline shape at 10k arrivals, checks the canonical
 # round trip, and replays a small trace per shape under the oracles,

@@ -37,12 +37,14 @@ use std::time::Instant;
 /// time, re-anchored in PR 6 on the SoA lane engine (the PR 3 anchor of
 /// 2 757 343 ns was measured on a different machine and made the signed
 /// drift gate read −26%, i.e. it gated machine identity rather than obs
-/// overhead). The telemetry layer on top of the solver must not tax the
-/// disabled path: `bench_artifacts.rs` gates the committed
-/// `obs.disabled_delta_pct` (fresh disabled-path run vs this anchor) at
-/// +2%. Re-anchor (and note it in EXPERIMENTS.md) whenever the solver
-/// hot path legitimately changes.
-const OBS_ANCHOR_WARM_ENGINE_NS: u128 = 1_880_631;
+/// overhead), and again in PR 9 when the A/B workload grew a per-tick
+/// energy-ledger charge (32-session largest-remainder apportionment, the
+/// tick-path cost the RM now pays). The telemetry layer on top of the
+/// solver must not tax the disabled path: `bench_artifacts.rs` gates the
+/// committed `obs.disabled_delta_pct` (fresh disabled-path run vs this
+/// anchor) at +2%. Re-anchor (and note it in EXPERIMENTS.md) whenever
+/// the solver hot path legitimately changes.
+const OBS_ANCHOR_WARM_ENGINE_NS: u128 = 1_551_432;
 
 /// Shape the emitted JSON is checked against before it is written: the
 /// bench re-parses its own output so CI can trust the committed artifact.
@@ -332,6 +334,13 @@ fn bench_obs_overhead(reps: usize) -> ObsRow {
     let reqs = requests(apps, options, kinds, &shape);
     let capacity = capacity_for(apps, kinds);
     let ticks = tick_schedule(&reqs, 32);
+    // Attribution weights as the RM tick computes them (Σ_k γ_k·ΔT_k):
+    // one strictly positive weight per headline app, so every ledger
+    // charge runs the full 32-way largest-remainder apportionment.
+    let weights: Vec<(AppId, f64)> = (0..apps)
+        .map(|a| (AppId(a as u64), 1.0 + (a % 7) as f64 * 0.25))
+        .collect();
+    let mut ledger = harp_energy::EnergyLedger::new();
     let mut warm_run = || {
         let mut warm = WarmStart::new();
         for tick in &ticks {
@@ -342,6 +351,10 @@ fn bench_obs_overhead(reps: usize) -> ObsRow {
                 Some(&mut warm),
             ))
             .ok();
+            // The ledger rides the same tick path in the RM, so the A/B
+            // charges it too — its integer apportionment must stay cheap
+            // whether or not tracing is on.
+            black_box(ledger.charge(black_box(0.0031), &weights));
         }
     };
     assert!(
@@ -361,6 +374,11 @@ fn bench_obs_overhead(reps: usize) -> ObsRow {
     let enabled_ns = median_ns(reps, &mut warm_run);
     harp_obs::disable_global();
     harp_obs::reset_global();
+    assert_eq!(
+        ledger.conservation_error(),
+        0,
+        "A/B ledger stopped conserving"
+    );
     ObsRow {
         apps,
         options,

@@ -21,8 +21,12 @@ use crate::server::{
     ERR_DUPLICATE_REGISTER, ERR_NO_SESSION, ERR_PROTOCOL, ERR_REGISTER_REJECTED,
     ERR_SUBMIT_REJECTED, MAX_DUMP_BYTES,
 };
+use harp_obs::metrics::{bucket_index, HistogramSnapshot};
+use harp_obs::IntervalSeries;
 use harp_proto::frame::{encode_frame, FrameDecoder};
-use harp_proto::{ErrorMsg, Hello, Message, RegisterAck, TelemetryDump};
+use harp_proto::{
+    ErrorMsg, Hello, Message, RegisterAck, SessionEnergy, TelemetryDump, TelemetryFrame,
+};
 use harp_types::{AppId, ExtResourceVector, NonFunctional};
 use reactor::{poll_fd, Events, Interest, Poller, Slab, Waker};
 use std::collections::HashMap;
@@ -43,6 +47,61 @@ const WAKER_TOKEN: u64 = u64::MAX;
 /// How long a closing session may block the shard to flush a final
 /// error/ack frame to a slow peer before the bytes are abandoned.
 const CLOSE_FLUSH_BUDGET: Duration = Duration::from_millis(100);
+
+/// Push interval used when a `SubscribeTelemetry` asks for 0 ("default").
+const DEFAULT_SUB_INTERVAL_MS: u64 = 250;
+
+/// Floor/ceiling on requested subscription intervals.
+const MIN_SUB_INTERVAL_MS: u64 = 20;
+const MAX_SUB_INTERVAL_MS: u64 = 60_000;
+
+/// A subscriber whose outbound ring still holds more than this many
+/// unsent bytes when a push comes due has stopped draining; the frame is
+/// dropped (oldest-first, since it is the frames longest due that die)
+/// and accounted in `dropped_frames` rather than queued without bound.
+const MAX_SUB_BACKLOG_BYTES: usize = 64 * 1024;
+
+/// Ring capacity of each subscription's interval series (only the
+/// latest interval is shipped per frame; the short history serves the
+/// `watch` reconnect case where one frame covers several intervals).
+const SUB_INTERVAL_RING: usize = 16;
+
+/// Live telemetry subscription state for one connection.
+struct SubState {
+    interval: Duration,
+    include_metrics: bool,
+    next_push: Instant,
+    /// Next frame sequence number; advances for dropped frames too, so
+    /// `delivered + dropped == seq` always holds at the subscriber.
+    seq: u64,
+    /// Cumulative frames dropped under backpressure.
+    dropped: u64,
+    /// Per-subscription interval series over the global metrics registry.
+    intervals: IntervalSeries,
+    /// Ledger cumulatives at the previous frame, for per-interval deltas.
+    last_total_uj: u64,
+    last_idle_uj: u64,
+    last_sessions: HashMap<AppId, u64>,
+    /// Latency histograms at the previous frame.
+    last_latency: HashMap<AppId, HistogramSnapshot>,
+}
+
+impl SubState {
+    fn new(interval: Duration, include_metrics: bool, now: Instant) -> SubState {
+        SubState {
+            interval,
+            include_metrics,
+            next_push: now,
+            seq: 0,
+            dropped: 0,
+            intervals: IntervalSeries::new(SUB_INTERVAL_RING),
+            last_total_uj: 0,
+            last_idle_uj: 0,
+            last_sessions: HashMap::new(),
+            last_latency: HashMap::new(),
+        }
+    }
+}
 
 /// Per-shard counter names; index = shard id. Static because the metrics
 /// registry interns `&'static str` names.
@@ -162,6 +221,9 @@ struct Session {
     conn: u64,
     /// Whether the poller registration currently includes `EPOLLOUT`.
     want_write: bool,
+    /// Live telemetry subscription, if this connection sent
+    /// `SubscribeTelemetry`.
+    sub: Option<SubState>,
 }
 
 /// Outcome of pulling one frame out of a session's decoder.
@@ -218,11 +280,10 @@ fn shard_loop(shared: Arc<Shared>, idx: usize, poller: Poller, waker: Arc<Waker>
         if shard.shared.stop.load(Ordering::SeqCst) {
             break;
         }
-        if shard
-            .poller
-            .wait(&mut events, Some(Duration::from_millis(250)))
-            .is_err()
-        {
+        // Wake no later than the idle heartbeat, and earlier when a
+        // telemetry subscription push comes due sooner.
+        let timeout = shard.sub_poll_timeout(Duration::from_millis(250));
+        if shard.poller.wait(&mut events, Some(timeout)).is_err() {
             break;
         }
         for ev in events.iter() {
@@ -241,6 +302,7 @@ fn shard_loop(shared: Arc<Shared>, idx: usize, poller: Poller, waker: Arc<Waker>
                 shard.on_readable(slot);
             }
         }
+        shard.push_subscriptions();
     }
     // Teardown (shutdown or kill): sever every remaining client socket.
     // Sessions are intentionally NOT deregistered here — on a kill the
@@ -298,6 +360,7 @@ impl ShardState {
             app: None,
             conn,
             want_write: false,
+            sub: None,
         });
         if self
             .poller
@@ -492,10 +555,27 @@ impl ShardState {
         }
     }
 
-    /// Handles one decoded message — the same state machine the old
-    /// per-connection thread ran, minus the blocking I/O. Returns true
-    /// when the connection must close (clean exit).
+    /// Handles one decoded message, timing it into the owning session's
+    /// latency histogram (the per-interval p99 that telemetry
+    /// subscriptions report). Returns true when the connection must
+    /// close (clean exit).
     fn dispatch(&mut self, slot: usize, msg: Message) -> bool {
+        let started = Instant::now();
+        let close = self.dispatch_msg(slot, msg);
+        if let Some(app) = self.slab.get(slot).and_then(|s| s.app) {
+            let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let mut lat = lock(&self.shared.latency);
+            let h = lat.entry(app).or_default();
+            h.count = h.count.saturating_add(1);
+            h.sum = h.sum.wrapping_add(ns);
+            h.buckets[bucket_index(ns)] = h.buckets[bucket_index(ns)].saturating_add(1);
+        }
+        close
+    }
+
+    /// The message state machine proper — the same one the old
+    /// per-connection thread ran, minus the blocking I/O.
+    fn dispatch_msg(&mut self, slot: usize, msg: Message) -> bool {
         let (conn, app) = match self.slab.get(slot) {
             Some(s) => (s.conn, s.app),
             None => return true,
@@ -591,6 +671,25 @@ impl ShardState {
                     &Message::TelemetryDump(TelemetryDump { jsonl, truncated }),
                 );
             }
+            Message::SubscribeTelemetry(req) => {
+                let ms = if req.interval_ms == 0 {
+                    DEFAULT_SUB_INTERVAL_MS
+                } else {
+                    u64::from(req.interval_ms).clamp(MIN_SUB_INTERVAL_MS, MAX_SUB_INTERVAL_MS)
+                };
+                let now = Instant::now();
+                if let Some(sess) = self.slab.get_mut(slot) {
+                    sess.sub = Some(SubState::new(
+                        Duration::from_millis(ms),
+                        req.include_metrics,
+                        now,
+                    ));
+                }
+                harp_obs::metrics::counter("daemon.telemetry.subscribes").inc();
+                // Push the baseline frame immediately; the cadence starts
+                // from here.
+                self.push_frame(slot, now);
+            }
             Message::UtilityReport(_) => {
                 // Collected for future online monitoring; the daemon's RM
                 // runs offline (see crate docs).
@@ -643,6 +742,135 @@ impl ShardState {
                 false
             }
         }
+    }
+
+    /// Shortens the poll timeout when a subscription push is due before
+    /// the idle heartbeat `cap`.
+    fn sub_poll_timeout(&self, cap: Duration) -> Duration {
+        let now = Instant::now();
+        let mut timeout = cap;
+        for (_, sess) in self.slab.iter() {
+            if let Some(sub) = &sess.sub {
+                timeout = timeout.min(sub.next_push.saturating_duration_since(now));
+            }
+        }
+        timeout
+    }
+
+    /// Pushes a [`TelemetryFrame`] to every subscription that has come
+    /// due; runs once per shard loop iteration.
+    fn push_subscriptions(&mut self) {
+        let now = Instant::now();
+        let due: Vec<usize> = self
+            .slab
+            .iter()
+            .filter(|(_, s)| s.sub.as_ref().is_some_and(|sub| sub.next_push <= now))
+            .map(|(slot, _)| slot)
+            .collect();
+        for slot in due {
+            self.push_frame(slot, now);
+        }
+    }
+
+    /// Builds and enqueues one telemetry frame for `slot`'s subscription
+    /// (or drops it, with accounting, when the subscriber has stopped
+    /// draining its socket). Energy comes from the RM core's ledger;
+    /// latency from the shared per-session dispatch histograms; metric
+    /// deltas from the subscription's own interval series.
+    fn push_frame(&mut self, slot: usize, now: Instant) {
+        if self.slab.get(slot).is_none_or(|s| s.sub.is_none()) {
+            return;
+        }
+        // Gather global state before borrowing the session mutably. Rows
+        // cover every registered session plus any session the ledger has
+        // charged (a session can retire between charge and push).
+        let core = self.shared.core();
+        let mut ids: std::collections::BTreeSet<AppId> =
+            lock(&self.shared.owners).keys().copied().collect();
+        let (total_uj, idle_uj, rows) = {
+            let guard = lock(&core);
+            let ledger = guard.ledger();
+            ids.extend(ledger.sessions().into_iter().map(|(app, _)| app));
+            let rows: Vec<(AppId, String, u64)> = ids
+                .into_iter()
+                .map(|app| {
+                    let name = guard.session_name(app).unwrap_or("?").to_string();
+                    (app, name, ledger.session_uj(app))
+                })
+                .collect();
+            (ledger.total_uj(), ledger.idle_uj(), rows)
+        };
+        let latency_now: HashMap<AppId, HistogramSnapshot> = lock(&self.shared.latency).clone();
+        let metrics_snap = {
+            let include = self
+                .slab
+                .get(slot)
+                .and_then(|s| s.sub.as_ref())
+                .is_some_and(|sub| sub.include_metrics);
+            include.then(harp_obs::metrics::snapshot)
+        };
+
+        let frame = {
+            let Some(sess) = self.slab.get_mut(slot) else {
+                return;
+            };
+            let Some(sub) = sess.sub.as_mut() else {
+                return;
+            };
+            sub.next_push = now + sub.interval;
+            let seq = sub.seq;
+            sub.seq += 1;
+            if sess.out.len() > MAX_SUB_BACKLOG_BYTES {
+                // Drop-oldest: the longest-due frame dies; `seq` still
+                // advances so `delivered + dropped == seq` at the peer.
+                sub.dropped += 1;
+                harp_obs::metrics::counter("daemon.telemetry.dropped_frames").inc();
+                return;
+            }
+            let sessions: Vec<SessionEnergy> = rows
+                .iter()
+                .map(|(app, name, uj)| {
+                    let prev = sub.last_sessions.get(app).copied().unwrap_or(0);
+                    let latency_p99_us = latency_now
+                        .get(app)
+                        .map(|h| {
+                            let d = match sub.last_latency.get(app) {
+                                Some(b) => h.delta_since(b),
+                                None => h.clone(),
+                            };
+                            d.quantile(0.99) / 1_000
+                        })
+                        .unwrap_or(0);
+                    SessionEnergy {
+                        app_id: app.raw(),
+                        name: name.clone(),
+                        tick_uj: uj.saturating_sub(prev),
+                        total_uj: *uj,
+                        latency_p99_us,
+                    }
+                })
+                .collect();
+            let frame = TelemetryFrame {
+                seq,
+                dropped_frames: sub.dropped,
+                interval_ms: sub.interval.as_millis() as u32,
+                tick_uj: total_uj.saturating_sub(sub.last_total_uj),
+                idle_uj: idle_uj.saturating_sub(sub.last_idle_uj),
+                total_uj,
+                sessions,
+                metrics_jsonl: match metrics_snap {
+                    Some(snap) => sub.intervals.sample_from(snap).delta.to_jsonl(),
+                    None => String::new(),
+                },
+            };
+            sub.last_total_uj = total_uj;
+            sub.last_idle_uj = idle_uj;
+            sub.last_sessions = rows.iter().map(|(a, _, uj)| (*a, *uj)).collect();
+            sub.last_latency = latency_now;
+            frame
+        };
+        harp_obs::metrics::counter("daemon.telemetry.frames").inc();
+        self.enqueue(slot, &Message::TelemetryFrame(frame));
     }
 
     /// Logs and enqueues an `ERR_*` reply — the reactor counterpart of the
@@ -708,6 +936,7 @@ impl ShardState {
         let owns = lock(&self.shared.owners).get(&app).copied() == Some(sess.conn);
         if owns && !self.shared.killed.load(Ordering::SeqCst) {
             lock(&self.shared.owners).remove(&app);
+            lock(&self.shared.latency).remove(&app);
             self.shared.router.unbind(app, self.idx);
             let core = self.shared.core();
             let result = {

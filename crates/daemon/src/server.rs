@@ -1,6 +1,7 @@
 //! The `harpd` server: RM core behind a Unix domain socket.
 
 use crate::reactor_server::{self, Router, MAX_SHARDS};
+use harp_obs::metrics::HistogramSnapshot;
 use harp_platform::HardwareDescription;
 use harp_proto::frame::encode_frame;
 use harp_proto::{Activate, Message};
@@ -8,6 +9,7 @@ use harp_rm::journal::{last_epoch, read_journal};
 use harp_rm::{Directive, JournalRecord, JournalWriter, RmConfig, RmCore, RmOutput};
 use harp_types::{AppId, ErvShape, ExtResourceVector, NonFunctional, Result};
 use std::collections::HashMap;
+use std::fmt::Write as _;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -55,6 +57,8 @@ pub(crate) fn msg_name(msg: &Message) -> &'static str {
         Message::TelemetryDump(_) => "telemetry_dump",
         Message::Hello(_) => "hello",
         Message::Resume(_) => "resume",
+        Message::SubscribeTelemetry(_) => "subscribe_telemetry",
+        Message::TelemetryFrame(_) => "telemetry_frame",
     }
 }
 
@@ -64,12 +68,24 @@ pub(crate) fn msg_name(msg: &Message) -> &'static str {
 pub(crate) const MAX_DUMP_BYTES: usize = 8 * 1024 * 1024;
 
 /// Truncates a JSONL document to `max` bytes at a line boundary.
+///
+/// A truncated dump is never silent: the cut is counted in the
+/// `obs.dump_truncated` counter and the document gains a trailing
+/// `{"type":"truncated",...}` marker line recording how many bytes were
+/// dropped, so consumers that only see the JSONL (a dump piped to a
+/// file, say) can still detect that it is partial.
 pub(crate) fn truncate_jsonl(mut jsonl: String, max: usize) -> (String, bool) {
     if jsonl.len() <= max {
         return (jsonl, false);
     }
     let cut = jsonl[..max].rfind('\n').map(|i| i + 1).unwrap_or(0);
+    let dropped = jsonl.len() - cut;
     jsonl.truncate(cut);
+    harp_obs::metrics::counter("obs.dump_truncated").inc();
+    let _ = writeln!(
+        jsonl,
+        "{{\"type\":\"truncated\",\"dropped_bytes\":{dropped}}}"
+    );
     (jsonl, true)
 }
 
@@ -173,6 +189,12 @@ pub(crate) struct Shared {
     /// deregisters a session its connection still owns, so a client that
     /// resumed on a new connection is not torn down by the stale one.
     pub(crate) owners: Mutex<HashMap<AppId, u64>>,
+    /// Per-session dispatch-latency histograms (nanoseconds), recorded by
+    /// whichever shard handles the session's messages and drained by
+    /// telemetry subscriptions into per-interval p99 digests. Plain
+    /// snapshots under a mutex, not registry atomics: rows die with their
+    /// session instead of leaking interned names.
+    pub(crate) latency: Mutex<HashMap<AppId, HistogramSnapshot>>,
     pub(crate) shape: ErvShape,
     hw: HardwareDescription,
     rm_cfg: RmConfig,
@@ -317,6 +339,7 @@ impl HarpDaemon {
             rm: RwLock::new(Arc::new(Mutex::new(core))),
             router: Router::default(),
             owners: Mutex::new(HashMap::new()),
+            latency: Mutex::new(HashMap::new()),
             shape,
             hw: cfg.hw,
             rm_cfg: cfg.rm,

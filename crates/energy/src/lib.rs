@@ -188,6 +188,187 @@ impl EnergyAttributor {
     }
 }
 
+/// One session's share of a ledger tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LedgerEntry {
+    /// The session.
+    pub app: AppId,
+    /// Micro-joules attributed to the session this tick.
+    pub tick_uj: u64,
+    /// Cumulative micro-joules attributed to the session so far.
+    pub total_uj: u64,
+}
+
+/// The outcome of one [`EnergyLedger::charge`] call: an exact integer
+/// decomposition of the tick's energy. `tick_uj == idle_tick_uj +
+/// Σ entries.tick_uj` always holds bit-exactly.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LedgerTick {
+    /// Total micro-joules accounted this tick.
+    pub tick_uj: u64,
+    /// Micro-joules charged to the idle account this tick (energy measured
+    /// while no session contributed weighted CPU time).
+    pub idle_tick_uj: u64,
+    /// Per-session shares, in the caller's weight order.
+    pub entries: Vec<LedgerEntry>,
+}
+
+/// Exact integer micro-joule energy ledger over the attribution model.
+///
+/// [`EnergyAttributor`] works in floating point, which is the right tool
+/// for the cost function but cannot promise that per-app shares sum to
+/// the measured total — rounding leaks energy. The ledger re-runs the
+/// same proportional split in integer arithmetic: each tick's modeled
+/// energy is converted to micro-joules (a sub-µJ floating remainder is
+/// carried forward so the long-run integer total tracks the float sum)
+/// and apportioned over the per-session weights by the largest-remainder
+/// method, so per-session entries sum *exactly* to the tick total.
+/// Energy measured while nothing ran lands in an explicit idle account;
+/// energy already attributed to sessions that since exited moves to a
+/// retired account on [`EnergyLedger::remove`]. The conservation
+/// invariant — checkable bit-exactly at any time — is:
+///
+/// ```text
+/// idle_uj + retired_uj + Σ_sessions total_uj == total_uj
+/// ```
+///
+/// All arithmetic is sequential integer (plus one deterministic f64
+/// multiply per tick), so ledgers fed identical observations are
+/// bit-identical regardless of solver parallelism or platform.
+#[derive(Debug, Clone, Default)]
+pub struct EnergyLedger {
+    /// Sub-micro-joule remainder carried between ticks.
+    carry_uj: f64,
+    total_uj: u64,
+    idle_uj: u64,
+    retired_uj: u64,
+    sessions: HashMap<AppId, u64>,
+}
+
+/// Scale used to convert normalized f64 weights into integer numerators
+/// for the largest-remainder split (2^53: every float in `[0, 1]` with
+/// 53-bit precision maps to a distinct integer).
+const WEIGHT_SCALE: f64 = 9_007_199_254_740_992.0;
+
+impl EnergyLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        EnergyLedger::default()
+    }
+
+    /// Accounts one tick: converts `energy_delta_j` (joules, negative
+    /// clamped to zero) to micro-joules and apportions it over `weights`
+    /// (per-session non-negative attribution weights, e.g. Σ_k γ_k·T_k).
+    /// Zero total weight — idle machine, or no sessions — charges the
+    /// whole tick to the idle account; sessions still get zero-valued
+    /// entries so consumers see every live session each tick.
+    pub fn charge(&mut self, energy_delta_j: f64, weights: &[(AppId, f64)]) -> LedgerTick {
+        let exact_uj = energy_delta_j.max(0.0) * 1e6 + self.carry_uj;
+        // `exact_uj` is finite and non-negative by construction; the cast
+        // saturates on absurd inputs rather than wrapping.
+        let tick_uj = exact_uj.floor().min(u64::MAX as f64) as u64;
+        self.carry_uj = (exact_uj - tick_uj as f64).max(0.0);
+        self.total_uj += tick_uj;
+
+        let total_weight: f64 = weights.iter().map(|(_, w)| w.max(0.0)).sum();
+        let mut entries: Vec<LedgerEntry> = weights
+            .iter()
+            .map(|&(app, _)| LedgerEntry {
+                app,
+                tick_uj: 0,
+                total_uj: 0,
+            })
+            .collect();
+
+        let mut idle_tick_uj = tick_uj;
+        if total_weight > 0.0 && tick_uj > 0 {
+            // Integer numerators of each session's share. The f64 divide
+            // and scale are deterministic (fixed order, IEEE semantics);
+            // everything after is exact integer arithmetic.
+            let scaled: Vec<u128> = weights
+                .iter()
+                .map(|(_, w)| ((w.max(0.0) / total_weight) * WEIGHT_SCALE) as u128)
+                .collect();
+            let den: u128 = scaled.iter().sum();
+            if den > 0 {
+                let mut assigned: u64 = 0;
+                let mut remainders: Vec<(u128, AppId, usize)> = Vec::with_capacity(scaled.len());
+                for (i, &s) in scaled.iter().enumerate() {
+                    let num = tick_uj as u128 * s;
+                    // `den > 0` here, so the checked ops never fall back.
+                    let base = num.checked_div(den).unwrap_or(0) as u64;
+                    entries[i].tick_uj = base;
+                    assigned += base;
+                    remainders.push((num.checked_rem(den).unwrap_or(0), weights[i].0, i));
+                }
+                // Largest remainder first; ties broken by ascending AppId
+                // so the distribution is a pure function of the inputs.
+                remainders.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+                let leftover = tick_uj - assigned;
+                for &(_, _, i) in remainders.iter().take(leftover as usize) {
+                    entries[i].tick_uj += 1;
+                }
+                idle_tick_uj = 0;
+            }
+        }
+        self.idle_uj += idle_tick_uj;
+        for e in &mut entries {
+            let total = self.sessions.entry(e.app).or_insert(0);
+            *total += e.tick_uj;
+            e.total_uj = *total;
+        }
+        LedgerTick {
+            tick_uj,
+            idle_tick_uj,
+            entries,
+        }
+    }
+
+    /// Retires a session: its accumulated micro-joules move to the retired
+    /// account so the conservation invariant keeps holding after exits.
+    pub fn remove(&mut self, app: AppId) {
+        if let Some(uj) = self.sessions.remove(&app) {
+            self.retired_uj += uj;
+        }
+    }
+
+    /// Total micro-joules accounted since the ledger was created.
+    pub fn total_uj(&self) -> u64 {
+        self.total_uj
+    }
+
+    /// Micro-joules in the idle account (ticks with zero total weight).
+    pub fn idle_uj(&self) -> u64 {
+        self.idle_uj
+    }
+
+    /// Micro-joules attributed to sessions that have since exited.
+    pub fn retired_uj(&self) -> u64 {
+        self.retired_uj
+    }
+
+    /// Cumulative micro-joules attributed to a live session.
+    pub fn session_uj(&self, app: AppId) -> u64 {
+        self.sessions.get(&app).copied().unwrap_or(0)
+    }
+
+    /// Live sessions and their cumulative micro-joules, ascending by id.
+    pub fn sessions(&self) -> Vec<(AppId, u64)> {
+        let mut v: Vec<(AppId, u64)> = self.sessions.iter().map(|(&a, &uj)| (a, uj)).collect();
+        v.sort_by_key(|&(a, _)| a);
+        v
+    }
+
+    /// Checks the conservation invariant; returns the imbalance (always 0
+    /// unless the ledger itself is buggy — callers assert on this).
+    pub fn conservation_error(&self) -> i128 {
+        let accounted = self.idle_uj as i128
+            + self.retired_uj as i128
+            + self.sessions.values().map(|&uj| uj as i128).sum::<i128>();
+        self.total_uj as i128 - accounted
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,6 +472,104 @@ mod tests {
         assert_eq!(att.attributed_energy(AppId(1)), 0.0);
         att.update(0.1, 5.0, &[]); // nobody ran
         assert_eq!(att.attributed_energy(AppId(1)), 0.0);
+    }
+
+    #[test]
+    fn ledger_conserves_every_tick_exactly() {
+        let mut ledger = EnergyLedger::new();
+        // Irrational-ish weights that cannot split 1000001 µJ evenly.
+        let weights = vec![
+            (AppId(1), 0.3337),
+            (AppId(2), 1.777),
+            (AppId(3), 0.000213),
+            (AppId(4), 5.25),
+        ];
+        let mut per_app = [0u64; 4];
+        for tick in 0..500 {
+            let delta_j = 1.000001 + (tick as f64) * 1e-4;
+            let out = ledger.charge(delta_j, &weights);
+            let sum: u64 = out.entries.iter().map(|e| e.tick_uj).sum();
+            assert_eq!(
+                out.tick_uj,
+                sum + out.idle_tick_uj,
+                "tick {tick} leaked energy"
+            );
+            assert_eq!(out.idle_tick_uj, 0, "weighted tick must not hit idle");
+            for (i, e) in out.entries.iter().enumerate() {
+                per_app[i] += e.tick_uj;
+                assert_eq!(e.total_uj, per_app[i]);
+            }
+        }
+        assert_eq!(ledger.conservation_error(), 0);
+        // The integer total tracks the float sum to within the un-flushed
+        // sub-µJ carry (< 1 µJ) plus accumulated float rounding.
+        let float_total: f64 = (0..500).map(|t| 1.000001 + (t as f64) * 1e-4).sum::<f64>() * 1e6;
+        assert!((ledger.total_uj() as f64 - float_total).abs() < 2.0);
+    }
+
+    #[test]
+    fn ledger_largest_remainder_prefers_big_shares_then_low_ids() {
+        let mut ledger = EnergyLedger::new();
+        // 10 µJ over three equal weights: 3/3/3 base, 1 leftover µJ goes
+        // to the lowest id on the remainder tie.
+        let out = ledger.charge(10e-6, &[(AppId(7), 1.0), (AppId(3), 1.0), (AppId(5), 1.0)]);
+        assert_eq!(out.tick_uj, 10);
+        let get = |app: u64| {
+            out.entries
+                .iter()
+                .find(|e| e.app == AppId(app))
+                .unwrap()
+                .tick_uj
+        };
+        assert_eq!(get(3), 4, "tie-break goes to the lowest AppId");
+        assert_eq!(get(5), 3);
+        assert_eq!(get(7), 3);
+    }
+
+    #[test]
+    fn ledger_idle_account_absorbs_unweighted_energy() {
+        let mut ledger = EnergyLedger::new();
+        let out = ledger.charge(2.5e-6, &[]);
+        assert_eq!(out.tick_uj, 2);
+        assert_eq!(out.idle_tick_uj, 2);
+        // Sub-µJ carry survives to the next tick.
+        let out = ledger.charge(0.5e-6, &[(AppId(1), 0.0)]);
+        assert_eq!(out.tick_uj, 1, "carried 0.5 µJ + 0.5 µJ");
+        assert_eq!(out.idle_tick_uj, 1, "zero-weight session stays idle");
+        assert_eq!(out.entries.len(), 1);
+        assert_eq!(out.entries[0].tick_uj, 0);
+        assert_eq!(ledger.idle_uj(), 3);
+        assert_eq!(ledger.conservation_error(), 0);
+    }
+
+    #[test]
+    fn ledger_remove_retires_energy_without_leaking() {
+        let mut ledger = EnergyLedger::new();
+        ledger.charge(1.0, &[(AppId(1), 1.0), (AppId(2), 3.0)]);
+        let before = ledger.session_uj(AppId(1));
+        assert!(before > 0);
+        ledger.remove(AppId(1));
+        assert_eq!(ledger.session_uj(AppId(1)), 0);
+        assert_eq!(ledger.retired_uj(), before);
+        assert_eq!(ledger.conservation_error(), 0);
+        assert_eq!(ledger.sessions().len(), 1);
+    }
+
+    #[test]
+    fn ledger_is_deterministic_across_runs() {
+        let run = || {
+            let mut ledger = EnergyLedger::new();
+            let mut out = Vec::new();
+            for tick in 0..200u64 {
+                let weights: Vec<(AppId, f64)> = (1..=5)
+                    .map(|a| (AppId(a), ((tick * 31 + a * 17) % 13) as f64 * 0.173))
+                    .collect();
+                let t = ledger.charge(0.0137 + tick as f64 * 3.3e-5, &weights);
+                out.push(t);
+            }
+            (out, ledger.total_uj(), ledger.idle_uj())
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -48,12 +48,14 @@
 pub mod description;
 mod runtime;
 mod session;
+pub mod telemetry;
 
 pub use runtime::MalleableRuntime;
 pub use session::{
     Activation, AllocationHandle, HarpSession, ReconnectPolicy, SessionConfig, SessionState,
     SessionStateHandle,
 };
+pub use telemetry::TelemetrySubscription;
 
 use harp_proto::Message;
 use harp_types::Result;

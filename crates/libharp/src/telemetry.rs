@@ -1,0 +1,153 @@
+//! Client side of the live telemetry stream.
+//!
+//! [`TelemetrySubscription`] wraps any [`Transport`], sends one
+//! [`SubscribeTelemetry`] request, and then yields the daemon's pushed
+//! [`TelemetryFrame`]s. The daemon's stream is bounded and drop-oldest:
+//! under backpressure it skips pushes and accounts for them in each
+//! frame's `dropped_frames`. The subscription enforces that accounting
+//! on every delivered frame — `seq` must equal frames delivered so far
+//! plus frames dropped so far — so a miscounting producer is surfaced
+//! as a protocol error instead of silently skewed rates.
+
+use crate::Transport;
+use harp_proto::{Message, SubscribeTelemetry, TelemetryFrame};
+use harp_types::{HarpError, Result};
+
+/// An active telemetry subscription over a [`Transport`].
+pub struct TelemetrySubscription<T: Transport> {
+    transport: T,
+    delivered: u64,
+    dropped: u64,
+}
+
+impl<T: Transport> TelemetrySubscription<T> {
+    /// Sends the subscription request; the daemon starts pushing frames
+    /// on this connection (the first, a baseline, immediately).
+    ///
+    /// # Errors
+    ///
+    /// Returns the transport's error if the request cannot be sent.
+    pub fn subscribe(mut transport: T, interval_ms: u32, include_metrics: bool) -> Result<Self> {
+        transport.send(&Message::SubscribeTelemetry(SubscribeTelemetry {
+            interval_ms,
+            include_metrics,
+        }))?;
+        Ok(TelemetrySubscription {
+            transport,
+            delivered: 0,
+            dropped: 0,
+        })
+    }
+
+    /// Blocks until the next frame arrives, verifying the drop
+    /// accounting. Non-frame traffic (the daemon's `Hello` greeting,
+    /// unrelated session messages on a shared transport) is skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarpError::Protocol`] when the daemon reports an error
+    /// or a frame's `seq`/`dropped_frames` accounting does not add up;
+    /// transport errors pass through.
+    pub fn next_frame(&mut self) -> Result<TelemetryFrame> {
+        loop {
+            match self.transport.recv()? {
+                Message::TelemetryFrame(f) => {
+                    if f.seq != self.delivered + f.dropped_frames {
+                        return Err(HarpError::protocol(format!(
+                            "telemetry frame miscount: seq {} != {} delivered + {} dropped",
+                            f.seq, self.delivered, f.dropped_frames
+                        )));
+                    }
+                    if f.dropped_frames < self.dropped {
+                        return Err(HarpError::protocol(format!(
+                            "telemetry dropped_frames went backwards: {} -> {}",
+                            self.dropped, f.dropped_frames
+                        )));
+                    }
+                    self.delivered += 1;
+                    self.dropped = f.dropped_frames;
+                    return Ok(f);
+                }
+                Message::Error(e) => {
+                    return Err(HarpError::protocol(format!(
+                        "daemon error {}: {}",
+                        e.code, e.detail
+                    )))
+                }
+                _ => continue,
+            }
+        }
+    }
+
+    /// Frames delivered to this subscriber so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Frames the daemon reports it dropped for this subscriber.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harp_proto::{duplex, SessionEnergy};
+
+    fn frame(seq: u64, dropped: u64) -> Message {
+        Message::TelemetryFrame(TelemetryFrame {
+            seq,
+            dropped_frames: dropped,
+            interval_ms: 100,
+            tick_uj: 10,
+            idle_uj: 1,
+            total_uj: 100,
+            sessions: vec![SessionEnergy {
+                app_id: 1,
+                name: "mg".into(),
+                tick_uj: 9,
+                total_uj: 90,
+                latency_p99_us: 42,
+            }],
+            metrics_jsonl: String::new(),
+        })
+    }
+
+    #[test]
+    fn frames_with_exact_accounting_flow_through() {
+        let (client, server) = duplex();
+        let handle = std::thread::spawn(move || {
+            let req = server.recv().unwrap();
+            assert!(matches!(req, Message::SubscribeTelemetry(_)));
+            server.send(&frame(0, 0)).unwrap();
+            server.send(&frame(1, 0)).unwrap();
+            // Two pushes dropped under backpressure, then a delivered one.
+            server.send(&frame(4, 2)).unwrap();
+        });
+        let mut sub = TelemetrySubscription::subscribe(client, 100, false).unwrap();
+        assert_eq!(sub.next_frame().unwrap().seq, 0);
+        assert_eq!(sub.next_frame().unwrap().seq, 1);
+        let f = sub.next_frame().unwrap();
+        assert_eq!((f.seq, f.dropped_frames), (4, 2));
+        assert_eq!(sub.delivered(), 3);
+        assert_eq!(sub.dropped(), 2);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn miscounted_frames_are_a_protocol_error() {
+        let (client, server) = duplex();
+        let handle = std::thread::spawn(move || {
+            let _ = server.recv();
+            server.send(&frame(0, 0)).unwrap();
+            // seq jumps without the drop being accounted.
+            server.send(&frame(5, 1)).unwrap();
+        });
+        let mut sub = TelemetrySubscription::subscribe(client, 100, false).unwrap();
+        sub.next_frame().unwrap();
+        let err = sub.next_frame().unwrap_err();
+        assert!(err.to_string().contains("miscount"), "{err}");
+        handle.join().unwrap();
+    }
+}

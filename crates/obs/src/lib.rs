@@ -9,7 +9,10 @@
 //!   thread-local flag read per callsite.
 //! * **Metrics registry** ([`metrics`]): counters, gauges and
 //!   power-of-two-bucket histograms on relaxed atomics, with name-sorted
-//!   [`metrics::snapshot`] / [`metrics::MetricsSnapshot::delta_since`].
+//!   [`metrics::snapshot`] / [`metrics::MetricsSnapshot::delta_since`],
+//!   plus an interval time-series layer ([`interval::IntervalSeries`])
+//!   turning cumulative totals into fixed-capacity rings of per-interval
+//!   deltas for rates and short histories.
 //! * **Flight recorder** ([`recorder::FlightRecorder`]): per-subsystem
 //!   ring buffers of recent events behind either the process-global
 //!   collector (lock-free MPSC queue + collector thread; enable with
@@ -26,6 +29,7 @@
 pub mod channel;
 pub mod collect;
 pub mod event;
+pub mod interval;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
@@ -38,3 +42,4 @@ pub use collect::{
     span, timer, EventBuilder, LocalCollector, SpanGuard, TimerGuard,
 };
 pub use event::{Event, EventKind, Subsystem, Value};
+pub use interval::{IntervalSample, IntervalSeries};

@@ -100,6 +100,18 @@ pub fn bucket_index(v: u64) -> usize {
     ((64 - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
 }
 
+/// Largest sample value a bucket can hold: 0 for bucket 0, `2^i - 1` for
+/// the power-of-two ranges, `u64::MAX` for the open-ended last bucket.
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= HISTOGRAM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
 impl Histogram {
     /// Metric name.
     pub fn name(&self) -> &'static str {
@@ -152,6 +164,52 @@ impl HistogramSnapshot {
             sum: self.sum.saturating_sub(base.sum),
             buckets,
         }
+    }
+
+    /// Pointwise combination of two snapshots — the inverse of
+    /// [`HistogramSnapshot::delta_since`], used to aggregate interval
+    /// deltas back into window totals. Counts saturate (a saturated
+    /// histogram stays saturated instead of wrapping back to small
+    /// values); the sum wraps, matching the recording path. Merge is
+    /// commutative and associative, so windows can be folded in any
+    /// grouping.
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (b, (x, y)) in buckets
+            .iter_mut()
+            .zip(self.buckets.iter().zip(&other.buckets))
+        {
+            *b = x.saturating_add(*y);
+        }
+        HistogramSnapshot {
+            count: self.count.saturating_add(other.count),
+            sum: self.sum.wrapping_add(other.sum),
+            buckets,
+        }
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile sample
+    /// (`q` clamped to `[0, 1]`); 0 for an empty histogram. Ranks are
+    /// computed against the bucket totals in `u128`, so snapshots with
+    /// saturated (`u64::MAX`) bucket counts still resolve instead of
+    /// overflowing. Power-of-two buckets bound the result to within 2×
+    /// of the true sample quantile.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total: u128 = self.buckets.iter().map(|&b| b as u128).sum();
+        if total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the quantile sample, 1-based; q = 0 selects the first.
+        let rank = ((q * total as f64).ceil() as u128).clamp(1, total);
+        let mut acc = 0u128;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            acc += b as u128;
+            if acc >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
     }
 }
 
@@ -215,6 +273,37 @@ pub fn histogram(name: &'static str) -> &'static Histogram {
     }));
     reg.histograms.push(h);
     h
+}
+
+/// Merge-join over two name-sorted metric lists; `combine` resolves
+/// names present in both, names in only one side pass through.
+fn merge_by_name<V: Clone>(
+    a: &[(String, V)],
+    b: &[(String, V)],
+    combine: impl Fn(&V, &V) -> V,
+) -> Vec<(String, V)> {
+    let mut out = Vec::with_capacity(a.len().max(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i].clone());
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j].clone());
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push((a[i].0.clone(), combine(&a[i].1, &b[j].1)));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend(a[i..].iter().cloned());
+    out.extend(b[j..].iter().cloned());
+    out
 }
 
 /// Name-sorted snapshot of every registered metric.
@@ -299,6 +388,21 @@ impl MetricsSnapshot {
             counters,
             gauges,
             histograms,
+        }
+    }
+
+    /// Combines two snapshots (or interval deltas) pointwise — the
+    /// inverse of [`MetricsSnapshot::delta_since`]: counters add
+    /// (saturating), histograms merge via
+    /// [`HistogramSnapshot::merge`], gauges take the right-hand value
+    /// when present (deltas carry the gauge level, not a difference, so
+    /// the later sample wins). Associative, so interval windows can be
+    /// folded in any grouping.
+    pub fn merge(&self, other: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: merge_by_name(&self.counters, &other.counters, |x, y| x.saturating_add(*y)),
+            gauges: merge_by_name(&self.gauges, &other.gauges, |_, y| *y),
+            histograms: merge_by_name(&self.histograms, &other.histograms, |x, y| x.merge(y)),
         }
     }
 
@@ -416,5 +520,114 @@ mod tests {
         let mut sorted = counter_names.clone();
         sorted.sort();
         assert_eq!(counter_names, sorted);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let h = HistogramSnapshot::default();
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn quantile_with_single_bucket_returns_its_upper_bound() {
+        // All mass in one bucket: every quantile lands on that bucket.
+        let mut h = HistogramSnapshot::default();
+        h.count = 9;
+        h.buckets[bucket_index(100)] = 9;
+        let ub = bucket_upper_bound(bucket_index(100));
+        assert_eq!(ub, 127);
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), ub, "q={q}");
+        }
+        // Bucket 0 holds only the value 0.
+        let mut z = HistogramSnapshot::default();
+        z.count = 1;
+        z.buckets[0] = 1;
+        assert_eq!(z.quantile(1.0), 0);
+        // The open-ended last bucket reports u64::MAX.
+        let mut top = HistogramSnapshot::default();
+        top.count = 1;
+        top.buckets[HISTOGRAM_BUCKETS - 1] = 1;
+        assert_eq!(top.quantile(0.5), u64::MAX);
+    }
+
+    #[test]
+    fn quantile_survives_saturating_counts() {
+        // Bucket totals beyond u64::MAX must not overflow the rank
+        // arithmetic: ranks accumulate in u128.
+        let mut h = HistogramSnapshot::default();
+        h.count = u64::MAX;
+        h.buckets[3] = u64::MAX;
+        h.buckets[7] = u64::MAX;
+        assert_eq!(h.quantile(0.0), bucket_upper_bound(3));
+        assert_eq!(h.quantile(0.25), bucket_upper_bound(3));
+        assert_eq!(h.quantile(0.75), bucket_upper_bound(7));
+        assert_eq!(h.quantile(1.0), bucket_upper_bound(7));
+    }
+
+    #[test]
+    fn histogram_merge_saturates_and_inverts_delta() {
+        let mut a = HistogramSnapshot::default();
+        a.count = u64::MAX - 1;
+        a.sum = 10;
+        a.buckets[2] = u64::MAX - 1;
+        let mut b = HistogramSnapshot::default();
+        b.count = 5;
+        b.sum = 7;
+        b.buckets[2] = 5;
+        let m = a.merge(&b);
+        assert_eq!(m.count, u64::MAX, "count saturates");
+        assert_eq!(m.buckets[2], u64::MAX, "buckets saturate");
+        assert_eq!(m.sum, 17);
+
+        // merge is the inverse of delta_since away from saturation.
+        let mut base = HistogramSnapshot::default();
+        base.count = 4;
+        base.sum = 40;
+        base.buckets[5] = 4;
+        let mut cur = base.clone();
+        cur.count += 3;
+        cur.sum += 21;
+        cur.buckets[5] += 2;
+        cur.buckets[6] += 1;
+        assert_eq!(base.merge(&cur.delta_since(&base)), cur);
+    }
+
+    #[test]
+    fn snapshot_merge_is_associative() {
+        fn snap(entries: &[(&str, u64)], gauges: &[(&str, i64)]) -> MetricsSnapshot {
+            let mut h = HistogramSnapshot::default();
+            for (_, v) in entries {
+                h.count += 1;
+                h.sum = h.sum.wrapping_add(*v);
+                h.buckets[bucket_index(*v)] += 1;
+            }
+            MetricsSnapshot {
+                counters: entries
+                    .iter()
+                    .map(|(n, v)| (format!("c.{n}"), *v))
+                    .collect(),
+                gauges: gauges.iter().map(|(n, v)| ((*n).to_string(), *v)).collect(),
+                histograms: vec![("h.shared".to_string(), h)],
+            }
+        }
+        // Overlapping and disjoint names across the three operands.
+        let a = snap(&[("alpha", 1), ("both", 10)], &[("g.depth", 3)]);
+        let b = snap(&[("beta", u64::MAX), ("both", 5)], &[("g.depth", -1)]);
+        let c = snap(&[("both", u64::MAX), ("gamma", 2)], &[("g.other", 9)]);
+        let left = a.merge(&b).merge(&c);
+        let right = a.merge(&b.merge(&c));
+        assert_eq!(left, right);
+        // Saturation behaves, and gauges are last-writer-wins.
+        assert_eq!(left.counter("c.both"), u64::MAX);
+        let depth = left.gauges.iter().find(|(n, _)| n == "g.depth").unwrap().1;
+        assert_eq!(depth, -1);
+        // Name lists stay sorted after merging disjoint sets.
+        let names: Vec<&String> = left.counters.iter().map(|(n, _)| n).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
     }
 }

@@ -59,6 +59,9 @@ pub struct ParsedDump {
     pub recorded: u64,
     /// Events evicted from rings before the dump (meta header).
     pub evicted: u64,
+    /// Bytes the producer dropped to fit its size ceiling, from a
+    /// trailing `truncated` marker line (`None` when complete).
+    pub truncated_bytes: Option<u64>,
 }
 
 /// Parses a JSONL dump. Unknown line types are skipped so newer dumps
@@ -100,6 +103,10 @@ pub fn parse_dump(dump: &str) -> Result<ParsedDump, String> {
                     count: v.get("count").and_then(Json::as_u64).unwrap_or(0),
                     sum: v.get("sum").and_then(Json::as_u64).unwrap_or(0),
                 });
+            }
+            Some("truncated") => {
+                out.truncated_bytes =
+                    Some(v.get("dropped_bytes").and_then(Json::as_u64).unwrap_or(0));
             }
             _ => {}
         }

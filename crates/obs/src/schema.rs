@@ -1,7 +1,9 @@
 //! Schema validation for `harp-obs-v1` JSONL telemetry dumps.
 //!
 //! A dump is: one `meta` header line, zero or more `event` lines in
-//! strictly increasing `seq` order, then zero or more `metric` lines.
+//! strictly increasing `seq` order, then zero or more `metric` lines,
+//! optionally closed by a single `truncated` marker line (the daemon
+//! appends one when it had to cut a dump at its size ceiling).
 //! The validator is used by CI (via `crates/obs/tests/schema.rs`), by
 //! the chaos harness before committing a failure dump, and by
 //! `harp-trace` before rendering.
@@ -18,6 +20,9 @@ pub struct DumpStats {
     pub metrics: usize,
     /// Highest tick seen on any event.
     pub max_tick: u64,
+    /// Bytes dropped by the producer, from a trailing `truncated`
+    /// marker (0 when the dump is complete).
+    pub truncated_bytes: u64,
 }
 
 fn require_u64(v: &Json, key: &str, line_no: usize) -> Result<u64, String> {
@@ -110,12 +115,16 @@ fn validate_metric_value(v: &Json, line_no: usize) -> Result<(), String> {
 pub fn validate_dump(dump: &str) -> Result<DumpStats, String> {
     let mut stats = DumpStats::default();
     let mut saw_meta = false;
+    let mut saw_truncated = false;
     let mut last_seq: Option<u64> = None;
     let mut in_metrics = false;
     for (i, line) in dump.lines().enumerate() {
         let line_no = i + 1;
         if line.trim().is_empty() {
             return Err(format!("line {line_no}: blank line in dump"));
+        }
+        if saw_truncated {
+            return Err(format!("line {line_no}: content after truncated marker"));
         }
         let v = parse(line).map_err(|e| format!("line {line_no}: {e}"))?;
         let ty = require_str(&v, "type", line_no)?;
@@ -161,6 +170,15 @@ pub fn validate_dump(dump: &str) -> Result<DumpStats, String> {
                 validate_metric_value(&v, line_no)?;
                 stats.metrics += 1;
             }
+            "truncated" => {
+                if !saw_meta {
+                    return Err(format!(
+                        "line {line_no}: truncated marker before meta header"
+                    ));
+                }
+                stats.truncated_bytes = require_u64(&v, "dropped_bytes", line_no)?;
+                saw_truncated = true;
+            }
             other => return Err(format!("line {line_no}: unknown line type \"{other}\"")),
         }
     }
@@ -203,6 +221,27 @@ mod tests {
         dump.push_str(&crate::metrics::snapshot().to_jsonl());
         let stats = validate_dump(&dump).expect("valid dump");
         assert!(stats.metrics >= 2);
+    }
+
+    #[test]
+    fn truncated_marker_validates_only_as_the_final_line() {
+        let meta =
+            "{\"type\":\"meta\",\"format\":\"harp-obs-v1\",\"ring_capacity\":4,\"recorded\":0,\"evicted\":0}";
+        let ok = format!("{meta}\n{{\"type\":\"truncated\",\"dropped_bytes\":512}}");
+        let stats = validate_dump(&ok).expect("marker closes a valid dump");
+        assert_eq!(stats.truncated_bytes, 512);
+
+        let trailing = format!(
+            "{meta}\n{{\"type\":\"truncated\",\"dropped_bytes\":512}}\n{{\"type\":\"metric\",\"metric\":\"counter\",\"name\":\"x\",\"value\":1}}"
+        );
+        assert!(validate_dump(&trailing)
+            .unwrap_err()
+            .contains("after truncated marker"));
+
+        let no_bytes = format!("{meta}\n{{\"type\":\"truncated\"}}");
+        assert!(validate_dump(&no_bytes)
+            .unwrap_err()
+            .contains("dropped_bytes"));
     }
 
     #[test]

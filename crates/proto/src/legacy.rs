@@ -13,7 +13,8 @@
 use crate::wire::{self, WireType};
 use crate::{
     Activate, AdaptivityType, DumpTelemetry, ErrorMsg, Hello, Message, Register, RegisterAck,
-    Resume, SubmitPoints, TelemetryDump, UtilityReport, UtilityRequest, WirePoint,
+    Resume, SessionEnergy, SubmitPoints, SubscribeTelemetry, TelemetryDump, TelemetryFrame,
+    UtilityReport, UtilityRequest, WirePoint,
 };
 use harp_types::{HarpError, Result};
 
@@ -254,10 +255,89 @@ fn decode_payload(discriminant: u64, buf: &mut &[u8]) -> Result<Message> {
                 provides_utility: provides,
             }))
         }
+        // Discriminants 13/14 postdate the freeze; these arms keep the
+        // differential property (legacy == zero-copy on every input)
+        // total, written in the module's original allocating style.
+        13 => {
+            let mut interval_ms = 0u32;
+            let mut include_metrics = false;
+            for_each_field(buf, |field, wiretype, buf| {
+                match (field, wiretype) {
+                    (1, WireType::Varint) => {
+                        interval_ms = u32::try_from(wire::get_varint(buf)?)
+                            .map_err(|_| HarpError::protocol("interval too large"))?
+                    }
+                    (2, WireType::Varint) => include_metrics = wire::get_varint(buf)? != 0,
+                    (_, w) => wire::skip_field(buf, w)?,
+                }
+                Ok(())
+            })?;
+            Ok(Message::SubscribeTelemetry(SubscribeTelemetry {
+                interval_ms,
+                include_metrics,
+            }))
+        }
+        14 => {
+            let mut frame = TelemetryFrame {
+                seq: 0,
+                dropped_frames: 0,
+                interval_ms: 0,
+                tick_uj: 0,
+                idle_uj: 0,
+                total_uj: 0,
+                sessions: Vec::new(),
+                metrics_jsonl: String::new(),
+            };
+            for_each_field(buf, |field, wiretype, buf| {
+                match (field, wiretype) {
+                    (1, WireType::Varint) => frame.seq = wire::get_varint(buf)?,
+                    (2, WireType::Varint) => frame.dropped_frames = wire::get_varint(buf)?,
+                    (3, WireType::Varint) => {
+                        frame.interval_ms = u32::try_from(wire::get_varint(buf)?)
+                            .map_err(|_| HarpError::protocol("interval too large"))?
+                    }
+                    (4, WireType::Varint) => frame.tick_uj = wire::get_varint(buf)?,
+                    (5, WireType::Varint) => frame.idle_uj = wire::get_varint(buf)?,
+                    (6, WireType::Varint) => frame.total_uj = wire::get_varint(buf)?,
+                    (7, WireType::LengthDelimited) => {
+                        let inner = wire::get_bytes(buf)?;
+                        frame
+                            .sessions
+                            .push(decode_session_energy(&mut inner.as_slice())?);
+                    }
+                    (8, WireType::LengthDelimited) => frame.metrics_jsonl = wire::get_string(buf)?,
+                    (_, w) => wire::skip_field(buf, w)?,
+                }
+                Ok(())
+            })?;
+            Ok(Message::TelemetryFrame(frame))
+        }
         other => Err(HarpError::protocol(format!(
             "unknown message discriminant {other}"
         ))),
     }
+}
+
+fn decode_session_energy(buf: &mut &[u8]) -> Result<SessionEnergy> {
+    let mut s = SessionEnergy {
+        app_id: 0,
+        name: String::new(),
+        tick_uj: 0,
+        total_uj: 0,
+        latency_p99_us: 0,
+    };
+    for_each_field(buf, |field, wiretype, buf| {
+        match (field, wiretype) {
+            (1, WireType::Varint) => s.app_id = wire::get_varint(buf)?,
+            (2, WireType::LengthDelimited) => s.name = wire::get_string(buf)?,
+            (3, WireType::Varint) => s.tick_uj = wire::get_varint(buf)?,
+            (4, WireType::Varint) => s.total_uj = wire::get_varint(buf)?,
+            (5, WireType::Varint) => s.latency_p99_us = wire::get_varint(buf)?,
+            (_, w) => wire::skip_field(buf, w)?,
+        }
+        Ok(())
+    })?;
+    Ok(s)
 }
 
 fn decode_point(buf: &mut &[u8]) -> Result<WirePoint> {

@@ -45,7 +45,8 @@ pub mod wire;
 
 pub use messages::{
     Activate, AdaptivityType, DumpTelemetry, ErrorMsg, Hello, Message, Register, RegisterAck,
-    Resume, SubmitPoints, TelemetryDump, UtilityReport, UtilityRequest, WirePoint,
+    Resume, SessionEnergy, SubmitPoints, SubscribeTelemetry, TelemetryDump, TelemetryFrame,
+    UtilityReport, UtilityRequest, WirePoint,
 };
 
 use std::sync::mpsc;

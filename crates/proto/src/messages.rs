@@ -217,6 +217,73 @@ pub struct TelemetryDump {
     pub truncated: bool,
 }
 
+/// Live telemetry subscription request (observer → RM daemon).
+///
+/// Unlike the one-shot [`DumpTelemetry`], a subscription asks the daemon
+/// to push a [`TelemetryFrame`] roughly every `interval_ms` until the
+/// connection closes. Frames are bounded and drop-oldest under
+/// backpressure: when the subscriber's outbound queue is saturated the
+/// daemon skips pushes and accounts for them in
+/// [`TelemetryFrame::dropped_frames`], so a slow observer can always
+/// detect exactly how many intervals it missed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubscribeTelemetry {
+    /// Requested push interval in milliseconds; the daemon clamps it to
+    /// its own floor (0 means "daemon default").
+    pub interval_ms: u32,
+    /// Whether frames should include interval metric deltas rendered as
+    /// `harp-obs-v1` metric JSONL lines.
+    pub include_metrics: bool,
+}
+
+/// Per-session row in a [`TelemetryFrame`]: the energy-ledger slice and
+/// latency digest for one live session over the frame interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionEnergy {
+    /// Session id.
+    pub app_id: u64,
+    /// Application name.
+    pub name: String,
+    /// Micro-joules attributed to the session over this interval.
+    pub tick_uj: u64,
+    /// Cumulative micro-joules attributed since the session registered.
+    pub total_uj: u64,
+    /// p99 request-handling latency over the interval, microseconds
+    /// (0 when the session issued no requests this interval).
+    pub latency_p99_us: u64,
+}
+
+/// One pushed telemetry interval (RM daemon → subscriber).
+///
+/// Energy fields mirror the RM's [`EnergyLedger`] tick accounting: the
+/// per-session `tick_uj` values plus `idle_uj` sum exactly to the global
+/// `tick_uj` (largest-remainder apportionment; see DESIGN.md §14).
+///
+/// [`EnergyLedger`]: https://docs.rs/harp-rm
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryFrame {
+    /// Frame sequence number within this subscription, starting at 0.
+    /// `seq` advances even for dropped frames, so
+    /// `seq + 1 == delivered + dropped_frames` holds at the subscriber.
+    pub seq: u64,
+    /// Cumulative count of frames this subscription dropped under
+    /// backpressure (drop-oldest; never delivered, never re-sent).
+    pub dropped_frames: u64,
+    /// Actual push interval in milliseconds after daemon clamping.
+    pub interval_ms: u32,
+    /// Global modeled energy over this interval, micro-joules.
+    pub tick_uj: u64,
+    /// Share of `tick_uj` charged to the idle account this interval.
+    pub idle_uj: u64,
+    /// Cumulative global modeled energy, micro-joules.
+    pub total_uj: u64,
+    /// Per-session ledger rows, ascending `app_id`.
+    pub sessions: Vec<SessionEnergy>,
+    /// Interval metric deltas as `harp-obs-v1` metric JSONL lines
+    /// (empty unless the subscription asked for metrics).
+    pub metrics_jsonl: String,
+}
+
 /// Envelope over all protocol messages.
 ///
 /// On the wire: field 1 (varint) holds the message-type discriminant,
@@ -240,6 +307,8 @@ pub enum Message {
     TelemetryDump(TelemetryDump),
     Hello(Hello),
     Resume(Resume),
+    SubscribeTelemetry(SubscribeTelemetry),
+    TelemetryFrame(TelemetryFrame),
 }
 
 impl Message {
@@ -257,6 +326,8 @@ impl Message {
             Message::TelemetryDump(_) => 10,
             Message::Hello(_) => 11,
             Message::Resume(_) => 12,
+            Message::SubscribeTelemetry(_) => 13,
+            Message::TelemetryFrame(_) => 14,
         }
     }
 
@@ -325,6 +396,28 @@ impl Message {
                 wire::put_str_field(&mut payload, 3, &m.app_name);
                 wire::put_uint_field(&mut payload, 4, m.adaptivity.to_raw());
                 wire::put_uint_field(&mut payload, 5, u64::from(m.provides_utility));
+            }
+            Message::SubscribeTelemetry(m) => {
+                wire::put_uint_field(&mut payload, 1, u64::from(m.interval_ms));
+                wire::put_uint_field(&mut payload, 2, u64::from(m.include_metrics));
+            }
+            Message::TelemetryFrame(m) => {
+                wire::put_uint_field(&mut payload, 1, m.seq);
+                wire::put_uint_field(&mut payload, 2, m.dropped_frames);
+                wire::put_uint_field(&mut payload, 3, u64::from(m.interval_ms));
+                wire::put_uint_field(&mut payload, 4, m.tick_uj);
+                wire::put_uint_field(&mut payload, 5, m.idle_uj);
+                wire::put_uint_field(&mut payload, 6, m.total_uj);
+                for s in &m.sessions {
+                    let mut inner = Vec::new();
+                    wire::put_uint_field(&mut inner, 1, s.app_id);
+                    wire::put_str_field(&mut inner, 2, &s.name);
+                    wire::put_uint_field(&mut inner, 3, s.tick_uj);
+                    wire::put_uint_field(&mut inner, 4, s.total_uj);
+                    wire::put_uint_field(&mut inner, 5, s.latency_p99_us);
+                    wire::put_bytes_field(&mut payload, 7, &inner);
+                }
+                wire::put_str_field(&mut payload, 8, &m.metrics_jsonl);
             }
         }
         let mut out = Vec::with_capacity(payload.len() + 8);
@@ -567,10 +660,86 @@ fn decode_payload(discriminant: u64, buf: &mut &[u8]) -> Result<Message> {
                 provides_utility: provides,
             }))
         }
+        13 => {
+            let mut interval_ms = 0u32;
+            let mut include_metrics = false;
+            for_each_field(buf, |field, wiretype, buf| {
+                match (field, wiretype) {
+                    (1, WireType::Varint) => {
+                        interval_ms = u32::try_from(wire::get_varint(buf)?)
+                            .map_err(|_| HarpError::protocol("interval too large"))?
+                    }
+                    (2, WireType::Varint) => include_metrics = wire::get_varint(buf)? != 0,
+                    (_, w) => wire::skip_field(buf, w)?,
+                }
+                Ok(())
+            })?;
+            Ok(Message::SubscribeTelemetry(SubscribeTelemetry {
+                interval_ms,
+                include_metrics,
+            }))
+        }
+        14 => {
+            let mut frame = TelemetryFrame {
+                seq: 0,
+                dropped_frames: 0,
+                interval_ms: 0,
+                tick_uj: 0,
+                idle_uj: 0,
+                total_uj: 0,
+                sessions: Vec::new(),
+                metrics_jsonl: String::new(),
+            };
+            for_each_field(buf, |field, wiretype, buf| {
+                match (field, wiretype) {
+                    (1, WireType::Varint) => frame.seq = wire::get_varint(buf)?,
+                    (2, WireType::Varint) => frame.dropped_frames = wire::get_varint(buf)?,
+                    (3, WireType::Varint) => {
+                        frame.interval_ms = u32::try_from(wire::get_varint(buf)?)
+                            .map_err(|_| HarpError::protocol("interval too large"))?
+                    }
+                    (4, WireType::Varint) => frame.tick_uj = wire::get_varint(buf)?,
+                    (5, WireType::Varint) => frame.idle_uj = wire::get_varint(buf)?,
+                    (6, WireType::Varint) => frame.total_uj = wire::get_varint(buf)?,
+                    (7, WireType::LengthDelimited) => {
+                        let mut inner = wire::take_bytes(buf)?;
+                        frame.sessions.push(decode_session_energy(&mut inner)?);
+                    }
+                    (8, WireType::LengthDelimited) => {
+                        frame.metrics_jsonl = wire::take_str(buf)?.to_owned()
+                    }
+                    (_, w) => wire::skip_field(buf, w)?,
+                }
+                Ok(())
+            })?;
+            Ok(Message::TelemetryFrame(frame))
+        }
         other => Err(HarpError::protocol(format!(
             "unknown message discriminant {other}"
         ))),
     }
+}
+
+fn decode_session_energy(buf: &mut &[u8]) -> Result<SessionEnergy> {
+    let mut s = SessionEnergy {
+        app_id: 0,
+        name: String::new(),
+        tick_uj: 0,
+        total_uj: 0,
+        latency_p99_us: 0,
+    };
+    for_each_field(buf, |field, wiretype, buf| {
+        match (field, wiretype) {
+            (1, WireType::Varint) => s.app_id = wire::get_varint(buf)?,
+            (2, WireType::LengthDelimited) => s.name = wire::take_str(buf)?.to_owned(),
+            (3, WireType::Varint) => s.tick_uj = wire::get_varint(buf)?,
+            (4, WireType::Varint) => s.total_uj = wire::get_varint(buf)?,
+            (5, WireType::Varint) => s.latency_p99_us = wire::get_varint(buf)?,
+            (_, w) => wire::skip_field(buf, w)?,
+        }
+        Ok(())
+    })?;
+    Ok(s)
 }
 
 fn decode_point(buf: &mut &[u8]) -> Result<WirePoint> {
@@ -687,6 +856,51 @@ mod tests {
             jsonl: String::new(),
             truncated: true,
         }));
+        round_trip(Message::SubscribeTelemetry(SubscribeTelemetry {
+            interval_ms: 250,
+            include_metrics: true,
+        }));
+        round_trip(Message::SubscribeTelemetry(SubscribeTelemetry {
+            interval_ms: 0,
+            include_metrics: false,
+        }));
+        round_trip(Message::TelemetryFrame(TelemetryFrame {
+            seq: 41,
+            dropped_frames: 3,
+            interval_ms: 250,
+            tick_uj: 1_000_001,
+            idle_uj: 17,
+            total_uj: 99_000_000,
+            sessions: vec![
+                SessionEnergy {
+                    app_id: 1,
+                    name: "mg".into(),
+                    tick_uj: 700_000,
+                    total_uj: 60_000_000,
+                    latency_p99_us: 812,
+                },
+                SessionEnergy {
+                    app_id: 2,
+                    name: "binpack".into(),
+                    tick_uj: 299_984,
+                    total_uj: 38_999_983,
+                    latency_p99_us: 0,
+                },
+            ],
+            metrics_jsonl:
+                "{\"type\":\"metric\",\"metric\":\"counter\",\"name\":\"rm.ticks\",\"value\":4}\n"
+                    .into(),
+        }));
+        round_trip(Message::TelemetryFrame(TelemetryFrame {
+            seq: 0,
+            dropped_frames: 0,
+            interval_ms: 0,
+            tick_uj: 0,
+            idle_uj: 0,
+            total_uj: 0,
+            sessions: vec![],
+            metrics_jsonl: String::new(),
+        }));
     }
 
     #[test]
@@ -713,6 +927,48 @@ mod tests {
         let mut out = Vec::new();
         wire::put_uint_field(&mut out, 1, 99);
         wire::put_bytes_field(&mut out, 2, &[]);
+        assert!(Message::decode(&out).is_err());
+    }
+
+    #[test]
+    fn telemetry_frame_decoder_skips_unknown_fields_everywhere() {
+        // A future daemon may extend both the frame and its per-session
+        // rows; today's decoder must skip the extensions at both levels.
+        let mut inner = Vec::new();
+        wire::put_uint_field(&mut inner, 1, 7);
+        wire::put_str_field(&mut inner, 2, "mg");
+        wire::put_uint_field(&mut inner, 3, 5);
+        wire::put_uint_field(&mut inner, 9, 0xfeed); // unknown session field
+        let mut payload = Vec::new();
+        wire::put_uint_field(&mut payload, 1, 2);
+        wire::put_uint_field(&mut payload, 4, 5);
+        wire::put_bytes_field(&mut payload, 7, &inner);
+        wire::put_str_field(&mut payload, 21, "future"); // unknown frame field
+        let mut out = Vec::new();
+        wire::put_uint_field(&mut out, 1, 14);
+        wire::put_bytes_field(&mut out, 2, &payload);
+        let got = Message::decode(&out).unwrap();
+        let Message::TelemetryFrame(f) = got else {
+            panic!("expected TelemetryFrame, got {got:?}");
+        };
+        assert_eq!(f.seq, 2);
+        assert_eq!(f.tick_uj, 5);
+        assert_eq!(f.sessions.len(), 1);
+        assert_eq!(f.sessions[0].app_id, 7);
+        assert_eq!(f.sessions[0].name, "mg");
+        assert_eq!(f.sessions[0].tick_uj, 5);
+    }
+
+    #[test]
+    fn telemetry_frame_decode_rejects_garbage_sessions() {
+        // A corrupt nested session row must surface as a protocol error,
+        // not a panic or silent skip.
+        let mut payload = Vec::new();
+        wire::put_uint_field(&mut payload, 1, 2);
+        wire::put_bytes_field(&mut payload, 7, &[0xff, 0xff, 0xff, 0xff]);
+        let mut out = Vec::new();
+        wire::put_uint_field(&mut out, 1, 14);
+        wire::put_bytes_field(&mut out, 2, &payload);
         assert!(Message::decode(&out).is_err());
     }
 

@@ -7,7 +7,7 @@ use harp_alloc::{
     allocate_opts, hw_threads_for, AllocOption, AllocRequest, SolveDeadline, SolveOpts, SolverKind,
     WarmStart, REFERENCE_ITERS,
 };
-use harp_energy::EnergyAttributor;
+use harp_energy::{EnergyAttributor, EnergyLedger, LedgerTick};
 use harp_explore::{ExplorationConfig, Explorer, SampleOutcome, Stage};
 use harp_platform::HardwareDescription;
 use harp_types::{
@@ -103,6 +103,11 @@ pub struct RmOutput {
     /// allocation stays applied (new arrivals fall back to whole-machine
     /// co-allocation) and a full re-solve is retried next tick.
     pub degraded: bool,
+    /// The tick's exact integer energy decomposition ([`RmCore::tick`]
+    /// only; register/deregister rounds report `None`). Per-session
+    /// micro-joules sum bit-exactly to `energy.tick_uj` — see
+    /// [`harp_energy::EnergyLedger`].
+    pub energy: Option<LedgerTick>,
 }
 
 impl RmOutput {
@@ -115,6 +120,9 @@ impl RmOutput {
         self.solves += other.solves;
         self.solve_work += other.solve_work;
         self.degraded |= other.degraded;
+        if other.energy.is_some() {
+            self.energy = other.energy;
+        }
     }
 }
 
@@ -170,6 +178,9 @@ pub struct RmCore {
     cfg: RmConfig,
     sessions: HashMap<AppId, Session>,
     attributor: EnergyAttributor,
+    /// Exact integer micro-joule energy accounting over the attribution
+    /// model — the per-session ledger surfaced via [`RmOutput::energy`].
+    ledger: EnergyLedger,
     last_package_energy: f64,
     last_cpu: HashMap<AppId, Vec<f64>>,
     /// Operating-point profiles persisted across application runs, keyed by
@@ -223,6 +234,7 @@ impl RmCore {
             cfg,
             sessions: HashMap::new(),
             attributor,
+            ledger: EnergyLedger::new(),
             last_package_energy: 0.0,
             last_cpu: HashMap::new(),
             profiles: HashMap::new(),
@@ -314,6 +326,20 @@ impl RmCore {
     /// Number of measurement ticks processed so far.
     pub fn ticks(&self) -> u64 {
         self.ticks
+    }
+
+    /// The exact integer micro-joule energy ledger (per-session
+    /// attribution that conserves the modeled total bit-exactly; see
+    /// [`harp_energy::EnergyLedger`]). Frontends read it to build
+    /// telemetry frames; the per-tick decomposition is also returned via
+    /// [`RmOutput::energy`].
+    pub fn ledger(&self) -> &EnergyLedger {
+        &self.ledger
+    }
+
+    /// The display name of a live session, if registered.
+    pub fn session_name(&self, app: AppId) -> Option<&str> {
+        self.sessions.get(&app).map(|s| s.name.as_str())
     }
 
     /// Allocation rounds that overran the solver deadline and fell back to
@@ -596,6 +622,7 @@ impl RmCore {
         self.last_directives.remove(&app);
         self.profiles.insert(s.name, s.explorer.into_table());
         self.attributor.remove(app);
+        self.ledger.remove(app);
         self.last_cpu.remove(&app);
         let out = if self.sessions.is_empty() {
             RmOutput::default()
@@ -675,6 +702,30 @@ impl RmCore {
         }
         self.attributor.update(obs.dt_s, energy_delta, &cpu_deltas);
 
+        // Integer ledger over the same model: per-session weights are the
+        // attributor's Σ_k γ_k·T_k, so the exact micro-joule split follows
+        // the float attribution proportions. Sequential tick-path
+        // arithmetic only — solver parallelism cannot reach it.
+        let weights: Vec<(AppId, f64)> = cpu_deltas
+            .iter()
+            .map(|(app, times)| {
+                let w: f64 = times
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &t)| self.attributor.coefficient(k) * t.max(0.0))
+                    .sum();
+                (*app, w)
+            })
+            .collect();
+        let ledger_tick = self.ledger.charge(energy_delta, &weights);
+        if harp_obs::enabled() {
+            harp_obs::instant(harp_obs::Subsystem::Rm, "energy")
+                .field("tick_uj", ledger_tick.tick_uj)
+                .field("idle_uj", ledger_tick.idle_tick_uj)
+                .field("total_uj", self.ledger.total_uj())
+                .field("sessions", ledger_tick.entries.len() as u64);
+        }
+
         let mut out = RmOutput::default();
         let mut want_realloc = false;
         let mut retarget: Vec<AppId> = Vec::new();
@@ -739,10 +790,12 @@ impl RmCore {
                         solves: 0,
                         solve_work: 0.0,
                         degraded: false,
+                        energy: None,
                     });
                 }
             }
         }
+        out.energy = Some(ledger_tick);
         Ok(out)
     }
 
@@ -778,6 +831,7 @@ impl RmCore {
             solves: 1,
             solve_work: 0.0, // set from the allocation below
             degraded: false,
+            energy: None,
         };
         let mut ids: Vec<AppId> = self.sessions.keys().copied().collect();
         ids.sort();
@@ -945,6 +999,7 @@ impl RmCore {
             solves: 1,
             solve_work: work,
             degraded: true,
+            energy: None,
         };
         let hw = &self.hw;
         for &app in ids {
@@ -1139,6 +1194,13 @@ impl RmCore {
             self.warm.certified_exits(),
             self.warm.full_solves()
         );
+        let _ = writeln!(
+            s,
+            "ledger total_uj={} idle_uj={} retired_uj={}",
+            self.ledger.total_uj(),
+            self.ledger.idle_uj(),
+            self.ledger.retired_uj()
+        );
         let mut apps: Vec<AppId> = self.sessions.keys().copied().collect();
         apps.sort();
         for app in apps {
@@ -1158,9 +1220,10 @@ impl RmCore {
             );
             let _ = writeln!(
                 s,
-                "  envelope={:?} power_bits={:016x}",
+                "  envelope={:?} power_bits={:016x} energy_uj={}",
                 sess.envelope.iter().map(|c| c.0).collect::<Vec<_>>(),
-                self.attributor.last_power(app).to_bits()
+                self.attributor.last_power(app).to_bits(),
+                self.ledger.session_uj(app)
             );
             let _ = writeln!(
                 s,
@@ -1393,6 +1456,56 @@ mod tests {
         assert!(directives_seen >= 2, "saw {directives_seen} directives");
         let table = rm.sessions[&AppId(1)].explorer.table();
         assert!(table.measured_count() >= 3);
+    }
+
+    #[test]
+    fn ticks_surface_a_conserving_energy_ledger() {
+        let mut rm = rm();
+        rm.register(AppId(1), "a", false).unwrap();
+        rm.register(AppId(2), "b", false).unwrap();
+        let mut attributed = 0u64;
+        for i in 0..40u64 {
+            let t = (i + 1) as f64;
+            let obs = TickObservations {
+                dt_s: 0.05,
+                package_energy_j: t * 1.37,
+                apps: vec![
+                    AppObservation {
+                        app: AppId(1),
+                        utility_rate: 1.0e9,
+                        cpu_time: vec![0.05 * t, 0.0],
+                    },
+                    AppObservation {
+                        app: AppId(2),
+                        utility_rate: 2.0e9,
+                        cpu_time: vec![0.0, 0.03 * t],
+                    },
+                ],
+            };
+            let out = rm.tick(&obs).unwrap();
+            let energy = out.energy.expect("ticks carry the ledger");
+            // Exact per-tick conservation: sessions + idle == tick total.
+            let session_sum: u64 = energy.entries.iter().map(|e| e.tick_uj).sum();
+            assert_eq!(energy.tick_uj, session_sum + energy.idle_tick_uj);
+            assert_eq!(energy.entries.len(), 2);
+            attributed += session_sum;
+        }
+        assert!(attributed > 0, "busy ticks attribute energy");
+        assert_eq!(rm.ledger().conservation_error(), 0);
+        // ~40 × 1.37 J accounted in µJ (the first tick's delta is 1.37 J).
+        assert_eq!(rm.ledger().total_uj(), 54_800_000);
+        // Register/deregister rounds carry no ledger tick.
+        assert!(rm.register(AppId(3), "c", false).unwrap().energy.is_none());
+        let before = rm.ledger().session_uj(AppId(1));
+        assert!(before > 0);
+        let out = rm.deregister(AppId(1)).unwrap();
+        assert!(out.energy.is_none());
+        assert_eq!(rm.ledger().retired_uj(), before);
+        assert_eq!(rm.ledger().conservation_error(), 0);
+        // The fingerprint pins the ledger state.
+        let fp = rm.state_fingerprint();
+        assert!(fp.contains(&format!("retired_uj={before}")), "{fp}");
+        assert!(fp.contains("ledger total_uj=54800000"), "{fp}");
     }
 
     #[test]

@@ -49,4 +49,5 @@ pub use crate::core::{
 };
 pub use crate::journal::{JournalRecord, JournalWriter, ReadOutcome};
 pub use crate::store::ProfileStore;
+pub use harp_energy::{EnergyLedger, LedgerEntry, LedgerTick};
 pub use harp_explore::Stage;

@@ -9,7 +9,9 @@
 //! RM communication costs are charged to the applications so the §6.6
 //! overhead study measures something real.
 
-use harp_rm::{AppObservation, Directive, RmConfig, RmCore, RmOutput, TickObservations};
+use harp_rm::{
+    AppObservation, Directive, LedgerTick, RmConfig, RmCore, RmOutput, TickObservations,
+};
 use harp_sim::{Affinity, Manager, MgrEvent, SimState};
 use harp_types::AppId;
 use std::collections::HashMap;
@@ -46,6 +48,7 @@ pub struct HarpSimManager {
     provides_utility: HashMap<AppId, bool>,
     last_tick_ns: u64,
     timer_armed: bool,
+    last_energy: Option<LedgerTick>,
 }
 
 impl std::fmt::Debug for HarpSimManager {
@@ -67,6 +70,7 @@ impl HarpSimManager {
             provides_utility: HashMap::new(),
             last_tick_ns: 0,
             timer_armed: false,
+            last_energy: None,
         }
     }
 
@@ -102,7 +106,22 @@ impl HarpSimManager {
             .get_or_insert_with(|| RmCore::new(st.hw().clone(), cfg))
     }
 
+    /// The energy ledger tick of the most recent RM tick: modeled package
+    /// energy apportioned over the live sessions (µJ, conserving — the
+    /// entries plus the idle share sum exactly to the tick total).
+    pub fn last_energy(&self) -> Option<&LedgerTick> {
+        self.last_energy.as_ref()
+    }
+
     fn apply(&mut self, st: &mut SimState, out: RmOutput) {
+        if let Some(tick) = out.energy {
+            debug_assert_eq!(
+                tick.tick_uj,
+                tick.idle_tick_uj + tick.entries.iter().map(|e| e.tick_uj).sum::<u64>(),
+                "ledger tick does not conserve"
+            );
+            self.last_energy = Some(tick);
+        }
         let message_cost = self.cfg.rm.message_cost_ns;
         let solve_cost = self.cfg.rm.solve_cost_ns;
         let napps = out.directives.len().max(1) as u64;
@@ -283,6 +302,19 @@ mod tests {
         let rm = mgr.rm().unwrap();
         let profile = rm.profile("mg").expect("profile persisted on exit");
         assert!(profile.measured_count() >= 2);
+    }
+
+    #[test]
+    fn harp_surfaces_a_conserving_energy_ledger_tick() {
+        let mut mgr = HarpSimManager::online();
+        run_with(&mut mgr, &["mg"]);
+        let tick = mgr.last_energy().expect("RM ticks populate the ledger");
+        assert!(tick.tick_uj > 0, "modeled energy must be nonzero");
+        let attributed: u64 = tick.entries.iter().map(|e| e.tick_uj).sum();
+        assert_eq!(tick.tick_uj, tick.idle_tick_uj + attributed);
+        // The lifetime ledger conserves too: per-session totals plus idle
+        // plus retired shares sum exactly to everything ever charged.
+        assert_eq!(mgr.rm().unwrap().ledger().conservation_error(), 0);
     }
 
     #[test]

@@ -45,6 +45,11 @@ pub struct ReplayReport {
     pub directives: usize,
     /// FNV-1a hash of the final [`RmCore::state_fingerprint`].
     pub fingerprint: u64,
+    /// Lifetime energy-ledger total (µJ) — everything the RM's power
+    /// model charged across the replay, conserving over per-session,
+    /// idle and retired shares. Integer arithmetic end to end, so it is
+    /// bit-identical at any solver thread count.
+    pub energy_uj: u64,
     /// Whether the RM reached `all_stable` during the quiescence drive.
     pub quiesced: bool,
     /// Invariant violations, in discovery order. Empty means passed.
@@ -150,6 +155,7 @@ pub fn replay_trace_with(trace: &Trace, solver_threads: u32) -> ReplayReport {
         ticks: 0,
         directives: 0,
         fingerprint: 0,
+        energy_uj: 0,
         quiesced: false,
         violations: Vec::new(),
         panicked: false,
@@ -176,6 +182,21 @@ pub fn replay_trace_with(trace: &Trace, solver_threads: u32) -> ReplayReport {
         report.directives += out.directives.len();
         *solves += out.solves;
         *solve_work += out.solve_work;
+        // Ledger oracle: every measurement tick's energy must apportion
+        // exactly — attributed shares plus the idle share reassemble the
+        // tick total with zero remainder.
+        if let Some(energy) = &out.energy {
+            let attributed: u64 = energy.entries.iter().map(|e| e.tick_uj).sum();
+            if energy.tick_uj != energy.idle_tick_uj + attributed {
+                oracle.violation(
+                    step,
+                    format!(
+                        "ledger tick not conserving: {} != {} idle + {} attributed",
+                        energy.tick_uj, energy.idle_tick_uj, attributed
+                    ),
+                );
+            }
+        }
         oracle.check_directives(step, &out.directives);
     };
 
@@ -403,6 +424,18 @@ pub fn replay_trace_with(trace: &Trace, solver_threads: u32) -> ReplayReport {
                 format!("final live-set mismatch: rm {managed:?} vs trace {expected:?}"),
             );
         }
+        // Lifetime ledger conservation: per-session totals plus the idle
+        // and retired shares sum exactly to everything ever charged.
+        if rm.ledger().conservation_error() != 0 {
+            oracle.violation(
+                i,
+                format!(
+                    "lifetime ledger off by {} uJ",
+                    rm.ledger().conservation_error()
+                ),
+            );
+        }
+        report.energy_uj = rm.ledger().total_uj();
         report.fingerprint = fnv1a64(&rm.state_fingerprint());
     }))
     .is_err();

@@ -81,7 +81,7 @@ fn bless_mode() -> bool {
 fn expect_text(report: &ReplayReport, telemetry_events: usize) -> String {
     format!(
         "fingerprint {}\narrivals {}\ndepartures {}\npriority_changes {}\n\
-         load_shifts {}\nticks {}\ndirectives {}\ntelemetry_events {}\n",
+         load_shifts {}\nticks {}\ndirectives {}\nenergy_uj {}\ntelemetry_events {}\n",
         report.fingerprint_hex(),
         report.arrivals,
         report.departures,
@@ -89,6 +89,7 @@ fn expect_text(report: &ReplayReport, telemetry_events: usize) -> String {
         report.load_shifts,
         report.ticks,
         report.directives,
+        report.energy_uj,
         telemetry_events,
     )
 }
@@ -188,5 +189,30 @@ fn committed_trace_replay_ignores_solver_threads() {
     for threads in [1u32, 2, 8] {
         let r = replay_trace_with(&trace, threads);
         assert_eq!(r, base, "solver_threads={threads} changed the replay");
+    }
+}
+
+/// The energy ledger conserves on every committed headline trace and the
+/// lifetime total is bit-identical at every solver thread count. The
+/// per-tick apportionment check itself runs inside the replay oracle
+/// (`absorb`); a non-conserving tick would fail `report.passed()`.
+#[test]
+fn committed_corpus_conserves_ledger_energy_across_solver_threads() {
+    for (name, _) in headlines() {
+        let trace = load_committed(name);
+        let base = replay_trace_with(&trace, 0);
+        assert!(base.passed(), "{name}: {:?}", base.violations);
+        assert!(
+            base.energy_uj > 0,
+            "{name}: replay charged no energy to the ledger"
+        );
+        for threads in [1u32, 2, 8] {
+            let r = replay_trace_with(&trace, threads);
+            assert!(r.passed(), "{name} threads={threads}: {:?}", r.violations);
+            assert_eq!(
+                r.energy_uj, base.energy_uj,
+                "{name}: ledger total diverged at solver_threads={threads}"
+            );
+        }
     }
 }

@@ -1,67 +1,150 @@
-//! `harp-trace` — renders HARP telemetry dumps.
+//! `harp-trace` — renders HARP telemetry dumps and live streams.
 //!
 //! Reads a `harp-obs-v1` JSONL document either from a file or live from a
 //! running daemon (via the `DumpTelemetry` request) and prints three
 //! views: the span tree (one connected trace from request to directive),
-//! the per-tick RM/solver timing table, and the metric snapshot.
+//! the per-tick RM/solver timing table, and the metric snapshot. With
+//! `--watch` it instead subscribes to the daemon's telemetry stream and
+//! renders a live per-session energy/latency table per frame.
 //!
 //! ```text
 //! harp-trace dump.jsonl                 # render a file (e.g. a panic dump)
 //! harp-trace --socket /run/harp.sock    # dump a live daemon
 //! harp-trace --socket /run/harp.sock --metrics
+//! harp-trace --socket /run/harp.sock --watch --interval 250
+//! harp-trace --socket /run/harp.sock --watch --frames 10
 //! ```
+//!
+//! Exit codes: 0 success, 2 usage error, 3 I/O error, 4 daemon protocol
+//! error, 5 malformed dump.
 
+use harp_daemon::UnixTransport;
 use harp_obs::render::{
     parse_dump, render_fault_tolerance, render_metrics, render_shards, render_span_tree,
     render_tick_table,
 };
 use harp_obs::schema::validate_dump;
-use harp_proto::{frame, DumpTelemetry, Message};
+use harp_proto::{frame, DumpTelemetry, Message, TelemetryFrame};
+use libharp::TelemetrySubscription;
 use std::os::unix::net::UnixStream;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: harp-trace <dump.jsonl>\n       harp-trace --socket <path> [--metrics]";
+const USAGE: &str = "usage: harp-trace <dump.jsonl>\n       harp-trace --socket <path> [--metrics]\n       harp-trace --socket <path> --watch [--interval <ms>] [--frames <n>] [--metrics]";
+
+/// Everything that can go wrong, with a distinct exit code per class so
+/// scripts can tell a bad invocation from a bad dump from a dead daemon.
+#[derive(Debug)]
+enum TraceError {
+    /// Bad command line (exit 2).
+    Usage(String),
+    /// Filesystem or socket failure (exit 3).
+    Io(String),
+    /// The daemon answered, but not with what the protocol promises
+    /// (exit 4).
+    Protocol(String),
+    /// The document is not a valid `harp-obs-v1` dump (exit 5).
+    Malformed(String),
+}
+
+impl TraceError {
+    fn exit_code(&self) -> ExitCode {
+        match self {
+            TraceError::Usage(_) => ExitCode::from(2),
+            TraceError::Io(_) => ExitCode::from(3),
+            TraceError::Protocol(_) => ExitCode::from(4),
+            TraceError::Malformed(_) => ExitCode::from(5),
+        }
+    }
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Usage(m) => write!(f, "{m}"),
+            TraceError::Io(m) => write!(f, "io error: {m}"),
+            TraceError::Protocol(m) => write!(f, "protocol error: {m}"),
+            TraceError::Malformed(m) => write!(f, "malformed dump: {m}"),
+        }
+    }
+}
 
 struct Args {
     socket: Option<String>,
     file: Option<String>,
     metrics: bool,
+    watch: bool,
+    interval_ms: u32,
+    frames: Option<u64>,
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args() -> Result<Option<Args>, TraceError> {
     let mut args = Args {
         socket: None,
         file: None,
         metrics: false,
+        watch: false,
+        interval_ms: 250,
+        frames: None,
     };
+    let usage = |m: String| TraceError::Usage(m);
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--socket" => {
-                args.socket = Some(it.next().ok_or("--socket needs a path")?);
+                args.socket = Some(
+                    it.next()
+                        .ok_or_else(|| usage("--socket needs a path".into()))?,
+                );
             }
             "--metrics" => args.metrics = true,
-            "--help" | "-h" => return Err(USAGE.into()),
-            _ if a.starts_with('-') => return Err(format!("unknown flag {a}\n{USAGE}")),
+            "--watch" => args.watch = true,
+            "--interval" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| usage("--interval needs milliseconds".into()))?;
+                args.interval_ms = v
+                    .parse()
+                    .map_err(|_| usage(format!("--interval: not a number: {v}")))?;
+            }
+            "--frames" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| usage("--frames needs a count".into()))?;
+                args.frames = Some(
+                    v.parse()
+                        .map_err(|_| usage(format!("--frames: not a number: {v}")))?,
+                );
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            _ if a.starts_with('-') => return Err(usage(format!("unknown flag {a}\n{USAGE}"))),
             _ if args.file.is_none() => args.file = Some(a),
-            _ => return Err(format!("unexpected argument {a}\n{USAGE}")),
+            _ => return Err(usage(format!("unexpected argument {a}\n{USAGE}"))),
         }
     }
     if args.socket.is_some() == args.file.is_some() {
-        return Err(USAGE.into());
+        return Err(usage(USAGE.into()));
     }
-    Ok(args)
+    if args.watch && args.socket.is_none() {
+        return Err(usage(format!("--watch needs --socket\n{USAGE}")));
+    }
+    Ok(Some(args))
 }
 
 /// Fetches the flight recorder of a live daemon over its control socket.
-fn fetch_live(socket: &str, include_metrics: bool) -> Result<String, String> {
-    let conn = UnixStream::connect(socket).map_err(|e| format!("connect {socket}: {e}"))?;
-    let mut read = conn.try_clone().map_err(|e| format!("clone socket: {e}"))?;
+fn fetch_live(socket: &str, include_metrics: bool) -> Result<String, TraceError> {
+    let conn = UnixStream::connect(socket)
+        .map_err(|e| TraceError::Io(format!("connect {socket}: {e}")))?;
+    let mut read = conn
+        .try_clone()
+        .map_err(|e| TraceError::Io(format!("clone socket: {e}")))?;
     frame::write_frame(
         &conn,
         &Message::DumpTelemetry(DumpTelemetry { include_metrics }),
     )
-    .map_err(|e| format!("send DumpTelemetry: {e}"))?;
+    .map_err(|e| TraceError::Io(format!("send DumpTelemetry: {e}")))?;
     loop {
         match frame::read_frame(&mut read) {
             Ok(Some(Message::TelemetryDump(d))) => {
@@ -73,29 +156,107 @@ fn fetch_live(socket: &str, include_metrics: bool) -> Result<String, String> {
             // A crash-recoverable daemon greets every connection with its
             // boot epoch before serving requests.
             Ok(Some(Message::Hello(_))) => continue,
-            Ok(Some(other)) => return Err(format!("unexpected reply: {other:?}")),
-            Ok(None) => return Err("daemon closed the connection without replying".into()),
-            Err(e) => return Err(format!("read reply: {e}")),
+            Ok(Some(other)) => {
+                return Err(TraceError::Protocol(format!("unexpected reply: {other:?}")))
+            }
+            Ok(None) => {
+                return Err(TraceError::Protocol(
+                    "daemon closed the connection without replying".into(),
+                ))
+            }
+            Err(e) => return Err(TraceError::Io(format!("read reply: {e}"))),
         }
     }
 }
 
-fn run() -> Result<(), String> {
-    let args = parse_args()?;
+/// Renders one telemetry frame as a per-session energy/latency table.
+fn render_frame(f: &TelemetryFrame, show_metrics: bool) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "== frame seq={} dropped={} interval={}ms ==\n",
+        f.seq, f.dropped_frames, f.interval_ms
+    ));
+    out.push_str(&format!(
+        "tick: {} uJ (idle {} uJ)   lifetime total: {} uJ\n",
+        f.tick_uj, f.idle_uj, f.total_uj
+    ));
+    if f.sessions.is_empty() {
+        out.push_str("(no sessions)\n");
+    } else {
+        out.push_str(&format!(
+            "{:>6}  {:<16} {:>12} {:>14} {:>12}\n",
+            "app", "name", "tick uJ", "total uJ", "p99 lat us"
+        ));
+        for s in &f.sessions {
+            out.push_str(&format!(
+                "{:>6}  {:<16} {:>12} {:>14} {:>12}\n",
+                s.app_id, s.name, s.tick_uj, s.total_uj, s.latency_p99_us
+            ));
+        }
+    }
+    if show_metrics && !f.metrics_jsonl.is_empty() {
+        out.push_str("-- metric deltas --\n");
+        out.push_str(&f.metrics_jsonl);
+        if !f.metrics_jsonl.ends_with('\n') {
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Live streaming mode: subscribe and print a table per frame until the
+/// frame budget (if any) is exhausted or the daemon goes away.
+fn watch(args: &Args) -> Result<(), TraceError> {
+    let socket = args
+        .socket
+        .as_deref()
+        .expect("parse_args enforces --socket");
+    let transport = UnixTransport::connect(socket)
+        .map_err(|e| TraceError::Io(format!("connect {socket}: {e}")))?;
+    let mut sub = TelemetrySubscription::subscribe(transport, args.interval_ms, args.metrics)
+        .map_err(|e| TraceError::Io(format!("subscribe: {e}")))?;
+    loop {
+        if let Some(budget) = args.frames {
+            if sub.delivered() >= budget {
+                return Ok(());
+            }
+        }
+        let f = match sub.next_frame() {
+            Ok(f) => f,
+            // A clean daemon shutdown ends the stream; only miscounted
+            // frames are a protocol error.
+            Err(harp_types::HarpError::Io { .. }) if args.frames.is_none() => return Ok(()),
+            Err(e) => return Err(TraceError::Protocol(format!("stream: {e}"))),
+        };
+        print!("{}", render_frame(&f, args.metrics));
+    }
+}
+
+fn run() -> Result<(), TraceError> {
+    let args = match parse_args()? {
+        Some(a) => a,
+        None => return Ok(()), // --help
+    };
+    if args.watch {
+        return watch(&args);
+    }
     let jsonl = match (&args.socket, &args.file) {
         (Some(socket), _) => fetch_live(socket, args.metrics)?,
-        (_, Some(file)) => {
-            std::fs::read_to_string(file).map_err(|e| format!("read {file}: {e}"))?
-        }
+        (_, Some(file)) => std::fs::read_to_string(file)
+            .map_err(|e| TraceError::Io(format!("read {file}: {e}")))?,
         _ => unreachable!("parse_args enforces one source"),
     };
-    let stats = validate_dump(&jsonl).map_err(|e| format!("not a harp-obs-v1 dump: {e}"))?;
-    let dump = parse_dump(&jsonl)?;
+    let stats = validate_dump(&jsonl)
+        .map_err(|e| TraceError::Malformed(format!("not a harp-obs-v1 dump: {e}")))?;
+    let dump = parse_dump(&jsonl).map_err(TraceError::Malformed)?;
 
     println!(
         "== harp-obs dump: {} events ({} recorded, {} evicted), max tick {} ==",
         stats.events, dump.recorded, dump.evicted, stats.max_tick
     );
+    if let Some(dropped) = dump.truncated_bytes {
+        println!("note: producer truncated this dump, dropping {dropped} bytes");
+    }
     println!("\n== span tree ==");
     print!("{}", render_span_tree(&dump));
     println!("\n== per-tick timings ==");
@@ -121,8 +282,8 @@ fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("{e}");
-            ExitCode::FAILURE
+            eprintln!("harp-trace: {e}");
+            e.exit_code()
         }
     }
 }

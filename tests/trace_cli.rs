@@ -1,0 +1,115 @@
+//! End-to-end regression tests for the `harp-trace` CLI: malformed or
+//! producer-truncated dumps must fail (or warn) with the documented
+//! typed exit codes instead of panicking, and `--watch` must stream a
+//! live daemon's telemetry frames.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn harp_trace() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_harp-trace"))
+}
+
+fn corpus(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/corpus")
+        .join(name)
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let out = harp_trace().output().unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "no args should be a usage error"
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+
+    let out = harp_trace().arg("--bogus-flag").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    // --watch without a socket is a usage error, not a hang.
+    let out = harp_trace().args(["--watch"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn missing_file_exits_3() {
+    let out = harp_trace()
+        .arg("/nonexistent/dump.jsonl")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("io error"));
+}
+
+#[test]
+fn malformed_dumps_exit_5_without_panicking() {
+    for fixture in ["malformed_cut_line.jsonl", "malformed_bad_header.jsonl"] {
+        let out = harp_trace().arg(corpus(fixture)).output().unwrap();
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(
+            out.status.code(),
+            Some(5),
+            "{fixture}: expected malformed-dump exit, got {:?}\nstderr: {stderr}",
+            out.status
+        );
+        assert!(
+            stderr.contains("malformed dump"),
+            "{fixture}: untyped error: {stderr}"
+        );
+        assert!(
+            !stderr.contains("panicked"),
+            "{fixture}: the CLI panicked: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn producer_truncated_dump_renders_with_a_note() {
+    let out = harp_trace()
+        .arg(corpus("truncated_by_producer.jsonl"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "marker dumps are still valid");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("dropping 8192 bytes"),
+        "missing truncation note:\n{stdout}"
+    );
+}
+
+#[test]
+fn watch_streams_bounded_frames_from_a_live_daemon() {
+    let hw = harp_platform::HardwareDescription::raptor_lake();
+    let socket = std::env::temp_dir().join(format!("harp-trace-cli-{}.sock", std::process::id()));
+    let daemon =
+        harp_daemon::HarpDaemon::start(harp_daemon::DaemonConfig::new(&socket, hw).with_shards(1))
+            .unwrap();
+
+    let out = harp_trace()
+        .args(["--socket", socket.to_str().unwrap()])
+        .args(["--watch", "--interval", "20", "--frames", "3", "--metrics"])
+        .output()
+        .unwrap();
+    daemon.shutdown();
+
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "watch failed\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        stdout.matches("== frame seq=").count(),
+        3,
+        "expected exactly 3 frames:\n{stdout}"
+    );
+    // The baseline frame carries cumulative daemon metrics.
+    assert!(
+        stdout.contains("daemon."),
+        "baseline frame should include daemon metrics:\n{stdout}"
+    );
+}
