@@ -92,4 +92,15 @@ HARP_TRACE_BENCH_QUICK=1 \
     cargo run --release -q -p harp-bench --bin trace_bench
 test -s target/BENCH_trace_smoke.json
 
+echo "==> degradation gate (committed fault-laced corpus, threads 0 and 2)"
+# Replays the two committed fault-injection headline traces (a transient
+# single-core failure and a flapping-core cascade that trips quarantine)
+# through the testkit oracles at solver threads 0 and the 1/2/8 sweep.
+# Fails on any oracle violation — a grant naming an offline or
+# quarantined core, a non-conserving ledger tick across sensor-dark
+# windows, warm solve work exceeding cold — or on fingerprint/counter
+# drift from the committed .expect files (DESIGN.md section 15).
+# Regenerate deliberately with HARP_TRACE_BLESS=1.
+cargo test -q -p harp-testkit --test degradation
+
 echo "CI OK"

@@ -3,7 +3,7 @@
 //! resources to applications, ensuring no overlap").
 
 use crate::{AllocRequest, Choice};
-use harp_platform::HardwareDescription;
+use harp_platform::{CoreAvailability, HardwareDescription};
 use harp_types::{AppId, CoreKind, ExtResourceVector, HarpError, HwThreadId, Result};
 use std::collections::HashMap;
 
@@ -61,10 +61,16 @@ pub fn hw_threads_for(
 /// for shared caches). In co-allocation mode each application is placed
 /// independently from core 0 of each cluster, so masks overlap and the OS
 /// scheduler time-shares.
+///
+/// With an availability mask, banned cores vanish from each cluster's
+/// free list before placement, so degraded platforms never grant an
+/// offline or quarantined core; a `None` (or full) mask reproduces the
+/// healthy placement exactly.
 pub(crate) fn assign_cores(
     requests: &[AllocRequest],
     picks: &[usize],
     hw: &HardwareDescription,
+    avail: Option<&CoreAvailability>,
     co_allocated: bool,
 ) -> Result<HashMap<AppId, Choice>> {
     let num_kinds = hw.num_kinds();
@@ -77,7 +83,10 @@ pub(crate) fn assign_cores(
             .sum();
         let mut cores = Vec::with_capacity(total_cores);
         for (kind, cursor) in next_free.iter_mut().enumerate() {
-            let kind_cores = hw.cores_of_kind(CoreKind(kind))?;
+            let kind_cores = match avail {
+                Some(a) => a.cores_of_kind(hw, CoreKind(kind))?,
+                None => hw.cores_of_kind(CoreKind(kind))?,
+            };
             let needed = option.erv.cores_of_kind(kind) as usize;
             if needed == 0 {
                 continue;
@@ -134,7 +143,7 @@ mod tests {
     fn disjoint_contiguous_assignment() {
         let hw = presets::raptor_lake();
         let reqs = vec![req(1, &[0, 3, 0], &hw), req(2, &[0, 2, 4], &hw)];
-        let out = assign_cores(&reqs, &[0, 0], &hw, false).unwrap();
+        let out = assign_cores(&reqs, &[0, 0], &hw, None, false).unwrap();
         let c1 = &out[&AppId(1)];
         let c2 = &out[&AppId(2)];
         assert_eq!(c1.cores, vec![CoreId(0), CoreId(1), CoreId(2)]);
@@ -161,7 +170,7 @@ mod tests {
         let hw = presets::raptor_lake();
         // [1,2,4]: two P-cores with both threads, one with a single thread.
         let reqs = vec![req(1, &[1, 2, 4], &hw)];
-        let out = assign_cores(&reqs, &[0], &hw, false).unwrap();
+        let out = assign_cores(&reqs, &[0], &hw, None, false).unwrap();
         let c = &out[&AppId(1)];
         assert_eq!(c.cores.len(), 7);
         assert_eq!(c.hw_threads.len(), 9);
@@ -177,7 +186,7 @@ mod tests {
     fn co_allocation_overlaps_from_cluster_start() {
         let hw = presets::tiny_test();
         let reqs = vec![req(1, &[0, 2, 0], &hw), req(2, &[0, 2, 0], &hw)];
-        let out = assign_cores(&reqs, &[0, 0], &hw, true).unwrap();
+        let out = assign_cores(&reqs, &[0, 0], &hw, None, true).unwrap();
         assert_eq!(out[&AppId(1)].cores, out[&AppId(2)].cores);
     }
 
@@ -185,6 +194,6 @@ mod tests {
     fn exceeding_cluster_is_an_error() {
         let hw = presets::tiny_test();
         let reqs = vec![req(1, &[0, 2, 0], &hw), req(2, &[0, 1, 0], &hw)];
-        assert!(assign_cores(&reqs, &[0, 0], &hw, false).is_err());
+        assert!(assign_cores(&reqs, &[0, 0], &hw, None, false).is_err());
     }
 }

@@ -63,7 +63,7 @@ pub use solvers::{
     SolverKind, PAR_MIN_APPS, REFERENCE_ITERS,
 };
 
-use harp_platform::HardwareDescription;
+use harp_platform::{CoreAvailability, HardwareDescription};
 use harp_types::{
     AppId, CoreId, ExtResourceVector, HarpError, HwThreadId, OpId, ResourceVector, Result,
 };
@@ -152,7 +152,7 @@ pub fn allocate(
     hw: &HardwareDescription,
     solver: SolverKind,
 ) -> Result<Allocation> {
-    allocate_impl(requests, hw, solver, None, SolveOpts::default())
+    allocate_impl(requests, hw, None, solver, None, SolveOpts::default())
 }
 
 /// Like [`allocate`], but threads a [`WarmStart`] through the solver so λ
@@ -170,7 +170,7 @@ pub fn allocate_warm(
     solver: SolverKind,
     warm: &mut WarmStart,
 ) -> Result<Allocation> {
-    allocate_impl(requests, hw, solver, Some(warm), SolveOpts::default())
+    allocate_impl(requests, hw, None, solver, Some(warm), SolveOpts::default())
 }
 
 /// Like [`allocate_warm`], but with a cooperative [`SolveDeadline`].
@@ -193,6 +193,7 @@ pub fn allocate_warm_deadline(
     allocate_impl(
         requests,
         hw,
+        None,
         solver,
         Some(warm),
         SolveOpts::deadline(deadline),
@@ -214,17 +215,46 @@ pub fn allocate_opts(
     warm: &mut WarmStart,
     opts: SolveOpts,
 ) -> Result<Allocation> {
-    allocate_impl(requests, hw, solver, Some(warm), opts)
+    allocate_impl(requests, hw, None, solver, Some(warm), opts)
+}
+
+/// Like [`allocate_opts`], but restricted to the cores a
+/// [`CoreAvailability`] mask leaves usable: the MMKP capacity vector
+/// shrinks to the per-kind count of usable cores, and the spatial
+/// assignment skips banned cores entirely, so a degraded platform (core
+/// hotplug, quarantine) never receives work on an offline core. With
+/// `avail == None` (or a full mask) this is bit-identical to
+/// [`allocate_opts`].
+///
+/// # Errors
+///
+/// Same contract as [`allocate_opts`]; a request whose every option
+/// exceeds the *shrunk* capacity yields
+/// [`HarpError::InsufficientResources`] — callers managing degradation
+/// should pre-filter such options.
+pub fn allocate_avail(
+    requests: &[AllocRequest],
+    hw: &HardwareDescription,
+    avail: Option<&CoreAvailability>,
+    solver: SolverKind,
+    warm: &mut WarmStart,
+    opts: SolveOpts,
+) -> Result<Allocation> {
+    allocate_impl(requests, hw, avail, solver, Some(warm), opts)
 }
 
 fn allocate_impl(
     requests: &[AllocRequest],
     hw: &HardwareDescription,
+    avail: Option<&CoreAvailability>,
     solver: SolverKind,
     warm: Option<&mut WarmStart>,
     opts: SolveOpts,
 ) -> Result<Allocation> {
-    let capacity = hw.capacity();
+    let capacity = match avail {
+        Some(a) => a.capacity(hw),
+        None => hw.capacity(),
+    };
     validate_requests(requests, hw)?;
     if requests.is_empty() {
         return Ok(Allocation {
@@ -273,7 +303,7 @@ fn allocate_impl(
 
     if let Some(sel) = solved {
         let picks = sel.picks;
-        let choices = assign::assign_cores(requests, &picks, hw, false)?;
+        let choices = assign::assign_cores(requests, &picks, hw, avail, false)?;
         let total_cost = picks
             .iter()
             .enumerate()
@@ -308,7 +338,7 @@ fn allocate_impl(
                 })?;
             picks.push(pick);
         }
-        let choices = assign::assign_cores(requests, &picks, hw, true)?;
+        let choices = assign::assign_cores(requests, &picks, hw, avail, true)?;
         let total_cost = picks
             .iter()
             .enumerate()
@@ -588,6 +618,65 @@ mod tests {
             let a = allocate(&reqs, &hw, solver).unwrap();
             assert_eq!(a.choices[&AppId(1)].op, OpId(1), "{solver:?}");
         }
+    }
+
+    #[test]
+    fn availability_mask_shrinks_capacity_and_skips_banned_cores() {
+        let hw = presets::raptor_lake();
+        let shape = hw.erv_shape();
+        let mut avail = harp_platform::CoreAvailability::full(&hw);
+        avail.ban(CoreId(0));
+        avail.ban(CoreId(1));
+        // 7 P-cores fit the healthy machine but not the degraded one (6
+        // usable P-cores) — the solver must fall to the E-core option.
+        let reqs = vec![req(
+            1,
+            vec![opt(&shape, &[0, 7, 0], 1.0), opt(&shape, &[0, 0, 8], 2.0)],
+        )];
+        let mut warm = WarmStart::new();
+        let a = allocate_avail(
+            &reqs,
+            &hw,
+            Some(&avail),
+            SolverKind::Lagrangian,
+            &mut warm,
+            SolveOpts::default(),
+        )
+        .unwrap();
+        assert_eq!(a.choices[&AppId(1)].op, OpId(1));
+        // When P-cores are used, the banned ones are skipped entirely.
+        let reqs2 = vec![req(2, vec![opt(&shape, &[0, 3, 0], 1.0)])];
+        let mut warm2 = WarmStart::new();
+        let a2 = allocate_avail(
+            &reqs2,
+            &hw,
+            Some(&avail),
+            SolverKind::Lagrangian,
+            &mut warm2,
+            SolveOpts::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            a2.choices[&AppId(2)].cores,
+            vec![CoreId(2), CoreId(3), CoreId(4)]
+        );
+        // A full mask reproduces the unmasked allocation exactly.
+        let mut warm3 = WarmStart::new();
+        let full = harp_platform::CoreAvailability::full(&hw);
+        let masked = allocate_avail(
+            &reqs2,
+            &hw,
+            Some(&full),
+            SolverKind::Lagrangian,
+            &mut warm3,
+            SolveOpts::default(),
+        )
+        .unwrap();
+        let plain = allocate(&reqs2, &hw, SolverKind::Lagrangian).unwrap();
+        assert_eq!(
+            masked.choices[&AppId(2)].cores,
+            plain.choices[&AppId(2)].cores
+        );
     }
 
     #[test]

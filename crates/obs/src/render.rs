@@ -464,6 +464,57 @@ pub fn render_fault_tolerance(dump: &ParsedDump) -> String {
     out
 }
 
+/// Fault kinds tabulated by [`render_degradation`], in render order:
+/// the `platform.fault.<kind>` counter suffix and a short description.
+const DEGRADATION_KINDS: [(&str, &str); 4] = [
+    ("core_fail", "cores lost to hotplug"),
+    ("core_recover", "cores returned by hotplug"),
+    ("thermal_cap", "cluster thermal-cap changes"),
+    ("sensor_drop", "power-sensor dropouts"),
+];
+
+/// Summary counters appended below the per-kind degradation table.
+const DEGRADATION_SUMMARY: [(&str, &str); 4] = [
+    ("platform.sensor_dark_ticks", "ticks with no power reading"),
+    ("rm.migrations", "sessions moved off failing cores"),
+    ("rm.offline_cores", "cores currently offline"),
+    ("rm.quarantined_cores", "cores held out by quarantine"),
+];
+
+/// Renders the hardware-degradation summary (DESIGN.md §15): a per-kind
+/// table of injected faults plus the migration and quarantine counters.
+/// Returns an empty string when no fault was ever injected — a healthy
+/// run prints no degradation section at all.
+pub fn render_degradation(dump: &ParsedDump) -> String {
+    let get = |name: &str| {
+        dump.metrics
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| m.value)
+            .unwrap_or(0.0)
+    };
+    let injected = get("platform.faults_injected");
+    if injected == 0.0 {
+        return String::new();
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<14} {:>8}  injected faults", "kind", "count");
+    for (kind, what) in DEGRADATION_KINDS {
+        let v = get(&format!("platform.fault.{kind}"));
+        if v != 0.0 {
+            let _ = writeln!(out, "{kind:<14} {v:>8}  {what}");
+        }
+    }
+    let _ = writeln!(out, "{:<14} {injected:>8}  total state changes", "all");
+    for (name, what) in DEGRADATION_SUMMARY {
+        let v = get(name);
+        if v != 0.0 {
+            let _ = writeln!(out, "{name:<40} {v:>8}  {what}");
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -539,6 +590,35 @@ mod tests {
         let healthy = "{\"type\":\"meta\",\"format\":\"harp-obs-v1\",\"ring_capacity\":1,\"recorded\":0,\"evicted\":0}\n";
         let parsed = parse_dump(healthy).unwrap();
         assert!(render_fault_tolerance(&parsed).is_empty());
+    }
+
+    #[test]
+    fn degradation_renders_per_kind_table_and_stays_quiet_when_healthy() {
+        let dump = "{\"type\":\"meta\",\"format\":\"harp-obs-v1\",\"ring_capacity\":1,\"recorded\":0,\"evicted\":0}\n\
+            {\"type\":\"metric\",\"metric\":\"counter\",\"name\":\"platform.faults_injected\",\"value\":3}\n\
+            {\"type\":\"metric\",\"metric\":\"counter\",\"name\":\"platform.fault.core_fail\",\"value\":2}\n\
+            {\"type\":\"metric\",\"metric\":\"counter\",\"name\":\"platform.fault.thermal_cap\",\"value\":1}\n\
+            {\"type\":\"metric\",\"metric\":\"counter\",\"name\":\"rm.migrations\",\"value\":5}\n\
+            {\"type\":\"metric\",\"metric\":\"gauge\",\"name\":\"rm.quarantined_cores\",\"value\":1}\n";
+        let parsed = parse_dump(dump).unwrap();
+        let rendered = render_degradation(&parsed);
+        assert!(rendered.contains("core_fail"));
+        assert!(rendered.contains("thermal_cap"));
+        assert!(
+            !rendered.contains("core_recover"),
+            "zero kinds stay quiet:\n{rendered}"
+        );
+        assert!(rendered.contains("rm.migrations"));
+        assert!(rendered.contains("rm.quarantined_cores"));
+        assert!(rendered.contains("total state changes"));
+
+        let healthy = "{\"type\":\"meta\",\"format\":\"harp-obs-v1\",\"ring_capacity\":1,\"recorded\":0,\"evicted\":0}\n\
+            {\"type\":\"metric\",\"metric\":\"counter\",\"name\":\"rm.migrations\",\"value\":0}\n";
+        let parsed = parse_dump(healthy).unwrap();
+        assert!(
+            render_degradation(&parsed).is_empty(),
+            "no injected faults, no section"
+        );
     }
 
     #[test]

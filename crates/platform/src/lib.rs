@@ -11,6 +11,9 @@
 //!   consume.
 //! * [`Governor`] — models of the Linux frequency-scaling governors used in
 //!   the paper's evaluation (`performance`, `powersave`, `schedutil`).
+//! * [`FaultState`]/[`CoreAvailability`] — the degraded-hardware layer:
+//!   per-core hotplug, per-cluster thermal capacity caps, power-sensor
+//!   dropout, and the allocator-facing usable-core mask (DESIGN.md §15).
 //! * [`presets`] — calibrated descriptions of the paper's two evaluation
 //!   systems: the Intel Raptor Lake Core i9-13900K and the Odroid XU3-E
 //!   (Samsung Exynos 5422 big.LITTLE).
@@ -30,8 +33,10 @@
 #![warn(missing_docs)]
 
 mod desc;
+mod fault;
 mod governor;
 pub mod presets;
 
 pub use desc::{ClusterDesc, HardwareDescription, PerfParams, PowerParams};
+pub use fault::{CoreAvailability, FaultState, CAP_NOMINAL_PERMILLE};
 pub use governor::Governor;

@@ -1,18 +1,19 @@
 //! The transport-agnostic RM state machine.
 
 use crate::journal::{
-    JournalAppObs, JournalPoint, JournalRecord, JournalWriter, Snapshot, SnapshotSession,
+    JournalAppObs, JournalPoint, JournalRecord, JournalWriter, Snapshot, SnapshotFaults,
+    SnapshotSession,
 };
 use harp_alloc::{
-    allocate_opts, hw_threads_for, AllocOption, AllocRequest, SolveDeadline, SolveOpts, SolverKind,
-    WarmStart, REFERENCE_ITERS,
+    allocate_avail, hw_threads_for, AllocOption, AllocRequest, SolveDeadline, SolveOpts,
+    SolverKind, WarmStart, REFERENCE_ITERS,
 };
 use harp_energy::{EnergyAttributor, EnergyLedger, LedgerTick};
 use harp_explore::{ExplorationConfig, Explorer, SampleOutcome, Stage};
-use harp_platform::HardwareDescription;
+use harp_platform::{CoreAvailability, FaultState, HardwareDescription, CAP_NOMINAL_PERMILLE};
 use harp_types::{
-    energy_utility_cost, AppId, CoreId, ErvShape, ExtResourceVector, HarpError, HwThreadId,
-    NonFunctional, OperatingPointTable, ResourceVector, Result,
+    energy_utility_cost, AppId, CoreId, ErvShape, ExtResourceVector, FaultEvent, HarpError,
+    HwThreadId, NonFunctional, OperatingPointTable, ResourceVector, Result,
 };
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -170,6 +171,29 @@ struct Session {
     priority: f64,
 }
 
+/// A core enters probation instead of returning to service once it has
+/// failed this many times.
+const QUARANTINE_AFTER_FAILS: u32 = 2;
+/// Base probation length in measurement ticks; doubles per additional
+/// failure beyond the threshold, capped at `<< QUARANTINE_BACKOFF_CAP`.
+const QUARANTINE_BASE_TICKS: u64 = 8;
+/// Cap on the exponential-backoff shift (8 << 6 = 512 ticks max).
+const QUARANTINE_BACKOFF_CAP: u32 = 6;
+/// An in-service core that stays clean this many ticks has one past
+/// failure forgiven, so ancient flaps do not quarantine forever.
+const HEALTH_DECAY_TICKS: u64 = 64;
+
+/// Per-core health record backing the quarantine policy.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct CoreHealth {
+    /// Lifetime failure count (decayed while the core stays clean).
+    fails: u32,
+    /// Probation re-admission tick; 0 = not quarantined.
+    quarantined_until: u64,
+    /// Tick of the last fail/recover/quarantine/decay transition.
+    last_change_tick: u64,
+}
+
 /// The HARP RM state machine. See the [crate docs](crate) for the overall
 /// role; frontends call [`RmCore::register`], [`RmCore::deregister`] and
 /// [`RmCore::tick`] and relay the returned [`Directive`]s.
@@ -213,6 +237,13 @@ pub struct RmCore {
     pending_resolve: bool,
     /// Allocation rounds that overran the solver deadline since creation.
     degraded_ticks: u64,
+    /// Degraded-hardware state: core hotplug, thermal caps, sensor dropout
+    /// (DESIGN.md §15).
+    faults: FaultState,
+    /// Per-core quarantine health records (indexed by raw core id).
+    health: Vec<CoreHealth>,
+    /// Sessions migrated off failing cores so far (`rm.migrations`).
+    migrations: u64,
 }
 
 impl std::fmt::Debug for RmCore {
@@ -229,6 +260,8 @@ impl RmCore {
     /// Creates an RM for a machine.
     pub fn new(hw: HardwareDescription, cfg: RmConfig) -> Self {
         let attributor = EnergyAttributor::new(&hw);
+        let faults = FaultState::new(&hw);
+        let health = vec![CoreHealth::default(); hw.num_cores()];
         RmCore {
             hw,
             cfg,
@@ -248,6 +281,9 @@ impl RmCore {
             max_app_seen: 0,
             pending_resolve: false,
             degraded_ticks: 0,
+            faults,
+            health,
+            migrations: 0,
         }
     }
 
@@ -634,6 +670,193 @@ impl RmCore {
         Ok(out)
     }
 
+    /// The usable-core mask: every hardware-online core that is not in
+    /// quarantine. This is the set the allocator may grant from.
+    pub fn availability(&self) -> CoreAvailability {
+        let mut avail = CoreAvailability::full(&self.hw);
+        for i in 0..self.hw.num_cores() {
+            if !self.faults.is_online(CoreId(i)) || self.health[i].quarantined_until != 0 {
+                avail.ban(CoreId(i));
+            }
+        }
+        avail
+    }
+
+    /// The current degraded-hardware state (hotplug, caps, sensor dropout).
+    pub fn fault_state(&self) -> &FaultState {
+        &self.faults
+    }
+
+    /// Sessions migrated off failing cores since creation.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Cores currently held in quarantine (hardware-online, policy-banned).
+    pub fn quarantined_cores(&self) -> Vec<CoreId> {
+        (0..self.hw.num_cores())
+            .filter(|&i| self.health[i].quarantined_until != 0)
+            .map(CoreId)
+            .collect()
+    }
+
+    /// Whether `core` may currently receive work.
+    pub fn core_available(&self, core: CoreId) -> bool {
+        self.faults.core_in_range(core)
+            && self.faults.is_online(core)
+            && self.health[core.0].quarantined_until == 0
+    }
+
+    /// Number of cores the allocator may currently grant.
+    pub fn available_core_count(&self) -> usize {
+        (0..self.hw.num_cores())
+            .filter(|&i| self.core_available(CoreId(i)))
+            .count()
+    }
+
+    /// Injects one hardware-degradation event (paper-style hotplug,
+    /// thermal capping, or sensor dropout; DESIGN.md §15).
+    ///
+    /// A `CoreFail` of an in-service core evicts every session holding it
+    /// (counted in `rm.migrations`), shrinks the MMKP capacity vector and
+    /// forces a cold re-solve. A `CoreRecover` either readmits the core
+    /// (again a topology change, so cold re-solve) or — once the core has
+    /// failed [`QUARANTINE_AFTER_FAILS`] times — places it in probation
+    /// with exponential-backoff re-admission. Thermal caps do not change
+    /// the capacity vector; they schedule a full re-solve so the solver
+    /// re-reads the shifted power landscape. Applied events are journaled
+    /// and replay deterministically on recovery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarpError::NotFound`] for an out-of-range core or
+    /// cluster; allocation errors propagate from the eviction re-solve.
+    pub fn inject_fault(&mut self, ev: &FaultEvent) -> Result<RmOutput> {
+        let (kind, a, b) = ev.encode_words();
+        let (out, applied) = self.fault_inner(ev)?;
+        if applied {
+            self.journal_append(JournalRecord::Fault { kind, a, b });
+            self.note_output(&out);
+        }
+        Ok(out)
+    }
+
+    fn fault_inner(&mut self, ev: &FaultEvent) -> Result<(RmOutput, bool)> {
+        let mut realloc = false;
+        match *ev {
+            FaultEvent::CoreFail { core } => {
+                if !self.faults.core_in_range(core) {
+                    return Err(HarpError::not_found(format!("{core} out of range")));
+                }
+                if !self.faults.is_online(core) {
+                    return Ok((RmOutput::default(), false));
+                }
+                let was_available = self.health[core.0].quarantined_until == 0;
+                self.faults.apply(ev);
+                let h = &mut self.health[core.0];
+                h.fails = h.fails.saturating_add(1);
+                h.quarantined_until = 0;
+                h.last_change_tick = self.ticks;
+                if was_available {
+                    // Evict and migrate every session holding the dead core.
+                    let holders = self
+                        .sessions
+                        .iter()
+                        .filter(|(_, s)| s.envelope.contains(&core))
+                        .map(|(a, _)| *a)
+                        .collect::<Vec<_>>();
+                    if harp_obs::enabled() {
+                        for &app in &holders {
+                            harp_obs::instant(harp_obs::Subsystem::Rm, "migrate")
+                                .field("app", app.0)
+                                .field("core", core.0 as u64);
+                        }
+                    }
+                    self.migrations += holders.len() as u64;
+                    harp_obs::metrics::counter("rm.migrations").add(holders.len() as u64);
+                    realloc = true;
+                }
+            }
+            FaultEvent::CoreRecover { core } => {
+                if !self.faults.core_in_range(core) {
+                    return Err(HarpError::not_found(format!("{core} out of range")));
+                }
+                if self.faults.is_online(core) {
+                    // Already recovered (possibly sitting in quarantine).
+                    return Ok((RmOutput::default(), false));
+                }
+                self.faults.apply(ev);
+                let h = &mut self.health[core.0];
+                h.last_change_tick = self.ticks;
+                if h.fails >= QUARANTINE_AFTER_FAILS {
+                    // Repeat offender: probation with exponential backoff
+                    // instead of immediate readmission.
+                    let shift = (h.fails - QUARANTINE_AFTER_FAILS).min(QUARANTINE_BACKOFF_CAP);
+                    h.quarantined_until = self.ticks + (QUARANTINE_BASE_TICKS << shift);
+                    if harp_obs::enabled() {
+                        harp_obs::instant(harp_obs::Subsystem::Rm, "quarantine")
+                            .field("core", core.0 as u64)
+                            .field("fails", u64::from(h.fails))
+                            .field("until_tick", h.quarantined_until);
+                    }
+                } else {
+                    realloc = true;
+                }
+            }
+            FaultEvent::ThermalCap { cluster, permille } => {
+                if cluster as usize >= self.hw.num_kinds() {
+                    return Err(HarpError::not_found(format!(
+                        "cluster {cluster} out of range"
+                    )));
+                }
+                if !self.faults.apply(ev) {
+                    return Ok((RmOutput::default(), false));
+                }
+                let _ = permille;
+                // Capacity vectors are unchanged; the power landscape is
+                // not, so schedule a full re-solve on the next tick.
+                self.pending_resolve = true;
+            }
+            FaultEvent::SensorDrop { ticks } => {
+                if ticks == 0 || !self.faults.apply(ev) {
+                    return Ok((RmOutput::default(), false));
+                }
+            }
+        }
+        harp_obs::metrics::counter("platform.faults_injected").inc();
+        harp_obs::metrics::counter(match ev.kind() {
+            harp_types::FaultKind::CoreFail => "platform.fault.core_fail",
+            harp_types::FaultKind::CoreRecover => "platform.fault.core_recover",
+            harp_types::FaultKind::ThermalCap => "platform.fault.thermal_cap",
+            harp_types::FaultKind::SensorDrop => "platform.fault.sensor_drop",
+        })
+        .inc();
+        if harp_obs::enabled() {
+            harp_obs::instant(harp_obs::Subsystem::Rm, "fault")
+                .field("kind", ev.kind().as_str())
+                .field("available_cores", self.available_core_count() as u64);
+        }
+        self.publish_fault_gauges();
+        let out = if realloc {
+            // Topology changed: the warm-start state describes a machine
+            // that no longer exists, so the next solve must run cold.
+            self.warm.clear();
+            if self.sessions.is_empty() {
+                RmOutput::default()
+            } else {
+                self.reallocate()?
+            }
+        } else {
+            RmOutput::default()
+        };
+        Ok((out, true))
+    }
+
+    fn publish_fault_gauges(&self) {
+        harp_obs::metrics::gauge("rm.quarantined_cores").set(self.quarantined_cores().len() as i64);
+        harp_obs::metrics::gauge("rm.offline_cores").set(self.faults.offline_cores().len() as i64);
+    }
+
     /// Processes one measurement tick (paper §5.1/§5.3): energy
     /// attribution, EMA-smoothed sampling, exploration progress, and —
     /// when campaigns complete or the stable re-evaluation cycle elapses —
@@ -677,9 +900,20 @@ impl RmCore {
     }
 
     fn tick_inner(&mut self, obs: &TickObservations) -> Result<RmOutput> {
-        // Energy attribution from observable counters.
-        let energy_delta = (obs.package_energy_j - self.last_package_energy).max(0.0);
-        self.last_package_energy = obs.package_energy_j;
+        // Energy attribution from observable counters. While the package
+        // power sensor is dark the tick is charged zero energy and the
+        // baseline reading is left untouched, so the whole dark-window
+        // delta lands on the first tick after the sensor returns: deferred
+        // attribution keeps ledger conservation exact (DESIGN.md §15).
+        let sensor_dark = self.faults.consume_sensor_tick();
+        let energy_delta = if sensor_dark {
+            harp_obs::metrics::counter("platform.sensor_dark_ticks").inc();
+            0.0
+        } else {
+            let d = (obs.package_energy_j - self.last_package_energy).max(0.0);
+            self.last_package_energy = obs.package_energy_j;
+            d
+        };
         let mut cpu_deltas = Vec::with_capacity(obs.apps.len());
         for a in &obs.apps {
             // Read the previous sample in place (cloning it every tick was
@@ -778,6 +1012,39 @@ impl RmCore {
             }
         }
 
+        // Quarantine re-admission and health decay (DESIGN.md §15): a core
+        // whose probation expired rejoins the usable set (cold re-solve,
+        // since the topology changed), and an in-service core that stayed
+        // clean for HEALTH_DECAY_TICKS has one past failure forgiven.
+        let now = self.ticks;
+        let mut readmitted = false;
+        for (i, h) in self.health.iter_mut().enumerate() {
+            if h.quarantined_until != 0 && now >= h.quarantined_until {
+                h.quarantined_until = 0;
+                h.last_change_tick = now;
+                readmitted = true;
+                if harp_obs::enabled() {
+                    harp_obs::instant(harp_obs::Subsystem::Rm, "readmit")
+                        .field("core", i as u64)
+                        .field("fails", u64::from(h.fails));
+                }
+            } else if h.fails > 0
+                && h.quarantined_until == 0
+                && self.faults.is_online(CoreId(i))
+                && now.saturating_sub(h.last_change_tick) >= HEALTH_DECAY_TICKS
+            {
+                h.fails -= 1;
+                h.last_change_tick = now;
+            }
+        }
+        if readmitted {
+            self.warm.clear();
+            self.publish_fault_gauges();
+            if !self.sessions.is_empty() {
+                want_realloc = true;
+            }
+        }
+
         // A degraded round leaves the previous allocation in place; retry
         // the full solve on the next tick even if nothing else changed.
         if want_realloc || self.pending_resolve {
@@ -825,6 +1092,11 @@ impl RmCore {
     /// envelopes.
     fn reallocate(&mut self) -> Result<RmOutput> {
         let mut sp = harp_obs::span(harp_obs::Subsystem::Rm, "reallocate");
+        let avail = self.availability();
+        // Only a degraded platform takes the masked path, so the healthy
+        // solve stays bit-identical to the pre-fault code.
+        let degraded_hw = !avail.is_full();
+        let eff_capacity = avail.capacity(&self.hw);
         let hw = &self.hw;
         let mut out = RmOutput {
             directives: Vec::new(),
@@ -850,6 +1122,13 @@ impl RmCore {
                 .pareto_options()
                 .into_iter()
                 .filter(|(_, erv, _)| !erv.is_zero())
+                // Under shrunk capacity, drop options that no longer fit
+                // the usable cores; an app left with no options falls
+                // through to the co-allocated whole-available-machine
+                // envelope below instead of failing the solve.
+                .filter(|(_, erv, _)| {
+                    !degraded_hw || erv.resource_vector().fits_within(&eff_capacity)
+                })
                 .map(|(op, erv, nfc)| AllocOption {
                     op,
                     // Priority-weighted: scaling a session's costs up
@@ -871,7 +1150,15 @@ impl RmCore {
             threads: self.cfg.solver_threads,
             ..SolveOpts::default()
         };
-        let allocation = match allocate_opts(&requests, hw, self.cfg.solver, &mut self.warm, opts) {
+        let avail_opt = degraded_hw.then_some(&avail);
+        let allocation = match allocate_avail(
+            &requests,
+            hw,
+            avail_opt,
+            self.cfg.solver,
+            &mut self.warm,
+            opts,
+        ) {
             Ok(a) => a,
             Err(HarpError::DeadlineExceeded { .. }) => {
                 drop(sp);
@@ -899,7 +1186,7 @@ impl RmCore {
         }
         let leftovers: Vec<CoreId> = (0..hw.num_cores())
             .map(CoreId)
-            .filter(|c| !used[c.0] && !co)
+            .filter(|c| !used[c.0] && !co && avail.is_available(*c))
             .collect();
 
         // 3. Exploring sessions share the leftovers evenly (round-robin per
@@ -931,8 +1218,8 @@ impl RmCore {
             }
             let session_co = if envelope.is_empty() {
                 // Nothing at all for this app (e.g. empty table and no
-                // leftovers): co-allocate it onto the whole machine.
-                envelope = (0..hw.num_cores()).map(CoreId).collect();
+                // leftovers): co-allocate it onto the whole usable machine.
+                envelope = avail.available_cores();
                 true
             } else {
                 co
@@ -1008,8 +1295,9 @@ impl RmCore {
                 continue;
             }
             // A new arrival with no prior activation must not be left
-            // hanging until the re-solve: whole machine, co-allocated.
-            let envelope: Vec<CoreId> = (0..hw.num_cores()).map(CoreId).collect();
+            // hanging until the re-solve: the whole usable machine,
+            // co-allocated.
+            let envelope: Vec<CoreId> = self.availability().available_cores();
             let session = self.sessions.get_mut(&app).expect("session exists");
             session.envelope = envelope.clone();
             session.co_allocated = true;
@@ -1074,11 +1362,35 @@ impl RmCore {
             })
             .collect();
         sessions.sort_by_key(|s| s.app);
+        let healthy = self.faults.is_default()
+            && self.migrations == 0
+            && self.health.iter().all(|h| *h == CoreHealth::default());
+        let faults = if healthy {
+            // A healthy platform snapshots to the same bytes as before the
+            // fault layer existed.
+            SnapshotFaults::default()
+        } else {
+            SnapshotFaults {
+                online: (0..self.hw.num_cores())
+                    .map(|i| u64::from(self.faults.is_online(CoreId(i))))
+                    .collect(),
+                fails: self.health.iter().map(|h| u64::from(h.fails)).collect(),
+                quarantined_until: self.health.iter().map(|h| h.quarantined_until).collect(),
+                last_change_tick: self.health.iter().map(|h| h.last_change_tick).collect(),
+                caps: (0..self.hw.num_kinds())
+                    .map(|c| u64::from(self.faults.cap_permille(c)))
+                    .collect(),
+                sensor_drop_ticks: self.faults.sensor_drop_ticks(),
+                faults_injected: self.faults.faults_injected(),
+                migrations: self.migrations,
+            }
+        };
         Snapshot {
             profiles,
             sessions,
             max_app_seen: self.max_app_seen,
             ticks: self.ticks,
+            faults,
         }
     }
 
@@ -1122,6 +1434,12 @@ impl RmCore {
             JournalRecord::SetPriority { app, weight_bits } => {
                 self.set_priority(AppId(*app), f64::from_bits(*weight_bits))?;
             }
+            JournalRecord::Fault { kind, a, b } => {
+                let ev = FaultEvent::decode_words(*kind, *a, *b).ok_or_else(|| {
+                    HarpError::other(format!("journal fault record with unknown kind {kind}"))
+                })?;
+                self.inject_fault(&ev)?;
+            }
             JournalRecord::EpochBump { .. } => {} // daemon-level, not RM state
             JournalRecord::Snapshot(s) => self.apply_snapshot(s)?,
         }
@@ -1132,6 +1450,30 @@ impl RmCore {
     /// submit paths (so allocation, warm-start and exploration state are
     /// re-derived consistently).
     fn apply_snapshot(&mut self, s: &Snapshot) -> Result<()> {
+        // Degraded-hardware state first, so the reallocations triggered by
+        // the session re-registrations below already see the restored
+        // topology and quarantine set.
+        if !s.faults.is_default() {
+            let n = self.hw.num_cores();
+            for (i, &on) in s.faults.online.iter().enumerate().take(n) {
+                self.faults.set_online(CoreId(i), on != 0);
+            }
+            for (i, h) in self.health.iter_mut().enumerate() {
+                *h = CoreHealth {
+                    fails: s.faults.fails.get(i).map_or(0, |&f| f as u32),
+                    quarantined_until: s.faults.quarantined_until.get(i).copied().unwrap_or(0),
+                    last_change_tick: s.faults.last_change_tick.get(i).copied().unwrap_or(0),
+                };
+            }
+            for (c, &cap) in s.faults.caps.iter().enumerate().take(self.hw.num_kinds()) {
+                self.faults.set_cap_permille(c, cap as u32);
+            }
+            self.faults
+                .set_sensor_drop_ticks(s.faults.sensor_drop_ticks);
+            self.faults.set_faults_injected(s.faults.faults_injected);
+            self.migrations = s.faults.migrations;
+            self.publish_fault_gauges();
+        }
         let shape = self.hw.erv_shape();
         for (name, points) in &s.profiles {
             self.profiles.insert(
@@ -1265,6 +1607,36 @@ impl RmCore {
                     "  point erv={:?} u={:016x} p={:016x}",
                     p.erv_flat, p.utility_bits, p.power_bits
                 );
+            }
+        }
+        // Degradation lines appear only once a fault has been seen, so a
+        // healthy RM fingerprints to the exact pre-fault-layer string.
+        let fault_active = !self.faults.is_default()
+            || self.migrations != 0
+            || self.health.iter().any(|h| *h != CoreHealth::default());
+        if fault_active {
+            let _ = writeln!(
+                s,
+                "faults injected={} sensor_drop={} migrations={}",
+                self.faults.faults_injected(),
+                self.faults.sensor_drop_ticks(),
+                self.migrations
+            );
+            for (i, h) in self.health.iter().enumerate() {
+                let online = self.faults.is_online(CoreId(i));
+                if !online || *h != CoreHealth::default() {
+                    let _ = writeln!(
+                        s,
+                        "  core {i} online={online} fails={} quarantined_until={} changed={}",
+                        h.fails, h.quarantined_until, h.last_change_tick
+                    );
+                }
+            }
+            for c in 0..self.hw.num_kinds() {
+                let cap = self.faults.cap_permille(c);
+                if cap != CAP_NOMINAL_PERMILLE {
+                    let _ = writeln!(s, "  cap {c} permille={cap}");
+                }
             }
         }
         s
@@ -2214,6 +2586,287 @@ mod tests {
         let outcome = crate::journal::read_journal(&path).unwrap();
         let recovered = RmCore::recover(presets::raptor_lake(), cfg, &outcome.records).unwrap();
         assert_eq!(recovered.priority_of(AppId(1)), Some(2.0));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    fn tick_obs(i: u64, apps: &[(u64, f64, [f64; 2])]) -> TickObservations {
+        TickObservations {
+            dt_s: 0.05,
+            package_energy_j: (i as f64 + 1.0) * 1.3,
+            apps: apps
+                .iter()
+                .map(|&(app, u, cpu)| AppObservation {
+                    app: AppId(app),
+                    utility_rate: u,
+                    cpu_time: vec![cpu[0] * (i + 1) as f64, cpu[1] * (i + 1) as f64],
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn core_fail_evicts_holders_and_bans_the_core() {
+        let mut rm = rm();
+        rm.register(AppId(1), "a", false).unwrap();
+        rm.register(AppId(2), "b", false).unwrap();
+        // Every core is in some envelope (exploring apps split the whole
+        // machine), so failing core 0 must evict at least one holder.
+        let dead = CoreId(0);
+        let out = rm
+            .inject_fault(&FaultEvent::CoreFail { core: dead })
+            .unwrap();
+        assert!(rm.migrations() >= 1, "holder not counted as migrated");
+        assert!(!rm.core_available(dead));
+        assert_eq!(rm.available_core_count(), rm.hw.num_cores() - 1);
+        assert!(!out.directives.is_empty());
+        for d in &out.directives {
+            assert!(!d.cores.contains(&dead), "directive targets a dead core");
+            assert!(d.hw_threads.iter().all(|t| {
+                rm.hw
+                    .threads_of_core(dead)
+                    .unwrap()
+                    .iter()
+                    .all(|dt| dt != t)
+            }));
+        }
+        // Duplicate failure is a no-op; out-of-range cores are rejected.
+        assert_eq!(rm.fault_state().faults_injected(), 1);
+        rm.inject_fault(&FaultEvent::CoreFail { core: dead })
+            .unwrap();
+        assert_eq!(rm.fault_state().faults_injected(), 1);
+        assert!(rm
+            .inject_fault(&FaultEvent::CoreFail { core: CoreId(999) })
+            .is_err());
+
+        // First recovery readmits immediately (fails=1 < threshold) and the
+        // core becomes grantable again.
+        rm.inject_fault(&FaultEvent::CoreRecover { core: dead })
+            .unwrap();
+        assert!(rm.core_available(dead));
+        assert!(rm.quarantined_cores().is_empty());
+    }
+
+    #[test]
+    fn repeat_offender_quarantines_with_exponential_backoff() {
+        let mut rm = rm();
+        rm.register(AppId(1), "a", false).unwrap();
+        let flaky = CoreId(3);
+        // Two fail/recover cycles: the second recover hits the threshold.
+        rm.inject_fault(&FaultEvent::CoreFail { core: flaky })
+            .unwrap();
+        rm.inject_fault(&FaultEvent::CoreRecover { core: flaky })
+            .unwrap();
+        assert!(rm.core_available(flaky));
+        rm.inject_fault(&FaultEvent::CoreFail { core: flaky })
+            .unwrap();
+        rm.inject_fault(&FaultEvent::CoreRecover { core: flaky })
+            .unwrap();
+        assert_eq!(rm.quarantined_cores(), vec![flaky]);
+        assert!(!rm.core_available(flaky), "probation must ban the core");
+
+        // Probation expires QUARANTINE_BASE_TICKS ticks later.
+        let start = rm.ticks();
+        let mut readmitted_at = None;
+        for i in 0..(QUARANTINE_BASE_TICKS + 2) {
+            rm.tick(&tick_obs(i, &[(1, 1.0e9, [0.05, 0.0])])).unwrap();
+            if readmitted_at.is_none() && rm.core_available(flaky) {
+                readmitted_at = Some(rm.ticks());
+            }
+        }
+        assert_eq!(readmitted_at, Some(start + QUARANTINE_BASE_TICKS));
+        assert!(rm.quarantined_cores().is_empty());
+
+        // A third strike doubles the probation window.
+        rm.inject_fault(&FaultEvent::CoreFail { core: flaky })
+            .unwrap();
+        rm.inject_fault(&FaultEvent::CoreRecover { core: flaky })
+            .unwrap();
+        let until = rm.health[flaky.0].quarantined_until;
+        assert_eq!(until, rm.ticks() + (QUARANTINE_BASE_TICKS << 1));
+    }
+
+    #[test]
+    fn sensor_dropout_defers_attribution_and_conserves_energy() {
+        let mut rm = rm();
+        rm.register(AppId(1), "a", false).unwrap();
+        rm.tick(&tick_obs(0, &[(1, 1.0e9, [0.05, 0.0])])).unwrap();
+        let before = rm.ledger().total_uj();
+        rm.inject_fault(&FaultEvent::SensorDrop { ticks: 3 })
+            .unwrap();
+        for i in 1..=3u64 {
+            let out = rm.tick(&tick_obs(i, &[(1, 1.0e9, [0.05, 0.0])])).unwrap();
+            // Dark ticks charge exactly zero energy.
+            assert_eq!(out.energy.unwrap().tick_uj, 0);
+        }
+        assert_eq!(rm.ledger().total_uj(), before);
+        // The first bright tick attributes the whole dark window at once.
+        let out = rm.tick(&tick_obs(4, &[(1, 1.0e9, [0.05, 0.0])])).unwrap();
+        assert_eq!(out.energy.unwrap().tick_uj, 4 * 1_300_000);
+        assert_eq!(rm.ledger().conservation_error(), 0);
+        assert_eq!(rm.ledger().total_uj(), 5 * 1_300_000);
+    }
+
+    #[test]
+    fn thermal_cap_tracks_state_and_schedules_a_resolve() {
+        let mut rm = rm();
+        rm.register(AppId(1), "a", false).unwrap();
+        rm.inject_fault(&FaultEvent::ThermalCap {
+            cluster: 1,
+            permille: 600,
+        })
+        .unwrap();
+        assert_eq!(rm.fault_state().cap_permille(1), 600);
+        assert!(rm
+            .inject_fault(&FaultEvent::ThermalCap {
+                cluster: 9,
+                permille: 500
+            })
+            .is_err());
+        // The cap forces a full re-solve on the next tick even though no
+        // campaign completed.
+        let out = rm.tick(&tick_obs(0, &[(1, 1.0e9, [0.05, 0.0])])).unwrap();
+        assert!(out.solves >= 1);
+        // Restoring nominal capacity is a state change too; a repeat is not.
+        rm.inject_fault(&FaultEvent::ThermalCap {
+            cluster: 1,
+            permille: 1000,
+        })
+        .unwrap();
+        let n = rm.fault_state().faults_injected();
+        rm.inject_fault(&FaultEvent::ThermalCap {
+            cluster: 1,
+            permille: 1000,
+        })
+        .unwrap();
+        assert_eq!(rm.fault_state().faults_injected(), n);
+    }
+
+    #[test]
+    fn healthy_state_has_no_fault_fingerprint_lines() {
+        let mut rm = rm();
+        rm.register(AppId(1), "a", false).unwrap();
+        rm.tick(&tick_obs(0, &[(1, 1.0e9, [0.05, 0.0])])).unwrap();
+        let fp = rm.state_fingerprint();
+        assert!(!fp.contains("faults "), "healthy fingerprint drifted: {fp}");
+        assert!(rm.snapshot().faults.is_default());
+    }
+
+    #[test]
+    fn fault_laced_journal_recovers_bit_identically() {
+        let dir = std::env::temp_dir().join(format!("harp-core-fault-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("faults.jrnl");
+        let _ = std::fs::remove_file(&path);
+
+        let mut live = rm();
+        live.attach_journal(JournalWriter::open(&path).unwrap(), 0);
+        live.register(AppId(1), "a", false).unwrap();
+        live.register(AppId(2), "b", true).unwrap();
+        let flaky = CoreId(2);
+        for i in 0..30u64 {
+            match i {
+                4 => {
+                    live.inject_fault(&FaultEvent::CoreFail { core: flaky })
+                        .unwrap();
+                }
+                7 => {
+                    live.inject_fault(&FaultEvent::CoreRecover { core: flaky })
+                        .unwrap();
+                }
+                10 => {
+                    live.inject_fault(&FaultEvent::CoreFail { core: flaky })
+                        .unwrap();
+                    live.inject_fault(&FaultEvent::ThermalCap {
+                        cluster: 1,
+                        permille: 700,
+                    })
+                    .unwrap();
+                }
+                12 => {
+                    // Hits the quarantine threshold: probation, not service.
+                    live.inject_fault(&FaultEvent::CoreRecover { core: flaky })
+                        .unwrap();
+                    live.inject_fault(&FaultEvent::SensorDrop { ticks: 2 })
+                        .unwrap();
+                }
+                _ => {}
+            }
+            live.tick(&tick_obs(
+                i,
+                &[(1, 1.0e9, [0.05, 0.0]), (2, 2.0e9, [0.0, 0.03])],
+            ))
+            .unwrap();
+        }
+        assert!(live.migrations() >= 1);
+        assert!(live.fault_state().faults_injected() >= 5);
+
+        let outcome = crate::journal::read_journal(&path).unwrap();
+        assert!(!outcome.truncated);
+        let mut recovered = RmCore::recover(
+            presets::raptor_lake(),
+            RmConfig::default(),
+            &outcome.records,
+        )
+        .unwrap();
+        // Quarantine state, health counters and migrations replay exactly.
+        assert_eq!(recovered.state_fingerprint(), live.state_fingerprint());
+        assert_eq!(recovered.migrations(), live.migrations());
+        assert_eq!(recovered.quarantined_cores(), live.quarantined_cores());
+        assert_eq!(recovered.availability(), live.availability());
+
+        // Future behavior equality across a readmission boundary.
+        for i in 30..50u64 {
+            let obs = tick_obs(i, &[(1, 1.0e9, [0.05, 0.0]), (2, 2.0e9, [0.0, 0.03])]);
+            let a = live.tick(&obs).unwrap();
+            let b = recovered.tick(&obs).unwrap();
+            assert_eq!(a.directives, b.directives);
+        }
+        assert_eq!(recovered.state_fingerprint(), live.state_fingerprint());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn snapshot_compaction_preserves_fault_state() {
+        let dir = std::env::temp_dir().join(format!("harp-core-fsnap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fsnap.jrnl");
+        let _ = std::fs::remove_file(&path);
+
+        let mut live = rm();
+        live.attach_journal(JournalWriter::open(&path).unwrap(), 0);
+        live.register(AppId(1), "a", false).unwrap();
+        let flaky = CoreId(5);
+        live.inject_fault(&FaultEvent::CoreFail { core: flaky })
+            .unwrap();
+        live.inject_fault(&FaultEvent::CoreRecover { core: flaky })
+            .unwrap();
+        live.inject_fault(&FaultEvent::CoreFail { core: flaky })
+            .unwrap();
+        live.inject_fault(&FaultEvent::CoreRecover { core: flaky })
+            .unwrap();
+        assert_eq!(live.quarantined_cores(), vec![flaky]);
+        for i in 0..3u64 {
+            live.tick(&tick_obs(i, &[(1, 1.0e9, [0.05, 0.0])])).unwrap();
+        }
+        // Compact: the journal becomes a single snapshot record that must
+        // carry the quarantine ledger.
+        live.compact_now();
+        let outcome = crate::journal::read_journal(&path).unwrap();
+        assert_eq!(outcome.records.len(), 1);
+        let recovered = RmCore::recover(
+            presets::raptor_lake(),
+            RmConfig::default(),
+            &outcome.records,
+        )
+        .unwrap();
+        // Snapshot recovery re-derives exploration/ledger state, so only
+        // the durable fault ledger is compared (like the other snapshot
+        // tests): quarantine set, health counters, caps and migrations.
+        assert_eq!(recovered.fault_state(), live.fault_state());
+        assert_eq!(recovered.quarantined_cores(), vec![flaky]);
+        assert_eq!(recovered.migrations(), live.migrations());
+        assert_eq!(recovered.availability(), live.availability());
+        assert_eq!(recovered.health, live.health);
         std::fs::remove_file(&path).unwrap();
     }
 }

@@ -51,6 +51,7 @@ const T_TICK: u8 = 4;
 const T_EPOCH: u8 = 5;
 const T_SNAPSHOT: u8 = 6;
 const T_SET_PRIORITY: u8 = 7;
+const T_FAULT: u8 = 8;
 
 /// One operating point in journal form: flattened vector plus the raw bit
 /// patterns of its non-functional characteristics.
@@ -92,6 +93,36 @@ pub struct SnapshotSession {
     pub points: Vec<JournalPoint>,
 }
 
+/// Degraded-hardware and quarantine state captured in a snapshot. All
+/// vectors are indexed by raw core id (or cluster index for `caps`);
+/// empty vectors mean "nothing ever degraded" and restore to defaults.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SnapshotFaults {
+    /// Per-core online bit (1 = online).
+    pub online: Vec<u64>,
+    /// Per-core lifetime failure count (health score input).
+    pub fails: Vec<u64>,
+    /// Per-core quarantine re-admission tick (0 = not quarantined).
+    pub quarantined_until: Vec<u64>,
+    /// Per-core tick of the last online/quarantine transition.
+    pub last_change_tick: Vec<u64>,
+    /// Per-cluster thermal cap in permille of nominal capacity.
+    pub caps: Vec<u64>,
+    /// Remaining power-sensor dropout ticks.
+    pub sensor_drop_ticks: u64,
+    /// Count of state-changing fault events applied.
+    pub faults_injected: u64,
+    /// Sessions migrated off failing cores so far.
+    pub migrations: u64,
+}
+
+impl SnapshotFaults {
+    /// True when the snapshot carries no degradation state at all.
+    pub fn is_default(&self) -> bool {
+        *self == SnapshotFaults::default()
+    }
+}
+
 /// Compacted durable state replacing the journal prefix.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Snapshot {
@@ -104,6 +135,8 @@ pub struct Snapshot {
     pub max_app_seen: u64,
     /// Measurement ticks processed so far.
     pub ticks: u64,
+    /// Degraded-hardware and quarantine state (DESIGN.md §15).
+    pub faults: SnapshotFaults,
 }
 
 /// One journal record.
@@ -152,6 +185,17 @@ pub enum JournalRecord {
     EpochBump {
         /// The new epoch.
         epoch: u64,
+    },
+    /// An applied hardware-degradation event, in the flat `(kind, a, b)`
+    /// wire form of [`harp_types::FaultEvent::encode_words`].
+    Fault {
+        /// Fault kind tag (0 = core_fail, 1 = core_recover,
+        /// 2 = thermal_cap, 3 = sensor_drop).
+        kind: u8,
+        /// First operand (core id, cluster index, or tick count).
+        a: u64,
+        /// Second operand (cap permille; 0 otherwise).
+        b: u64,
     },
     /// Compacted durable state; replaces all earlier lifecycle records.
     Snapshot(Snapshot),
@@ -211,6 +255,13 @@ fn put_u32s(out: &mut Vec<u8>, vs: &[u32]) {
     put_u32(out, vs.len() as u32);
     for &v in vs {
         put_u32(out, v);
+    }
+}
+
+fn put_u64s(out: &mut Vec<u8>, vs: &[u64]) {
+    put_u32(out, vs.len() as u32);
+    for &v in vs {
+        put_u64(out, v);
     }
 }
 
@@ -359,6 +410,12 @@ impl JournalRecord {
                 out.push(T_EPOCH);
                 put_u64(&mut out, *epoch);
             }
+            JournalRecord::Fault { kind, a, b } => {
+                out.push(T_FAULT);
+                out.push(*kind);
+                put_u64(&mut out, *a);
+                put_u64(&mut out, *b);
+            }
             JournalRecord::Snapshot(s) => {
                 out.push(T_SNAPSHOT);
                 put_u32(&mut out, s.profiles.len() as u32);
@@ -377,6 +434,14 @@ impl JournalRecord {
                 }
                 put_u64(&mut out, s.max_app_seen);
                 put_u64(&mut out, s.ticks);
+                put_u64s(&mut out, &s.faults.online);
+                put_u64s(&mut out, &s.faults.fails);
+                put_u64s(&mut out, &s.faults.quarantined_until);
+                put_u64s(&mut out, &s.faults.last_change_tick);
+                put_u64s(&mut out, &s.faults.caps);
+                put_u64(&mut out, s.faults.sensor_drop_ticks);
+                put_u64(&mut out, s.faults.faults_injected);
+                put_u64(&mut out, s.faults.migrations);
             }
         }
         out
@@ -425,6 +490,11 @@ impl JournalRecord {
                 weight_bits: c.u64()?,
             },
             T_EPOCH => JournalRecord::EpochBump { epoch: c.u64()? },
+            T_FAULT => JournalRecord::Fault {
+                kind: c.u8()?,
+                a: c.u64()?,
+                b: c.u64()?,
+            },
             T_SNAPSHOT => {
                 let nprofiles = c.len_capped()?;
                 let mut profiles = Vec::with_capacity(nprofiles);
@@ -449,6 +519,16 @@ impl JournalRecord {
                     sessions,
                     max_app_seen: c.u64()?,
                     ticks: c.u64()?,
+                    faults: SnapshotFaults {
+                        online: c.u64s()?,
+                        fails: c.u64s()?,
+                        quarantined_until: c.u64s()?,
+                        last_change_tick: c.u64s()?,
+                        caps: c.u64s()?,
+                        sensor_drop_ticks: c.u64()?,
+                        faults_injected: c.u64()?,
+                        migrations: c.u64()?,
+                    },
                 })
             }
             other => {
@@ -770,6 +850,16 @@ mod tests {
                 app: 1,
                 weight_bits: 2.0f64.to_bits(),
             },
+            JournalRecord::Fault {
+                kind: 0,
+                a: 3,
+                b: 0,
+            },
+            JournalRecord::Fault {
+                kind: 2,
+                a: 1,
+                b: 500,
+            },
             JournalRecord::Deregister { app: 1 },
         ]
     }
@@ -806,8 +896,25 @@ mod tests {
             }],
             max_app_seen: 3,
             ticks: 17,
+            faults: SnapshotFaults::default(),
         });
         assert_eq!(JournalRecord::decode(&snap.encode()).unwrap(), snap);
+        let degraded = JournalRecord::Snapshot(Snapshot {
+            max_app_seen: 3,
+            ticks: 17,
+            faults: SnapshotFaults {
+                online: vec![1, 0, 1, 1],
+                fails: vec![0, 3, 0, 0],
+                quarantined_until: vec![0, 25, 0, 0],
+                last_change_tick: vec![0, 17, 0, 0],
+                caps: vec![1000, 600],
+                sensor_drop_ticks: 2,
+                faults_injected: 5,
+                migrations: 4,
+            },
+            ..Default::default()
+        });
+        assert_eq!(JournalRecord::decode(&degraded.encode()).unwrap(), degraded);
     }
 
     #[test]

@@ -8,9 +8,9 @@
 //! prefix of the original records and still recover cleanly.
 
 use harp_platform::presets;
-use harp_rm::journal::{read_journal, read_journal_bytes};
+use harp_rm::journal::{read_journal, read_journal_bytes, JournalRecord};
 use harp_rm::{AppObservation, JournalWriter, RmConfig, RmCore, TickObservations};
-use harp_types::{AppId, ExtResourceVector, NonFunctional};
+use harp_types::{AppId, CoreId, ExtResourceVector, FaultEvent, NonFunctional};
 use proptest::prelude::*;
 use std::collections::HashSet;
 use std::path::PathBuf;
@@ -20,6 +20,8 @@ const OP_REGISTER: u8 = 0;
 const OP_SUBMIT: u8 = 1;
 const OP_TICK: u8 = 2;
 const OP_DEREGISTER: u8 = 3;
+const OP_SET_PRIORITY: u8 = 4;
+const OP_FAULT: u8 = 5;
 
 static NEXT_JOURNAL: AtomicU64 = AtomicU64::new(0);
 
@@ -89,6 +91,27 @@ fn run_ops(ops: &[(u8, u64)], path: &PathBuf) -> RmCore {
                 })
                 .expect("tick succeeds");
             }
+            OP_SET_PRIORITY => {
+                let _ = rm.set_priority(AppId(app), 1.0 + app as f64);
+            }
+            OP_FAULT => {
+                // Deterministic fault mix keyed on the op value, covering
+                // all four kinds (P-core ids stay in 0..8).
+                let ev = match app % 4 {
+                    0 => FaultEvent::CoreFail {
+                        core: CoreId((app as usize * 3) % 8),
+                    },
+                    1 => FaultEvent::CoreRecover {
+                        core: CoreId((app as usize * 3) % 8),
+                    },
+                    2 => FaultEvent::ThermalCap {
+                        cluster: (app % 2) as u32,
+                        permille: 400 + (app as u32 * 97) % 600,
+                    },
+                    _ => FaultEvent::SensorDrop { ticks: 1 + app % 3 },
+                };
+                let _ = rm.inject_fault(&ev);
+            }
             _ => unreachable!(),
         }
     }
@@ -113,7 +136,7 @@ proptest! {
     /// Journal round trip: recovery is bit-identical for any op trace.
     #[test]
     fn journaled_traces_recover_bit_identically(
-        ops in proptest::collection::vec((0u8..=3, 1u64..=5), 1..32)
+        ops in proptest::collection::vec((0u8..=5, 1u64..=5), 1..32)
     ) {
         let path = temp_journal("rt");
         let live = run_ops(&ops, &path);
@@ -126,7 +149,7 @@ proptest! {
     /// prefix of the original records, and that prefix still recovers.
     #[test]
     fn torn_tails_decode_to_a_recoverable_prefix(
-        ops in proptest::collection::vec((0u8..=3, 1u64..=5), 1..24),
+        ops in proptest::collection::vec((0u8..=5, 1u64..=5), 1..24),
         cut_frac in 0.0f64..1.0
     ) {
         let path = temp_journal("torn");
@@ -160,7 +183,7 @@ proptest! {
     /// it does return are a prefix of the originals (CRC catches the rest).
     #[test]
     fn corrupted_byte_never_breaks_the_reader(
-        ops in proptest::collection::vec((0u8..=3, 1u64..=5), 1..16),
+        ops in proptest::collection::vec((0u8..=5, 1u64..=5), 1..16),
         frac in 0.0f64..1.0,
         xor in 1u8..=255
     ) {
@@ -247,5 +270,79 @@ fn thirty_two_tick_chaos_trace_recovers_bit_identically() {
         prefix_core.state_fingerprint(),
         replayed.state_fingerprint()
     );
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A tail cut landing *exactly* on a record boundary — in particular
+/// right after a `SetPriority` record and right after a fault record —
+/// must not be flagged as truncation, and the prefix must recover to
+/// exactly the state those records describe. One byte less is a torn
+/// record: flagged, and exactly one record is dropped.
+#[test]
+fn boundary_cuts_after_priority_and_fault_records_recover_exactly() {
+    let ops = vec![
+        (OP_REGISTER, 1),
+        (OP_SUBMIT, 1),
+        (OP_TICK, 1),
+        (OP_SET_PRIORITY, 1),
+        (OP_FAULT, 4), // app % 4 == 0: CoreFail of core (4*3)%8 = 4
+        (OP_TICK, 1),
+    ];
+    let path = temp_journal("boundary");
+    let _live = run_ops(&ops, &path);
+    let bytes = std::fs::read(&path).unwrap();
+    let full = read_journal_bytes(&bytes).unwrap();
+    assert!(!full.truncated);
+
+    // Probe every cut point; clean boundaries are the cuts the reader
+    // accepts without a truncation flag.
+    let boundaries: Vec<usize> = (0..=bytes.len())
+        .filter(|&cut| read_journal_bytes(&bytes[..cut]).is_ok_and(|o| !o.truncated))
+        .collect();
+
+    let mut prio_cut = None;
+    let mut fault_cut = None;
+    for &cut in &boundaries {
+        let torn = read_journal_bytes(&bytes[..cut]).unwrap();
+        match torn.records.last() {
+            Some(JournalRecord::SetPriority { .. }) => prio_cut = Some(cut),
+            Some(JournalRecord::Fault { .. }) => fault_cut = Some(cut),
+            _ => {}
+        }
+        // Every boundary prefix recovers bit-identically to replaying the
+        // same record prefix of the undamaged journal.
+        let a = RmCore::recover(presets::raptor_lake(), RmConfig::default(), &torn.records)
+            .expect("boundary prefix recovers");
+        let b = RmCore::recover(
+            presets::raptor_lake(),
+            RmConfig::default(),
+            &full.records[..torn.records.len()],
+        )
+        .unwrap();
+        assert_eq!(a.state_fingerprint(), b.state_fingerprint());
+    }
+    let prio_cut = prio_cut.expect("a boundary lands exactly after the SetPriority record");
+    let fault_cut = fault_cut.expect("a boundary lands exactly after the fault record");
+
+    // The fault-boundary prefix restores the degraded hardware state.
+    let recs = read_journal_bytes(&bytes[..fault_cut]).unwrap().records;
+    let degraded = RmCore::recover(presets::raptor_lake(), RmConfig::default(), &recs).unwrap();
+    assert!(
+        !degraded.core_available(CoreId(4)),
+        "recovered prefix must remember the failed core"
+    );
+    // The priority-boundary prefix predates the fault: core still usable.
+    let recs = read_journal_bytes(&bytes[..prio_cut]).unwrap().records;
+    let healthy = RmCore::recover(presets::raptor_lake(), RmConfig::default(), &recs).unwrap();
+    assert!(healthy.core_available(CoreId(4)));
+
+    // One byte short of each boundary is a torn record: flagged, and the
+    // reader drops exactly the record the boundary completed.
+    for cut in [prio_cut, fault_cut] {
+        let torn = read_journal_bytes(&bytes[..cut - 1]).unwrap();
+        assert!(torn.truncated, "cut {} not flagged as torn", cut - 1);
+        let clean = read_journal_bytes(&bytes[..cut]).unwrap();
+        assert_eq!(torn.records.len() + 1, clean.records.len());
+    }
     let _ = std::fs::remove_file(&path);
 }

@@ -5,8 +5,8 @@ use crate::machine::{EnergyAccount, Topology};
 use crate::report::{AppReport, RunReport};
 use crate::spec::AppSpec;
 use crate::{Affinity, SimThreadId, SimTime};
-use harp_platform::{Governor, HardwareDescription};
-use harp_types::{AppId, HarpError, HwThreadId, PriorityClass, Result};
+use harp_platform::{FaultState, Governor, HardwareDescription};
+use harp_types::{AppId, CoreId, FaultEvent, HarpError, HwThreadId, PriorityClass, Result};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::cmp::Reverse;
@@ -127,6 +127,10 @@ pub enum MgrEvent {
         /// New rate scale in permille (1000 = nominal speed).
         permille: u32,
     },
+    /// A trace schedule degraded (or un-degraded) the hardware: a core
+    /// hotplug, a thermal capacity cap, or a power-sensor dropout. The
+    /// machine model already reflects the event when the manager sees it.
+    Fault(FaultEvent),
 }
 
 /// A resource manager driving the simulated machine — the role played by
@@ -168,6 +172,9 @@ enum ScheduleOp {
     /// Scale all progress rates to `permille / 1000` of nominal (diurnal
     /// load-phase shifts: the same services demand less at night).
     LoadShift { permille: u32 },
+    /// Degrade (or recover) the machine: hotplug, thermal cap, sensor
+    /// dropout (trace format v2 fault directives).
+    Fault { ev: FaultEvent },
 }
 
 #[derive(Debug, Clone)]
@@ -215,6 +222,12 @@ pub struct SimState {
     /// nominal; multiplying by 1.0 is the identity, so unshifted runs are
     /// bit-identical to the pre-trace engine).
     rate_scale: f64,
+    /// Degraded-hardware state driven by trace fault directives: offline
+    /// cores run (and draw) nothing, thermally capped clusters scale both
+    /// the delivered rate and the modeled power (DESIGN.md §15). A default
+    /// state multiplies by 1.0 everywhere, keeping fault-free runs
+    /// bit-identical to the pre-fault engine.
+    faults: FaultState,
     next_app_id: u64,
     dirty: bool,
     needs_chunks: Vec<AppId>,
@@ -249,6 +262,7 @@ impl std::fmt::Debug for SimState {
 
 impl SimState {
     fn new(hw: HardwareDescription, config: SimConfig) -> Self {
+        let faults = FaultState::new(&hw);
         let topo = Topology::new(hw);
         let n_threads = topo.n_threads;
         let num_kinds = topo.hw.num_kinds();
@@ -276,6 +290,7 @@ impl SimState {
             schedule: Vec::new(),
             trace_keys: HashMap::new(),
             rate_scale: 1.0,
+            faults,
             next_app_id: 1,
             dirty: false,
             needs_chunks: Vec::new(),
@@ -498,6 +513,11 @@ impl SimState {
         self.rate_scale
     }
 
+    /// The machine's degraded-hardware state (hotplug, caps, dropout).
+    pub fn fault_state(&self) -> &FaultState {
+        &self.faults
+    }
+
     /// Charges management overhead to an application: the given CPU time is
     /// converted to work units and prepended to the master thread's next
     /// chunk — modelling libharp message handling on the application's
@@ -709,6 +729,11 @@ impl SimState {
                 if !aff.allows(HwThreadId(hwt)) {
                     continue;
                 }
+                // Hotplug: the OS migrates runnable threads off an offline
+                // core; a thread whose whole mask is offline stalls.
+                if !self.faults.is_online(CoreId(self.topo.thread_core[hwt])) {
+                    continue;
+                }
                 let qlen = self.queues[hwt].len();
                 let core = self.topo.thread_core[hwt];
                 let busy_sibs = self.topo.core_threads[core]
@@ -798,16 +823,24 @@ impl SimState {
                 continue;
             }
             let core = self.topo.thread_core[hwt];
+            if !self.faults.is_online(CoreId(core)) {
+                // A dead core runs nothing; its queued threads (if any
+                // mask pins them here) make no progress.
+                continue;
+            }
             let kind = self.topo.core_kind[core];
             let cluster = &self.topo.hw.clusters[kind];
+            // A thermal cap scales effective IPS like a frequency clamp;
+            // 1000 permille multiplies by 1.0 (bit-identical when healthy).
+            let cap = f64::from(self.faults.cap_permille(kind)) / 1000.0;
             let busy_sibs = self.topo.core_threads[core]
                 .iter()
                 .filter(|&&h| !self.queues[h].is_empty())
                 .count() as u32;
-            let solo_rate = cluster.thread_rate(self.freqs[kind], 1);
+            let solo_rate = cluster.thread_rate(self.freqs[kind], 1) * cap;
             for &t in &self.queues[hwt] {
                 let inst = &self.apps[&self.threads[t.0].app];
-                let mut r = cluster.thread_rate(self.freqs[kind], busy_sibs);
+                let mut r = cluster.thread_rate(self.freqs[kind], busy_sibs) * cap;
                 if busy_sibs > 1 {
                     r = (r * inst.spec.smt_efficiency).min(solo_rate);
                 }
@@ -936,8 +969,17 @@ impl SimState {
             }
             let mut cluster_power = vec![0.0f64; num_kinds];
             for core in 0..self.topo.n_cores {
+                if !self.faults.is_online(CoreId(core)) {
+                    // Hotplugged cores are powered down entirely: no idle
+                    // draw, no attribution.
+                    continue;
+                }
                 let kind = self.topo.core_kind[core];
                 let cluster = &self.topo.hw.clusters[kind];
+                // A thermal cap clamps the effective frequency the power
+                // model sees (DVFS-style throttle); cap 1000 is exact
+                // identity.
+                let cap = f64::from(self.faults.cap_permille(kind)) / 1000.0;
                 // A core has at most a handful of hardware threads; iterate
                 // the (borrowed) sibling list directly instead of collecting
                 // the busy subset into a fresh vector every barrier.
@@ -945,7 +987,7 @@ impl SimState {
                     .iter()
                     .filter(|&&h| !self.queues[h].is_empty())
                     .count();
-                let p = cluster.core_power(self.freqs[kind], busy_count as u32);
+                let p = cluster.core_power(self.freqs[kind] * cap, busy_count as u32);
                 // Contention-blocked threads idle the core part-time: scale
                 // the core's active power by its mean busy fraction.
                 let mean_activity = if busy_count == 0 {
@@ -1087,6 +1129,15 @@ impl SimState {
                     self.dirty = true;
                     self.notifications
                         .push_back(MgrEvent::LoadShifted { permille });
+                }
+                ScheduleOp::Fault { ev } => {
+                    // The machine degrades whether or not anything changed
+                    // state (a duplicate fail is absorbed by FaultState);
+                    // the manager is only told about real transitions.
+                    if self.faults.apply(&ev) {
+                        self.dirty = true;
+                        self.notifications.push_back(MgrEvent::Fault(ev));
+                    }
                 }
             }
         }
@@ -1287,6 +1338,18 @@ impl Simulation {
         });
     }
 
+    /// Schedules a hardware-degradation event (trace v2 fault directive):
+    /// core hotplug, thermal capacity cap, or power-sensor dropout. The
+    /// manager is notified via [`MgrEvent::Fault`] when the event actually
+    /// changes machine state.
+    pub fn add_fault(&mut self, at: SimTime, ev: FaultEvent) {
+        self.st.schedule.push(ScheduleRec {
+            at,
+            op: ScheduleOp::Fault { ev },
+            fired: false,
+        });
+    }
+
     /// Read-only access to the machine state (e.g. for assertions in tests
     /// before running).
     pub fn state(&self) -> &SimState {
@@ -1376,6 +1439,73 @@ mod tests {
             a.work_done
         );
         assert!(r.total_energy_j > 0.0);
+    }
+
+    #[test]
+    fn faults_degrade_rates_and_power() {
+        let hw = presets::tiny_test();
+        let run = |faults: &[(SimTime, FaultEvent)]| {
+            let mut sim = Simulation::new(hw.clone(), SimConfig::default());
+            sim.add_arrival(0, spec("a", 4.0e9), LaunchOpts::all_hw_threads());
+            for (at, ev) in faults {
+                sim.add_fault(*at, ev.clone());
+            }
+            let r = sim.run(&mut NullManager).unwrap();
+            (r.makespan_ns, r.total_energy_j)
+        };
+        let (t0, e0) = run(&[]);
+        // A schedule of only no-op faults is bit-identical to none at all.
+        let (t_noop, e_noop) = run(&[(1, FaultEvent::CoreRecover { core: CoreId(0) })]);
+        assert_eq!(t0, t_noop);
+        assert_eq!(e0.to_bits(), e_noop.to_bits());
+        // A thermal cap slows the run down.
+        let (t_cap, _) = run(&[(
+            0,
+            FaultEvent::ThermalCap {
+                cluster: 0,
+                permille: 500,
+            },
+        )]);
+        assert!(t_cap > t0, "capped run {t_cap} vs nominal {t0}");
+        // Failing cores shrinks throughput further; the manager is told.
+        let (t_fail, _) = run(&[
+            (0, FaultEvent::CoreFail { core: CoreId(0) }),
+            (0, FaultEvent::CoreFail { core: CoreId(1) }),
+        ]);
+        assert!(t_fail > t0, "degraded run {t_fail} vs nominal {t0}");
+    }
+
+    #[test]
+    fn offline_core_is_powered_down_and_recovery_notifies() {
+        struct Recorder(Vec<MgrEvent>);
+        impl Manager for Recorder {
+            fn on_event(&mut self, _st: &mut SimState, ev: MgrEvent) {
+                self.0.push(ev);
+            }
+        }
+        let hw = presets::tiny_test();
+        // Idle machine, one long-lived app pinned by default everywhere.
+        let mut sim = Simulation::new(hw.clone(), SimConfig::default());
+        sim.add_arrival(0, spec("a", 2.0e9), LaunchOpts::all_hw_threads());
+        sim.add_fault(1_000, FaultEvent::CoreFail { core: CoreId(2) });
+        sim.add_fault(2_000_000, FaultEvent::CoreRecover { core: CoreId(2) });
+        // Duplicate fail: absorbed, no second notification.
+        sim.add_fault(1_500, FaultEvent::CoreFail { core: CoreId(2) });
+        let mut rec = Recorder(Vec::new());
+        let r = sim.run(&mut rec).unwrap();
+        assert_eq!(r.apps.len(), 1);
+        let fails: Vec<_> = rec
+            .0
+            .iter()
+            .filter(|e| matches!(e, MgrEvent::Fault(FaultEvent::CoreFail { .. })))
+            .collect();
+        let recovers: Vec<_> = rec
+            .0
+            .iter()
+            .filter(|e| matches!(e, MgrEvent::Fault(FaultEvent::CoreRecover { .. })))
+            .collect();
+        assert_eq!(fails.len(), 1, "duplicate fail must be absorbed");
+        assert_eq!(recovers.len(), 1);
     }
 
     #[test]

@@ -8,7 +8,13 @@
 //! scenario while the shared [`Oracle`](crate::runner::Oracle) checks
 //! every directive batch: no core oversubscription without co-allocation,
 //! per-kind grants matching the chosen vector, departed apps holding
-//! nothing. On top of those per-step checks the replay asserts the
+//! nothing, and — for v2 traces carrying fault directives — no grant ever
+//! naming a core the RM reports offline or quarantined. Fault directives
+//! are forwarded to [`RmCore::inject_fault`] and mirrored into a local
+//! [`FaultState`], whose degradation factor scales the synthetic power
+//! and utility model (exactly `1.0` on a healthy machine, so fault-free
+//! replays are unchanged). On top of those per-step checks the replay
+//! asserts the
 //! warm-≤-cold solver-work bound and drives the RM to exploration
 //! quiescence after the last event.
 //!
@@ -19,9 +25,9 @@
 //! committed headline corpus pins with `.expect` files.
 
 use crate::runner::Oracle;
-use harp_platform::presets;
+use harp_platform::{presets, FaultState, HardwareDescription, CAP_NOMINAL_PERMILLE};
 use harp_rm::{AppObservation, RmConfig, RmCore, TickObservations};
-use harp_types::{AppId, ErvShape, ExtResourceVector, NonFunctional, PriorityClass};
+use harp_types::{AppId, CoreId, ErvShape, ExtResourceVector, NonFunctional, PriorityClass};
 use harp_workload::{Template, Trace, TraceEvent};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -50,6 +56,10 @@ pub struct ReplayReport {
     /// idle and retired shares. Integer arithmetic end to end, so it is
     /// bit-identical at any solver thread count.
     pub energy_uj: u64,
+    /// Fault directives replayed from the trace (v2 traces only).
+    pub faults: usize,
+    /// Sessions the RM migrated off failing cores, from [`RmCore::migrations`].
+    pub migrations: u64,
     /// Whether the RM reached `all_stable` during the quiescence drive.
     pub quiesced: bool,
     /// Invariant violations, in discovery order. Empty means passed.
@@ -69,6 +79,19 @@ impl ReplayReport {
     pub fn fingerprint_hex(&self) -> String {
         format!("{:016x}", self.fingerprint)
     }
+}
+
+/// Deterministic machine-degradation factor for the synthetic tick model:
+/// the online-core fraction times the mean thermal cap. Exactly `1.0` on a
+/// healthy platform, so fault-free replays are bit-identical to the
+/// pre-fault engine; under degradation both the synthetic package power
+/// and every session's utility rate shrink by the same factor.
+fn degrade_factor(faults: &FaultState, hw: &HardwareDescription) -> f64 {
+    let online = faults.online_count() as f64 / hw.num_cores() as f64;
+    let kinds = hw.num_kinds();
+    let cap_sum: u32 = (0..kinds).map(|k| faults.cap_permille(k)).sum();
+    let cap = f64::from(cap_sum) / (f64::from(CAP_NOMINAL_PERMILLE) * kinds as f64);
+    online * cap
 }
 
 /// FNV-1a over a string — a stable 64-bit digest for fingerprint files
@@ -145,7 +168,19 @@ pub fn replay_trace_with(trace: &Trace, solver_threads: u32) -> ReplayReport {
     cfg.exploration.stable_threshold = 3;
     cfg.exploration.measurements_per_point = 2;
     let mut rm = RmCore::new(hw.clone(), cfg);
+    // Hardware mirror for the synthetic tick model: tracks what the trace
+    // did to the machine, independently of the RM's own fault view.
+    let mut fstate = FaultState::new(&hw);
     let mut oracle = Oracle::new(hw);
+
+    // Refresh the oracle's banned-core set from the RM's availability
+    // (offline or quarantined); called after every fault injection and
+    // every tick, since ticks can readmit quarantined cores.
+    let sync_banned = |oracle: &mut Oracle, rm: &RmCore| {
+        oracle.banned = (0..oracle.hw.num_cores())
+            .filter(|&c| !rm.core_available(CoreId(c)))
+            .collect();
+    };
 
     let mut report = ReplayReport {
         arrivals: 0,
@@ -156,6 +191,8 @@ pub fn replay_trace_with(trace: &Trace, solver_threads: u32) -> ReplayReport {
         directives: 0,
         fingerprint: 0,
         energy_uj: 0,
+        faults: 0,
+        migrations: 0,
         quiesced: false,
         violations: Vec::new(),
         panicked: false,
@@ -205,20 +242,22 @@ pub fn replay_trace_with(trace: &Trace, solver_threads: u32) -> ReplayReport {
                 live: &mut BTreeMap<u64, Vec<f64>>,
                 energy_j: &mut f64,
                 load_milli: u64,
+                degrade: f64,
                 step: usize|
      -> Option<harp_rm::RmOutput> {
         let dt = 0.05;
         let load = load_milli as f64 / 1000.0;
-        *energy_j += dt * (20.0 + 2.0 * live.len() as f64) * load;
+        *energy_j += dt * (20.0 + 2.0 * live.len() as f64) * load * degrade;
         let apps: Vec<AppObservation> = live
             .iter_mut()
             .map(|(&key, cpu)| {
-                cpu[0] += dt * load;
+                cpu[0] += dt * load * degrade;
                 AppObservation {
                     app: AppId(key),
-                    // Pure function of (key, load): deterministic and
-                    // scaled by the machine-wide load phase.
-                    utility_rate: (1.0 + (key % 7) as f64) * 1.0e9 * load,
+                    // Pure function of (key, load, machine health):
+                    // deterministic, scaled by the machine-wide load
+                    // phase and the trace-driven degradation factor.
+                    utility_rate: (1.0 + (key % 7) as f64) * 1.0e9 * load * degrade,
                     cpu_time: cpu.clone(),
                 }
             })
@@ -351,19 +390,40 @@ pub fn replay_trace_with(trace: &Trace, solver_threads: u32) -> ReplayReport {
                         report.load_shifts += 1;
                         load_milli = permille as u64;
                     }
+                    TraceEvent::Fault { ev, .. } => {
+                        report.faults += 1;
+                        fstate.apply(&ev);
+                        match rm.inject_fault(&ev) {
+                            Ok(out) => {
+                                sync_banned(&mut oracle, &rm);
+                                absorb(
+                                    &mut oracle,
+                                    &mut report,
+                                    &mut solves,
+                                    &mut solve_work,
+                                    step,
+                                    out,
+                                );
+                            }
+                            Err(e) => oracle.violation(step, format!("fault {ev:?} rejected: {e}")),
+                        }
+                    }
                 }
                 i += 1;
             }
             // One synthetic measurement interval per distinct event time.
+            let degrade = degrade_factor(&fstate, &oracle.hw);
             if let Some(out) = tick(
                 &mut rm,
                 &mut oracle,
                 &mut live,
                 &mut energy_j,
                 load_milli,
+                degrade,
                 i,
             ) {
                 report.ticks += 1;
+                sync_banned(&mut oracle, &rm);
                 absorb(
                     &mut oracle,
                     &mut report,
@@ -380,15 +440,18 @@ pub fn replay_trace_with(trace: &Trace, solver_threads: u32) -> ReplayReport {
             if rm.all_stable() {
                 break;
             }
+            let degrade = degrade_factor(&fstate, &oracle.hw);
             if let Some(out) = tick(
                 &mut rm,
                 &mut oracle,
                 &mut live,
                 &mut energy_j,
                 load_milli,
+                degrade,
                 i,
             ) {
                 report.ticks += 1;
+                sync_banned(&mut oracle, &rm);
                 absorb(
                     &mut oracle,
                     &mut report,
@@ -436,6 +499,7 @@ pub fn replay_trace_with(trace: &Trace, solver_threads: u32) -> ReplayReport {
             );
         }
         report.energy_uj = rm.ledger().total_uj();
+        report.migrations = rm.migrations();
         report.fingerprint = fnv1a64(&rm.state_fingerprint());
     }))
     .is_err();

@@ -79,6 +79,10 @@ pub(crate) struct Oracle {
     pub(crate) latest: HashMap<u64, Directive>,
     pub(crate) cpu: HashMap<u64, Vec<f64>>,
     pub(crate) energy_j: f64,
+    /// Cores the RM must never grant: hardware-offline or quarantined.
+    /// The replay engine refreshes this from the RM's availability view
+    /// after every fault injection and measurement tick.
+    pub(crate) banned: HashSet<usize>,
     pub(crate) violations: Vec<String>,
 }
 
@@ -90,6 +94,7 @@ impl Oracle {
             latest: HashMap::new(),
             cpu: HashMap::new(),
             energy_j: 0.0,
+            banned: HashSet::new(),
             violations: Vec::new(),
         }
     }
@@ -110,6 +115,12 @@ impl Oracle {
                 if c.0 >= self.hw.num_cores() {
                     self.violation(step, format!("core id {} out of range", c.0));
                     continue;
+                }
+                if self.banned.contains(&c.0) {
+                    self.violation(
+                        step,
+                        format!("unavailable core {} granted to {}", c.0, d.app),
+                    );
                 }
                 if !seen.insert(c.0) {
                     self.violation(step, format!("core {} granted twice to {}", c.0, d.app));

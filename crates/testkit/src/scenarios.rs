@@ -453,8 +453,11 @@ fn delayed_reordered_submits() -> Result<(), String> {
 
 /// Reconnect policy for recovery scenarios: fast retries, generous budget
 /// (the daemon stays down for a macroscopic moment while we restart it).
+/// Seeded so the jitter schedule — and with it every reconnect-storm
+/// chaos run — is byte-deterministic instead of varying with the pid.
 fn recovery_policy() -> libharp::ReconnectPolicy {
     libharp::ReconnectPolicy::new(Duration::from_millis(2), Duration::from_millis(50), 500)
+        .with_seed(0x5EED_CAFE)
 }
 
 fn temp_journal(tag: &str) -> PathBuf {

@@ -39,6 +39,7 @@ fn headlines() -> Vec<(&'static str, TraceGenConfig)> {
                 shape: TraceShape::Diurnal,
                 churn_permille: 250,
                 reprioritize_permille: 80,
+                faults: Vec::new(),
             },
         ),
         (
@@ -50,6 +51,7 @@ fn headlines() -> Vec<(&'static str, TraceGenConfig)> {
                 shape: TraceShape::FlashCrowd,
                 churn_permille: 400,
                 reprioritize_permille: 50,
+                faults: Vec::new(),
             },
         ),
         (
@@ -61,6 +63,7 @@ fn headlines() -> Vec<(&'static str, TraceGenConfig)> {
                 shape: TraceShape::HeavyTailChurn,
                 churn_permille: 600,
                 reprioritize_permille: 120,
+                faults: Vec::new(),
             },
         ),
     ]

@@ -1,0 +1,154 @@
+//! Shared hardware-degradation vocabulary.
+//!
+//! Faults originate in three places — trace directives (`harp-workload`),
+//! the discrete-event simulator (`harp-sim`), and the RM's crash journal
+//! (`harp-rm`) — and all three speak this one event type, so a fault can
+//! travel from a trace file through the simulator into the resource
+//! manager and back out of a recovered journal without translation.
+
+use crate::ids::CoreId;
+
+/// The kind of a degradation event, used as the per-kind telemetry key
+/// and the trace-directive name (trace format v2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A core went offline (hotplug removal, MCE, dead silicon).
+    CoreFail,
+    /// The hardware reports a previously failed core as usable again.
+    CoreRecover,
+    /// Thermal pressure caps a cluster's effective capacity.
+    ThermalCap,
+    /// The package power sensor dropped out for a number of ticks.
+    SensorDrop,
+}
+
+impl FaultKind {
+    /// Every kind, in wire-tag order.
+    pub const ALL: [FaultKind; 4] = [
+        FaultKind::CoreFail,
+        FaultKind::CoreRecover,
+        FaultKind::ThermalCap,
+        FaultKind::SensorDrop,
+    ];
+
+    /// Stable snake_case name: the trace-v2 directive and the suffix of
+    /// the `platform.fault.<kind>` metric.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::CoreFail => "core_fail",
+            FaultKind::CoreRecover => "core_recover",
+            FaultKind::ThermalCap => "thermal_cap",
+            FaultKind::SensorDrop => "sensor_drop",
+        }
+    }
+}
+
+/// One concrete degradation event targeting the platform.
+///
+/// Thermal caps are expressed in permille of nominal capacity (1000 =
+/// healthy, 500 = the cluster delivers half its nominal IPS and is power
+/// modeled at the correspondingly reduced effective frequency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// `core` goes offline and must not receive work.
+    CoreFail {
+        /// The physical core that failed.
+        core: CoreId,
+    },
+    /// `core` is reported usable again (subject to quarantine policy).
+    CoreRecover {
+        /// The physical core that recovered.
+        core: CoreId,
+    },
+    /// Cluster `cluster` is thermally capped to `permille`/1000 of its
+    /// nominal capacity.
+    ThermalCap {
+        /// Index of the affected cluster in the hardware description.
+        cluster: u32,
+        /// Effective capacity in permille of nominal (1..=1000).
+        permille: u32,
+    },
+    /// The package power sensor reads nothing for the next `ticks`
+    /// measurement ticks.
+    SensorDrop {
+        /// Number of RM ticks the sensor stays dark.
+        ticks: u64,
+    },
+}
+
+impl FaultEvent {
+    /// The kind tag of this event.
+    pub fn kind(&self) -> FaultKind {
+        match self {
+            FaultEvent::CoreFail { .. } => FaultKind::CoreFail,
+            FaultEvent::CoreRecover { .. } => FaultKind::CoreRecover,
+            FaultEvent::ThermalCap { .. } => FaultKind::ThermalCap,
+            FaultEvent::SensorDrop { .. } => FaultKind::SensorDrop,
+        }
+    }
+
+    /// Flat `(kind, a, b)` wire encoding shared by the journal record and
+    /// any other fixed-width carrier. Inverse of [`FaultEvent::decode_words`].
+    pub fn encode_words(&self) -> (u8, u64, u64) {
+        match *self {
+            FaultEvent::CoreFail { core } => (0, core.0 as u64, 0),
+            FaultEvent::CoreRecover { core } => (1, core.0 as u64, 0),
+            FaultEvent::ThermalCap { cluster, permille } => {
+                (2, u64::from(cluster), u64::from(permille))
+            }
+            FaultEvent::SensorDrop { ticks } => (3, ticks, 0),
+        }
+    }
+
+    /// Decodes the `(kind, a, b)` wire form; `None` on an unknown kind or
+    /// out-of-range field.
+    pub fn decode_words(kind: u8, a: u64, b: u64) -> Option<FaultEvent> {
+        match kind {
+            0 => Some(FaultEvent::CoreFail {
+                core: CoreId(usize::try_from(a).ok()?),
+            }),
+            1 => Some(FaultEvent::CoreRecover {
+                core: CoreId(usize::try_from(a).ok()?),
+            }),
+            2 => Some(FaultEvent::ThermalCap {
+                cluster: u32::try_from(a).ok()?,
+                permille: u32::try_from(b).ok()?,
+            }),
+            3 => Some(FaultEvent::SensorDrop { ticks: a }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_round_trip_every_kind() {
+        let events = [
+            FaultEvent::CoreFail { core: CoreId(3) },
+            FaultEvent::CoreRecover { core: CoreId(17) },
+            FaultEvent::ThermalCap {
+                cluster: 1,
+                permille: 500,
+            },
+            FaultEvent::SensorDrop { ticks: 9 },
+        ];
+        for (ev, kind) in events.iter().zip(FaultKind::ALL) {
+            assert_eq!(ev.kind(), kind);
+            let (k, a, b) = ev.encode_words();
+            assert_eq!(FaultEvent::decode_words(k, a, b).as_ref(), Some(ev));
+        }
+        assert!(FaultEvent::decode_words(4, 0, 0).is_none());
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        let names: Vec<&str> = FaultKind::ALL.iter().map(|k| k.as_str()).collect();
+        assert_eq!(
+            names,
+            ["core_fail", "core_recover", "thermal_cap", "sensor_drop"]
+        );
+    }
+}

@@ -43,6 +43,7 @@
 
 mod cost;
 mod error;
+mod fault;
 mod ids;
 mod ops;
 pub mod pareto;
@@ -51,6 +52,7 @@ mod rvec;
 
 pub use cost::{energy_utility_cost, NormalizedCost};
 pub use error::{ConnectKind, HarpError};
+pub use fault::{FaultEvent, FaultKind};
 pub use ids::{AppId, CoreId, CoreKind, HwThreadId};
 pub use ops::{NonFunctional, OpId, OperatingPoint, OperatingPointTable};
 pub use priority::PriorityClass;

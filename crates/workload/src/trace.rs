@@ -22,12 +22,19 @@
 //! ```
 //!
 //! Events are kept in canonical order — ascending time, with ties broken
-//! by event rank (arrive < priority < depart < load) and then key — so two
-//! traces with the same content always have identical text.
+//! by event rank (arrive < priority < depart < load < fault directives)
+//! and then key — so two traces with the same content always have
+//! identical text.
+//!
+//! Format v2 adds hardware-degradation directives — `core_fail`,
+//! `core_recover`, `thermal_cap`, `sensor_drop` — that the simulator turns
+//! into [`harp_sim::Simulation::add_fault`] events. A v1 trace renders and
+//! parses byte-identically to before v2 existed; fault directives are only
+//! legal under the v2 header.
 
 use crate::Platform;
 use harp_sim::{AppSpec, ContentionModel, LaunchOpts, SimTime, Simulation};
-use harp_types::{HarpError, PriorityClass, Result};
+use harp_types::{FaultEvent, HarpError, PriorityClass, Result};
 
 /// A synthetic application template: a fixed, named behaviour model whose
 /// only free parameter is the total work. Templates make traces compact
@@ -171,6 +178,14 @@ pub enum TraceEvent {
         /// New rate scale in permille (1000 = nominal).
         permille: u32,
     },
+    /// Hardware degradation directive (trace format v2 only): core
+    /// hotplug, thermal capacity cap, or power-sensor dropout.
+    Fault {
+        /// Event time (ns).
+        at: SimTime,
+        /// The degradation event delivered to the machine.
+        ev: FaultEvent,
+    },
 }
 
 impl TraceEvent {
@@ -180,7 +195,8 @@ impl TraceEvent {
             TraceEvent::Arrive { at, .. }
             | TraceEvent::Depart { at, .. }
             | TraceEvent::Priority { at, .. }
-            | TraceEvent::Load { at, .. } => at,
+            | TraceEvent::Load { at, .. }
+            | TraceEvent::Fault { at, .. } => at,
         }
     }
 
@@ -192,6 +208,12 @@ impl TraceEvent {
             TraceEvent::Priority { at, key, .. } => (at, 1, key),
             TraceEvent::Depart { at, key, .. } => (at, 2, key),
             TraceEvent::Load { at, permille } => (at, 3, permille as u64),
+            // Fault directives occupy ranks 4-7 in wire-kind order, keyed
+            // by their first payload word (core / cluster / ticks).
+            TraceEvent::Fault { at, ev } => {
+                let (kind, a, _) = ev.encode_words();
+                (at, 4 + kind, a)
+            }
         }
     }
 }
@@ -205,12 +227,17 @@ pub struct Trace {
     pub seed: u64,
     /// The simulated window the trace spans (ns); no event is later.
     pub window_ns: SimTime,
+    /// Format version: 1 (no fault directives) or 2. A v1 trace renders
+    /// byte-identically to the pre-v2 format.
+    pub version: u32,
     /// The schedule, in canonical order.
     pub events: Vec<TraceEvent>,
 }
 
-/// Format version tag; the first line of every canonical trace.
+/// Format version tag; the first line of every canonical v1 trace.
 pub const TRACE_HEADER: &str = "# harp-workload trace v1";
+/// Format version tag of v2 traces (fault directives allowed).
+pub const TRACE_HEADER_V2: &str = "# harp-workload trace v2";
 
 impl Trace {
     /// Creates an empty trace.
@@ -219,8 +246,24 @@ impl Trace {
             name: name.into(),
             seed,
             window_ns,
+            version: 1,
             events: Vec::new(),
         }
+    }
+
+    /// Creates an empty v2 trace (fault directives allowed).
+    pub fn new_v2(name: impl Into<String>, seed: u64, window_ns: SimTime) -> Self {
+        let mut t = Trace::new(name, seed, window_ns);
+        t.version = 2;
+        t
+    }
+
+    /// Number of fault directives.
+    pub fn faults(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Fault { .. }))
+            .count()
     }
 
     /// Sorts events into canonical order (stable content → identical text).
@@ -248,6 +291,9 @@ impl Trace {
         let fail = |detail: String| -> Result<()> { Err(HarpError::Description { detail }) };
         if self.name.is_empty() || self.name.contains(char::is_whitespace) {
             return fail(format!("trace name '{}' is empty or has spaces", self.name));
+        }
+        if self.version != 1 && self.version != 2 {
+            return fail(format!("unsupported trace version {}", self.version));
         }
         let mut arrived: std::collections::HashMap<u64, SimTime> = std::collections::HashMap::new();
         let mut prev: Option<(SimTime, u8, u64)> = None;
@@ -285,6 +331,27 @@ impl Trace {
                         return fail(format!("load shift {permille} outside 1..=4000"));
                     }
                 }
+                TraceEvent::Fault { ev, .. } => {
+                    if self.version < 2 {
+                        return fail(format!(
+                            "event {i}: fault directives need trace v2 (version is {})",
+                            self.version
+                        ));
+                    }
+                    match ev {
+                        FaultEvent::ThermalCap { permille, .. } => {
+                            if permille == 0 || permille > 1000 {
+                                return fail(format!("thermal cap {permille} outside 1..=1000"));
+                            }
+                        }
+                        FaultEvent::SensorDrop { ticks } => {
+                            if ticks == 0 {
+                                return fail(format!("event {i}: zero-length sensor drop"));
+                            }
+                        }
+                        FaultEvent::CoreFail { .. } | FaultEvent::CoreRecover { .. } => {}
+                    }
+                }
             }
         }
         Ok(())
@@ -293,7 +360,11 @@ impl Trace {
     /// Renders the canonical text form.
     pub fn to_canonical_text(&self) -> String {
         let mut s = String::with_capacity(64 + self.events.len() * 32);
-        s.push_str(TRACE_HEADER);
+        s.push_str(if self.version >= 2 {
+            TRACE_HEADER_V2
+        } else {
+            TRACE_HEADER
+        });
         s.push('\n');
         s.push_str(&format!("name {}\n", self.name));
         s.push_str(&format!("seed {}\n", self.seed));
@@ -316,6 +387,20 @@ impl Trace {
                     s.push_str(&format!("priority {at} {key} {}\n", class.as_str()))
                 }
                 TraceEvent::Load { at, permille } => s.push_str(&format!("load {at} {permille}\n")),
+                TraceEvent::Fault { at, ev } => match ev {
+                    FaultEvent::CoreFail { core } => {
+                        s.push_str(&format!("core_fail {at} {}\n", core.0))
+                    }
+                    FaultEvent::CoreRecover { core } => {
+                        s.push_str(&format!("core_recover {at} {}\n", core.0))
+                    }
+                    FaultEvent::ThermalCap { cluster, permille } => {
+                        s.push_str(&format!("thermal_cap {at} {cluster} {permille}\n"))
+                    }
+                    FaultEvent::SensorDrop { ticks } => {
+                        s.push_str(&format!("sensor_drop {at} {ticks}\n"))
+                    }
+                },
             }
         }
         s
@@ -333,15 +418,17 @@ impl Trace {
             detail: format!("trace line {}: {detail}", line_no + 1),
         };
         let mut lines = text.lines().enumerate();
-        match lines.next() {
-            Some((_, l)) if l.trim() == TRACE_HEADER => {}
+        let version = match lines.next().map(|(_, l)| l.trim()) {
+            Some(l) if l == TRACE_HEADER => 1,
+            Some(l) if l == TRACE_HEADER_V2 => 2,
             _ => {
                 return Err(HarpError::Description {
-                    detail: format!("missing trace header '{TRACE_HEADER}'"),
+                    detail: format!("missing trace header '{TRACE_HEADER}' or '{TRACE_HEADER_V2}'"),
                 })
             }
-        }
+        };
         let mut trace = Trace::new("unnamed", 0, 0);
+        trace.version = version;
         let mut saw = (false, false, false); // name, seed, window
         for (no, raw) in lines {
             let line = raw.trim();
@@ -419,6 +506,43 @@ impl Trace {
                         permille: u32::try_from(p).map_err(|_| fail(no, "bad permille"))?,
                     });
                 }
+                "core_fail" | "core_recover" => {
+                    let [at, core] = rest[..] else {
+                        return Err(fail(no, "core hotplug takes 2 fields"));
+                    };
+                    let core = harp_types::CoreId(
+                        usize::try_from(int(core)?).map_err(|_| fail(no, "bad core id"))?,
+                    );
+                    let ev = if directive == "core_fail" {
+                        FaultEvent::CoreFail { core }
+                    } else {
+                        FaultEvent::CoreRecover { core }
+                    };
+                    trace.events.push(TraceEvent::Fault { at: int(at)?, ev });
+                }
+                "thermal_cap" => {
+                    let [at, cluster, permille] = rest[..] else {
+                        return Err(fail(no, "thermal_cap takes 3 fields"));
+                    };
+                    trace.events.push(TraceEvent::Fault {
+                        at: int(at)?,
+                        ev: FaultEvent::ThermalCap {
+                            cluster: u32::try_from(int(cluster)?)
+                                .map_err(|_| fail(no, "bad cluster"))?,
+                            permille: u32::try_from(int(permille)?)
+                                .map_err(|_| fail(no, "bad permille"))?,
+                        },
+                    });
+                }
+                "sensor_drop" => {
+                    let [at, ticks] = rest[..] else {
+                        return Err(fail(no, "sensor_drop takes 2 fields"));
+                    };
+                    trace.events.push(TraceEvent::Fault {
+                        at: int(at)?,
+                        ev: FaultEvent::SensorDrop { ticks: int(ticks)? },
+                    });
+                }
                 other => {
                     return Err(fail(no, &format!("unknown directive '{other}'")));
                 }
@@ -459,6 +583,7 @@ impl Trace {
                 TraceEvent::Depart { at, key } => sim.add_departure(at, key),
                 TraceEvent::Priority { at, key, class } => sim.add_priority_change(at, key, class),
                 TraceEvent::Load { at, permille } => sim.add_load_shift(at, permille),
+                TraceEvent::Fault { at, ev } => sim.add_fault(at, ev),
             }
         }
         Ok(())
@@ -604,6 +729,118 @@ mod tests {
         let t = Trace::parse(&text).unwrap();
         assert_eq!(t.arrivals(), 1);
         assert_eq!(t.seed, 3);
+    }
+
+    #[test]
+    fn v2_fault_directives_round_trip_exactly() {
+        use harp_types::CoreId;
+        let mut t = Trace::new_v2("degraded", 9, 60_000_000_000);
+        t.events = vec![
+            TraceEvent::Arrive {
+                at: 0,
+                key: 1,
+                class: PriorityClass::Standard,
+                template: Template::Cpu,
+                work: 2_000_000_000,
+            },
+            TraceEvent::Fault {
+                at: 1_000_000,
+                ev: FaultEvent::CoreFail { core: CoreId(3) },
+            },
+            TraceEvent::Fault {
+                at: 1_000_000,
+                ev: FaultEvent::CoreRecover { core: CoreId(2) },
+            },
+            TraceEvent::Fault {
+                at: 1_000_000,
+                ev: FaultEvent::ThermalCap {
+                    cluster: 1,
+                    permille: 600,
+                },
+            },
+            TraceEvent::Fault {
+                at: 1_000_000,
+                ev: FaultEvent::SensorDrop { ticks: 4 },
+            },
+        ];
+        t.validate().unwrap();
+        let text = t.to_canonical_text();
+        assert!(text.starts_with(TRACE_HEADER_V2), "{text}");
+        assert!(text.contains("core_fail 1000000 3"), "{text}");
+        assert!(text.contains("thermal_cap 1000000 1 600"), "{text}");
+        let back = Trace::parse(&text).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.to_canonical_text(), text);
+        assert_eq!(back.faults(), 4);
+        // Same-instant fault directives sort after app events, in
+        // kind-rank order (core_fail < core_recover < thermal < sensor).
+        let mut shuffled = t.clone();
+        shuffled.events.reverse();
+        shuffled.normalize();
+        assert_eq!(shuffled, t);
+    }
+
+    #[test]
+    fn fault_directives_require_v2() {
+        let mut t = sample();
+        t.events.push(TraceEvent::Fault {
+            at: 5_000_000,
+            ev: FaultEvent::SensorDrop { ticks: 1 },
+        });
+        assert!(t.validate().is_err(), "v1 must reject fault directives");
+        t.version = 2;
+        t.validate().unwrap();
+        // v1 text never mentions fault directives, so old parsers still
+        // read every v1 trace; v2 bounds are enforced.
+        let mut bad = Trace::new_v2("t", 0, 10);
+        bad.events = vec![TraceEvent::Fault {
+            at: 0,
+            ev: FaultEvent::ThermalCap {
+                cluster: 0,
+                permille: 1500,
+            },
+        }];
+        assert!(bad.validate().is_err(), "cap permille above 1000");
+        bad.events = vec![TraceEvent::Fault {
+            at: 0,
+            ev: FaultEvent::SensorDrop { ticks: 0 },
+        }];
+        assert!(bad.validate().is_err(), "zero sensor drop");
+        assert!(Trace::parse("# harp-workload trace v3\nname t\nseed 0\nwindow 1\n").is_err());
+    }
+
+    #[test]
+    fn v1_rendering_is_unchanged_by_the_v2_extension() {
+        let t = sample();
+        let text = t.to_canonical_text();
+        assert!(text.starts_with(TRACE_HEADER));
+        assert!(!text.contains("core_"), "v1 text must not mention faults");
+        assert_eq!(Trace::parse(&text).unwrap().version, 1);
+    }
+
+    #[test]
+    fn scheduled_fault_trace_degrades_the_simulated_machine() {
+        use harp_sim::{NullManager, SimConfig};
+        use harp_types::CoreId;
+        let mut t = Trace::new_v2("degrade", 0, 10 * harp_sim::SECOND);
+        t.events = vec![
+            TraceEvent::Arrive {
+                at: 0,
+                key: 1,
+                class: PriorityClass::Standard,
+                template: Template::Cpu,
+                work: 1_000_000_000,
+            },
+            TraceEvent::Fault {
+                at: 0,
+                ev: FaultEvent::CoreFail { core: CoreId(1) },
+            },
+        ];
+        let mut sim = Simulation::new(Platform::RaptorLake.hardware(), SimConfig::default());
+        t.schedule_into(&mut sim, Platform::RaptorLake).unwrap();
+        let r = sim.run(&mut NullManager).unwrap();
+        assert_eq!(r.apps.len(), 1);
+        assert!(!sim.state().fault_state().is_online(CoreId(1)));
     }
 
     #[test]

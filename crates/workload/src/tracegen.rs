@@ -14,7 +14,7 @@
 
 use crate::trace::{Template, Trace, TraceEvent};
 use harp_sim::SimTime;
-use harp_types::PriorityClass;
+use harp_types::{FaultEvent, PriorityClass};
 use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -58,6 +58,11 @@ pub struct TraceGenConfig {
     pub churn_permille: u32,
     /// Per-mille of arrivals that change priority class mid-life.
     pub reprioritize_permille: u32,
+    /// Explicit hardware-degradation schedule: `(at_ns, event)` pairs
+    /// emitted verbatim (clamped to the window). Any entry upgrades the
+    /// generated trace to format v2; an empty schedule keeps the output
+    /// byte-identical to the pre-fault generator.
+    pub faults: Vec<(SimTime, FaultEvent)>,
 }
 
 impl Default for TraceGenConfig {
@@ -69,6 +74,7 @@ impl Default for TraceGenConfig {
             shape: TraceShape::Diurnal,
             churn_permille: 250,
             reprioritize_permille: 50,
+            faults: Vec::new(),
         }
     }
 }
@@ -171,7 +177,17 @@ fn draw_class(rng: &mut ChaCha8Rng) -> PriorityClass {
 pub fn generate_trace(name: &str, cfg: &TraceGenConfig) -> Trace {
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     let window = cfg.window_ns.max(BUCKETS as u64);
-    let mut trace = Trace::new(name, cfg.seed, window);
+    let mut trace = if cfg.faults.is_empty() {
+        Trace::new(name, cfg.seed, window)
+    } else {
+        Trace::new_v2(name, cfg.seed, window)
+    };
+    for &(at, ev) in &cfg.faults {
+        trace.events.push(TraceEvent::Fault {
+            at: at.min(window),
+            ev,
+        });
+    }
     let weights = bucket_weights(cfg.shape, &mut rng);
     let counts = apportion(cfg.arrivals, &weights);
     let bucket_len = window / BUCKETS as u64;
@@ -384,6 +400,49 @@ mod tests {
         let median = sorted[sorted.len() / 2];
         let mean = works.iter().sum::<u64>() / works.len() as u64;
         assert!(mean > median, "mean {mean} vs median {median}");
+    }
+
+    #[test]
+    fn fault_schedule_upgrades_to_v2_and_round_trips() {
+        use harp_types::CoreId;
+        let cfg = TraceGenConfig {
+            arrivals: 200,
+            faults: vec![
+                (5_000_000_000, FaultEvent::CoreFail { core: CoreId(9) }),
+                (
+                    9_000_000_000,
+                    FaultEvent::ThermalCap {
+                        cluster: 0,
+                        permille: 700,
+                    },
+                ),
+                // Beyond the window: clamped, not dropped.
+                (u64::MAX, FaultEvent::SensorDrop { ticks: 3 }),
+            ],
+            ..TraceGenConfig::default()
+        };
+        let t = generate_trace("degraded", &cfg);
+        assert_eq!(t.version, 2);
+        assert_eq!(t.faults(), 3);
+        t.validate().unwrap();
+        let back = Trace::parse(&t.to_canonical_text()).unwrap();
+        assert_eq!(back, t);
+        // The same config without faults generates the same v1 bytes as
+        // before the fault field existed (modulo the arrivals themselves).
+        let clean = generate_trace(
+            "degraded",
+            &TraceGenConfig {
+                faults: Vec::new(),
+                ..cfg.clone()
+            },
+        );
+        assert_eq!(clean.version, 1);
+        let mut stripped = t.clone();
+        stripped
+            .events
+            .retain(|e| !matches!(e, TraceEvent::Fault { .. }));
+        stripped.version = 1;
+        assert_eq!(stripped.to_canonical_text(), clean.to_canonical_text());
     }
 
     #[test]

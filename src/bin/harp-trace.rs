@@ -20,8 +20,8 @@
 
 use harp_daemon::UnixTransport;
 use harp_obs::render::{
-    parse_dump, render_fault_tolerance, render_metrics, render_shards, render_span_tree,
-    render_tick_table,
+    parse_dump, render_degradation, render_fault_tolerance, render_metrics, render_shards,
+    render_span_tree, render_tick_table,
 };
 use harp_obs::schema::validate_dump;
 use harp_proto::{frame, DumpTelemetry, Message, TelemetryFrame};
@@ -265,6 +265,11 @@ fn run() -> Result<(), TraceError> {
     if !faults.is_empty() {
         println!("\n== fault tolerance ==");
         print!("{faults}");
+    }
+    let degradation = render_degradation(&dump);
+    if !degradation.is_empty() {
+        println!("\n== degradation ==");
+        print!("{degradation}");
     }
     let shards = render_shards(&dump);
     if !shards.is_empty() {

@@ -265,7 +265,8 @@ fn killed_daemon_restart_resumes_client_with_bit_identical_allocation() {
     let mut session = HarpSession::connect_with_reconnect(
         move || UnixTransport::connect(&sock).map_err(Into::into),
         SessionConfig::new("survivor", AdaptivityType::Scalable).with_points(vec![2, 1], points),
-        ReconnectPolicy::new(Duration::from_millis(2), Duration::from_millis(50), 500),
+        ReconnectPolicy::new(Duration::from_millis(2), Duration::from_millis(50), 500)
+            .with_seed(0x5EED_CAFE),
     )
     .unwrap();
     let app_id = session.app_id();
